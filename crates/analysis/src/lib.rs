@@ -1,0 +1,38 @@
+//! # analysis
+//!
+//! The **analytical latency model** of the Clock-RSM paper (Section IV,
+//! Table II), the paper's measured **EC2 round-trip matrix** (Table III),
+//! and the **numerical evaluation** over all data-center combinations
+//! (Section VI-C: Figure 7 and Table IV).
+//!
+//! Everything here is closed-form arithmetic over a
+//! [`LatencyMatrix`](rsm_core::LatencyMatrix), so the numeric results can
+//! be compared *exactly* against the numbers printed in the paper — the
+//! unit tests do exactly that — and cross-checked against the
+//! discrete-event simulation in the workspace integration tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use analysis::{ec2, model};
+//! use rsm_core::ReplicaId;
+//!
+//! // The five-site deployment of Figure 1: CA VA IR JP SG.
+//! let m = ec2::matrix_for(&[ec2::Site::CA, ec2::Site::VA, ec2::Site::IR,
+//!                           ec2::Site::JP, ec2::Site::SG]);
+//! let ca = ReplicaId::new(0);
+//! let balanced = model::clock_rsm_balanced(&m, ca);
+//! let paxos = model::paxos_bcast(&m, ReplicaId::new(1), ca);
+//! assert!(balanced > 0 && paxos > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ec2;
+pub mod model;
+pub mod numeric;
+
+pub use ec2::Site;
+pub use model::ProtocolKind;
+pub use numeric::{GroupComparison, ReductionSummary, SweepResult};

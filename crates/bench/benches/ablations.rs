@@ -1,0 +1,30 @@
+//! Scaled-down ablation regressions: clock skew must never break safety,
+//! whatever the synchronization bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use analysis::ec2;
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use rsm_core::time::MILLIS;
+use simnet::ClockModel;
+
+fn bench_skew_safety(c: &mut Criterion) {
+    let (_, matrix) = ec2::five_site_deployment();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("skew_200ms_safety", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::new(matrix.clone())
+                .clock(ClockModel::ntp(200 * MILLIS))
+                .clients_per_site(8)
+                .warmup_us(500 * MILLIS)
+                .duration_us(2_000 * MILLIS);
+            let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+            assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew_safety);
+criterion_main!(benches);

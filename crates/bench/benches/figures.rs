@@ -1,0 +1,49 @@
+//! Scaled-down regression versions of the paper's figure experiments:
+//! short windows, assertions on the qualitative shape. `cargo bench`
+//! keeps the reproduction honest over time; the `fig*` binaries produce
+//! the full paper-grade numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use analysis::ec2;
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use rsm_core::time::MILLIS;
+
+fn quick_cfg(matrix: rsm_core::LatencyMatrix) -> ExperimentConfig {
+    ExperimentConfig::new(matrix)
+        .clients_per_site(10)
+        .warmup_us(500 * MILLIS)
+        .duration_us(2_500 * MILLIS)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let (_, matrix) = ec2::five_site_deployment();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_shape_5site_balanced", |b| {
+        b.iter(|| {
+            let cfg = quick_cfg(matrix.clone());
+            let clock = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+            let paxos_b = run_latency(ProtocolChoice::paxos_bcast(1), &cfg);
+            // Clock-RSM beats Paxos-bcast at every non-leader site.
+            for i in [0usize, 2, 3, 4] {
+                assert!(
+                    clock.site_stats[i].mean_ms() < paxos_b.site_stats[i].mean_ms(),
+                    "site {i}"
+                );
+            }
+        });
+    });
+    group.bench_function("fig5_shape_imbalanced_sg", |b| {
+        b.iter(|| {
+            let cfg = quick_cfg(matrix.clone()).active_sites(vec![4]);
+            let clock = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+            let mencius = run_latency(ProtocolChoice::mencius(), &cfg);
+            assert!(clock.site_stats[4].mean_ms() < mencius.site_stats[4].mean_ms());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Microbenchmarks of protocol state-machine steps: how fast each
+//! replica core processes its hot-path events, independent of any
+//! network. This bounds the CPU-side throughput of a real deployment.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clock_rsm::{ClockRsm, ClockRsmConfig, LogRec, RsmMsg};
+use mencius::{MenciusBcast, MenciusLogRec, MenciusMsg};
+use paxos::{replica::PaxosLogRec, MultiPaxos, PaxosMsg, PaxosVariant};
+use rsm_core::command::{Command, CommandId, Committed};
+use rsm_core::config::{Epoch, Membership};
+use rsm_core::id::{ClientId, ReplicaId};
+use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::time::{Micros, Timestamp};
+
+/// A throwaway context that swallows effects at minimal cost.
+struct SinkCtx<M, L> {
+    clock: Micros,
+    sends: Vec<(ReplicaId, M)>,
+    log: Vec<L>,
+    commits: u64,
+}
+
+impl<M, L> SinkCtx<M, L> {
+    fn new() -> Self {
+        SinkCtx {
+            clock: 1_000_000,
+            sends: Vec::with_capacity(64),
+            log: Vec::with_capacity(64),
+            commits: 0,
+        }
+    }
+    fn reset(&mut self) {
+        self.sends.clear();
+        self.log.clear();
+    }
+}
+
+macro_rules! impl_ctx {
+    ($proto:ty, $msg:ty, $log:ty) => {
+        impl Context<$proto> for SinkCtx<$msg, $log> {
+            fn clock(&mut self) -> Micros {
+                self.clock += 1;
+                self.clock
+            }
+            fn send(&mut self, to: ReplicaId, msg: $msg) {
+                self.sends.push((to, msg));
+            }
+            fn log_append(&mut self, rec: $log) {
+                self.log.push(rec);
+            }
+            fn log_rewrite(&mut self, recs: Vec<$log>) {
+                self.log = recs;
+            }
+            fn commit(&mut self, _c: Committed) {
+                self.commits += 1;
+            }
+            fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
+        }
+    };
+}
+
+impl_ctx!(ClockRsm, RsmMsg, LogRec);
+impl_ctx!(MultiPaxos, PaxosMsg, PaxosLogRec);
+impl_ctx!(MenciusBcast, MenciusMsg, MenciusLogRec);
+
+fn cmd(seq: u64) -> Command {
+    Command::new(
+        CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+        Bytes::from_static(&[0u8; 64]),
+    )
+}
+
+fn bench_clock_rsm_round(c: &mut Criterion) {
+    c.bench_function("clock_rsm_full_commit_round", |b| {
+        let mut ctx = SinkCtx::new();
+        let mut seq = 0u64;
+        let mut replica = ClockRsm::new(
+            ReplicaId::new(0),
+            Membership::uniform(5),
+            ClockRsmConfig::default().with_delta_us(None),
+        );
+        b.iter(|| {
+            seq += 1;
+            ctx.reset();
+            let ts = Timestamp::new(2_000_000 + seq * 10, ReplicaId::new(1));
+            // One remote command: PREPARE + majority PREPAREOKs +
+            // stable-order clock times from everyone -> one commit.
+            replica.on_message(
+                ReplicaId::new(1),
+                RsmMsg::Prepare {
+                    epoch: Epoch::ZERO,
+                    ts,
+                    origin: ReplicaId::new(1),
+                    cmd: cmd(seq),
+                },
+                &mut ctx,
+            );
+            for k in 0..5u16 {
+                replica.on_message(
+                    ReplicaId::new(k),
+                    RsmMsg::PrepareOk {
+                        epoch: Epoch::ZERO,
+                        ts,
+                        clock_ts: Timestamp::new(ts.micros() + 5 + k as u64, ReplicaId::new(k)),
+                    },
+                    &mut ctx,
+                );
+            }
+        });
+        assert!(ctx.commits > 0);
+    });
+}
+
+fn bench_paxos_round(c: &mut Criterion) {
+    c.bench_function("paxos_bcast_full_commit_round", |b| {
+        let mut ctx = SinkCtx::new();
+        let mut instance = 0u64;
+        let mut replica = MultiPaxos::new(
+            ReplicaId::new(1),
+            Membership::uniform(5),
+            ReplicaId::new(0),
+            PaxosVariant::Bcast,
+        );
+        b.iter(|| {
+            ctx.reset();
+            replica.on_message(
+                ReplicaId::new(0),
+                PaxosMsg::Accept {
+                    instance,
+                    cmd: cmd(instance),
+                    origin: ReplicaId::new(0),
+                },
+                &mut ctx,
+            );
+            for k in 0..3u16 {
+                replica.on_message(ReplicaId::new(k), PaxosMsg::Accepted { instance }, &mut ctx);
+            }
+            instance += 1;
+        });
+        assert!(ctx.commits > 0);
+    });
+}
+
+fn bench_mencius_round(c: &mut Criterion) {
+    c.bench_function("mencius_full_commit_round", |b| {
+        let mut ctx = SinkCtx::new();
+        let mut round = 0u64;
+        let mut replica = MenciusBcast::new(ReplicaId::new(1), Membership::uniform(5));
+        b.iter(|| {
+            ctx.reset();
+            let slot = round * 5; // r0's slots
+            replica.on_message(
+                ReplicaId::new(0),
+                MenciusMsg::Propose {
+                    slot,
+                    cmd: cmd(round),
+                    origin: ReplicaId::new(0),
+                },
+                &mut ctx,
+            );
+            for k in 0..5u16 {
+                replica.on_message(
+                    ReplicaId::new(k),
+                    MenciusMsg::AcceptAck {
+                        slot,
+                        skip_below: slot + k as u64 + 1,
+                    },
+                    &mut ctx,
+                );
+            }
+            round += 1;
+        });
+        assert!(ctx.commits > 0);
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clock_rsm_round,
+    bench_paxos_round,
+    bench_mencius_round
+);
+criterion_main!(benches);

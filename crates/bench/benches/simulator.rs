@@ -1,0 +1,29 @@
+//! Macrobenchmark of the discrete-event simulator: a full five-site
+//! Clock-RSM deployment, one virtual second per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use analysis::ec2;
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use rsm_core::time::MILLIS;
+
+fn bench_five_site_second(c: &mut Criterion) {
+    let (_, matrix) = ec2::five_site_deployment();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("clock_rsm_5site_1s_virtual", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::new(matrix.clone())
+                .clients_per_site(10)
+                .warmup_us(200 * MILLIS)
+                .duration_us(800 * MILLIS)
+                .record_ops(false);
+            let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+            assert!(r.commit_counts[0] > 0);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_five_site_second);
+criterion_main!(benches);

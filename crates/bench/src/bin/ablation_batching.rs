@@ -1,0 +1,41 @@
+//! Ablation: the CPU model's per-batch fixed cost vs throughput. The
+//! paper attributes Paxos's small-command throughput win to the leader
+//! "batching more commands when sending and receiving messages" — i.e. to
+//! fixed per-batch costs being amortized better at the funnel. This sweep
+//! varies the fixed cost from zero (pure per-message costs) upward and
+//! reports the Paxos : Clock-RSM throughput ratio at 10 B commands.
+
+use bench::quick;
+use harness::{run_throughput, ProtocolChoice};
+use simnet::CpuModel;
+
+fn main() {
+    let clients = if quick() { 15 } else { 40 };
+    println!("\n=== Ablation: per-batch fixed CPU cost vs throughput (10B cmds) ===");
+    println!(
+        "{:<18}{:>14}{:>14}{:>14}{:>12}",
+        "fixed cost (µs)", "Clock-RSM", "Paxos", "Paxos-bcast", "P/C ratio"
+    );
+    for fixed in [0u64, 10, 25, 50, 100] {
+        let cpu = CpuModel {
+            fixed_batch_us: fixed,
+            per_msg_us: 2,
+            per_kb_us: 9,
+        };
+        let t = |choice| {
+            run_throughput(choice, 10, clients, cpu, 11).throughput_kops
+        };
+        let clock = t(ProtocolChoice::clock_rsm());
+        let paxos = t(ProtocolChoice::paxos(0));
+        let paxos_b = t(ProtocolChoice::paxos_bcast(0));
+        println!(
+            "{:<18}{:>13.1}k{:>13.1}k{:>13.1}k{:>12.2}",
+            fixed,
+            clock,
+            paxos,
+            paxos_b,
+            paxos / clock.max(0.001),
+        );
+    }
+    println!("(kops/s; the ratio shows how batching-dominated cost structures favor the leader funnel)");
+}

@@ -1,0 +1,50 @@
+//! Ablation: the CLOCKTIME broadcast interval Δ (Algorithm 2) under a
+//! **light imbalanced** workload — the one case where the paper says the
+//! extension matters. Expected: latency ≈ max(2·median, max + Δ), so
+//! small Δ approaches the moderate-load latency and large Δ degrades
+//! toward 2·max (the no-extension bound).
+
+use analysis::{ec2, model};
+use bench::with_windows;
+use clock_rsm::ClockRsmConfig;
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use rsm_core::time::MILLIS;
+use rsm_core::ReplicaId;
+
+fn main() {
+    let (sites, matrix) = ec2::five_site_deployment();
+    let origin = 4u16; // SG
+    println!("\n=== Ablation: CLOCKTIME interval Δ (light imbalanced load at SG) ===");
+    println!(
+        "analytic: latency = max(2*median, max + Δ) = max({:.1}, {:.1} + Δ) ms",
+        2.0 * matrix.median_from(ReplicaId::new(origin)) as f64 / 1000.0,
+        matrix.max_from(ReplicaId::new(origin)) as f64 / 1000.0
+    );
+    println!("{:<12}{:>14}{:>14}{:>16}", "Δ (ms)", "avg (ms)", "p95 (ms)", "model (ms)");
+    for delta_ms in [1u64, 5, 10, 20, 50] {
+        // Light load: one client, long think time, so PREPAREOK traffic
+        // from previous commands cannot help the stable-order condition.
+        let cfg = with_windows(ExperimentConfig::new(matrix.clone()))
+            .active_sites(vec![origin])
+            .clients_per_site(1)
+            .think_max_us(400 * MILLIS);
+        let choice = ProtocolChoice::clock_rsm_with(
+            ClockRsmConfig::default().with_delta_us(Some(delta_ms * MILLIS)),
+        );
+        let mut r = run_latency(choice, &cfg);
+        let model_ms = model::clock_rsm_imbalanced_light(
+            &matrix,
+            ReplicaId::new(origin),
+            delta_ms * MILLIS,
+        ) as f64
+            / 1000.0;
+        println!(
+            "{:<12}{:>14.1}{:>14.1}{:>16.1}",
+            delta_ms,
+            r.site_stats[origin as usize].mean_ms(),
+            r.site_stats[origin as usize].percentile_ms(95.0),
+            model_ms,
+        );
+    }
+    let _ = sites;
+}

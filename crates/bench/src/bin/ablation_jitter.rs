@@ -1,0 +1,37 @@
+//! Ablation: per-message network jitter vs per-protocol latency on the
+//! five-site balanced workload. Clock-RSM's stable-order condition waits
+//! on the *slowest* link, so jitter should hurt it slightly more than
+//! Paxos-bcast (which waits on medians) — the paper's "managed WAN"
+//! remark (Section V-C).
+
+use analysis::ec2;
+use bench::with_windows;
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+
+fn main() {
+    let (sites, matrix) = ec2::five_site_deployment();
+    println!("\n=== Ablation: network jitter vs average latency (balanced, 5 sites) ===");
+    println!(
+        "{:<12}{:>14}{:>14}{:>16}",
+        "jitter (ms)", "Clock-RSM", "Paxos-bcast", "Mencius-bcast"
+    );
+    for jitter_ms in [0u64, 2, 5, 10, 20] {
+        let cfg = with_windows(ExperimentConfig::new(matrix.clone()))
+            .jitter_us(jitter_ms * 1_000)
+            .clients_per_site(20);
+        let mean_over_sites = |choice| {
+            let r = run_latency(choice, &cfg);
+            assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+            let sum: f64 = r.site_stats.iter().map(|s| s.mean_ms()).sum();
+            sum / sites.len() as f64
+        };
+        println!(
+            "{:<12}{:>14.1}{:>14.1}{:>16.1}",
+            jitter_ms,
+            mean_over_sites(ProtocolChoice::clock_rsm()),
+            mean_over_sites(ProtocolChoice::paxos_bcast(1)),
+            mean_over_sites(ProtocolChoice::mencius()),
+        );
+    }
+    println!("(average over all five sites, ms)");
+}

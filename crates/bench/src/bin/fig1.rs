@@ -1,0 +1,44 @@
+//! Figure 1: average and 95th-percentile commit latency at each of five
+//! replicas (CA, VA, IR, JP, SG) under a **balanced** workload, with the
+//! Paxos/Paxos-bcast leader at CA (panel a) and VA (panel b).
+
+use analysis::ec2;
+use bench::{print_latency_table, with_windows};
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+
+fn main() {
+    let (sites, matrix) = ec2::five_site_deployment();
+    let site_names: Vec<&str> = sites.iter().map(|s| s.name()).collect();
+    let cfg = with_windows(ExperimentConfig::new(matrix));
+
+    // Clock-RSM and Mencius-bcast have no leader: one run serves both
+    // panels.
+    let clock = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+    let mencius = run_latency(ProtocolChoice::mencius(), &cfg);
+    assert!(clock.checks.all_ok(), "{:?}", clock.checks.violation);
+    assert!(mencius.checks.all_ok(), "{:?}", mencius.checks.violation);
+
+    for (panel, leader_idx) in [("(a) leader at CA", 0u16), ("(b) leader at VA", 1u16)] {
+        let mut paxos = run_latency(ProtocolChoice::paxos(leader_idx), &cfg);
+        let mut paxos_b = run_latency(ProtocolChoice::paxos_bcast(leader_idx), &cfg);
+        assert!(paxos.checks.all_ok(), "{:?}", paxos.checks.violation);
+        assert!(paxos_b.checks.all_ok(), "{:?}", paxos_b.checks.violation);
+        let mut rows = vec![
+            ("Paxos".to_string(), std::mem::take(&mut paxos.site_stats)),
+            (
+                "Mencius-bcast".to_string(),
+                mencius.site_stats.clone(),
+            ),
+            (
+                "Paxos-bcast".to_string(),
+                std::mem::take(&mut paxos_b.site_stats),
+            ),
+            ("Clock-RSM".to_string(), clock.site_stats.clone()),
+        ];
+        print_latency_table(
+            &format!("Figure 1{panel}: five replicas, balanced workload"),
+            &site_names,
+            &mut rows,
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 2: average and 95th-percentile commit latency at each of three
+//! replicas (CA, VA, IR) under a **balanced** workload, leader at CA
+//! (panel a) and VA (panel b) — the three-replica special case where
+//! Paxos-bcast matches Clock-RSM.
+
+use analysis::ec2;
+use bench::{print_latency_table, with_windows};
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+
+fn main() {
+    let (sites, matrix) = ec2::three_site_deployment();
+    let site_names: Vec<&str> = sites.iter().map(|s| s.name()).collect();
+    let cfg = with_windows(ExperimentConfig::new(matrix));
+
+    let clock = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+    let mencius = run_latency(ProtocolChoice::mencius(), &cfg);
+    assert!(clock.checks.all_ok(), "{:?}", clock.checks.violation);
+    assert!(mencius.checks.all_ok(), "{:?}", mencius.checks.violation);
+
+    for (panel, leader_idx) in [("(a) leader at CA", 0u16), ("(b) leader at VA", 1u16)] {
+        let mut paxos = run_latency(ProtocolChoice::paxos(leader_idx), &cfg);
+        let mut paxos_b = run_latency(ProtocolChoice::paxos_bcast(leader_idx), &cfg);
+        let mut rows = vec![
+            ("Paxos".to_string(), std::mem::take(&mut paxos.site_stats)),
+            ("Mencius-bcast".to_string(), mencius.site_stats.clone()),
+            (
+                "Paxos-bcast".to_string(),
+                std::mem::take(&mut paxos_b.site_stats),
+            ),
+            ("Clock-RSM".to_string(), clock.site_stats.clone()),
+        ];
+        print_latency_table(
+            &format!("Figure 2{panel}: three replicas, balanced workload"),
+            &site_names,
+            &mut rows,
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 3: commit latency distribution (CDF) at the JP replica with
+//! five replicas, leader at CA, balanced workload.
+
+use analysis::ec2;
+use bench::{print_cdf_table, with_windows};
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+
+fn main() {
+    let (sites, matrix) = ec2::five_site_deployment();
+    let jp = sites.iter().position(|s| s.name() == "JP").expect("JP");
+    let cfg = with_windows(ExperimentConfig::new(matrix));
+
+    let mut series = Vec::new();
+    for choice in [
+        ProtocolChoice::paxos(0),
+        ProtocolChoice::mencius(),
+        ProtocolChoice::paxos_bcast(0),
+        ProtocolChoice::clock_rsm(),
+    ] {
+        let name = choice.name().to_string();
+        let mut r = run_latency(choice, &cfg);
+        assert!(r.checks.all_ok(), "{name}: {:?}", r.checks.violation);
+        series.push((name, std::mem::take(&mut r.site_stats[jp])));
+    }
+    print_cdf_table(
+        "Figure 3: latency CDF at JP (five replicas, leader CA, balanced)",
+        &mut series,
+        21,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 4: commit latency distribution (CDF) at the CA replica with
+//! three replicas, leader at VA, balanced workload.
+
+use analysis::ec2;
+use bench::{print_cdf_table, with_windows};
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+
+fn main() {
+    let (_, matrix) = ec2::three_site_deployment();
+    let ca = 0usize;
+    let cfg = with_windows(ExperimentConfig::new(matrix));
+
+    let mut series = Vec::new();
+    for choice in [
+        ProtocolChoice::paxos(1),
+        ProtocolChoice::mencius(),
+        ProtocolChoice::paxos_bcast(1),
+        ProtocolChoice::clock_rsm(),
+    ] {
+        let name = choice.name().to_string();
+        let mut r = run_latency(choice, &cfg);
+        assert!(r.checks.all_ok(), "{name}: {:?}", r.checks.violation);
+        series.push((name, std::mem::take(&mut r.site_stats[ca])));
+    }
+    print_cdf_table(
+        "Figure 4: latency CDF at CA (three replicas, leader VA, balanced)",
+        &mut series,
+        21,
+    );
+}

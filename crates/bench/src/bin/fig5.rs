@@ -1,0 +1,41 @@
+//! Figure 5: average and 95th-percentile commit latency at each of five
+//! replicas under an **imbalanced** workload — only one replica serves
+//! clients per run; the Paxos/Paxos-bcast leader is at CA.
+
+use analysis::ec2;
+use bench::{print_latency_table, with_windows};
+use harness::{run_latency, ExperimentConfig, LatencyStats, ProtocolChoice};
+
+fn main() {
+    let (sites, matrix) = ec2::five_site_deployment();
+    let site_names: Vec<&str> = sites.iter().map(|s| s.name()).collect();
+
+    let mut rows: Vec<(String, Vec<LatencyStats>)> = [
+        ProtocolChoice::paxos(0),
+        ProtocolChoice::mencius(),
+        ProtocolChoice::paxos_bcast(0),
+        ProtocolChoice::clock_rsm(),
+    ]
+    .into_iter()
+    .map(|choice| {
+        let name = choice.name().to_string();
+        // One run per origin site: clients only at that site.
+        let stats: Vec<LatencyStats> = (0..sites.len() as u16)
+            .map(|origin| {
+                let cfg = with_windows(ExperimentConfig::new(matrix.clone()))
+                    .active_sites(vec![origin]);
+                let mut r = run_latency(choice.clone(), &cfg);
+                assert!(r.checks.all_ok(), "{name}: {:?}", r.checks.violation);
+                std::mem::take(&mut r.site_stats[origin as usize])
+            })
+            .collect();
+        (name, stats)
+    })
+    .collect();
+
+    print_latency_table(
+        "Figure 5: five replicas, imbalanced workload (leader at CA)",
+        &site_names,
+        &mut rows,
+    );
+}

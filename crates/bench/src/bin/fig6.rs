@@ -1,0 +1,30 @@
+//! Figure 6: commit latency distribution (CDF) at the SG replica with
+//! five replicas, imbalanced workload (clients only at SG), leader at CA.
+
+use analysis::ec2;
+use bench::{print_cdf_table, with_windows};
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+
+fn main() {
+    let (sites, matrix) = ec2::five_site_deployment();
+    let sg = sites.iter().position(|s| s.name() == "SG").expect("SG");
+    let cfg = with_windows(ExperimentConfig::new(matrix)).active_sites(vec![sg as u16]);
+
+    let mut series = Vec::new();
+    for choice in [
+        ProtocolChoice::paxos(0),
+        ProtocolChoice::mencius(),
+        ProtocolChoice::paxos_bcast(0),
+        ProtocolChoice::clock_rsm(),
+    ] {
+        let name = choice.name().to_string();
+        let mut r = run_latency(choice, &cfg);
+        assert!(r.checks.all_ok(), "{name}: {:?}", r.checks.violation);
+        series.push((name, std::mem::take(&mut r.site_stats[sg])));
+    }
+    print_cdf_table(
+        "Figure 6: latency CDF at SG (five replicas, imbalanced, leader CA)",
+        &mut series,
+        21,
+    );
+}

@@ -1,0 +1,56 @@
+//! Table II: message steps, message complexity, and commit latency
+//! formulas of the four protocols — printed symbolically and evaluated on
+//! the five-site deployment of Figure 1.
+
+use analysis::model::{self, ProtocolKind};
+use analysis::{ec2, Site};
+use rsm_core::ReplicaId;
+
+fn main() {
+    println!("\n=== Table II: steps, complexity, latency formulas ===\n");
+    let rows = [
+        (
+            ProtocolKind::Paxos,
+            "leader: 2*median_k d(l,k) | non-leader: 2*d(i,l) + 2*median_k d(l,k)",
+        ),
+        (
+            ProtocolKind::PaxosBcast,
+            "leader: 2*median_k d(l,k) | non-leader: d(i,l) + median_k(d(l,k)+d(k,i))",
+        ),
+        (
+            ProtocolKind::MenciusBcast,
+            "imbalanced: 2*max_k d(i,k) | balanced: [q, q + max_k d(i,k)], q = Clock-RSM",
+        ),
+        (
+            ProtocolKind::ClockRsm,
+            "imbalanced: max(2*median_k d(i,k), max_k d(i,k)) | balanced: max(..., max_j median_k(d(j,k)+d(k,i)))",
+        ),
+    ];
+    println!("{:<16}{:<8}{:<8}latency", "protocol", "steps", "msgs");
+    for (p, formula) in rows {
+        let (steps, complexity) = model::table2_meta(p);
+        println!("{:<16}{:<8}{:<8}{}", p.name(), steps, complexity, formula);
+    }
+
+    // Evaluate on the Figure 1 deployment with the leader at VA.
+    let (sites, m) = ec2::five_site_deployment();
+    let leader = ReplicaId::new(Site::VA as u16 - Site::CA as u16); // VA = index 1
+    println!("\nEvaluated on {{CA VA IR JP SG}} (leader VA), per-replica commit latency (ms):");
+    println!(
+        "{:<8}{:>10}{:>14}{:>18}{:>22}",
+        "site", "Paxos", "Paxos-bcast", "Clock-RSM (bal.)", "Mencius (bal. bounds)"
+    );
+    for (i, site) in sites.iter().enumerate() {
+        let r = ReplicaId::new(i as u16);
+        let (lo, hi) = model::mencius_bcast_balanced_bounds(&m, r);
+        println!(
+            "{:<8}{:>10.1}{:>14.1}{:>18.1}{:>14.1}-{:<7.1}",
+            site.name(),
+            model::paxos(&m, r, leader) as f64 / 1000.0,
+            model::paxos_bcast(&m, r, leader) as f64 / 1000.0,
+            model::clock_rsm_balanced(&m, r) as f64 / 1000.0,
+            lo as f64 / 1000.0,
+            hi as f64 / 1000.0,
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Table III: the average round-trip latencies between EC2 data centers
+//! that drive both the analytical model and the simulator.
+
+use analysis::ec2;
+
+fn main() {
+    println!("\n=== Table III: average RTT (ms) between EC2 data centers ===\n");
+    print!("{:<6}", "");
+    for s in ec2::ALL_SITES {
+        print!("{:>7}", s.name());
+    }
+    println!();
+    for (i, row) in ec2::RTT_MS.iter().enumerate() {
+        print!("{:<6}", ec2::ALL_SITES[i].name());
+        for v in row {
+            print!("{v:>7.0}");
+        }
+        println!();
+    }
+    println!("\nThe simulator uses one-way latency = RTT/2 (symmetric links),");
+    println!("exactly as the paper's latency analysis assumes (Section IV).");
+}

@@ -1,0 +1,132 @@
+//! Tuning knobs for a Clock-RSM replica.
+
+use rsm_core::time::{Micros, MILLIS};
+
+/// Configuration of a Clock-RSM replica.
+///
+/// Defaults follow the paper's EC2 deployment: the Algorithm 2 extension
+/// enabled with `Δ = 5 ms`, failure detection disabled (latency
+/// experiments run failure-free; enable it for fault-tolerance tests).
+///
+/// # Examples
+///
+/// ```
+/// use clock_rsm::ClockRsmConfig;
+/// let cfg = ClockRsmConfig::default()
+///     .with_delta_us(Some(5_000))
+///     .with_failure_detection(Some(500_000));
+/// assert_eq!(cfg.delta_us, Some(5_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockRsmConfig {
+    /// Interval of the periodic clock-time broadcast (Algorithm 2), or
+    /// `None` to disable the extension (making the protocol quiescent).
+    pub delta_us: Option<Micros>,
+    /// Failure detector timeout: a configuration member not heard from for
+    /// this long is suspected and a reconfiguration removing it is
+    /// triggered. `None` disables automatic reconfiguration.
+    pub fd_timeout_us: Option<Micros>,
+    /// Retry interval for the reconfiguration consensus proposer.
+    pub synod_retry_us: Micros,
+    /// Retry interval for suspend collection and state transfer.
+    pub reconfig_retry_us: Micros,
+    /// Write a state machine checkpoint to the log every this many
+    /// commits, so recovery restores the snapshot instead of replaying
+    /// the whole log (Section V-B). `None` disables checkpointing.
+    /// Requires a driver with snapshot support (both the simulator and
+    /// the threaded runtime provide it).
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Default for ClockRsmConfig {
+    fn default() -> Self {
+        ClockRsmConfig {
+            delta_us: Some(5 * MILLIS),
+            fd_timeout_us: None,
+            synod_retry_us: 200 * MILLIS,
+            reconfig_retry_us: 200 * MILLIS,
+            checkpoint_every: None,
+        }
+    }
+}
+
+impl ClockRsmConfig {
+    /// Sets the clock-time broadcast interval (`None` disables Algorithm 2).
+    pub fn with_delta_us(mut self, delta: Option<Micros>) -> Self {
+        self.delta_us = delta;
+        self
+    }
+
+    /// Enables (or disables) the failure detector with the given timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if failure detection is enabled while the clock-time
+    /// broadcast is disabled: the detector relies on `CLOCKTIME` traffic
+    /// as its heartbeat.
+    pub fn with_failure_detection(mut self, timeout_us: Option<Micros>) -> Self {
+        if timeout_us.is_some() {
+            assert!(
+                self.delta_us.is_some(),
+                "failure detection requires the CLOCKTIME heartbeat (delta_us)"
+            );
+        }
+        self.fd_timeout_us = timeout_us;
+        self
+    }
+
+    /// Sets the consensus retry interval.
+    pub fn with_synod_retry_us(mut self, us: Micros) -> Self {
+        self.synod_retry_us = us;
+        self
+    }
+
+    /// Sets the suspend/state-transfer retry interval.
+    pub fn with_reconfig_retry_us(mut self, us: Micros) -> Self {
+        self.reconfig_retry_us = us;
+        self
+    }
+
+    /// Enables checkpointing every `n` commits (`None` disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is `Some(0)`.
+    pub fn with_checkpoint_every(mut self, n: Option<u64>) -> Self {
+        assert!(n != Some(0), "checkpoint interval must be positive");
+        self.checkpoint_every = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_deployment() {
+        let cfg = ClockRsmConfig::default();
+        assert_eq!(cfg.delta_us, Some(5_000));
+        assert_eq!(cfg.fd_timeout_us, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "CLOCKTIME")]
+    fn fd_requires_heartbeat() {
+        let _ = ClockRsmConfig::default()
+            .with_delta_us(None)
+            .with_failure_detection(Some(1_000_000));
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = ClockRsmConfig::default()
+            .with_delta_us(Some(1_000))
+            .with_failure_detection(Some(10_000))
+            .with_synod_retry_us(5_000)
+            .with_reconfig_retry_us(7_000);
+        assert_eq!(cfg.fd_timeout_us, Some(10_000));
+        assert_eq!(cfg.synod_retry_us, 5_000);
+        assert_eq!(cfg.reconfig_retry_us, 7_000);
+    }
+}

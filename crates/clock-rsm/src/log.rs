@@ -1,0 +1,105 @@
+//! Clock-RSM stable log records.
+
+use rsm_core::command::Command;
+use rsm_core::config::Epoch;
+use rsm_core::id::ReplicaId;
+use rsm_core::time::Timestamp;
+
+/// A record in a Clock-RSM replica's stable log.
+///
+/// As in Section V-B of the paper, entries are of two main types —
+/// `Prepare` (a command with its timestamp, appended in *arrival* order,
+/// which is not necessarily timestamp order across originators) and
+/// `Commit` (a commit mark, always appended in timestamp order, always
+/// after its corresponding `Prepare`). `Epoch` records additionally
+/// persist reconfiguration decisions so a recovering replica knows the
+/// configuration it crashed in.
+#[derive(Debug, Clone)]
+pub enum LogRec {
+    /// A logged command (Algorithm 1, line 7).
+    Prepare {
+        /// The command's timestamp.
+        ts: Timestamp,
+        /// The originating replica.
+        origin: ReplicaId,
+        /// The command.
+        cmd: Command,
+    },
+    /// A commit mark (Algorithm 1, line 15); strictly increasing `ts`.
+    Commit {
+        /// The committed timestamp.
+        ts: Timestamp,
+    },
+    /// A reconfiguration took effect (Algorithm 3, lines 21–22).
+    Epoch {
+        /// The new epoch.
+        epoch: Epoch,
+        /// The configuration installed with it.
+        config: Vec<ReplicaId>,
+    },
+    /// A state machine checkpoint (Section V-B: "Checkpointing can be
+    /// used to avoid replaying the whole log and speed up the recovery
+    /// process"). Recovery restores `state` and resumes the scan after
+    /// this record instead of replaying from the beginning.
+    Checkpoint {
+        /// Every command with a timestamp ≤ `ts` is reflected in `state`.
+        ts: Timestamp,
+        /// The epoch at checkpoint time.
+        epoch: Epoch,
+        /// The configuration at checkpoint time.
+        config: Vec<ReplicaId>,
+        /// Canonical state machine snapshot.
+        state: bytes::Bytes,
+    },
+}
+
+impl LogRec {
+    /// The timestamp of a `Prepare` or `Commit` record, if any.
+    pub fn ts(&self) -> Option<Timestamp> {
+        match self {
+            LogRec::Prepare { ts, .. } | LogRec::Commit { ts } => Some(*ts),
+            LogRec::Epoch { .. } | LogRec::Checkpoint { .. } => None,
+        }
+    }
+
+    /// Whether this is a `Prepare` record.
+    pub fn is_prepare(&self) -> bool {
+        matches!(self, LogRec::Prepare { .. })
+    }
+
+    /// Whether this is a `Commit` record.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, LogRec::Commit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::ClientId;
+
+    #[test]
+    fn accessors() {
+        let ts = Timestamp::new(5, ReplicaId::new(1));
+        let prep = LogRec::Prepare {
+            ts,
+            origin: ReplicaId::new(1),
+            cmd: Command::new(
+                CommandId::new(ClientId::new(ReplicaId::new(1), 0), 1),
+                Bytes::from_static(b"x"),
+            ),
+        };
+        assert!(prep.is_prepare());
+        assert!(!prep.is_commit());
+        assert_eq!(prep.ts(), Some(ts));
+        let commit = LogRec::Commit { ts };
+        assert!(commit.is_commit());
+        let epoch = LogRec::Epoch {
+            epoch: Epoch(1),
+            config: vec![ReplicaId::new(0)],
+        };
+        assert_eq!(epoch.ts(), None);
+    }
+}

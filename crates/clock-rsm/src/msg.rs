@@ -1,0 +1,221 @@
+//! Clock-RSM wire messages.
+
+use paxos::synod::SynodMsg;
+use rsm_core::command::Command;
+use rsm_core::config::Epoch;
+use rsm_core::id::ReplicaId;
+use rsm_core::time::Timestamp;
+use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+
+/// A logged command as exchanged during reconfiguration and state
+/// transfer: the `⟨cmd, ts⟩` pairs of Algorithm 3 plus the originating
+/// replica (needed to route the reply and break timestamp ties).
+#[derive(Debug, Clone)]
+pub struct LoggedCmd {
+    /// The command's unique timestamp.
+    pub ts: Timestamp,
+    /// The replica that originated the command.
+    pub origin: ReplicaId,
+    /// The command itself.
+    pub cmd: Command,
+}
+
+impl WireSize for LoggedCmd {
+    fn wire_size(&self) -> usize {
+        16 + self.cmd.wire_size()
+    }
+}
+
+/// The value decided by the reconfiguration consensus for one epoch
+/// (Algorithm 3, line 6): the next configuration, the reconfigurer's last
+/// commit timestamp, and every command logged past it by a majority.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The configuration to install.
+    pub config: Vec<ReplicaId>,
+    /// The reconfigurer's last commit mark; commands at or below it are
+    /// known committed system-wide.
+    pub cts: Timestamp,
+    /// Commands with timestamps greater than `cts` collected from a
+    /// majority — everything that *could* have committed.
+    pub cmds: Vec<LoggedCmd>,
+}
+
+impl WireSize for Decision {
+    fn wire_size(&self) -> usize {
+        16 + 2 * self.config.len()
+            + self.cmds.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+/// Messages exchanged by Clock-RSM replicas.
+///
+/// `Prepare`, `PrepareOk`, and `ClockTime` are the data plane
+/// (Algorithms 1 and 2); the rest implement reconfiguration, state
+/// transfer, and epoch catch-up (Algorithm 3 and Section V-B).
+#[derive(Debug, Clone)]
+pub enum RsmMsg {
+    /// Replication request for a client command (Algorithm 1, line 3).
+    Prepare {
+        /// Sender's current epoch.
+        epoch: Epoch,
+        /// Unique command timestamp assigned by the originating replica.
+        ts: Timestamp,
+        /// The originating replica.
+        origin: ReplicaId,
+        /// The command to replicate.
+        cmd: Command,
+    },
+    /// Logging acknowledgement, broadcast to overlap commit steps
+    /// (Algorithm 1, line 10).
+    PrepareOk {
+        /// Sender's current epoch.
+        epoch: Epoch,
+        /// Timestamp of the command being acknowledged.
+        ts: Timestamp,
+        /// The acknowledging replica's clock at send time — its promise
+        /// never to send a smaller timestamp afterwards.
+        clock_ts: Timestamp,
+    },
+    /// Periodic clock broadcast (Algorithm 2); doubles as the failure
+    /// detector heartbeat.
+    ClockTime {
+        /// Sender's current epoch.
+        epoch: Epoch,
+        /// The sender's latest clock reading.
+        ts: Timestamp,
+    },
+    /// Freeze request starting a reconfiguration (Algorithm 3, line 4).
+    Suspend {
+        /// The epoch the reconfigurer is trying to establish.
+        epoch: Epoch,
+        /// The reconfigurer's last commit mark.
+        cts: Timestamp,
+    },
+    /// Reply to [`Suspend`](RsmMsg::Suspend) carrying all logged commands
+    /// with timestamps greater than the suspend's `cts` (line 10).
+    SuspendOk {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+        /// Logged commands beyond the reconfigurer's commit point.
+        cmds: Vec<LoggedCmd>,
+    },
+    /// A consensus message for the given epoch's reconfiguration decision.
+    Synod {
+        /// The epoch this consensus instance decides.
+        epoch: Epoch,
+        /// The wrapped single-decree Paxos message.
+        msg: SynodMsg<Decision>,
+    },
+    /// State transfer request (Algorithm 3, line 26): fetch commands in
+    /// `(from_ts, to_ts]`.
+    RetrieveCmds {
+        /// Exclusive lower bound.
+        from_ts: Timestamp,
+        /// Inclusive upper bound.
+        to_ts: Timestamp,
+    },
+    /// State transfer response (line 31).
+    RetrieveReply {
+        /// Echo of the request's lower bound.
+        from_ts: Timestamp,
+        /// Echo of the request's upper bound.
+        to_ts: Timestamp,
+        /// The logged commands in range.
+        cmds: Vec<LoggedCmd>,
+    },
+    /// Request for reconfiguration decisions newer than `have_epoch`,
+    /// sent by a replica that notices it lags behind.
+    DecisionRequest {
+        /// The requester's current epoch.
+        have_epoch: Epoch,
+    },
+    /// Catch-up response: the decisions the requester is missing,
+    /// in epoch order.
+    DecisionCatchup {
+        /// `(epoch, decision)` pairs, ascending.
+        decisions: Vec<(Epoch, Decision)>,
+    },
+}
+
+impl WireSize for RsmMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            RsmMsg::Prepare { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            RsmMsg::PrepareOk { .. } | RsmMsg::ClockTime { .. } => MSG_HEADER_BYTES,
+            RsmMsg::Suspend { .. } | RsmMsg::DecisionRequest { .. } => MSG_HEADER_BYTES,
+            RsmMsg::SuspendOk { cmds, .. } => {
+                MSG_HEADER_BYTES + cmds.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+            RsmMsg::Synod { msg, .. } => MSG_HEADER_BYTES + msg.wire_size(),
+            RsmMsg::RetrieveCmds { .. } => MSG_HEADER_BYTES,
+            RsmMsg::RetrieveReply { cmds, .. } => {
+                MSG_HEADER_BYTES + cmds.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+            RsmMsg::DecisionCatchup { decisions } => {
+                MSG_HEADER_BYTES
+                    + decisions
+                        .iter()
+                        .map(|(_, d)| 8 + d.wire_size())
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::ClientId;
+
+    fn cmd(len: usize) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
+            Bytes::from(vec![0u8; len]),
+        )
+    }
+
+    #[test]
+    fn prepare_carries_payload_weight() {
+        let p = RsmMsg::Prepare {
+            epoch: Epoch::ZERO,
+            ts: Timestamp::new(1, ReplicaId::new(0)),
+            origin: ReplicaId::new(0),
+            cmd: cmd(100),
+        };
+        let ok = RsmMsg::PrepareOk {
+            epoch: Epoch::ZERO,
+            ts: Timestamp::new(1, ReplicaId::new(0)),
+            clock_ts: Timestamp::new(2, ReplicaId::new(1)),
+        };
+        assert!(p.wire_size() >= ok.wire_size() + 100);
+    }
+
+    #[test]
+    fn decision_size_scales_with_commands() {
+        let d0 = Decision {
+            config: vec![ReplicaId::new(0)],
+            cts: Timestamp::ZERO,
+            cmds: vec![],
+        };
+        let d2 = Decision {
+            config: vec![ReplicaId::new(0)],
+            cts: Timestamp::ZERO,
+            cmds: vec![
+                LoggedCmd {
+                    ts: Timestamp::ZERO,
+                    origin: ReplicaId::new(0),
+                    cmd: cmd(10),
+                },
+                LoggedCmd {
+                    ts: Timestamp::ZERO,
+                    origin: ReplicaId::new(0),
+                    cmd: cmd(10),
+                },
+            ],
+        };
+        assert!(d2.wire_size() > d0.wire_size() + 20);
+    }
+}

@@ -1,0 +1,196 @@
+//! Checkpointing (Section V-B): recovery restores the latest snapshot and
+//! replays only the log suffix, instead of re-executing everything.
+
+use bytes::Bytes;
+use clock_rsm::{ClockRsm, ClockRsmConfig, LogRec, RsmMsg};
+use rsm_core::command::{Command, CommandId, Committed};
+use rsm_core::config::{Epoch, Membership};
+use rsm_core::id::{ClientId, ReplicaId};
+use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::time::{Micros, Timestamp};
+
+/// A context whose "state machine" is an append-only list of executed
+/// sequence numbers, with snapshot/restore support.
+struct CtxWithSm {
+    clock: Micros,
+    log: Vec<LogRec>,
+    executed: Vec<u64>,
+    commits: Vec<Committed>,
+    support_snapshots: bool,
+}
+
+impl CtxWithSm {
+    fn new(support_snapshots: bool) -> Self {
+        CtxWithSm {
+            clock: 1_000,
+            log: Vec::new(),
+            executed: Vec::new(),
+            commits: Vec::new(),
+            support_snapshots,
+        }
+    }
+}
+
+impl Context<ClockRsm> for CtxWithSm {
+    fn clock(&mut self) -> Micros {
+        self.clock += 1;
+        self.clock
+    }
+    fn send(&mut self, _to: ReplicaId, _msg: RsmMsg) {}
+    fn log_append(&mut self, rec: LogRec) {
+        self.log.push(rec);
+    }
+    fn log_rewrite(&mut self, recs: Vec<LogRec>) {
+        self.log = recs;
+    }
+    fn commit(&mut self, c: Committed) {
+        self.executed.push(c.cmd.id.seq);
+        self.commits.push(c);
+    }
+    fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
+    fn sm_snapshot(&mut self) -> Option<Bytes> {
+        if !self.support_snapshots {
+            return None;
+        }
+        let mut buf = Vec::new();
+        for s in &self.executed {
+            buf.extend_from_slice(&s.to_be_bytes());
+        }
+        Some(Bytes::from(buf))
+    }
+    fn sm_install(&mut self, snapshot: Bytes) -> bool {
+        if !self.support_snapshots {
+            return false;
+        }
+        self.executed = snapshot
+            .chunks(8)
+            .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunks")))
+            .collect();
+        true
+    }
+}
+
+fn r(i: u16) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+fn cmd(seq: u64) -> Command {
+    Command::new(
+        CommandId::new(ClientId::new(r(0), 0), seq),
+        Bytes::from_static(b"x"),
+    )
+}
+
+fn replica(checkpoint_every: Option<u64>) -> ClockRsm {
+    ClockRsm::new(
+        r(2),
+        Membership::uniform(3),
+        ClockRsmConfig::default()
+            .with_delta_us(None)
+            .with_checkpoint_every(checkpoint_every),
+    )
+}
+
+/// Drives `count` full commits through a replica by hand.
+fn commit_n(p: &mut ClockRsm, ctx: &mut CtxWithSm, count: u64) {
+    for seq in 1..=count {
+        let ts = Timestamp::new(10_000 * seq, r(0));
+        p.on_message(
+            r(0),
+            RsmMsg::Prepare {
+                epoch: Epoch::ZERO,
+                ts,
+                origin: r(0),
+                cmd: cmd(seq),
+            },
+            ctx,
+        );
+        for k in 0..3u16 {
+            p.on_message(
+                r(k),
+                RsmMsg::PrepareOk {
+                    epoch: Epoch::ZERO,
+                    ts,
+                    clock_ts: Timestamp::new(ts.micros() + 10 + k as u64, r(k)),
+                },
+                ctx,
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoints_are_written_at_the_interval() {
+    let mut p = replica(Some(3));
+    let mut ctx = CtxWithSm::new(true);
+    commit_n(&mut p, &mut ctx, 7);
+    let checkpoints: Vec<&LogRec> = ctx
+        .log
+        .iter()
+        .filter(|l| matches!(l, LogRec::Checkpoint { .. }))
+        .collect();
+    assert_eq!(checkpoints.len(), 2, "7 commits at interval 3 -> 2 checkpoints");
+    match checkpoints[1] {
+        LogRec::Checkpoint { ts, state, .. } => {
+            assert_eq!(ts.micros(), 60_000, "second checkpoint covers commit 6");
+            assert_eq!(state.len(), 6 * 8);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn recovery_restores_snapshot_and_replays_only_suffix() {
+    let mut p = replica(Some(3));
+    let mut ctx = CtxWithSm::new(true);
+    commit_n(&mut p, &mut ctx, 7);
+    let log = ctx.log.clone();
+
+    // Fresh replica + fresh context: recover from the log.
+    let mut p2 = replica(Some(3));
+    let mut ctx2 = CtxWithSm::new(true);
+    p2.on_recover(&log, &mut ctx2);
+
+    // The snapshot restored commands 1..=6; only command 7 was replayed.
+    assert_eq!(ctx2.executed, vec![1, 2, 3, 4, 5, 6, 7]);
+    assert_eq!(ctx2.commits.len(), 1, "only the suffix is re-executed");
+    assert_eq!(ctx2.commits[0].cmd.id.seq, 7);
+    assert_eq!(p2.last_committed_ts().micros(), 70_000);
+}
+
+#[test]
+fn recovery_without_snapshot_support_replays_everything() {
+    let mut p = replica(Some(3));
+    let mut ctx = CtxWithSm::new(true);
+    commit_n(&mut p, &mut ctx, 7);
+    let log = ctx.log.clone();
+
+    // The recovering driver cannot restore snapshots: full replay.
+    let mut p2 = replica(Some(3));
+    let mut ctx2 = CtxWithSm::new(false);
+    p2.on_recover(&log, &mut ctx2);
+    assert_eq!(ctx2.executed, vec![1, 2, 3, 4, 5, 6, 7]);
+    assert_eq!(ctx2.commits.len(), 7);
+}
+
+#[test]
+fn no_checkpoints_without_configuration() {
+    let mut p = replica(None);
+    let mut ctx = CtxWithSm::new(true);
+    commit_n(&mut p, &mut ctx, 10);
+    assert!(
+        !ctx.log.iter().any(|l| matches!(l, LogRec::Checkpoint { .. })),
+        "checkpointing must be opt-in"
+    );
+}
+
+#[test]
+fn snapshotless_driver_never_receives_checkpoint_records() {
+    let mut p = replica(Some(2));
+    let mut ctx = CtxWithSm::new(false);
+    commit_n(&mut p, &mut ctx, 6);
+    assert!(
+        !ctx.log.iter().any(|l| matches!(l, LogRec::Checkpoint { .. })),
+        "no snapshots -> no checkpoint records"
+    );
+}

@@ -1,0 +1,72 @@
+//! Error types shared across the workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::id::ReplicaId;
+
+/// Convenient result alias for fallible protocol-facing operations.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+/// Errors surfaced by replication protocols and their drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A request was routed to a replica that is not in the active
+    /// configuration (e.g. it has been removed by reconfiguration).
+    NotInConfig(ReplicaId),
+    /// The replica is currently frozen by an in-flight reconfiguration
+    /// (Algorithm 3, line 8) and cannot accept new requests.
+    Reconfiguring,
+    /// The replica has crashed (simulation) or shut down (runtime).
+    Stopped,
+    /// A message referred to an unknown replica id.
+    UnknownReplica(ReplicaId),
+    /// The simulated stable storage rejected a write (injected fault).
+    StorageFailed,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NotInConfig(r) => {
+                write!(f, "replica {r} is not in the active configuration")
+            }
+            ProtocolError::Reconfiguring => {
+                write!(f, "replica is frozen by an in-flight reconfiguration")
+            }
+            ProtocolError::Stopped => write!(f, "replica is stopped"),
+            ProtocolError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+            ProtocolError::StorageFailed => write!(f, "stable storage write failed"),
+        }
+    }
+}
+
+impl StdError for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let cases: Vec<ProtocolError> = vec![
+            ProtocolError::NotInConfig(ReplicaId::new(1)),
+            ProtocolError::Reconfiguring,
+            ProtocolError::Stopped,
+            ProtocolError::UnknownReplica(ReplicaId::new(2)),
+            ProtocolError::StorageFailed,
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("replica"));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<ProtocolError>();
+    }
+}

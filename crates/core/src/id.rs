@@ -1,0 +1,151 @@
+//! Identifiers for replicas and clients.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a replica within the system specification (`Spec`).
+///
+/// Replica ids are small dense integers assigned by the system administrator
+/// when the specification is written; they double as indices into the
+/// wide-area latency matrix and as the tie-breaker of [`Timestamp`]s
+/// (Section III of the paper: "ties are resolved by using the id of the
+/// command's originating replica").
+///
+/// [`Timestamp`]: crate::time::Timestamp
+///
+/// # Examples
+///
+/// ```
+/// use rsm_core::ReplicaId;
+/// let r = ReplicaId::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert!(ReplicaId::new(1) < ReplicaId::new(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(u16);
+
+impl ReplicaId {
+    /// Creates a replica id from its dense index.
+    pub const fn new(index: u16) -> Self {
+        ReplicaId(index)
+    }
+
+    /// Returns the dense index of this replica, usable as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u16> for ReplicaId {
+    fn from(v: u16) -> Self {
+        ReplicaId(v)
+    }
+}
+
+/// Identifier of a client.
+///
+/// Following the paper's geo-replication model (Section II-C), clients are
+/// application servers *local* to one replica's data center: a client id is
+/// the pair of its home replica and a per-site client number.
+///
+/// # Examples
+///
+/// ```
+/// use rsm_core::{ClientId, ReplicaId};
+/// let c = ClientId::new(ReplicaId::new(2), 13);
+/// assert_eq!(c.site(), ReplicaId::new(2));
+/// assert_eq!(c.number(), 13);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId {
+    site: ReplicaId,
+    number: u32,
+}
+
+impl ClientId {
+    /// Creates a client id for the `number`-th client at `site`.
+    pub fn new(site: ReplicaId, number: u32) -> Self {
+        ClientId { site, number }
+    }
+
+    /// The replica (data center) this client is local to.
+    pub fn site(self) -> ReplicaId {
+        self.site
+    }
+
+    /// The per-site client number.
+    pub fn number(self) -> u32 {
+        self.number
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}@{}", self.number, self.site)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}@{}", self.number, self.site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_id_roundtrip() {
+        let r = ReplicaId::new(42);
+        assert_eq!(r.index(), 42);
+        assert_eq!(r.as_u16(), 42);
+        assert_eq!(ReplicaId::from(42u16), r);
+    }
+
+    #[test]
+    fn replica_id_ordering_is_by_index() {
+        let mut ids: Vec<ReplicaId> = (0..5).rev().map(ReplicaId::new).collect();
+        ids.sort();
+        assert_eq!(ids, (0..5).map(ReplicaId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replica_id_display() {
+        assert_eq!(ReplicaId::new(3).to_string(), "r3");
+        assert_eq!(format!("{:?}", ReplicaId::new(3)), "r3");
+    }
+
+    #[test]
+    fn client_id_accessors_and_display() {
+        let c = ClientId::new(ReplicaId::new(1), 9);
+        assert_eq!(c.site(), ReplicaId::new(1));
+        assert_eq!(c.number(), 9);
+        assert_eq!(c.to_string(), "c9@r1");
+    }
+
+    #[test]
+    fn client_id_ordering_groups_by_site() {
+        let a = ClientId::new(ReplicaId::new(0), 99);
+        let b = ClientId::new(ReplicaId::new(1), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,63 @@
+//! # rsm-core
+//!
+//! Shared vocabulary types and the **sans-io protocol abstraction** used by
+//! the Clock-RSM reproduction (Du et al., DSN 2014).
+//!
+//! Every replication protocol in this workspace — [Clock-RSM], Multi-Paxos,
+//! Paxos-bcast, and Mencius-bcast — is written as a deterministic,
+//! event-driven state machine implementing the [`Protocol`] trait. A protocol
+//! never touches a socket, a disk, or a wall clock directly: all its
+//! interactions with the outside world go through a [`Context`], which the
+//! embedding driver provides. Two drivers exist in this workspace:
+//!
+//! * `simnet` — a deterministic discrete-event simulator with virtual time,
+//!   a configurable wide-area latency matrix, loosely synchronized physical
+//!   clocks, stable storage, and fault injection. All paper experiments run
+//!   on it.
+//! * `rsm-runtime` — a threaded real-time runtime that emulates WAN latency
+//!   with real delays, demonstrating that the same protocol cores run
+//!   unmodified outside the simulator.
+//!
+//! The split mirrors the paper's model (Section II): an asynchronous message
+//! passing system, FIFO channels, crash-recovery failures, stable storage,
+//! and loosely synchronized physical clocks whose precision affects only
+//! performance, never safety.
+//!
+//! [Clock-RSM]: https://doi.org/10.1109/DSN.2014.42
+//!
+//! ## Example
+//!
+//! ```
+//! use rsm_core::{Command, CommandId, ClientId, ReplicaId, Timestamp};
+//! use bytes::Bytes;
+//!
+//! let origin = ReplicaId::new(0);
+//! let client = ClientId::new(origin, 7);
+//! let cmd = Command::new(CommandId::new(client, 1), Bytes::from_static(b"put k v"));
+//! let ts = Timestamp::new(1_000_000, origin);
+//! assert!(ts < Timestamp::new(1_000_000, ReplicaId::new(1)));
+//! assert_eq!(cmd.id.client, client);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod command;
+pub mod config;
+pub mod error;
+pub mod id;
+pub mod matrix;
+pub mod protocol;
+pub mod sm;
+pub mod time;
+pub mod wire;
+
+pub use command::{Command, CommandId, Committed, Reply};
+pub use config::{Epoch, Membership};
+pub use error::{ProtocolError, Result};
+pub use id::{ClientId, ReplicaId};
+pub use matrix::LatencyMatrix;
+pub use protocol::{Context, Protocol, TimerToken};
+pub use sm::StateMachine;
+pub use time::{Micros, Timestamp};
+pub use wire::WireSize;

@@ -1,0 +1,258 @@
+//! The sans-io protocol abstraction.
+//!
+//! A replication protocol is a deterministic state machine driven by four
+//! kinds of events — startup, client requests, peer messages, and timers —
+//! and it reacts by invoking operations on a [`Context`]: reading its local
+//! physical clock, sending messages, appending to its stable log, committing
+//! commands, and arming timers.
+//!
+//! The embedding driver (the `simnet` simulator or the threaded
+//! `rsm-runtime`) owns the transport, the clock, and the stable storage, and
+//! is responsible for:
+//!
+//! * delivering messages FIFO per sender→receiver pair (the paper's channel
+//!   assumption, Section II-A);
+//! * delivering self-addressed messages (a protocol broadcasting "to all
+//!   replicas in Config" includes itself, as in the paper's pseudocode);
+//! * applying committed commands to the replicated state machine in the
+//!   exact order [`Context::commit`] was called, and replying to the client
+//!   when the committed command originated at this replica;
+//! * persisting appended log records so they survive crash/recovery.
+
+use std::fmt;
+
+use crate::command::{Command, Committed};
+use crate::id::ReplicaId;
+use crate::time::Micros;
+
+/// A protocol-chosen timer discriminant, echoed back in
+/// [`Protocol::on_timer`] when the timer fires.
+///
+/// Protocols encode what the timer means in the value (e.g. "CLOCKTIME
+/// broadcast due", "ack for timestamp t can now be sent"). Timers are
+/// one-shot; periodic behaviour is obtained by re-arming.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerToken(pub u64);
+
+impl fmt::Debug for TimerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer({})", self.0)
+    }
+}
+
+/// The environment a protocol runs in. Implemented by drivers; used by
+/// protocols.
+///
+/// All methods take `&mut self` because the driver records effects (and the
+/// clock applies a monotonicity bump on every read).
+pub trait Context<P: Protocol + ?Sized> {
+    /// Reads this replica's **physical clock**, in microseconds.
+    ///
+    /// The clock is loosely synchronized across replicas (e.g. by NTP) and
+    /// strictly monotonic: repeated reads return strictly increasing values.
+    /// Nothing about protocol *safety* may depend on the synchronization
+    /// quality — only latency may (the paper's central design rule).
+    fn clock(&mut self) -> Micros;
+
+    /// Sends `msg` to replica `to`. Sending to self is allowed and is
+    /// delivered like any other message (with near-zero latency), so
+    /// protocol code can broadcast "to all replicas in Config" exactly as
+    /// the paper's pseudocode does.
+    fn send(&mut self, to: ReplicaId, msg: P::Msg);
+
+    /// Appends a record to this replica's stable log. The record is durable
+    /// once the call returns (the simulator models write latency by
+    /// scheduling, the runtime by synchronous appends).
+    fn log_append(&mut self, rec: P::LogRec);
+
+    /// Rewrites the entire stable log. Only the reconfiguration protocol
+    /// uses this (Algorithm 3 removes un-executed `PREPARE` records beyond
+    /// the decided timestamp); normal operation is append-only.
+    fn log_rewrite(&mut self, recs: Vec<P::LogRec>);
+
+    /// Hands a decided command to the state machine for execution.
+    ///
+    /// Must be called in execution order; the driver applies commands
+    /// serially and replies to the issuing client if `committed.origin`
+    /// is this replica.
+    fn commit(&mut self, committed: Committed);
+
+    /// Arms a one-shot timer that fires `after` microseconds from now,
+    /// delivering `token` to [`Protocol::on_timer`].
+    fn set_timer(&mut self, after: Micros, token: TimerToken);
+
+    /// Takes a snapshot of the replicated state machine, if the driver
+    /// supports it. Used by protocols implementing checkpointing
+    /// (Section V-B of the paper); the default returns `None`, which
+    /// simply disables the optimization.
+    fn sm_snapshot(&mut self) -> Option<bytes::Bytes> {
+        None
+    }
+
+    /// Restores the replicated state machine from a checkpoint snapshot
+    /// during recovery. Returns false (checkpoint ignored, full replay
+    /// required) when the driver does not support snapshots.
+    fn sm_install(&mut self, _snapshot: bytes::Bytes) -> bool {
+        false
+    }
+}
+
+/// A replication protocol, written sans-io.
+///
+/// Implementations in this workspace: `clock_rsm::ClockRsm`,
+/// `paxos::MultiPaxos` (plain and bcast), `mencius::MenciusBcast`.
+///
+/// Determinism contract: given the same sequence of callback invocations
+/// with the same arguments and the same `Context` responses, a protocol must
+/// perform the same `Context` calls. This is what makes simulation runs
+/// reproducible and lets the property tests explore schedules.
+pub trait Protocol {
+    /// Wire message type exchanged between replicas of this protocol.
+    type Msg: Clone + fmt::Debug + Send + crate::wire::WireSize + 'static;
+
+    /// Stable log record type of this protocol.
+    type LogRec: Clone + fmt::Debug + Send + 'static;
+
+    /// This replica's id.
+    fn id(&self) -> ReplicaId;
+
+    /// Invoked once when the replica starts (or restarts after recovery),
+    /// before any other event. Protocols arm their periodic timers here.
+    fn on_start(&mut self, ctx: &mut dyn Context<Self>);
+
+    /// A local client submitted `cmd` for replication (the paper's
+    /// `⟨REQUEST cmd⟩`).
+    fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>);
+
+    /// A message arrived from replica `from` (possibly self).
+    fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self>);
+
+    /// A timer armed via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self>);
+
+    /// The replica restarted after a crash with its stable log intact.
+    /// `log` is the full sequence of records appended before the crash.
+    /// Protocols rebuild volatile state; commands already known committed
+    /// must be re-committed (in order) so the driver can rebuild the state
+    /// machine.
+    fn on_recover(&mut self, log: &[Self::LogRec], ctx: &mut dyn Context<Self>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandId;
+    use crate::id::ClientId;
+    use bytes::Bytes;
+
+    /// A trivial protocol that commits every request immediately; exercises
+    /// the trait surface and documents the driver contract in miniature.
+    struct Echo {
+        id: ReplicaId,
+        order: u64,
+    }
+
+    impl Protocol for Echo {
+        type Msg = ();
+        type LogRec = Command;
+
+        fn id(&self) -> ReplicaId {
+            self.id
+        }
+        fn on_start(&mut self, ctx: &mut dyn Context<Self>) {
+            ctx.set_timer(5, TimerToken(1));
+        }
+        fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+            ctx.log_append(cmd.clone());
+            self.order += 1;
+            ctx.commit(Committed {
+                cmd,
+                origin: self.id,
+                order_hint: self.order,
+            });
+        }
+        fn on_message(&mut self, _: ReplicaId, _: (), _: &mut dyn Context<Self>) {}
+        fn on_timer(&mut self, _: TimerToken, _: &mut dyn Context<Self>) {}
+        fn on_recover(&mut self, log: &[Command], ctx: &mut dyn Context<Self>) {
+            for cmd in log {
+                self.order += 1;
+                ctx.commit(Committed {
+                    cmd: cmd.clone(),
+                    origin: self.id,
+                    order_hint: self.order,
+                });
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct RecordingCtx {
+        now: Micros,
+        log: Vec<Command>,
+        committed: Vec<Committed>,
+        timers: Vec<(Micros, TimerToken)>,
+    }
+
+    impl Context<Echo> for RecordingCtx {
+        fn clock(&mut self) -> Micros {
+            self.now += 1;
+            self.now
+        }
+        fn send(&mut self, _to: ReplicaId, _msg: ()) {}
+        fn log_append(&mut self, rec: Command) {
+            self.log.push(rec);
+        }
+        fn log_rewrite(&mut self, recs: Vec<Command>) {
+            self.log = recs;
+        }
+        fn commit(&mut self, c: Committed) {
+            self.committed.push(c);
+        }
+        fn set_timer(&mut self, after: Micros, token: TimerToken) {
+            self.timers.push((after, token));
+        }
+    }
+
+    fn cmd(seq: u64) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            Bytes::from_static(b"x"),
+        )
+    }
+
+    #[test]
+    fn echo_protocol_commits_immediately() {
+        let mut p = Echo {
+            id: ReplicaId::new(0),
+            order: 0,
+        };
+        let mut ctx = RecordingCtx::default();
+        p.on_start(&mut ctx);
+        assert_eq!(ctx.timers, vec![(5, TimerToken(1))]);
+        p.on_client_request(cmd(1), &mut ctx);
+        p.on_client_request(cmd(2), &mut ctx);
+        assert_eq!(ctx.committed.len(), 2);
+        assert!(ctx.committed[0].order_hint < ctx.committed[1].order_hint);
+        assert_eq!(ctx.log.len(), 2);
+    }
+
+    #[test]
+    fn echo_protocol_recovers_from_log() {
+        let mut p = Echo {
+            id: ReplicaId::new(0),
+            order: 0,
+        };
+        let mut ctx = RecordingCtx::default();
+        let log = vec![cmd(1), cmd(2), cmd(3)];
+        p.on_recover(&log, &mut ctx);
+        assert_eq!(ctx.committed.len(), 3);
+    }
+
+    #[test]
+    fn recording_clock_is_strictly_monotonic() {
+        let mut ctx = RecordingCtx::default();
+        let a = Context::<Echo>::clock(&mut ctx);
+        let b = Context::<Echo>::clock(&mut ctx);
+        assert!(b > a);
+    }
+}

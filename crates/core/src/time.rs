@@ -1,0 +1,177 @@
+//! Physical time and command timestamps.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::ReplicaId;
+
+/// Microseconds, the time unit used throughout the workspace.
+///
+/// Both virtual simulation time and physical clock readings are expressed in
+/// microseconds. One-way wide-area latencies are tens of milliseconds, clock
+/// skews are sub-millisecond, so microsecond resolution leaves three orders
+/// of magnitude of headroom in both directions.
+pub type Micros = u64;
+
+/// Number of microseconds in one millisecond.
+pub const MILLIS: Micros = 1_000;
+
+/// Number of microseconds in one second.
+pub const SECONDS: Micros = 1_000_000;
+
+/// A Clock-RSM command timestamp: a physical clock reading paired with the
+/// originating replica's id as a tie-breaker.
+///
+/// Timestamps form the *total order* in which every replica executes
+/// commands (Section III-B, step 1 of the paper): they are compared first by
+/// clock value, then by replica id, so two distinct replicas can never
+/// produce equal timestamps for different commands.
+///
+/// # Examples
+///
+/// ```
+/// use rsm_core::{ReplicaId, Timestamp};
+/// let a = Timestamp::new(5_000, ReplicaId::new(0));
+/// let b = Timestamp::new(5_000, ReplicaId::new(1));
+/// let c = Timestamp::new(5_001, ReplicaId::new(0));
+/// assert!(a < b); // tie on clock value broken by replica id
+/// assert!(b < c); // clock value dominates
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp {
+    micros: Micros,
+    replica: ReplicaId,
+}
+
+impl Timestamp {
+    /// The smallest possible timestamp; strictly less than any clock reading.
+    pub const ZERO: Timestamp = Timestamp {
+        micros: 0,
+        replica: ReplicaId::new(0),
+    };
+
+    /// Creates a timestamp from a clock reading and the issuing replica.
+    pub fn new(micros: Micros, replica: ReplicaId) -> Self {
+        Timestamp { micros, replica }
+    }
+
+    /// The physical clock reading, in microseconds.
+    pub fn micros(self) -> Micros {
+        self.micros
+    }
+
+    /// The replica id used as the tie-breaker.
+    pub fn replica(self) -> ReplicaId {
+        self.replica
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us.{}", self.micros, self.replica)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A monotonically increasing wrapper over a physical clock reading.
+///
+/// Algorithm 1 of the paper requires replicas to send `PREPARE`,
+/// `PREPAREOK`, and `CLOCKTIME` messages in strictly increasing timestamp
+/// order. A raw clock is only non-decreasing (and in a simulation, several
+/// events can share the same instant), so every replica pipes its clock
+/// readings through one `MonotonicStamper`, which bumps repeated readings by
+/// one microsecond.
+///
+/// # Examples
+///
+/// ```
+/// use rsm_core::time::MonotonicStamper;
+/// let mut s = MonotonicStamper::new();
+/// let a = s.stamp(1_000);
+/// let b = s.stamp(1_000); // same raw reading
+/// let c = s.stamp(900);   // clock went backwards (should not happen, but safe)
+/// assert!(a < b && b < c);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MonotonicStamper {
+    last: Option<Micros>,
+}
+
+impl MonotonicStamper {
+    /// Creates a stamper that has issued no timestamps yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts a raw clock reading into a strictly increasing one.
+    pub fn stamp(&mut self, raw: Micros) -> Micros {
+        let next = match self.last {
+            Some(last) => raw.max(last + 1),
+            None => raw,
+        };
+        self.last = Some(next);
+        next
+    }
+
+    /// The most recently issued value, if any.
+    pub fn last(&self) -> Option<Micros> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_total_order() {
+        let a = Timestamp::new(1, ReplicaId::new(2));
+        let b = Timestamp::new(2, ReplicaId::new(0));
+        let c = Timestamp::new(2, ReplicaId::new(1));
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn timestamp_zero_is_minimal() {
+        let t = Timestamp::new(0, ReplicaId::new(0));
+        assert_eq!(Timestamp::ZERO, t);
+        assert!(Timestamp::ZERO <= Timestamp::new(0, ReplicaId::new(1)));
+        assert!(Timestamp::ZERO <= Timestamp::new(1, ReplicaId::new(0)));
+    }
+
+    #[test]
+    fn timestamp_accessors() {
+        let t = Timestamp::new(77, ReplicaId::new(3));
+        assert_eq!(t.micros(), 77);
+        assert_eq!(t.replica(), ReplicaId::new(3));
+        assert_eq!(format!("{t}"), "77us.r3");
+    }
+
+    #[test]
+    fn stamper_strictly_increases() {
+        let mut s = MonotonicStamper::new();
+        let mut prev = s.stamp(10);
+        for raw in [10, 10, 9, 11, 11, 5, 100] {
+            let next = s.stamp(raw);
+            assert!(next > prev, "{next} should exceed {prev}");
+            prev = next;
+        }
+        assert_eq!(s.last(), Some(prev));
+    }
+
+    #[test]
+    fn stamper_passes_through_advancing_clock() {
+        let mut s = MonotonicStamper::new();
+        assert_eq!(s.stamp(5), 5);
+        assert_eq!(s.stamp(9), 9);
+        assert_eq!(s.stamp(20), 20);
+    }
+}

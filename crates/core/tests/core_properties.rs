@@ -1,0 +1,94 @@
+//! Property tests for the core vocabulary types: timestamp total order,
+//! monotonic stamping, and latency-matrix helper consistency.
+
+use proptest::prelude::*;
+use rsm_core::time::MonotonicStamper;
+use rsm_core::{LatencyMatrix, ReplicaId, Timestamp};
+
+proptest! {
+    /// Timestamps form a strict total order: distinct (micros, replica)
+    /// pairs always compare unequal, and ordering is transitive with
+    /// micros dominant.
+    #[test]
+    fn timestamps_total_order(
+        pairs in proptest::collection::vec((0u64..1_000_000, 0u16..16), 2..50),
+    ) {
+        let ts: Vec<Timestamp> = pairs
+            .iter()
+            .map(|&(m, r)| Timestamp::new(m, ReplicaId::new(r)))
+            .collect();
+        for a in &ts {
+            for b in &ts {
+                // Strict totality: exactly one of <, ==, > holds.
+                let lt = a < b;
+                let gt = a > b;
+                let eq = a == b;
+                prop_assert_eq!(1, lt as u8 + gt as u8 + eq as u8);
+                // Equality iff both fields agree.
+                prop_assert_eq!(
+                    eq,
+                    a.micros() == b.micros() && a.replica() == b.replica()
+                );
+                // micros dominates replica.
+                if a.micros() < b.micros() {
+                    prop_assert!(a < b);
+                }
+            }
+        }
+    }
+
+    /// The monotonic stamper is strictly increasing for ANY raw input
+    /// sequence, and is the identity on strictly increasing inputs.
+    #[test]
+    fn stamper_invariants(raws in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut s = MonotonicStamper::new();
+        let mut prev = None;
+        for &raw in &raws {
+            let v = s.stamp(raw);
+            prop_assert!(v >= raw, "stamp never lags the clock");
+            if let Some(p) = prev {
+                prop_assert!(v > p, "stamps strictly increase");
+            }
+            prev = Some(v);
+        }
+        // Identity on strictly increasing inputs.
+        let mut s2 = MonotonicStamper::new();
+        let mut sorted: Vec<u64> = raws.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &raw in &sorted {
+            prop_assert_eq!(s2.stamp(raw), raw);
+        }
+    }
+
+    /// Matrix helpers agree with first-principles recomputation.
+    #[test]
+    fn matrix_helpers_from_first_principles(
+        vals in proptest::collection::vec(1u64..100_000, 10), // C(5,2)
+        r in 0u16..5,
+    ) {
+        let n = 5;
+        let mut m = vec![vec![0u64; n]; n];
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = it.next().expect("10 values");
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        let matrix = LatencyMatrix::from_one_way_micros(m.clone());
+        let r_id = ReplicaId::new(r);
+        let mut dists: Vec<u64> = m[r as usize].clone();
+        dists.sort_unstable();
+        prop_assert_eq!(matrix.median_from(r_id), dists[n / 2]);
+        prop_assert_eq!(matrix.max_from(r_id), *dists.last().expect("non-empty"));
+        // The majority interpretation: at least ⌈(n+1)/2⌉ replicas
+        // (including r itself) are within median_from.
+        let within = m[r as usize]
+            .iter()
+            .filter(|&&d| d <= matrix.median_from(r_id))
+            .count();
+        prop_assert!(within >= n / 2 + 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Protocol selection for experiments.
+
+use clock_rsm::ClockRsmConfig;
+use rsm_core::id::ReplicaId;
+
+/// Which replication protocol an experiment runs, with its parameters.
+///
+/// # Examples
+///
+/// ```
+/// use harness::ProtocolChoice;
+/// let p = ProtocolChoice::paxos_bcast(1);
+/// assert_eq!(p.name(), "Paxos-bcast");
+/// ```
+#[derive(Debug, Clone)]
+pub enum ProtocolChoice {
+    /// Clock-RSM with the given replica configuration.
+    ClockRsm {
+        /// Replica tuning (Δ, failure detection, retries).
+        cfg: ClockRsmConfig,
+    },
+    /// Plain Multi-Paxos with a designated leader.
+    Paxos {
+        /// The stable leader.
+        leader: ReplicaId,
+    },
+    /// Paxos with broadcast phase 2b.
+    PaxosBcast {
+        /// The stable leader.
+        leader: ReplicaId,
+    },
+    /// Mencius with broadcast acknowledgements.
+    MenciusBcast,
+}
+
+impl ProtocolChoice {
+    /// Clock-RSM with the paper's defaults (Δ = 5 ms, no failure
+    /// detection).
+    pub fn clock_rsm() -> Self {
+        ProtocolChoice::ClockRsm {
+            cfg: ClockRsmConfig::default(),
+        }
+    }
+
+    /// Clock-RSM with a custom configuration.
+    pub fn clock_rsm_with(cfg: ClockRsmConfig) -> Self {
+        ProtocolChoice::ClockRsm { cfg }
+    }
+
+    /// Plain Paxos with the leader at replica index `leader`.
+    pub fn paxos(leader: u16) -> Self {
+        ProtocolChoice::Paxos {
+            leader: ReplicaId::new(leader),
+        }
+    }
+
+    /// Paxos-bcast with the leader at replica index `leader`.
+    pub fn paxos_bcast(leader: u16) -> Self {
+        ProtocolChoice::PaxosBcast {
+            leader: ReplicaId::new(leader),
+        }
+    }
+
+    /// Mencius-bcast.
+    pub fn mencius() -> Self {
+        ProtocolChoice::MenciusBcast
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolChoice::ClockRsm { .. } => "Clock-RSM",
+            ProtocolChoice::Paxos { .. } => "Paxos",
+            ProtocolChoice::PaxosBcast { .. } => "Paxos-bcast",
+            ProtocolChoice::MenciusBcast => "Mencius-bcast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(ProtocolChoice::clock_rsm().name(), "Clock-RSM");
+        assert_eq!(ProtocolChoice::paxos(0).name(), "Paxos");
+        assert_eq!(ProtocolChoice::paxos_bcast(0).name(), "Paxos-bcast");
+        assert_eq!(ProtocolChoice::mencius().name(), "Mencius-bcast");
+    }
+
+    #[test]
+    fn leaders_are_recorded() {
+        match ProtocolChoice::paxos_bcast(3) {
+            ProtocolChoice::PaxosBcast { leader } => assert_eq!(leader, ReplicaId::new(3)),
+            _ => unreachable!(),
+        }
+    }
+}

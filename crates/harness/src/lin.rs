@@ -1,0 +1,327 @@
+//! Correctness checkers: total order, monotonic execution, real-time
+//! (linearizability) order, and replica convergence.
+//!
+//! The paper proves (appendix, Claims 1–5) that Clock-RSM executions are
+//! linearizable: all replicas execute the same commands in the same order,
+//! and that order respects the real-time order of client operations. These
+//! checkers verify exactly those properties on simulation histories, for
+//! all four protocols.
+
+use std::collections::HashMap;
+
+use rsm_core::command::CommandId;
+use rsm_core::time::Micros;
+use simnet::sim::CommitRecord;
+
+/// One client operation's real-time interval, recorded by the workload.
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// The command's identity.
+    pub cmd_id: CommandId,
+    /// When the client issued the command (virtual time).
+    pub issued: Micros,
+    /// When the reply reached the client, if it did.
+    pub replied: Option<Micros>,
+}
+
+/// The outcome of all history checks; every flag should be true.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Every pair of replica histories agrees on a common prefix.
+    pub total_order_ok: bool,
+    /// Execution order coordinates strictly increase at every replica.
+    pub monotonic_ok: bool,
+    /// The commit order respects the real-time order of client operations.
+    pub real_time_ok: bool,
+    /// No command executed twice at any replica.
+    pub no_duplicates_ok: bool,
+    /// Human-readable description of the first violation found, if any.
+    pub violation: Option<String>,
+}
+
+impl CheckReport {
+    /// Whether every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.total_order_ok && self.monotonic_ok && self.real_time_ok && self.no_duplicates_ok
+    }
+}
+
+/// Checks that all replica histories are consistent fragments of one
+/// total order (the paper's Claim 2).
+///
+/// Histories normally start at position zero and the check degenerates to
+/// prefix consistency. A replica that recovered from a **checkpoint**
+/// replays only the suffix past its snapshot, so its history may begin
+/// mid-stream: the checker aligns each pair of histories on the first
+/// common command and requires them to agree from there on.
+pub fn check_total_order(histories: &[Vec<CommitRecord>]) -> Result<(), String> {
+    for (i, a) in histories.iter().enumerate() {
+        for (j, b) in histories.iter().enumerate().skip(i + 1) {
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            // Align on b's first command within a, or a's first within b.
+            let (off_a, off_b) = if let Some(p) = a.iter().position(|r| r.cmd_id == b[0].cmd_id)
+            {
+                (p, 0)
+            } else if let Some(p) = b.iter().position(|r| r.cmd_id == a[0].cmd_id) {
+                (0, p)
+            } else {
+                continue; // disjoint windows: nothing to compare
+            };
+            let common = (a.len() - off_a).min(b.len() - off_b);
+            for k in 0..common {
+                if a[off_a + k].cmd_id != b[off_b + k].cmd_id {
+                    return Err(format!(
+                        "total order violation: offset {k} after alignment differs \
+                         between replica {i} ({:?}) and replica {j} ({:?})",
+                        a[off_a + k].cmd_id, b[off_b + k].cmd_id
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that each replica's execution-order coordinates strictly
+/// increase (Claim 1 — commands execute in timestamp/instance order).
+pub fn check_monotonic(histories: &[Vec<CommitRecord>]) -> Result<(), String> {
+    for (i, h) in histories.iter().enumerate() {
+        for w in h.windows(2) {
+            if w[0].order_hint >= w[1].order_hint {
+                return Err(format!(
+                    "monotonicity violation at replica {i}: {} then {}",
+                    w[0].order_hint, w[1].order_hint
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that no command appears twice in any replica's history.
+pub fn check_no_duplicates(histories: &[Vec<CommitRecord>]) -> Result<(), String> {
+    for (i, h) in histories.iter().enumerate() {
+        let mut seen: HashMap<CommandId, usize> = HashMap::with_capacity(h.len());
+        for (k, rec) in h.iter().enumerate() {
+            if let Some(prev) = seen.insert(rec.cmd_id, k) {
+                return Err(format!(
+                    "duplicate execution at replica {i}: {:?} at positions {prev} and {k}",
+                    rec.cmd_id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the real-time ordering component of linearizability (Claim 5):
+/// if operation A's reply preceded operation B's issue, A must appear
+/// before B in the total execution order.
+///
+/// `order` is the longest replica history (the most complete view of the
+/// total order); `ops` are the client-observed intervals.
+pub fn check_real_time(order: &[CommitRecord], ops: &[OpRecord]) -> Result<(), String> {
+    let pos: HashMap<CommandId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.cmd_id, i))
+        .collect();
+
+    // Sweep events in time order, tracking the maximum executed position
+    // among operations that have already replied. Any operation issued
+    // after that reply must order later.
+    #[derive(Debug)]
+    enum Ev {
+        Reply(Micros, usize),  // (time, position in order)
+        Issue(Micros, CommandId, usize),
+    }
+    let mut events: Vec<Ev> = Vec::with_capacity(ops.len() * 2);
+    for op in ops {
+        let Some(&p) = pos.get(&op.cmd_id) else {
+            continue; // never committed in the observed window
+        };
+        events.push(Ev::Issue(op.issued, op.cmd_id, p));
+        if let Some(r) = op.replied {
+            events.push(Ev::Reply(r, p));
+        }
+    }
+    // Replies strictly before issues at the same instant: "finished before
+    // began" requires strict precedence, so process issues first on ties.
+    events.sort_by_key(|e| match *e {
+        Ev::Issue(t, _, _) => (t, 0u8),
+        Ev::Reply(t, _) => (t, 1u8),
+    });
+
+    let mut max_replied_pos: Option<(usize, Micros)> = None;
+    for ev in events {
+        match ev {
+            Ev::Reply(t, p) => {
+                if max_replied_pos.is_none_or(|(mp, _)| p > mp) {
+                    max_replied_pos = Some((p, t));
+                }
+            }
+            Ev::Issue(t, id, p) => {
+                if let Some((mp, rt)) = max_replied_pos {
+                    if mp > p {
+                        return Err(format!(
+                            "real-time violation: {id:?} issued at {t} executes at \
+                             position {p}, before an operation that replied at {rt} \
+                             (position {mp})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every check and summarizes the outcome.
+pub fn check_all(histories: &[Vec<CommitRecord>], ops: &[OpRecord]) -> CheckReport {
+    let total = check_total_order(histories);
+    let mono = check_monotonic(histories);
+    let dup = check_no_duplicates(histories);
+    let longest = histories
+        .iter()
+        .max_by_key(|h| h.len())
+        .cloned()
+        .unwrap_or_default();
+    let rt = check_real_time(&longest, ops);
+    let violation = [&total, &mono, &dup, &rt]
+        .iter()
+        .find_map(|r| r.as_ref().err().cloned());
+    CheckReport {
+        total_order_ok: total.is_ok(),
+        monotonic_ok: mono.is_ok(),
+        real_time_ok: rt.is_ok(),
+        no_duplicates_ok: dup.is_ok(),
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_core::id::{ClientId, ReplicaId};
+
+    fn cid(seq: u64) -> CommandId {
+        CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq)
+    }
+
+    fn rec(seq: u64, hint: u64, at: Micros) -> CommitRecord {
+        CommitRecord {
+            at,
+            order_hint: hint,
+            origin: ReplicaId::new(0),
+            cmd_id: cid(seq),
+        }
+    }
+
+    #[test]
+    fn consistent_prefixes_pass() {
+        let a = vec![rec(1, 1, 10), rec(2, 2, 20), rec(3, 3, 30)];
+        let b = vec![rec(1, 1, 12), rec(2, 2, 25)];
+        assert!(check_total_order(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn diverging_histories_fail() {
+        let a = vec![rec(1, 1, 10), rec(2, 2, 20)];
+        let b = vec![rec(1, 1, 12), rec(3, 2, 25)];
+        let err = check_total_order(&[a, b]).unwrap_err();
+        assert!(err.contains("offset 1"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_truncated_history_aligns() {
+        // Replica b recovered from a checkpoint: its history starts at the
+        // second command. Consistent overlap must pass.
+        let a = vec![rec(1, 1, 10), rec(2, 2, 20), rec(3, 3, 30)];
+        let b = vec![rec(2, 2, 25), rec(3, 3, 35)];
+        assert!(check_total_order(&[a.clone(), b]).is_ok());
+        // A divergent suffix after alignment must still fail.
+        let c = vec![rec(2, 2, 25), rec(9, 3, 35)];
+        assert!(check_total_order(&[a, c]).is_err());
+    }
+
+    #[test]
+    fn monotonic_hints_checked() {
+        let good = vec![rec(1, 5, 10), rec(2, 9, 20)];
+        assert!(check_monotonic(&[good]).is_ok());
+        let bad = vec![rec(1, 9, 10), rec(2, 5, 20)];
+        assert!(check_monotonic(&[bad]).is_err());
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let h = vec![rec(1, 1, 10), rec(1, 2, 20)];
+        assert!(check_no_duplicates(&[h]).is_err());
+    }
+
+    #[test]
+    fn real_time_ordering_enforced() {
+        // A replied at t=100; B issued at t=200 but executed earlier.
+        let order = vec![rec(2, 1, 5), rec(1, 2, 10)]; // B before A in order
+        let ops = vec![
+            OpRecord {
+                cmd_id: cid(1),
+                issued: 0,
+                replied: Some(100),
+            },
+            OpRecord {
+                cmd_id: cid(2),
+                issued: 200,
+                replied: Some(300),
+            },
+        ];
+        let err = check_real_time(&order, &ops).unwrap_err();
+        assert!(err.contains("real-time violation"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_ops_may_order_either_way() {
+        // Overlapping intervals: both orders are linearizable.
+        let order = vec![rec(2, 1, 5), rec(1, 2, 10)];
+        let ops = vec![
+            OpRecord {
+                cmd_id: cid(1),
+                issued: 0,
+                replied: Some(300),
+            },
+            OpRecord {
+                cmd_id: cid(2),
+                issued: 100,
+                replied: Some(200),
+            },
+        ];
+        assert!(check_real_time(&order, &ops).is_ok());
+    }
+
+    #[test]
+    fn unreplied_ops_are_tolerated() {
+        let order = vec![rec(1, 1, 5)];
+        let ops = vec![
+            OpRecord {
+                cmd_id: cid(1),
+                issued: 0,
+                replied: None,
+            },
+            OpRecord {
+                cmd_id: cid(9),
+                issued: 0,
+                replied: None,
+            }, // never committed
+        ];
+        assert!(check_real_time(&order, &ops).is_ok());
+    }
+
+    #[test]
+    fn check_all_aggregates() {
+        let a = vec![rec(1, 1, 10), rec(2, 2, 20)];
+        let report = check_all(&[a], &[]);
+        assert!(report.all_ok());
+        assert!(report.violation.is_none());
+    }
+}

@@ -1,0 +1,354 @@
+//! The paper's client workload model (Section VI-B).
+//!
+//! "There are 40 clients issuing requests of 64 B to a replica at each
+//! data center. Clients send requests in a closed loop with a think time
+//! selected uniformly randomly between 0 and 80 ms. ... clients send
+//! commands to replicas of the key-value store to update the value of a
+//! randomly selected key."
+//!
+//! * **Balanced** workloads put clients at every site; **imbalanced**
+//!   workloads put them at a single site (Section VI-B2).
+//! * **Saturating** mode (zero think time, many clients) drives the
+//!   throughput experiments of Figure 8.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use kvstore::KvOp;
+use rsm_core::command::{Command, CommandId, Committed, Reply};
+use rsm_core::id::{ClientId, ReplicaId};
+use rsm_core::protocol::Protocol;
+use rsm_core::time::Micros;
+use simnet::sim::{Application, SimApi};
+
+use crate::lin::OpRecord;
+use crate::stats::LatencyStats;
+
+/// A scripted fault, applied at an absolute virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash a replica (volatile state lost, stable log kept).
+    Crash(ReplicaId),
+    /// Restart a crashed replica (protocol recovery from its log).
+    Recover(ReplicaId),
+    /// Cut the link between two replicas (messages park until heal).
+    Partition(ReplicaId, ReplicaId),
+    /// Heal a previously cut link.
+    Heal(ReplicaId, ReplicaId),
+    /// Step a replica's physical clock by the given microseconds
+    /// (positive or negative).
+    ClockJump(ReplicaId, i64),
+}
+
+/// Event keys at or above this value are fault-plan entries rather than
+/// client indices.
+const FAULT_KEY_BASE: u64 = 1 << 32;
+
+/// Event keys at or above this value are client retry checks; they encode
+/// the client index (bits 24..48) and the command sequence number being
+/// watched (bits 0..24).
+const RETRY_KEY_BASE: u64 = 1 << 48;
+
+/// Parameters of the client population.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of replicas in the deployment.
+    pub n_sites: usize,
+    /// Sites that have clients (all = balanced, one = imbalanced).
+    pub active_sites: Vec<ReplicaId>,
+    /// Closed-loop clients per active site (the paper uses 40).
+    pub clients_per_site: usize,
+    /// Maximum uniform think time (the paper uses 80 ms); zero saturates.
+    pub think_max_us: Micros,
+    /// Value size of the update commands (the paper uses 64 B requests).
+    pub value_bytes: usize,
+    /// Number of distinct keys updated at random.
+    pub key_space: u64,
+    /// Replies at or after this time are recorded into the statistics.
+    pub warmup_until: Micros,
+    /// Clients stop issuing and recording at this time.
+    pub measure_until: Micros,
+    /// Whether to keep per-operation records for the linearizability
+    /// checker (disable for long throughput runs).
+    pub record_ops: bool,
+    /// Scripted faults, applied at absolute virtual times.
+    pub faults: Vec<(Micros, Fault)>,
+    /// Client-side retry: re-issue a command (with a fresh id) when no
+    /// reply arrives within this long. `None` disables retries. Needed
+    /// under reconfiguration, which drops in-flight commands that did not
+    /// reach a majority (their clients must retry, like any RSM client).
+    pub retry_timeout_us: Option<Micros>,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    id: ClientId,
+    site: ReplicaId,
+    seq: u64,
+    issued_at: Option<Micros>,
+}
+
+/// The closed-loop client application driving a simulation.
+///
+/// Implements [`Application`] for any protocol; the per-site latency
+/// statistics and the operation log come out at the end of the run.
+pub struct WorkloadApp<P> {
+    cfg: WorkloadConfig,
+    clients: Vec<ClientState>,
+    client_index: HashMap<ClientId, usize>,
+    site_stats: Vec<LatencyStats>,
+    ops: Vec<OpRecord>,
+    op_index: HashMap<CommandId, usize>,
+    /// Commands committed at the observer replica inside the measurement
+    /// window (throughput metric — each command counted once).
+    observer_commits: u64,
+    observer: ReplicaId,
+    _protocol: PhantomData<fn() -> P>,
+}
+
+impl<P> WorkloadApp<P> {
+    /// Creates the client population described by `cfg`.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let mut clients = Vec::new();
+        let mut client_index = HashMap::new();
+        for &site in &cfg.active_sites {
+            for k in 0..cfg.clients_per_site {
+                let id = ClientId::new(site, k as u32);
+                client_index.insert(id, clients.len());
+                clients.push(ClientState {
+                    id,
+                    site,
+                    seq: 0,
+                    issued_at: None,
+                });
+            }
+        }
+        WorkloadApp {
+            site_stats: vec![LatencyStats::new(); cfg.n_sites],
+            clients,
+            client_index,
+            ops: Vec::new(),
+            op_index: HashMap::new(),
+            observer_commits: 0,
+            observer: ReplicaId::new(0),
+            cfg,
+            _protocol: PhantomData,
+        }
+    }
+
+    /// Per-site latency statistics (indexed by replica index).
+    pub fn site_stats(&self) -> &[LatencyStats] {
+        &self.site_stats
+    }
+
+    /// Mutable access (for percentile queries, which sort lazily).
+    pub fn site_stats_mut(&mut self) -> &mut [LatencyStats] {
+        &mut self.site_stats
+    }
+
+    /// The recorded operation intervals for the linearizability checker.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Commands committed at the observer replica within the window.
+    pub fn observer_commits(&self) -> u64 {
+        self.observer_commits
+    }
+
+    fn issue(&mut self, idx: usize, api: &mut SimApi<'_, P>)
+    where
+        P: Protocol,
+    {
+        let now = api.now();
+        if now >= self.cfg.measure_until {
+            return; // experiment over: stop the closed loop
+        }
+        let key = api.rng().gen_range(0..self.cfg.key_space);
+        let client = &mut self.clients[idx];
+        client.seq += 1;
+        let cmd_id = CommandId::new(client.id, client.seq);
+        client.issued_at = Some(now);
+        // A fixed-size update to a random key, like the paper's workload.
+        let op = KvOp::put(
+            key.to_be_bytes().to_vec(),
+            vec![(client.seq % 251) as u8; self.cfg.value_bytes],
+        );
+        let site = client.site;
+        let seq = client.seq;
+        if self.cfg.record_ops {
+            self.op_index.insert(cmd_id, self.ops.len());
+            self.ops.push(OpRecord {
+                cmd_id,
+                issued: now,
+                replied: None,
+            });
+        }
+        api.submit(site, Command::new(cmd_id, op.encode()));
+        if let Some(timeout) = self.cfg.retry_timeout_us {
+            let key = RETRY_KEY_BASE | ((idx as u64) << 24) | (seq & 0xFF_FFFF);
+            api.schedule(timeout, key);
+        }
+    }
+}
+
+impl<P: Protocol> Application<P> for WorkloadApp<P> {
+    fn on_init(&mut self, api: &mut SimApi<'_, P>) {
+        // Stagger initial requests over one think-time interval.
+        for idx in 0..self.clients.len() {
+            let delay = if self.cfg.think_max_us == 0 {
+                api.rng().gen_range(0..100)
+            } else {
+                api.rng().gen_range(0..=self.cfg.think_max_us)
+            };
+            api.schedule(delay, idx as u64);
+        }
+        for (i, &(at, _)) in self.cfg.faults.iter().enumerate() {
+            api.schedule(at, FAULT_KEY_BASE + i as u64);
+        }
+    }
+
+    fn on_event(&mut self, key: u64, api: &mut SimApi<'_, P>) {
+        if key >= RETRY_KEY_BASE {
+            let idx = ((key >> 24) & 0xFF_FFFF) as usize;
+            let seq = key & 0xFF_FFFF;
+            let stuck = self.clients[idx].issued_at.is_some()
+                && self.clients[idx].seq & 0xFF_FFFF == seq;
+            if stuck {
+                // The command was lost (e.g. flushed by a reconfiguration
+                // it did not survive): re-issue with a fresh identity.
+                self.issue(idx, api);
+            }
+            return;
+        }
+        if key >= FAULT_KEY_BASE {
+            let (_, fault) = self.cfg.faults[(key - FAULT_KEY_BASE) as usize];
+            match fault {
+                Fault::Crash(r) => api.crash(r, 0),
+                Fault::Recover(r) => api.recover(r, 0),
+                Fault::Partition(a, b) => api.partition(a, b, 0),
+                Fault::Heal(a, b) => api.heal(a, b, 0),
+                Fault::ClockJump(r, delta) => api.clock_jump(r, delta, 0),
+            }
+            return;
+        }
+        self.issue(key as usize, api);
+    }
+
+    fn on_reply(&mut self, client: ClientId, reply: Reply, api: &mut SimApi<'_, P>) {
+        let now = api.now();
+        let Some(&idx) = self.client_index.get(&client) else {
+            return;
+        };
+        if reply.id.seq != self.clients[idx].seq {
+            return; // stale reply for a command superseded by a retry
+        }
+        let issued = self.clients[idx].issued_at.take();
+        if let Some(issued) = issued {
+            if self.cfg.record_ops {
+                if let Some(&op_idx) = self.op_index.get(&reply.id) {
+                    self.ops[op_idx].replied = Some(now);
+                }
+            }
+            if issued >= self.cfg.warmup_until && now <= self.cfg.measure_until {
+                let site = self.clients[idx].site;
+                self.site_stats[site.index()].record(now - issued);
+            }
+        }
+        // Think, then issue the next command.
+        let think = if self.cfg.think_max_us == 0 {
+            0
+        } else {
+            api.rng().gen_range(0..=self.cfg.think_max_us)
+        };
+        api.schedule(think, idx as u64);
+    }
+
+    fn on_commit(&mut self, replica: ReplicaId, _committed: &Committed, at: Micros) {
+        if replica == self.observer && at >= self.cfg.warmup_until && at <= self.cfg.measure_until
+        {
+            self.observer_commits += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clock_rsm::{ClockRsm, ClockRsmConfig};
+    use kvstore::KvStore;
+    use rsm_core::config::Membership;
+    use rsm_core::matrix::LatencyMatrix;
+    use simnet::{SimConfig, Simulation};
+
+    fn workload(n: usize, clients: usize, until: Micros) -> WorkloadConfig {
+        WorkloadConfig {
+            n_sites: n,
+            active_sites: (0..n as u16).map(ReplicaId::new).collect(),
+            clients_per_site: clients,
+            think_max_us: 20_000,
+            value_bytes: 64,
+            key_space: 1_000,
+            warmup_until: 50_000,
+            measure_until: until,
+            record_ops: true,
+            faults: Vec::new(),
+            retry_timeout_us: None,
+        }
+    }
+
+    #[test]
+    fn closed_loop_clients_drive_commits_end_to_end() {
+        let n = 3;
+        let cfg = SimConfig::new(LatencyMatrix::uniform(n, 5_000)).seed(1);
+        let app: WorkloadApp<ClockRsm> = WorkloadApp::new(workload(n, 2, 800_000));
+        let mut sim = Simulation::new(
+            cfg,
+            move |id| {
+                ClockRsm::new(id, Membership::uniform(n as u16), ClockRsmConfig::default())
+            },
+            || Box::new(KvStore::new()),
+            app,
+        );
+        sim.run_until(1_000_000);
+        let app = sim.app();
+        // Every site produced measured samples.
+        for s in 0..n {
+            assert!(
+                app.site_stats()[s].count() > 5,
+                "site {s} produced {} samples",
+                app.site_stats()[s].count()
+            );
+        }
+        // Replies arrived for (almost) all recorded ops.
+        let replied = app.ops().iter().filter(|o| o.replied.is_some()).count();
+        assert!(replied > app.ops().len() / 2);
+        // All replicas executed the same number of commands eventually.
+        let c0 = sim.commit_count(ReplicaId::new(0));
+        assert!(c0 > 0);
+    }
+
+    #[test]
+    fn imbalanced_workload_touches_single_site() {
+        let n = 3;
+        let mut w = workload(n, 2, 500_000);
+        w.active_sites = vec![ReplicaId::new(1)];
+        let cfg = SimConfig::new(LatencyMatrix::uniform(n, 5_000)).seed(2);
+        let app: WorkloadApp<ClockRsm> = WorkloadApp::new(w);
+        let mut sim = Simulation::new(
+            cfg,
+            move |id| {
+                ClockRsm::new(id, Membership::uniform(n as u16), ClockRsmConfig::default())
+            },
+            || Box::new(KvStore::new()),
+            app,
+        );
+        sim.run_until(700_000);
+        let app = sim.app();
+        assert!(app.site_stats()[1].count() > 0);
+        assert_eq!(app.site_stats()[0].count(), 0);
+        assert_eq!(app.site_stats()[2].count(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # kvstore
+//!
+//! The replicated **in-memory key-value store** used throughout the
+//! Clock-RSM evaluation (Section VI-A of the paper): clients send commands
+//! that update the value of a randomly selected key; the replication
+//! protocols order and execute them on every replica.
+//!
+//! The store is a deterministic [`StateMachine`]: applying the same command
+//! sequence always yields the same state and outputs, which the test suite
+//! uses to assert replica convergence.
+//!
+//! [`StateMachine`]: rsm_core::StateMachine
+//!
+//! ## Example
+//!
+//! ```
+//! use kvstore::{KvOp, KvStore};
+//! use rsm_core::{Command, CommandId, ClientId, ReplicaId, StateMachine};
+//!
+//! let mut store = KvStore::new();
+//! let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1);
+//! let put = Command::new(id, KvOp::put("k", "v1").encode());
+//! store.apply(&put);
+//!
+//! let id2 = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 2);
+//! let get = Command::new(id2, KvOp::get("k").encode());
+//! let out = store.apply(&get);
+//! assert_eq!(&out[1..], b"v1"); // first byte: found flag
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod op;
+pub mod store;
+
+pub use op::KvOp;
+pub use store::KvStore;

@@ -1,0 +1,277 @@
+//! Key-value operations and their binary wire format.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An operation on the replicated key-value store.
+///
+/// Encoded into a [`Command`] payload with a compact hand-rolled binary
+/// format (tag byte, length-prefixed key, optional length-prefixed value),
+/// standing in for the paper's Protocol Buffers encoding.
+///
+/// [`Command`]: rsm_core::Command
+///
+/// # Examples
+///
+/// ```
+/// use kvstore::KvOp;
+/// let op = KvOp::put("user:7", "alice");
+/// let bytes = op.encode();
+/// assert_eq!(KvOp::decode(&bytes).unwrap(), op);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Set `key` to `value`.
+    Put {
+        /// The key to write.
+        key: Bytes,
+        /// The value to store.
+        value: Bytes,
+    },
+    /// Read the current value of `key`.
+    Get {
+        /// The key to read.
+        key: Bytes,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key to remove.
+        key: Bytes,
+    },
+    /// Compare-and-swap: set `key` to `value` only if its current value
+    /// equals `expect` (`None` = key must be absent). The sharpest probe
+    /// of linearizability: any reordering or duplicate execution breaks a
+    /// CAS chain.
+    Cas {
+        /// The key to update.
+        key: Bytes,
+        /// Required current value (`None` = absent).
+        expect: Option<Bytes>,
+        /// The new value on success.
+        value: Bytes,
+    },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_GET: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_CAS_ABSENT: u8 = 4;
+const TAG_CAS_PRESENT: u8 = 5;
+
+/// Error returned when a payload is not a valid encoded [`KvOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed key-value operation payload")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl KvOp {
+    /// Convenience constructor for a `Put`.
+    pub fn put(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        KvOp::Put {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for a `Get`.
+    pub fn get(key: impl Into<Bytes>) -> Self {
+        KvOp::Get { key: key.into() }
+    }
+
+    /// Convenience constructor for a `Delete`.
+    pub fn delete(key: impl Into<Bytes>) -> Self {
+        KvOp::Delete { key: key.into() }
+    }
+
+    /// Convenience constructor for a `Cas`.
+    pub fn cas(
+        key: impl Into<Bytes>,
+        expect: Option<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Self {
+        KvOp::Cas {
+            key: key.into(),
+            expect,
+            value: value.into(),
+        }
+    }
+
+    /// Encodes the operation into a command payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            KvOp::Put { key, value } => {
+                buf.put_u8(TAG_PUT);
+                put_chunk(&mut buf, key);
+                put_chunk(&mut buf, value);
+            }
+            KvOp::Get { key } => {
+                buf.put_u8(TAG_GET);
+                put_chunk(&mut buf, key);
+            }
+            KvOp::Delete { key } => {
+                buf.put_u8(TAG_DELETE);
+                put_chunk(&mut buf, key);
+            }
+            KvOp::Cas { key, expect, value } => match expect {
+                None => {
+                    buf.put_u8(TAG_CAS_ABSENT);
+                    put_chunk(&mut buf, key);
+                    put_chunk(&mut buf, value);
+                }
+                Some(e) => {
+                    buf.put_u8(TAG_CAS_PRESENT);
+                    put_chunk(&mut buf, key);
+                    put_chunk(&mut buf, e);
+                    put_chunk(&mut buf, value);
+                }
+            },
+        }
+        buf.freeze()
+    }
+
+    /// Decodes an operation from a command payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the payload is truncated, has an unknown
+    /// tag, or carries trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let (&tag, mut rest) = payload.split_first().ok_or(DecodeError)?;
+        let op = match tag {
+            TAG_PUT => {
+                let key = take_chunk(&mut rest)?;
+                let value = take_chunk(&mut rest)?;
+                KvOp::Put { key, value }
+            }
+            TAG_GET => KvOp::Get {
+                key: take_chunk(&mut rest)?,
+            },
+            TAG_DELETE => KvOp::Delete {
+                key: take_chunk(&mut rest)?,
+            },
+            TAG_CAS_ABSENT => KvOp::Cas {
+                key: take_chunk(&mut rest)?,
+                expect: None,
+                value: take_chunk(&mut rest)?,
+            },
+            TAG_CAS_PRESENT => KvOp::Cas {
+                key: take_chunk(&mut rest)?,
+                expect: Some(take_chunk(&mut rest)?),
+                value: take_chunk(&mut rest)?,
+            },
+            _ => return Err(DecodeError),
+        };
+        if rest.is_empty() {
+            Ok(op)
+        } else {
+            Err(DecodeError)
+        }
+    }
+
+    /// The key this operation touches.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            KvOp::Put { key, .. }
+            | KvOp::Get { key }
+            | KvOp::Delete { key }
+            | KvOp::Cas { key, .. } => key,
+        }
+    }
+
+    /// Whether this operation writes (put/delete/cas) rather than reads.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Get { .. })
+    }
+}
+
+fn put_chunk(buf: &mut BytesMut, chunk: &Bytes) {
+    buf.put_u32(chunk.len() as u32);
+    buf.put_slice(chunk);
+}
+
+fn take_chunk(rest: &mut &[u8]) -> Result<Bytes, DecodeError> {
+    if rest.len() < 4 {
+        return Err(DecodeError);
+    }
+    let (len_bytes, tail) = rest.split_at(4);
+    let len = u32::from_be_bytes(len_bytes.try_into().unwrap()) as usize;
+    if tail.len() < len {
+        return Err(DecodeError);
+    }
+    let (chunk, tail) = tail.split_at(len);
+    *rest = tail;
+    Ok(Bytes::copy_from_slice(chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for op in [
+            KvOp::put("k", "v"),
+            KvOp::get("k"),
+            KvOp::delete("k"),
+            KvOp::put("", ""),
+            KvOp::put("key", vec![0u8; 1000]),
+            KvOp::cas("k", None, "v0"),
+            KvOp::cas("k", Some(Bytes::from_static(b"v0")), "v1"),
+        ] {
+            assert_eq!(KvOp::decode(&op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(KvOp::decode(&[]), Err(DecodeError));
+        assert_eq!(KvOp::decode(&[9, 0, 0, 0, 0]), Err(DecodeError));
+        assert_eq!(KvOp::decode(&[TAG_GET, 0, 0, 0, 5, b'a']), Err(DecodeError));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut bytes = KvOp::get("k").encode().to_vec();
+        bytes.push(0);
+        assert_eq!(KvOp::decode(&bytes), Err(DecodeError));
+    }
+
+    #[test]
+    fn key_and_is_write() {
+        assert!(KvOp::put("a", "b").is_write());
+        assert!(KvOp::delete("a").is_write());
+        assert!(!KvOp::get("a").is_write());
+        assert_eq!(KvOp::get("a").key().as_ref(), b"a");
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_random(key in proptest::collection::vec(any::<u8>(), 0..64),
+                                value in proptest::collection::vec(any::<u8>(), 0..256),
+                                which in 0u8..3) {
+                let op = match which {
+                    0 => KvOp::put(key.clone(), value),
+                    1 => KvOp::get(key.clone()),
+                    _ => KvOp::delete(key.clone()),
+                };
+                prop_assert_eq!(KvOp::decode(&op.encode()).unwrap(), op);
+            }
+
+            #[test]
+            fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+                let _ = KvOp::decode(&bytes);
+            }
+        }
+    }
+}

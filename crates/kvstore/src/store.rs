@@ -1,0 +1,260 @@
+//! The in-memory key-value store state machine.
+
+use std::collections::BTreeMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use rsm_core::command::Command;
+use rsm_core::sm::StateMachine;
+
+use crate::op::KvOp;
+
+/// A deterministic in-memory key-value store, the replicated state machine
+/// of the paper's evaluation.
+///
+/// Reply format: one status byte (`1` = found / applied, `0` = not found /
+/// malformed) followed by the read value for `Get`.
+///
+/// # Examples
+///
+/// ```
+/// use kvstore::{KvOp, KvStore};
+/// use rsm_core::{Command, CommandId, ClientId, ReplicaId, StateMachine};
+///
+/// let mut store = KvStore::new();
+/// let cid = ClientId::new(ReplicaId::new(0), 0);
+/// store.apply(&Command::new(CommandId::new(cid, 1), KvOp::put("a", "1").encode()));
+/// let out = store.apply(&Command::new(CommandId::new(cid, 2), KvOp::get("a").encode()));
+/// assert_eq!(out[0], 1);
+/// assert_eq!(&out[1..], b"1");
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct KvStore {
+    map: BTreeMap<Bytes, Bytes>,
+    applied: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of commands applied since creation (or the last reset).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Reads a value directly (test observability; not part of the
+    /// replicated interface).
+    pub fn get(&self, key: &[u8]) -> Option<&Bytes> {
+        self.map.get(key)
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, cmd: &Command) -> Bytes {
+        self.applied += 1;
+        match KvOp::decode(&cmd.payload) {
+            Ok(KvOp::Put { key, value }) => {
+                self.map.insert(key, value);
+                Bytes::from_static(&[1])
+            }
+            Ok(KvOp::Get { key }) => match self.map.get(&key) {
+                Some(v) => {
+                    let mut out = BytesMut::with_capacity(1 + v.len());
+                    out.put_u8(1);
+                    out.put_slice(v);
+                    out.freeze()
+                }
+                None => Bytes::from_static(&[0]),
+            },
+            Ok(KvOp::Delete { key }) => {
+                let existed = self.map.remove(&key).is_some();
+                Bytes::from_static(if existed { &[1] } else { &[0] })
+            }
+            Ok(KvOp::Cas { key, expect, value }) => {
+                let current = self.map.get(&key);
+                let matches = match (&expect, current) {
+                    (None, None) => true,
+                    (Some(e), Some(v)) => e == v,
+                    _ => false,
+                };
+                if matches {
+                    self.map.insert(key, value);
+                    Bytes::from_static(&[1])
+                } else {
+                    Bytes::from_static(&[0])
+                }
+            }
+            Err(_) => Bytes::from_static(&[0]),
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        // Canonical full serialization: BTreeMap iteration order is
+        // deterministic, so equal states yield equal snapshots.
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.map.len() as u64);
+        for (k, v) in &self.map {
+            buf.put_u32(k.len() as u32);
+            buf.put_slice(k);
+            buf.put_u32(v.len() as u32);
+            buf.put_slice(v);
+        }
+        buf.freeze()
+    }
+
+    fn reset(&mut self) {
+        self.map.clear();
+        self.applied = 0;
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        // Parse the canonical serialization produced by `snapshot`.
+        fn take<'a>(rest: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if rest.len() < n {
+                return None;
+            }
+            let (head, tail) = rest.split_at(n);
+            *rest = tail;
+            Some(head)
+        }
+        let mut rest = snapshot;
+        let Some(count_bytes) = take(&mut rest, 8) else {
+            return false;
+        };
+        let count = u64::from_be_bytes(count_bytes.try_into().expect("8 bytes"));
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let Some(klen) = take(&mut rest, 4) else {
+                return false;
+            };
+            let klen = u32::from_be_bytes(klen.try_into().expect("4 bytes")) as usize;
+            let Some(k) = take(&mut rest, klen) else {
+                return false;
+            };
+            let Some(vlen) = take(&mut rest, 4) else {
+                return false;
+            };
+            let vlen = u32::from_be_bytes(vlen.try_into().expect("4 bytes")) as usize;
+            let Some(v) = take(&mut rest, vlen) else {
+                return false;
+            };
+            map.insert(Bytes::copy_from_slice(k), Bytes::copy_from_slice(v));
+        }
+        if !rest.is_empty() {
+            return false;
+        }
+        self.map = map;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::{ClientId, ReplicaId};
+
+    fn cmd(seq: u64, op: &KvOp) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            op.encode(),
+        )
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let mut s = KvStore::new();
+        assert_eq!(s.apply(&cmd(1, &KvOp::put("k", "v")))[0], 1);
+        let got = s.apply(&cmd(2, &KvOp::get("k")));
+        assert_eq!(&got[..], b"\x01v");
+        assert_eq!(s.apply(&cmd(3, &KvOp::delete("k")))[0], 1);
+        assert_eq!(s.apply(&cmd(4, &KvOp::get("k")))[0], 0);
+        assert_eq!(s.apply(&cmd(5, &KvOp::delete("k")))[0], 0);
+        assert_eq!(s.applied(), 5);
+    }
+
+    #[test]
+    fn malformed_payload_is_a_noop_answer() {
+        let mut s = KvStore::new();
+        let bad = Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
+            Bytes::from_static(b"\xFFjunk"),
+        );
+        assert_eq!(s.apply(&bad)[0], 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn snapshots_equal_iff_states_equal() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        a.apply(&cmd(1, &KvOp::put("x", "1")));
+        a.apply(&cmd(2, &KvOp::put("y", "2")));
+        // Same state reached by a different command order.
+        b.apply(&cmd(1, &KvOp::put("y", "2")));
+        b.apply(&cmd(2, &KvOp::put("x", "1")));
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.apply(&cmd(3, &KvOp::put("x", "9")));
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn reset_restores_empty() {
+        let mut s = KvStore::new();
+        s.apply(&cmd(1, &KvOp::put("x", "1")));
+        s.reset();
+        assert_eq!(s.snapshot(), KvStore::new().snapshot());
+        assert_eq!(s.applied(), 0);
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let mut s = KvStore::new();
+        s.apply(&cmd(1, &KvOp::put("k", "old")));
+        s.apply(&cmd(2, &KvOp::put("k", "new")));
+        assert_eq!(s.get(b"k").unwrap().as_ref(), b"new");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Replicas applying the same op sequence converge (determinism).
+            #[test]
+            fn determinism(ops in proptest::collection::vec((0u8..3, 0u8..16, any::<u8>()), 0..200)) {
+                let mut a = KvStore::new();
+                let mut b = KvStore::new();
+                for (i, (which, k, v)) in ops.iter().enumerate() {
+                    let key = vec![*k];
+                    let op = match which {
+                        0 => KvOp::put(key, vec![*v]),
+                        1 => KvOp::get(key),
+                        _ => KvOp::delete(key),
+                    };
+                    let c = cmd(i as u64, &op);
+                    let ra = a.apply(&c);
+                    let rb = b.apply(&c);
+                    prop_assert_eq!(ra, rb);
+                }
+                prop_assert_eq!(a.snapshot(), b.snapshot());
+            }
+        }
+    }
+}

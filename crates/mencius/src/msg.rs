@@ -1,0 +1,65 @@
+//! Mencius-bcast wire messages.
+
+use rsm_core::command::Command;
+use rsm_core::id::ReplicaId;
+use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+
+/// Messages exchanged by [`MenciusBcast`](crate::MenciusBcast) replicas.
+#[derive(Debug, Clone)]
+pub enum MenciusMsg {
+    /// The owner of `slot` proposes `cmd` in it.
+    Propose {
+        /// The slot being filled (owned by the sender).
+        slot: u64,
+        /// The command bound to the slot.
+        cmd: Command,
+        /// The replica whose client issued the command (the sender).
+        origin: ReplicaId,
+    },
+    /// Broadcast acknowledgement that the sender logged `slot`, carrying
+    /// the sender's **skip promise**: it will never propose in any of its
+    /// own slots below `skip_below`.
+    AcceptAck {
+        /// The slot being acknowledged.
+        slot: u64,
+        /// The sender's skip promise (exclusive lower bound on its future
+        /// own-slot proposals).
+        skip_below: u64,
+    },
+}
+
+impl WireSize for MenciusMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            MenciusMsg::Propose { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            MenciusMsg::AcceptAck { .. } => MSG_HEADER_BYTES + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::ClientId;
+
+    #[test]
+    fn wire_sizes() {
+        let cmd = Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
+            Bytes::from(vec![0u8; 64]),
+        );
+        let p = MenciusMsg::Propose {
+            slot: 0,
+            cmd,
+            origin: ReplicaId::new(0),
+        };
+        let a = MenciusMsg::AcceptAck {
+            slot: 0,
+            skip_below: 3,
+        };
+        assert!(p.wire_size() > 64);
+        assert_eq!(a.wire_size(), MSG_HEADER_BYTES + 8);
+    }
+}

@@ -1,0 +1,504 @@
+//! The Mencius-bcast replica state machine.
+
+use std::collections::BTreeMap;
+
+use rsm_core::command::{Command, Committed};
+use rsm_core::config::Membership;
+use rsm_core::id::ReplicaId;
+use rsm_core::protocol::{Context, Protocol, TimerToken};
+
+use crate::msg::MenciusMsg;
+
+/// Stable log record of Mencius-bcast.
+#[derive(Debug, Clone)]
+pub enum MenciusLogRec {
+    /// A logged (accepted) proposal for a slot.
+    Accept {
+        /// Slot number.
+        slot: u64,
+        /// The command.
+        cmd: Command,
+        /// Originating replica (the slot owner).
+        origin: ReplicaId,
+    },
+    /// A commit mark: the slot's command was executed.
+    Commit {
+        /// Slot number.
+        slot: u64,
+    },
+    /// A skip mark: the slot resolved to a no-op.
+    Skip {
+        /// Slot number.
+        slot: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    cmd: Option<(Command, ReplicaId)>,
+    acks: usize,
+}
+
+/// A Mencius replica with the broadcast-acknowledgement optimization.
+///
+/// Slot `s` is owned by replica `s mod N`; replicas propose only in their
+/// own slots and *skip* (promise never to use) their unused slots below any
+/// slot they acknowledge. See the crate docs for the protocol sketch and
+/// latency behaviour.
+#[derive(Debug)]
+pub struct MenciusBcast {
+    id: ReplicaId,
+    membership: Membership,
+    n: u64,
+    /// The smallest own slot this replica may still propose in.
+    next_own_slot: u64,
+    /// Per-replica skip promise: replica `k` will never issue a *new*
+    /// proposal in a `k`-owned slot below `floor[k]`.
+    floor: Vec<u64>,
+    slots: BTreeMap<u64, Slot>,
+    /// Next slot to execute or skip; all smaller slots are resolved.
+    exec_cursor: u64,
+}
+
+impl MenciusBcast {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the membership spec.
+    pub fn new(id: ReplicaId, membership: Membership) -> Self {
+        assert!(membership.in_spec(id), "replica {id} not in spec");
+        let n = membership.spec().len() as u64;
+        let floor = (0..n).collect();
+        MenciusBcast {
+            id,
+            n,
+            next_own_slot: id.index() as u64,
+            floor,
+            slots: BTreeMap::new(),
+            exec_cursor: 0,
+            membership,
+        }
+    }
+
+    /// The owner (round-robin coordinator) of `slot`.
+    pub fn owner_of_slot(&self, slot: u64) -> ReplicaId {
+        ReplicaId::new((slot % self.n) as u16)
+    }
+
+    /// Number of slots resolved (executed or skipped) so far.
+    pub fn resolved(&self) -> u64 {
+        self.exec_cursor
+    }
+
+    fn majority(&self) -> usize {
+        self.membership.majority()
+    }
+
+    /// The smallest slot owned by this replica that is strictly greater
+    /// than `s`.
+    fn own_slot_after(&self, s: u64) -> u64 {
+        let me = self.id.index() as u64;
+        let base = (s + 1).max(me);
+        // Round base up to ≡ me (mod n).
+        let rem = (base + self.n - me % self.n) % self.n;
+        let candidate = if rem == 0 { base } else { base + self.n - rem };
+        debug_assert!(candidate % self.n == me && candidate > s);
+        candidate
+    }
+
+    fn broadcast(&self, msg: MenciusMsg, ctx: &mut dyn Context<Self>) {
+        for r in self.membership.config().to_vec() {
+            ctx.send(r, msg.clone());
+        }
+    }
+
+    fn on_propose(
+        &mut self,
+        slot: u64,
+        cmd: Command,
+        origin: ReplicaId,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        if slot < self.exec_cursor {
+            return; // stale
+        }
+        ctx.log_append(MenciusLogRec::Accept {
+            slot,
+            cmd: cmd.clone(),
+            origin,
+        });
+        self.slots.entry(slot).or_default().cmd = Some((cmd, origin));
+        // The owner will not propose below its next own slot again.
+        let owner = self.owner_of_slot(slot);
+        self.floor[owner.index()] = self.floor[owner.index()].max(slot + self.n);
+        // Acknowledging slot s implicitly skips our own unused slots < s.
+        if self.next_own_slot <= slot {
+            self.next_own_slot = self.own_slot_after(slot);
+        }
+        self.floor[self.id.index()] = self.floor[self.id.index()].max(self.next_own_slot);
+        self.broadcast(
+            MenciusMsg::AcceptAck {
+                slot,
+                skip_below: self.next_own_slot,
+            },
+            ctx,
+        );
+        self.try_execute(ctx);
+    }
+
+    fn on_accept_ack(
+        &mut self,
+        from: ReplicaId,
+        slot: u64,
+        skip_below: u64,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        self.floor[from.index()] = self.floor[from.index()].max(skip_below);
+        if slot >= self.exec_cursor {
+            self.slots.entry(slot).or_default().acks += 1;
+        }
+        self.try_execute(ctx);
+    }
+
+    /// Resolves slots in order: execute a slot once it has a command and a
+    /// majority of acknowledgements; skip it once its owner's promise
+    /// covers it; otherwise stop and wait (the delayed-commit behaviour).
+    fn try_execute(&mut self, ctx: &mut dyn Context<Self>) {
+        loop {
+            let c = self.exec_cursor;
+            let has_cmd = self.slots.get(&c).is_some_and(|s| s.cmd.is_some());
+            if has_cmd {
+                let ready = self.slots.get(&c).map(|s| s.acks >= self.majority());
+                if ready != Some(true) {
+                    break;
+                }
+                let slot = self.slots.remove(&c).expect("checked above");
+                let (cmd, origin) = slot.cmd.expect("checked above");
+                ctx.log_append(MenciusLogRec::Commit { slot: c });
+                self.exec_cursor = c + 1;
+                ctx.commit(Committed {
+                    cmd,
+                    origin,
+                    order_hint: c,
+                });
+            } else if self.floor[self.owner_of_slot(c).index()] > c {
+                // The owner promised never to fill this slot: no-op.
+                ctx.log_append(MenciusLogRec::Skip { slot: c });
+                self.slots.remove(&c);
+                self.exec_cursor = c + 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Protocol for MenciusBcast {
+    type Msg = MenciusMsg;
+    type LogRec = MenciusLogRec;
+
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
+
+    fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        let slot = self.next_own_slot;
+        debug_assert_eq!(self.owner_of_slot(slot), self.id);
+        self.next_own_slot = slot + self.n;
+        // Send to the peers, then register the proposal locally *before*
+        // anything else can advance our own skip floor past it: if a
+        // peer's proposal raced ahead of our self-delivery, the skip
+        // check could otherwise resolve our own in-flight slot to a no-op
+        // while everyone else executes it.
+        for r in self.membership.config().to_vec() {
+            if r != self.id {
+                ctx.send(
+                    r,
+                    MenciusMsg::Propose {
+                        slot,
+                        cmd: cmd.clone(),
+                        origin: self.id,
+                    },
+                );
+            }
+        }
+        self.on_propose(slot, cmd, self.id, ctx);
+    }
+
+    fn on_message(&mut self, from: ReplicaId, msg: MenciusMsg, ctx: &mut dyn Context<Self>) {
+        match msg {
+            MenciusMsg::Propose { slot, cmd, origin } => self.on_propose(slot, cmd, origin, ctx),
+            MenciusMsg::AcceptAck { slot, skip_below } => {
+                self.on_accept_ack(from, slot, skip_below, ctx)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
+
+    fn on_recover(&mut self, log: &[MenciusLogRec], ctx: &mut dyn Context<Self>) {
+        // Rebuild the slot table, then re-execute the resolved prefix in
+        // slot order exactly as it was executed before the crash.
+        let mut resolved: BTreeMap<u64, Option<(Command, ReplicaId)>> = BTreeMap::new();
+        for rec in log {
+            match rec {
+                MenciusLogRec::Accept { slot, cmd, origin } => {
+                    self.slots.entry(*slot).or_default().cmd = Some((cmd.clone(), *origin));
+                }
+                MenciusLogRec::Commit { slot } => {
+                    let cmd = self
+                        .slots
+                        .get(slot)
+                        .and_then(|s| s.cmd.clone())
+                        .expect("commit mark must follow its accept record");
+                    resolved.insert(*slot, Some(cmd));
+                }
+                MenciusLogRec::Skip { slot } => {
+                    resolved.insert(*slot, None);
+                }
+            }
+        }
+        while let Some(entry) = resolved.remove(&self.exec_cursor) {
+            let c = self.exec_cursor;
+            self.exec_cursor += 1;
+            self.slots.remove(&c);
+            if let Some((cmd, origin)) = entry {
+                ctx.commit(Committed {
+                    cmd,
+                    origin,
+                    order_hint: c,
+                });
+            }
+        }
+        // Never reuse own slots at or below anything we have seen.
+        let max_seen = self.slots.keys().max().copied().unwrap_or(0);
+        let base = self.next_own_slot.max(self.exec_cursor);
+        self.next_own_slot = if base.max(max_seen) == 0 {
+            self.id.index() as u64
+        } else {
+            self.own_slot_after(base.max(max_seen))
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::ClientId;
+    use rsm_core::time::Micros;
+
+    struct TestCtx {
+        sends: Vec<(ReplicaId, MenciusMsg)>,
+        commits: Vec<Committed>,
+        log: Vec<MenciusLogRec>,
+        clock: Micros,
+    }
+
+    impl TestCtx {
+        fn new() -> Self {
+            TestCtx {
+                sends: Vec::new(),
+                commits: Vec::new(),
+                log: Vec::new(),
+                clock: 0,
+            }
+        }
+    }
+
+    impl Context<MenciusBcast> for TestCtx {
+        fn clock(&mut self) -> Micros {
+            self.clock += 1;
+            self.clock
+        }
+        fn send(&mut self, to: ReplicaId, msg: MenciusMsg) {
+            self.sends.push((to, msg));
+        }
+        fn log_append(&mut self, rec: MenciusLogRec) {
+            self.log.push(rec);
+        }
+        fn log_rewrite(&mut self, recs: Vec<MenciusLogRec>) {
+            self.log = recs;
+        }
+        fn commit(&mut self, c: Committed) {
+            self.commits.push(c);
+        }
+        fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
+    }
+
+    fn cmd(seq: u64) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            Bytes::from_static(b"op"),
+        )
+    }
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn own_slot_progression() {
+        let m = MenciusBcast::new(r(1), Membership::uniform(3));
+        assert_eq!(m.own_slot_after(0), 1);
+        assert_eq!(m.own_slot_after(1), 4);
+        assert_eq!(m.own_slot_after(2), 4);
+        assert_eq!(m.own_slot_after(5), 7);
+        let m0 = MenciusBcast::new(r(0), Membership::uniform(3));
+        assert_eq!(m0.own_slot_after(0), 3);
+        assert_eq!(m0.own_slot_after(2), 3);
+    }
+
+    #[test]
+    fn proposer_uses_own_slots_in_order() {
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_client_request(cmd(1), &mut ctx);
+        m.on_client_request(cmd(2), &mut ctx);
+        let slots: Vec<u64> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, msg)| match msg {
+                MenciusMsg::Propose { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        // Both peers (the proposer handles its own copy inline) get both
+        // proposals in own-slot order: 1,1 then 4,4.
+        assert_eq!(slots, vec![1, 1, 4, 4]);
+        // The local registration also acknowledged both slots.
+        let acks = ctx
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, MenciusMsg::AcceptAck { .. }))
+            .count();
+        assert_eq!(acks, 6, "one ack broadcast (3 dests) per own proposal");
+    }
+
+    #[test]
+    fn ack_carries_skip_promise_and_advances_own_slot() {
+        let mut m = MenciusBcast::new(r(2), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        // r0 proposes slot 3 (its second slot); r2 must skip its slot 2.
+        m.on_propose(3, cmd(1), r(0), &mut ctx);
+        let (_, ack) = ctx
+            .sends
+            .iter()
+            .find(|(_, msg)| matches!(msg, MenciusMsg::AcceptAck { .. }))
+            .unwrap();
+        match ack {
+            MenciusMsg::AcceptAck { slot, skip_below } => {
+                assert_eq!(*slot, 3);
+                assert_eq!(*skip_below, 5, "next own slot of r2 after 3 is 5");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn slot_zero_commits_with_majority_and_no_predecessors() {
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_propose(0, cmd(1), r(0), &mut ctx);
+        m.on_accept_ack(r(0), 0, 3, &mut ctx);
+        assert!(ctx.commits.is_empty());
+        m.on_accept_ack(r(1), 0, 1, &mut ctx);
+        assert_eq!(ctx.commits.len(), 1);
+        assert_eq!(ctx.commits[0].order_hint, 0);
+    }
+
+    #[test]
+    fn later_slot_waits_for_skip_promises_from_all_owners() {
+        // Imbalanced workload shape: only r0 proposes; its second command
+        // sits in slot 3 and needs r1's and r2's promises covering slots
+        // 1 and 2.
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_propose(0, cmd(1), r(0), &mut ctx);
+        m.on_propose(3, cmd(2), r(0), &mut ctx);
+        // Majority acks for both slots from r0 (self) and r1.
+        m.on_accept_ack(r(0), 0, 3, &mut ctx);
+        m.on_accept_ack(r(0), 3, 6, &mut ctx);
+        m.on_accept_ack(r(1), 0, 1, &mut ctx);
+        m.on_accept_ack(r(1), 3, 4, &mut ctx);
+        // Slot 0 commits; slot 3 blocked: r2's promise for slot 2 missing.
+        assert_eq!(ctx.commits.len(), 1);
+        // r2's ack arrives: skip_below 5 covers its slot 2; slot 1 covered
+        // by r1's skip_below 4.
+        m.on_accept_ack(r(2), 3, 5, &mut ctx);
+        assert_eq!(ctx.commits.len(), 2);
+        assert_eq!(ctx.commits[1].order_hint, 3);
+        assert_eq!(m.resolved(), 4);
+    }
+
+    #[test]
+    fn delayed_commit_blocks_on_concurrent_smaller_slot() {
+        // r1 observes its own slot-1 proposal fully acked, but r0's
+        // concurrent slot-0 command is still short of a majority: slot 1
+        // must wait (the delayed-commit problem).
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_propose(0, cmd(1), r(0), &mut ctx);
+        m.on_propose(1, cmd(2), r(1), &mut ctx);
+        m.on_accept_ack(r(1), 1, 4, &mut ctx);
+        m.on_accept_ack(r(2), 1, 5, &mut ctx);
+        m.on_accept_ack(r(0), 1, 3, &mut ctx);
+        assert!(ctx.commits.is_empty(), "slot 1 must wait for slot 0");
+        m.on_accept_ack(r(0), 0, 3, &mut ctx);
+        m.on_accept_ack(r(2), 0, 2, &mut ctx);
+        assert_eq!(ctx.commits.len(), 2);
+        assert_eq!(ctx.commits[0].order_hint, 0);
+        assert_eq!(ctx.commits[1].order_hint, 1);
+    }
+
+    #[test]
+    fn skipped_slots_resolve_without_commands() {
+        let mut m = MenciusBcast::new(r(2), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        // r1 proposes in its slot 4; everyone skips 0..4.
+        m.on_propose(4, cmd(1), r(1), &mut ctx);
+        m.on_accept_ack(r(0), 4, 6, &mut ctx); // r0 skips 0 and 3
+        m.on_accept_ack(r(1), 4, 7, &mut ctx); // r1 skips 1 (4 proposed)
+        m.on_accept_ack(r(2), 4, 5, &mut ctx); // r2 skips 2
+        assert_eq!(ctx.commits.len(), 1);
+        assert_eq!(ctx.commits[0].order_hint, 4);
+        assert_eq!(m.resolved(), 5);
+        let skips = ctx
+            .log
+            .iter()
+            .filter(|r| matches!(r, MenciusLogRec::Skip { .. }))
+            .count();
+        assert_eq!(skips, 4);
+    }
+
+    #[test]
+    fn recovery_replays_resolved_prefix() {
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let log = vec![
+            MenciusLogRec::Accept {
+                slot: 0,
+                cmd: cmd(1),
+                origin: r(0),
+            },
+            MenciusLogRec::Commit { slot: 0 },
+            MenciusLogRec::Skip { slot: 1 },
+            MenciusLogRec::Skip { slot: 2 },
+            MenciusLogRec::Accept {
+                slot: 3,
+                cmd: cmd(2),
+                origin: r(0),
+            },
+        ];
+        let mut ctx = TestCtx::new();
+        m.on_recover(&log, &mut ctx);
+        assert_eq!(ctx.commits.len(), 1);
+        assert_eq!(m.resolved(), 3);
+        // Own slots never reused below what the log shows.
+        assert!(m.next_own_slot > 3);
+        assert_eq!(m.next_own_slot % 3, 0);
+    }
+}

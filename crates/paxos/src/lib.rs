@@ -1,0 +1,52 @@
+//! # paxos
+//!
+//! The **Multi-Paxos** and **Paxos-bcast** baselines of the Clock-RSM paper
+//! (Sections IV-B and VI), plus a reusable **single-decree synod**
+//! (classic Paxos consensus) that the Clock-RSM reconfiguration protocol
+//! uses for its `PROPOSE`/`DECIDE` primitives (Algorithm 3).
+//!
+//! ## Multi-Paxos / Paxos-bcast
+//!
+//! One replica is the designated, stable leader. Followers forward client
+//! commands to it; the leader assigns consecutive instance numbers and runs
+//! phase 2 (accept) for each. Two variants, exactly as analyzed in
+//! Table II of the paper:
+//!
+//! * **Paxos** — phase 2b goes only to the leader, which then broadcasts a
+//!   commit notification. Non-leader commit latency:
+//!   `2·d(r_i, r_l) + 2·median_k(d(r_l, r_k))`. Message complexity `O(N)`.
+//! * **Paxos-bcast** — every replica broadcasts phase 2b; each replica
+//!   self-commits on a majority. Non-leader latency:
+//!   `d(r_i, r_l) + median_k(d(r_l, r_k) + d(r_k, r_i))`. Complexity
+//!   `O(N²)`.
+//!
+//! Both variants assume a stable leader; leader fail-over (view change) is
+//! outside the paper's evaluation and not modelled — the Clock-RSM crate's
+//! reconfiguration protocol is where failure handling is reproduced.
+//!
+//! ## Example
+//!
+//! ```
+//! use paxos::{MultiPaxos, PaxosVariant};
+//! use rsm_core::{Membership, ReplicaId};
+//!
+//! let p = MultiPaxos::new(
+//!     ReplicaId::new(1),
+//!     Membership::uniform(5),
+//!     ReplicaId::new(0),          // leader
+//!     PaxosVariant::Bcast,
+//! );
+//! assert_eq!(p.leader(), ReplicaId::new(0));
+//! assert!(!p.is_leader());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod msg;
+pub mod replica;
+pub mod synod;
+
+pub use msg::PaxosMsg;
+pub use replica::{MultiPaxos, PaxosVariant};
+pub use synod::{Ballot, SynodInstance, SynodMsg};

@@ -1,0 +1,73 @@
+//! Multi-Paxos wire messages.
+
+use rsm_core::command::Command;
+use rsm_core::id::ReplicaId;
+use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+
+/// Messages exchanged by [`MultiPaxos`](crate::MultiPaxos) replicas.
+#[derive(Debug, Clone)]
+pub enum PaxosMsg {
+    /// A follower forwards a client command to the leader, remembering
+    /// itself as the command's origin so the reply returns to the right
+    /// data center.
+    Forward {
+        /// The client command.
+        cmd: Command,
+        /// The replica whose client issued the command.
+        origin: ReplicaId,
+    },
+    /// Phase 2a: the leader asks replicas to accept `cmd` in `instance`.
+    Accept {
+        /// Consecutive instance number assigned by the leader.
+        instance: u64,
+        /// The command bound to the instance.
+        cmd: Command,
+        /// The replica whose client issued the command.
+        origin: ReplicaId,
+    },
+    /// Phase 2b: a replica has logged the instance. Sent to the leader
+    /// (plain Paxos) or broadcast to everyone (Paxos-bcast).
+    Accepted {
+        /// The instance being acknowledged.
+        instance: u64,
+    },
+    /// Commit notification from the leader (plain Paxos only).
+    Commit {
+        /// The committed instance.
+        instance: u64,
+    },
+}
+
+impl WireSize for PaxosMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            PaxosMsg::Forward { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            PaxosMsg::Accept { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            PaxosMsg::Accepted { .. } | PaxosMsg::Commit { .. } => MSG_HEADER_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::ClientId;
+
+    #[test]
+    fn payload_bearing_messages_are_larger() {
+        let cmd = Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
+            Bytes::from(vec![0u8; 100]),
+        );
+        let accept = PaxosMsg::Accept {
+            instance: 1,
+            cmd: cmd.clone(),
+            origin: ReplicaId::new(0),
+        };
+        let ack = PaxosMsg::Accepted { instance: 1 };
+        assert!(accept.wire_size() > ack.wire_size() + 100);
+        assert_eq!(ack.wire_size(), MSG_HEADER_BYTES);
+    }
+}

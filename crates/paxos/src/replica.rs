@@ -1,0 +1,518 @@
+//! The Multi-Paxos replica state machine (plain and bcast variants).
+
+use std::collections::BTreeMap;
+
+use rsm_core::command::{Command, Committed};
+use rsm_core::config::Membership;
+use rsm_core::id::ReplicaId;
+use rsm_core::protocol::{Context, Protocol, TimerToken};
+
+use crate::msg::PaxosMsg;
+
+/// Which phase-2b dissemination strategy to run (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaxosVariant {
+    /// Phase 2b to the leader only; leader broadcasts commit notifications.
+    Plain,
+    /// Phase 2b broadcast to all replicas; everyone self-commits on a
+    /// majority ("a well-known optimization ... saving the last message").
+    Bcast,
+}
+
+/// Stable log record of Multi-Paxos: accepted instances and commit marks.
+#[derive(Debug, Clone)]
+pub enum PaxosLogRec {
+    /// An accepted (logged) instance, phase 2.
+    Accept {
+        /// Instance number.
+        instance: u64,
+        /// The command.
+        cmd: Command,
+        /// Originating replica.
+        origin: ReplicaId,
+    },
+    /// A commit mark for an instance.
+    Commit {
+        /// Instance number.
+        instance: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Instance {
+    cmd: Option<(Command, ReplicaId)>,
+    acks: usize,
+    committed: bool,
+    executed: bool,
+}
+
+/// A Multi-Paxos replica with a fixed, stable leader.
+///
+/// See the crate docs for the latency characteristics of each
+/// [`PaxosVariant`]. The implementation assumes the leader does not fail
+/// (ballot 0 everywhere), which matches the paper's failure-free latency
+/// and throughput evaluations of the baseline.
+#[derive(Debug)]
+pub struct MultiPaxos {
+    id: ReplicaId,
+    membership: Membership,
+    leader: ReplicaId,
+    variant: PaxosVariant,
+    /// Leader only: next instance number to assign.
+    next_instance: u64,
+    instances: BTreeMap<u64, Instance>,
+    /// Next instance to execute (all below are executed).
+    exec_cursor: u64,
+}
+
+impl MultiPaxos {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `leader` is not in the membership spec.
+    pub fn new(
+        id: ReplicaId,
+        membership: Membership,
+        leader: ReplicaId,
+        variant: PaxosVariant,
+    ) -> Self {
+        assert!(membership.in_spec(id), "replica {id} not in spec");
+        assert!(membership.in_spec(leader), "leader {leader} not in spec");
+        MultiPaxos {
+            id,
+            membership,
+            leader,
+            variant,
+            next_instance: 0,
+            instances: BTreeMap::new(),
+            exec_cursor: 0,
+        }
+    }
+
+    /// The designated leader replica.
+    pub fn leader(&self) -> ReplicaId {
+        self.leader
+    }
+
+    /// Whether this replica is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.id == self.leader
+    }
+
+    /// The dissemination variant this replica runs.
+    pub fn variant(&self) -> PaxosVariant {
+        self.variant
+    }
+
+    /// Number of instances executed so far.
+    pub fn executed(&self) -> u64 {
+        self.exec_cursor
+    }
+
+    fn majority(&self) -> usize {
+        self.membership.majority()
+    }
+
+    /// Leader: bind `cmd` to the next instance and start phase 2.
+    fn propose(&mut self, cmd: Command, origin: ReplicaId, ctx: &mut dyn Context<Self>) {
+        debug_assert!(self.is_leader());
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        for r in self.membership.config().to_vec() {
+            ctx.send(
+                r,
+                PaxosMsg::Accept {
+                    instance,
+                    cmd: cmd.clone(),
+                    origin,
+                },
+            );
+        }
+    }
+
+    fn on_accept(
+        &mut self,
+        instance: u64,
+        cmd: Command,
+        origin: ReplicaId,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        if instance < self.exec_cursor {
+            return; // stale: already executed
+        }
+        ctx.log_append(PaxosLogRec::Accept {
+            instance,
+            cmd: cmd.clone(),
+            origin,
+        });
+        let inst = self.instances.entry(instance).or_default();
+        inst.cmd = Some((cmd, origin));
+        let ack = PaxosMsg::Accepted { instance };
+        match self.variant {
+            PaxosVariant::Plain => ctx.send(self.leader, ack),
+            PaxosVariant::Bcast => {
+                for r in self.membership.config().to_vec() {
+                    ctx.send(r, ack.clone());
+                }
+            }
+        }
+    }
+
+    fn on_accepted(&mut self, instance: u64, ctx: &mut dyn Context<Self>) {
+        if instance < self.exec_cursor {
+            return; // stale: already executed
+        }
+        let majority = self.majority();
+        let inst = self.instances.entry(instance).or_default();
+        inst.acks += 1;
+        if inst.acks == majority && !inst.committed {
+            match self.variant {
+                PaxosVariant::Plain => {
+                    // Only the leader counts 2b in plain Paxos; notify all.
+                    debug_assert!(self.id == self.leader);
+                    for r in self.membership.config().to_vec() {
+                        ctx.send(r, PaxosMsg::Commit { instance });
+                    }
+                }
+                PaxosVariant::Bcast => {
+                    inst.committed = true;
+                    ctx.log_append(PaxosLogRec::Commit { instance });
+                    self.execute_ready(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_commit(&mut self, instance: u64, ctx: &mut dyn Context<Self>) {
+        if instance < self.exec_cursor {
+            return; // stale: already executed
+        }
+        let inst = self.instances.entry(instance).or_default();
+        if !inst.committed {
+            inst.committed = true;
+            ctx.log_append(PaxosLogRec::Commit { instance });
+            self.execute_ready(ctx);
+        }
+    }
+
+    /// Executes committed instances in consecutive order.
+    fn execute_ready(&mut self, ctx: &mut dyn Context<Self>) {
+        while let Some(inst) = self.instances.get_mut(&self.exec_cursor) {
+            if !inst.committed || inst.executed {
+                break;
+            }
+            let (cmd, origin) = inst
+                .cmd
+                .clone()
+                .expect("committed instance must hold its command (FIFO from leader)");
+            inst.executed = true;
+            let instance = self.exec_cursor;
+            self.exec_cursor += 1;
+            ctx.commit(Committed {
+                cmd,
+                origin,
+                order_hint: instance,
+            });
+            self.instances.remove(&(instance));
+        }
+    }
+}
+
+impl Protocol for MultiPaxos {
+    type Msg = PaxosMsg;
+    type LogRec = PaxosLogRec;
+
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
+
+    fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        if self.is_leader() {
+            let origin = self.id;
+            self.propose(cmd, origin, ctx);
+        } else {
+            ctx.send(
+                self.leader,
+                PaxosMsg::Forward {
+                    cmd,
+                    origin: self.id,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, _from: ReplicaId, msg: PaxosMsg, ctx: &mut dyn Context<Self>) {
+        match msg {
+            PaxosMsg::Forward { cmd, origin } => {
+                if self.is_leader() {
+                    self.propose(cmd, origin, ctx);
+                }
+            }
+            PaxosMsg::Accept {
+                instance,
+                cmd,
+                origin,
+            } => self.on_accept(instance, cmd, origin, ctx),
+            PaxosMsg::Accepted { instance } => {
+                // In plain Paxos only the leader receives and counts 2b.
+                if self.variant == PaxosVariant::Bcast || self.is_leader() {
+                    self.on_accepted(instance, ctx);
+                }
+            }
+            PaxosMsg::Commit { instance } => self.on_commit(instance, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
+
+    fn on_recover(&mut self, log: &[PaxosLogRec], ctx: &mut dyn Context<Self>) {
+        // Rebuild accepted instances, then re-execute the committed prefix.
+        for rec in log {
+            match rec {
+                PaxosLogRec::Accept {
+                    instance,
+                    cmd,
+                    origin,
+                } => {
+                    let inst = self.instances.entry(*instance).or_default();
+                    inst.cmd = Some((cmd.clone(), *origin));
+                }
+                PaxosLogRec::Commit { instance } => {
+                    self.instances.entry(*instance).or_default().committed = true;
+                }
+            }
+        }
+        self.next_instance = self
+            .instances
+            .keys()
+            .max()
+            .map_or(0, |m| m + 1)
+            .max(self.next_instance);
+        self.execute_ready(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+    use rsm_core::id::ClientId;
+    use rsm_core::time::Micros;
+
+    struct TestCtx {
+        sends: Vec<(ReplicaId, PaxosMsg)>,
+        commits: Vec<Committed>,
+        log: Vec<PaxosLogRec>,
+        clock: Micros,
+    }
+
+    impl TestCtx {
+        fn new() -> Self {
+            TestCtx {
+                sends: Vec::new(),
+                commits: Vec::new(),
+                log: Vec::new(),
+                clock: 0,
+            }
+        }
+    }
+
+    impl Context<MultiPaxos> for TestCtx {
+        fn clock(&mut self) -> Micros {
+            self.clock += 1;
+            self.clock
+        }
+        fn send(&mut self, to: ReplicaId, msg: PaxosMsg) {
+            self.sends.push((to, msg));
+        }
+        fn log_append(&mut self, rec: PaxosLogRec) {
+            self.log.push(rec);
+        }
+        fn log_rewrite(&mut self, recs: Vec<PaxosLogRec>) {
+            self.log = recs;
+        }
+        fn commit(&mut self, c: Committed) {
+            self.commits.push(c);
+        }
+        fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
+    }
+
+    fn cmd(seq: u64) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            Bytes::from_static(b"op"),
+        )
+    }
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn follower_forwards_to_leader() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_client_request(cmd(1), &mut ctx);
+        assert_eq!(ctx.sends.len(), 1);
+        assert_eq!(ctx.sends[0].0, r(0));
+        assert!(matches!(ctx.sends[0].1, PaxosMsg::Forward { .. }));
+    }
+
+    #[test]
+    fn leader_assigns_consecutive_instances() {
+        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_client_request(cmd(1), &mut ctx);
+        p.on_client_request(cmd(2), &mut ctx);
+        let instances: Vec<u64> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                PaxosMsg::Accept { instance, .. } => Some(*instance),
+                _ => None,
+            })
+            .collect();
+        // 3 replicas × 2 commands.
+        assert_eq!(instances.len(), 6);
+        assert_eq!(instances[0], 0);
+        assert_eq!(instances[5], 1);
+    }
+
+    #[test]
+    fn bcast_commits_on_majority_acks() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_message(
+            r(0),
+            PaxosMsg::Accept {
+                instance: 0,
+                cmd: cmd(1),
+                origin: r(0),
+            },
+            &mut ctx,
+        );
+        // Logged and broadcast its own 2b.
+        assert_eq!(ctx.log.len(), 1);
+        let own_acks = ctx
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, PaxosMsg::Accepted { .. }))
+            .count();
+        assert_eq!(own_acks, 3);
+        // Two 2b messages arrive (majority of 3 incl. someone else's).
+        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        assert!(ctx.commits.is_empty());
+        p.on_message(r(1), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        assert_eq!(ctx.commits.len(), 1);
+        assert_eq!(ctx.commits[0].origin, r(0));
+    }
+
+    #[test]
+    fn plain_follower_waits_for_commit_message() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Plain);
+        let mut ctx = TestCtx::new();
+        p.on_message(
+            r(0),
+            PaxosMsg::Accept {
+                instance: 0,
+                cmd: cmd(1),
+                origin: r(2),
+            },
+            &mut ctx,
+        );
+        // 2b goes to the leader only.
+        let (to, _) = ctx
+            .sends
+            .iter()
+            .find(|(_, m)| matches!(m, PaxosMsg::Accepted { .. }))
+            .unwrap();
+        assert_eq!(*to, r(0));
+        // Acks from others do nothing at a plain follower.
+        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        assert!(ctx.commits.is_empty());
+        p.on_message(r(0), PaxosMsg::Commit { instance: 0 }, &mut ctx);
+        assert_eq!(ctx.commits.len(), 1);
+    }
+
+    #[test]
+    fn plain_leader_broadcasts_commit_on_majority() {
+        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Plain);
+        let mut ctx = TestCtx::new();
+        p.on_client_request(cmd(1), &mut ctx);
+        p.on_message(
+            r(0),
+            PaxosMsg::Accept {
+                instance: 0,
+                cmd: cmd(1),
+                origin: r(0),
+            },
+            &mut ctx,
+        );
+        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        let commit_sends = ctx
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, PaxosMsg::Commit { .. }))
+            .count();
+        assert_eq!(commit_sends, 3);
+    }
+
+    #[test]
+    fn execution_is_in_instance_order_despite_commit_reorder() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        for i in 0..2 {
+            p.on_message(
+                r(0),
+                PaxosMsg::Accept {
+                    instance: i,
+                    cmd: cmd(i),
+                    origin: r(0),
+                },
+                &mut ctx,
+            );
+        }
+        // Majority for instance 1 arrives before instance 0.
+        p.on_message(r(0), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
+        assert!(ctx.commits.is_empty(), "instance 1 must wait for 0");
+        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        assert_eq!(ctx.commits.len(), 2);
+        assert_eq!(ctx.commits[0].order_hint, 0);
+        assert_eq!(ctx.commits[1].order_hint, 1);
+    }
+
+    #[test]
+    fn recovery_replays_committed_prefix() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        let log = vec![
+            PaxosLogRec::Accept {
+                instance: 0,
+                cmd: cmd(1),
+                origin: r(0),
+            },
+            PaxosLogRec::Accept {
+                instance: 1,
+                cmd: cmd(2),
+                origin: r(2),
+            },
+            PaxosLogRec::Commit { instance: 0 },
+        ];
+        p.on_recover(&log, &mut ctx);
+        assert_eq!(ctx.commits.len(), 1);
+        assert_eq!(ctx.commits[0].order_hint, 0);
+        assert_eq!(p.executed(), 1);
+        // The uncommitted instance 1 stays pending; a later Commit resumes.
+        p.on_message(r(0), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
+        assert_eq!(ctx.commits.len(), 2);
+    }
+}

@@ -1,0 +1,510 @@
+//! Single-decree Paxos ("synod") consensus.
+//!
+//! The Clock-RSM reconfiguration protocol (Algorithm 3 of the paper) is
+//! built on consensus primitives `PROPOSE(k, m_p)` / `DECIDE(k, m_d)`:
+//! "in practice one can use a protocol like Paxos to implement the
+//! primitives". This module provides exactly that — a self-contained,
+//! transport-agnostic single-decree Paxos instance that the embedding
+//! protocol drives by relaying its messages.
+//!
+//! Each [`SynodInstance`] combines the acceptor role (always active) with
+//! an optional proposer role (activated by [`propose`]). Competing
+//! proposers are resolved by ballots; liveness under contention is restored
+//! by the embedder calling [`on_retry`] on a timeout, which re-proposes
+//! with a higher ballot.
+//!
+//! [`propose`]: SynodInstance::propose
+//! [`on_retry`]: SynodInstance::on_retry
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rsm_core::id::ReplicaId;
+
+/// A Paxos ballot: a round number with the proposing replica's id as the
+/// tie-breaker, totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ballot {
+    /// Retry round, dominant in the ordering.
+    pub round: u64,
+    /// Proposer id, breaking ties between concurrent rounds.
+    pub proposer: ReplicaId,
+}
+
+impl Ballot {
+    /// The null ballot, smaller than any real proposal ballot.
+    pub const NULL: Ballot = Ballot {
+        round: 0,
+        proposer: ReplicaId::new(0),
+    };
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.proposer)
+    }
+}
+
+/// Messages of one synod instance. The embedding protocol wraps these in
+/// its own message type and relays them.
+#[derive(Debug, Clone)]
+pub enum SynodMsg<V> {
+    /// Phase 1a: leader solicitation for `ballot`.
+    Prepare {
+        /// The soliciting ballot.
+        ballot: Ballot,
+    },
+    /// Phase 1b: promise not to accept ballots below `ballot`; reports the
+    /// highest value accepted so far, if any.
+    Promise {
+        /// The promised ballot (echo of the 1a ballot).
+        ballot: Ballot,
+        /// Highest accepted (ballot, value), if any.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// Phase 2a: proposal of `value` at `ballot`.
+    Propose {
+        /// The proposing ballot.
+        ballot: Ballot,
+        /// The proposed value.
+        value: V,
+    },
+    /// Phase 2b: acceptance of `ballot`.
+    Accept {
+        /// The accepted ballot.
+        ballot: Ballot,
+    },
+    /// A rejection hint carrying the acceptor's current promise, prompting
+    /// the proposer to retry with a higher round.
+    Nack {
+        /// The ballot being rejected.
+        ballot: Ballot,
+        /// The acceptor's current promised ballot.
+        promised: Ballot,
+    },
+    /// The decided value, broadcast by the successful proposer.
+    Decided {
+        /// The chosen value.
+        value: V,
+    },
+}
+
+impl<V: rsm_core::WireSize> rsm_core::WireSize for SynodMsg<V> {
+    fn wire_size(&self) -> usize {
+        use rsm_core::wire::MSG_HEADER_BYTES;
+        match self {
+            SynodMsg::Prepare { .. } | SynodMsg::Accept { .. } | SynodMsg::Nack { .. } => {
+                MSG_HEADER_BYTES
+            }
+            SynodMsg::Promise { accepted, .. } => {
+                MSG_HEADER_BYTES + accepted.as_ref().map_or(0, |(_, v)| v.wire_size())
+            }
+            SynodMsg::Propose { value, .. } | SynodMsg::Decided { value } => {
+                MSG_HEADER_BYTES + value.wire_size()
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProposerPhase {
+    Idle,
+    Phase1,
+    Phase2,
+    Done,
+}
+
+/// One single-decree Paxos instance at one replica: always an acceptor,
+/// optionally a proposer.
+///
+/// The instance is transport-agnostic: every operation appends
+/// `(destination, message)` pairs to the caller-supplied outbox.
+///
+/// # Examples
+///
+/// Running a full three-replica decision in-process:
+///
+/// ```
+/// use paxos::{SynodInstance, SynodMsg};
+/// use rsm_core::ReplicaId;
+///
+/// let spec: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+/// let mut nodes: Vec<SynodInstance<u32>> = spec
+///     .iter()
+///     .map(|&r| SynodInstance::new(r, spec.clone()))
+///     .collect();
+/// let mut outbox = Vec::new();
+/// nodes[0].propose(42, &mut outbox);
+/// // Relay messages until quiescent.
+/// while let Some((from, to, m)) = outbox.pop().map(|(to, m)| (ReplicaId::new(0), to, m)) {
+///     let mut out2 = Vec::new();
+///     nodes[to.index()].on_message(from, m, &mut out2);
+///     // (a real embedder routes out2 as well; see the unit tests)
+///     # let _ = out2;
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SynodInstance<V> {
+    id: ReplicaId,
+    spec: Vec<ReplicaId>,
+    // Acceptor state.
+    promised: Ballot,
+    accepted: Option<(Ballot, V)>,
+    // Proposer state.
+    phase: ProposerPhase,
+    my_value: Option<V>,
+    ballot: Ballot,
+    promises: Vec<(ReplicaId, Option<(Ballot, V)>)>,
+    accepts: HashSet<ReplicaId>,
+    max_round_seen: u64,
+    decided: Option<V>,
+}
+
+impl<V: Clone + fmt::Debug> SynodInstance<V> {
+    /// Creates an instance for replica `id` over the replicas in `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `spec`.
+    pub fn new(id: ReplicaId, spec: Vec<ReplicaId>) -> Self {
+        assert!(spec.contains(&id), "replica {id} not in spec");
+        SynodInstance {
+            id,
+            spec,
+            promised: Ballot::NULL,
+            accepted: None,
+            phase: ProposerPhase::Idle,
+            my_value: None,
+            ballot: Ballot::NULL,
+            promises: Vec::new(),
+            accepts: HashSet::new(),
+            max_round_seen: 0,
+            decided: None,
+        }
+    }
+
+    /// The decided value, once known at this replica.
+    pub fn decided(&self) -> Option<&V> {
+        self.decided.as_ref()
+    }
+
+    /// Whether this replica currently has a proposal in flight.
+    pub fn is_proposing(&self) -> bool {
+        matches!(self.phase, ProposerPhase::Phase1 | ProposerPhase::Phase2)
+    }
+
+    fn majority(&self) -> usize {
+        self.spec.len() / 2 + 1
+    }
+
+    /// Starts proposing `value`. The embedder should also arm a retry timer
+    /// and call [`on_retry`](SynodInstance::on_retry) if no decision arrives.
+    pub fn propose(&mut self, value: V, out: &mut Vec<(ReplicaId, SynodMsg<V>)>) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.my_value = Some(value);
+        self.start_round(out);
+    }
+
+    /// Re-proposes with a higher ballot; call on timeout while undecided.
+    pub fn on_retry(&mut self, out: &mut Vec<(ReplicaId, SynodMsg<V>)>) {
+        if self.decided.is_some() || self.my_value.is_none() {
+            return;
+        }
+        self.start_round(out);
+    }
+
+    fn start_round(&mut self, out: &mut Vec<(ReplicaId, SynodMsg<V>)>) {
+        self.max_round_seen += 1;
+        self.ballot = Ballot {
+            round: self.max_round_seen,
+            proposer: self.id,
+        };
+        self.phase = ProposerPhase::Phase1;
+        self.promises.clear();
+        self.accepts.clear();
+        for &r in &self.spec {
+            out.push((
+                r,
+                SynodMsg::Prepare {
+                    ballot: self.ballot,
+                },
+            ));
+        }
+    }
+
+    /// Processes a synod message from `from`; returns `Some(value)` the
+    /// first time this replica learns the decision.
+    pub fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: SynodMsg<V>,
+        out: &mut Vec<(ReplicaId, SynodMsg<V>)>,
+    ) -> Option<V> {
+        match msg {
+            SynodMsg::Prepare { ballot } => {
+                self.max_round_seen = self.max_round_seen.max(ballot.round);
+                if ballot > self.promised {
+                    self.promised = ballot;
+                    out.push((
+                        from,
+                        SynodMsg::Promise {
+                            ballot,
+                            accepted: self.accepted.clone(),
+                        },
+                    ));
+                } else {
+                    out.push((
+                        from,
+                        SynodMsg::Nack {
+                            ballot,
+                            promised: self.promised,
+                        },
+                    ));
+                }
+                None
+            }
+            SynodMsg::Promise { ballot, accepted } => {
+                if self.phase != ProposerPhase::Phase1 || ballot != self.ballot {
+                    return None;
+                }
+                if self.promises.iter().all(|(r, _)| *r != from) {
+                    self.promises.push((from, accepted));
+                }
+                if self.promises.len() >= self.majority() {
+                    // Choose the highest-ballot accepted value, else ours.
+                    let inherited = self
+                        .promises
+                        .iter()
+                        .filter_map(|(_, a)| a.clone())
+                        .max_by_key(|(b, _)| *b)
+                        .map(|(_, v)| v);
+                    let value = inherited
+                        .unwrap_or_else(|| self.my_value.clone().expect("proposer has a value"));
+                    self.phase = ProposerPhase::Phase2;
+                    self.accepts.clear();
+                    for &r in &self.spec {
+                        out.push((
+                            r,
+                            SynodMsg::Propose {
+                                ballot: self.ballot,
+                                value: value.clone(),
+                            },
+                        ));
+                    }
+                }
+                None
+            }
+            SynodMsg::Propose { ballot, value } => {
+                self.max_round_seen = self.max_round_seen.max(ballot.round);
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.accepted = Some((ballot, value));
+                    out.push((from, SynodMsg::Accept { ballot }));
+                } else {
+                    out.push((
+                        from,
+                        SynodMsg::Nack {
+                            ballot,
+                            promised: self.promised,
+                        },
+                    ));
+                }
+                None
+            }
+            SynodMsg::Accept { ballot } => {
+                if self.phase != ProposerPhase::Phase2 || ballot != self.ballot {
+                    return None;
+                }
+                self.accepts.insert(from);
+                if self.accepts.len() >= self.majority() {
+                    self.phase = ProposerPhase::Done;
+                    let value = self
+                        .accepted
+                        .as_ref()
+                        .map(|(_, v)| v.clone())
+                        .or_else(|| self.my_value.clone())
+                        .expect("phase-2 proposer accepted its own proposal");
+                    for &r in &self.spec {
+                        out.push((r, SynodMsg::Decided { value: value.clone() }));
+                    }
+                    // The decision also applies locally (the broadcast loops
+                    // back through the embedder's self-delivery, but return
+                    // the decision immediately for responsiveness).
+                    if self.decided.is_none() {
+                        self.decided = Some(value.clone());
+                        return Some(value);
+                    }
+                }
+                None
+            }
+            SynodMsg::Nack { promised, .. } => {
+                // A higher ballot exists: remember it so a retry outbids it.
+                self.max_round_seen = self.max_round_seen.max(promised.round);
+                None
+            }
+            SynodMsg::Decided { value } => {
+                if self.decided.is_none() {
+                    self.decided = Some(value.clone());
+                    self.phase = ProposerPhase::Done;
+                    Some(value)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn spec(n: u16) -> Vec<ReplicaId> {
+        (0..n).map(ReplicaId::new).collect()
+    }
+
+    /// Delivers all in-flight messages until quiescence; returns decisions
+    /// in the order replicas learned them.
+    fn pump(
+        nodes: &mut [SynodInstance<u32>],
+        inflight: &mut VecDeque<(ReplicaId, ReplicaId, SynodMsg<u32>)>,
+        drop_to: &[ReplicaId],
+    ) -> Vec<(ReplicaId, u32)> {
+        let mut decisions = Vec::new();
+        while let Some((from, to, msg)) = inflight.pop_front() {
+            if drop_to.contains(&to) {
+                continue;
+            }
+            let mut out = Vec::new();
+            if let Some(v) = nodes[to.index()].on_message(from, msg, &mut out) {
+                decisions.push((to, v));
+            }
+            for (dest, m) in out {
+                inflight.push_back((to, dest, m));
+            }
+        }
+        decisions
+    }
+
+    fn start(
+        nodes: &mut [SynodInstance<u32>],
+        proposer: usize,
+        value: u32,
+        inflight: &mut VecDeque<(ReplicaId, ReplicaId, SynodMsg<u32>)>,
+    ) {
+        let mut out = Vec::new();
+        nodes[proposer].propose(value, &mut out);
+        for (dest, m) in out {
+            inflight.push_back((ReplicaId::new(proposer as u16), dest, m));
+        }
+    }
+
+    #[test]
+    fn single_proposer_decides_its_value() {
+        let s = spec(3);
+        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut inflight = VecDeque::new();
+        start(&mut nodes, 0, 7, &mut inflight);
+        let decisions = pump(&mut nodes, &mut inflight, &[]);
+        assert!(decisions.iter().all(|(_, v)| *v == 7));
+        for n in &nodes {
+            assert_eq!(n.decided(), Some(&7));
+        }
+    }
+
+    #[test]
+    fn competing_proposers_agree_on_one_value() {
+        let s = spec(5);
+        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut inflight = VecDeque::new();
+        start(&mut nodes, 0, 100, &mut inflight);
+        start(&mut nodes, 4, 200, &mut inflight);
+        // Interleave deliveries; retries resolve contention.
+        for _ in 0..20 {
+            pump(&mut nodes, &mut inflight, &[]);
+            if nodes.iter().all(|n| n.decided().is_some()) {
+                break;
+            }
+            for i in [0usize, 4] {
+                let mut out = Vec::new();
+                nodes[i].on_retry(&mut out);
+                for (dest, m) in out {
+                    inflight.push_back((ReplicaId::new(i as u16), dest, m));
+                }
+            }
+        }
+        let decided: Vec<u32> = nodes.iter().filter_map(|n| n.decided().copied()).collect();
+        assert_eq!(decided.len(), 5, "all replicas must decide");
+        assert!(decided.windows(2).all(|w| w[0] == w[1]), "{decided:?}");
+        assert!(decided[0] == 100 || decided[0] == 200);
+    }
+
+    #[test]
+    fn decision_survives_minority_unreachable() {
+        let s = spec(5);
+        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut inflight = VecDeque::new();
+        let dead = [ReplicaId::new(3), ReplicaId::new(4)];
+        start(&mut nodes, 0, 9, &mut inflight);
+        let decisions = pump(&mut nodes, &mut inflight, &dead);
+        assert!(!decisions.is_empty());
+        assert!(decisions.iter().all(|(_, v)| *v == 9));
+        assert_eq!(nodes[0].decided(), Some(&9));
+        assert_eq!(nodes[3].decided(), None);
+    }
+
+    #[test]
+    fn second_proposer_inherits_chosen_value() {
+        // r0 decides with {r0, r1, r2}; r4 proposes later and must learn 11
+        // rather than imposing 55.
+        let s = spec(5);
+        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut inflight = VecDeque::new();
+        let dead = [ReplicaId::new(3), ReplicaId::new(4)];
+        start(&mut nodes, 0, 11, &mut inflight);
+        pump(&mut nodes, &mut inflight, &dead);
+        assert_eq!(nodes[0].decided(), Some(&11));
+        // Now r4 (which saw nothing) proposes 55 reaching everyone.
+        start(&mut nodes, 4, 55, &mut inflight);
+        for _ in 0..10 {
+            pump(&mut nodes, &mut inflight, &[]);
+            if nodes[4].decided().is_some() {
+                break;
+            }
+            let mut out = Vec::new();
+            nodes[4].on_retry(&mut out);
+            for (dest, m) in out {
+                inflight.push_back((ReplicaId::new(4), dest, m));
+            }
+        }
+        assert_eq!(nodes[4].decided(), Some(&11), "agreement violated");
+    }
+
+    #[test]
+    fn ballots_order_by_round_then_proposer() {
+        let a = Ballot {
+            round: 1,
+            proposer: ReplicaId::new(2),
+        };
+        let b = Ballot {
+            round: 2,
+            proposer: ReplicaId::new(0),
+        };
+        assert!(a < b);
+        assert!(Ballot::NULL < a);
+        assert_eq!(a.to_string(), "b1.r2");
+    }
+
+    #[test]
+    fn proposing_state_is_reported() {
+        let s = spec(3);
+        let mut n = SynodInstance::new(ReplicaId::new(0), s);
+        assert!(!n.is_proposing());
+        let mut out = Vec::new();
+        n.propose(1, &mut out);
+        assert!(n.is_proposing());
+    }
+}

@@ -1,0 +1,43 @@
+//! # rsm-runtime
+//!
+//! A **threaded real-time runtime** for the sans-io protocol cores: one OS
+//! thread per replica, crossbeam channels as the transport, and a network
+//! thread that delays every message by the configured wide-area latency
+//! (optionally scaled down for fast tests).
+//!
+//! The discrete-event simulator (`simnet`) is where all experiments run;
+//! this runtime exists to demonstrate that the *same* protocol
+//! implementations — Clock-RSM, Paxos, Paxos-bcast, Mencius-bcast — run
+//! unmodified outside virtual time, which is the point of the sans-io
+//! design. The geo-replicated key-value store example (`geo_kvstore`)
+//! uses it as a live deployment on one machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use rsm_runtime::{Cluster, ClusterConfig};
+//! use clock_rsm::{ClockRsm, ClockRsmConfig};
+//! use kvstore::{KvOp, KvStore};
+//! use rsm_core::{LatencyMatrix, Membership, ReplicaId};
+//! use std::time::Duration;
+//!
+//! let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000)).scale(0.05);
+//! let cluster = Cluster::spawn(cfg, |id| {
+//!     ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default())
+//! }, || Box::new(KvStore::new()));
+//!
+//! let reply = cluster
+//!     .execute(ReplicaId::new(0), KvOp::put("k", "v").encode(), Duration::from_secs(5))
+//!     .expect("command should commit");
+//! assert_eq!(reply.result[0], 1);
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod net;
+pub mod node;
+
+pub use cluster::{Cluster, ClusterConfig};

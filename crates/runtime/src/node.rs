@@ -1,0 +1,203 @@
+//! The per-replica node thread.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use rsm_core::command::{Command, CommandId, Committed, Reply};
+use rsm_core::id::ReplicaId;
+use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::sm::StateMachine;
+use rsm_core::time::{Micros, MonotonicStamper};
+
+use crate::net::{NetInput, Wire};
+
+/// Input to a node thread.
+pub(crate) enum NodeInput<P: Protocol> {
+    /// A peer message delivered by the network thread.
+    Msg(Wire<P::Msg>),
+    /// A client request routed to this (local) replica.
+    Request(Command),
+    /// Graceful shutdown; the thread answers with its final report.
+    Stop,
+}
+
+/// What a node reports when it stops.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The replica.
+    pub id: ReplicaId,
+    /// Commands executed over the node's lifetime.
+    pub commit_count: u64,
+    /// Final state machine snapshot.
+    pub snapshot: Bytes,
+    /// Number of stable log records written.
+    pub log_len: usize,
+}
+
+pub(crate) struct NodeHarness<P: Protocol> {
+    pub id: ReplicaId,
+    pub proto: P,
+    pub sm: Box<dyn StateMachine>,
+    pub log: Vec<P::LogRec>,
+    pub inbox: Receiver<NodeInput<P>>,
+    pub net_tx: Sender<NetInput<P::Msg>>,
+    pub reply_tx: Sender<(CommandId, Reply)>,
+    pub epoch: Instant,
+    pub clock_offset_us: i64,
+}
+
+struct NodeCtx<'a, P: Protocol> {
+    id: ReplicaId,
+    epoch: Instant,
+    clock_offset_us: i64,
+    stamper: &'a mut MonotonicStamper,
+    log: &'a mut Vec<P::LogRec>,
+    sm: &'a mut dyn StateMachine,
+    net_tx: &'a Sender<NetInput<P::Msg>>,
+    reply_tx: &'a Sender<(CommandId, Reply)>,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, u64, TimerToken)>>,
+    timer_seq: &'a mut u64,
+    commit_count: &'a mut u64,
+    suppress_replies: bool,
+}
+
+impl<'a, P: Protocol> NodeCtx<'a, P> {
+    fn raw_clock(&self) -> Micros {
+        let elapsed = self.epoch.elapsed().as_micros() as i64;
+        (elapsed + self.clock_offset_us).max(0) as Micros
+    }
+}
+
+impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
+    fn clock(&mut self) -> Micros {
+        let raw = self.raw_clock();
+        self.stamper.stamp(raw)
+    }
+
+    fn send(&mut self, to: ReplicaId, msg: P::Msg) {
+        let _ = self.net_tx.send(NetInput::Send(Wire {
+            from: self.id,
+            to,
+            msg,
+        }));
+    }
+
+    fn log_append(&mut self, rec: P::LogRec) {
+        self.log.push(rec);
+    }
+
+    fn log_rewrite(&mut self, recs: Vec<P::LogRec>) {
+        *self.log = recs;
+    }
+
+    fn commit(&mut self, committed: Committed) {
+        let result = self.sm.apply(&committed.cmd);
+        *self.commit_count += 1;
+        if committed.origin == self.id && !self.suppress_replies {
+            let id = committed.cmd.id;
+            let _ = self.reply_tx.send((id, Reply::new(id, result)));
+        }
+    }
+
+    fn set_timer(&mut self, after: Micros, token: TimerToken) {
+        *self.timer_seq += 1;
+        let due = Instant::now() + Duration::from_micros(after);
+        self.timers.push(Reverse((due, *self.timer_seq, token)));
+    }
+
+    fn sm_snapshot(&mut self) -> Option<Bytes> {
+        Some(self.sm.snapshot())
+    }
+
+    fn sm_install(&mut self, snapshot: Bytes) -> bool {
+        self.sm.restore(&snapshot)
+    }
+}
+
+impl<P: Protocol> NodeHarness<P> {
+    /// The node thread body: dispatch messages, requests, and timers until
+    /// asked to stop.
+    pub(crate) fn run(mut self) -> NodeReport {
+        let mut stamper = MonotonicStamper::new();
+        let mut timers: BinaryHeap<Reverse<(Instant, u64, TimerToken)>> = BinaryHeap::new();
+        let mut timer_seq = 0u64;
+        let mut commit_count = 0u64;
+
+        macro_rules! ctx {
+            () => {
+                NodeCtx {
+                    id: self.id,
+                    epoch: self.epoch,
+                    clock_offset_us: self.clock_offset_us,
+                    stamper: &mut stamper,
+                    log: &mut self.log,
+                    sm: self.sm.as_mut(),
+                    net_tx: &self.net_tx,
+                    reply_tx: &self.reply_tx,
+                    timers: &mut timers,
+                    timer_seq: &mut timer_seq,
+                    commit_count: &mut commit_count,
+                    suppress_replies: false,
+                }
+            };
+        }
+
+        {
+            let mut c = ctx!();
+            self.proto.on_start(&mut c);
+        }
+
+        loop {
+            // Fire due timers first.
+            let now = Instant::now();
+            loop {
+                let due = match timers.peek() {
+                    Some(Reverse((due, _, _))) if *due <= now => *due,
+                    _ => break,
+                };
+                let _ = due;
+                let Reverse((_, _, token)) = timers.pop().expect("peeked");
+                let mut c = ctx!();
+                self.proto.on_timer(token, &mut c);
+            }
+
+            let input = match timers.peek() {
+                Some(Reverse((due, _, _))) => {
+                    let timeout = due.saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(timeout) {
+                        Ok(i) => i,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match self.inbox.recv() {
+                    Ok(i) => i,
+                    Err(_) => break,
+                },
+            };
+
+            match input {
+                NodeInput::Msg(wire) => {
+                    let mut c = ctx!();
+                    self.proto.on_message(wire.from, wire.msg, &mut c);
+                }
+                NodeInput::Request(cmd) => {
+                    let mut c = ctx!();
+                    self.proto.on_client_request(cmd, &mut c);
+                }
+                NodeInput::Stop => break,
+            }
+        }
+
+        NodeReport {
+            id: self.id,
+            commit_count,
+            snapshot: self.sm.snapshot(),
+            log_len: self.log.len(),
+        }
+    }
+}

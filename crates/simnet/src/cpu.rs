@@ -1,0 +1,102 @@
+//! CPU cost model for throughput experiments.
+//!
+//! The paper's local-cluster evaluation (Section VI-D, Figure 8) finds that
+//! "in all cases, CPU is the bottleneck and message sending and receiving
+//! is the major consumer of CPU cycles", and that replicas "batch the same
+//! type of messages being processed whenever possible ... without waiting
+//! intentionally". This module prices message processing so the simulator
+//! can reproduce those dynamics: a fixed cost per batch (syscall +
+//! serialization setup), a small marginal cost per message in the batch,
+//! and a per-byte cost.
+
+use rsm_core::time::Micros;
+
+/// Cost parameters for one replica's CPU.
+///
+/// A *batch* is a group of same-type messages moving between the same pair
+/// of replicas in one processing step. Its cost is
+/// `fixed_batch_us + per_msg_us·k + per_kb_us·bytes/1024`.
+///
+/// Defaults are calibrated so that a single replica saturates in the tens
+/// of thousands of small commands per second, the order of magnitude of the
+/// paper's 2008-era Xeon cluster (Figure 8 peaks around 75 kop/s).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::CpuModel;
+/// let cpu = CpuModel::default();
+/// // One 100-byte message alone in a batch:
+/// let alone = cpu.batch_cost(1, 100);
+/// // Ten of them batched:
+/// let batched = cpu.batch_cost(10, 1000);
+/// assert!(batched < 10 * alone, "batching must amortize the fixed cost");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Fixed cost of processing one batch (send or receive), microseconds.
+    pub fixed_batch_us: Micros,
+    /// Marginal cost per message within a batch, microseconds.
+    pub per_msg_us: Micros,
+    /// Cost per 1024 bytes moved, microseconds.
+    pub per_kb_us: Micros,
+}
+
+impl CpuModel {
+    /// Cost of a batch of `msgs` messages totalling `bytes` bytes.
+    pub fn batch_cost(&self, msgs: usize, bytes: usize) -> Micros {
+        if msgs == 0 {
+            return 0;
+        }
+        self.fixed_batch_us
+            + self.per_msg_us * msgs as Micros
+            + (self.per_kb_us * bytes as Micros) / 1024
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        // fixed: syscall + wakeup + protobuf framing; per message: parse and
+        // protocol bookkeeping; per KB: copy + (de)serialize.
+        CpuModel {
+            fixed_batch_us: 18,
+            per_msg_us: 2,
+            per_kb_us: 9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_free() {
+        assert_eq!(CpuModel::default().batch_cost(0, 0), 0);
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_each_dimension() {
+        let cpu = CpuModel::default();
+        assert!(cpu.batch_cost(2, 100) > cpu.batch_cost(1, 100));
+        assert!(cpu.batch_cost(1, 2048) > cpu.batch_cost(1, 100));
+    }
+
+    #[test]
+    fn batching_amortizes_fixed_cost() {
+        let cpu = CpuModel::default();
+        let one_by_one: Micros = (0..50).map(|_| cpu.batch_cost(1, 64)).sum();
+        let together = cpu.batch_cost(50, 50 * 64);
+        assert!(together < one_by_one / 3);
+    }
+
+    #[test]
+    fn large_payload_dominates_for_kilobyte_commands() {
+        let cpu = CpuModel::default();
+        let small = cpu.batch_cost(1, 10);
+        let large = cpu.batch_cost(1, 1000);
+        assert!(large > small);
+        // The byte cost of a 1000B message exceeds its per-message cost.
+        assert!((cpu.per_kb_us * 1000) / 1024 > cpu.per_msg_us);
+    }
+}

@@ -1,0 +1,152 @@
+//! The discrete-event scheduler.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rsm_core::time::Micros;
+
+/// A generic priority queue of timestamped events.
+///
+/// Events fire in `(time, insertion order)` order: ties on virtual time are
+/// broken by a monotonically increasing sequence number, so same-instant
+/// events fire in the order they were scheduled. Together with the
+/// simulator's per-link FIFO floors this yields fully deterministic runs.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(20, "b");
+/// q.push(10, "a");
+/// q.push(20, "c");
+/// assert_eq!(q.pop(), Some((10, "a")));
+/// assert_eq!(q.pop(), Some((20, "b"))); // FIFO among ties
+/// assert_eq!(q.pop(), Some((20, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Micros,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest event first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute virtual time `at`.
+    pub fn push(&mut self, at: Micros, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Micros, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The virtual time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, "x");
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.push(30, "d");
+        assert_eq!(q.pop(), Some((10, "a")));
+        q.push(20, "b");
+        q.push(25, "c");
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((25, "c")));
+        assert_eq!(q.pop(), Some((30, "d")));
+    }
+}

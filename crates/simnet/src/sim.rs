@@ -1,0 +1,1165 @@
+//! The simulation driver: virtual time, network, nodes, and fault injection.
+
+use std::collections::{HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rsm_core::command::{Command, Committed, Reply};
+use rsm_core::id::{ClientId, ReplicaId};
+use rsm_core::matrix::LatencyMatrix;
+use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::sm::StateMachine;
+use rsm_core::time::Micros;
+use rsm_core::wire::WireSize;
+use rsm_core::CommandId;
+
+use crate::clock::{ClockModel, PhysicalClock};
+use crate::cpu::CpuModel;
+use crate::sched::EventQueue;
+use crate::storage::SimLog;
+
+/// Static configuration of a simulation run.
+///
+/// Built with a fluent API; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    latency: LatencyMatrix,
+    jitter_us: Micros,
+    local_delivery_us: Micros,
+    seed: u64,
+    clock_model: ClockModel,
+    clock_overrides: Vec<(usize, ClockModel)>,
+    cpu: Option<CpuModel>,
+    record_history: bool,
+    max_events: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration for the given wide-area latency matrix with
+    /// paper-faithful defaults: no jitter, 0.3 ms client↔replica latency
+    /// (the paper reports ~0.6 ms intra-DC RTT), perfect clocks, no CPU
+    /// model, history recording on.
+    pub fn new(latency: LatencyMatrix) -> Self {
+        SimConfig {
+            latency,
+            jitter_us: 0,
+            local_delivery_us: 300,
+            seed: 0,
+            clock_model: ClockModel::perfect(),
+            clock_overrides: Vec::new(),
+            cpu: None,
+            record_history: true,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Sets the RNG seed controlling jitter, clock offsets, and any
+    /// application randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum uniform per-message jitter, in microseconds.
+    /// Per-link FIFO order is preserved regardless.
+    pub fn jitter_us(mut self, jitter: Micros) -> Self {
+        self.jitter_us = jitter;
+        self
+    }
+
+    /// Sets the one-way latency between a client and its local replica.
+    pub fn local_delivery_us(mut self, d: Micros) -> Self {
+        self.local_delivery_us = d;
+        self
+    }
+
+    /// Sets the default clock model for all replicas. When the model has a
+    /// non-zero sync bound, each replica receives a deterministic random
+    /// initial offset within ±bound.
+    pub fn clock_model(mut self, m: ClockModel) -> Self {
+        self.clock_model = m;
+        self
+    }
+
+    /// Overrides the clock model of one replica.
+    pub fn clock_override(mut self, replica: usize, m: ClockModel) -> Self {
+        self.clock_overrides.push((replica, m));
+        self
+    }
+
+    /// Enables the CPU cost model (throughput experiments).
+    pub fn cpu_model(mut self, cpu: CpuModel) -> Self {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Disables per-commit history recording (for long throughput runs).
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
+        self
+    }
+
+    /// Caps the number of processed events (safety valve for tests).
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Number of replicas in the topology.
+    pub fn num_replicas(&self) -> usize {
+        self.latency.len()
+    }
+
+    /// The latency matrix of this configuration.
+    pub fn latency(&self) -> &LatencyMatrix {
+        &self.latency
+    }
+}
+
+/// One committed command as observed at one replica, for test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Virtual time of execution at this replica.
+    pub at: Micros,
+    /// Protocol ordering coordinate (timestamp / instance / slot).
+    pub order_hint: u64,
+    /// Originating replica of the command.
+    pub origin: ReplicaId,
+    /// Identity of the command.
+    pub cmd_id: CommandId,
+}
+
+/// The application driving a simulation: submits client commands, receives
+/// replies, and observes commits. Workload generators and fault scripts in
+/// the `harness` crate implement this.
+pub trait Application<P: Protocol> {
+    /// Called once at simulation start; schedule initial work here.
+    fn on_init(&mut self, api: &mut SimApi<'_, P>);
+
+    /// A reply reached the issuing client.
+    fn on_reply(&mut self, client: ClientId, reply: Reply, api: &mut SimApi<'_, P>);
+
+    /// An event scheduled via [`SimApi::schedule`] fired.
+    fn on_event(&mut self, key: u64, api: &mut SimApi<'_, P>);
+
+    /// A replica executed a command (observability hook; default no-op).
+    fn on_commit(&mut self, _replica: ReplicaId, _committed: &Committed, _at: Micros) {}
+}
+
+/// An application that does nothing; useful when a test drives replicas
+/// by scheduling events directly.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullApplication;
+
+impl<P: Protocol> Application<P> for NullApplication {
+    fn on_init(&mut self, _api: &mut SimApi<'_, P>) {}
+    fn on_reply(&mut self, _client: ClientId, _reply: Reply, _api: &mut SimApi<'_, P>) {}
+    fn on_event(&mut self, _key: u64, _api: &mut SimApi<'_, P>) {}
+}
+
+/// Capabilities the simulator exposes to the application.
+pub struct SimApi<'a, P: Protocol> {
+    now: Micros,
+    local_delivery_us: Micros,
+    queue: &'a mut EventQueue<Event<P>>,
+    rng: &'a mut StdRng,
+    stop: &'a mut bool,
+}
+
+impl<'a, P: Protocol> SimApi<'a, P> {
+    /// Current virtual time, microseconds.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Submits a client command to replica `to`; it arrives after the
+    /// configured client↔replica latency.
+    pub fn submit(&mut self, to: ReplicaId, cmd: Command) {
+        self.queue
+            .push(self.now + self.local_delivery_us, Event::Request { to, cmd });
+    }
+
+    /// Schedules an application event `after` microseconds from now.
+    pub fn schedule(&mut self, after: Micros, key: u64) {
+        self.queue.push(self.now + after, Event::App { key });
+    }
+
+    /// Crashes a replica `after` microseconds from now: it stops processing
+    /// and loses volatile state, keeping its stable log.
+    pub fn crash(&mut self, node: ReplicaId, after: Micros) {
+        self.queue.push(self.now + after, Event::Crash { node });
+    }
+
+    /// Restarts a crashed replica `after` microseconds from now: it runs
+    /// protocol recovery from its stable log.
+    pub fn recover(&mut self, node: ReplicaId, after: Micros) {
+        self.queue.push(self.now + after, Event::Recover { node });
+    }
+
+    /// Cuts the link between `a` and `b` (both directions) `after`
+    /// microseconds from now; messages park and deliver on heal, modelling
+    /// TCP retransmission.
+    pub fn partition(&mut self, a: ReplicaId, b: ReplicaId, after: Micros) {
+        self.queue.push(self.now + after, Event::Partition { a, b });
+    }
+
+    /// Heals the link between `a` and `b` `after` microseconds from now.
+    pub fn heal(&mut self, a: ReplicaId, b: ReplicaId, after: Micros) {
+        self.queue.push(self.now + after, Event::Heal { a, b });
+    }
+
+    /// Steps a replica's physical clock by `delta_us` (positive or
+    /// negative) `after` microseconds from now. Reads stay monotonic; a
+    /// backwards step simply freezes the observed clock until true time
+    /// catches up.
+    pub fn clock_jump(&mut self, node: ReplicaId, delta_us: i64, after: Micros) {
+        self.queue
+            .push(self.now + after, Event::ClockJump { node, delta_us });
+    }
+
+    /// The deterministic RNG shared with the simulator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Requests the simulation to stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+enum Event<P: Protocol> {
+    Deliver {
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: P::Msg,
+    },
+    Timer {
+        node: ReplicaId,
+        incarnation: u64,
+        token: TimerToken,
+    },
+    Request {
+        to: ReplicaId,
+        cmd: Command,
+    },
+    ReplyArrive {
+        client: ClientId,
+        reply: Reply,
+    },
+    App {
+        key: u64,
+    },
+    Crash {
+        node: ReplicaId,
+    },
+    Recover {
+        node: ReplicaId,
+    },
+    Partition {
+        a: ReplicaId,
+        b: ReplicaId,
+    },
+    Heal {
+        a: ReplicaId,
+        b: ReplicaId,
+    },
+    ClockJump {
+        node: ReplicaId,
+        delta_us: i64,
+    },
+    ProcessInbox {
+        node: ReplicaId,
+    },
+}
+
+enum NodeInput<P: Protocol> {
+    Msg(ReplicaId, P::Msg),
+    Request(Command),
+}
+
+struct Node<P: Protocol> {
+    proto: P,
+    sm: Box<dyn StateMachine>,
+    clock: PhysicalClock,
+    log: SimLog<P::LogRec>,
+    up: bool,
+    incarnation: u64,
+    commits: Vec<CommitRecord>,
+    commit_count: u64,
+    inbox: VecDeque<NodeInput<P>>,
+    inbox_scheduled: bool,
+    cpu_free: Micros,
+}
+
+#[derive(Debug)]
+struct Effects<P: Protocol> {
+    sends: Vec<(ReplicaId, P::Msg)>,
+    /// Committed commands with the result the state machine produced
+    /// (applied inline, so snapshots taken mid-callback are accurate).
+    commits: Vec<(Committed, bytes::Bytes)>,
+    timers: Vec<(Micros, TimerToken)>,
+}
+
+impl<P: Protocol> Default for Effects<P> {
+    fn default() -> Self {
+        Effects {
+            sends: Vec::new(),
+            commits: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+}
+
+struct NodeCtx<'a, P: Protocol> {
+    now: Micros,
+    clock: &'a mut PhysicalClock,
+    log: &'a mut SimLog<P::LogRec>,
+    sm: &'a mut dyn StateMachine,
+    eff: &'a mut Effects<P>,
+}
+
+impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
+    fn clock(&mut self) -> Micros {
+        self.clock.read(self.now)
+    }
+    fn send(&mut self, to: ReplicaId, msg: P::Msg) {
+        self.eff.sends.push((to, msg));
+    }
+    fn log_append(&mut self, rec: P::LogRec) {
+        self.log.append(rec);
+    }
+    fn log_rewrite(&mut self, recs: Vec<P::LogRec>) {
+        self.log.rewrite(recs);
+    }
+    fn commit(&mut self, committed: Committed) {
+        let result = self.sm.apply(&committed.cmd);
+        self.eff.commits.push((committed, result));
+    }
+    fn set_timer(&mut self, after: Micros, token: TimerToken) {
+        self.eff.timers.push((after, token));
+    }
+    fn sm_snapshot(&mut self) -> Option<bytes::Bytes> {
+        Some(self.sm.snapshot())
+    }
+    fn sm_install(&mut self, snapshot: bytes::Bytes) -> bool {
+        self.sm.restore(&snapshot)
+    }
+}
+
+/// A deterministic discrete-event simulation of `P`-replicas on a wide-area
+/// network, driven by an [`Application`].
+///
+/// See the crate docs for the model; see `harness` for ready-made
+/// workloads.
+pub struct Simulation<P: Protocol, A: Application<P>> {
+    cfg: SimConfig,
+    now: Micros,
+    queue: EventQueue<Event<P>>,
+    nodes: Vec<Node<P>>,
+    factory: Box<dyn FnMut(ReplicaId) -> P>,
+    app: A,
+    rng: StdRng,
+    fifo_floor: Vec<Vec<Micros>>,
+    partitioned: HashSet<(usize, usize)>,
+    parked: Vec<((usize, usize), VecDeque<(ReplicaId, ReplicaId, P::Msg)>)>,
+    stop: bool,
+    events_processed: u64,
+}
+
+const PARK_FLUSH_SPACING_US: Micros = 1;
+
+impl<P: Protocol, A: Application<P>> Simulation<P, A> {
+    /// Builds a simulation: one replica per row of the latency matrix,
+    /// protocols created by `factory`, state machines by `sm_factory`.
+    /// Calls every protocol's `on_start` and the application's `on_init`.
+    pub fn new(
+        cfg: SimConfig,
+        mut factory: impl FnMut(ReplicaId) -> P + 'static,
+        sm_factory: impl Fn() -> Box<dyn StateMachine>,
+        app: A,
+    ) -> Self {
+        let n = cfg.num_replicas();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = ReplicaId::new(i as u16);
+            let mut model = cfg.clock_model;
+            // Spread initial offsets within the sync bound, deterministically.
+            if model.sync_bound_us > 0 && model.offset_us == 0 {
+                let b = model.sync_bound_us as i64;
+                model.offset_us = rng.gen_range(-b..=b);
+            }
+            if let Some((_, m)) = cfg.clock_overrides.iter().find(|(r, _)| *r == i) {
+                model = *m;
+            }
+            nodes.push(Node {
+                proto: factory(id),
+                sm: sm_factory(),
+                clock: PhysicalClock::new(model),
+                log: SimLog::new(),
+                up: true,
+                incarnation: 0,
+                commits: Vec::new(),
+                commit_count: 0,
+                inbox: VecDeque::new(),
+                inbox_scheduled: false,
+                cpu_free: 0,
+            });
+        }
+        let mut sim = Simulation {
+            fifo_floor: vec![vec![0; n]; n],
+            partitioned: HashSet::new(),
+            parked: Vec::new(),
+            queue: EventQueue::new(),
+            nodes,
+            factory: Box::new(factory),
+            app,
+            rng,
+            now: 0,
+            stop: false,
+            events_processed: 0,
+            cfg,
+        };
+        for i in 0..n {
+            sim.invoke(i, false, |p, ctx| p.on_start(ctx));
+        }
+        let Simulation {
+            queue,
+            rng,
+            app,
+            stop,
+            cfg,
+            now,
+            ..
+        } = &mut sim;
+        let mut api = SimApi {
+            now: *now,
+            local_delivery_us: cfg.local_delivery_us,
+            queue,
+            rng,
+            stop,
+        };
+        app.on_init(&mut api);
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// The driving application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the driving application.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Commit history of a replica (empty unless history recording is on;
+    /// cleared when the replica recovers and replays).
+    pub fn commits(&self, r: ReplicaId) -> &[CommitRecord] {
+        &self.nodes[r.index()].commits
+    }
+
+    /// Total number of commands a replica has executed (monotonic across
+    /// recoveries).
+    pub fn commit_count(&self, r: ReplicaId) -> u64 {
+        self.nodes[r.index()].commit_count
+    }
+
+    /// Snapshot of a replica's state machine.
+    pub fn snapshot(&self, r: ReplicaId) -> bytes::Bytes {
+        self.nodes[r.index()].sm.snapshot()
+    }
+
+    /// The stable log of a replica (test observability).
+    pub fn log(&self, r: ReplicaId) -> &[P::LogRec] {
+        self.nodes[r.index()].log.records()
+    }
+
+    /// Whether a replica is currently up.
+    pub fn is_up(&self, r: ReplicaId) -> bool {
+        self.nodes[r.index()].up
+    }
+
+    /// Immutable access to a replica's protocol instance.
+    pub fn protocol(&self, r: ReplicaId) -> &P {
+        &self.nodes[r.index()].proto
+    }
+
+    /// Runs until the queue drains, `until` is reached, a stop is
+    /// requested, or the event cap triggers. Returns the virtual time.
+    pub fn run_until(&mut self, until: Micros) -> Micros {
+        while !self.stop && self.events_processed < self.cfg.max_events {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until.min(self.queue.peek_time().unwrap_or(until)));
+        self.now
+    }
+
+    /// Runs for `duration` more microseconds of virtual time.
+    pub fn run_for(&mut self, duration: Micros) -> Micros {
+        let until = self.now + duration;
+        self.run_until(until)
+    }
+
+    /// Processes a single event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.events_processed += 1;
+        self.dispatch(ev);
+        true
+    }
+
+    fn dispatch(&mut self, ev: Event<P>) {
+        match ev {
+            Event::Deliver { from, to, msg } => self.handle_deliver(from, to, msg),
+            Event::Timer {
+                node,
+                incarnation,
+                token,
+            } => {
+                let idx = node.index();
+                if self.nodes[idx].up && self.nodes[idx].incarnation == incarnation {
+                    self.invoke(idx, false, |p, ctx| p.on_timer(token, ctx));
+                }
+            }
+            Event::Request { to, cmd } => {
+                let idx = to.index();
+                if !self.nodes[idx].up {
+                    return; // site down: client request lost
+                }
+                if self.cfg.cpu.is_some() {
+                    self.enqueue_input(idx, NodeInput::Request(cmd));
+                } else {
+                    self.invoke(idx, false, |p, ctx| p.on_client_request(cmd, ctx));
+                }
+            }
+            Event::ReplyArrive { client, reply } => {
+                let Simulation {
+                    queue,
+                    rng,
+                    app,
+                    stop,
+                    cfg,
+                    now,
+                    ..
+                } = self;
+                let mut api = SimApi {
+                    now: *now,
+                    local_delivery_us: cfg.local_delivery_us,
+                    queue,
+                    rng,
+                    stop,
+                };
+                app.on_reply(client, reply, &mut api);
+            }
+            Event::App { key } => {
+                let Simulation {
+                    queue,
+                    rng,
+                    app,
+                    stop,
+                    cfg,
+                    now,
+                    ..
+                } = self;
+                let mut api = SimApi {
+                    now: *now,
+                    local_delivery_us: cfg.local_delivery_us,
+                    queue,
+                    rng,
+                    stop,
+                };
+                app.on_event(key, &mut api);
+            }
+            Event::Crash { node } => {
+                let n = &mut self.nodes[node.index()];
+                if n.up {
+                    n.up = false;
+                    n.incarnation += 1;
+                    n.inbox.clear();
+                    n.inbox_scheduled = false;
+                }
+            }
+            Event::Recover { node } => self.handle_recover(node),
+            Event::Partition { a, b } => {
+                self.partitioned.insert(link_key(a, b));
+            }
+            Event::Heal { a, b } => self.handle_heal(a, b),
+            Event::ClockJump { node, delta_us } => {
+                self.nodes[node.index()].clock.jump(delta_us);
+            }
+            Event::ProcessInbox { node } => self.handle_process_inbox(node),
+        }
+    }
+
+    fn handle_deliver(&mut self, from: ReplicaId, to: ReplicaId, msg: P::Msg) {
+        if from != to && self.partitioned.contains(&link_key(from, to)) {
+            // Park until heal: models TCP retransmission after repair.
+            let key = link_key(from, to);
+            match self.parked.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, q)) => q.push_back((from, to, msg)),
+                None => {
+                    let mut q = VecDeque::new();
+                    q.push_back((from, to, msg));
+                    self.parked.push((key, q));
+                }
+            }
+            return;
+        }
+        let idx = to.index();
+        if !self.nodes[idx].up {
+            return; // destination crashed: message lost
+        }
+        if self.cfg.cpu.is_some() {
+            self.enqueue_input(idx, NodeInput::Msg(from, msg));
+        } else {
+            self.invoke(idx, false, |p, ctx| p.on_message(from, msg, ctx));
+        }
+    }
+
+    fn handle_recover(&mut self, node: ReplicaId) {
+        let idx = node.index();
+        if self.nodes[idx].up {
+            return;
+        }
+        {
+            let n = &mut self.nodes[idx];
+            n.up = true;
+            n.incarnation += 1;
+            n.proto = (self.factory)(node);
+            n.sm.reset();
+            n.commits.clear();
+            n.cpu_free = self.now;
+        }
+        let log: Vec<P::LogRec> = self.nodes[idx].log.records().to_vec();
+        // Replaying the log re-commits executed commands into the fresh
+        // state machine; replies are suppressed (clients saw them already).
+        self.invoke(idx, true, |p, ctx| p.on_recover(&log, ctx));
+        self.invoke(idx, false, |p, ctx| p.on_start(ctx));
+    }
+
+    fn handle_heal(&mut self, a: ReplicaId, b: ReplicaId) {
+        let key = link_key(a, b);
+        self.partitioned.remove(&key);
+        if let Some(pos) = self.parked.iter().position(|(k, _)| *k == key) {
+            let (_, q) = self.parked.remove(pos);
+            for (i, (from, to, msg)) in q.into_iter().enumerate() {
+                self.queue.push(
+                    self.now + (i as Micros + 1) * PARK_FLUSH_SPACING_US,
+                    Event::Deliver { from, to, msg },
+                );
+            }
+        }
+    }
+
+    fn enqueue_input(&mut self, idx: usize, input: NodeInput<P>) {
+        let at = {
+            let n = &mut self.nodes[idx];
+            n.inbox.push_back(input);
+            if n.inbox_scheduled {
+                return;
+            }
+            n.inbox_scheduled = true;
+            n.cpu_free.max(self.now)
+        };
+        self.queue.push(
+            at,
+            Event::ProcessInbox {
+                node: ReplicaId::new(idx as u16),
+            },
+        );
+    }
+
+    /// CPU-modelled processing step: drain the inbox as one receive batch,
+    /// run the protocol on each input, then ship all produced messages as
+    /// per-destination send batches. The node's CPU is busy for the total
+    /// cost; outgoing messages hit the network when the CPU step completes.
+    fn handle_process_inbox(&mut self, node: ReplicaId) {
+        let idx = node.index();
+        let cpu = self.cfg.cpu.expect("ProcessInbox only fires in CPU mode");
+        let inputs: Vec<NodeInput<P>> = {
+            let n = &mut self.nodes[idx];
+            n.inbox_scheduled = false;
+            if !n.up || n.inbox.is_empty() {
+                n.inbox.clear();
+                return;
+            }
+            n.inbox.drain(..).collect()
+        };
+        let recv_msgs = inputs.len();
+        let recv_bytes: usize = inputs
+            .iter()
+            .map(|i| match i {
+                NodeInput::Msg(_, m) => m.wire_size(),
+                NodeInput::Request(c) => c.wire_size(),
+            })
+            .sum();
+        let recv_cost = cpu.batch_cost(recv_msgs, recv_bytes);
+
+        // Run the protocol over every input, accumulating effects.
+        let mut eff = Effects::default();
+        {
+            let n = &mut self.nodes[idx];
+            let Node {
+                proto, clock, log, sm, ..
+            } = n;
+            let mut ctx = NodeCtx {
+                now: self.now,
+                clock,
+                log,
+                sm: sm.as_mut(),
+                eff: &mut eff,
+            };
+            for input in inputs {
+                match input {
+                    NodeInput::Msg(from, m) => proto.on_message(from, m, &mut ctx),
+                    NodeInput::Request(c) => proto.on_client_request(c, &mut ctx),
+                }
+            }
+        }
+
+        // Send batches: group by destination (order-preserving).
+        let mut send_cost: Micros = 0;
+        let mut dests: Vec<ReplicaId> = Vec::new();
+        for (to, _) in &eff.sends {
+            if !dests.contains(to) {
+                dests.push(*to);
+            }
+        }
+        for d in &dests {
+            let (k, bytes) = eff
+                .sends
+                .iter()
+                .filter(|(to, _)| to == d)
+                .fold((0usize, 0usize), |(k, b), (_, m)| (k + 1, b + m.wire_size()));
+            send_cost += cpu.batch_cost(k, bytes);
+        }
+        // Replies to local clients are one more small send batch.
+        let reply_count = eff
+            .commits
+            .iter()
+            .filter(|(c, _)| c.origin == node)
+            .count();
+        if reply_count > 0 {
+            send_cost += cpu.batch_cost(reply_count, reply_count * 16);
+        }
+
+        let done = self.now + recv_cost + send_cost;
+        self.nodes[idx].cpu_free = done;
+        self.apply_effects(idx, eff, done, false);
+
+        // More input may have queued while this step was being planned.
+        let n = &mut self.nodes[idx];
+        if !n.inbox.is_empty() && !n.inbox_scheduled {
+            n.inbox_scheduled = true;
+            self.queue.push(done, Event::ProcessInbox { node });
+        }
+    }
+
+    /// Runs `f` against node `idx`'s protocol with a fresh effect buffer,
+    /// then applies the effects at the current instant.
+    fn invoke(
+        &mut self,
+        idx: usize,
+        suppress_replies: bool,
+        f: impl FnOnce(&mut P, &mut NodeCtx<'_, P>),
+    ) {
+        let mut eff = Effects::default();
+        {
+            let n = &mut self.nodes[idx];
+            let Node {
+                proto, clock, log, sm, ..
+            } = n;
+            let mut ctx = NodeCtx {
+                now: self.now,
+                clock,
+                log,
+                sm: sm.as_mut(),
+                eff: &mut eff,
+            };
+            f(proto, &mut ctx);
+        }
+        self.apply_effects(idx, eff, self.now, suppress_replies);
+    }
+
+    /// Applies buffered effects produced by node `idx`: schedules message
+    /// deliveries (with latency, jitter, and per-link FIFO floors), arms
+    /// timers, executes commits on the state machine, and routes replies.
+    fn apply_effects(&mut self, idx: usize, eff: Effects<P>, at: Micros, suppress_replies: bool) {
+        let from = ReplicaId::new(idx as u16);
+        for (to, msg) in eff.sends {
+            let base = if to == from {
+                0
+            } else {
+                self.cfg.latency.one_way(from, to)
+            };
+            let jitter = if self.cfg.jitter_us > 0 && to != from {
+                self.rng.gen_range(0..=self.cfg.jitter_us)
+            } else {
+                0
+            };
+            let floor = self.fifo_floor[idx][to.index()];
+            let deliver_at = (at + base + jitter).max(floor);
+            self.fifo_floor[idx][to.index()] = deliver_at;
+            self.queue.push(deliver_at, Event::Deliver { from, to, msg });
+        }
+        for (after, token) in eff.timers {
+            let incarnation = self.nodes[idx].incarnation;
+            self.queue.push(
+                at + after,
+                Event::Timer {
+                    node: from,
+                    incarnation,
+                    token,
+                },
+            );
+        }
+        for (committed, result) in eff.commits {
+            let n = &mut self.nodes[idx];
+            n.commit_count += 1;
+            if self.cfg.record_history {
+                n.commits.push(CommitRecord {
+                    at,
+                    order_hint: committed.order_hint,
+                    origin: committed.origin,
+                    cmd_id: committed.cmd.id,
+                });
+            }
+            self.app.on_commit(from, &committed, at);
+            if committed.origin == from && !suppress_replies {
+                let client = committed.cmd.id.client;
+                let reply = Reply::new(committed.cmd.id, result);
+                self.queue.push(
+                    at + self.cfg.local_delivery_us,
+                    Event::ReplyArrive { client, reply },
+                );
+            }
+        }
+    }
+}
+
+fn link_key(a: ReplicaId, b: ReplicaId) -> (usize, usize) {
+    let (x, y) = (a.index(), b.index());
+    if x <= y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rsm_core::command::CommandId;
+
+    /// A toy protocol: the origin broadcasts a command; every replica
+    /// commits on receipt (no coordination). Exercises delivery, FIFO,
+    /// commits, replies, crash/recover, and CPU batching paths.
+    struct Flood {
+        id: ReplicaId,
+        n: u16,
+        delivered: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct FloodMsg(Command, ReplicaId);
+
+    impl WireSize for FloodMsg {
+        fn wire_size(&self) -> usize {
+            32 + self.0.payload.len()
+        }
+    }
+
+    impl Protocol for Flood {
+        type Msg = FloodMsg;
+        type LogRec = Command;
+
+        fn id(&self) -> ReplicaId {
+            self.id
+        }
+        fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
+        fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+            for i in 0..self.n {
+                ctx.send(ReplicaId::new(i), FloodMsg(cmd.clone(), self.id));
+            }
+        }
+        fn on_message(&mut self, _from: ReplicaId, msg: FloodMsg, ctx: &mut dyn Context<Self>) {
+            ctx.log_append(msg.0.clone());
+            self.delivered += 1;
+            ctx.commit(Committed {
+                cmd: msg.0,
+                origin: msg.1,
+                order_hint: self.delivered,
+            });
+        }
+        fn on_timer(&mut self, _t: TimerToken, _ctx: &mut dyn Context<Self>) {}
+        fn on_recover(&mut self, log: &[Command], ctx: &mut dyn Context<Self>) {
+            for cmd in log {
+                self.delivered += 1;
+                ctx.commit(Committed {
+                    cmd: cmd.clone(),
+                    origin: self.id,
+                    order_hint: self.delivered,
+                });
+            }
+        }
+    }
+
+    struct CollectApp {
+        replies: Vec<(Micros, CommandId)>,
+        submitted: bool,
+    }
+
+    impl Application<Flood> for CollectApp {
+        fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
+            api.schedule(1_000, 0);
+        }
+        fn on_event(&mut self, _key: u64, api: &mut SimApi<'_, Flood>) {
+            if !self.submitted {
+                self.submitted = true;
+                let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1);
+                api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"x")));
+            }
+        }
+        fn on_reply(&mut self, _c: ClientId, reply: Reply, api: &mut SimApi<'_, Flood>) {
+            self.replies.push((api.now(), reply.id));
+        }
+    }
+
+    fn sm() -> Box<dyn StateMachine> {
+        #[derive(Default)]
+        struct Count(u64);
+        impl StateMachine for Count {
+            fn apply(&mut self, _cmd: &Command) -> Bytes {
+                self.0 += 1;
+                Bytes::copy_from_slice(&self.0.to_be_bytes())
+            }
+            fn snapshot(&self) -> Bytes {
+                Bytes::copy_from_slice(&self.0.to_be_bytes())
+            }
+            fn reset(&mut self) {
+                self.0 = 0;
+            }
+        }
+        Box::new(Count::default())
+    }
+
+    fn flood_sim(cfg: SimConfig) -> Simulation<Flood, CollectApp> {
+        let n = cfg.num_replicas() as u16;
+        Simulation::new(
+            cfg,
+            move |id| Flood {
+                id,
+                n,
+                delivered: 0,
+            },
+            sm,
+            CollectApp {
+                replies: Vec::new(),
+                submitted: false,
+            },
+        )
+    }
+
+    #[test]
+    fn command_floods_and_reply_arrives() {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(3, 10_000));
+        let mut sim = flood_sim(cfg);
+        sim.run_until(1_000_000);
+        // Reply path: 1ms sched + 0.3ms to replica + self deliver(0) + 0.3ms back.
+        assert_eq!(sim.app().replies.len(), 1);
+        let (at, _) = sim.app().replies[0];
+        assert_eq!(at, 1_000 + 300 + 300);
+        // All three replicas committed the command.
+        for r in 0..3 {
+            assert_eq!(sim.commit_count(ReplicaId::new(r)), 1);
+        }
+    }
+
+    #[test]
+    fn remote_delivery_takes_one_way_latency() {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(3, 10_000));
+        let mut sim = flood_sim(cfg);
+        sim.run_until(1_000_000);
+        let far = sim.commits(ReplicaId::new(1));
+        assert_eq!(far.len(), 1);
+        assert_eq!(far[0].at, 1_000 + 300 + 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let cfg = SimConfig::new(LatencyMatrix::uniform(5, 20_000))
+                .seed(seed)
+                .jitter_us(2_000);
+            let mut sim = flood_sim(cfg);
+            sim.run_until(1_000_000);
+            sim.commits(ReplicaId::new(3)).to_vec()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn jitter_preserves_per_link_fifo() {
+        // Two requests back-to-back; with huge jitter the two PREPAREs from
+        // r0 to r1 must still arrive in order.
+        struct TwoApp;
+        impl Application<Flood> for TwoApp {
+            fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
+                for seq in 0..20 {
+                    let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                    api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"y")));
+                }
+            }
+            fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
+            fn on_event(&mut self, _: u64, _: &mut SimApi<'_, Flood>) {}
+        }
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 10_000))
+            .seed(9)
+            .jitter_us(9_000);
+        let mut sim = Simulation::new(
+            cfg,
+            |id| Flood {
+                id,
+                n: 2,
+                delivered: 0,
+            },
+            sm,
+            TwoApp,
+        );
+        sim.run_until(10_000_000);
+        let seqs: Vec<u64> = sim
+            .commits(ReplicaId::new(1))
+            .iter()
+            .map(|c| c.cmd_id.seq)
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "FIFO violated: {seqs:?}");
+    }
+
+    #[test]
+    fn crash_drops_messages_and_recovery_replays_log() {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(3, 10_000));
+        let mut sim = flood_sim(cfg);
+        // Crash r1 before the command reaches it (in flight at 1.3ms+10ms).
+        sim.app_mut();
+        {
+            // Schedule crash at t=5ms (message in flight), recover at 50ms.
+            let Simulation { queue, .. } = &mut sim;
+            queue.push(5_000, Event::Crash { node: ReplicaId::new(1) });
+            queue.push(50_000, Event::Recover { node: ReplicaId::new(1) });
+        }
+        sim.run_until(1_000_000);
+        // r1 lost the in-flight message and its log is empty: zero commits.
+        assert_eq!(sim.commit_count(ReplicaId::new(1)), 0);
+        assert!(sim.is_up(ReplicaId::new(1)));
+        // Other replicas unaffected.
+        assert_eq!(sim.commit_count(ReplicaId::new(0)), 1);
+        assert_eq!(sim.commit_count(ReplicaId::new(2)), 1);
+    }
+
+    #[test]
+    fn partition_parks_and_heal_delivers_in_order() {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 10_000));
+        struct ManyApp;
+        impl Application<Flood> for ManyApp {
+            fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
+                api.partition(ReplicaId::new(0), ReplicaId::new(1), 0);
+                for seq in 0..5 {
+                    let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                    api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"z")));
+                }
+                api.heal(ReplicaId::new(0), ReplicaId::new(1), 200_000);
+            }
+            fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
+            fn on_event(&mut self, _: u64, _: &mut SimApi<'_, Flood>) {}
+        }
+        let mut sim = Simulation::new(
+            cfg,
+            |id| Flood {
+                id,
+                n: 2,
+                delivered: 0,
+            },
+            sm,
+            ManyApp,
+        );
+        sim.run_until(1_000_000);
+        let commits = sim.commits(ReplicaId::new(1));
+        assert_eq!(commits.len(), 5, "parked messages must deliver after heal");
+        assert!(commits[0].at >= 200_000);
+        let seqs: Vec<u64> = commits.iter().map(|c| c.cmd_id.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cpu_model_delays_processing_and_batches() {
+        let cpu = CpuModel {
+            fixed_batch_us: 100,
+            per_msg_us: 10,
+            per_kb_us: 0,
+        };
+        struct BurstApp;
+        impl Application<Flood> for BurstApp {
+            fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
+                for seq in 0..10 {
+                    let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                    api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"c")));
+                }
+            }
+            fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
+            fn on_event(&mut self, _: u64, _: &mut SimApi<'_, Flood>) {}
+        }
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 1_000)).cpu_model(cpu);
+        let mut sim = Simulation::new(
+            cfg,
+            |id| Flood {
+                id,
+                n: 2,
+                delivered: 0,
+            },
+            sm,
+            BurstApp,
+        );
+        sim.run_until(10_000_000);
+        assert_eq!(sim.commit_count(ReplicaId::new(1)), 10);
+        // The 10 requests arrive together at t=300; the first CPU step
+        // handles the whole batch: recv cost 100+10*10 = 200.
+        let first_remote_commit = sim.commits(ReplicaId::new(1))[0].at;
+        // Send batch to r1: 10 msgs -> 100+100 = 200; self batch too.
+        // Departure at 300+200+200+200(self)=900, + 1000 link.
+        assert!(first_remote_commit >= 300 + 200 + 1_000);
+    }
+
+    #[test]
+    fn run_until_stops_at_bound() {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 10_000));
+        let mut sim = flood_sim(cfg);
+        sim.run_until(500);
+        assert!(sim.now() <= 1_000);
+        assert_eq!(sim.app().replies.len(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Latency explorer: pick any subset of the paper's seven EC2 data
+//! centers and see the closed-form commit latency (Table II) every
+//! protocol would deliver at every site — the tool you would use to plan
+//! a real deployment.
+//!
+//! Run with: `cargo run --example latency_explorer -- CA VA IR JP SG`
+//! (defaults to the paper's five-site deployment when no sites given).
+
+use analysis::ec2::{self, Site};
+use analysis::model;
+use rsm_core::ReplicaId;
+
+fn parse_site(name: &str) -> Option<Site> {
+    ec2::ALL_SITES
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sites: Vec<Site> = if args.is_empty() {
+        vec![Site::CA, Site::VA, Site::IR, Site::JP, Site::SG]
+    } else {
+        args.iter()
+            .map(|a| {
+                parse_site(a).unwrap_or_else(|| {
+                    eprintln!("unknown site {a}; valid: CA VA IR JP SG AU BR");
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+    if sites.len() < 3 {
+        eprintln!("pick at least 3 sites");
+        std::process::exit(1);
+    }
+
+    let m = ec2::matrix_for(&sites);
+    let best = model::best_leader(&m, model::paxos_bcast);
+    println!(
+        "\nDeployment: {}  (Paxos leader: {})",
+        sites.iter().map(|s| s.name()).collect::<Vec<_>>().join(" "),
+        sites[best.index()].name()
+    );
+    println!(
+        "\n{:<6}{:>12}{:>14}{:>18}{:>20}",
+        "site", "Paxos", "Paxos-bcast", "Clock-RSM (bal)", "Mencius (imbal)"
+    );
+    for (i, site) in sites.iter().enumerate() {
+        let r = ReplicaId::new(i as u16);
+        println!(
+            "{:<6}{:>12.1}{:>14.1}{:>18.1}{:>20.1}",
+            site.name(),
+            model::paxos(&m, r, best) as f64 / 1000.0,
+            model::paxos_bcast(&m, r, best) as f64 / 1000.0,
+            model::clock_rsm_balanced(&m, r) as f64 / 1000.0,
+            model::mencius_bcast_imbalanced(&m, r) as f64 / 1000.0,
+        );
+    }
+
+    let avg = |f: &dyn Fn(ReplicaId) -> u64| {
+        (0..sites.len())
+            .map(|i| f(ReplicaId::new(i as u16)))
+            .sum::<u64>() as f64
+            / sites.len() as f64
+            / 1000.0
+    };
+    let clock_avg = avg(&|r| model::clock_rsm_balanced(&m, r));
+    let paxos_avg = avg(&|r| model::paxos_bcast(&m, r, best));
+    println!(
+        "\nAverage: Clock-RSM {clock_avg:.1} ms vs Paxos-bcast {paxos_avg:.1} ms -> {}",
+        if clock_avg < paxos_avg {
+            "Clock-RSM wins"
+        } else {
+            "Paxos-bcast wins (three-replica special case or tight cluster)"
+        }
+    );
+    println!("(commit latency in ms from the Table II formulas over Table III RTTs)");
+}

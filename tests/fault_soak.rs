@@ -1,0 +1,104 @@
+//! Reconfiguration soak: randomized crash/recover schedules (derived from
+//! seeds, always keeping a majority of the spec up) drive repeated rounds
+//! of suspicion, removal, recovery, and rejoin. Safety and convergence
+//! must hold at the end of every schedule.
+
+use clock_rsm::ClockRsmConfig;
+use harness::workload::Fault;
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsm_core::time::MILLIS;
+use rsm_core::{LatencyMatrix, ReplicaId};
+
+/// Builds a random fault schedule over `n` replicas: each second, maybe
+/// crash an up replica (never dropping below a majority of the spec, and
+/// never crashing replica 0, which hosts the clients) or recover a down
+/// one. Everything recovers before the end.
+fn random_schedule(seed: u64, n: usize, seconds: u64) -> Vec<(u64, Fault)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let majority = n / 2 + 1;
+    let mut up = vec![true; n];
+    let mut plan = Vec::new();
+    for sec in 1..seconds.saturating_sub(6) {
+        let at = sec * 1_000 * MILLIS + rng.gen_range(0..500) * MILLIS / 500;
+        let up_count = up.iter().filter(|&&u| u).count();
+        let roll: f64 = rng.gen();
+        if roll < 0.30 && up_count > majority {
+            // Crash a random up replica other than 0.
+            let candidates: Vec<usize> =
+                (1..n).filter(|&i| up[i]).collect();
+            if let Some(&victim) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                up[victim] = false;
+                plan.push((at, Fault::Crash(ReplicaId::new(victim as u16))));
+            }
+        } else if roll < 0.70 {
+            let down: Vec<usize> = (0..n).filter(|&i| !up[i]).collect();
+            if !down.is_empty() {
+                let back = down[rng.gen_range(0..down.len())];
+                up[back] = true;
+                plan.push((at, Fault::Recover(ReplicaId::new(back as u16))));
+            }
+        }
+    }
+    // Everyone comes back well before the end so the run can converge.
+    for (i, &alive) in up.iter().enumerate() {
+        if !alive {
+            plan.push((
+                (seconds - 6) * 1_000 * MILLIS,
+                Fault::Recover(ReplicaId::new(i as u16)),
+            ));
+        }
+    }
+    plan
+}
+
+fn soak(seed: u64, n: usize) {
+    let seconds = 16u64;
+    let rsm_cfg = ClockRsmConfig::default()
+        .with_delta_us(Some(50 * MILLIS))
+        .with_failure_detection(Some(400 * MILLIS))
+        .with_synod_retry_us(100 * MILLIS)
+        .with_reconfig_retry_us(100 * MILLIS);
+    let mut cfg = ExperimentConfig::new(LatencyMatrix::uniform(n, 15_000))
+        .seed(seed)
+        .clients_per_site(2)
+        .think_max_us(50 * MILLIS)
+        .warmup_us(100 * MILLIS)
+        .duration_us(seconds * 1_000 * MILLIS)
+        .active_sites(vec![0])
+        .client_retry_us(2_000 * MILLIS);
+    for (at, f) in random_schedule(seed, n, seconds) {
+        cfg = cfg.fault(at, f);
+    }
+    let r = run_latency(ProtocolChoice::clock_rsm_with(rsm_cfg), &cfg);
+    assert!(
+        r.checks.all_ok(),
+        "seed {seed}: {:?}",
+        r.checks.violation
+    );
+    assert!(
+        r.snapshots_agree,
+        "seed {seed}: snapshots diverged; commits {:?}",
+        r.commit_counts
+    );
+    assert!(
+        r.site_stats[0].count() > 20,
+        "seed {seed}: site 0 made little progress ({} replies)",
+        r.site_stats[0].count()
+    );
+}
+
+#[test]
+fn soak_three_replicas() {
+    for seed in [1u64, 2, 3, 4, 5, 6] {
+        soak(seed, 3);
+    }
+}
+
+#[test]
+fn soak_five_replicas() {
+    for seed in [11u64, 12, 13, 14] {
+        soak(seed, 5);
+    }
+}

@@ -1,0 +1,173 @@
+//! Randomized safety properties: for arbitrary topologies, seeds, clock
+//! skews, and jitter, every protocol must preserve total order,
+//! monotonic execution, linearizability, and replica convergence.
+//!
+//! These are the paper's Claims 1–5 (appendix), checked mechanically over
+//! thousands of simulated command executions per case.
+
+use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use proptest::prelude::*;
+use rsm_core::time::MILLIS;
+use rsm_core::LatencyMatrix;
+use simnet::ClockModel;
+
+/// Builds a random symmetric latency matrix with one-way latencies in
+/// [5, 100] ms.
+fn arb_matrix(n: usize) -> impl Strategy<Value = LatencyMatrix> {
+    proptest::collection::vec(5_000u64..100_000, n * (n - 1) / 2).prop_map(move |vals| {
+        let mut m = vec![vec![0u64; n]; n];
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = it.next().expect("enough samples");
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        LatencyMatrix::from_one_way_micros(m)
+    })
+}
+
+fn quick_cfg(matrix: LatencyMatrix, seed: u64, skew_us: u64, jitter_us: u64) -> ExperimentConfig {
+    ExperimentConfig::new(matrix)
+        .seed(seed)
+        .clients_per_site(3)
+        .think_max_us(30 * MILLIS)
+        .warmup_us(100 * MILLIS)
+        .duration_us(1_500 * MILLIS)
+        .clock(ClockModel::ntp(skew_us))
+        .jitter_us(jitter_us)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Clock-RSM: safety holds for random 3-replica topologies under
+    /// random skew (up to 50 ms — orders of magnitude beyond NTP) and
+    /// jitter.
+    #[test]
+    fn clock_rsm_safety_random_topology(
+        matrix in arb_matrix(3),
+        seed in 0u64..1_000,
+        skew_us in 0u64..50_000,
+        jitter_us in 0u64..5_000,
+    ) {
+        let cfg = quick_cfg(matrix, seed, skew_us, jitter_us);
+        let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+        prop_assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+        prop_assert!(r.snapshots_agree, "commits: {:?}", r.commit_counts);
+        prop_assert!(r.commit_counts[0] > 0, "no progress");
+    }
+
+    /// Clock-RSM on five replicas with moderate parameters.
+    #[test]
+    fn clock_rsm_safety_five_replicas(
+        matrix in arb_matrix(5),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = quick_cfg(matrix, seed, 2_000, 1_000);
+        let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+        prop_assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+        prop_assert!(r.snapshots_agree);
+    }
+
+    /// The baselines satisfy the same properties (they are consensus
+    /// protocols too); the checkers must pass identically.
+    #[test]
+    fn baselines_safety_random_topology(
+        matrix in arb_matrix(3),
+        seed in 0u64..1_000,
+        which in 0u8..3,
+    ) {
+        let choice = match which {
+            0 => ProtocolChoice::paxos(0),
+            1 => ProtocolChoice::paxos_bcast(1),
+            _ => ProtocolChoice::mencius(),
+        };
+        let cfg = quick_cfg(matrix, seed, 1_000, 2_000);
+        let r = run_latency(choice, &cfg);
+        prop_assert!(r.checks.all_ok(), "{}: {:?}", r.protocol, r.checks.violation);
+        prop_assert!(r.snapshots_agree, "{} diverged", r.protocol);
+        prop_assert!(r.commit_counts[0] > 0);
+    }
+
+    /// Determinism: the same seed yields the exact same latency samples.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..1_000) {
+        let matrix = LatencyMatrix::uniform(3, 25_000);
+        let run = |s| {
+            let cfg = quick_cfg(matrix.clone(), s, 1_000, 3_000);
+            let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+            r.site_stats.iter().map(|st| st.samples().to_vec()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+/// Extreme skew: one replica's clock is a full second ahead, another a
+/// second behind. Latency degrades (the wait-out path throttles acks) but
+/// nothing breaks — the paper's core design property.
+#[test]
+fn second_scale_skew_keeps_safety() {
+    let matrix = LatencyMatrix::uniform(3, 30_000);
+    let cfg = ExperimentConfig::new(matrix)
+        .clients_per_site(2)
+        .think_max_us(50 * MILLIS)
+        .warmup_us(500 * MILLIS)
+        .duration_us(4_000 * MILLIS)
+        .clock(ClockModel::ntp(1_000 * MILLIS))
+        .seed(3);
+    let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+    assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+    assert!(r.snapshots_agree);
+    assert!(r.commit_counts[0] > 0, "livelock under extreme skew");
+}
+
+/// Clock steps mid-run: one replica's clock jumps half a second forward,
+/// another's a quarter second backward (frozen until true time catches
+/// up). Latency spikes; safety and convergence must not.
+#[test]
+fn clock_jumps_keep_safety() {
+    use harness::workload::Fault;
+    let matrix = LatencyMatrix::uniform(3, 25_000);
+    let cfg = ExperimentConfig::new(matrix)
+        .clients_per_site(3)
+        .think_max_us(40 * MILLIS)
+        .warmup_us(200 * MILLIS)
+        .duration_us(6_000 * MILLIS)
+        .seed(17)
+        .fault(
+            2_000 * MILLIS,
+            Fault::ClockJump(rsm_core::ReplicaId::new(0), 500_000),
+        )
+        .fault(
+            3_000 * MILLIS,
+            Fault::ClockJump(rsm_core::ReplicaId::new(2), -250_000),
+        );
+    let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+    assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+    assert!(r.snapshots_agree);
+    // Progress resumed after the jumps (the forward jump forces peers to
+    // wait out the skew; the backward jump throttles one replica's acks).
+    assert!(
+        r.commits_between(0, 4_000 * MILLIS, u64::MAX) > 10,
+        "commits stalled after clock jumps"
+    );
+}
+
+/// Drifting clocks: replicas drift apart at 200 ppm against an NTP bound;
+/// safety and progress persist.
+#[test]
+fn drifting_clocks_keep_safety() {
+    let matrix = LatencyMatrix::uniform(3, 20_000);
+    let cfg = ExperimentConfig::new(matrix)
+        .clients_per_site(2)
+        .think_max_us(40 * MILLIS)
+        .warmup_us(200 * MILLIS)
+        .duration_us(3_000 * MILLIS)
+        .clock(ClockModel::ntp(10 * MILLIS).with_drift_ppm(200.0))
+        .seed(11);
+    let r = run_latency(ProtocolChoice::clock_rsm(), &cfg);
+    assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+    assert!(r.snapshots_agree);
+}
