@@ -55,6 +55,7 @@ impl std::fmt::Display for Site {
 /// Average round-trip latencies in milliseconds between EC2 data centers,
 /// exactly as reported in Table III of the paper (symmetric, zero
 /// diagonal). Order: CA, VA, IR, JP, SG, AU, BR.
+#[rustfmt::skip] // keep the hand-aligned Table III layout
 pub const RTT_MS: [[f64; 7]; 7] = [
     //        CA     VA     IR     JP     SG     AU     BR
     /*CA*/ [0.0, 83.0, 170.0, 125.0, 171.0, 187.0, 212.0],

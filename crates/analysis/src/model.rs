@@ -281,7 +281,10 @@ mod tests {
                 "replica {i}"
             );
         }
-        assert_eq!(clock_rsm_balanced(&m, leader), paxos_bcast(&m, leader, leader));
+        assert_eq!(
+            clock_rsm_balanced(&m, leader),
+            paxos_bcast(&m, leader, leader)
+        );
     }
 
     #[test]

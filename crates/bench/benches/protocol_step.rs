@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use clock_rsm::{ClockRsm, ClockRsmConfig, LogRec, RsmMsg};
 use mencius::{MenciusBcast, MenciusLogRec, MenciusMsg};
 use paxos::{replica::PaxosLogRec, MultiPaxos, PaxosMsg, PaxosVariant};
+use rsm_core::batch::Batch;
 use rsm_core::command::{Command, CommandId, Committed};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::{ClientId, ReplicaId};
@@ -89,11 +90,11 @@ fn bench_clock_rsm_round(c: &mut Criterion) {
             // stable-order clock times from everyone -> one commit.
             replica.on_message(
                 ReplicaId::new(1),
-                RsmMsg::Prepare {
+                RsmMsg::PrepareBatch {
                     epoch: Epoch::ZERO,
                     ts,
                     origin: ReplicaId::new(1),
-                    cmd: cmd(seq),
+                    cmds: Batch::single(cmd(seq)),
                 },
                 &mut ctx,
             );
@@ -102,8 +103,51 @@ fn bench_clock_rsm_round(c: &mut Criterion) {
                     ReplicaId::new(k),
                     RsmMsg::PrepareOk {
                         epoch: Epoch::ZERO,
-                        ts,
+                        up_to: ts,
                         clock_ts: Timestamp::new(ts.micros() + 5 + k as u64, ReplicaId::new(k)),
+                    },
+                    &mut ctx,
+                );
+            }
+        });
+        assert!(ctx.commits > 0);
+    });
+}
+
+fn bench_clock_rsm_batched_round(c: &mut Criterion) {
+    c.bench_function("clock_rsm_batched16_commit_round", |b| {
+        let mut ctx = SinkCtx::new();
+        let mut seq = 0u64;
+        let mut replica = ClockRsm::new(
+            ReplicaId::new(0),
+            Membership::uniform(5),
+            ClockRsmConfig::default().with_delta_us(None),
+        );
+        b.iter(|| {
+            ctx.reset();
+            let head = 2_000_000 + seq * 20;
+            seq += 16;
+            let ts = Timestamp::new(head, ReplicaId::new(1));
+            let last = Timestamp::new(head + 15, ReplicaId::new(1));
+            // Sixteen remote commands in ONE batch: one PREPAREBATCH +
+            // one cumulative PREPAREOK per replica -> sixteen commits.
+            replica.on_message(
+                ReplicaId::new(1),
+                RsmMsg::PrepareBatch {
+                    epoch: Epoch::ZERO,
+                    ts,
+                    origin: ReplicaId::new(1),
+                    cmds: Batch::new((0..16).map(|i| cmd(seq + i)).collect()),
+                },
+                &mut ctx,
+            );
+            for k in 0..5u16 {
+                replica.on_message(
+                    ReplicaId::new(k),
+                    RsmMsg::PrepareOk {
+                        epoch: Epoch::ZERO,
+                        up_to: last,
+                        clock_ts: Timestamp::new(last.micros() + 5 + k as u64, ReplicaId::new(k)),
                     },
                     &mut ctx,
                 );
@@ -128,14 +172,20 @@ fn bench_paxos_round(c: &mut Criterion) {
             replica.on_message(
                 ReplicaId::new(0),
                 PaxosMsg::Accept {
-                    instance,
-                    cmd: cmd(instance),
+                    first_instance: instance,
+                    cmds: Batch::single(cmd(instance)),
                     origin: ReplicaId::new(0),
                 },
                 &mut ctx,
             );
             for k in 0..3u16 {
-                replica.on_message(ReplicaId::new(k), PaxosMsg::Accepted { instance }, &mut ctx);
+                replica.on_message(
+                    ReplicaId::new(k),
+                    PaxosMsg::Accepted {
+                        up_to: instance + 1,
+                    },
+                    &mut ctx,
+                );
             }
             instance += 1;
         });
@@ -154,8 +204,8 @@ fn bench_mencius_round(c: &mut Criterion) {
             replica.on_message(
                 ReplicaId::new(0),
                 MenciusMsg::Propose {
-                    slot,
-                    cmd: cmd(round),
+                    first_slot: slot,
+                    cmds: Batch::single(cmd(round)),
                     origin: ReplicaId::new(0),
                 },
                 &mut ctx,
@@ -164,7 +214,7 @@ fn bench_mencius_round(c: &mut Criterion) {
                 replica.on_message(
                     ReplicaId::new(k),
                     MenciusMsg::AcceptAck {
-                        slot,
+                        up_to_slot: slot,
                         skip_below: slot + k as u64 + 1,
                     },
                     &mut ctx,
@@ -179,6 +229,7 @@ fn bench_mencius_round(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_clock_rsm_round,
+    bench_clock_rsm_batched_round,
     bench_paxos_round,
     bench_mencius_round
 );

@@ -7,6 +7,7 @@
 
 use bench::quick;
 use harness::{run_throughput, ProtocolChoice};
+use rsm_core::BatchPolicy;
 use simnet::CpuModel;
 
 fn main() {
@@ -23,7 +24,7 @@ fn main() {
             per_kb_us: 9,
         };
         let t = |choice| {
-            run_throughput(choice, 10, clients, cpu, 11).throughput_kops
+            run_throughput(choice, 10, clients, cpu, 11, BatchPolicy::DISABLED).throughput_kops
         };
         let clock = t(ProtocolChoice::clock_rsm());
         let paxos = t(ProtocolChoice::paxos(0));
@@ -37,5 +38,7 @@ fn main() {
             paxos / clock.max(0.001),
         );
     }
-    println!("(kops/s; the ratio shows how batching-dominated cost structures favor the leader funnel)");
+    println!(
+        "(kops/s; the ratio shows how batching-dominated cost structures favor the leader funnel)"
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
         2.0 * matrix.median_from(ReplicaId::new(origin)) as f64 / 1000.0,
         matrix.max_from(ReplicaId::new(origin)) as f64 / 1000.0
     );
-    println!("{:<12}{:>14}{:>14}{:>16}", "Δ (ms)", "avg (ms)", "p95 (ms)", "model (ms)");
+    println!(
+        "{:<12}{:>14}{:>14}{:>16}",
+        "Δ (ms)", "avg (ms)", "p95 (ms)", "model (ms)"
+    );
     for delta_ms in [1u64, 5, 10, 20, 50] {
         // Light load: one client, long think time, so PREPAREOK traffic
         // from previous commands cannot help the stable-order condition.
@@ -32,12 +35,10 @@ fn main() {
             ClockRsmConfig::default().with_delta_us(Some(delta_ms * MILLIS)),
         );
         let mut r = run_latency(choice, &cfg);
-        let model_ms = model::clock_rsm_imbalanced_light(
-            &matrix,
-            ReplicaId::new(origin),
-            delta_ms * MILLIS,
-        ) as f64
-            / 1000.0;
+        let model_ms =
+            model::clock_rsm_imbalanced_light(&matrix, ReplicaId::new(origin), delta_ms * MILLIS)
+                as f64
+                / 1000.0;
         println!(
             "{:<12}{:>14.1}{:>14.1}{:>16.1}",
             delta_ms,

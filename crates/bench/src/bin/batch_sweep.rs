@@ -1,0 +1,60 @@
+//! Batch-size × command-size throughput sweep for the protocol-level
+//! batching introduced with the `Batch` refactor.
+//!
+//! Where `ablation_batching` varies the *CPU model's* fixed per-batch
+//! cost (an environmental sensitivity study), this sweep varies the
+//! *protocol's* own batching knob: drivers coalesce queued client
+//! requests into batches of up to `max_batch` commands, and each batch
+//! is replicated with one `PREPAREBATCH`/`ACCEPT`/`PROPOSE` and one
+//! cumulative acknowledgement. Expect small commands to gain the most
+//! (their per-message fixed costs dominate) and kilobyte commands the
+//! least (the byte funnel, not the message rate, is the bottleneck).
+
+use bench::quick;
+use harness::{run_throughput, ProtocolChoice};
+use rsm_core::BatchPolicy;
+use simnet::CpuModel;
+
+fn main() {
+    let clients = if quick() { 20 } else { 60 };
+    let batches: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+    println!("\n=== Batch sweep: protocol-level batching vs throughput (kops/s) ===");
+    for choice in [
+        ProtocolChoice::clock_rsm(),
+        ProtocolChoice::mencius(),
+        ProtocolChoice::paxos(0),
+        ProtocolChoice::paxos_bcast(0),
+    ] {
+        println!("\n--- {} ---", choice.name());
+        print!("{:<12}", "cmd size");
+        for b in batches {
+            print!("{:>9}", format!("b={b}"));
+        }
+        println!("{:>10}", "64/1");
+        for size in [10usize, 100, 1000] {
+            print!("{:<12}", format!("{size}B"));
+            let mut first = 0.0f64;
+            let mut last = 0.0f64;
+            for (i, &b) in batches.iter().enumerate() {
+                let r = run_throughput(
+                    choice.clone(),
+                    size,
+                    clients,
+                    CpuModel::default(),
+                    11,
+                    BatchPolicy::max(b),
+                );
+                if i == 0 {
+                    first = r.throughput_kops;
+                }
+                last = r.throughput_kops;
+                print!("{:>8.1}k", r.throughput_kops);
+            }
+            println!("{:>9.2}x", last / first.max(0.001));
+        }
+    }
+    println!(
+        "\n(committed commands per second, thousands; rightmost column is the \
+         batch-64 speedup over unbatched)"
+    );
+}

@@ -25,10 +25,7 @@ fn main() {
         assert!(paxos_b.checks.all_ok(), "{:?}", paxos_b.checks.violation);
         let mut rows = vec![
             ("Paxos".to_string(), std::mem::take(&mut paxos.site_stats)),
-            (
-                "Mencius-bcast".to_string(),
-                mencius.site_stats.clone(),
-            ),
+            ("Mencius-bcast".to_string(), mencius.site_stats.clone()),
             (
                 "Paxos-bcast".to_string(),
                 std::mem::take(&mut paxos_b.site_stats),

@@ -22,8 +22,8 @@ fn main() {
         // One run per origin site: clients only at that site.
         let stats: Vec<LatencyStats> = (0..sites.len() as u16)
             .map(|origin| {
-                let cfg = with_windows(ExperimentConfig::new(matrix.clone()))
-                    .active_sites(vec![origin]);
+                let cfg =
+                    with_windows(ExperimentConfig::new(matrix.clone())).active_sites(vec![origin]);
                 let mut r = run_latency(choice.clone(), &cfg);
                 assert!(r.checks.all_ok(), "{name}: {:?}", r.checks.violation);
                 std::mem::take(&mut r.site_stats[origin as usize])

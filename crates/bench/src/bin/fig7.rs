@@ -10,7 +10,12 @@ fn main() {
     println!("\n=== Figure 7: average commit latency over all DC combinations ===");
     println!(
         "{:<12}{:>10}{:>18}{:>16}{:>22}{:>20}",
-        "groups", "count", "Paxos-bcast all", "Clock-RSM all", "Paxos-bcast highest", "Clock-RSM highest"
+        "groups",
+        "count",
+        "Paxos-bcast all",
+        "Clock-RSM all",
+        "Paxos-bcast highest",
+        "Clock-RSM highest"
     );
     for size in [3usize, 5, 7] {
         let s = numeric::sweep(size);

@@ -13,6 +13,7 @@
 
 use bench::quick;
 use harness::{run_throughput, ProtocolChoice};
+use rsm_core::BatchPolicy;
 use simnet::CpuModel;
 
 fn main() {
@@ -30,7 +31,14 @@ fn main() {
     ] {
         print!("{:<16}", choice.name());
         for size in [10usize, 100, 1000] {
-            let r = run_throughput(choice.clone(), size, clients, CpuModel::default(), 7);
+            let r = run_throughput(
+                choice.clone(),
+                size,
+                clients,
+                CpuModel::default(),
+                7,
+                BatchPolicy::DISABLED,
+            );
             print!("{:>10.1}k ", r.throughput_kops);
         }
         println!();

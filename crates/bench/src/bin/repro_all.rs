@@ -33,5 +33,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("failed to launch {t}: {e}"));
         assert!(status.success(), "{t} failed with {status}");
     }
-    println!("\nAll tables and figures reproduced. See EXPERIMENTS.md for the paper-vs-measured record.");
+    println!(
+        "\nAll tables and figures reproduced. See EXPERIMENTS.md for the paper-vs-measured record."
+    );
 }

@@ -21,6 +21,7 @@
 //! | `ablation_skew` | clock synchronization bound sweep |
 //! | `ablation_jitter` | network jitter sensitivity |
 //! | `ablation_batching` | CPU fixed-cost (batching benefit) sweep |
+//! | `batch_sweep` | protocol-level batch size × command size throughput sweep |
 //!
 //! Run any of them with `cargo run -p bench --release --bin figN`.
 //! Set `BENCH_QUICK=1` to shrink measurement windows ~10x for smoke runs.

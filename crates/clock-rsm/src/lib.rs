@@ -33,6 +33,21 @@
 //! and the workspace integration tests run the protocol with second-scale
 //! skews to demonstrate exactly that.
 //!
+//! ## Batching
+//!
+//! The data plane generalizes Algorithm 1 to whole batches: a driver can
+//! hand the replica an ordered [`Batch`](rsm_core::Batch) of client
+//! commands (knob: [`BatchPolicy`](rsm_core::BatchPolicy) on the driver),
+//! which is stamped with **one** head timestamp — command `i` implicitly
+//! holds `head + i` — and broadcast as a single `PREPAREBATCH`. Receivers
+//! log every command but answer with a single **cumulative** `PREPAREOK`:
+//! a per-originator watermark covering the batch's last timestamp (sound
+//! because an originator emits prepares in increasing timestamp order
+//! over FIFO channels). Commit checks then read a small watermark matrix
+//! instead of per-timestamp ack counters, so the hot path does integer
+//! compares and the message count per command drops by the batch factor.
+//! Batch size 1 is byte-for-byte the paper's protocol.
+//!
 //! ## Failure handling
 //!
 //! Clock-RSM stalls if a replica in the current configuration stops

@@ -1,6 +1,7 @@
 //! Clock-RSM wire messages.
 
 use paxos::synod::SynodMsg;
+use rsm_core::batch::Batch;
 use rsm_core::command::Command;
 use rsm_core::config::Epoch;
 use rsm_core::id::ReplicaId;
@@ -43,36 +44,53 @@ pub struct Decision {
 
 impl WireSize for Decision {
     fn wire_size(&self) -> usize {
-        16 + 2 * self.config.len()
-            + self.cmds.iter().map(WireSize::wire_size).sum::<usize>()
+        16 + 2 * self.config.len() + self.cmds.iter().map(WireSize::wire_size).sum::<usize>()
     }
 }
 
 /// Messages exchanged by Clock-RSM replicas.
 ///
-/// `Prepare`, `PrepareOk`, and `ClockTime` are the data plane
-/// (Algorithms 1 and 2); the rest implement reconfiguration, state
-/// transfer, and epoch catch-up (Algorithm 3 and Section V-B).
+/// `PrepareBatch`, `PrepareOk`, and `ClockTime` are the data plane
+/// (Algorithms 1 and 2, generalized to whole-batch replication); the rest
+/// implement reconfiguration, state transfer, and epoch catch-up
+/// (Algorithm 3 and Section V-B).
 #[derive(Debug, Clone)]
 pub enum RsmMsg {
-    /// Replication request for a client command (Algorithm 1, line 3).
-    Prepare {
+    /// Replication request for an ordered batch of client commands
+    /// (Algorithm 1, line 3, generalized). The batch carries **one** head
+    /// timestamp; command `i` implicitly has timestamp `ts + i` (same
+    /// originating replica), so a batch of `k` commands occupies the
+    /// contiguous timestamp run `[ts, ts + k)` and costs one message
+    /// instead of `k`.
+    PrepareBatch {
         /// Sender's current epoch.
         epoch: Epoch,
-        /// Unique command timestamp assigned by the originating replica.
+        /// Head timestamp assigned by the originating replica; the batch
+        /// spans `ts .. ts + cmds.len()` in that replica's timestamp
+        /// space.
         ts: Timestamp,
         /// The originating replica.
         origin: ReplicaId,
-        /// The command to replicate.
-        cmd: Command,
+        /// The commands to replicate, in execution order.
+        cmds: Batch,
     },
-    /// Logging acknowledgement, broadcast to overlap commit steps
-    /// (Algorithm 1, line 10).
+    /// Cumulative logging acknowledgement, broadcast to overlap commit
+    /// steps (Algorithm 1, line 10, generalized).
+    ///
+    /// Acknowledges **every** `PREPARE` from the replica `up_to.replica()`
+    /// with timestamp `≤ up_to` — sound because an originator emits its
+    /// prepares in strictly increasing timestamp order over FIFO
+    /// channels, so receiving a batch ending at `up_to` implies having
+    /// logged everything before it. One ack therefore covers a whole
+    /// batch (and subsumes any earlier ack for the same originator),
+    /// collapsing the per-timestamp replication counters of the original
+    /// algorithm into per-originator watermarks.
     PrepareOk {
         /// Sender's current epoch.
         epoch: Epoch,
-        /// Timestamp of the command being acknowledged.
-        ts: Timestamp,
+        /// Watermark: all prepares from `up_to.replica()` with timestamps
+        /// at or below this are logged at the sender.
+        up_to: Timestamp,
         /// The acknowledging replica's clock at send time — its promise
         /// never to send a smaller timestamp afterwards.
         clock_ts: Timestamp,
@@ -141,7 +159,7 @@ pub enum RsmMsg {
 impl WireSize for RsmMsg {
     fn wire_size(&self) -> usize {
         match self {
-            RsmMsg::Prepare { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            RsmMsg::PrepareBatch { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
             RsmMsg::PrepareOk { .. } | RsmMsg::ClockTime { .. } => MSG_HEADER_BYTES,
             RsmMsg::Suspend { .. } | RsmMsg::DecisionRequest { .. } => MSG_HEADER_BYTES,
             RsmMsg::SuspendOk { cmds, .. } => {
@@ -179,18 +197,35 @@ mod tests {
 
     #[test]
     fn prepare_carries_payload_weight() {
-        let p = RsmMsg::Prepare {
+        let p = RsmMsg::PrepareBatch {
             epoch: Epoch::ZERO,
             ts: Timestamp::new(1, ReplicaId::new(0)),
             origin: ReplicaId::new(0),
-            cmd: cmd(100),
+            cmds: Batch::single(cmd(100)),
         };
         let ok = RsmMsg::PrepareOk {
             epoch: Epoch::ZERO,
-            ts: Timestamp::new(1, ReplicaId::new(0)),
+            up_to: Timestamp::new(1, ReplicaId::new(0)),
             clock_ts: Timestamp::new(2, ReplicaId::new(1)),
         };
         assert!(p.wire_size() >= ok.wire_size() + 100);
+    }
+
+    #[test]
+    fn batched_prepare_amortizes_the_header() {
+        let batched = RsmMsg::PrepareBatch {
+            epoch: Epoch::ZERO,
+            ts: Timestamp::new(1, ReplicaId::new(0)),
+            origin: ReplicaId::new(0),
+            cmds: Batch::new((0..8).map(|_| cmd(10)).collect()),
+        };
+        let single = RsmMsg::PrepareBatch {
+            epoch: Epoch::ZERO,
+            ts: Timestamp::new(1, ReplicaId::new(0)),
+            origin: ReplicaId::new(0),
+            cmds: Batch::single(cmd(10)),
+        };
+        assert!(batched.wire_size() < 8 * single.wire_size());
     }
 
     #[test]

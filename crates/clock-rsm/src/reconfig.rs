@@ -130,11 +130,7 @@ impl ClockRsm {
 
     /// Starts a reconfiguration establishing `new_config` in the next
     /// epoch (Algorithm 3, lines 1–6). No-op when one is already running.
-    pub fn trigger_reconfigure(
-        &mut self,
-        new_config: Vec<ReplicaId>,
-        ctx: &mut dyn Context<Self>,
-    ) {
+    pub fn trigger_reconfigure(&mut self, new_config: Vec<ReplicaId>, ctx: &mut dyn Context<Self>) {
         if !self.reconfig.is_idle() {
             return;
         }
@@ -288,7 +284,10 @@ impl ClockRsm {
             return;
         }
         let mut out = Vec::new();
-        let decided = self.reconfig.synod_for(epoch).on_message(from, msg, &mut out);
+        let decided = self
+            .reconfig
+            .synod_for(epoch)
+            .on_message(from, msg, &mut out);
         self.route_synod(epoch, out, ctx);
         if let Some(decision) = decided {
             self.receive_decision(epoch, decision, ctx);
@@ -418,7 +417,9 @@ impl ClockRsm {
             *tv = Timestamp::ZERO;
         }
         self.pending.clear();
-        self.rep_counter.clear();
+        for row in &mut self.acked {
+            row.fill(0);
+        }
         self.wait_queue.clear();
         self.wait_armed_for = None;
         self.send_floor = self.send_floor.max(self.last_committed.micros());
@@ -735,10 +736,8 @@ mod tests {
         let mut p = replica(1);
         let mut ctx = TestCtx::new();
         // Seed the history with two prepares.
-        p.history
-            .insert(Timestamp::new(100, r(0)), (r(0), cmd(1)));
-        p.history
-            .insert(Timestamp::new(200, r(0)), (r(0), cmd(2)));
+        p.history.insert(Timestamp::new(100, r(0)), (r(0), cmd(1)));
+        p.history.insert(Timestamp::new(200, r(0)), (r(0), cmd(2)));
         p.handle_suspend(r(0), Epoch(1), Timestamp::new(100, r(0)), &mut ctx);
         assert!(p.is_frozen());
         let (_, reply) = ctx
@@ -795,12 +794,13 @@ mod tests {
 
         // Message pump between r0 and r1 only (r2 is "dead").
         let mut inflight: Vec<(ReplicaId, ReplicaId, RsmMsg)> = Vec::new();
-        let drain =
-            |i: usize, ctxs: &mut Vec<TestCtx>, inflight: &mut Vec<(ReplicaId, ReplicaId, RsmMsg)>| {
-                for (to, m) in std::mem::take(&mut ctxs[i].sends) {
-                    inflight.push((r(i as u16), to, m));
-                }
-            };
+        let drain = |i: usize,
+                     ctxs: &mut Vec<TestCtx>,
+                     inflight: &mut Vec<(ReplicaId, ReplicaId, RsmMsg)>| {
+            for (to, m) in std::mem::take(&mut ctxs[i].sends) {
+                inflight.push((r(i as u16), to, m));
+            }
+        };
         drain(0, &mut ctxs, &mut inflight);
         let mut steps = 0;
         while let Some((from, to, msg)) = inflight.pop() {
@@ -843,10 +843,7 @@ mod tests {
         };
         p.reconfig.decisions.insert(Epoch(1), d);
         p.apply_ready_decisions(&mut ctx);
-        assert!(matches!(
-            p.reconfig.phase,
-            Phase::FetchingState { .. }
-        ));
+        assert!(matches!(p.reconfig.phase, Phase::FetchingState { .. }));
         let retrieves = ctx
             .sends
             .iter()

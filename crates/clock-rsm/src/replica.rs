@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
+use rsm_core::batch::Batch;
 use rsm_core::command::{Command, Committed};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
@@ -27,10 +28,35 @@ pub(crate) const TOKEN_RECONFIG_RETRY: TimerToken = TimerToken(5);
 /// Packs `(epoch, ts)` into a single strictly increasing execution-order
 /// coordinate: epoch-major, then timestamp micros, then originating
 /// replica. Commands of epoch `e+1` always order after all of epoch `e`.
+///
+/// Layout: 12 bits of epoch, 44 bits of microseconds, 8 bits of replica
+/// id. The replica lane holds ids up to 255; [`ClockRsm::new`] rejects
+/// memberships beyond that so the truncation below can never fold two
+/// distinct replicas onto one key (ids ≥ 256 would otherwise silently
+/// collide). 44 bits of microseconds is ~17 years of run time, and epochs
+/// wrap after 4096 reconfigurations — both asserted.
 pub(crate) fn order_key(epoch: Epoch, ts: Timestamp) -> u64 {
     debug_assert!(ts.micros() < 1 << 44, "timestamp exceeds order-key range");
     debug_assert!(epoch.0 < 1 << 12, "epoch exceeds order-key range");
+    debug_assert!(
+        ts.replica().as_u16() < MAX_ORDER_KEY_REPLICAS,
+        "replica id exceeds order-key range"
+    );
     (epoch.0 << 52) | (ts.micros() << 8) | (ts.replica().as_u16() as u64 & 0xFF)
+}
+
+/// Largest membership the order-key layout can distinguish (8-bit replica
+/// lane). Enforced at construction.
+pub const MAX_ORDER_KEY_REPLICAS: u16 = 1 << 8;
+
+/// What to do with an incoming data-plane message, by epoch tag.
+enum Admission {
+    /// Current epoch: handle now.
+    Process,
+    /// Future epoch: stash until the missing decisions apply.
+    Buffer,
+    /// Stale epoch: discard.
+    Drop,
 }
 
 /// A Clock-RSM replica (Algorithm 1), with the clock-time broadcast
@@ -48,8 +74,14 @@ pub struct ClockRsm {
     // ------ Algorithm 1 soft state (Table I) ------
     /// `PendingCmds`: commands not yet committed, ordered by timestamp.
     pub(crate) pending: BTreeMap<Timestamp, (Command, ReplicaId)>,
-    /// `RepCounter`: PREPAREOK counts per timestamp.
-    pub(crate) rep_counter: HashMap<Timestamp, usize>,
+    /// Cumulative replication watermarks replacing the paper's
+    /// `RepCounter`: `acked[k][o]` is the largest timestamp value `t`
+    /// such that replica `k` has acknowledged logging **every** prepare
+    /// from origin `o` with timestamp micros ≤ `t`. A pending command
+    /// `(ts, o)` is replicated at `k` iff `acked[k][o] ≥ ts.micros()`, so
+    /// the hot path is a handful of integer comparisons instead of a
+    /// per-timestamp hash-map counter.
+    pub(crate) acked: Vec<Vec<Micros>>,
     /// `LatestTV`: latest clock timestamp known from each replica
     /// (indexed by replica index over Spec; only Config entries are read).
     pub(crate) latest_tv: Vec<Timestamp>,
@@ -72,7 +104,11 @@ pub struct ClockRsm {
     pub(crate) frozen: bool,
     /// Local clock value when the freeze began (liveness backstop).
     pub(crate) frozen_since: Micros,
-    pub(crate) queued_requests: VecDeque<Command>,
+    /// Client batches received while frozen or awaiting rejoin, re-issued
+    /// with their original batch boundaries on unfreeze (so batching
+    /// stays a driver decision — a freeze never merges or splits
+    /// batches).
+    pub(crate) queued_requests: VecDeque<Batch>,
     pub(crate) queued_msgs: VecDeque<(ReplicaId, RsmMsg)>,
     pub(crate) reconfig: ReconfigEngine,
     /// Set by recovery: rejoin via reconfiguration before serving.
@@ -98,15 +134,27 @@ impl ClockRsm {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not in the membership spec.
+    /// Panics if `id` is not in the membership spec, or if any spec id is
+    /// ≥ [`MAX_ORDER_KEY_REPLICAS`] (the execution-order key reserves an
+    /// 8-bit lane for the replica id; larger ids would silently collide).
     pub fn new(id: ReplicaId, membership: Membership, cfg: ClockRsmConfig) -> Self {
         assert!(membership.in_spec(id), "replica {id} not in spec");
+        if let Some(big) = membership
+            .spec()
+            .iter()
+            .find(|r| r.as_u16() >= MAX_ORDER_KEY_REPLICAS)
+        {
+            panic!(
+                "replica id {big} does not fit the order-key layout \
+                 (max {MAX_ORDER_KEY_REPLICAS} replicas)"
+            );
+        }
         let n = membership.spec().len();
         ClockRsm {
             id,
             cfg,
             pending: BTreeMap::new(),
-            rep_counter: HashMap::new(),
+            acked: vec![vec![0; n]; n],
             latest_tv: vec![Timestamp::ZERO; n],
             last_committed: Timestamp::ZERO,
             send_floor: 0,
@@ -171,9 +219,18 @@ impl ClockRsm {
     /// this replica has already sent (and above everything it has applied
     /// across epoch changes).
     pub(crate) fn next_send_ts(&mut self, ctx: &mut dyn Context<Self>) -> Timestamp {
+        self.next_send_ts_span(1, ctx)
+    }
+
+    /// Reserves `k` consecutive timestamps and returns the head: a batch
+    /// of `k` commands occupies `[head, head + k)` in this replica's
+    /// timestamp space, and everything sent afterwards is strictly above
+    /// the whole run.
+    pub(crate) fn next_send_ts_span(&mut self, k: u64, ctx: &mut dyn Context<Self>) -> Timestamp {
+        debug_assert!(k >= 1);
         let clock = ctx.clock();
         let micros = clock.max(self.send_floor + 1);
-        self.send_floor = micros;
+        self.send_floor = micros + (k - 1);
         Timestamp::new(micros, self.id)
     }
 
@@ -187,58 +244,74 @@ impl ClockRsm {
     // Algorithm 1
     // ------------------------------------------------------------------
 
-    /// Lines 1–3: stamp the command and broadcast PREPARE.
-    fn handle_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+    /// Lines 1–3, generalized: stamp the whole batch with one head
+    /// timestamp and broadcast a single PREPAREBATCH.
+    fn handle_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
         if self.frozen || self.needs_rejoin {
-            self.queued_requests.push_back(cmd);
+            self.queued_requests.push_back(batch);
             return;
         }
-        let ts = self.next_send_ts(ctx);
-        let msg = RsmMsg::Prepare {
+        let ts = self.next_send_ts_span(batch.len() as u64, ctx);
+        let msg = RsmMsg::PrepareBatch {
             epoch: self.epoch(),
             ts,
             origin: self.id,
-            cmd,
+            cmds: batch,
         };
         self.broadcast_config(msg, ctx);
     }
 
-    /// Lines 4–10: log the command, then acknowledge it with a clock
-    /// reading greater than its timestamp (waiting out clock skew if
-    /// necessary).
-    fn handle_prepare(
+    /// Lines 4–10, generalized: log every command of the batch, then
+    /// acknowledge the whole run with one cumulative PREPAREOK carrying a
+    /// clock reading greater than its last timestamp (waiting out clock
+    /// skew if necessary).
+    fn handle_prepare_batch(
         &mut self,
-        ts: Timestamp,
+        head: Timestamp,
         origin: ReplicaId,
-        cmd: Command,
+        cmds: Batch,
         ctx: &mut dyn Context<Self>,
     ) {
-        self.pending.insert(ts, (cmd.clone(), origin));
-        let o = origin.index();
-        self.latest_tv[o] = self.latest_tv[o].max(ts);
-        if self.keeps_history() {
-            self.history.insert(ts, (origin, cmd.clone()));
+        let last = Timestamp::new(head.micros() + cmds.len() as Micros - 1, origin);
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let ts = Timestamp::new(head.micros() + i as Micros, origin);
+            self.pending.insert(ts, (cmd.clone(), origin));
+            if self.keeps_history() {
+                self.history.insert(ts, (origin, cmd.clone()));
+            }
+            ctx.log_append(LogRec::Prepare { ts, origin, cmd });
         }
-        ctx.log_append(LogRec::Prepare { ts, origin, cmd });
+        let o = origin.index();
+        self.latest_tv[o] = self.latest_tv[o].max(last);
+        if self.needs_rejoin {
+            // A recovered replica may have lost prepares that were in
+            // flight while it was down, so a cumulative ack would
+            // falsely cover them. Log the batch (it shrinks the
+            // post-rejoin state transfer) but promise nothing: acks
+            // resume after the rejoin reconfiguration installs a fresh
+            // epoch, which resets every ack watermark in the system.
+            self.try_commit(ctx);
+            return;
+        }
         let clock = ctx.clock();
-        if clock > ts.micros() {
-            self.send_prepare_ok(ts, ctx);
+        if clock > last.micros() {
+            self.send_prepare_ok(last, ctx);
         } else {
             // Local clock is behind the originator's: promise nothing
-            // until our clock passes ts (paper: "highly unlikely with
-            // reasonably synchronized clocks").
-            self.wait_queue.insert(ts);
-            self.arm_wait_timer(ts.micros(), clock, ctx);
+            // until our clock passes the batch's last timestamp (paper:
+            // "highly unlikely with reasonably synchronized clocks").
+            self.wait_queue.insert(last);
+            self.arm_wait_timer(last.micros(), clock, ctx);
         }
         self.try_commit(ctx);
     }
 
-    fn send_prepare_ok(&mut self, ts: Timestamp, ctx: &mut dyn Context<Self>) {
+    fn send_prepare_ok(&mut self, up_to: Timestamp, ctx: &mut dyn Context<Self>) {
         let clock_ts = self.next_send_ts(ctx);
-        debug_assert!(clock_ts > ts);
+        debug_assert!(clock_ts > up_to);
         let msg = RsmMsg::PrepareOk {
             epoch: self.epoch(),
-            ts,
+            up_to,
             clock_ts,
         };
         self.broadcast_config(msg, ctx);
@@ -255,37 +328,48 @@ impl ClockRsm {
         }
     }
 
-    /// Timer: acknowledge every queued PREPARE whose timestamp the local
-    /// clock has now passed, in timestamp order.
+    /// Timer: acknowledge every queued PREPARE watermark the local clock
+    /// has now passed, in timestamp order. A later ready watermark from
+    /// the same originator subsumes earlier ones (acks are cumulative),
+    /// so at most one PREPAREOK per originator leaves per drain.
+    #[allow(clippy::while_let_loop)] // the miss arm re-arms the timer
     fn drain_wait_queue(&mut self, ctx: &mut dyn Context<Self>) {
         self.wait_armed_for = None;
+        let mut ready: Vec<Timestamp> = Vec::new();
         loop {
             let Some(&ts) = self.wait_queue.iter().next() else {
-                return;
+                break;
             };
             let clock = ctx.clock();
             if clock > ts.micros() {
                 self.wait_queue.remove(&ts);
-                self.send_prepare_ok(ts, ctx);
+                // Keep only the largest ready watermark per originator.
+                ready.retain(|r| r.replica() != ts.replica());
+                ready.push(ts);
             } else {
                 self.arm_wait_timer(ts.micros(), clock, ctx);
-                return;
+                break;
             }
+        }
+        for ts in ready {
+            self.send_prepare_ok(ts, ctx);
         }
     }
 
-    /// Lines 11–13.
+    /// Lines 11–13, generalized: advance the acker's cumulative watermark
+    /// for the acknowledged originator.
     fn handle_prepare_ok(
         &mut self,
         from: ReplicaId,
-        ts: Timestamp,
+        up_to: Timestamp,
         clock_ts: Timestamp,
         ctx: &mut dyn Context<Self>,
     ) {
         let k = from.index();
         self.latest_tv[k] = self.latest_tv[k].max(clock_ts);
-        if ts > self.last_committed || self.pending.contains_key(&ts) {
-            *self.rep_counter.entry(ts).or_insert(0) += 1;
+        let o = up_to.replica().index();
+        if self.acked[k][o] < up_to.micros() {
+            self.acked[k][o] = up_to.micros();
         }
         self.try_commit(ctx);
     }
@@ -311,6 +395,11 @@ impl ClockRsm {
     /// Lines 14–23: commit every pending command that satisfies majority
     /// replication, stable order, and prefix replication — always working
     /// on the smallest pending timestamp so prefix order is automatic.
+    ///
+    /// Majority replication is read off the cumulative watermark matrix:
+    /// command `(ts, o)` is logged at replica `k` iff `acked[k][o]`
+    /// reaches `ts` — no per-command counter state exists or needs
+    /// cleanup.
     pub(crate) fn try_commit(&mut self, ctx: &mut dyn Context<Self>) {
         if self.frozen {
             return;
@@ -320,12 +409,17 @@ impl ClockRsm {
             let Some((&ts, _)) = self.pending.iter().next() else {
                 return;
             };
-            let acks = self.rep_counter.get(&ts).copied().unwrap_or(0);
+            let o = ts.replica().index();
+            let acks = self
+                .membership
+                .config()
+                .iter()
+                .filter(|k| self.acked[k.index()][o] >= ts.micros())
+                .count();
             if acks < majority || ts > self.min_latest_tv() {
                 return;
             }
             let (cmd, origin) = self.pending.remove(&ts).expect("first key exists");
-            self.rep_counter.remove(&ts);
             ctx.log_append(LogRec::Commit { ts });
             debug_assert!(ts > self.last_committed, "commits must be ts-ordered");
             self.last_committed = ts;
@@ -406,9 +500,7 @@ impl ClockRsm {
             .config()
             .iter()
             .copied()
-            .filter(|&k| {
-                k != self.id && clock.saturating_sub(self.last_heard[k.index()]) > timeout
-            })
+            .filter(|&k| k != self.id && clock.saturating_sub(self.last_heard[k.index()]) > timeout)
             .collect();
         if self.frozen {
             // Liveness backstop: if the reconfigurer that froze us died
@@ -454,47 +546,44 @@ impl ClockRsm {
     // Epoch hygiene
     // ------------------------------------------------------------------
 
-    /// Returns true when a data-plane message tagged `epoch` should be
-    /// processed now. Older epochs are dropped; newer ones are buffered
-    /// while we request the decisions we missed.
-    fn admit_data_msg(
+    /// Classifies a data-plane message by its epoch tag: older epochs
+    /// are dropped; newer ones must be buffered while we request the
+    /// decisions we missed; current-epoch messages are processed. The
+    /// caller rebuilds the owned message only on the buffering path, so
+    /// the hot path never clones a batch.
+    fn admit_epoch(
         &mut self,
         from: ReplicaId,
         epoch: Epoch,
-        msg: &RsmMsg,
         ctx: &mut dyn Context<Self>,
-    ) -> bool {
+    ) -> Admission {
         if epoch < self.epoch() {
-            return false;
+            return Admission::Drop;
         }
         if epoch > self.epoch() {
-            self.queued_msgs.push_back((from, msg.clone()));
             ctx.send(
                 from,
                 RsmMsg::DecisionRequest {
                     have_epoch: self.epoch(),
                 },
             );
-            return false;
+            return Admission::Buffer;
         }
-        if self.frozen && matches!(msg, RsmMsg::Prepare { .. }) {
-            // Algorithm 3 line 8: stop processing PREPARE while suspended.
-            self.queued_msgs.push_back((from, msg.clone()));
-            return false;
-        }
-        true
+        Admission::Process
     }
 
     /// Re-dispatches buffered requests and messages after an epoch install
-    /// or unfreeze.
+    /// or unfreeze. Queued client batches are re-issued exactly as the
+    /// driver delivered them — a freeze never merges or splits batches,
+    /// so the batch policy holds across reconfigurations.
     pub(crate) fn drain_buffers(&mut self, ctx: &mut dyn Context<Self>) {
         let msgs: Vec<(ReplicaId, RsmMsg)> = self.queued_msgs.drain(..).collect();
         for (from, msg) in msgs {
             self.on_message(from, msg, ctx);
         }
-        let reqs: Vec<Command> = self.queued_requests.drain(..).collect();
-        for cmd in reqs {
-            self.handle_request(cmd, ctx);
+        let batches: Vec<Batch> = self.queued_requests.drain(..).collect();
+        for batch in batches {
+            self.handle_batch(batch, ctx);
         }
     }
 }
@@ -524,48 +613,61 @@ impl Protocol for ClockRsm {
     }
 
     fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
-        self.handle_request(cmd, ctx);
+        self.handle_batch(Batch::single(cmd), ctx);
+    }
+
+    fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
+        self.handle_batch(batch, ctx);
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: RsmMsg, ctx: &mut dyn Context<Self>) {
         self.note_heard(from, ctx);
         match msg {
-            RsmMsg::Prepare {
+            RsmMsg::PrepareBatch {
                 epoch,
                 ts,
                 origin,
-                cmd,
-            } => {
-                let m = RsmMsg::Prepare {
-                    epoch,
-                    ts,
-                    origin,
-                    cmd: cmd.clone(),
-                };
-                if self.admit_data_msg(from, epoch, &m, ctx) {
-                    self.handle_prepare(ts, origin, cmd, ctx);
+                cmds,
+            } => match self.admit_epoch(from, epoch, ctx) {
+                // Algorithm 3 line 8: stop processing PREPARE while
+                // suspended (buffered and replayed on unfreeze).
+                Admission::Process if !self.frozen => {
+                    self.handle_prepare_batch(ts, origin, cmds, ctx)
                 }
-            }
+                Admission::Process | Admission::Buffer => self.queued_msgs.push_back((
+                    from,
+                    RsmMsg::PrepareBatch {
+                        epoch,
+                        ts,
+                        origin,
+                        cmds,
+                    },
+                )),
+                Admission::Drop => {}
+            },
             RsmMsg::PrepareOk {
                 epoch,
-                ts,
+                up_to,
                 clock_ts,
-            } => {
-                let m = RsmMsg::PrepareOk {
-                    epoch,
-                    ts,
-                    clock_ts,
-                };
-                if self.admit_data_msg(from, epoch, &m, ctx) {
-                    self.handle_prepare_ok(from, ts, clock_ts, ctx);
-                }
-            }
-            RsmMsg::ClockTime { epoch, ts } => {
-                let m = RsmMsg::ClockTime { epoch, ts };
-                if self.admit_data_msg(from, epoch, &m, ctx) {
-                    self.handle_clock_time(from, ts, ctx);
-                }
-            }
+            } => match self.admit_epoch(from, epoch, ctx) {
+                Admission::Process => self.handle_prepare_ok(from, up_to, clock_ts, ctx),
+                Admission::Buffer => self.queued_msgs.push_back((
+                    from,
+                    RsmMsg::PrepareOk {
+                        epoch,
+                        up_to,
+                        clock_ts,
+                    },
+                )),
+                Admission::Drop => {}
+            },
+            RsmMsg::ClockTime { epoch, ts } => match self.admit_epoch(from, epoch, ctx) {
+                Admission::Process => self.handle_clock_time(from, ts, ctx),
+                Admission::Buffer => self
+                    .queued_msgs
+                    .push_back((from, RsmMsg::ClockTime { epoch, ts })),
+                Admission::Drop => {}
+            },
             RsmMsg::Suspend { epoch, cts } => self.handle_suspend(from, epoch, cts, ctx),
             RsmMsg::SuspendOk { epoch, cmds } => self.handle_suspend_ok(from, epoch, cmds, ctx),
             RsmMsg::Synod { epoch, msg } => self.handle_synod(from, epoch, msg, ctx),
@@ -663,6 +765,7 @@ mod tests {
     use bytes::Bytes;
     use rsm_core::command::CommandId;
     use rsm_core::id::ClientId;
+    use rsm_core::Batch;
 
     pub(crate) struct TestCtx {
         pub sends: Vec<(ReplicaId, RsmMsg)>,
@@ -735,6 +838,17 @@ mod tests {
         Timestamp::new(micros, r(i))
     }
 
+    /// Builds a single-command PREPAREBATCH (most tests drive the
+    /// protocol one command at a time).
+    fn prepare(epoch: Epoch, t: Timestamp, origin: ReplicaId, c: Command) -> RsmMsg {
+        RsmMsg::PrepareBatch {
+            epoch,
+            ts: t,
+            origin,
+            cmds: Batch::single(c),
+        }
+    }
+
     #[test]
     fn request_broadcasts_prepare_to_everyone() {
         let mut p = replica(0, 3);
@@ -744,11 +858,11 @@ mod tests {
             .sends
             .iter()
             .map(|(_, m)| m)
-            .filter(|m| matches!(m, RsmMsg::Prepare { .. }))
+            .filter(|m| matches!(m, RsmMsg::PrepareBatch { .. }))
             .collect();
         assert_eq!(prepares.len(), 3, "PREPARE goes to all replicas incl self");
         match prepares[0] {
-            RsmMsg::Prepare { ts, origin, .. } => {
+            RsmMsg::PrepareBatch { ts, origin, .. } => {
                 assert_eq!(*origin, r(0));
                 assert!(ts.micros() > 1_000);
             }
@@ -757,17 +871,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_request_reserves_contiguous_timestamps() {
+        let mut p = replica(0, 3);
+        let mut ctx = TestCtx::new(1_000);
+        p.on_client_batch(Batch::new(vec![cmd(1), cmd(2), cmd(3)]), &mut ctx);
+        let heads: Vec<(Timestamp, usize)> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                RsmMsg::PrepareBatch { ts, cmds, .. } => Some((*ts, cmds.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(heads.len(), 3, "one batch message per destination");
+        assert!(heads.iter().all(|&(t, k)| t == heads[0].0 && k == 3));
+        // The next stamp clears the whole reserved run.
+        let next = p.next_send_ts(&mut ctx);
+        assert!(next.micros() >= heads[0].0.micros() + 3);
+    }
+
+    #[test]
     fn prepare_is_logged_and_acked_with_greater_clock() {
         let mut p = replica(1, 3);
         let mut ctx = TestCtx::new(1_000);
         p.on_message(
             r(0),
-            RsmMsg::Prepare {
-                epoch: Epoch::ZERO,
-                ts: ts(500, 0),
-                origin: r(0),
-                cmd: cmd(1),
-            },
+            prepare(Epoch::ZERO, ts(500, 0), r(0), cmd(1)),
             &mut ctx,
         );
         assert_eq!(ctx.log.len(), 1);
@@ -779,10 +908,43 @@ mod tests {
             .collect();
         assert_eq!(oks.len(), 3, "PREPAREOK broadcast to all incl self");
         match oks[0] {
-            RsmMsg::PrepareOk { ts: t, clock_ts, .. } => {
-                assert_eq!(*t, ts(500, 0));
+            RsmMsg::PrepareOk {
+                up_to, clock_ts, ..
+            } => {
+                assert_eq!(*up_to, ts(500, 0));
                 assert!(clock_ts.micros() > 500);
                 assert_eq!(clock_ts.replica(), r(1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn batched_prepare_acks_once_covering_the_whole_run() {
+        let mut p = replica(1, 3);
+        let mut ctx = TestCtx::new(1_000);
+        p.on_message(
+            r(0),
+            RsmMsg::PrepareBatch {
+                epoch: Epoch::ZERO,
+                ts: ts(500, 0),
+                origin: r(0),
+                cmds: Batch::new(vec![cmd(1), cmd(2), cmd(3), cmd(4)]),
+            },
+            &mut ctx,
+        );
+        assert_eq!(ctx.log.len(), 4, "every command of the batch is logged");
+        assert_eq!(p.pending_count(), 4);
+        let oks: Vec<&RsmMsg> = ctx
+            .sends
+            .iter()
+            .map(|(_, m)| m)
+            .filter(|m| matches!(m, RsmMsg::PrepareOk { .. }))
+            .collect();
+        assert_eq!(oks.len(), 3, "ONE cumulative ack broadcast, not 4");
+        match oks[0] {
+            RsmMsg::PrepareOk { up_to, .. } => {
+                assert_eq!(*up_to, ts(503, 0), "watermark covers the last command");
             }
             _ => unreachable!(),
         }
@@ -795,12 +957,7 @@ mod tests {
         // Originator's clock (10_000) is far ahead of ours (≈100).
         p.on_message(
             r(0),
-            RsmMsg::Prepare {
-                epoch: Epoch::ZERO,
-                ts: ts(10_000, 0),
-                origin: r(0),
-                cmd: cmd(1),
-            },
+            prepare(Epoch::ZERO, ts(10_000, 0), r(0), cmd(1)),
             &mut ctx,
         );
         assert!(
@@ -828,20 +985,11 @@ mod tests {
         let mut ctx = TestCtx::new(1_000);
         p.on_client_request(cmd(1), &mut ctx);
         let tcmd = match &ctx.take_sends()[0] {
-            (_, RsmMsg::Prepare { ts, .. }) => *ts,
+            (_, RsmMsg::PrepareBatch { ts, .. }) => *ts,
             _ => unreachable!(),
         };
         // Self-delivery of own PREPARE.
-        p.on_message(
-            r(0),
-            RsmMsg::Prepare {
-                epoch: Epoch::ZERO,
-                ts: tcmd,
-                origin: r(0),
-                cmd: cmd(1),
-            },
-            &mut ctx,
-        );
+        p.on_message(r(0), prepare(Epoch::ZERO, tcmd, r(0), cmd(1)), &mut ctx);
         // Own PREPAREOK (self-delivery).
         let own_ok = ctx
             .take_sends()
@@ -859,7 +1007,7 @@ mod tests {
             r(1),
             RsmMsg::PrepareOk {
                 epoch: Epoch::ZERO,
-                ts: tcmd,
+                up_to: tcmd,
                 clock_ts: ts(tcmd.micros() + 10, 1),
             },
             &mut ctx,
@@ -895,12 +1043,7 @@ mod tests {
         for (origin, t) in [(r(0), t0), (r(1), t1)] {
             p.on_message(
                 origin,
-                RsmMsg::Prepare {
-                    epoch: Epoch::ZERO,
-                    ts: t,
-                    origin,
-                    cmd: cmd(t.micros()),
-                },
+                prepare(Epoch::ZERO, t, origin, cmd(t.micros())),
                 &mut ctx,
             );
         }
@@ -912,7 +1055,7 @@ mod tests {
                     r(k),
                     RsmMsg::PrepareOk {
                         epoch: Epoch::ZERO,
-                        ts: t,
+                        up_to: t,
                         clock_ts: ts(6_000 + k as u64, k),
                     },
                     &mut ctx,
@@ -936,12 +1079,7 @@ mod tests {
         for (origin, t) in [(r(0), early), (r(1), late)] {
             p.on_message(
                 origin,
-                RsmMsg::Prepare {
-                    epoch: Epoch::ZERO,
-                    ts: t,
-                    origin,
-                    cmd: cmd(t.micros()),
-                },
+                prepare(Epoch::ZERO, t, origin, cmd(t.micros())),
                 &mut ctx,
             );
         }
@@ -951,7 +1089,7 @@ mod tests {
                 r(k),
                 RsmMsg::PrepareOk {
                     epoch: Epoch::ZERO,
-                    ts: late,
+                    up_to: late,
                     clock_ts: ts(6_000 + k as u64, k),
                 },
                 &mut ctx,
@@ -967,7 +1105,7 @@ mod tests {
                 r(k),
                 RsmMsg::PrepareOk {
                     epoch: Epoch::ZERO,
-                    ts: early,
+                    up_to: early,
                     clock_ts: ts(6_100 + k as u64, k),
                 },
                 &mut ctx,
@@ -1054,6 +1192,55 @@ mod tests {
     }
 
     #[test]
+    fn rejoining_replica_logs_but_never_acks() {
+        // Prepares may have been lost while this replica was down; a
+        // cumulative PREPAREOK sent before the rejoin reconfiguration
+        // completes would falsely cover them. The replica still logs
+        // (shrinking the post-rejoin state transfer) but stays silent.
+        let mut p = replica(1, 3);
+        let mut ctx = TestCtx::new(1_000);
+        p.on_recover(&[], &mut ctx);
+        assert!(p.needs_rejoin);
+        p.on_message(
+            r(0),
+            prepare(Epoch::ZERO, ts(500, 0), r(0), cmd(1)),
+            &mut ctx,
+        );
+        assert_eq!(ctx.log.len(), 1, "the prepare is still logged");
+        assert!(
+            !ctx.sends
+                .iter()
+                .any(|(_, m)| matches!(m, RsmMsg::PrepareOk { .. })),
+            "no cumulative ack may leave before the rejoin completes"
+        );
+        assert!(p.wait_queue.is_empty(), "no deferred ack either");
+    }
+
+    #[test]
+    fn freeze_preserves_client_batch_boundaries() {
+        // Batches queued during a freeze must re-issue exactly as the
+        // driver delivered them: never merged (policy cap would be
+        // violated) and never split.
+        let mut p = replica(0, 3);
+        let mut ctx = TestCtx::new(1_000);
+        p.frozen = true;
+        p.on_client_batch(Batch::new(vec![cmd(1), cmd(2)]), &mut ctx);
+        p.on_client_request(cmd(3), &mut ctx);
+        assert!(ctx.sends.is_empty(), "frozen: nothing leaves");
+        p.frozen = false;
+        p.drain_buffers(&mut ctx);
+        let shapes: Vec<usize> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, m)| match m {
+                RsmMsg::PrepareBatch { cmds, .. } if *to == r(0) => Some(cmds.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shapes, vec![2, 1], "original batch boundaries kept");
+    }
+
+    #[test]
     fn recovery_replays_committed_prefix_in_order() {
         let mut p = replica(0, 3);
         let mut ctx = TestCtx::new(1_000);
@@ -1093,5 +1280,30 @@ mod tests {
         assert!(a < b);
         let c = order_key(Epoch(1), ts(1, 1));
         assert!(b < c);
+    }
+
+    #[test]
+    fn order_keys_distinct_across_max_membership() {
+        // All 256 replica ids at the same micros must produce distinct,
+        // ordered keys (the full width of the 8-bit lane).
+        let keys: Vec<u64> = (0..MAX_ORDER_KEY_REPLICAS)
+            .map(|i| order_key(Epoch::ZERO, ts(42, i)))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "order-key layout")]
+    fn oversized_membership_is_rejected_at_construction() {
+        // Replica ids ≥ 256 would silently collide in the order key's
+        // 8-bit replica lane; construction must refuse them outright.
+        let _ = ClockRsm::new(
+            r(0),
+            Membership::uniform(300),
+            ClockRsmConfig::default().with_delta_us(None),
+        );
     }
 }

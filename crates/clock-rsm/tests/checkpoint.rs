@@ -3,6 +3,7 @@
 
 use bytes::Bytes;
 use clock_rsm::{ClockRsm, ClockRsmConfig, LogRec, RsmMsg};
+use rsm_core::batch::Batch;
 use rsm_core::command::{Command, CommandId, Committed};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::{ClientId, ReplicaId};
@@ -97,11 +98,11 @@ fn commit_n(p: &mut ClockRsm, ctx: &mut CtxWithSm, count: u64) {
         let ts = Timestamp::new(10_000 * seq, r(0));
         p.on_message(
             r(0),
-            RsmMsg::Prepare {
+            RsmMsg::PrepareBatch {
                 epoch: Epoch::ZERO,
                 ts,
                 origin: r(0),
-                cmd: cmd(seq),
+                cmds: Batch::single(cmd(seq)),
             },
             ctx,
         );
@@ -110,7 +111,7 @@ fn commit_n(p: &mut ClockRsm, ctx: &mut CtxWithSm, count: u64) {
                 r(k),
                 RsmMsg::PrepareOk {
                     epoch: Epoch::ZERO,
-                    ts,
+                    up_to: ts,
                     clock_ts: Timestamp::new(ts.micros() + 10 + k as u64, r(k)),
                 },
                 ctx,
@@ -129,7 +130,11 @@ fn checkpoints_are_written_at_the_interval() {
         .iter()
         .filter(|l| matches!(l, LogRec::Checkpoint { .. }))
         .collect();
-    assert_eq!(checkpoints.len(), 2, "7 commits at interval 3 -> 2 checkpoints");
+    assert_eq!(
+        checkpoints.len(),
+        2,
+        "7 commits at interval 3 -> 2 checkpoints"
+    );
     match checkpoints[1] {
         LogRec::Checkpoint { ts, state, .. } => {
             assert_eq!(ts.micros(), 60_000, "second checkpoint covers commit 6");
@@ -179,7 +184,9 @@ fn no_checkpoints_without_configuration() {
     let mut ctx = CtxWithSm::new(true);
     commit_n(&mut p, &mut ctx, 10);
     assert!(
-        !ctx.log.iter().any(|l| matches!(l, LogRec::Checkpoint { .. })),
+        !ctx.log
+            .iter()
+            .any(|l| matches!(l, LogRec::Checkpoint { .. })),
         "checkpointing must be opt-in"
     );
 }
@@ -190,7 +197,9 @@ fn snapshotless_driver_never_receives_checkpoint_records() {
     let mut ctx = CtxWithSm::new(false);
     commit_n(&mut p, &mut ctx, 6);
     assert!(
-        !ctx.log.iter().any(|l| matches!(l, LogRec::Checkpoint { .. })),
+        !ctx.log
+            .iter()
+            .any(|l| matches!(l, LogRec::Checkpoint { .. })),
         "no snapshots -> no checkpoint records"
     );
 }

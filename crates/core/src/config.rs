@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::ReplicaId;
 
 /// Reconfiguration epoch number (Section V of the paper).
@@ -11,9 +9,7 @@ use crate::id::ReplicaId;
 /// `Epoch` is a hard state: it starts at 0 and is incremented by every
 /// successful reconfiguration. Messages from older epochs are ignored by
 /// replicas that have already moved on.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Epoch(pub u64);
 
 impl Epoch {
@@ -58,7 +54,7 @@ impl fmt::Display for Epoch {
 /// assert_eq!(m.majority(), 3);
 /// assert!(m.in_config(ReplicaId::new(4)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Membership {
     spec: Vec<ReplicaId>,
     config: Vec<ReplicaId>,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a replica within the system specification (`Spec`).
 ///
 /// Replica ids are small dense integers assigned by the system administrator
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.index(), 3);
 /// assert!(ReplicaId::new(1) < ReplicaId::new(2));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReplicaId(u16);
 
 impl ReplicaId {
@@ -74,7 +72,7 @@ impl From<u16> for ReplicaId {
 /// assert_eq!(c.site(), ReplicaId::new(2));
 /// assert_eq!(c.number(), 13);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId {
     site: ReplicaId,
     number: u32,

@@ -23,6 +23,17 @@
 //! and loosely synchronized physical clocks whose precision affects only
 //! performance, never safety.
 //!
+//! ## Batching
+//!
+//! Every protocol in the workspace replicates whole [`Batch`]es of client
+//! commands: drivers coalesce queued requests (up to
+//! [`BatchPolicy::max_batch`], never waiting intentionally) and deliver
+//! them via [`Protocol::on_client_batch`]; protocols bind each batch to a
+//! contiguous run of ordering coordinates and acknowledge it with one
+//! cumulative watermark message. `BatchPolicy::DISABLED` (the default
+//! everywhere) reproduces per-command behaviour exactly — batching is
+//! never observable in the committed sequence, only in throughput.
+//!
 //! [Clock-RSM]: https://doi.org/10.1109/DSN.2014.42
 //!
 //! ## Example
@@ -42,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod command;
 pub mod config;
 pub mod error;
@@ -52,6 +64,7 @@ pub mod sm;
 pub mod time;
 pub mod wire;
 
+pub use batch::{Batch, BatchPolicy};
 pub use command::{Command, CommandId, Committed, Reply};
 pub use config::{Epoch, Membership};
 pub use error::{ProtocolError, Result};

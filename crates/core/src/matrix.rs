@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::ReplicaId;
 use crate::time::{Micros, MILLIS};
 
@@ -33,7 +31,7 @@ use crate::time::{Micros, MILLIS};
 /// assert_eq!(m.one_way(a, b), 40_000); // half of 80 ms, in µs
 /// assert_eq!(m.one_way(a, a), 0);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct LatencyMatrix {
     /// `one_way[i][j]` = one-way latency from replica `i` to replica `j`.
     one_way: Vec<Vec<Micros>>,

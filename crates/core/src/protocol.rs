@@ -21,6 +21,7 @@
 
 use std::fmt;
 
+use crate::batch::Batch;
 use crate::command::{Command, Committed};
 use crate::id::ReplicaId;
 use crate::time::Micros;
@@ -123,6 +124,23 @@ pub trait Protocol {
     /// A local client submitted `cmd` for replication (the paper's
     /// `⟨REQUEST cmd⟩`).
     fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>);
+
+    /// A driver coalesced several queued client requests into one ordered
+    /// [`Batch`] (see [`BatchPolicy`](crate::BatchPolicy)).
+    ///
+    /// Protocols that replicate whole batches — one wire message, one
+    /// acknowledgement, contiguous order coordinates — override this. The
+    /// default expands the batch into per-command requests, so a protocol
+    /// without native batching still behaves correctly (it merely gains
+    /// nothing from coalescing). Implementations must commit the batch's
+    /// commands in batch order, exactly as if each had been submitted
+    /// individually: batching must never be observable in the committed
+    /// sequence.
+    fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
+        for cmd in batch {
+            self.on_client_request(cmd, ctx);
+        }
+    }
 
     /// A message arrived from replica `from` (possibly self).
     fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self>);

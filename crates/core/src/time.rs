@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::ReplicaId;
 
 /// Microseconds, the time unit used throughout the workspace.
@@ -38,7 +36,7 @@ pub const SECONDS: Micros = 1_000_000;
 /// assert!(a < b); // tie on clock value broken by replica id
 /// assert!(b < c); // clock value dominates
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp {
     micros: Micros,
     replica: ReplicaId,

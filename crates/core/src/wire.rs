@@ -66,6 +66,9 @@ mod tests {
         let c = Command::new(id, Bytes::from(vec![0; 8]));
         assert_eq!(Some(c.clone()).wire_size(), 1 + c.wire_size());
         assert_eq!(None::<Command>.wire_size(), 1);
-        assert_eq!(vec![c.clone(), c.clone()].wire_size(), 4 + 2 * c.wire_size());
+        assert_eq!(
+            vec![c.clone(), c.clone()].wire_size(),
+            4 + 2 * c.wire_size()
+        );
     }
 }

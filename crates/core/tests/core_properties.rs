@@ -70,6 +70,7 @@ proptest! {
         let n = 5;
         let mut m = vec![vec![0u64; n]; n];
         let mut it = vals.into_iter();
+        #[allow(clippy::needless_range_loop)] // triangular fill is clearest with indices
         for i in 0..n {
             for j in (i + 1)..n {
                 let v = it.next().expect("10 values");
@@ -89,6 +90,6 @@ proptest! {
             .iter()
             .filter(|&&d| d <= matrix.median_from(r_id))
             .count();
-        prop_assert!(within >= n / 2 + 1);
+        prop_assert!(within > n / 2);
     }
 }

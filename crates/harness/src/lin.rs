@@ -61,8 +61,7 @@ pub fn check_total_order(histories: &[Vec<CommitRecord>]) -> Result<(), String> 
                 continue;
             }
             // Align on b's first command within a, or a's first within b.
-            let (off_a, off_b) = if let Some(p) = a.iter().position(|r| r.cmd_id == b[0].cmd_id)
-            {
+            let (off_a, off_b) = if let Some(p) = a.iter().position(|r| r.cmd_id == b[0].cmd_id) {
                 (p, 0)
             } else if let Some(p) = b.iter().position(|r| r.cmd_id == a[0].cmd_id) {
                 (0, p)
@@ -75,7 +74,8 @@ pub fn check_total_order(histories: &[Vec<CommitRecord>]) -> Result<(), String> 
                     return Err(format!(
                         "total order violation: offset {k} after alignment differs \
                          between replica {i} ({:?}) and replica {j} ({:?})",
-                        a[off_a + k].cmd_id, b[off_b + k].cmd_id
+                        a[off_a + k].cmd_id,
+                        b[off_b + k].cmd_id
                     ));
                 }
             }
@@ -134,7 +134,7 @@ pub fn check_real_time(order: &[CommitRecord], ops: &[OpRecord]) -> Result<(), S
     // after that reply must order later.
     #[derive(Debug)]
     enum Ev {
-        Reply(Micros, usize),  // (time, position in order)
+        Reply(Micros, usize), // (time, position in order)
         Issue(Micros, CommandId, usize),
     }
     let mut events: Vec<Ev> = Vec::with_capacity(ops.len() * 2);

@@ -214,8 +214,8 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
         if key >= RETRY_KEY_BASE {
             let idx = ((key >> 24) & 0xFF_FFFF) as usize;
             let seq = key & 0xFF_FFFF;
-            let stuck = self.clients[idx].issued_at.is_some()
-                && self.clients[idx].seq & 0xFF_FFFF == seq;
+            let stuck =
+                self.clients[idx].issued_at.is_some() && self.clients[idx].seq & 0xFF_FFFF == seq;
             if stuck {
                 // The command was lost (e.g. flushed by a reconfiguration
                 // it did not survive): re-issue with a fresh identity.
@@ -267,8 +267,7 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
     }
 
     fn on_commit(&mut self, replica: ReplicaId, _committed: &Committed, at: Micros) {
-        if replica == self.observer && at >= self.cfg.warmup_until && at <= self.cfg.measure_until
-        {
+        if replica == self.observer && at >= self.cfg.warmup_until && at <= self.cfg.measure_until {
             self.observer_commits += 1;
         }
     }
@@ -306,9 +305,7 @@ mod tests {
         let app: WorkloadApp<ClockRsm> = WorkloadApp::new(workload(n, 2, 800_000));
         let mut sim = Simulation::new(
             cfg,
-            move |id| {
-                ClockRsm::new(id, Membership::uniform(n as u16), ClockRsmConfig::default())
-            },
+            move |id| ClockRsm::new(id, Membership::uniform(n as u16), ClockRsmConfig::default()),
             || Box::new(KvStore::new()),
             app,
         );
@@ -339,9 +336,7 @@ mod tests {
         let app: WorkloadApp<ClockRsm> = WorkloadApp::new(w);
         let mut sim = Simulation::new(
             cfg,
-            move |id| {
-                ClockRsm::new(id, Membership::uniform(n as u16), ClockRsmConfig::default())
-            },
+            move |id| ClockRsm::new(id, Membership::uniform(n as u16), ClockRsmConfig::default()),
             || Box::new(KvStore::new()),
             app,
         );

@@ -89,11 +89,7 @@ impl KvOp {
     }
 
     /// Convenience constructor for a `Cas`.
-    pub fn cas(
-        key: impl Into<Bytes>,
-        expect: Option<Bytes>,
-        value: impl Into<Bytes>,
-    ) -> Self {
+    pub fn cas(key: impl Into<Bytes>, expect: Option<Bytes>, value: impl Into<Bytes>) -> Self {
         KvOp::Cas {
             key: key.into(),
             expect,

@@ -1,27 +1,36 @@
 //! Mencius-bcast wire messages.
+//!
+//! Like the other protocols in this workspace, the data plane is
+//! batch-shaped: a coordinator proposes a whole [`Batch`] across its next
+//! own slots with one message, and acknowledgements are cumulative
+//! per-owner slot watermarks, so one ack covers the batch.
 
-use rsm_core::command::Command;
+use rsm_core::batch::Batch;
 use rsm_core::id::ReplicaId;
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
 
 /// Messages exchanged by [`MenciusBcast`](crate::MenciusBcast) replicas.
 #[derive(Debug, Clone)]
 pub enum MenciusMsg {
-    /// The owner of `slot` proposes `cmd` in it.
+    /// The owner proposes `cmds` in its own slots `first_slot`,
+    /// `first_slot + N`, …, `first_slot + (len-1)·N` (its slot space has
+    /// stride `N`, the number of replicas).
     Propose {
-        /// The slot being filled (owned by the sender).
-        slot: u64,
-        /// The command bound to the slot.
-        cmd: Command,
-        /// The replica whose client issued the command (the sender).
+        /// The first slot being filled (owned by the sender).
+        first_slot: u64,
+        /// The commands bound to the consecutive own slots, in order.
+        cmds: Batch,
+        /// The replica whose clients issued the commands (the sender).
         origin: ReplicaId,
     },
-    /// Broadcast acknowledgement that the sender logged `slot`, carrying
-    /// the sender's **skip promise**: it will never propose in any of its
-    /// own slots below `skip_below`.
+    /// Cumulative broadcast acknowledgement: the sender has logged
+    /// **every** slot owned by `up_to_slot % N` at or below `up_to_slot`
+    /// (sound because an owner proposes its slots in increasing order
+    /// over FIFO channels). Also carries the sender's **skip promise**:
+    /// it will never propose in any of its own slots below `skip_below`.
     AcceptAck {
-        /// The slot being acknowledged.
-        slot: u64,
+        /// Watermark slot; its owner is `up_to_slot % N`.
+        up_to_slot: u64,
         /// The sender's skip promise (exclusive lower bound on its future
         /// own-slot proposals).
         skip_below: u64,
@@ -31,7 +40,7 @@ pub enum MenciusMsg {
 impl WireSize for MenciusMsg {
     fn wire_size(&self) -> usize {
         match self {
-            MenciusMsg::Propose { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            MenciusMsg::Propose { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
             MenciusMsg::AcceptAck { .. } => MSG_HEADER_BYTES + 8,
         }
     }
@@ -41,25 +50,43 @@ impl WireSize for MenciusMsg {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use rsm_core::command::CommandId;
+    use rsm_core::command::{Command, CommandId};
     use rsm_core::id::ClientId;
+
+    fn cmd(len: usize) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
+            Bytes::from(vec![0u8; len]),
+        )
+    }
 
     #[test]
     fn wire_sizes() {
-        let cmd = Command::new(
-            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
-            Bytes::from(vec![0u8; 64]),
-        );
         let p = MenciusMsg::Propose {
-            slot: 0,
-            cmd,
+            first_slot: 0,
+            cmds: Batch::single(cmd(64)),
             origin: ReplicaId::new(0),
         };
         let a = MenciusMsg::AcceptAck {
-            slot: 0,
+            up_to_slot: 0,
             skip_below: 3,
         };
         assert!(p.wire_size() > 64);
         assert_eq!(a.wire_size(), MSG_HEADER_BYTES + 8);
+    }
+
+    #[test]
+    fn batched_propose_amortizes_the_header() {
+        let one = MenciusMsg::Propose {
+            first_slot: 0,
+            cmds: Batch::single(cmd(10)),
+            origin: ReplicaId::new(0),
+        };
+        let eight = MenciusMsg::Propose {
+            first_slot: 0,
+            cmds: Batch::new((0..8).map(|_| cmd(10)).collect()),
+            origin: ReplicaId::new(0),
+        };
+        assert!(eight.wire_size() < 8 * one.wire_size());
     }
 }

@@ -1,7 +1,14 @@
 //! The Mencius-bcast replica state machine.
+//!
+//! The data plane is fully batched: a coordinator proposes a whole client
+//! [`Batch`] across its next own slots with one `PROPOSE`, and replicas
+//! answer with one cumulative `ACCEPTACK` watermark per batch instead of
+//! one ack per slot. Per-slot ack counters collapse into a small
+//! per-(acker, owner) watermark matrix.
 
 use std::collections::BTreeMap;
 
+use rsm_core::batch::Batch;
 use rsm_core::command::{Command, Committed};
 use rsm_core::config::Membership;
 use rsm_core::id::ReplicaId;
@@ -33,12 +40,6 @@ pub enum MenciusLogRec {
     },
 }
 
-#[derive(Debug, Default)]
-struct Slot {
-    cmd: Option<(Command, ReplicaId)>,
-    acks: usize,
-}
-
 /// A Mencius replica with the broadcast-acknowledgement optimization.
 ///
 /// Slot `s` is owned by replica `s mod N`; replicas propose only in their
@@ -55,7 +56,31 @@ pub struct MenciusBcast {
     /// Per-replica skip promise: replica `k` will never issue a *new*
     /// proposal in a `k`-owned slot below `floor[k]`.
     floor: Vec<u64>,
-    slots: BTreeMap<u64, Slot>,
+    /// Pending proposals by slot.
+    slots: BTreeMap<u64, (Command, ReplicaId)>,
+    /// Cumulative acknowledgement watermarks: `acked_below[k][o]` means
+    /// replica `k` has logged **every** slot owned by `o` below that
+    /// value. Slot `c` (owner `o`) is acknowledged by `k` iff
+    /// `acked_below[k][o] > c`. One cumulative ack per batch replaces
+    /// per-slot counters.
+    acked_below: Vec<Vec<u64>>,
+    /// Whether this replica has received every proposal owner `o` ever
+    /// made (true while continuously up: owners propose their slots in
+    /// increasing order over FIFO channels, so nothing can be missed).
+    /// Cleared for the other owners by a crash — proposals in flight to
+    /// a down replica are lost — after which this replica stops issuing
+    /// cumulative acks for them: it can no longer bound what it missed.
+    /// Own proposals are logged synchronously, so the own entry is
+    /// always true. Restored per owner once every slot below the first
+    /// post-recovery receipt has resolved locally (see `resync_floor`).
+    recv_synced: Vec<bool>,
+    /// First slot received from each owner after a desync. Once
+    /// `exec_cursor` passes it, every earlier slot of that owner is
+    /// locally resolved — committed (so globally decided; covering it
+    /// adds no false quorum weight) or skipped (no command; coverage is
+    /// vacuous) — and cumulative acks for the owner become truthful
+    /// again.
+    resync_floor: Vec<Option<u64>>,
     /// Next slot to execute or skip; all smaller slots are resolved.
     exec_cursor: u64,
 }
@@ -76,6 +101,9 @@ impl MenciusBcast {
             next_own_slot: id.index() as u64,
             floor,
             slots: BTreeMap::new(),
+            acked_below: vec![vec![0; n as usize]; n as usize],
+            recv_synced: vec![true; n as usize],
+            resync_floor: vec![None; n as usize],
             exec_cursor: 0,
             membership,
         }
@@ -113,33 +141,69 @@ impl MenciusBcast {
         }
     }
 
+    /// Handles a batch proposal filling the owner's consecutive own slots
+    /// `first_slot, first_slot + n, …`; acknowledges the whole run with
+    /// one cumulative ack.
     fn on_propose(
         &mut self,
-        slot: u64,
-        cmd: Command,
+        first_slot: u64,
+        cmds: Batch,
         origin: ReplicaId,
         ctx: &mut dyn Context<Self>,
     ) {
-        if slot < self.exec_cursor {
-            return; // stale
+        let k = cmds.len() as u64;
+        let last_slot = first_slot + (k - 1) * self.n;
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let slot = first_slot + i as u64 * self.n;
+            if slot < self.exec_cursor {
+                continue; // stale
+            }
+            ctx.log_append(MenciusLogRec::Accept {
+                slot,
+                cmd: cmd.clone(),
+                origin,
+            });
+            self.slots.insert(slot, (cmd, origin));
         }
-        ctx.log_append(MenciusLogRec::Accept {
-            slot,
-            cmd: cmd.clone(),
-            origin,
-        });
-        self.slots.entry(slot).or_default().cmd = Some((cmd, origin));
         // The owner will not propose below its next own slot again.
-        let owner = self.owner_of_slot(slot);
-        self.floor[owner.index()] = self.floor[owner.index()].max(slot + self.n);
-        // Acknowledging slot s implicitly skips our own unused slots < s.
-        if self.next_own_slot <= slot {
-            self.next_own_slot = self.own_slot_after(slot);
+        let owner = self.owner_of_slot(first_slot);
+        self.floor[owner.index()] = self.floor[owner.index()].max(last_slot + self.n);
+        // Acknowledging the run implicitly skips our own unused slots
+        // below its last slot.
+        if self.next_own_slot <= last_slot {
+            self.next_own_slot = self.own_slot_after(last_slot);
         }
         self.floor[self.id.index()] = self.floor[self.id.index()].max(self.next_own_slot);
+        // The cumulative watermark is only truthful while we provably
+        // received every proposal this owner ever made (FIFO + up the
+        // whole time). After a crash we may have missed some, so vouch
+        // for our own slots instead — trivially complete in our log —
+        // which still carries the skip promise everyone needs for
+        // liveness of the gap slots. Coverage becomes truthful again
+        // once everything below our first post-recovery receipt has
+        // resolved locally, at which point we re-sync and resume full
+        // acknowledgements (a recovered replica rejoins quorum duty as
+        // soon as the cluster makes any progress past its outage).
+        let oi = owner.index();
+        if !self.recv_synced[oi] {
+            match self.resync_floor[oi] {
+                None => self.resync_floor[oi] = Some(first_slot),
+                Some(f) => {
+                    if self.exec_cursor >= f {
+                        self.recv_synced[oi] = true;
+                        self.resync_floor[oi] = None;
+                    }
+                }
+            }
+        }
+        let up_to_slot = if self.recv_synced[oi] {
+            last_slot
+        } else {
+            self.own_ack_mark()
+        };
         self.broadcast(
             MenciusMsg::AcceptAck {
-                slot,
+                up_to_slot,
                 skip_below: self.next_own_slot,
             },
             ctx,
@@ -147,18 +211,47 @@ impl MenciusBcast {
         self.try_execute(ctx);
     }
 
+    /// The highest own slot this replica could have proposed — own
+    /// proposals are logged synchronously, so claiming cumulative
+    /// coverage of them is always sound. Used as the ack watermark when
+    /// coverage of another owner cannot be claimed.
+    fn own_ack_mark(&self) -> u64 {
+        if self.next_own_slot >= self.n {
+            self.next_own_slot - self.n
+        } else {
+            // Never proposed: our first own slot; it holds no command
+            // from anyone else, so the claim is vacuous but well-formed.
+            self.id.index() as u64
+        }
+    }
+
     fn on_accept_ack(
         &mut self,
         from: ReplicaId,
-        slot: u64,
+        up_to_slot: u64,
         skip_below: u64,
         ctx: &mut dyn Context<Self>,
     ) {
         self.floor[from.index()] = self.floor[from.index()].max(skip_below);
-        if slot >= self.exec_cursor {
-            self.slots.entry(slot).or_default().acks += 1;
+        let owner = self.owner_of_slot(up_to_slot).index();
+        let below = up_to_slot + 1;
+        if self.acked_below[from.index()][owner] < below {
+            self.acked_below[from.index()][owner] = below;
         }
         self.try_execute(ctx);
+    }
+
+    /// Whether slot `c` has been acknowledged by a majority, read off the
+    /// cumulative watermark matrix.
+    fn majority_acked(&self, c: u64) -> bool {
+        let owner = self.owner_of_slot(c).index();
+        let acks = self
+            .membership
+            .config()
+            .iter()
+            .filter(|k| self.acked_below[k.index()][owner] > c)
+            .count();
+        acks >= self.majority()
     }
 
     /// Resolves slots in order: execute a slot once it has a command and a
@@ -167,14 +260,11 @@ impl MenciusBcast {
     fn try_execute(&mut self, ctx: &mut dyn Context<Self>) {
         loop {
             let c = self.exec_cursor;
-            let has_cmd = self.slots.get(&c).is_some_and(|s| s.cmd.is_some());
-            if has_cmd {
-                let ready = self.slots.get(&c).map(|s| s.acks >= self.majority());
-                if ready != Some(true) {
+            if self.slots.contains_key(&c) {
+                if !self.majority_acked(c) {
                     break;
                 }
-                let slot = self.slots.remove(&c).expect("checked above");
-                let (cmd, origin) = slot.cmd.expect("checked above");
+                let (cmd, origin) = self.slots.remove(&c).expect("checked above");
                 ctx.log_append(MenciusLogRec::Commit { slot: c });
                 self.exec_cursor = c + 1;
                 ctx.commit(Committed {
@@ -185,7 +275,6 @@ impl MenciusBcast {
             } else if self.floor[self.owner_of_slot(c).index()] > c {
                 // The owner promised never to fill this slot: no-op.
                 ctx.log_append(MenciusLogRec::Skip { slot: c });
-                self.slots.remove(&c);
                 self.exec_cursor = c + 1;
             } else {
                 break;
@@ -205,54 +294,72 @@ impl Protocol for MenciusBcast {
     fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
 
     fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
-        let slot = self.next_own_slot;
-        debug_assert_eq!(self.owner_of_slot(slot), self.id);
-        self.next_own_slot = slot + self.n;
+        self.on_client_batch(Batch::single(cmd), ctx);
+    }
+
+    fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
+        let first_slot = self.next_own_slot;
+        debug_assert_eq!(self.owner_of_slot(first_slot), self.id);
+        self.next_own_slot = first_slot + batch.len() as u64 * self.n;
         // Send to the peers, then register the proposal locally *before*
         // anything else can advance our own skip floor past it: if a
         // peer's proposal raced ahead of our self-delivery, the skip
-        // check could otherwise resolve our own in-flight slot to a no-op
-        // while everyone else executes it.
+        // check could otherwise resolve our own in-flight slots to no-ops
+        // while everyone else executes them.
         for r in self.membership.config().to_vec() {
             if r != self.id {
                 ctx.send(
                     r,
                     MenciusMsg::Propose {
-                        slot,
-                        cmd: cmd.clone(),
+                        first_slot,
+                        cmds: batch.clone(),
                         origin: self.id,
                     },
                 );
             }
         }
-        self.on_propose(slot, cmd, self.id, ctx);
+        self.on_propose(first_slot, batch, self.id, ctx);
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: MenciusMsg, ctx: &mut dyn Context<Self>) {
         match msg {
-            MenciusMsg::Propose { slot, cmd, origin } => self.on_propose(slot, cmd, origin, ctx),
-            MenciusMsg::AcceptAck { slot, skip_below } => {
-                self.on_accept_ack(from, slot, skip_below, ctx)
-            }
+            MenciusMsg::Propose {
+                first_slot,
+                cmds,
+                origin,
+            } => self.on_propose(first_slot, cmds, origin, ctx),
+            MenciusMsg::AcceptAck {
+                up_to_slot,
+                skip_below,
+            } => self.on_accept_ack(from, up_to_slot, skip_below, ctx),
         }
     }
 
     fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
 
     fn on_recover(&mut self, log: &[MenciusLogRec], ctx: &mut dyn Context<Self>) {
+        // Proposals in flight while we were down are gone (no
+        // retransmission), so cumulative ack coverage of the other
+        // owners can never be claimed again — only our own slots stay
+        // vouchable (see `recv_synced`).
+        let me = self.id.index();
+        for (o, synced) in self.recv_synced.iter_mut().enumerate() {
+            *synced = o == me;
+        }
+        self.resync_floor.fill(None);
         // Rebuild the slot table, then re-execute the resolved prefix in
         // slot order exactly as it was executed before the crash.
         let mut resolved: BTreeMap<u64, Option<(Command, ReplicaId)>> = BTreeMap::new();
         for rec in log {
             match rec {
                 MenciusLogRec::Accept { slot, cmd, origin } => {
-                    self.slots.entry(*slot).or_default().cmd = Some((cmd.clone(), *origin));
+                    self.slots.insert(*slot, (cmd.clone(), *origin));
                 }
                 MenciusLogRec::Commit { slot } => {
                     let cmd = self
                         .slots
                         .get(slot)
-                        .and_then(|s| s.cmd.clone())
+                        .cloned()
                         .expect("commit mark must follow its accept record");
                     resolved.insert(*slot, Some(cmd));
                 }
@@ -341,6 +448,16 @@ mod tests {
         ReplicaId::new(i)
     }
 
+    /// Single-command propose, the shape most tests drive by hand.
+    fn propose(m: &mut MenciusBcast, ctx: &mut TestCtx, slot: u64, c: Command, origin: ReplicaId) {
+        m.on_propose(slot, Batch::single(c), origin, ctx);
+    }
+
+    /// Single-slot ack with a skip promise (cumulative watermark = slot).
+    fn ack(m: &mut MenciusBcast, ctx: &mut TestCtx, from: ReplicaId, slot: u64, skip: u64) {
+        m.on_accept_ack(from, slot, skip, ctx);
+    }
+
     #[test]
     fn own_slot_progression() {
         let m = MenciusBcast::new(r(1), Membership::uniform(3));
@@ -363,7 +480,7 @@ mod tests {
             .sends
             .iter()
             .filter_map(|(_, msg)| match msg {
-                MenciusMsg::Propose { slot, .. } => Some(*slot),
+                MenciusMsg::Propose { first_slot, .. } => Some(*first_slot),
                 _ => None,
             })
             .collect();
@@ -380,19 +497,58 @@ mod tests {
     }
 
     #[test]
+    fn batched_proposal_strides_own_slots_with_one_message() {
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_client_batch(Batch::new(vec![cmd(1), cmd(2), cmd(3)]), &mut ctx);
+        let proposes: Vec<(u64, usize)> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, msg)| match msg {
+                MenciusMsg::Propose {
+                    first_slot, cmds, ..
+                } => Some((*first_slot, cmds.len())),
+                _ => None,
+            })
+            .collect();
+        // One batch message per peer (2 peers; own copy handled inline).
+        assert_eq!(proposes, vec![(1, 3), (1, 3)]);
+        // The batch occupies own slots 1, 4, 7; the local registration
+        // logged all three and acked once with the last slot's watermark.
+        assert_eq!(ctx.log.len(), 3);
+        let acks: Vec<(u64, u64)> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, msg)| match msg {
+                MenciusMsg::AcceptAck {
+                    up_to_slot,
+                    skip_below,
+                } => Some((*up_to_slot, *skip_below)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks.len(), 3, "ONE cumulative ack broadcast, not 3");
+        assert!(acks.iter().all(|&(u, s)| u == 7 && s == 10));
+        assert_eq!(m.next_own_slot, 10);
+    }
+
+    #[test]
     fn ack_carries_skip_promise_and_advances_own_slot() {
         let mut m = MenciusBcast::new(r(2), Membership::uniform(3));
         let mut ctx = TestCtx::new();
         // r0 proposes slot 3 (its second slot); r2 must skip its slot 2.
-        m.on_propose(3, cmd(1), r(0), &mut ctx);
+        propose(&mut m, &mut ctx, 3, cmd(1), r(0));
         let (_, ack) = ctx
             .sends
             .iter()
             .find(|(_, msg)| matches!(msg, MenciusMsg::AcceptAck { .. }))
             .unwrap();
         match ack {
-            MenciusMsg::AcceptAck { slot, skip_below } => {
-                assert_eq!(*slot, 3);
+            MenciusMsg::AcceptAck {
+                up_to_slot,
+                skip_below,
+            } => {
+                assert_eq!(*up_to_slot, 3);
                 assert_eq!(*skip_below, 5, "next own slot of r2 after 3 is 5");
             }
             _ => unreachable!(),
@@ -403,10 +559,10 @@ mod tests {
     fn slot_zero_commits_with_majority_and_no_predecessors() {
         let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
         let mut ctx = TestCtx::new();
-        m.on_propose(0, cmd(1), r(0), &mut ctx);
-        m.on_accept_ack(r(0), 0, 3, &mut ctx);
+        propose(&mut m, &mut ctx, 0, cmd(1), r(0));
+        ack(&mut m, &mut ctx, r(0), 0, 3);
         assert!(ctx.commits.is_empty());
-        m.on_accept_ack(r(1), 0, 1, &mut ctx);
+        ack(&mut m, &mut ctx, r(1), 0, 1);
         assert_eq!(ctx.commits.len(), 1);
         assert_eq!(ctx.commits[0].order_hint, 0);
     }
@@ -418,18 +574,18 @@ mod tests {
         // 1 and 2.
         let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
         let mut ctx = TestCtx::new();
-        m.on_propose(0, cmd(1), r(0), &mut ctx);
-        m.on_propose(3, cmd(2), r(0), &mut ctx);
+        propose(&mut m, &mut ctx, 0, cmd(1), r(0));
+        propose(&mut m, &mut ctx, 3, cmd(2), r(0));
         // Majority acks for both slots from r0 (self) and r1.
-        m.on_accept_ack(r(0), 0, 3, &mut ctx);
-        m.on_accept_ack(r(0), 3, 6, &mut ctx);
-        m.on_accept_ack(r(1), 0, 1, &mut ctx);
-        m.on_accept_ack(r(1), 3, 4, &mut ctx);
+        ack(&mut m, &mut ctx, r(0), 0, 3);
+        ack(&mut m, &mut ctx, r(0), 3, 6);
+        ack(&mut m, &mut ctx, r(1), 0, 1);
+        ack(&mut m, &mut ctx, r(1), 3, 4);
         // Slot 0 commits; slot 3 blocked: r2's promise for slot 2 missing.
         assert_eq!(ctx.commits.len(), 1);
         // r2's ack arrives: skip_below 5 covers its slot 2; slot 1 covered
         // by r1's skip_below 4.
-        m.on_accept_ack(r(2), 3, 5, &mut ctx);
+        ack(&mut m, &mut ctx, r(2), 3, 5);
         assert_eq!(ctx.commits.len(), 2);
         assert_eq!(ctx.commits[1].order_hint, 3);
         assert_eq!(m.resolved(), 4);
@@ -442,17 +598,34 @@ mod tests {
         // must wait (the delayed-commit problem).
         let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
         let mut ctx = TestCtx::new();
-        m.on_propose(0, cmd(1), r(0), &mut ctx);
-        m.on_propose(1, cmd(2), r(1), &mut ctx);
-        m.on_accept_ack(r(1), 1, 4, &mut ctx);
-        m.on_accept_ack(r(2), 1, 5, &mut ctx);
-        m.on_accept_ack(r(0), 1, 3, &mut ctx);
+        propose(&mut m, &mut ctx, 0, cmd(1), r(0));
+        propose(&mut m, &mut ctx, 1, cmd(2), r(1));
+        ack(&mut m, &mut ctx, r(1), 1, 4);
+        ack(&mut m, &mut ctx, r(2), 1, 5);
+        ack(&mut m, &mut ctx, r(0), 1, 3);
         assert!(ctx.commits.is_empty(), "slot 1 must wait for slot 0");
-        m.on_accept_ack(r(0), 0, 3, &mut ctx);
-        m.on_accept_ack(r(2), 0, 2, &mut ctx);
+        ack(&mut m, &mut ctx, r(0), 0, 3);
+        ack(&mut m, &mut ctx, r(2), 0, 2);
         assert_eq!(ctx.commits.len(), 2);
         assert_eq!(ctx.commits[0].order_hint, 0);
         assert_eq!(ctx.commits[1].order_hint, 1);
+    }
+
+    #[test]
+    fn cumulative_ack_covers_earlier_slots_of_the_same_owner() {
+        // r2 receives r0's slots 0 and 3 and acks only once for slot 3:
+        // the watermark must count for slot 0 as well.
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        propose(&mut m, &mut ctx, 0, cmd(1), r(0));
+        propose(&mut m, &mut ctx, 3, cmd(2), r(0));
+        // One cumulative ack per replica, watermark at slot 3.
+        ack(&mut m, &mut ctx, r(0), 3, 6);
+        ack(&mut m, &mut ctx, r(1), 3, 4);
+        ack(&mut m, &mut ctx, r(2), 3, 5);
+        assert_eq!(ctx.commits.len(), 2, "both slots commit off one watermark");
+        assert_eq!(ctx.commits[0].order_hint, 0);
+        assert_eq!(ctx.commits[1].order_hint, 3);
     }
 
     #[test]
@@ -460,10 +633,10 @@ mod tests {
         let mut m = MenciusBcast::new(r(2), Membership::uniform(3));
         let mut ctx = TestCtx::new();
         // r1 proposes in its slot 4; everyone skips 0..4.
-        m.on_propose(4, cmd(1), r(1), &mut ctx);
-        m.on_accept_ack(r(0), 4, 6, &mut ctx); // r0 skips 0 and 3
-        m.on_accept_ack(r(1), 4, 7, &mut ctx); // r1 skips 1 (4 proposed)
-        m.on_accept_ack(r(2), 4, 5, &mut ctx); // r2 skips 2
+        propose(&mut m, &mut ctx, 4, cmd(1), r(1));
+        ack(&mut m, &mut ctx, r(0), 4, 6); // r0 skips 0 and 3
+        ack(&mut m, &mut ctx, r(1), 4, 7); // r1 skips 1 (4 proposed)
+        ack(&mut m, &mut ctx, r(2), 4, 5); // r2 skips 2
         assert_eq!(ctx.commits.len(), 1);
         assert_eq!(ctx.commits[0].order_hint, 4);
         assert_eq!(m.resolved(), 5);
@@ -473,6 +646,90 @@ mod tests {
             .filter(|r| matches!(r, MenciusLogRec::Skip { .. }))
             .count();
         assert_eq!(skips, 4);
+    }
+
+    #[test]
+    fn recovered_replica_never_vouches_for_other_owners() {
+        // r1 crashes while r0's slot-0 proposal is in flight (lost),
+        // recovers, then receives r0's next proposal in slot 3. A
+        // cumulative ack up to slot 3 would falsely cover the lost
+        // slot 0; the replica must fall back to vouching only for its
+        // own slots (still carrying the skip promise).
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_recover(&[], &mut ctx);
+        propose(&mut m, &mut ctx, 3, cmd(2), r(0));
+        let acks: Vec<(u64, u64)> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, msg)| match msg {
+                MenciusMsg::AcceptAck {
+                    up_to_slot,
+                    skip_below,
+                } => Some((*up_to_slot, *skip_below)),
+                _ => None,
+            })
+            .collect();
+        assert!(!acks.is_empty());
+        for (up_to, skip) in acks {
+            assert_eq!(
+                m.owner_of_slot(up_to),
+                r(1),
+                "post-recovery ack must only reference own slots"
+            );
+            assert!(skip > 3, "skip promise must still cover the gap slots");
+        }
+        // Own proposals remain fully vouchable after recovery.
+        m.on_client_request(cmd(9), &mut ctx);
+        let own_acks = ctx
+            .sends
+            .iter()
+            .filter(|(_, msg)| {
+                matches!(msg, MenciusMsg::AcceptAck { up_to_slot, .. }
+                if *up_to_slot == m.next_own_slot - 3)
+            })
+            .count();
+        assert!(own_acks >= 3, "own-slot acks keep flowing");
+    }
+
+    #[test]
+    fn recovered_replica_resyncs_once_the_gap_resolves() {
+        // r1 recovers, first hears r0 at slot 3 (slots 0..3 may have
+        // been missed). Once everything below 3 resolves locally, the
+        // gap is globally decided, so cumulative coverage of r0 becomes
+        // truthful again and full acks resume.
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_recover(&[], &mut ctx);
+        propose(&mut m, &mut ctx, 3, cmd(1), r(0));
+        // Unsynced: the ack references r1's own slots, not slot 3.
+        let last_ack = |ctx: &TestCtx| {
+            ctx.sends
+                .iter()
+                .rev()
+                .find_map(|(_, msg)| match msg {
+                    MenciusMsg::AcceptAck { up_to_slot, .. } => Some(*up_to_slot),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(m.owner_of_slot(last_ack(&ctx)), r(1));
+        // Slots 0..3 resolve: slot 0 commits via others' acks, 1 and 2
+        // skip via promises; slot 3 commits too.
+        ack(&mut m, &mut ctx, r(0), 0, 3);
+        ack(&mut m, &mut ctx, r(2), 0, 5);
+        // (r0's skip_below 3 skips nothing of its own; r2's 5 covers 2;
+        // r1's own promise from the ack above covers 1.)
+        ack(&mut m, &mut ctx, r(0), 3, 6);
+        ack(&mut m, &mut ctx, r(2), 3, 5);
+        assert!(m.resolved() >= 4, "gap resolved: {}", m.resolved());
+        // Next proposal from r0: resynced, full cumulative ack again.
+        propose(&mut m, &mut ctx, 6, cmd(2), r(0));
+        assert_eq!(
+            last_ack(&ctx),
+            6,
+            "cumulative acks must resume after resync"
+        );
     }
 
     #[test]

@@ -1,48 +1,61 @@
 //! Multi-Paxos wire messages.
+//!
+//! The leader funnel is where batching pays in Paxos (the paper explains
+//! its small-command throughput advantage exactly this way), so every
+//! data-plane message is batch-shaped: commands travel in ordered
+//! [`Batch`]es bound to contiguous instance runs, and acknowledgements
+//! and commit notifications are **cumulative watermarks** over the
+//! instance space rather than per-instance messages.
 
-use rsm_core::command::Command;
+use rsm_core::batch::Batch;
 use rsm_core::id::ReplicaId;
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
 
 /// Messages exchanged by [`MultiPaxos`](crate::MultiPaxos) replicas.
 #[derive(Debug, Clone)]
 pub enum PaxosMsg {
-    /// A follower forwards a client command to the leader, remembering
-    /// itself as the command's origin so the reply returns to the right
-    /// data center.
+    /// A follower forwards a batch of its clients' commands to the
+    /// leader, remembering itself as the commands' origin so replies
+    /// return to the right data center.
     Forward {
-        /// The client command.
-        cmd: Command,
-        /// The replica whose client issued the command.
+        /// The client commands, in submission order.
+        cmds: Batch,
+        /// The replica whose clients issued the commands.
         origin: ReplicaId,
     },
-    /// Phase 2a: the leader asks replicas to accept `cmd` in `instance`.
+    /// Phase 2a: the leader asks replicas to accept the batch in the
+    /// contiguous instance run `[first_instance, first_instance +
+    /// cmds.len())`.
     Accept {
-        /// Consecutive instance number assigned by the leader.
-        instance: u64,
-        /// The command bound to the instance.
-        cmd: Command,
-        /// The replica whose client issued the command.
+        /// First instance of the run (consecutive numbers follow).
+        first_instance: u64,
+        /// The commands bound to the run, in instance order.
+        cmds: Batch,
+        /// The replica whose clients issued the commands.
         origin: ReplicaId,
     },
-    /// Phase 2b: a replica has logged the instance. Sent to the leader
-    /// (plain Paxos) or broadcast to everyone (Paxos-bcast).
+    /// Phase 2b, cumulative: the sender has logged **every** instance
+    /// below `up_to`. Sound because the leader assigns consecutive
+    /// instances and channels are FIFO, so accepts arrive gap-free. Sent
+    /// to the leader (plain Paxos) or broadcast (Paxos-bcast); one ack
+    /// covers a whole batch.
     Accepted {
-        /// The instance being acknowledged.
-        instance: u64,
+        /// Exclusive watermark: all instances `< up_to` are logged.
+        up_to: u64,
     },
-    /// Commit notification from the leader (plain Paxos only).
+    /// Commit notification from the leader (plain Paxos only),
+    /// cumulative: every instance below `up_to` is committed.
     Commit {
-        /// The committed instance.
-        instance: u64,
+        /// Exclusive watermark: all instances `< up_to` are committed.
+        up_to: u64,
     },
 }
 
 impl WireSize for PaxosMsg {
     fn wire_size(&self) -> usize {
         match self {
-            PaxosMsg::Forward { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
-            PaxosMsg::Accept { cmd, .. } => MSG_HEADER_BYTES + cmd.wire_size(),
+            PaxosMsg::Forward { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
+            PaxosMsg::Accept { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
             PaxosMsg::Accepted { .. } | PaxosMsg::Commit { .. } => MSG_HEADER_BYTES,
         }
     }
@@ -52,22 +65,40 @@ impl WireSize for PaxosMsg {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use rsm_core::command::CommandId;
+    use rsm_core::command::{Command, CommandId};
     use rsm_core::id::ClientId;
+
+    fn cmd(len: usize) -> Command {
+        Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
+            Bytes::from(vec![0u8; len]),
+        )
+    }
 
     #[test]
     fn payload_bearing_messages_are_larger() {
-        let cmd = Command::new(
-            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1),
-            Bytes::from(vec![0u8; 100]),
-        );
         let accept = PaxosMsg::Accept {
-            instance: 1,
-            cmd: cmd.clone(),
+            first_instance: 1,
+            cmds: Batch::single(cmd(100)),
             origin: ReplicaId::new(0),
         };
-        let ack = PaxosMsg::Accepted { instance: 1 };
+        let ack = PaxosMsg::Accepted { up_to: 2 };
         assert!(accept.wire_size() > ack.wire_size() + 100);
         assert_eq!(ack.wire_size(), MSG_HEADER_BYTES);
+    }
+
+    #[test]
+    fn batched_accept_amortizes_the_header() {
+        let one = PaxosMsg::Accept {
+            first_instance: 0,
+            cmds: Batch::single(cmd(10)),
+            origin: ReplicaId::new(0),
+        };
+        let eight = PaxosMsg::Accept {
+            first_instance: 0,
+            cmds: Batch::new((0..8).map(|_| cmd(10)).collect()),
+            origin: ReplicaId::new(0),
+        };
+        assert!(eight.wire_size() < 8 * one.wire_size());
     }
 }

@@ -1,7 +1,15 @@
 //! The Multi-Paxos replica state machine (plain and bcast variants).
+//!
+//! The data plane is fully batched: the leader binds whole client
+//! [`Batch`]es to contiguous instance runs with one `ACCEPT`, and
+//! replication progress flows as **cumulative watermarks** — one
+//! `ACCEPTED` (and, in plain Paxos, one `COMMIT`) message covers every
+//! instance up to its watermark. Per-instance ack counters disappear; the
+//! hot path compares a handful of per-replica integers.
 
 use std::collections::BTreeMap;
 
+use rsm_core::batch::Batch;
 use rsm_core::command::{Command, Committed};
 use rsm_core::config::Membership;
 use rsm_core::id::ReplicaId;
@@ -38,14 +46,6 @@ pub enum PaxosLogRec {
     },
 }
 
-#[derive(Debug, Default)]
-struct Instance {
-    cmd: Option<(Command, ReplicaId)>,
-    acks: usize,
-    committed: bool,
-    executed: bool,
-}
-
 /// A Multi-Paxos replica with a fixed, stable leader.
 ///
 /// See the crate docs for the latency characteristics of each
@@ -60,7 +60,18 @@ pub struct MultiPaxos {
     variant: PaxosVariant,
     /// Leader only: next instance number to assign.
     next_instance: u64,
-    instances: BTreeMap<u64, Instance>,
+    /// Commands accepted but not yet executed, keyed by instance.
+    instances: BTreeMap<u64, (Command, ReplicaId)>,
+    /// All instances below this are logged locally (gap-free thanks to
+    /// consecutive leader assignment over FIFO channels) — the watermark
+    /// this replica acknowledges.
+    logged_next: u64,
+    /// `acked[k]`: replica `k`'s acknowledged watermark (all instances
+    /// below it are logged at `k`). Tracked by everyone in bcast mode, by
+    /// the leader in plain mode.
+    acked: Vec<u64>,
+    /// All instances below this are known committed.
+    committed_next: u64,
     /// Next instance to execute (all below are executed).
     exec_cursor: u64,
 }
@@ -79,6 +90,7 @@ impl MultiPaxos {
     ) -> Self {
         assert!(membership.in_spec(id), "replica {id} not in spec");
         assert!(membership.in_spec(leader), "leader {leader} not in spec");
+        let n = membership.spec().len();
         MultiPaxos {
             id,
             membership,
@@ -86,6 +98,9 @@ impl MultiPaxos {
             variant,
             next_instance: 0,
             instances: BTreeMap::new(),
+            logged_next: 0,
+            acked: vec![0; n],
+            committed_next: 0,
             exec_cursor: 0,
         }
     }
@@ -114,17 +129,18 @@ impl MultiPaxos {
         self.membership.majority()
     }
 
-    /// Leader: bind `cmd` to the next instance and start phase 2.
-    fn propose(&mut self, cmd: Command, origin: ReplicaId, ctx: &mut dyn Context<Self>) {
+    /// Leader: bind the batch to the next contiguous instance run and
+    /// start phase 2 with a single ACCEPT.
+    fn propose(&mut self, cmds: Batch, origin: ReplicaId, ctx: &mut dyn Context<Self>) {
         debug_assert!(self.is_leader());
-        let instance = self.next_instance;
-        self.next_instance += 1;
+        let first_instance = self.next_instance;
+        self.next_instance += cmds.len() as u64;
         for r in self.membership.config().to_vec() {
             ctx.send(
                 r,
                 PaxosMsg::Accept {
-                    instance,
-                    cmd: cmd.clone(),
+                    first_instance,
+                    cmds: cmds.clone(),
                     origin,
                 },
             );
@@ -133,22 +149,47 @@ impl MultiPaxos {
 
     fn on_accept(
         &mut self,
-        instance: u64,
-        cmd: Command,
+        first_instance: u64,
+        cmds: Batch,
         origin: ReplicaId,
         ctx: &mut dyn Context<Self>,
     ) {
-        if instance < self.exec_cursor {
-            return; // stale: already executed
+        let last_next = first_instance + cmds.len() as u64;
+        if last_next <= self.exec_cursor {
+            return; // stale: the whole run is already executed
         }
-        ctx.log_append(PaxosLogRec::Accept {
-            instance,
-            cmd: cmd.clone(),
-            origin,
-        });
-        let inst = self.instances.entry(instance).or_default();
-        inst.cmd = Some((cmd, origin));
-        let ack = PaxosMsg::Accepted { instance };
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let instance = first_instance + i as u64;
+            if instance < self.exec_cursor {
+                continue;
+            }
+            ctx.log_append(PaxosLogRec::Accept {
+                instance,
+                cmd: cmd.clone(),
+                origin,
+            });
+            self.instances.insert(instance, (cmd, origin));
+        }
+        // Advance the ack watermark only over a gap-free prefix. A gap
+        // means accepts were lost while this replica was down (the only
+        // loss mode — channels are FIFO); a cumulative ack crossing it
+        // would falsely claim the lost instances and break quorum
+        // intersection. The commands past the gap are still logged
+        // above; this replica just never vouches for the hole — until
+        // the hole is known committed: commitment was then established
+        // by other replicas' evidence, so covering it cumulatively adds
+        // no false quorum weight, and the watermark may jump (this is
+        // what lets a recovered replica resume contributing to quorums
+        // once the cluster commits past its outage).
+        if first_instance <= self.logged_next {
+            self.logged_next = self.logged_next.max(last_next);
+        } else if self.committed_next >= first_instance {
+            self.logged_next = last_next;
+        }
+        // One cumulative ack for the whole batch.
+        let ack = PaxosMsg::Accepted {
+            up_to: self.logged_next,
+        };
         match self.variant {
             PaxosVariant::Plain => ctx.send(self.leader, ack),
             PaxosVariant::Bcast => {
@@ -157,64 +198,80 @@ impl MultiPaxos {
                 }
             }
         }
+        // A late accept can fill an instance the commit watermark already
+        // covers (its Accepted watermarks outran it via faster relays);
+        // execution must resume here because nothing else will retry.
+        self.execute_ready(true, ctx);
     }
 
-    fn on_accepted(&mut self, instance: u64, ctx: &mut dyn Context<Self>) {
-        if instance < self.exec_cursor {
-            return; // stale: already executed
+    fn on_accepted(&mut self, from: ReplicaId, up_to: u64, ctx: &mut dyn Context<Self>) {
+        let k = from.index();
+        if up_to <= self.acked[k] {
+            return; // stale or duplicate watermark
         }
-        let majority = self.majority();
-        let inst = self.instances.entry(instance).or_default();
-        inst.acks += 1;
-        if inst.acks == majority && !inst.committed {
-            match self.variant {
-                PaxosVariant::Plain => {
-                    // Only the leader counts 2b in plain Paxos; notify all.
-                    debug_assert!(self.id == self.leader);
-                    for r in self.membership.config().to_vec() {
-                        ctx.send(r, PaxosMsg::Commit { instance });
-                    }
-                }
-                PaxosVariant::Bcast => {
-                    inst.committed = true;
-                    ctx.log_append(PaxosLogRec::Commit { instance });
-                    self.execute_ready(ctx);
-                }
+        self.acked[k] = up_to;
+        self.advance_commit(ctx);
+    }
+
+    /// The instance watermark a majority has acknowledged: the
+    /// `majority`-th largest per-replica watermark. Everything below it is
+    /// logged at a majority and therefore committed.
+    fn majority_watermark(&self) -> u64 {
+        let mut marks: Vec<u64> = self
+            .membership
+            .config()
+            .iter()
+            .map(|r| self.acked[r.index()])
+            .collect();
+        marks.sort_unstable_by(|a, b| b.cmp(a));
+        marks.get(self.majority() - 1).copied().unwrap_or(0)
+    }
+
+    /// Recomputes the committed watermark from the acknowledgement
+    /// watermarks; on advance, notifies (plain leader) and executes.
+    fn advance_commit(&mut self, ctx: &mut dyn Context<Self>) {
+        let w = self.majority_watermark();
+        if w <= self.committed_next {
+            return;
+        }
+        self.committed_next = w;
+        if self.variant == PaxosVariant::Plain {
+            // Only the leader counts 2b in plain Paxos; notify everyone
+            // (itself included) with one cumulative COMMIT.
+            debug_assert!(self.is_leader());
+            for r in self.membership.config().to_vec() {
+                ctx.send(r, PaxosMsg::Commit { up_to: w });
             }
         }
+        self.execute_ready(true, ctx);
     }
 
-    fn on_commit(&mut self, instance: u64, ctx: &mut dyn Context<Self>) {
-        if instance < self.exec_cursor {
-            return; // stale: already executed
+    fn on_commit(&mut self, up_to: u64, ctx: &mut dyn Context<Self>) {
+        if up_to <= self.committed_next {
+            return; // stale or duplicate notification
         }
-        let inst = self.instances.entry(instance).or_default();
-        if !inst.committed {
-            inst.committed = true;
-            ctx.log_append(PaxosLogRec::Commit { instance });
-            self.execute_ready(ctx);
-        }
+        self.committed_next = up_to;
+        self.execute_ready(true, ctx);
     }
 
-    /// Executes committed instances in consecutive order.
-    fn execute_ready(&mut self, ctx: &mut dyn Context<Self>) {
-        while let Some(inst) = self.instances.get_mut(&self.exec_cursor) {
-            if !inst.committed || inst.executed {
-                break;
-            }
-            let (cmd, origin) = inst
-                .cmd
-                .clone()
-                .expect("committed instance must hold its command (FIFO from leader)");
-            inst.executed = true;
+    /// Executes committed instances in consecutive order. `log_marks` is
+    /// false only during recovery replay, whose commit marks are already
+    /// in the log.
+    fn execute_ready(&mut self, log_marks: bool, ctx: &mut dyn Context<Self>) {
+        while self.exec_cursor < self.committed_next {
+            let Some((cmd, origin)) = self.instances.remove(&self.exec_cursor) else {
+                break; // command not yet known (recovering replica)
+            };
             let instance = self.exec_cursor;
             self.exec_cursor += 1;
+            if log_marks {
+                ctx.log_append(PaxosLogRec::Commit { instance });
+            }
             ctx.commit(Committed {
                 cmd,
                 origin,
                 order_hint: instance,
             });
-            self.instances.remove(&(instance));
         }
     }
 }
@@ -230,46 +287,52 @@ impl Protocol for MultiPaxos {
     fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
 
     fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        self.on_client_batch(Batch::single(cmd), ctx);
+    }
+
+    fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
         if self.is_leader() {
             let origin = self.id;
-            self.propose(cmd, origin, ctx);
+            self.propose(batch, origin, ctx);
         } else {
             ctx.send(
                 self.leader,
                 PaxosMsg::Forward {
-                    cmd,
+                    cmds: batch,
                     origin: self.id,
                 },
             );
         }
     }
 
-    fn on_message(&mut self, _from: ReplicaId, msg: PaxosMsg, ctx: &mut dyn Context<Self>) {
+    fn on_message(&mut self, from: ReplicaId, msg: PaxosMsg, ctx: &mut dyn Context<Self>) {
         match msg {
-            PaxosMsg::Forward { cmd, origin } => {
+            PaxosMsg::Forward { cmds, origin } => {
                 if self.is_leader() {
-                    self.propose(cmd, origin, ctx);
+                    self.propose(cmds, origin, ctx);
                 }
             }
             PaxosMsg::Accept {
-                instance,
-                cmd,
+                first_instance,
+                cmds,
                 origin,
-            } => self.on_accept(instance, cmd, origin, ctx),
-            PaxosMsg::Accepted { instance } => {
+            } => self.on_accept(first_instance, cmds, origin, ctx),
+            PaxosMsg::Accepted { up_to } => {
                 // In plain Paxos only the leader receives and counts 2b.
                 if self.variant == PaxosVariant::Bcast || self.is_leader() {
-                    self.on_accepted(instance, ctx);
+                    self.on_accepted(from, up_to, ctx);
                 }
             }
-            PaxosMsg::Commit { instance } => self.on_commit(instance, ctx),
+            PaxosMsg::Commit { up_to } => self.on_commit(up_to, ctx),
         }
     }
 
     fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
 
     fn on_recover(&mut self, log: &[PaxosLogRec], ctx: &mut dyn Context<Self>) {
-        // Rebuild accepted instances, then re-execute the committed prefix.
+        // Rebuild accepted instances and commit marks, then re-execute the
+        // contiguous committed prefix.
+        let mut committed = std::collections::BTreeSet::new();
         for rec in log {
             match rec {
                 PaxosLogRec::Accept {
@@ -277,21 +340,31 @@ impl Protocol for MultiPaxos {
                     cmd,
                     origin,
                 } => {
-                    let inst = self.instances.entry(*instance).or_default();
-                    inst.cmd = Some((cmd.clone(), *origin));
+                    self.instances.insert(*instance, (cmd.clone(), *origin));
                 }
                 PaxosLogRec::Commit { instance } => {
-                    self.instances.entry(*instance).or_default().committed = true;
+                    committed.insert(*instance);
                 }
             }
         }
+        while committed.contains(&self.committed_next) {
+            self.committed_next += 1;
+        }
+        // The ack watermark restarts at the log's gap-free prefix — a
+        // crash between non-contiguous accepts must not let the
+        // cumulative ack claim the hole.
+        while self.instances.contains_key(&self.logged_next) {
+            self.logged_next += 1;
+        }
+        // Never reuse instance numbers at or below anything logged
+        // (relevant only if this replica is the leader).
         self.next_instance = self
             .instances
             .keys()
             .max()
             .map_or(0, |m| m + 1)
             .max(self.next_instance);
-        self.execute_ready(ctx);
+        self.execute_ready(false, ctx);
     }
 }
 
@@ -348,6 +421,14 @@ mod tests {
         )
     }
 
+    fn accept(first_instance: u64, cmds: Vec<Command>, origin: ReplicaId) -> PaxosMsg {
+        PaxosMsg::Accept {
+            first_instance,
+            cmds: Batch::new(cmds),
+            origin,
+        }
+    }
+
     fn r(i: u16) -> ReplicaId {
         ReplicaId::new(i)
     }
@@ -368,62 +449,95 @@ mod tests {
         let mut ctx = TestCtx::new();
         p.on_client_request(cmd(1), &mut ctx);
         p.on_client_request(cmd(2), &mut ctx);
-        let instances: Vec<u64> = ctx
+        let firsts: Vec<u64> = ctx
             .sends
             .iter()
             .filter_map(|(_, m)| match m {
-                PaxosMsg::Accept { instance, .. } => Some(*instance),
+                PaxosMsg::Accept { first_instance, .. } => Some(*first_instance),
                 _ => None,
             })
             .collect();
         // 3 replicas × 2 commands.
-        assert_eq!(instances.len(), 6);
-        assert_eq!(instances[0], 0);
-        assert_eq!(instances[5], 1);
+        assert_eq!(firsts.len(), 6);
+        assert_eq!(firsts[0], 0);
+        assert_eq!(firsts[5], 1);
+    }
+
+    #[test]
+    fn leader_binds_a_batch_to_one_instance_run() {
+        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_client_batch(Batch::new(vec![cmd(1), cmd(2), cmd(3)]), &mut ctx);
+        let accepts: Vec<(u64, usize)> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                PaxosMsg::Accept {
+                    first_instance,
+                    cmds,
+                    ..
+                } => Some((*first_instance, cmds.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accepts.len(), 3, "one ACCEPT per destination for 3 cmds");
+        assert!(accepts.iter().all(|&(f, k)| f == 0 && k == 3));
+        assert_eq!(p.next_instance, 3);
     }
 
     #[test]
     fn bcast_commits_on_majority_acks() {
         let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
         let mut ctx = TestCtx::new();
-        p.on_message(
-            r(0),
-            PaxosMsg::Accept {
-                instance: 0,
-                cmd: cmd(1),
-                origin: r(0),
-            },
-            &mut ctx,
-        );
-        // Logged and broadcast its own 2b.
+        p.on_message(r(0), accept(0, vec![cmd(1)], r(0)), &mut ctx);
+        // Logged and broadcast its own cumulative 2b.
         assert_eq!(ctx.log.len(), 1);
         let own_acks = ctx
             .sends
             .iter()
-            .filter(|(_, m)| matches!(m, PaxosMsg::Accepted { .. }))
+            .filter(|(_, m)| matches!(m, PaxosMsg::Accepted { up_to: 1 }))
             .count();
         assert_eq!(own_acks, 3);
-        // Two 2b messages arrive (majority of 3 incl. someone else's).
-        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        // Two 2b watermarks arrive (majority of 3 incl. someone else's).
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
         assert!(ctx.commits.is_empty());
-        p.on_message(r(1), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
         assert_eq!(ctx.commits.len(), 1);
         assert_eq!(ctx.commits[0].origin, r(0));
+    }
+
+    #[test]
+    fn one_ack_covers_a_whole_batch() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_message(
+            r(0),
+            accept(0, vec![cmd(1), cmd(2), cmd(3)], r(0)),
+            &mut ctx,
+        );
+        assert_eq!(ctx.log.len(), 3, "all three commands logged");
+        let acks: Vec<u64> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                PaxosMsg::Accepted { up_to } => Some(*up_to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![3, 3, 3], "ONE watermark ack per destination");
+        // Majority watermarks commit the whole run at once, in order.
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
+        assert_eq!(ctx.commits.len(), 3);
+        let hints: Vec<u64> = ctx.commits.iter().map(|c| c.order_hint).collect();
+        assert_eq!(hints, vec![0, 1, 2]);
     }
 
     #[test]
     fn plain_follower_waits_for_commit_message() {
         let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Plain);
         let mut ctx = TestCtx::new();
-        p.on_message(
-            r(0),
-            PaxosMsg::Accept {
-                instance: 0,
-                cmd: cmd(1),
-                origin: r(2),
-            },
-            &mut ctx,
-        );
+        p.on_message(r(0), accept(0, vec![cmd(1)], r(2)), &mut ctx);
         // 2b goes to the leader only.
         let (to, _) = ctx
             .sends
@@ -432,10 +546,10 @@ mod tests {
             .unwrap();
         assert_eq!(*to, r(0));
         // Acks from others do nothing at a plain follower.
-        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
         assert!(ctx.commits.is_empty());
-        p.on_message(r(0), PaxosMsg::Commit { instance: 0 }, &mut ctx);
+        p.on_message(r(0), PaxosMsg::Commit { up_to: 1 }, &mut ctx);
         assert_eq!(ctx.commits.len(), 1);
     }
 
@@ -444,17 +558,9 @@ mod tests {
         let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Plain);
         let mut ctx = TestCtx::new();
         p.on_client_request(cmd(1), &mut ctx);
-        p.on_message(
-            r(0),
-            PaxosMsg::Accept {
-                instance: 0,
-                cmd: cmd(1),
-                origin: r(0),
-            },
-            &mut ctx,
-        );
-        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
-        p.on_message(r(1), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        p.on_message(r(0), accept(0, vec![cmd(1)], r(0)), &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
         let commit_sends = ctx
             .sends
             .iter()
@@ -468,25 +574,111 @@ mod tests {
         let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
         let mut ctx = TestCtx::new();
         for i in 0..2 {
-            p.on_message(
-                r(0),
-                PaxosMsg::Accept {
-                    instance: i,
-                    cmd: cmd(i),
-                    origin: r(0),
-                },
-                &mut ctx,
-            );
+            p.on_message(r(0), accept(i, vec![cmd(i)], r(0)), &mut ctx);
         }
-        // Majority for instance 1 arrives before instance 0.
-        p.on_message(r(0), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
-        p.on_message(r(1), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
-        assert!(ctx.commits.is_empty(), "instance 1 must wait for 0");
-        p.on_message(r(0), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
-        p.on_message(r(1), PaxosMsg::Accepted { instance: 0 }, &mut ctx);
+        // A watermark only covering instance 0 from one replica: nothing
+        // commits yet (one ack is not a majority).
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
+        assert!(ctx.commits.is_empty(), "one ack is not a majority");
+        // Majority watermarks covering both instances commit them in
+        // instance order (cumulative acks make out-of-order commit of a
+        // later instance impossible by construction).
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        p.on_message(r(1), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
         assert_eq!(ctx.commits.len(), 2);
         assert_eq!(ctx.commits[0].order_hint, 0);
         assert_eq!(ctx.commits[1].order_hint, 1);
+    }
+
+    #[test]
+    fn recovered_replica_never_acks_across_a_gap() {
+        // B logged instances 0..2, crashed while 2..5 were in flight
+        // (lost), recovered, and then receives the run starting at 5.
+        // Its cumulative ack must stay at the gap — claiming 5..8 would
+        // falsely vouch for the lost 2..5 and break quorum intersection.
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        let log = vec![
+            PaxosLogRec::Accept {
+                instance: 0,
+                cmd: cmd(1),
+                origin: r(0),
+            },
+            PaxosLogRec::Accept {
+                instance: 1,
+                cmd: cmd(2),
+                origin: r(0),
+            },
+        ];
+        p.on_recover(&log, &mut ctx);
+        p.on_message(
+            r(0),
+            accept(5, vec![cmd(6), cmd(7), cmd(8)], r(0)),
+            &mut ctx,
+        );
+        let acks: Vec<u64> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                PaxosMsg::Accepted { up_to } => Some(*up_to),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            acks.iter().all(|&w| w <= 2),
+            "watermark crossed the gap: {acks:?}"
+        );
+        // The post-gap commands are still logged for state transfer.
+        assert_eq!(ctx.log.len(), 3);
+    }
+
+    #[test]
+    fn late_accept_fills_an_already_committed_instance_and_executes() {
+        // Accepted watermarks can outrun the Accept itself via faster
+        // relays (the EC2 matrix violates the triangle inequality): the
+        // commit watermark covers instance 0 before its command arrives.
+        // The late Accept must trigger execution — nothing else retries.
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
+        assert!(ctx.commits.is_empty(), "command not yet known");
+        p.on_message(r(0), accept(0, vec![cmd(1)], r(0)), &mut ctx);
+        assert_eq!(ctx.commits.len(), 1, "late accept must resume execution");
+        assert_eq!(ctx.commits[0].order_hint, 0);
+    }
+
+    #[test]
+    fn recovered_replica_resumes_acking_once_the_gap_commits() {
+        // Same gap as above, but the cluster then commits past it
+        // (Commit watermark from the leader): the hole is now globally
+        // decided, so covering it cumulatively adds no false quorum
+        // evidence — the replica's watermark may jump and it resumes
+        // quorum duty for new instances.
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Plain);
+        let mut ctx = TestCtx::new();
+        let log = vec![PaxosLogRec::Accept {
+            instance: 0,
+            cmd: cmd(1),
+            origin: r(0),
+        }];
+        p.on_recover(&log, &mut ctx);
+        // Gap: instances 1..3 were lost; the run starting at 3 must not
+        // be vouched for yet.
+        p.on_message(r(0), accept(3, vec![cmd(4)], r(0)), &mut ctx);
+        assert!(matches!(
+            ctx.sends.last(),
+            Some((_, PaxosMsg::Accepted { up_to: 1 }))
+        ));
+        // The leader announces everything below 4 committed, then sends
+        // the next run: the watermark jumps over the decided hole.
+        p.on_message(r(0), PaxosMsg::Commit { up_to: 4 }, &mut ctx);
+        p.on_message(r(0), accept(4, vec![cmd(5), cmd(6)], r(0)), &mut ctx);
+        assert!(
+            matches!(ctx.sends.last(), Some((_, PaxosMsg::Accepted { up_to: 6 }))),
+            "ack watermark must resume past a committed gap: {:?}",
+            ctx.sends.last()
+        );
     }
 
     #[test]
@@ -510,9 +702,10 @@ mod tests {
         assert_eq!(ctx.commits.len(), 1);
         assert_eq!(ctx.commits[0].order_hint, 0);
         assert_eq!(p.executed(), 1);
-        // The uncommitted instance 1 stays pending; a later Commit resumes.
-        p.on_message(r(0), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { instance: 1 }, &mut ctx);
+        // The uncommitted instance 1 stays pending; later watermarks
+        // covering it resume execution.
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
         assert_eq!(ctx.commits.len(), 2);
     }
 }

@@ -327,7 +327,12 @@ impl<V: Clone + fmt::Debug> SynodInstance<V> {
                         .or_else(|| self.my_value.clone())
                         .expect("phase-2 proposer accepted its own proposal");
                     for &r in &self.spec {
-                        out.push((r, SynodMsg::Decided { value: value.clone() }));
+                        out.push((
+                            r,
+                            SynodMsg::Decided {
+                                value: value.clone(),
+                            },
+                        ));
                     }
                     // The decision also applies locally (the broadcast loops
                     // back through the embedder's self-delivery, but return
@@ -405,7 +410,10 @@ mod tests {
     #[test]
     fn single_proposer_decides_its_value() {
         let s = spec(3);
-        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut nodes: Vec<_> = s
+            .iter()
+            .map(|&r| SynodInstance::new(r, s.clone()))
+            .collect();
         let mut inflight = VecDeque::new();
         start(&mut nodes, 0, 7, &mut inflight);
         let decisions = pump(&mut nodes, &mut inflight, &[]);
@@ -418,7 +426,10 @@ mod tests {
     #[test]
     fn competing_proposers_agree_on_one_value() {
         let s = spec(5);
-        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut nodes: Vec<_> = s
+            .iter()
+            .map(|&r| SynodInstance::new(r, s.clone()))
+            .collect();
         let mut inflight = VecDeque::new();
         start(&mut nodes, 0, 100, &mut inflight);
         start(&mut nodes, 4, 200, &mut inflight);
@@ -445,7 +456,10 @@ mod tests {
     #[test]
     fn decision_survives_minority_unreachable() {
         let s = spec(5);
-        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut nodes: Vec<_> = s
+            .iter()
+            .map(|&r| SynodInstance::new(r, s.clone()))
+            .collect();
         let mut inflight = VecDeque::new();
         let dead = [ReplicaId::new(3), ReplicaId::new(4)];
         start(&mut nodes, 0, 9, &mut inflight);
@@ -461,7 +475,10 @@ mod tests {
         // r0 decides with {r0, r1, r2}; r4 proposes later and must learn 11
         // rather than imposing 55.
         let s = spec(5);
-        let mut nodes: Vec<_> = s.iter().map(|&r| SynodInstance::new(r, s.clone())).collect();
+        let mut nodes: Vec<_> = s
+            .iter()
+            .map(|&r| SynodInstance::new(r, s.clone()))
+            .collect();
         let mut inflight = VecDeque::new();
         let dead = [ReplicaId::new(3), ReplicaId::new(4)];
         start(&mut nodes, 0, 11, &mut inflight);

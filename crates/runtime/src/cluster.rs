@@ -10,6 +10,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 
+use rsm_core::batch::BatchPolicy;
 use rsm_core::command::{Command, CommandId, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
@@ -25,18 +26,28 @@ pub struct ClusterConfig {
     latency: LatencyMatrix,
     scale: f64,
     clock_offsets_us: Vec<i64>,
+    batch: BatchPolicy,
 }
 
 impl ClusterConfig {
     /// A cluster over the given one-way latency matrix, full-scale delays,
-    /// perfectly aligned clocks.
+    /// perfectly aligned clocks, batching disabled.
     pub fn new(latency: LatencyMatrix) -> Self {
         let n = latency.len();
         ClusterConfig {
             latency,
             scale: 1.0,
             clock_offsets_us: vec![0; n],
+            batch: BatchPolicy::DISABLED,
         }
+    }
+
+    /// Sets the request-coalescing policy: a node thread hands the
+    /// protocol whatever requests are queued in its inbox (up to
+    /// `max_batch`) as one batch, never waiting for more.
+    pub fn batch_policy(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Scales all emulated latencies (e.g. `0.1` = ten times faster than
@@ -102,6 +113,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         // The network thread forwards wires into node inboxes via
         // dedicated channels (a node input is either a wire or a control).
         let mut wire_txs = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // i pairs channels with replica ids
         for i in 0..n {
             let (wtx, wrx) = unbounded();
             wire_txs.push(wtx);
@@ -129,6 +141,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 reply_tx: reply_tx.clone(),
                 epoch,
                 clock_offset_us: cfg.clock_offsets_us[i],
+                batch: cfg.batch,
             };
             node_handles.push(
                 std::thread::Builder::new()
@@ -279,10 +292,23 @@ mod tests {
             )
             .expect("commit");
         assert_eq!(&reply.result[1..], b"v2");
+        // Fence: one read through EVERY site. Clock-RSM executes in
+        // timestamp order, so each reply proves that site committed all
+        // of the puts above (shutdown would otherwise race the trailing
+        // commits at remote sites).
+        for i in 0..3u16 {
+            cluster
+                .execute(
+                    ReplicaId::new(i),
+                    KvOp::get("k0").encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("fence read");
+        }
         let reports = cluster.shutdown();
-        // All replicas converged on the same state.
+        // All replicas converged on the same state (reads don't mutate).
         assert!(reports.windows(2).all(|w| w[0].snapshot == w[1].snapshot));
-        assert!(reports.iter().all(|r| r.commit_count == 4));
+        assert!(reports.iter().all(|r| r.commit_count >= 5));
     }
 
     #[test]
@@ -327,6 +353,54 @@ mod tests {
     }
 
     #[test]
+    fn batched_cluster_absorbs_a_submit_burst() {
+        use rsm_core::id::ClientId;
+
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000))
+            .scale(0.02)
+            .batch_policy(BatchPolicy::max(8));
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default()),
+            kv,
+        );
+        // Fire-and-forget burst: these queue up in the node inbox and
+        // coalesce into batches.
+        for i in 0..20u64 {
+            let id = CommandId::new(ClientId::new(ReplicaId::new(0), 99), i + 1);
+            cluster.submit(
+                ReplicaId::new(0),
+                Command::new(id, KvOp::put(format!("burst{i}"), "v").encode()),
+            );
+        }
+        // A blocking command behind the burst: Clock-RSM commits in
+        // timestamp order, so its reply proves the whole burst committed
+        // at the origin.
+        let reply = cluster
+            .execute(
+                ReplicaId::new(0),
+                KvOp::put("last", "v").encode(),
+                Duration::from_secs(20),
+            )
+            .expect("commit after burst");
+        assert_eq!(reply.result[0], 1);
+        let reports = cluster.shutdown();
+        assert_eq!(reports[0].commit_count, 21);
+        // The origin's state machine holds every burst key.
+        let mut expected = KvStore::new();
+        for i in 0..20u64 {
+            let id = CommandId::new(ClientId::new(ReplicaId::new(0), 99), i + 1);
+            expected.apply(&Command::new(
+                id,
+                KvOp::put(format!("burst{i}"), "v").encode(),
+            ));
+        }
+        let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 999);
+        expected.apply(&Command::new(id, KvOp::put("last", "v").encode()));
+        assert_eq!(reports[0].snapshot, expected.snapshot());
+    }
+
+    #[test]
     fn skewed_clocks_do_not_break_safety() {
         // 50 ms of skew vs 0.2 ms emulated one-way latency: the wait-out
         // path (Algorithm 1 line 8) gets exercised heavily.
@@ -349,6 +423,17 @@ mod tests {
                 )
                 .expect("commit despite skew");
             assert_eq!(reply.result[0], 1);
+        }
+        // Fence reads so every site has provably executed all six puts
+        // before shutdown (see clock_rsm_cluster_commits_from_all_sites).
+        for i in 0..3u16 {
+            cluster
+                .execute(
+                    ReplicaId::new(i),
+                    KvOp::get("s0").encode(),
+                    Duration::from_secs(20),
+                )
+                .expect("fence read");
         }
         let reports = cluster.shutdown();
         assert!(reports.windows(2).all(|w| w[0].snapshot == w[1].snapshot));

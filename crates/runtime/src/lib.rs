@@ -12,6 +12,11 @@
 //! design. The geo-replicated key-value store example (`geo_kvstore`)
 //! uses it as a live deployment on one machine.
 //!
+//! Like the simulator, the runtime coalesces queued client requests into
+//! protocol-level batches ([`ClusterConfig::batch_policy`]): a node
+//! thread drains whatever requests sit in its inbox (up to `max_batch`,
+//! never waiting for more) and hands them to the protocol as one batch.
+//!
 //! ## Example
 //!
 //! ```

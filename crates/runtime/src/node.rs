@@ -5,8 +5,9 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
+use rsm_core::batch::{Batch, BatchPolicy};
 use rsm_core::command::{Command, CommandId, Committed, Reply};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
@@ -48,6 +49,7 @@ pub(crate) struct NodeHarness<P: Protocol> {
     pub reply_tx: Sender<(CommandId, Reply)>,
     pub epoch: Instant,
     pub clock_offset_us: i64,
+    pub batch: BatchPolicy,
 }
 
 struct NodeCtx<'a, P: Protocol> {
@@ -186,8 +188,36 @@ impl<P: Protocol> NodeHarness<P> {
                     self.proto.on_message(wire.from, wire.msg, &mut c);
                 }
                 NodeInput::Request(cmd) => {
-                    let mut c = ctx!();
-                    self.proto.on_client_request(cmd, &mut c);
+                    // Coalesce opportunistically: take whatever requests
+                    // are already queued (up to the cap) into one batch,
+                    // never waiting for more. A non-request input ends
+                    // the run and is handled right after, preserving
+                    // arrival order.
+                    let mut cmds = vec![cmd];
+                    let mut interrupt: Option<NodeInput<P>> = None;
+                    while cmds.len() < self.batch.max_batch {
+                        match self.inbox.try_recv() {
+                            Ok(NodeInput::Request(c)) => cmds.push(c),
+                            Ok(other) => {
+                                interrupt = Some(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    {
+                        let mut c = ctx!();
+                        self.proto.on_client_batch(Batch::new(cmds), &mut c);
+                    }
+                    match interrupt {
+                        None => {}
+                        Some(NodeInput::Msg(wire)) => {
+                            let mut c = ctx!();
+                            self.proto.on_message(wire.from, wire.msg, &mut c);
+                        }
+                        Some(NodeInput::Request(_)) => unreachable!("requests join the batch"),
+                        Some(NodeInput::Stop) => break,
+                    }
                 }
                 NodeInput::Stop => break,
             }

@@ -1,0 +1,188 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! Provides `Criterion`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical analysis it runs a short warmup, then a fixed number of
+//! timed samples, and prints mean and minimum per-iteration times. Enough
+//! to compare orders of magnitude and track regressions by eye; swap back
+//! to real criterion when a registry is available.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that takes ≥ ~2 ms
+        // per sample so timer resolution does not dominate.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples.capacity() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_count: self.sample_count,
+            _parent: self,
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.sample_count, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        run_bench(&full, self.sample_count, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream-API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(sample_count),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_nanos() as f64 / b.iters_per_sample as f64;
+        let mean = b.samples.iter().map(per_iter).sum::<f64>() / b.samples.len() as f64;
+        let min = b.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<50} mean {:>12} min {:>12}",
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: a function invoking each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn black_box_returns_value() {
+        assert_eq!(black_box(42), 42);
+    }
+}

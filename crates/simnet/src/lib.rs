@@ -18,7 +18,11 @@
 //! * **stable storage** that survives simulated crashes;
 //! * **crash / recovery / partition** fault injection;
 //! * an optional **CPU cost model** with opportunistic batching, used by
-//!   the local-cluster throughput experiments (Figure 8).
+//!   the local-cluster throughput experiments (Figure 8);
+//! * **request coalescing** ([`SimConfig::batch_policy`]): client
+//!   requests queued at a replica when it gets scheduled are handed to
+//!   the protocol as one `Batch` of up to `max_batch` commands, enabling
+//!   the protocol-level batching of the replication crates.
 //!
 //! Runs are fully deterministic given a seed, so every experiment and every
 //! failure scenario in the test suite is replayable.

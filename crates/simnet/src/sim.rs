@@ -5,6 +5,7 @@ use std::collections::{HashSet, VecDeque};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use rsm_core::batch::{Batch, BatchPolicy};
 use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
@@ -31,6 +32,7 @@ pub struct SimConfig {
     clock_model: ClockModel,
     clock_overrides: Vec<(usize, ClockModel)>,
     cpu: Option<CpuModel>,
+    batch: BatchPolicy,
     record_history: bool,
     max_events: u64,
 }
@@ -49,6 +51,7 @@ impl SimConfig {
             clock_model: ClockModel::perfect(),
             clock_overrides: Vec::new(),
             cpu: None,
+            batch: BatchPolicy::DISABLED,
             record_history: true,
             max_events: u64::MAX,
         }
@@ -91,6 +94,16 @@ impl SimConfig {
     /// Enables the CPU cost model (throughput experiments).
     pub fn cpu_model(mut self, cpu: CpuModel) -> Self {
         self.cpu = Some(cpu);
+        self
+    }
+
+    /// Sets the request-coalescing policy: client requests queued at a
+    /// replica when it gets scheduled are handed to the protocol as one
+    /// [`Batch`] of up to `max_batch` commands (never waiting
+    /// intentionally). The default is [`BatchPolicy::DISABLED`], which
+    /// reproduces per-command behaviour exactly.
+    pub fn batch_policy(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -176,8 +189,10 @@ impl<'a, P: Protocol> SimApi<'a, P> {
     /// Submits a client command to replica `to`; it arrives after the
     /// configured client↔replica latency.
     pub fn submit(&mut self, to: ReplicaId, cmd: Command) {
-        self.queue
-            .push(self.now + self.local_delivery_us, Event::Request { to, cmd });
+        self.queue.push(
+            self.now + self.local_delivery_us,
+            Event::Request { to, cmd },
+        );
     }
 
     /// Schedules an application event `after` microseconds from now.
@@ -363,12 +378,16 @@ pub struct Simulation<P: Protocol, A: Application<P>> {
     rng: StdRng,
     fifo_floor: Vec<Vec<Micros>>,
     partitioned: HashSet<(usize, usize)>,
-    parked: Vec<((usize, usize), VecDeque<(ReplicaId, ReplicaId, P::Msg)>)>,
+    parked: ParkedLinks<P::Msg>,
     stop: bool,
     events_processed: u64,
 }
 
-const PARK_FLUSH_SPACING_US: Micros = 1;
+/// Messages held on a cut link, in order: `(from, to, msg)`.
+type ParkedQueue<M> = VecDeque<(ReplicaId, ReplicaId, M)>;
+
+/// Parked queues keyed by the (unordered) link they wait on.
+type ParkedLinks<M> = Vec<((usize, usize), ParkedQueue<M>)>;
 
 impl<P: Protocol, A: Application<P>> Simulation<P, A> {
     /// Builds a simulation: one replica per row of the latency matrix,
@@ -508,7 +527,9 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 _ => break,
             }
         }
-        self.now = self.now.max(until.min(self.queue.peek_time().unwrap_or(until)));
+        self.now = self
+            .now
+            .max(until.min(self.queue.peek_time().unwrap_or(until)));
         self.now
     }
 
@@ -548,11 +569,10 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 if !self.nodes[idx].up {
                     return; // site down: client request lost
                 }
-                if self.cfg.cpu.is_some() {
-                    self.enqueue_input(idx, NodeInput::Request(cmd));
-                } else {
-                    self.invoke(idx, false, |p, ctx| p.on_client_request(cmd, ctx));
-                }
+                // Requests always pass through the node's inbox (a
+                // zero-cost hop when no CPU model is configured) so that
+                // same-instant arrivals coalesce into client batches.
+                self.enqueue_input(idx, NodeInput::Request(cmd));
             }
             Event::ReplyArrive { client, reply } => {
                 let Simulation {
@@ -664,11 +684,15 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         self.partitioned.remove(&key);
         if let Some(pos) = self.parked.iter().position(|(k, _)| *k == key) {
             let (_, q) = self.parked.remove(pos);
-            for (i, (from, to, msg)) in q.into_iter().enumerate() {
-                self.queue.push(
-                    self.now + (i as Micros + 1) * PARK_FLUSH_SPACING_US,
-                    Event::Deliver { from, to, msg },
-                );
+            // Deliver the backlog synchronously at the heal instant, in
+            // park order, AHEAD of any same-link message already queued
+            // for this or a later instant. Spreading the flush over
+            // future ticks (or re-queueing it) would let a later-sent
+            // in-flight message overtake the backlog — a per-link FIFO
+            // violation, and FIFO is a driver contract the protocols'
+            // cumulative acknowledgements rely on for safety.
+            for (from, to, msg) in q {
+                self.handle_deliver(from, to, msg);
             }
         }
     }
@@ -691,13 +715,17 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         );
     }
 
-    /// CPU-modelled processing step: drain the inbox as one receive batch,
-    /// run the protocol on each input, then ship all produced messages as
-    /// per-destination send batches. The node's CPU is busy for the total
-    /// cost; outgoing messages hit the network when the CPU step completes.
+    /// Inbox processing step: drain the inbox as one receive batch,
+    /// coalesce runs of queued client requests into [`Batch`]es (capped
+    /// by the batch policy), run the protocol, then ship all produced
+    /// messages as per-destination send batches. With a CPU model the
+    /// node is busy for the step's total cost and outgoing messages hit
+    /// the network when it completes; without one the step is free and
+    /// instantaneous (pure coalescing).
     fn handle_process_inbox(&mut self, node: ReplicaId) {
         let idx = node.index();
-        let cpu = self.cfg.cpu.expect("ProcessInbox only fires in CPU mode");
+        let cpu = self.cfg.cpu;
+        let max_batch = self.cfg.batch.max_batch;
         let inputs: Vec<NodeInput<P>> = {
             let n = &mut self.nodes[idx];
             n.inbox_scheduled = false;
@@ -707,22 +735,33 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             }
             n.inbox.drain(..).collect()
         };
-        let recv_msgs = inputs.len();
-        let recv_bytes: usize = inputs
-            .iter()
-            .map(|i| match i {
-                NodeInput::Msg(_, m) => m.wire_size(),
-                NodeInput::Request(c) => c.wire_size(),
-            })
-            .sum();
-        let recv_cost = cpu.batch_cost(recv_msgs, recv_bytes);
+        let recv_cost = match cpu {
+            Some(cpu) => {
+                let recv_bytes: usize = inputs
+                    .iter()
+                    .map(|i| match i {
+                        NodeInput::Msg(_, m) => m.wire_size(),
+                        NodeInput::Request(c) => c.wire_size(),
+                    })
+                    .sum();
+                cpu.batch_cost(inputs.len(), recv_bytes)
+            }
+            None => 0,
+        };
 
         // Run the protocol over every input, accumulating effects.
+        // Consecutive requests coalesce into one client batch each, up to
+        // the policy cap; messages flush the run so relative order with
+        // requests is preserved.
         let mut eff = Effects::default();
         {
             let n = &mut self.nodes[idx];
             let Node {
-                proto, clock, log, sm, ..
+                proto,
+                clock,
+                log,
+                sm,
+                ..
             } = n;
             let mut ctx = NodeCtx {
                 now: self.now,
@@ -731,38 +770,52 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 sm: sm.as_mut(),
                 eff: &mut eff,
             };
+            let mut run: Vec<Command> = Vec::new();
             for input in inputs {
                 match input {
-                    NodeInput::Msg(from, m) => proto.on_message(from, m, &mut ctx),
-                    NodeInput::Request(c) => proto.on_client_request(c, &mut ctx),
+                    NodeInput::Msg(from, m) => {
+                        if !run.is_empty() {
+                            proto.on_client_batch(Batch::new(std::mem::take(&mut run)), &mut ctx);
+                        }
+                        proto.on_message(from, m, &mut ctx);
+                    }
+                    NodeInput::Request(c) => {
+                        run.push(c);
+                        if run.len() >= max_batch {
+                            proto.on_client_batch(Batch::new(std::mem::take(&mut run)), &mut ctx);
+                        }
+                    }
                 }
+            }
+            if !run.is_empty() {
+                proto.on_client_batch(Batch::new(run), &mut ctx);
             }
         }
 
         // Send batches: group by destination (order-preserving).
         let mut send_cost: Micros = 0;
-        let mut dests: Vec<ReplicaId> = Vec::new();
-        for (to, _) in &eff.sends {
-            if !dests.contains(to) {
-                dests.push(*to);
+        if let Some(cpu) = cpu {
+            let mut dests: Vec<ReplicaId> = Vec::new();
+            for (to, _) in &eff.sends {
+                if !dests.contains(to) {
+                    dests.push(*to);
+                }
             }
-        }
-        for d in &dests {
-            let (k, bytes) = eff
-                .sends
-                .iter()
-                .filter(|(to, _)| to == d)
-                .fold((0usize, 0usize), |(k, b), (_, m)| (k + 1, b + m.wire_size()));
-            send_cost += cpu.batch_cost(k, bytes);
-        }
-        // Replies to local clients are one more small send batch.
-        let reply_count = eff
-            .commits
-            .iter()
-            .filter(|(c, _)| c.origin == node)
-            .count();
-        if reply_count > 0 {
-            send_cost += cpu.batch_cost(reply_count, reply_count * 16);
+            for d in &dests {
+                let (k, bytes) = eff
+                    .sends
+                    .iter()
+                    .filter(|(to, _)| to == d)
+                    .fold((0usize, 0usize), |(k, b), (_, m)| {
+                        (k + 1, b + m.wire_size())
+                    });
+                send_cost += cpu.batch_cost(k, bytes);
+            }
+            // Replies to local clients are one more small send batch.
+            let reply_count = eff.commits.iter().filter(|(c, _)| c.origin == node).count();
+            if reply_count > 0 {
+                send_cost += cpu.batch_cost(reply_count, reply_count * 16);
+            }
         }
 
         let done = self.now + recv_cost + send_cost;
@@ -789,7 +842,11 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         {
             let n = &mut self.nodes[idx];
             let Node {
-                proto, clock, log, sm, ..
+                proto,
+                clock,
+                log,
+                sm,
+                ..
             } = n;
             let mut ctx = NodeCtx {
                 now: self.now,
@@ -822,7 +879,8 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             let floor = self.fifo_floor[idx][to.index()];
             let deliver_at = (at + base + jitter).max(floor);
             self.fifo_floor[idx][to.index()] = deliver_at;
-            self.queue.push(deliver_at, Event::Deliver { from, to, msg });
+            self.queue
+                .push(deliver_at, Event::Deliver { from, to, msg });
         }
         for (after, token) in eff.timers {
             let incarnation = self.nodes[idx].incarnation;
@@ -940,7 +998,10 @@ mod tests {
             if !self.submitted {
                 self.submitted = true;
                 let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 1);
-                api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"x")));
+                api.submit(
+                    ReplicaId::new(0),
+                    Command::new(id, Bytes::from_static(b"x")),
+                );
             }
         }
         fn on_reply(&mut self, _c: ClientId, reply: Reply, api: &mut SimApi<'_, Flood>) {
@@ -1030,7 +1091,10 @@ mod tests {
             fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
                 for seq in 0..20 {
                     let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
-                    api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"y")));
+                    api.submit(
+                        ReplicaId::new(0),
+                        Command::new(id, Bytes::from_static(b"y")),
+                    );
                 }
             }
             fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
@@ -1069,8 +1133,18 @@ mod tests {
         {
             // Schedule crash at t=5ms (message in flight), recover at 50ms.
             let Simulation { queue, .. } = &mut sim;
-            queue.push(5_000, Event::Crash { node: ReplicaId::new(1) });
-            queue.push(50_000, Event::Recover { node: ReplicaId::new(1) });
+            queue.push(
+                5_000,
+                Event::Crash {
+                    node: ReplicaId::new(1),
+                },
+            );
+            queue.push(
+                50_000,
+                Event::Recover {
+                    node: ReplicaId::new(1),
+                },
+            );
         }
         sim.run_until(1_000_000);
         // r1 lost the in-flight message and its log is empty: zero commits.
@@ -1090,7 +1164,10 @@ mod tests {
                 api.partition(ReplicaId::new(0), ReplicaId::new(1), 0);
                 for seq in 0..5 {
                     let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
-                    api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"z")));
+                    api.submit(
+                        ReplicaId::new(0),
+                        Command::new(id, Bytes::from_static(b"z")),
+                    );
                 }
                 api.heal(ReplicaId::new(0), ReplicaId::new(1), 200_000);
             }
@@ -1116,6 +1193,64 @@ mod tests {
     }
 
     #[test]
+    fn heal_flush_never_lets_in_flight_messages_overtake_the_backlog() {
+        // Three messages park during a partition. A fourth is sent late
+        // enough that its in-flight delivery time lands exactly on the
+        // heal instant — its Deliver event sits in the queue with an
+        // older sequence number than anything the heal schedules. Per-
+        // link FIFO (a contract the protocols' cumulative acks rely on)
+        // demands it still arrive AFTER the whole parked backlog.
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 10_000));
+        struct TieApp;
+        impl Application<Flood> for TieApp {
+            fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
+                api.partition(ReplicaId::new(0), ReplicaId::new(1), 0);
+                for seq in 0..3 {
+                    let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                    api.submit(
+                        ReplicaId::new(0),
+                        Command::new(id, Bytes::from_static(b"z")),
+                    );
+                }
+                // Request lands at 9_700 + 300 = 10_000; its broadcast
+                // departs then and would arrive at 20_000 — the heal
+                // instant — ahead of any event the heal enqueues.
+                api.schedule(9_700, 42);
+                api.heal(ReplicaId::new(0), ReplicaId::new(1), 20_000);
+            }
+            fn on_event(&mut self, _: u64, api: &mut SimApi<'_, Flood>) {
+                let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 99);
+                api.submit(
+                    ReplicaId::new(0),
+                    Command::new(id, Bytes::from_static(b"t")),
+                );
+            }
+            fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
+        }
+        let mut sim = Simulation::new(
+            cfg,
+            |id| Flood {
+                id,
+                n: 2,
+                delivered: 0,
+            },
+            sm,
+            TieApp,
+        );
+        sim.run_until(1_000_000);
+        let seqs: Vec<u64> = sim
+            .commits(ReplicaId::new(1))
+            .iter()
+            .map(|c| c.cmd_id.seq)
+            .collect();
+        assert_eq!(
+            seqs,
+            vec![0, 1, 2, 99],
+            "the late message must not overtake the parked backlog"
+        );
+    }
+
+    #[test]
     fn cpu_model_delays_processing_and_batches() {
         let cpu = CpuModel {
             fixed_batch_us: 100,
@@ -1127,7 +1262,10 @@ mod tests {
             fn on_init(&mut self, api: &mut SimApi<'_, Flood>) {
                 for seq in 0..10 {
                     let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
-                    api.submit(ReplicaId::new(0), Command::new(id, Bytes::from_static(b"c")));
+                    api.submit(
+                        ReplicaId::new(0),
+                        Command::new(id, Bytes::from_static(b"c")),
+                    );
                 }
             }
             fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
@@ -1152,6 +1290,77 @@ mod tests {
         // Send batch to r1: 10 msgs -> 100+100 = 200; self batch too.
         // Departure at 300+200+200+200(self)=900, + 1000 link.
         assert!(first_remote_commit >= 300 + 200 + 1_000);
+    }
+
+    /// A protocol that records the sizes of the client batches handed to
+    /// it, to observe driver coalescing directly.
+    struct BatchObserver {
+        id: ReplicaId,
+        batch_sizes: Vec<usize>,
+    }
+
+    impl Protocol for BatchObserver {
+        type Msg = ();
+        type LogRec = ();
+
+        fn id(&self) -> ReplicaId {
+            self.id
+        }
+        fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
+        fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+            self.on_client_batch(rsm_core::Batch::single(cmd), ctx);
+        }
+        fn on_client_batch(&mut self, batch: rsm_core::Batch, ctx: &mut dyn Context<Self>) {
+            self.batch_sizes.push(batch.len());
+            for cmd in batch {
+                ctx.commit(Committed {
+                    cmd,
+                    origin: self.id,
+                    order_hint: self.batch_sizes.len() as u64,
+                });
+            }
+        }
+        fn on_message(&mut self, _: ReplicaId, _: (), _: &mut dyn Context<Self>) {}
+        fn on_timer(&mut self, _: TimerToken, _: &mut dyn Context<Self>) {}
+        fn on_recover(&mut self, _: &[()], _: &mut dyn Context<Self>) {}
+    }
+
+    struct TenAtOnce;
+    impl Application<BatchObserver> for TenAtOnce {
+        fn on_init(&mut self, api: &mut SimApi<'_, BatchObserver>) {
+            for seq in 0..10 {
+                let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                api.submit(
+                    ReplicaId::new(0),
+                    Command::new(id, Bytes::from_static(b"b")),
+                );
+            }
+        }
+        fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, BatchObserver>) {}
+        fn on_event(&mut self, _: u64, _: &mut SimApi<'_, BatchObserver>) {}
+    }
+
+    fn observer_sim(batch: rsm_core::BatchPolicy) -> Vec<usize> {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 1_000)).batch_policy(batch);
+        let mut sim = Simulation::new(
+            cfg,
+            |id| BatchObserver {
+                id,
+                batch_sizes: Vec::new(),
+            },
+            sm,
+            TenAtOnce,
+        );
+        sim.run_until(1_000_000);
+        sim.protocol(ReplicaId::new(0)).batch_sizes.clone()
+    }
+
+    #[test]
+    fn same_instant_requests_coalesce_up_to_the_policy_cap() {
+        // All ten requests arrive at t = 300 (same local delivery delay).
+        assert_eq!(observer_sim(rsm_core::BatchPolicy::DISABLED), vec![1; 10]);
+        assert_eq!(observer_sim(rsm_core::BatchPolicy::max(4)), vec![4, 4, 2]);
+        assert_eq!(observer_sim(rsm_core::BatchPolicy::max(64)), vec![10]);
     }
 
     #[test]

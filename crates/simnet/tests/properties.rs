@@ -107,6 +107,7 @@ impl StateMachine for NullSm {
     fn reset(&mut self) {}
 }
 
+#[allow(clippy::type_complexity)]
 fn run_probe(
     n: u16,
     latency_us: Micros,
@@ -137,7 +138,11 @@ fn run_probe(
     (0..n)
         .map(|i| {
             let p = sim.protocol(ReplicaId::new(i));
-            (p.fifo_ok, p.clock_regressions.clone(), p.received_from.iter().sum::<u64>())
+            (
+                p.fifo_ok,
+                p.clock_regressions.clone(),
+                p.received_from.iter().sum::<u64>(),
+            )
         })
         .collect()
 }

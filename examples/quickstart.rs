@@ -7,7 +7,7 @@
 use bytes::Bytes;
 use clock_rsm::{ClockRsm, ClockRsmConfig};
 use kvstore::{KvOp, KvStore};
-use rsm_core::{ClientId, Command, CommandId, LatencyMatrix, Membership, Reply, ReplicaId};
+use rsm_core::{ClientId, Command, CommandId, LatencyMatrix, Membership, ReplicaId, Reply};
 use simnet::sim::{Application, SimApi};
 use simnet::{SimConfig, Simulation};
 

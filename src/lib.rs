@@ -1,0 +1,15 @@
+//! Root crate of the Clock-RSM reproduction workspace.
+//!
+//! This crate holds no library code of its own; it exists so the
+//! workspace-level integration tests (`tests/`) and examples
+//! (`examples/`) — which exercise the full stack across crates — have a
+//! package to hang off. The real code lives in `crates/`:
+//!
+//! * `rsm-core` — vocabulary types and the sans-io [`Protocol`] contract
+//! * `clock-rsm`, `paxos`, `mencius` — the replication protocols
+//! * `simnet` — the deterministic discrete-event simulator
+//! * `rsm-runtime` — the threaded real-time driver
+//! * `kvstore`, `harness`, `analysis`, `bench` — state machine,
+//!   experiment harness, analytical model, paper-figure binaries
+//!
+//! [`Protocol`]: https://docs.rs/rsm-core (crates/core/src/protocol.rs)

@@ -206,6 +206,7 @@ fn run_chains(
 fn chains_advance_without_failures() {
     let (confirmed, broken, sim) = run_chains(3, None, 8_000 * MILLIS);
     assert!(broken.iter().all(Option::is_none), "{broken:?}");
+    #[allow(clippy::needless_range_loop)] // site indexes two parallel vecs
     for site in 0..3usize {
         assert!(
             confirmed[site] > 20,
@@ -234,8 +235,11 @@ fn chains_advance_without_failures() {
 /// and all replicas converge to the clients' confirmed counters.
 #[test]
 fn chains_survive_crash_and_recovery() {
-    let (confirmed, broken, sim) =
-        run_chains(3, Some((2, 2_000 * MILLIS, 5_000 * MILLIS)), 14_000 * MILLIS);
+    let (confirmed, broken, sim) = run_chains(
+        3,
+        Some((2, 2_000 * MILLIS, 5_000 * MILLIS)),
+        14_000 * MILLIS,
+    );
     assert!(broken.iter().all(Option::is_none), "{broken:?}");
     // Chains at the surviving sites kept advancing through the fault.
     assert!(confirmed[0] > 30, "site 0 stalled: {confirmed:?}");

@@ -49,7 +49,11 @@ fn crash_reconfigure_recover_rejoin() {
     assert!(
         r.commits_between(0, 3_500 * MILLIS, recover_at) > 10,
         "no progress in the two-replica configuration: {:?}",
-        &r.commit_times[0].iter().filter(|&&t| t > crash_at).take(5).collect::<Vec<_>>()
+        &r.commit_times[0]
+            .iter()
+            .filter(|&&t| t > crash_at)
+            .take(5)
+            .collect::<Vec<_>>()
     );
     // Liveness after rejoin: the recovered replica executes *new* commands
     // issued well after its recovery — proof the reintegration finished.
@@ -180,8 +184,14 @@ fn reconfigurer_crash_mid_reconfiguration() {
 fn short_partition_heals_without_reconfiguration() {
     let cfg = base_cfg(3)
         .duration_us(6_000 * MILLIS)
-        .fault(2_000 * MILLIS, Fault::Partition(ReplicaId::new(0), ReplicaId::new(2)))
-        .fault(2_300 * MILLIS, Fault::Heal(ReplicaId::new(0), ReplicaId::new(2)));
+        .fault(
+            2_000 * MILLIS,
+            Fault::Partition(ReplicaId::new(0), ReplicaId::new(2)),
+        )
+        .fault(
+            2_300 * MILLIS,
+            Fault::Heal(ReplicaId::new(0), ReplicaId::new(2)),
+        );
     let r = run_latency(ProtocolChoice::clock_rsm_with(fd_config()), &cfg);
     assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
     assert!(r.snapshots_agree);
@@ -194,10 +204,22 @@ fn long_partition_triggers_reconfiguration_and_catchup() {
     let cfg = base_cfg(3)
         .active_sites(vec![0, 1])
         .duration_us(10_000 * MILLIS)
-        .fault(1_500 * MILLIS, Fault::Partition(ReplicaId::new(0), ReplicaId::new(2)))
-        .fault(1_500 * MILLIS, Fault::Partition(ReplicaId::new(1), ReplicaId::new(2)))
-        .fault(5_000 * MILLIS, Fault::Heal(ReplicaId::new(0), ReplicaId::new(2)))
-        .fault(5_000 * MILLIS, Fault::Heal(ReplicaId::new(1), ReplicaId::new(2)));
+        .fault(
+            1_500 * MILLIS,
+            Fault::Partition(ReplicaId::new(0), ReplicaId::new(2)),
+        )
+        .fault(
+            1_500 * MILLIS,
+            Fault::Partition(ReplicaId::new(1), ReplicaId::new(2)),
+        )
+        .fault(
+            5_000 * MILLIS,
+            Fault::Heal(ReplicaId::new(0), ReplicaId::new(2)),
+        )
+        .fault(
+            5_000 * MILLIS,
+            Fault::Heal(ReplicaId::new(1), ReplicaId::new(2)),
+        );
     let r = run_latency(ProtocolChoice::clock_rsm_with(fd_config()), &cfg);
     assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
     // Site 0/1 must have made progress during the partition (r2 removed

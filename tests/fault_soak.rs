@@ -21,13 +21,12 @@ fn random_schedule(seed: u64, n: usize, seconds: u64) -> Vec<(u64, Fault)> {
     let mut up = vec![true; n];
     let mut plan = Vec::new();
     for sec in 1..seconds.saturating_sub(6) {
-        let at = sec * 1_000 * MILLIS + rng.gen_range(0..500) * MILLIS / 500;
+        let at = sec * 1_000 * MILLIS + rng.gen_range(0..500u64) * MILLIS / 500;
         let up_count = up.iter().filter(|&&u| u).count();
         let roll: f64 = rng.gen();
         if roll < 0.30 && up_count > majority {
             // Crash a random up replica other than 0.
-            let candidates: Vec<usize> =
-                (1..n).filter(|&i| up[i]).collect();
+            let candidates: Vec<usize> = (1..n).filter(|&i| up[i]).collect();
             if let Some(&victim) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
                 up[victim] = false;
                 plan.push((at, Fault::Crash(ReplicaId::new(victim as u16))));
@@ -72,11 +71,7 @@ fn soak(seed: u64, n: usize) {
         cfg = cfg.fault(at, f);
     }
     let r = run_latency(ProtocolChoice::clock_rsm_with(rsm_cfg), &cfg);
-    assert!(
-        r.checks.all_ok(),
-        "seed {seed}: {:?}",
-        r.checks.violation
-    );
+    assert!(r.checks.all_ok(), "seed {seed}: {:?}", r.checks.violation);
     assert!(
         r.snapshots_agree,
         "seed {seed}: snapshots diverged; commits {:?}",

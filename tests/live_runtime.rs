@@ -60,7 +60,9 @@ fn clock_rsm_live_concurrent_clients() {
     // Let in-flight broadcasts drain at the laggard replicas before
     // stopping the threads (replies only prove the origin executed).
     std::thread::sleep(Duration::from_millis(300));
-    let cluster = std::sync::Arc::try_unwrap(cluster).ok().expect("sole owner");
+    let cluster = std::sync::Arc::try_unwrap(cluster)
+        .ok()
+        .expect("sole owner");
     let reports = cluster.shutdown();
     assert!(reports.windows(2).all(|w| w[0].snapshot == w[1].snapshot));
     // 31 commands total (30 writes + 1 read), executed by every replica.

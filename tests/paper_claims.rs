@@ -32,7 +32,12 @@ fn five_site_balanced_headline() {
     let mencius = run_latency(ProtocolChoice::mencius(), &cfg);
 
     for r in [&clock, &paxos_b, &mencius] {
-        assert!(r.checks.all_ok(), "{}: {:?}", r.protocol, r.checks.violation);
+        assert!(
+            r.checks.all_ok(),
+            "{}: {:?}",
+            r.protocol,
+            r.checks.violation
+        );
         assert!(r.snapshots_agree, "{} diverged", r.protocol);
     }
 
@@ -42,11 +47,17 @@ fn five_site_balanced_headline() {
         let p = paxos_b.site_stats[site].mean_ms();
         let m = mencius.site_stats[site].mean_ms();
         if site == leader {
-            assert!(c > p, "leader site: Paxos-bcast must win ({c:.1} vs {p:.1})");
+            assert!(
+                c > p,
+                "leader site: Paxos-bcast must win ({c:.1} vs {p:.1})"
+            );
         } else {
             assert!(c < p, "site {site}: Clock-RSM must win ({c:.1} vs {p:.1})");
         }
-        assert!(c < m, "site {site}: Clock-RSM must beat Mencius ({c:.1} vs {m:.1})");
+        assert!(
+            c < m,
+            "site {site}: Clock-RSM must beat Mencius ({c:.1} vs {m:.1})"
+        );
     }
 
     // "The 95%ile latency of Mencius-bcast is much higher than its
@@ -84,12 +95,14 @@ fn three_site_special_case() {
     let clock = run_latency(ProtocolChoice::clock_rsm(), &cfg);
     let paxos_b = run_latency(ProtocolChoice::paxos_bcast(1), &cfg);
 
-    let avg = |r: &harness::ExperimentResult| {
-        r.site_stats.iter().map(|s| s.mean_ms()).sum::<f64>() / 3.0
-    };
+    let avg =
+        |r: &harness::ExperimentResult| r.site_stats.iter().map(|s| s.mean_ms()).sum::<f64>() / 3.0;
     let (c, p) = (avg(&clock), avg(&paxos_b));
     // Paper: about 6% higher for Clock-RSM on average; allow a band.
-    assert!(c >= p - 2.0, "Clock-RSM should not beat best-leader Paxos-bcast here");
+    assert!(
+        c >= p - 2.0,
+        "Clock-RSM should not beat best-leader Paxos-bcast here"
+    );
     assert!(
         c < p * 1.20,
         "Clock-RSM should be within ~20% of Paxos-bcast ({c:.1} vs {p:.1})"
@@ -136,8 +149,14 @@ fn imbalanced_workload_headline() {
         (c - clock_model).abs() < 15.0,
         "Clock-RSM imbalanced {c:.1} should be near {clock_model:.1}"
     );
-    assert!(c < m - 30.0, "Clock-RSM must clearly beat Mencius when imbalanced");
-    assert!(c < p, "Clock-RSM should also beat Paxos-bcast at SG with leader CA");
+    assert!(
+        c < m - 30.0,
+        "Clock-RSM must clearly beat Mencius when imbalanced"
+    );
+    assert!(
+        c < p,
+        "Clock-RSM should also beat Paxos-bcast at SG with leader CA"
+    );
 }
 
 /// The simulation agrees with the closed-form model of Table II: Paxos
@@ -216,8 +235,7 @@ fn clocktime_extension_helps_light_imbalanced_load() {
         ProtocolChoice::clock_rsm_with(ClockRsmConfig::default().with_delta_us(Some(5 * MILLIS))),
         &light,
     );
-    let expected_ext =
-        model::clock_rsm_imbalanced_light(&matrix, r, 5 * MILLIS) as f64 / 1000.0;
+    let expected_ext = model::clock_rsm_imbalanced_light(&matrix, r, 5 * MILLIS) as f64 / 1000.0;
     let measured_ext = with_ext.site_stats[origin as usize].mean_ms();
     assert!(
         (measured_ext - expected_ext).abs() < 10.0,

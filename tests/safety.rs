@@ -17,6 +17,7 @@ fn arb_matrix(n: usize) -> impl Strategy<Value = LatencyMatrix> {
     proptest::collection::vec(5_000u64..100_000, n * (n - 1) / 2).prop_map(move |vals| {
         let mut m = vec![vec![0u64; n]; n];
         let mut it = vals.into_iter();
+        #[allow(clippy::needless_range_loop)] // triangular fill is clearest with indices
         for i in 0..n {
             for j in (i + 1)..n {
                 let v = it.next().expect("enough samples");

@@ -4,10 +4,19 @@
 //! sizes.
 
 use harness::{run_throughput, ProtocolChoice};
+use rsm_core::BatchPolicy;
 use simnet::CpuModel;
 
 fn kops(choice: ProtocolChoice, size: usize) -> f64 {
-    run_throughput(choice, size, 20, CpuModel::default(), 3).throughput_kops
+    run_throughput(
+        choice,
+        size,
+        20,
+        CpuModel::default(),
+        3,
+        BatchPolicy::DISABLED,
+    )
+    .throughput_kops
 }
 
 /// Clock-RSM and Mencius-bcast have the same communication pattern and
@@ -30,7 +39,7 @@ fn clock_rsm_and_mencius_track_each_other() {
 /// Large commands saturate the Paxos leader's byte funnel (it moves ~N
 /// copies of every payload); the multi-leader protocols win clearly.
 #[test]
-fn large_commands_favor_multi_leader()  {
+fn large_commands_favor_multi_leader() {
     let clock = kops(ProtocolChoice::clock_rsm(), 1000);
     let paxos = kops(ProtocolChoice::paxos(0), 1000);
     let paxos_b = kops(ProtocolChoice::paxos_bcast(0), 1000);
@@ -79,10 +88,24 @@ fn throughput_decreases_with_command_size() {
 /// bottleneck").
 #[test]
 fn throughput_saturates_with_client_population() {
-    let t20 = run_throughput(ProtocolChoice::clock_rsm(), 100, 20, CpuModel::default(), 3)
-        .throughput_kops;
-    let t60 = run_throughput(ProtocolChoice::clock_rsm(), 100, 60, CpuModel::default(), 3)
-        .throughput_kops;
+    let t20 = run_throughput(
+        ProtocolChoice::clock_rsm(),
+        100,
+        20,
+        CpuModel::default(),
+        3,
+        BatchPolicy::DISABLED,
+    )
+    .throughput_kops;
+    let t60 = run_throughput(
+        ProtocolChoice::clock_rsm(),
+        100,
+        60,
+        CpuModel::default(),
+        3,
+        BatchPolicy::DISABLED,
+    )
+    .throughput_kops;
     assert!(
         t60 < t20 * 1.5,
         "tripling clients should not triple throughput at saturation: {t20:.1} -> {t60:.1}"
