@@ -33,11 +33,16 @@ pub(crate) const TOKEN_RECONFIG_RETRY: TimerToken = TimerToken(5);
 /// id. The replica lane holds ids up to 255; [`ClockRsm::new`] rejects
 /// memberships beyond that so the truncation below can never fold two
 /// distinct replicas onto one key (ids ≥ 256 would otherwise silently
-/// collide). 44 bits of microseconds is ~17 years of run time, and epochs
-/// wrap after 4096 reconfigurations — both asserted.
+/// collide). 44 bits of microseconds is ~204 days of continuous run time
+/// (clocks are process-relative — the runtime counts from spawn and the
+/// simulator from virtual time zero, never the wall-clock epoch), and
+/// epochs wrap after 4096 reconfigurations — both asserted.
 pub(crate) fn order_key(epoch: Epoch, ts: Timestamp) -> u64 {
-    debug_assert!(ts.micros() < 1 << 44, "timestamp exceeds order-key range");
-    debug_assert!(epoch.0 < 1 << 12, "epoch exceeds order-key range");
+    // Hard asserts even in release: an out-of-range timestamp or epoch
+    // would silently corrupt the execution order. order_key runs only at
+    // commit time, so the two comparisons are off the per-message path.
+    assert!(ts.micros() < 1 << 44, "timestamp exceeds order-key range");
+    assert!(epoch.0 < 1 << 12, "epoch exceeds order-key range");
     debug_assert!(
         ts.replica().as_u16() < MAX_ORDER_KEY_REPLICAS,
         "replica id exceeds order-key range"
@@ -1119,7 +1124,10 @@ mod tests {
     fn stale_epoch_messages_dropped_and_newer_buffered() {
         let mut p = replica(0, 3);
         let mut ctx = TestCtx::new(1_000);
-        // Stale epoch: dropped outright.
+        // Move to epoch 1 so an Epoch::ZERO message is genuinely stale.
+        p.membership.install(Epoch(1), vec![r(0), r(1), r(2)]);
+        let before = p.latest_tv[1];
+        // Stale epoch: dropped outright, LatestTV untouched.
         p.on_message(
             r(1),
             RsmMsg::ClockTime {
@@ -1128,7 +1136,17 @@ mod tests {
             },
             &mut ctx,
         );
-        assert_eq!(p.latest_tv[1], ts(2_000, 1));
+        assert_eq!(p.latest_tv[1], before, "stale-epoch msg must be dropped");
+        // Current epoch: applied.
+        p.on_message(
+            r(1),
+            RsmMsg::ClockTime {
+                epoch: Epoch(1),
+                ts: ts(2_500, 1),
+            },
+            &mut ctx,
+        );
+        assert_eq!(p.latest_tv[1], ts(2_500, 1));
         // Future epoch: buffered + decision request sent.
         p.on_message(
             r(1),
@@ -1138,7 +1156,7 @@ mod tests {
             },
             &mut ctx,
         );
-        assert_eq!(p.latest_tv[1], ts(2_000, 1), "future-epoch msg not applied");
+        assert_eq!(p.latest_tv[1], ts(2_500, 1), "future-epoch msg not applied");
         assert!(ctx
             .sends
             .iter()

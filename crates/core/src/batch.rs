@@ -123,10 +123,10 @@ impl fmt::Debug for Batch {
 
 impl WireSize for Batch {
     fn wire_size(&self) -> usize {
-        // Count prefix + per-command encodings; the enclosing message pays
-        // its own header once for the whole batch — that amortization is
-        // the point.
-        4 + self.cmds.iter().map(WireSize::wire_size).sum::<usize>()
+        // Encodes exactly like the underlying Vec<Command>; the enclosing
+        // message pays its own header once for the whole batch — that
+        // amortization is the point.
+        self.cmds.wire_size()
     }
 }
 

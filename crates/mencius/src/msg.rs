@@ -6,6 +6,7 @@
 //! per-owner slot watermarks, so one ack covers the batch.
 
 use rsm_core::batch::Batch;
+use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
 
@@ -35,6 +36,29 @@ pub enum MenciusMsg {
         /// own-slot proposals).
         skip_below: u64,
     },
+    /// A recovered replica asks the receiver (an owner) to retransmit its
+    /// own-slot proposals in `[from_slot, below)`. After a crash the
+    /// sender can no longer tell a skipped slot from a proposal lost in
+    /// flight while it was down, so absence must be confirmed by the
+    /// owner before the slot may resolve as a no-op.
+    GapRequest {
+        /// First slot of the queried range (owned by the receiver).
+        from_slot: u64,
+        /// Exclusive upper bound; taken from the owner's observed skip
+        /// promise, so no new proposal can land in the range later.
+        below: u64,
+    },
+    /// The owner's answer to a [`MenciusMsg::GapRequest`]: every proposal
+    /// it ever made in its own slots within `[from_slot, below)`. Own
+    /// slots in the range absent from `cmds` are permanently empty.
+    GapFill {
+        /// Echo of the queried range start.
+        from_slot: u64,
+        /// Echo of the queried range bound.
+        below: u64,
+        /// The retransmitted proposals, as `(slot, command)` pairs.
+        cmds: Vec<(u64, Command)>,
+    },
 }
 
 impl WireSize for MenciusMsg {
@@ -42,6 +66,10 @@ impl WireSize for MenciusMsg {
         match self {
             MenciusMsg::Propose { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
             MenciusMsg::AcceptAck { .. } => MSG_HEADER_BYTES + 8,
+            MenciusMsg::GapRequest { .. } => MSG_HEADER_BYTES + 16,
+            MenciusMsg::GapFill { cmds, .. } => {
+                MSG_HEADER_BYTES + 16 + cmds.iter().map(|(_, c)| 8 + c.wire_size()).sum::<usize>()
+            }
         }
     }
 }

@@ -13,6 +13,7 @@ use rsm_core::command::{Command, Committed};
 use rsm_core::config::Membership;
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::time::Micros;
 
 use crate::msg::MenciusMsg;
 
@@ -39,6 +40,21 @@ pub enum MenciusLogRec {
         slot: u64,
     },
 }
+
+/// Cap on retained own proposals for gap retransmission (see
+/// `MenciusBcast::own_history`): beyond this the oldest entries are
+/// dropped and the retention floor advances, so a peer that stayed down
+/// long enough to need them stalls rather than receiving a wrong
+/// emptiness confirmation. Checkpoint-based state transfer (ROADMAP) is
+/// the long-outage answer.
+pub const MAX_OWN_HISTORY: usize = 4096;
+
+/// How long an unanswered [`MenciusMsg::GapRequest`] stays deduplicated
+/// before it may be re-sent. Comfortably above a WAN round trip, so a
+/// request/fill exchange in flight is never duplicated by the owner's
+/// ongoing traffic, while a request lost to the owner's downtime is
+/// retried promptly once traffic gives `try_execute` another pass.
+const GAP_RETRY_US: Micros = 500_000;
 
 /// A Mencius replica with the broadcast-acknowledgement optimization.
 ///
@@ -77,10 +93,41 @@ pub struct MenciusBcast {
     /// First slot received from each owner after a desync. Once
     /// `exec_cursor` passes it, every earlier slot of that owner is
     /// locally resolved — committed (so globally decided; covering it
-    /// adds no false quorum weight) or skipped (no command; coverage is
-    /// vacuous) — and cumulative acks for the owner become truthful
-    /// again.
+    /// adds no false quorum weight) or skipped (confirmed empty by the
+    /// owner via `GapFill`, so coverage is vacuous) — and cumulative
+    /// acks for the owner become truthful again.
     resync_floor: Vec<Option<u64>>,
+    /// Own proposals retained for gap retransmission: a peer that was
+    /// down while a proposal was in flight can no longer tell a skipped
+    /// own slot from a lost one and asks the owner ([`MenciusMsg::GapRequest`]).
+    /// Entries are pruned once every replica's cumulative watermark over
+    /// our slots covers them (a crashed peer's watermark freezes, so
+    /// anything it may still ask about stays retained), and capped at
+    /// [`MAX_OWN_HISTORY`] entries so a permanently dead peer cannot
+    /// grow memory without bound.
+    own_history: BTreeMap<u64, Command>,
+    /// Smallest own slot still answerable from `own_history`: advanced by
+    /// watermark pruning and by the [`MAX_OWN_HISTORY`] cap. A `GapFill`
+    /// never confirms emptiness below it — a peer that stayed down long
+    /// enough to need capped-out history stalls instead of being handed
+    /// a wrong "permanently empty" answer (safety over liveness).
+    history_floor: u64,
+    /// Ranges `[from, below)` the owner confirmed via
+    /// [`MenciusMsg::GapFill`]: we hold every proposal it ever made at
+    /// own slots inside them, so absence there proves a skip even while
+    /// `recv_synced[o]` is false. Cleared on resync (no longer needed).
+    gap_trust: Vec<Vec<(u64, u64)>>,
+    /// Rate limiter: the hole (`from_slot`) last queried per owner and
+    /// when; cleared when the fill arrives, and expired after
+    /// [`GAP_RETRY_US`] so a request or fill lost to the owner's
+    /// downtime is eventually re-sent.
+    gap_requested: Vec<Option<(u64, Micros)>>,
+    /// Highest retention floor each owner has echoed in a [`MenciusMsg::GapFill`]:
+    /// the owner's cap has dropped its proposals below this, so gap
+    /// requests starting under it can never be answered and are not
+    /// re-sent — the hole stalls quietly (safety over liveness) instead
+    /// of ping-ponging request/fill rounds forever.
+    gap_unanswerable: Vec<u64>,
     /// Next slot to execute or skip; all smaller slots are resolved.
     exec_cursor: u64,
 }
@@ -104,6 +151,11 @@ impl MenciusBcast {
             acked_below: vec![vec![0; n as usize]; n as usize],
             recv_synced: vec![true; n as usize],
             resync_floor: vec![None; n as usize],
+            own_history: BTreeMap::new(),
+            history_floor: 0,
+            gap_trust: vec![Vec::new(); n as usize],
+            gap_requested: vec![None; n as usize],
+            gap_unanswerable: vec![0; n as usize],
             exec_cursor: 0,
             membership,
         }
@@ -163,6 +215,10 @@ impl MenciusBcast {
                 cmd: cmd.clone(),
                 origin,
             });
+            if origin == self.id {
+                self.own_history.insert(slot, cmd.clone());
+                self.cap_own_history();
+            }
             self.slots.insert(slot, (cmd, origin));
         }
         // The owner will not propose below its next own slot again.
@@ -192,6 +248,8 @@ impl MenciusBcast {
                     if self.exec_cursor >= f {
                         self.recv_synced[oi] = true;
                         self.resync_floor[oi] = None;
+                        // FIFO coverage subsumes per-range confirmations.
+                        self.gap_trust[oi].clear();
                     }
                 }
             }
@@ -238,6 +296,20 @@ impl MenciusBcast {
         if self.acked_below[from.index()][owner] < below {
             self.acked_below[from.index()][owner] = below;
         }
+        // Prune retained own proposals every replica has now covered:
+        // nobody can ask about a slot it already acknowledged (an ack
+        // implies the proposal is in the acker's stable log).
+        if owner == self.id.index() {
+            let min_acked = self
+                .membership
+                .config()
+                .iter()
+                .map(|k| self.acked_below[k.index()][owner])
+                .min()
+                .unwrap_or(0);
+            self.own_history = self.own_history.split_off(&min_acked);
+            self.history_floor = self.history_floor.max(min_acked);
+        }
         self.try_execute(ctx);
     }
 
@@ -272,14 +344,148 @@ impl MenciusBcast {
                     origin,
                     order_hint: c,
                 });
-            } else if self.floor[self.owner_of_slot(c).index()] > c {
-                // The owner promised never to fill this slot: no-op.
+                continue;
+            }
+            let owner = self.owner_of_slot(c);
+            let o = owner.index();
+            if self.floor[o] <= c {
+                break; // no skip promise yet: wait for owner activity
+            }
+            if self.recv_synced[o] || self.gap_trust[o].iter().any(|&(f, b)| f <= c && c < b) {
+                // The owner promised never to fill this slot with a NEW
+                // proposal, and we provably hold every proposal it ever
+                // made here (continuous FIFO receipt, or an explicit
+                // GapFill): the slot is a no-op.
                 ctx.log_append(MenciusLogRec::Skip { slot: c });
                 self.exec_cursor = c + 1;
             } else {
+                // Post-crash hole: the floor rules out new proposals, but
+                // one may have been in flight and lost while we were
+                // down — skipping could omit a globally committed
+                // command. Ask the owner to retransmit the range.
+                self.request_gap_fill(c, owner, ctx);
                 break;
             }
         }
+    }
+
+    /// Enforces [`MAX_OWN_HISTORY`]: drops the oldest retained own
+    /// proposals and advances `history_floor` past them, so emptiness is
+    /// never confirmed for a slot whose command was dropped.
+    fn cap_own_history(&mut self) {
+        while self.own_history.len() > MAX_OWN_HISTORY {
+            let (dropped, _) = self.own_history.pop_first().expect("len checked");
+            self.history_floor = self.history_floor.max(dropped + self.n);
+        }
+    }
+
+    /// Sends one [`MenciusMsg::GapRequest`] for the unresolved range
+    /// `[from_slot, floor[owner])`. An identical request stays
+    /// deduplicated for [`GAP_RETRY_US`] — long enough that the owner's
+    /// ongoing traffic never duplicates an exchange in flight, short
+    /// enough that a request or fill lost to the owner's downtime is
+    /// retried once traffic gives `try_execute` another pass.
+    fn request_gap_fill(&mut self, from_slot: u64, owner: ReplicaId, ctx: &mut dyn Context<Self>) {
+        let o = owner.index();
+        if from_slot < self.gap_unanswerable[o] {
+            return; // the owner's retention cap already said it cannot answer
+        }
+        let below = self.floor[o];
+        let now = ctx.clock();
+        // Dedup on the hole alone: the owner's pipelined traffic keeps
+        // raising its floor (a different `below` every message), but the
+        // in-flight fill for this hole will cover it regardless — a
+        // wider range can be requested after that fill, or after the
+        // retry window expires.
+        if let Some((f, sent_at)) = self.gap_requested[o] {
+            if f == from_slot && now.saturating_sub(sent_at) < GAP_RETRY_US {
+                return; // request for this hole in flight, not yet timed out
+            }
+        }
+        self.gap_requested[o] = Some((from_slot, now));
+        ctx.send(owner, MenciusMsg::GapRequest { from_slot, below });
+    }
+
+    /// Owner side of gap retransmission: answer with every retained own
+    /// proposal in the range. Slots the requester already acknowledged
+    /// are never queried (the ack proves they are in its log), so the
+    /// pruned prefix of `own_history` cannot be needed.
+    fn on_gap_request(
+        &mut self,
+        from: ReplicaId,
+        from_slot: u64,
+        below: u64,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        // The requester's floor for us can never outrun our own promise,
+        // but clamp defensively: we must not confirm emptiness of slots
+        // we could still propose in, nor of slots the retention cap
+        // already dropped (the echoed `from_slot` tells the requester
+        // how far back the confirmation actually reaches).
+        let below = below.min(self.next_own_slot);
+        let from_slot = from_slot.max(self.history_floor);
+        // The clamps can invert the range (cap advanced past the
+        // requested bound, or a malformed request): answer with an
+        // empty fill — the echoed `from_slot` still tells the requester
+        // how far back we can answer at all.
+        let cmds: Vec<(u64, Command)> = if from_slot < below {
+            self.own_history
+                .range(from_slot..below)
+                .map(|(s, c)| (*s, c.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ctx.send(
+            from,
+            MenciusMsg::GapFill {
+                from_slot,
+                below,
+                cmds,
+            },
+        );
+    }
+
+    /// Requester side: log and register the retransmitted proposals, then
+    /// trust absence across the confirmed range.
+    fn on_gap_fill(
+        &mut self,
+        from: ReplicaId,
+        from_slot: u64,
+        below: u64,
+        cmds: Vec<(u64, Command)>,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        let o = from.index();
+        self.gap_requested[o] = None;
+        // The echoed start carries the owner's retention floor when it
+        // exceeds what we asked for: ranges below it will never be
+        // answerable, so remember it and stop re-requesting them.
+        self.gap_unanswerable[o] = self.gap_unanswerable[o].max(from_slot);
+        for (slot, cmd) in cmds {
+            debug_assert_eq!(self.owner_of_slot(slot), from);
+            if slot < self.exec_cursor || self.slots.contains_key(&slot) {
+                continue;
+            }
+            ctx.log_append(MenciusLogRec::Accept {
+                slot,
+                cmd: cmd.clone(),
+                origin: from,
+            });
+            self.slots.insert(slot, (cmd, from));
+        }
+        // Absence now proves a skip anywhere in `[from_slot, below)` —
+        // and only there: an owner that clamped `from_slot` upward
+        // (retention cap) has not confirmed the slots below it, so a
+        // hole at the cursor stays blocked rather than being skipped
+        // over a possibly dropped command.
+        let covered = self.gap_trust[o]
+            .iter()
+            .any(|&(f, b)| f <= from_slot && below <= b);
+        if from_slot < below && !covered {
+            self.gap_trust[o].push((from_slot, below));
+        }
+        self.try_execute(ctx);
     }
 }
 
@@ -332,6 +538,14 @@ impl Protocol for MenciusBcast {
                 up_to_slot,
                 skip_below,
             } => self.on_accept_ack(from, up_to_slot, skip_below, ctx),
+            MenciusMsg::GapRequest { from_slot, below } => {
+                self.on_gap_request(from, from_slot, below, ctx)
+            }
+            MenciusMsg::GapFill {
+                from_slot,
+                below,
+                cmds,
+            } => self.on_gap_fill(from, from_slot, below, cmds, ctx),
         }
     }
 
@@ -353,6 +567,11 @@ impl Protocol for MenciusBcast {
         for rec in log {
             match rec {
                 MenciusLogRec::Accept { slot, cmd, origin } => {
+                    if *origin == self.id {
+                        // Own proposals stay answerable for peers whose
+                        // crash may have lost them in flight.
+                        self.own_history.insert(*slot, cmd.clone());
+                    }
                     self.slots.insert(*slot, (cmd.clone(), *origin));
                 }
                 MenciusLogRec::Commit { slot } => {
@@ -368,6 +587,9 @@ impl Protocol for MenciusBcast {
                 }
             }
         }
+        // The log holds every own proposal, so the rebuilt history is
+        // complete; re-apply the retention cap to bound memory.
+        self.cap_own_history();
         while let Some(entry) = resolved.remove(&self.exec_cursor) {
             let c = self.exec_cursor;
             self.exec_cursor += 1;
@@ -380,13 +602,22 @@ impl Protocol for MenciusBcast {
                 });
             }
         }
-        // Never reuse own slots at or below anything we have seen.
-        let max_seen = self.slots.keys().max().copied().unwrap_or(0);
-        let base = self.next_own_slot.max(self.exec_cursor);
-        self.next_own_slot = if base.max(max_seen) == 0 {
+        // Never reuse own slots: continue at the smallest own slot that
+        // is ≥ the replayed cursor position and strictly above every
+        // slot the log showed — an uncommitted Accept still counts as
+        // "seen", since peers may have logged or committed it, and
+        // re-proposing its slot with a different command would fork the
+        // log. Own proposals are logged synchronously, so an empty floor
+        // proves nothing was ever proposed and the replica may start
+        // from its first own slot again.
+        let mut floor = self.next_own_slot.max(self.exec_cursor);
+        if let Some(m) = self.slots.keys().max() {
+            floor = floor.max(m + 1);
+        }
+        self.next_own_slot = if floor == 0 {
             self.id.index() as u64
         } else {
-            self.own_slot_after(base.max(max_seen))
+            self.own_slot_after(floor - 1)
         };
     }
 }
@@ -714,14 +945,33 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(m.owner_of_slot(last_ack(&ctx)), r(1));
-        // Slots 0..3 resolve: slot 0 commits via others' acks, 1 and 2
-        // skip via promises; slot 3 commits too.
+        // Majority watermarks for slot 3 arrive.
         ack(&mut m, &mut ctx, r(0), 0, 3);
         ack(&mut m, &mut ctx, r(2), 0, 5);
-        // (r0's skip_below 3 skips nothing of its own; r2's 5 covers 2;
-        // r1's own promise from the ack above covers 1.)
         ack(&mut m, &mut ctx, r(0), 3, 6);
         ack(&mut m, &mut ctx, r(2), 3, 5);
+        // Gap slots 0 and 2 cannot resolve off the owners' floors alone
+        // (a proposal may have been lost in r1's crash); the owners
+        // confirm emptiness, then 0..3 skip and slot 3 commits.
+        assert!(m.resolved() < 4, "holes must wait for owner confirmation");
+        m.on_message(
+            r(0),
+            MenciusMsg::GapFill {
+                from_slot: 0,
+                below: 6,
+                cmds: Vec::new(),
+            },
+            &mut ctx,
+        );
+        m.on_message(
+            r(2),
+            MenciusMsg::GapFill {
+                from_slot: 2,
+                below: 5,
+                cmds: Vec::new(),
+            },
+            &mut ctx,
+        );
         assert!(m.resolved() >= 4, "gap resolved: {}", m.resolved());
         // Next proposal from r0: resynced, full cumulative ack again.
         propose(&mut m, &mut ctx, 6, cmd(2), r(0));
@@ -729,6 +979,182 @@ mod tests {
             last_ack(&ctx),
             6,
             "cumulative acks must resume after resync"
+        );
+    }
+
+    #[test]
+    fn recovered_replica_fetches_lost_proposals_instead_of_skipping() {
+        // r0 proposed slot 0 (committed by r0+r2) while the Propose to a
+        // crashed r1 was lost. On recovery r1 must not resolve slot 0 as
+        // a skip off r0's floor — that would fork its committed sequence.
+        // It queries r0, which retransmits from its retained history, and
+        // r1 commits the same command everyone else executed.
+        let mut owner = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut owner_ctx = TestCtx::new();
+        owner.on_client_request(cmd(7), &mut owner_ctx); // fills slot 0
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_recover(&[], &mut ctx);
+        // r0's next batch is the first thing r1 hears: its floor now
+        // covers slot 0, which the old code skipped locally.
+        propose(&mut m, &mut ctx, 3, cmd(8), r(0));
+        assert_eq!(m.resolved(), 0, "slot 0 must not resolve as a skip");
+        let (to, from_slot, below) = ctx
+            .sends
+            .iter()
+            .find_map(|(to, msg)| match msg {
+                MenciusMsg::GapRequest { from_slot, below } => Some((*to, *from_slot, *below)),
+                _ => None,
+            })
+            .expect("recovered replica must query the owner");
+        assert_eq!(to, r(0));
+        // The owner answers from its retained own-proposal history.
+        owner_ctx.sends.clear();
+        owner.on_message(
+            r(1),
+            MenciusMsg::GapRequest { from_slot, below },
+            &mut owner_ctx,
+        );
+        let fill = owner_ctx
+            .sends
+            .iter()
+            .find_map(|(to, msg)| match (to, msg) {
+                (to, MenciusMsg::GapFill { .. }) if *to == r(1) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("owner must answer a gap request");
+        assert!(
+            matches!(&fill, MenciusMsg::GapFill { cmds, .. } if cmds.len() == 1),
+            "retransmission must carry the lost slot-0 proposal"
+        );
+        m.on_message(r(0), fill, &mut ctx);
+        // r2 confirms its own slots in the gap are empty.
+        m.on_message(
+            r(2),
+            MenciusMsg::GapFill {
+                from_slot: 2,
+                below: 5,
+                cmds: Vec::new(),
+            },
+            &mut ctx,
+        );
+        // Majority watermarks for slots 0 and 3 arrive: everything
+        // resolves, slot 0 first and with the original command.
+        ack(&mut m, &mut ctx, r(0), 0, 6);
+        ack(&mut m, &mut ctx, r(2), 0, 5);
+        ack(&mut m, &mut ctx, r(0), 3, 6);
+        ack(&mut m, &mut ctx, r(2), 3, 5);
+        assert!(m.resolved() >= 4, "gap resolved: {}", m.resolved());
+        assert_eq!(ctx.commits[0].order_hint, 0);
+        assert_eq!(
+            ctx.commits[0].cmd.id.seq, 7,
+            "slot 0 must commit the owner's original command"
+        );
+    }
+
+    #[test]
+    fn lost_gap_request_is_retried_when_the_owner_is_heard_from() {
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        m.on_recover(&[], &mut ctx);
+        propose(&mut m, &mut ctx, 3, cmd(1), r(0));
+        let count_reqs = |ctx: &TestCtx| {
+            ctx.sends
+                .iter()
+                .filter(|(_, msg)| matches!(msg, MenciusMsg::GapRequest { .. }))
+                .count()
+        };
+        assert_eq!(count_reqs(&ctx), 1, "stall at slot 0 queries the owner");
+        // Owner traffic within the retry window must not duplicate the
+        // in-flight exchange…
+        m.on_message(
+            r(0),
+            MenciusMsg::AcceptAck {
+                up_to_slot: 3,
+                skip_below: 6,
+            },
+            &mut ctx,
+        );
+        assert_eq!(count_reqs(&ctx), 1, "in-flight request is deduplicated");
+        // …but once the window expires, the request (or its fill) is
+        // presumed lost to the owner's downtime and is re-sent.
+        ctx.clock = 1_000_000;
+        m.on_message(
+            r(0),
+            MenciusMsg::AcceptAck {
+                up_to_slot: 3,
+                skip_below: 6,
+            },
+            &mut ctx,
+        );
+        assert_eq!(count_reqs(&ctx), 2, "timed-out request is retried");
+    }
+
+    #[test]
+    fn own_history_is_capped_and_capped_ranges_never_confirm_emptiness() {
+        let mut owner = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        for s in 0..(MAX_OWN_HISTORY as u64 + 8) {
+            owner.on_client_request(cmd(s), &mut ctx);
+        }
+        assert!(owner.own_history.len() <= MAX_OWN_HISTORY);
+        assert!(owner.history_floor > 0, "cap must advance the floor");
+        // A request reaching below the retention floor is answered with
+        // a clamped range…
+        let mut reply_ctx = TestCtx::new();
+        owner.on_message(
+            r(1),
+            MenciusMsg::GapRequest {
+                from_slot: 0,
+                below: owner.next_own_slot,
+            },
+            &mut reply_ctx,
+        );
+        let fill = reply_ctx
+            .sends
+            .iter()
+            .find_map(|(_, msg)| match msg {
+                MenciusMsg::GapFill { .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("owner must still answer");
+        let MenciusMsg::GapFill { from_slot, .. } = &fill else {
+            unreachable!()
+        };
+        assert_eq!(*from_slot, owner.history_floor);
+        // …and the requester refuses to treat it as proof of emptiness
+        // at its cursor: the capped-out slot 0 may have held a command.
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut mctx = TestCtx::new();
+        m.on_recover(&[], &mut mctx);
+        ack(&mut m, &mut mctx, r(0), 0, owner.next_own_slot);
+        m.on_message(r(0), fill, &mut mctx);
+        assert!(
+            !m.gap_trust[0].iter().any(|&(f, b)| f == 0 && b > 0),
+            "trust must not reach below the owner's retention floor"
+        );
+        assert_eq!(m.resolved(), 0, "the hole at slot 0 must keep waiting");
+        // Further owner traffic must not restart the request/fill
+        // ping-pong: the range is recorded as unanswerable.
+        let reqs = |ctx: &TestCtx| {
+            ctx.sends
+                .iter()
+                .filter(|(_, msg)| matches!(msg, MenciusMsg::GapRequest { .. }))
+                .count()
+        };
+        let before = reqs(&mctx);
+        m.on_message(
+            r(0),
+            MenciusMsg::AcceptAck {
+                up_to_slot: 0,
+                skip_below: owner.next_own_slot,
+            },
+            &mut mctx,
+        );
+        assert_eq!(
+            reqs(&mctx),
+            before,
+            "unanswerable range is not re-requested"
         );
     }
 
@@ -757,5 +1183,28 @@ mod tests {
         // Own slots never reused below what the log shows.
         assert!(m.next_own_slot > 3);
         assert_eq!(m.next_own_slot % 3, 0);
+    }
+
+    #[test]
+    fn recovery_never_reuses_slot_zero() {
+        // An uncommitted Accept for slot 0 must push replica 0 past it:
+        // peers may have logged or committed the original proposal, so
+        // re-proposing slot 0 with a new command would fork the log.
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let log = vec![MenciusLogRec::Accept {
+            slot: 0,
+            cmd: cmd(1),
+            origin: r(0),
+        }];
+        let mut ctx = TestCtx::new();
+        m.on_recover(&log, &mut ctx);
+        assert_eq!(m.next_own_slot, 3, "slot 0 was seen; next own slot is 3");
+        // A genuinely empty log is a fresh start from the replica's own
+        // first slot — for every replica id, not just 0.
+        for i in 0..3 {
+            let mut fresh = MenciusBcast::new(r(i), Membership::uniform(3));
+            fresh.on_recover(&[], &mut ctx);
+            assert_eq!(fresh.next_own_slot, i as u64);
+        }
     }
 }

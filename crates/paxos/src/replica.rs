@@ -135,16 +135,27 @@ impl MultiPaxos {
         debug_assert!(self.is_leader());
         let first_instance = self.next_instance;
         self.next_instance += cmds.len() as u64;
+        // Send to the peers, then log the run locally via a synchronous
+        // self-delivery (not a network self-send): a leader that crashed
+        // after broadcasting but before a looped-back self-delivery would
+        // recover with these instances absent from its log, reset
+        // next_instance below them, and re-propose the same numbers with
+        // different commands — divergent execution at the followers.
+        // Sending to peers first keeps Accept ahead of our own Accepted
+        // on every FIFO channel.
         for r in self.membership.config().to_vec() {
-            ctx.send(
-                r,
-                PaxosMsg::Accept {
-                    first_instance,
-                    cmds: cmds.clone(),
-                    origin,
-                },
-            );
+            if r != self.id {
+                ctx.send(
+                    r,
+                    PaxosMsg::Accept {
+                        first_instance,
+                        cmds: cmds.clone(),
+                        origin,
+                    },
+                );
+            }
         }
+        self.on_accept(first_instance, cmds, origin, ctx);
     }
 
     fn on_accept(
@@ -214,17 +225,41 @@ impl MultiPaxos {
     }
 
     /// The instance watermark a majority has acknowledged: the
-    /// `majority`-th largest per-replica watermark. Everything below it is
-    /// logged at a majority and therefore committed.
+    /// `majority`-th largest per-replica watermark, found by advancing a
+    /// candidate from the current committed watermark while a majority
+    /// still covers it. Allocation-free and O(n) per advanced instance,
+    /// so an ACCEPTED that advances nothing costs one counting pass.
     fn majority_watermark(&self) -> u64 {
-        let mut marks: Vec<u64> = self
-            .membership
-            .config()
-            .iter()
-            .map(|r| self.acked[r.index()])
-            .collect();
-        marks.sort_unstable_by(|a, b| b.cmp(a));
-        marks.get(self.majority() - 1).copied().unwrap_or(0)
+        let mut w = self.committed_next;
+        loop {
+            let covered = self
+                .membership
+                .config()
+                .iter()
+                .filter(|r| self.acked[r.index()] > w)
+                .count();
+            if covered < self.majority() {
+                return w;
+            }
+            w += 1;
+        }
+    }
+
+    /// Re-extends the cumulative ack watermark after the commit watermark
+    /// moves past it: a committed hole is globally decided, so covering
+    /// it adds no false quorum weight (same argument as the jump in
+    /// `on_accept`), and everything logged contiguously above it is
+    /// vouchable again. Without this, a recovered replica's watermark
+    /// would stay frozen at its crash gap under continuous pipelined
+    /// load — the `on_accept` jump needs `committed_next` to have caught
+    /// up with the newest accept run, which only happens in a lull.
+    fn reextend_logged_next(&mut self) {
+        if self.committed_next > self.logged_next {
+            self.logged_next = self.committed_next;
+            while self.instances.contains_key(&self.logged_next) {
+                self.logged_next += 1;
+            }
+        }
     }
 
     /// Recomputes the committed watermark from the acknowledgement
@@ -235,6 +270,7 @@ impl MultiPaxos {
             return;
         }
         self.committed_next = w;
+        self.reextend_logged_next();
         if self.variant == PaxosVariant::Plain {
             // Only the leader counts 2b in plain Paxos; notify everyone
             // (itself included) with one cumulative COMMIT.
@@ -251,6 +287,7 @@ impl MultiPaxos {
             return; // stale or duplicate notification
         }
         self.committed_next = up_to;
+        self.reextend_logged_next();
         self.execute_ready(true, ctx);
     }
 
@@ -457,10 +494,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        // 3 replicas × 2 commands.
-        assert_eq!(firsts.len(), 6);
+        // 2 peers × 2 commands (the leader self-delivers synchronously).
+        assert_eq!(firsts.len(), 4);
         assert_eq!(firsts[0], 0);
-        assert_eq!(firsts[5], 1);
+        assert_eq!(firsts[3], 1);
     }
 
     #[test]
@@ -480,9 +517,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(accepts.len(), 3, "one ACCEPT per destination for 3 cmds");
+        assert_eq!(accepts.len(), 2, "one ACCEPT per peer for 3 cmds");
         assert!(accepts.iter().all(|&(f, k)| f == 0 && k == 3));
         assert_eq!(p.next_instance, 3);
+        assert_eq!(ctx.log.len(), 3, "leader logs its own run synchronously");
     }
 
     #[test]
@@ -557,8 +595,9 @@ mod tests {
     fn plain_leader_broadcasts_commit_on_majority() {
         let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Plain);
         let mut ctx = TestCtx::new();
+        // propose() self-delivers the Accept synchronously: the run is
+        // logged and the leader's own Accepted is already in flight.
         p.on_client_request(cmd(1), &mut ctx);
-        p.on_message(r(0), accept(0, vec![cmd(1)], r(0)), &mut ctx);
         p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
         p.on_message(r(1), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
         let commit_sends = ctx
@@ -677,6 +716,72 @@ mod tests {
         assert!(
             matches!(ctx.sends.last(), Some((_, PaxosMsg::Accepted { up_to: 6 }))),
             "ack watermark must resume past a committed gap: {:?}",
+            ctx.sends.last()
+        );
+    }
+
+    #[test]
+    fn leader_recovery_never_reuses_instances() {
+        // The leader logs its own Accept run synchronously in propose();
+        // a crash right after proposing (before any network round-trip)
+        // must not let recovery re-assign the same instance numbers to
+        // new commands — followers may have logged or committed the
+        // originals, and a re-proposal would fork execution.
+        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        p.on_client_batch(Batch::new(vec![cmd(1), cmd(2)]), &mut ctx);
+        assert_eq!(ctx.log.len(), 2, "run logged before any network round-trip");
+        let mut p2 = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx2 = TestCtx::new();
+        p2.on_recover(&ctx.log, &mut ctx2);
+        p2.on_client_request(cmd(3), &mut ctx2);
+        let firsts: Vec<u64> = ctx2
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                PaxosMsg::Accept { first_instance, .. } => Some(*first_instance),
+                _ => None,
+            })
+            .collect();
+        assert!(!firsts.is_empty());
+        assert!(
+            firsts.iter().all(|&f| f >= 2),
+            "instances 0..2 must not be reused: {firsts:?}"
+        );
+    }
+
+    #[test]
+    fn recovered_replica_reextends_watermark_past_a_committed_gap_under_load() {
+        // B logged instance 0 and lost 1..3 in its crash. Under
+        // pipelined load the commit watermark always trails the newest
+        // accept run, so the on_accept jump alone never fires; the
+        // watermark must also re-extend when commits advance past the
+        // gap, or B acks up_to=1 forever and never rejoins quorums.
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::new();
+        let log = vec![PaxosLogRec::Accept {
+            instance: 0,
+            cmd: cmd(1),
+            origin: r(0),
+        }];
+        p.on_recover(&log, &mut ctx);
+        // Run [3,4) arrives while the gap is still uncommitted.
+        p.on_message(r(0), accept(3, vec![cmd(4)], r(0)), &mut ctx);
+        assert!(matches!(
+            ctx.sends.last(),
+            Some((_, PaxosMsg::Accepted { up_to: 1 }))
+        ));
+        // Peer watermarks commit through the gap (to 3) while run [4,5)
+        // is already in flight.
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
+        // The pipelined run arrives with committed_next (3) still below
+        // its first instance (4): the watermark must nevertheless cover
+        // the decided gap plus the contiguously logged instance 3.
+        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
+        assert!(
+            matches!(ctx.sends.last(), Some((_, PaxosMsg::Accepted { up_to: 5 }))),
+            "watermark frozen at the gap: {:?}",
             ctx.sends.last()
         );
     }

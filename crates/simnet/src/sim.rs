@@ -286,6 +286,7 @@ enum Event<P: Protocol> {
     },
     ProcessInbox {
         node: ReplicaId,
+        incarnation: u64,
     },
 }
 
@@ -569,10 +570,16 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 if !self.nodes[idx].up {
                     return; // site down: client request lost
                 }
-                // Requests always pass through the node's inbox (a
-                // zero-cost hop when no CPU model is configured) so that
-                // same-instant arrivals coalesce into client batches.
-                self.enqueue_input(idx, NodeInput::Request(cmd));
+                // Requests pass through the node's inbox when that buys
+                // something: a CPU model prices the processing step, and
+                // a batch policy coalesces same-instant arrivals. With
+                // neither (the default for latency experiments) the hop
+                // only doubles event-queue traffic, so invoke directly.
+                if self.cfg.cpu.is_some() || self.cfg.batch.max_batch > 1 {
+                    self.enqueue_input(idx, NodeInput::Request(cmd));
+                } else {
+                    self.invoke(idx, false, |p, ctx| p.on_client_request(cmd, ctx));
+                }
             }
             Event::ReplyArrive { client, reply } => {
                 let Simulation {
@@ -629,7 +636,9 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             Event::ClockJump { node, delta_us } => {
                 self.nodes[node.index()].clock.jump(delta_us);
             }
-            Event::ProcessInbox { node } => self.handle_process_inbox(node),
+            Event::ProcessInbox { node, incarnation } => {
+                self.handle_process_inbox(node, incarnation)
+            }
         }
     }
 
@@ -698,19 +707,20 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
     }
 
     fn enqueue_input(&mut self, idx: usize, input: NodeInput<P>) {
-        let at = {
+        let (at, incarnation) = {
             let n = &mut self.nodes[idx];
             n.inbox.push_back(input);
             if n.inbox_scheduled {
                 return;
             }
             n.inbox_scheduled = true;
-            n.cpu_free.max(self.now)
+            (n.cpu_free.max(self.now), n.incarnation)
         };
         self.queue.push(
             at,
             Event::ProcessInbox {
                 node: ReplicaId::new(idx as u16),
+                incarnation,
             },
         );
     }
@@ -722,8 +732,16 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
     /// node is busy for the step's total cost and outgoing messages hit
     /// the network when it completes; without one the step is free and
     /// instantaneous (pure coalescing).
-    fn handle_process_inbox(&mut self, node: ReplicaId) {
+    fn handle_process_inbox(&mut self, node: ReplicaId, incarnation: u64) {
         let idx = node.index();
+        // Same staleness guard as Timer: a crash (and the subsequent
+        // recovery) bumps the incarnation, so an event scheduled before
+        // the crash must not drain the recovered node's inbox — it would
+        // process input at the pre-crash instant and regress cpu_free
+        // below work the recovery already planned.
+        if self.nodes[idx].incarnation != incarnation {
+            return;
+        }
         let cpu = self.cfg.cpu;
         let max_batch = self.cfg.batch.max_batch;
         let inputs: Vec<NodeInput<P>> = {
@@ -826,7 +844,9 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         let n = &mut self.nodes[idx];
         if !n.inbox.is_empty() && !n.inbox_scheduled {
             n.inbox_scheduled = true;
-            self.queue.push(done, Event::ProcessInbox { node });
+            let incarnation = n.incarnation;
+            self.queue
+                .push(done, Event::ProcessInbox { node, incarnation });
         }
     }
 
@@ -1153,6 +1173,75 @@ mod tests {
         // Other replicas unaffected.
         assert_eq!(sim.commit_count(ReplicaId::new(0)), 1);
         assert_eq!(sim.commit_count(ReplicaId::new(2)), 1);
+    }
+
+    #[test]
+    fn stale_process_inbox_from_previous_incarnation_is_ignored() {
+        // A ProcessInbox event scheduled while the node was busy, then
+        // orphaned by a crash + recovery, must not fire against the new
+        // incarnation: it would drain the recovered inbox early and
+        // regress cpu_free below work the recovery already planned.
+        struct NullApp;
+        impl Application<Flood> for NullApp {
+            fn on_init(&mut self, _: &mut SimApi<'_, Flood>) {}
+            fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, Flood>) {}
+            fn on_event(&mut self, _: u64, _: &mut SimApi<'_, Flood>) {}
+        }
+        let cpu = CpuModel {
+            fixed_batch_us: 100_000,
+            per_msg_us: 0,
+            per_kb_us: 0,
+        };
+        let cfg = SimConfig::new(LatencyMatrix::uniform(1, 10_000)).cpu_model(cpu);
+        let mut sim = Simulation::new(
+            cfg,
+            |id| Flood {
+                id,
+                n: 1,
+                delivered: 0,
+            },
+            sm,
+            NullApp,
+        );
+        let node = ReplicaId::new(0);
+        let req = |seq| Event::Request {
+            to: node,
+            cmd: Command::new(
+                CommandId::new(ClientId::new(node, 0), seq),
+                Bytes::from_static(b"x"),
+            ),
+        };
+        {
+            let Simulation { queue, .. } = &mut sim;
+            // Processed at t=1ms; the node is then busy until ~201ms.
+            queue.push(1_000, req(1));
+            // Arrives while busy: ProcessInbox scheduled at ~201ms with
+            // the pre-crash incarnation — the stale event under test.
+            queue.push(2_000, req(2));
+            queue.push(3_000, Event::Crash { node });
+            queue.push(4_000, Event::Recover { node });
+            // Post-recovery: one request processed immediately (busy
+            // until ~205ms), one queued behind it.
+            queue.push(5_000, req(3));
+            queue.push(6_000, req(4));
+        }
+        sim.run_until(7_000);
+        let busy_until = sim.nodes[0].cpu_free;
+        assert!(
+            busy_until > 201_000,
+            "setup: node busy past the stale event"
+        );
+        assert_eq!(sim.nodes[0].inbox.len(), 1, "setup: one request queued");
+        // Run past the stale event's fire time (but before the real one).
+        sim.run_until(203_000);
+        assert_eq!(
+            sim.nodes[0].cpu_free, busy_until,
+            "stale ProcessInbox regressed cpu_free"
+        );
+        assert!(
+            !sim.nodes[0].inbox.is_empty(),
+            "stale ProcessInbox drained the recovered inbox early"
+        );
     }
 
     #[test]
