@@ -1,5 +1,6 @@
 //! Tuning knobs for a Clock-RSM replica.
 
+use rsm_core::checkpoint::CheckpointPolicy;
 use rsm_core::time::{Micros, MILLIS};
 
 /// Configuration of a Clock-RSM replica.
@@ -30,12 +31,17 @@ pub struct ClockRsmConfig {
     pub synod_retry_us: Micros,
     /// Retry interval for suspend collection and state transfer.
     pub reconfig_retry_us: Micros,
-    /// Write a state machine checkpoint to the log every this many
-    /// commits, so recovery restores the snapshot instead of replaying
-    /// the whole log (Section V-B). `None` disables checkpointing.
+    /// Checkpoint policy (shared subsystem, `rsm_core::checkpoint`):
+    /// write a state machine checkpoint to the log every N commits / M
+    /// bytes so recovery restores the snapshot instead of replaying the
+    /// whole log (Section V-B), optionally compacting the log below the
+    /// checkpoint watermark. Compaction is honoured only while the
+    /// prepared-command history index is not required (failure detection
+    /// off): reconfiguration state transfer rebuilds that index from the
+    /// log, so truncating it would starve `SUSPENDOK`/`RETRIEVECMDS`.
     /// Requires a driver with snapshot support (both the simulator and
     /// the threaded runtime provide it).
-    pub checkpoint_every: Option<u64>,
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for ClockRsmConfig {
@@ -45,7 +51,7 @@ impl Default for ClockRsmConfig {
             fd_timeout_us: None,
             synod_retry_us: 200 * MILLIS,
             reconfig_retry_us: 200 * MILLIS,
-            checkpoint_every: None,
+            checkpoint: CheckpointPolicy::DISABLED,
         }
     }
 }
@@ -87,14 +93,21 @@ impl ClockRsmConfig {
         self
     }
 
-    /// Enables checkpointing every `n` commits (`None` disables).
+    /// Enables checkpointing every `n` commits (`None` disables), without
+    /// a byte trigger or compaction. Sugar over
+    /// [`with_checkpoint`](ClockRsmConfig::with_checkpoint).
     ///
     /// # Panics
     ///
     /// Panics if `n` is `Some(0)`.
     pub fn with_checkpoint_every(mut self, n: Option<u64>) -> Self {
-        assert!(n != Some(0), "checkpoint interval must be positive");
-        self.checkpoint_every = n;
+        self.checkpoint = self.checkpoint.with_every(n);
+        self
+    }
+
+    /// Sets the full checkpoint policy (count/byte triggers, compaction).
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
         self
     }
 }

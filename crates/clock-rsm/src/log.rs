@@ -1,5 +1,6 @@
 //! Clock-RSM stable log records.
 
+use rsm_core::checkpoint::Checkpoint;
 use rsm_core::command::Command;
 use rsm_core::config::Epoch;
 use rsm_core::id::ReplicaId;
@@ -39,18 +40,11 @@ pub enum LogRec {
     },
     /// A state machine checkpoint (Section V-B: "Checkpointing can be
     /// used to avoid replaying the whole log and speed up the recovery
-    /// process"). Recovery restores `state` and resumes the scan after
-    /// this record instead of replaying from the beginning.
-    Checkpoint {
-        /// Every command with a timestamp ≤ `ts` is reflected in `state`.
-        ts: Timestamp,
-        /// The epoch at checkpoint time.
-        epoch: Epoch,
-        /// The configuration at checkpoint time.
-        config: Vec<ReplicaId>,
-        /// Canonical state machine snapshot.
-        state: bytes::Bytes,
-    },
+    /// process"), in the shared [`rsm_core::checkpoint`] shape. The
+    /// applied watermark is **inclusive**: every command with a timestamp
+    /// ≤ `applied` is reflected in the snapshot. Recovery restores the
+    /// snapshot and skips re-executing everything at or below it.
+    Checkpoint(Checkpoint<Timestamp>),
 }
 
 impl LogRec {
@@ -58,7 +52,7 @@ impl LogRec {
     pub fn ts(&self) -> Option<Timestamp> {
         match self {
             LogRec::Prepare { ts, .. } | LogRec::Commit { ts } => Some(*ts),
-            LogRec::Epoch { .. } | LogRec::Checkpoint { .. } => None,
+            LogRec::Epoch { .. } | LogRec::Checkpoint(_) => None,
         }
     }
 

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use rsm_core::batch::Batch;
+use rsm_core::checkpoint::{Checkpoint, Checkpointer};
 use rsm_core::command::{Command, Committed};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
@@ -130,8 +131,8 @@ pub struct ClockRsm {
 
     // ------ counters (observability) ------
     pub(crate) committed_count: u64,
-    /// Commits since the last checkpoint record (Section V-B).
-    pub(crate) commits_since_checkpoint: u64,
+    /// Shared checkpoint scheduler (Section V-B; `rsm_core::checkpoint`).
+    pub(crate) checkpointer: Checkpointer,
 }
 
 impl ClockRsm {
@@ -174,7 +175,7 @@ impl ClockRsm {
             history: BTreeMap::new(),
             last_heard: vec![0; n],
             committed_count: 0,
-            commits_since_checkpoint: 0,
+            checkpointer: Checkpointer::new(cfg.checkpoint),
             membership,
         }
     }
@@ -429,7 +430,7 @@ impl ClockRsm {
             debug_assert!(ts > self.last_committed, "commits must be ts-ordered");
             self.last_committed = ts;
             self.committed_count += 1;
-            self.commits_since_checkpoint += 1;
+            self.checkpointer.note_commit(cmd.payload.len());
             ctx.commit(Committed {
                 cmd,
                 origin,
@@ -439,25 +440,41 @@ impl ClockRsm {
         }
     }
 
-    /// Writes a checkpoint record when the configured commit interval has
-    /// elapsed and the driver supports state machine snapshots.
+    /// Writes a checkpoint record when the policy says one is due and the
+    /// driver supports state machine snapshots. With compaction enabled
+    /// (and the prepared-command history index not required — see
+    /// [`ClockRsmConfig::checkpoint`]), the stable log is rewritten to the
+    /// checkpoint plus the records still live above its watermark — the
+    /// pending (uncommitted) prepares; the epoch and configuration travel
+    /// inside the checkpoint itself.
     pub(crate) fn maybe_checkpoint(&mut self, ctx: &mut dyn Context<Self>) {
-        let Some(every) = self.cfg.checkpoint_every else {
-            return;
-        };
-        if self.commits_since_checkpoint < every {
+        if !self.checkpointer.due() {
             return;
         }
         let Some(state) = ctx.sm_snapshot() else {
             return; // driver without snapshot support: replay-only recovery
         };
-        self.commits_since_checkpoint = 0;
-        ctx.log_append(LogRec::Checkpoint {
-            ts: self.last_committed,
+        self.checkpointer.taken();
+        let cp = Checkpoint {
+            applied: self.last_committed,
             epoch: self.epoch(),
             config: self.membership.config().to_vec(),
-            state,
-        });
+            snapshot: state,
+        };
+        if self.checkpointer.policy().compact && !self.keeps_history() {
+            let mut recs: Vec<LogRec> = Vec::with_capacity(1 + self.pending.len());
+            recs.push(LogRec::Checkpoint(cp));
+            for (&ts, (cmd, origin)) in &self.pending {
+                recs.push(LogRec::Prepare {
+                    ts,
+                    origin: *origin,
+                    cmd: cmd.clone(),
+                });
+            }
+            ctx.log_rewrite(recs);
+        } else {
+            ctx.log_append(LogRec::Checkpoint(cp));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -706,13 +723,22 @@ impl Protocol for ClockRsm {
         // Checkpoint fast path (Section V-B): restore the most recent
         // snapshot and skip re-executing everything at or below its
         // timestamp. Falls back to a full replay when the driver cannot
-        // restore snapshots.
+        // restore snapshots (sound only while the log is uncompacted —
+        // compaction requires install support, which both in-tree
+        // drivers provide).
         let mut base_ts = Timestamp::ZERO;
         for rec in log.iter().rev() {
-            if let LogRec::Checkpoint { ts, state, .. } = rec {
-                if ctx.sm_install(state.clone()) {
-                    base_ts = *ts;
-                    self.last_committed = *ts;
+            if let LogRec::Checkpoint(cp) = rec {
+                if ctx.sm_install(cp.snapshot.clone()) {
+                    base_ts = cp.applied;
+                    self.last_committed = cp.applied;
+                    // A compacted log may hold no Epoch records below the
+                    // checkpoint; the checkpoint itself pins the
+                    // membership it was taken in.
+                    if cp.epoch > self.epoch() {
+                        self.membership.install(cp.epoch, cp.config.clone());
+                        self.reconfig.forget_instances_up_to(cp.epoch);
+                    }
                 }
                 break;
             }
@@ -748,15 +774,22 @@ impl Protocol for ClockRsm {
                     }
                 }
                 LogRec::Epoch { epoch, config } => {
-                    self.membership.install(*epoch, config.clone());
-                    self.reconfig.forget_instances_up_to(*epoch);
+                    if *epoch > self.epoch() {
+                        self.membership.install(*epoch, config.clone());
+                        self.reconfig.forget_instances_up_to(*epoch);
+                    }
                 }
-                LogRec::Checkpoint { .. } => {}
+                LogRec::Checkpoint(_) => {}
             }
         }
         // Never reuse timestamps at or below anything we logged before the
-        // crash: peers hold our old promises.
-        self.send_floor = self.send_floor.max(max_ts.micros());
+        // crash: peers hold our old promises. A compacted log may have
+        // dropped our own prepares, but the checkpoint watermark bounds
+        // them: nothing we sent before the crash can exceed both.
+        self.send_floor = self
+            .send_floor
+            .max(max_ts.micros())
+            .max(self.last_committed.micros());
         // Tail PREPAREs without commit marks are left to the rejoin
         // reconfiguration: any of them that reached a majority will be in
         // the decision (paper, Claim 3); the rest are discarded.

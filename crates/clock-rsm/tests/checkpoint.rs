@@ -4,6 +4,7 @@
 use bytes::Bytes;
 use clock_rsm::{ClockRsm, ClockRsmConfig, LogRec, RsmMsg};
 use rsm_core::batch::Batch;
+use rsm_core::checkpoint::CheckpointPolicy;
 use rsm_core::command::{Command, CommandId, Committed};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::{ClientId, ReplicaId};
@@ -92,6 +93,16 @@ fn replica(checkpoint_every: Option<u64>) -> ClockRsm {
     )
 }
 
+fn replica_with(policy: CheckpointPolicy) -> ClockRsm {
+    ClockRsm::new(
+        r(2),
+        Membership::uniform(3),
+        ClockRsmConfig::default()
+            .with_delta_us(None)
+            .with_checkpoint(policy),
+    )
+}
+
 /// Drives `count` full commits through a replica by hand.
 fn commit_n(p: &mut ClockRsm, ctx: &mut CtxWithSm, count: u64) {
     for seq in 1..=count {
@@ -136,12 +147,58 @@ fn checkpoints_are_written_at_the_interval() {
         "7 commits at interval 3 -> 2 checkpoints"
     );
     match checkpoints[1] {
-        LogRec::Checkpoint { ts, state, .. } => {
-            assert_eq!(ts.micros(), 60_000, "second checkpoint covers commit 6");
-            assert_eq!(state.len(), 6 * 8);
+        LogRec::Checkpoint(cp) => {
+            assert_eq!(
+                cp.applied.micros(),
+                60_000,
+                "second checkpoint covers commit 6"
+            );
+            assert_eq!(cp.snapshot.len(), 6 * 8);
         }
         _ => unreachable!(),
     }
+}
+
+#[test]
+fn byte_budget_triggers_checkpoints_before_the_count_interval() {
+    // 1-byte commands, a 2-byte budget and a distant count interval: the
+    // byte trigger must fire every two commits.
+    let mut p = replica_with(CheckpointPolicy::every(1_000_000).with_every_bytes(Some(2)));
+    let mut ctx = CtxWithSm::new(true);
+    commit_n(&mut p, &mut ctx, 6);
+    let checkpoints = ctx
+        .log
+        .iter()
+        .filter(|l| matches!(l, LogRec::Checkpoint(_)))
+        .count();
+    assert_eq!(checkpoints, 3, "6 one-byte commits over a 2-byte budget");
+}
+
+#[test]
+fn compaction_truncates_the_log_below_the_watermark() {
+    let mut p = replica_with(CheckpointPolicy::every(3).with_compaction(true));
+    let mut ctx = CtxWithSm::new(true);
+    commit_n(&mut p, &mut ctx, 7);
+    // The last compaction ran at commit 6: the log holds that checkpoint
+    // plus only the records above its watermark (commit 7's pair).
+    let below_watermark = ctx
+        .log
+        .iter()
+        .filter_map(LogRec::ts)
+        .filter(|ts| ts.micros() <= 60_000)
+        .count();
+    assert_eq!(below_watermark, 0, "records below the watermark survive");
+    assert!(
+        ctx.log.len() <= 4,
+        "log must stay bounded, got {} records",
+        ctx.log.len()
+    );
+    // Recovery from the compacted log reproduces the full state.
+    let mut p2 = replica_with(CheckpointPolicy::every(3).with_compaction(true));
+    let mut ctx2 = CtxWithSm::new(true);
+    p2.on_recover(&ctx.log.clone(), &mut ctx2);
+    assert_eq!(ctx2.executed, vec![1, 2, 3, 4, 5, 6, 7]);
+    assert_eq!(p2.last_committed_ts().micros(), 70_000);
 }
 
 #[test]

@@ -135,8 +135,12 @@ impl WireSize for Batch {
 /// Drivers flush **opportunistically, never waiting intentionally** (the
 /// paper's own batching discipline): whatever requests are queued when the
 /// replica gets scheduled form the next batch, capped at
-/// [`max_batch`](BatchPolicy::max_batch). `max_batch == 1` disables
-/// batching and reproduces the per-command protocol exactly.
+/// [`max_batch`](BatchPolicy::max_batch) commands *and* at
+/// [`max_bytes`](BatchPolicy::max_bytes) of accumulated payload — a batch
+/// of kilobyte commands flushes on the byte budget long before the count
+/// cap, so one wire message never balloons. A batch always carries at
+/// least one command, however large. `max_batch == 1` disables batching
+/// and reproduces the per-command protocol exactly.
 ///
 /// # Examples
 ///
@@ -144,25 +148,58 @@ impl WireSize for Batch {
 /// use rsm_core::BatchPolicy;
 /// assert_eq!(BatchPolicy::max(8).max_batch, 8);
 /// assert_eq!(BatchPolicy::DISABLED.max_batch, 1);
+/// let p = BatchPolicy::max(64).with_max_bytes(4 * 1024);
+/// assert!(!p.fits(3, 4 * 1024)); // byte budget reached: flush
+/// assert!(p.fits(3, 100));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Hard cap on commands per batch.
     pub max_batch: usize,
+    /// Budget on accumulated payload bytes per batch: once a batch
+    /// reaches it, the batch flushes even if `max_batch` is not. The
+    /// first command of a batch is always admitted regardless.
+    pub max_bytes: usize,
 }
 
 impl BatchPolicy {
     /// Batching off: every command travels alone.
-    pub const DISABLED: BatchPolicy = BatchPolicy { max_batch: 1 };
+    pub const DISABLED: BatchPolicy = BatchPolicy {
+        max_batch: 1,
+        max_bytes: usize::MAX,
+    };
 
-    /// A policy flushing at most `max_batch` commands per batch.
+    /// A policy flushing at most `max_batch` commands per batch, with no
+    /// byte budget.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch` is zero.
     pub fn max(max_batch: usize) -> Self {
         assert!(max_batch > 0, "max_batch must be at least 1");
-        BatchPolicy { max_batch }
+        BatchPolicy {
+            max_batch,
+            max_bytes: usize::MAX,
+        }
+    }
+
+    /// Adds a payload byte budget to the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bytes` is zero (a batch always carries at least one
+    /// command; a zero budget is a contradiction, not "no batching").
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        assert!(max_bytes > 0, "max_bytes must be at least 1");
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Whether a batch currently holding `len` commands and
+    /// `payload_bytes` of payload may admit another command. The first
+    /// command (`len == 0`) is always admitted.
+    pub fn fits(&self, len: usize, payload_bytes: usize) -> bool {
+        len == 0 || (len < self.max_batch && payload_bytes < self.max_bytes)
     }
 }
 
@@ -213,11 +250,33 @@ mod tests {
     fn policy_defaults_to_disabled() {
         assert_eq!(BatchPolicy::default(), BatchPolicy::DISABLED);
         assert_eq!(BatchPolicy::max(16).max_batch, 16);
+        assert_eq!(BatchPolicy::max(16).max_bytes, usize::MAX);
     }
 
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_cap_rejected() {
         let _ = BatchPolicy::max(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_byte_budget_rejected() {
+        let _ = BatchPolicy::max(8).with_max_bytes(0);
+    }
+
+    #[test]
+    fn byte_budget_flushes_before_the_count_cap() {
+        // Kilobyte payloads against a 2 KiB budget: the third command
+        // must start a new batch even though max_batch is far away.
+        let p = BatchPolicy::max(64).with_max_bytes(2 * 1024);
+        assert!(p.fits(0, 0), "first command always admitted");
+        assert!(p.fits(1, 1024));
+        assert!(!p.fits(2, 2 * 1024), "budget reached: flush");
+        // A single oversized command still rides alone in its own batch.
+        assert!(p.fits(0, 0));
+        assert!(!p.fits(1, 8 * 1024));
+        // Count cap still applies when payloads are tiny.
+        assert!(!p.fits(64, 64));
     }
 }

@@ -27,12 +27,26 @@
 //!
 //! Every protocol in the workspace replicates whole [`Batch`]es of client
 //! commands: drivers coalesce queued requests (up to
-//! [`BatchPolicy::max_batch`], never waiting intentionally) and deliver
-//! them via [`Protocol::on_client_batch`]; protocols bind each batch to a
+//! [`BatchPolicy::max_batch`] commands and [`BatchPolicy::max_bytes`] of
+//! payload, never waiting intentionally) and deliver them via
+//! [`Protocol::on_client_batch`]; protocols bind each batch to a
 //! contiguous run of ordering coordinates and acknowledge it with one
 //! cumulative watermark message. `BatchPolicy::DISABLED` (the default
 //! everywhere) reproduces per-command behaviour exactly — batching is
 //! never observable in the committed sequence, only in throughput.
+//!
+//! ## Checkpointing & state transfer
+//!
+//! The [`checkpoint`] module (Section V-B of the paper) is shared by all
+//! protocols: a [`CheckpointPolicy`] schedules periodic state machine
+//! snapshots (every N commands / M bytes), optionally compacting the
+//! stable log below the checkpoint watermark, and the
+//! [`StateTransferRequest`]/[`StateTransferReply`] wire shapes let a
+//! recovered replica install a peer's checkpoint when nothing can
+//! retransmit what it missed — turning recovery from "sound only if the
+//! outage was short" into "sound for any outage length" while bounding
+//! per-replica memory. See the module docs for the watermark and epoch
+//! invariants.
 //!
 //! [Clock-RSM]: https://doi.org/10.1109/DSN.2014.42
 //!
@@ -54,6 +68,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod command;
 pub mod config;
 pub mod error;
@@ -65,6 +80,9 @@ pub mod time;
 pub mod wire;
 
 pub use batch::{Batch, BatchPolicy};
+pub use checkpoint::{
+    Checkpoint, CheckpointPolicy, Checkpointer, StateTransferReply, StateTransferRequest,
+};
 pub use command::{Command, CommandId, Committed, Reply};
 pub use config::{Epoch, Membership};
 pub use error::{ProtocolError, Result};

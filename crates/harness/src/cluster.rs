@@ -1,6 +1,7 @@
 //! Protocol selection for experiments.
 
 use clock_rsm::ClockRsmConfig;
+use mencius::MAX_OWN_HISTORY;
 use rsm_core::id::ReplicaId;
 
 /// Which replication protocol an experiment runs, with its parameters.
@@ -30,7 +31,13 @@ pub enum ProtocolChoice {
         leader: ReplicaId,
     },
     /// Mencius with broadcast acknowledgements.
-    MenciusBcast,
+    MenciusBcast {
+        /// Own-proposal retention cap for gap retransmission (defaults
+        /// to [`mencius::MAX_OWN_HISTORY`]); the long-outage scenarios
+        /// shrink it so a short simulated outage exercises the
+        /// retention-exceeded checkpoint-transfer path.
+        history_cap: usize,
+    },
 }
 
 impl ProtocolChoice {
@@ -63,7 +70,14 @@ impl ProtocolChoice {
 
     /// Mencius-bcast.
     pub fn mencius() -> Self {
-        ProtocolChoice::MenciusBcast
+        ProtocolChoice::MenciusBcast {
+            history_cap: MAX_OWN_HISTORY,
+        }
+    }
+
+    /// Mencius-bcast with a custom own-proposal retention cap.
+    pub fn mencius_with_history_cap(history_cap: usize) -> Self {
+        ProtocolChoice::MenciusBcast { history_cap }
     }
 
     /// Display name matching the paper's figure legends.
@@ -72,7 +86,7 @@ impl ProtocolChoice {
             ProtocolChoice::ClockRsm { .. } => "Clock-RSM",
             ProtocolChoice::Paxos { .. } => "Paxos",
             ProtocolChoice::PaxosBcast { .. } => "Paxos-bcast",
-            ProtocolChoice::MenciusBcast => "Mencius-bcast",
+            ProtocolChoice::MenciusBcast { .. } => "Mencius-bcast",
         }
     }
 }

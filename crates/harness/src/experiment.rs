@@ -6,6 +6,7 @@ use kvstore::KvStore;
 use mencius::MenciusBcast;
 use paxos::{MultiPaxos, PaxosVariant};
 use rsm_core::batch::BatchPolicy;
+use rsm_core::checkpoint::CheckpointPolicy;
 use rsm_core::config::Membership;
 use rsm_core::id::ReplicaId;
 use rsm_core::matrix::LatencyMatrix;
@@ -46,8 +47,16 @@ pub struct ExperimentConfig {
     /// CPU cost model (throughput experiments only).
     pub cpu: Option<CpuModel>,
     /// Request-coalescing policy: queued client requests are handed to
-    /// the protocol as batches of up to `max_batch` commands.
+    /// the protocol as batches of up to `max_batch` commands and
+    /// `max_bytes` of payload.
     pub batch: BatchPolicy,
+    /// Checkpoint policy applied to every replica (shared subsystem,
+    /// `rsm_core::checkpoint`): periodic snapshots, optional log
+    /// compaction, and — for recovered replicas facing holes nothing
+    /// retransmits — peer-to-peer checkpoint transfer. When enabled it
+    /// overrides any protocol-level policy carried by the
+    /// `ProtocolChoice`.
+    pub checkpoint: CheckpointPolicy,
     /// Record per-operation intervals and run the correctness checkers.
     pub record_ops: bool,
     /// Scripted faults applied at absolute virtual times (Clock-RSM only;
@@ -76,6 +85,7 @@ impl ExperimentConfig {
             duration_us: 20_000 * MILLIS,
             cpu: None,
             batch: BatchPolicy::DISABLED,
+            checkpoint: CheckpointPolicy::DISABLED,
             record_ops: true,
             faults: Vec::new(),
             client_retry_us: None,
@@ -148,6 +158,24 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the checkpoint policy applied to every replica.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Scripts a long outage: `replica` crashes at `down_at` and
+    /// recovers at `up_at` (virtual µs). Combined with a checkpoint
+    /// policy and a small Mencius history cap, this is the scenario
+    /// where the cluster commits past the retransmission horizon while
+    /// the replica is down, so rejoining requires checkpoint transfer.
+    pub fn long_outage(self, replica: u16, down_at: Micros, up_at: Micros) -> Self {
+        assert!(down_at < up_at, "outage must end after it begins");
+        let r = ReplicaId::new(replica);
+        self.fault(down_at, Fault::Crash(r))
+            .fault(up_at, Fault::Recover(r))
+    }
+
     /// Enables or disables operation recording / correctness checking.
     pub fn record_ops(mut self, on: bool) -> Self {
         self.record_ops = on;
@@ -201,6 +229,10 @@ pub struct ExperimentResult {
     /// recording is on. Lets tests assert liveness inside specific
     /// windows (e.g. while a crashed replica is being reconfigured out).
     pub commit_times: Vec<Vec<Micros>>,
+    /// Per-replica stable log lengths at the end of the run. With
+    /// checkpoint compaction on, these stay bounded however many
+    /// commands commit — the memory-bound claim of Section V-B.
+    pub log_lens: Vec<usize>,
 }
 
 impl ExperimentResult {
@@ -222,19 +254,31 @@ impl ExperimentResult {
 /// Runs a latency experiment for the chosen protocol.
 pub fn run_latency(choice: ProtocolChoice, cfg: &ExperimentConfig) -> ExperimentResult {
     let n = cfg.n() as u16;
+    let checkpoint = cfg.checkpoint;
     match choice {
         ProtocolChoice::ClockRsm { cfg: rcfg } => run_generic(cfg, "Clock-RSM", move |id| {
+            let rcfg = if checkpoint.enabled() {
+                rcfg.with_checkpoint(checkpoint)
+            } else {
+                rcfg
+            };
             ClockRsm::new(id, Membership::uniform(n), rcfg)
         }),
         ProtocolChoice::Paxos { leader } => run_generic(cfg, "Paxos", move |id| {
             MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Plain)
+                .with_checkpoints(checkpoint)
         }),
         ProtocolChoice::PaxosBcast { leader } => run_generic(cfg, "Paxos-bcast", move |id| {
             MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Bcast)
+                .with_checkpoints(checkpoint)
         }),
-        ProtocolChoice::MenciusBcast => run_generic(cfg, "Mencius-bcast", move |id| {
-            MenciusBcast::new(id, Membership::uniform(n))
-        }),
+        ProtocolChoice::MenciusBcast { history_cap } => {
+            run_generic(cfg, "Mencius-bcast", move |id| {
+                MenciusBcast::new(id, Membership::uniform(n))
+                    .with_checkpoints(checkpoint)
+                    .with_history_cap(history_cap)
+            })
+        }
     }
 }
 
@@ -304,6 +348,7 @@ where
 
     let replicas: Vec<ReplicaId> = (0..n as u16).map(ReplicaId::new).collect();
     let commit_counts: Vec<u64> = replicas.iter().map(|&r| sim.commit_count(r)).collect();
+    let log_lens: Vec<usize> = replicas.iter().map(|&r| sim.log(r).len()).collect();
 
     // Snapshot agreement over every replica that is up at the end: the
     // run quiesces (clients stop at the window's end, then 2 s of slack),
@@ -343,6 +388,7 @@ where
         snapshots_agree,
         throughput_kops,
         commit_times,
+        log_lens,
     }
 }
 

@@ -6,6 +6,7 @@
 //! per-owner slot watermarks, so one ack covers the batch.
 
 use rsm_core::batch::Batch;
+use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
 use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
@@ -59,6 +60,16 @@ pub enum MenciusMsg {
         /// The retransmitted proposals, as `(slot, command)` pairs.
         cmds: Vec<(u64, Command)>,
     },
+    /// A replica stalled at a hole whose owner can no longer answer gap
+    /// requests (its retained history was pruned past the hole) asks a
+    /// peer for a checkpoint covering the gap (shared subsystem,
+    /// `rsm_core::checkpoint`). The watermark is the requester's
+    /// next-to-resolve slot.
+    StateRequest(StateTransferRequest<u64>),
+    /// A peer's checkpoint: its state through every slot below the
+    /// carried (exclusive) watermark. The requester installs it and
+    /// resumes resolution from the watermark.
+    StateReply(StateTransferReply<u64>),
 }
 
 impl WireSize for MenciusMsg {
@@ -70,6 +81,8 @@ impl WireSize for MenciusMsg {
             MenciusMsg::GapFill { cmds, .. } => {
                 MSG_HEADER_BYTES + 16 + cmds.iter().map(|(_, c)| 8 + c.wire_size()).sum::<usize>()
             }
+            MenciusMsg::StateRequest(req) => req.wire_size(),
+            MenciusMsg::StateReply(reply) => reply.wire_size(),
         }
     }
 }

@@ -9,8 +9,11 @@
 use std::collections::BTreeMap;
 
 use rsm_core::batch::Batch;
+use rsm_core::checkpoint::{
+    Checkpoint, CheckpointPolicy, Checkpointer, StateTransferReply, StateTransferRequest,
+};
 use rsm_core::command::{Command, Committed};
-use rsm_core::config::Membership;
+use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::time::Micros;
@@ -39,15 +42,32 @@ pub enum MenciusLogRec {
         /// Slot number.
         slot: u64,
     },
+    /// A state machine checkpoint (shared subsystem,
+    /// `rsm_core::checkpoint`): the snapshot reflects every slot
+    /// **below** the (exclusive) applied watermark. `history_floor`
+    /// persists the own-proposal retention floor, so a recovered replica
+    /// never confirms emptiness of a slot whose proposal a compaction
+    /// dropped from the log.
+    Checkpoint {
+        /// The checkpoint (slot watermark, epoch/config, snapshot).
+        cp: Checkpoint<u64>,
+        /// The own-history retention floor at checkpoint time.
+        history_floor: u64,
+    },
 }
 
-/// Cap on retained own proposals for gap retransmission (see
+/// Default cap on retained own proposals for gap retransmission (see
 /// `MenciusBcast::own_history`): beyond this the oldest entries are
 /// dropped and the retention floor advances, so a peer that stayed down
-/// long enough to need them stalls rather than receiving a wrong
-/// emptiness confirmation. Checkpoint-based state transfer (ROADMAP) is
-/// the long-outage answer.
+/// long enough to need them cannot be given a wrong emptiness
+/// confirmation — it fetches a checkpoint from a peer instead
+/// ([`MenciusMsg::StateRequest`]). Override per replica with
+/// [`MenciusBcast::with_history_cap`].
 pub const MAX_OWN_HISTORY: usize = 4096;
+
+/// How long an unanswered [`MenciusMsg::StateRequest`] stays deduplicated
+/// before it may be re-sent (same rationale as [`GAP_RETRY_US`]).
+const TRANSFER_RETRY_US: Micros = 500_000;
 
 /// How long an unanswered [`MenciusMsg::GapRequest`] stays deduplicated
 /// before it may be re-sent. Comfortably above a WAN round trip, so a
@@ -125,11 +145,23 @@ pub struct MenciusBcast {
     /// Highest retention floor each owner has echoed in a [`MenciusMsg::GapFill`]:
     /// the owner's cap has dropped its proposals below this, so gap
     /// requests starting under it can never be answered and are not
-    /// re-sent — the hole stalls quietly (safety over liveness) instead
-    /// of ping-ponging request/fill rounds forever.
+    /// re-sent — the hole resolves through checkpoint transfer instead
+    /// ([`MenciusMsg::StateRequest`]).
     gap_unanswerable: Vec<u64>,
     /// Next slot to execute or skip; all smaller slots are resolved.
     exec_cursor: u64,
+    /// Cap on `own_history` (defaults to [`MAX_OWN_HISTORY`]).
+    history_cap: usize,
+    /// Shared checkpoint scheduler (`rsm_core::checkpoint`).
+    checkpointer: Checkpointer,
+    /// When the last [`MenciusMsg::StateRequest`] left (rate limiter).
+    last_transfer_req: Option<Micros>,
+    /// Rotation cursor over the peers for state transfer requests: one
+    /// peer is asked per round (a snapshot is large; asking everyone
+    /// would make every peer serialize and ship one while the requester
+    /// installs exactly one), and an unhelpful or dead peer just means
+    /// the next retry asks the next one.
+    transfer_target: usize,
 }
 
 impl MenciusBcast {
@@ -157,8 +189,31 @@ impl MenciusBcast {
             gap_requested: vec![None; n as usize],
             gap_unanswerable: vec![0; n as usize],
             exec_cursor: 0,
+            history_cap: MAX_OWN_HISTORY,
+            checkpointer: Checkpointer::new(CheckpointPolicy::DISABLED),
+            last_transfer_req: None,
+            transfer_target: 0,
             membership,
         }
+    }
+
+    /// Enables periodic checkpoints (and, per the policy, log compaction)
+    /// for this replica.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpointer = Checkpointer::new(policy);
+        self
+    }
+
+    /// Overrides the own-proposal retention cap (tests and memory-tight
+    /// deployments; defaults to [`MAX_OWN_HISTORY`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_history_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "history cap must be positive");
+        self.history_cap = cap;
+        self
     }
 
     /// The owner (round-robin coordinator) of `slot`.
@@ -339,6 +394,7 @@ impl MenciusBcast {
                 let (cmd, origin) = self.slots.remove(&c).expect("checked above");
                 ctx.log_append(MenciusLogRec::Commit { slot: c });
                 self.exec_cursor = c + 1;
+                self.checkpointer.note_commit(cmd.payload.len());
                 ctx.commit(Committed {
                     cmd,
                     origin,
@@ -358,6 +414,14 @@ impl MenciusBcast {
                 // GapFill): the slot is a no-op.
                 ctx.log_append(MenciusLogRec::Skip { slot: c });
                 self.exec_cursor = c + 1;
+            } else if c < self.gap_unanswerable[o] {
+                // The owner's retention cap has dropped the range: no
+                // gap fill can ever answer. Only a peer's checkpoint —
+                // which reflects however the cluster resolved the slot —
+                // can cover the hole (this closes the permanent stall a
+                // long outage used to cause).
+                self.request_state_transfer(ctx);
+                break;
             } else {
                 // Post-crash hole: the floor rules out new proposals, but
                 // one may have been in flight and lost while we were
@@ -367,13 +431,168 @@ impl MenciusBcast {
                 break;
             }
         }
+        self.maybe_checkpoint(ctx);
     }
 
-    /// Enforces [`MAX_OWN_HISTORY`]: drops the oldest retained own
-    /// proposals and advances `history_floor` past them, so emptiness is
-    /// never confirmed for a slot whose command was dropped.
+    /// Writes a checkpoint when one is due and the driver supports
+    /// snapshots; with compaction, rewrites the log to the checkpoint,
+    /// the own proposals still retained for gap retransmission, and the
+    /// unresolved slots above the watermark.
+    fn maybe_checkpoint(&mut self, ctx: &mut dyn Context<Self>) {
+        if !self.checkpointer.due() {
+            return;
+        }
+        let Some(snapshot) = ctx.sm_snapshot() else {
+            return; // driver without snapshot support: replay-only recovery
+        };
+        self.checkpointer.taken();
+        let cp = Checkpoint {
+            applied: self.exec_cursor,
+            epoch: Epoch::ZERO,
+            config: self.membership.config().to_vec(),
+            snapshot,
+        };
+        if self.checkpointer.policy().compact {
+            self.compact_log(cp, ctx);
+        } else {
+            ctx.log_append(MenciusLogRec::Checkpoint {
+                cp,
+                history_floor: self.history_floor,
+            });
+        }
+    }
+
+    /// Rewrites the stable log to `cp` plus the records still live above
+    /// (or retained below) its watermark: own proposals kept for gap
+    /// retransmission — peers whose crash lost them in flight may still
+    /// ask — and the unresolved slots. The persisted `history_floor`
+    /// keeps emptiness confirmations sound across the truncation.
+    fn compact_log(&self, cp: Checkpoint<u64>, ctx: &mut dyn Context<Self>) {
+        let cursor = cp.applied;
+        let mut recs = Vec::with_capacity(1 + self.own_history.len() + self.slots.len());
+        recs.push(MenciusLogRec::Checkpoint {
+            cp,
+            history_floor: self.history_floor,
+        });
+        // Own proposals below the cursor (those at or above it are in
+        // `slots` and re-emitted there).
+        for (&slot, cmd) in self.own_history.range(..cursor) {
+            recs.push(MenciusLogRec::Accept {
+                slot,
+                cmd: cmd.clone(),
+                origin: self.id,
+            });
+        }
+        for (&slot, (cmd, origin)) in &self.slots {
+            recs.push(MenciusLogRec::Accept {
+                slot,
+                cmd: cmd.clone(),
+                origin: *origin,
+            });
+        }
+        ctx.log_rewrite(recs);
+    }
+
+    /// Asks the peers for a checkpoint covering our resolved prefix; see
+    /// `rsm_core::checkpoint` for the transfer invariants. Unlike the
+    /// Paxos trigger, no confirmation window is needed: the caller has a
+    /// clamped [`MenciusMsg::GapFill`] in hand proving the hole can
+    /// never resolve through retransmission.
+    fn request_state_transfer(&mut self, ctx: &mut dyn Context<Self>) {
+        let now = ctx.clock();
+        if let Some(at) = self.last_transfer_req {
+            if now.saturating_sub(at) < TRANSFER_RETRY_US {
+                return; // an exchange is (presumed) in flight
+            }
+        }
+        self.last_transfer_req = Some(now);
+        if let Some(to) = self.next_transfer_target() {
+            ctx.send(
+                to,
+                MenciusMsg::StateRequest(StateTransferRequest {
+                    have: self.exec_cursor,
+                }),
+            );
+        }
+    }
+
+    /// The next peer to ask for a checkpoint (round-robin over the
+    /// configuration, skipping self).
+    fn next_transfer_target(&mut self) -> Option<ReplicaId> {
+        let config = self.membership.config();
+        for _ in 0..config.len() {
+            let candidate = config[self.transfer_target % config.len()];
+            self.transfer_target = (self.transfer_target + 1) % config.len();
+            if candidate != self.id {
+                return Some(candidate);
+            }
+        }
+        None // single-replica configuration: no peer to ask
+    }
+
+    /// Serves a state transfer request with a fresh snapshot of our
+    /// resolved prefix.
+    fn on_state_request(&mut self, from: ReplicaId, have: u64, ctx: &mut dyn Context<Self>) {
+        if self.exec_cursor <= have {
+            return; // nothing the requester does not already have
+        }
+        let Some(snapshot) = ctx.sm_snapshot() else {
+            return; // cannot snapshot: let a peer that can answer
+        };
+        ctx.send(
+            from,
+            MenciusMsg::StateReply(StateTransferReply {
+                checkpoint: Checkpoint {
+                    applied: self.exec_cursor,
+                    epoch: Epoch::ZERO,
+                    config: self.membership.config().to_vec(),
+                    snapshot,
+                },
+            }),
+        );
+    }
+
+    /// Installs a transferred checkpoint: every slot below its watermark
+    /// resolved at the sender exactly as the cluster decided (commit or
+    /// skip), so the state machine jumps there and resolution resumes
+    /// from the watermark. Our own slots below it were all either
+    /// proposed by us or covered by a skip promise we made, so
+    /// `next_own_slot` already clears them — the `max` is a defensive
+    /// restatement of that invariant.
+    fn on_state_reply(&mut self, cp: Checkpoint<u64>, ctx: &mut dyn Context<Self>) {
+        if cp.applied <= self.exec_cursor {
+            return; // stale or duplicate reply
+        }
+        if !ctx.sm_install(cp.snapshot.clone()) {
+            return; // driver cannot install snapshots
+        }
+        self.last_transfer_req = None;
+        self.slots = self.slots.split_off(&cp.applied);
+        self.exec_cursor = cp.applied;
+        self.next_own_slot = self.next_own_slot.max(self.own_slot_after(cp.applied - 1));
+        self.floor[self.id.index()] = self.floor[self.id.index()].max(self.next_own_slot);
+        // Gap bookkeeping below the watermark is obsolete.
+        for g in self.gap_requested.iter_mut() {
+            if matches!(g, Some((f, _)) if *f < cp.applied) {
+                *g = None;
+            }
+        }
+        if self.checkpointer.policy().compact {
+            self.compact_log(cp, ctx);
+        } else {
+            ctx.log_append(MenciusLogRec::Checkpoint {
+                cp,
+                history_floor: self.history_floor,
+            });
+        }
+        self.try_execute(ctx);
+    }
+
+    /// Enforces the history cap: drops the oldest retained own proposals
+    /// and advances `history_floor` past them, so emptiness is never
+    /// confirmed for a slot whose command was dropped.
     fn cap_own_history(&mut self) {
-        while self.own_history.len() > MAX_OWN_HISTORY {
+        while self.own_history.len() > self.history_cap {
             let (dropped, _) = self.own_history.pop_first().expect("len checked");
             self.history_floor = self.history_floor.max(dropped + self.n);
         }
@@ -546,6 +765,8 @@ impl Protocol for MenciusBcast {
                 below,
                 cmds,
             } => self.on_gap_fill(from, from_slot, below, cmds, ctx),
+            MenciusMsg::StateRequest(req) => self.on_state_request(from, req.have, ctx),
+            MenciusMsg::StateReply(reply) => self.on_state_reply(reply.checkpoint, ctx),
         }
     }
 
@@ -561,20 +782,41 @@ impl Protocol for MenciusBcast {
             *synced = o == me;
         }
         self.resync_floor.fill(None);
-        // Rebuild the slot table, then re-execute the resolved prefix in
-        // slot order exactly as it was executed before the crash.
+        // Checkpoint fast path (shared subsystem): restore the newest
+        // durable checkpoint and resume resolution at its watermark
+        // instead of replaying from slot zero. Falls back to a full
+        // replay when the driver cannot install snapshots (sound only
+        // while the log is uncompacted). The persisted history floor
+        // survives the truncation: emptiness below it is never
+        // confirmed, whatever the rebuilt history happens to hold.
+        let mut base = 0u64;
+        for rec in log.iter().rev() {
+            if let MenciusLogRec::Checkpoint { cp, history_floor } = rec {
+                if ctx.sm_install(cp.snapshot.clone()) {
+                    base = cp.applied;
+                }
+                self.history_floor = *history_floor;
+                break;
+            }
+        }
+        self.exec_cursor = base;
+        // Rebuild the slot table above the base, then re-execute the
+        // resolved suffix in slot order exactly as before the crash.
         let mut resolved: BTreeMap<u64, Option<(Command, ReplicaId)>> = BTreeMap::new();
         for rec in log {
             match rec {
                 MenciusLogRec::Accept { slot, cmd, origin } => {
                     if *origin == self.id {
                         // Own proposals stay answerable for peers whose
-                        // crash may have lost them in flight.
+                        // crash may have lost them in flight — including
+                        // those below the checkpoint watermark.
                         self.own_history.insert(*slot, cmd.clone());
                     }
-                    self.slots.insert(*slot, (cmd.clone(), *origin));
+                    if *slot >= base {
+                        self.slots.insert(*slot, (cmd.clone(), *origin));
+                    }
                 }
-                MenciusLogRec::Commit { slot } => {
+                MenciusLogRec::Commit { slot } if *slot >= base => {
                     let cmd = self
                         .slots
                         .get(slot)
@@ -582,13 +824,17 @@ impl Protocol for MenciusBcast {
                         .expect("commit mark must follow its accept record");
                     resolved.insert(*slot, Some(cmd));
                 }
-                MenciusLogRec::Skip { slot } => {
+                MenciusLogRec::Skip { slot } if *slot >= base => {
                     resolved.insert(*slot, None);
                 }
+                MenciusLogRec::Commit { .. }
+                | MenciusLogRec::Skip { .. }
+                | MenciusLogRec::Checkpoint { .. } => {}
             }
         }
-        // The log holds every own proposal, so the rebuilt history is
-        // complete; re-apply the retention cap to bound memory.
+        // The log holds every own proposal the compactions have not
+        // folded below the persisted floor, so the rebuilt history is
+        // complete above it; re-apply the retention cap to bound memory.
         self.cap_own_history();
         while let Some(entry) = resolved.remove(&self.exec_cursor) {
             let c = self.exec_cursor;
@@ -635,6 +881,10 @@ mod tests {
         commits: Vec<Committed>,
         log: Vec<MenciusLogRec>,
         clock: Micros,
+        /// Executed command seqs — a trivial state machine for snapshot
+        /// tests; `snapshots` gates whether the driver supports them.
+        executed: Vec<u64>,
+        snapshots: bool,
     }
 
     impl TestCtx {
@@ -644,6 +894,15 @@ mod tests {
                 commits: Vec::new(),
                 log: Vec::new(),
                 clock: 0,
+                executed: Vec::new(),
+                snapshots: false,
+            }
+        }
+
+        fn with_snapshots() -> Self {
+            TestCtx {
+                snapshots: true,
+                ..TestCtx::new()
             }
         }
     }
@@ -663,9 +922,30 @@ mod tests {
             self.log = recs;
         }
         fn commit(&mut self, c: Committed) {
+            self.executed.push(c.cmd.id.seq);
             self.commits.push(c);
         }
         fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
+        fn sm_snapshot(&mut self) -> Option<Bytes> {
+            if !self.snapshots {
+                return None;
+            }
+            let mut buf = Vec::new();
+            for s in &self.executed {
+                buf.extend_from_slice(&s.to_be_bytes());
+            }
+            Some(Bytes::from(buf))
+        }
+        fn sm_install(&mut self, snapshot: Bytes) -> bool {
+            if !self.snapshots {
+                return false;
+            }
+            self.executed = snapshot
+                .chunks(8)
+                .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunks")))
+                .collect();
+            true
+        }
     }
 
     fn cmd(seq: u64) -> Command {
@@ -1156,6 +1436,131 @@ mod tests {
             before,
             "unanswerable range is not re-requested"
         );
+    }
+
+    #[test]
+    fn capped_out_hole_fetches_a_checkpoint_instead_of_stalling() {
+        // The ROADMAP's permanent-stall hole: r1 stays down while r0
+        // proposes past its retention cap. On rejoin, r0's clamped
+        // GapFill cannot confirm the early slots — previously a quiet
+        // forever-stall; now the hole resolves via checkpoint transfer.
+        let mut owner = MenciusBcast::new(r(0), Membership::uniform(3)).with_history_cap(4);
+        let mut octx = TestCtx::with_snapshots();
+        for s in 0..8 {
+            owner.on_client_request(cmd(s), &mut octx);
+        }
+        assert!(owner.history_floor > 0, "cap must have advanced the floor");
+        // Majority watermarks + skip promises resolve everything at the
+        // owner: its own 8 slots commit, everyone else's skip.
+        ack(&mut owner, &mut octx, r(1), 21, 22);
+        ack(&mut owner, &mut octx, r(2), 21, 23);
+        ack(&mut owner, &mut octx, r(0), 21, 24);
+        assert_eq!(owner.resolved(), 22, "owner resolved its whole prefix");
+
+        // r1 recovers from a long outage with an empty log and hears the
+        // owner's promise; the gap request comes back clamped.
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::with_snapshots();
+        m.on_recover(&[], &mut ctx);
+        ack(&mut m, &mut ctx, r(0), 21, 24);
+        let (from_slot, below) = ctx
+            .sends
+            .iter()
+            .find_map(|(to, msg)| match msg {
+                MenciusMsg::GapRequest { from_slot, below } if *to == r(0) => {
+                    Some((*from_slot, *below))
+                }
+                _ => None,
+            })
+            .expect("hole must first try a gap request");
+        octx.sends.clear();
+        owner.on_message(r(1), MenciusMsg::GapRequest { from_slot, below }, &mut octx);
+        let fill = octx
+            .sends
+            .iter()
+            .find_map(|(to, msg)| match (to, msg) {
+                (to, MenciusMsg::GapFill { .. }) if *to == r(1) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("owner answers with a clamped fill");
+        m.on_message(r(0), fill, &mut ctx);
+        // The clamped fill proves retransmission can never cover the
+        // hole: a state transfer request must leave for a peer (one per
+        // retry round — a snapshot is large, so peers are tried
+        // round-robin rather than all at once).
+        let reqs: Vec<ReplicaId> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, msg)| match msg {
+                MenciusMsg::StateRequest(_) => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reqs, vec![r(0)], "one transfer request, first peer");
+
+        // The owner serves its checkpoint; installing it converges r1 on
+        // the owner's exact state and unblocks resolution.
+        octx.sends.clear();
+        owner.on_message(
+            r(1),
+            MenciusMsg::StateRequest(StateTransferRequest { have: 0 }),
+            &mut octx,
+        );
+        let reply = octx
+            .sends
+            .iter()
+            .find_map(|(to, msg)| match (to, msg) {
+                (to, MenciusMsg::StateReply(_)) if *to == r(1) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("owner must serve a checkpoint");
+        m.on_message(r(0), reply, &mut ctx);
+        assert_eq!(m.resolved(), 22, "hole covered by the checkpoint");
+        assert_eq!(
+            ctx.executed, octx.executed,
+            "recovered replica reaches the owner's exact state"
+        );
+        // And it can keep proposing above everything resolved.
+        m.on_client_request(cmd(99), &mut ctx);
+        assert!(m.next_own_slot > 22);
+    }
+
+    #[test]
+    fn checkpoints_compact_the_log_and_recovery_restores_them() {
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3))
+            .with_checkpoints(CheckpointPolicy::every(2).with_compaction(true));
+        let mut ctx = TestCtx::with_snapshots();
+        for s in 0..6 {
+            m.on_client_request(cmd(s), &mut ctx);
+        }
+        ack(&mut m, &mut ctx, r(1), 15, 16);
+        ack(&mut m, &mut ctx, r(2), 15, 17);
+        ack(&mut m, &mut ctx, r(0), 15, 18);
+        assert_eq!(m.resolved(), 16, "all six own slots + skips resolved");
+        // Compaction keeps the log at the checkpoint + retained own
+        // proposals — far below the 6 accepts + 16 commit/skip marks a
+        // plain log would hold.
+        let checkpoints = ctx
+            .log
+            .iter()
+            .filter(|l| matches!(l, MenciusLogRec::Checkpoint { .. }))
+            .count();
+        assert_eq!(checkpoints, 1, "log holds exactly the newest checkpoint");
+        assert!(
+            ctx.log.len() <= 1 + 6,
+            "log must stay bounded, got {} records",
+            ctx.log.len()
+        );
+        // Recovery from the compacted log reproduces the full state.
+        let mut m2 = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx2 = TestCtx::with_snapshots();
+        m2.on_recover(&ctx.log.clone(), &mut ctx2);
+        assert_eq!(ctx2.executed, ctx.executed);
+        assert!(m2.resolved() >= 14, "cursor resumes at the watermark");
+        assert!(m2.next_own_slot >= m2.resolved(), "own slots never reused");
+        // Own proposals below the watermark stay answerable after the
+        // round trip (they are retained in the compacted log).
+        assert!(!m2.own_history.is_empty());
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod replica;
 pub mod synod;
 
 pub use msg::PaxosMsg;
-pub use replica::{MultiPaxos, PaxosVariant};
+pub use replica::{MultiPaxos, PaxosLogRec, PaxosVariant};
 pub use synod::{Ballot, SynodInstance, SynodMsg};

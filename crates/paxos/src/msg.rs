@@ -8,6 +8,7 @@
 //! instance space rather than per-instance messages.
 
 use rsm_core::batch::Batch;
+use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
 use rsm_core::id::ReplicaId;
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
 
@@ -49,6 +50,15 @@ pub enum PaxosMsg {
         /// Exclusive watermark: all instances `< up_to` are committed.
         up_to: u64,
     },
+    /// A replica stalled at a committed hole (the `ACCEPT`s were lost
+    /// while it was down) asks a peer for a checkpoint covering the gap
+    /// (shared subsystem, `rsm_core::checkpoint`). The watermark is the
+    /// requester's next-to-execute instance.
+    StateRequest(StateTransferRequest<u64>),
+    /// A peer's checkpoint: its state through every instance below the
+    /// carried (exclusive) watermark. The requester installs it and
+    /// resumes execution and acknowledgements from the watermark.
+    StateReply(StateTransferReply<u64>),
 }
 
 impl WireSize for PaxosMsg {
@@ -57,6 +67,8 @@ impl WireSize for PaxosMsg {
             PaxosMsg::Forward { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
             PaxosMsg::Accept { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
             PaxosMsg::Accepted { .. } | PaxosMsg::Commit { .. } => MSG_HEADER_BYTES,
+            PaxosMsg::StateRequest(req) => req.wire_size(),
+            PaxosMsg::StateReply(reply) => reply.wire_size(),
         }
     }
 }

@@ -10,12 +10,24 @@
 use std::collections::BTreeMap;
 
 use rsm_core::batch::Batch;
+use rsm_core::checkpoint::{
+    Checkpoint, CheckpointPolicy, Checkpointer, StateTransferReply, StateTransferRequest,
+};
 use rsm_core::command::{Command, Committed};
-use rsm_core::config::Membership;
+use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::time::Micros;
 
 use crate::msg::PaxosMsg;
+
+/// How long execution must sit at the *same* hole before a
+/// [`PaxosMsg::StateRequest`] leaves, and how long to wait before
+/// retrying an unanswered one. Comfortably above a WAN round trip, so a
+/// hole whose `ACCEPT` is merely in flight (commit watermarks can outrun
+/// accepts via faster relay paths) resolves itself and never triggers a
+/// transfer; a hole whose accepts were lost to a crash persists and does.
+const TRANSFER_RETRY_US: Micros = 500_000;
 
 /// Which phase-2b dissemination strategy to run (Section IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +56,13 @@ pub enum PaxosLogRec {
         /// Instance number.
         instance: u64,
     },
+    /// A state machine checkpoint (shared subsystem,
+    /// `rsm_core::checkpoint`): the snapshot reflects every instance
+    /// **below** the (exclusive) applied watermark. Recovery restores the
+    /// newest checkpoint and replays only the records above it; with
+    /// compaction the log is rewritten to the checkpoint plus the
+    /// still-pending accepts whenever one is written.
+    Checkpoint(Checkpoint<u64>),
 }
 
 /// A Multi-Paxos replica with a fixed, stable leader.
@@ -74,6 +93,19 @@ pub struct MultiPaxos {
     committed_next: u64,
     /// Next instance to execute (all below are executed).
     exec_cursor: u64,
+    /// Shared checkpoint scheduler (`rsm_core::checkpoint`).
+    checkpointer: Checkpointer,
+    /// The execution hole currently being watched and since when:
+    /// `(exec_cursor, first observed)`. A hole must persist for
+    /// [`TRANSFER_RETRY_US`] before a state transfer is requested, and
+    /// the same field paces the retries afterwards.
+    stalled_at: Option<(u64, Micros)>,
+    /// Rotation cursor over the peers for state transfer requests: one
+    /// peer is asked per round (a snapshot is large; asking everyone
+    /// would make every peer serialize and ship one while the requester
+    /// installs exactly one), and an unhelpful or dead peer just means
+    /// the next retry asks the next one.
+    transfer_target: usize,
 }
 
 impl MultiPaxos {
@@ -102,7 +134,17 @@ impl MultiPaxos {
             acked: vec![0; n],
             committed_next: 0,
             exec_cursor: 0,
+            checkpointer: Checkpointer::new(CheckpointPolicy::DISABLED),
+            stalled_at: None,
+            transfer_target: 0,
         }
+    }
+
+    /// Enables periodic checkpoints (and, per the policy, log compaction)
+    /// for this replica.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpointer = Checkpointer::new(policy);
+        self
     }
 
     /// The designated leader replica.
@@ -297,19 +339,184 @@ impl MultiPaxos {
     fn execute_ready(&mut self, log_marks: bool, ctx: &mut dyn Context<Self>) {
         while self.exec_cursor < self.committed_next {
             let Some((cmd, origin)) = self.instances.remove(&self.exec_cursor) else {
-                break; // command not yet known (recovering replica)
+                // Command not yet known: either it is still in flight, or
+                // its ACCEPT was lost while this replica was down — a
+                // committed hole nothing will ever retransmit. Only a
+                // peer's checkpoint can cover it (rate-limited; a no-op
+                // when the run is merely in flight, because peers answer
+                // with watermarks above ours and installs below ours are
+                // ignored).
+                self.request_state_transfer(ctx);
+                break;
             };
             let instance = self.exec_cursor;
             self.exec_cursor += 1;
             if log_marks {
                 ctx.log_append(PaxosLogRec::Commit { instance });
             }
+            self.checkpointer.note_commit(cmd.payload.len());
             ctx.commit(Committed {
                 cmd,
                 origin,
                 order_hint: instance,
             });
         }
+        if log_marks {
+            self.maybe_checkpoint(ctx);
+        }
+    }
+
+    /// Writes a checkpoint when one is due and the driver supports
+    /// snapshots; with compaction, rewrites the log to the checkpoint
+    /// plus the still-pending accepts (everything below the watermark is
+    /// inside the snapshot, everything above is in `instances`).
+    fn maybe_checkpoint(&mut self, ctx: &mut dyn Context<Self>) {
+        if !self.checkpointer.due() {
+            return;
+        }
+        let Some(snapshot) = ctx.sm_snapshot() else {
+            return; // driver without snapshot support: replay-only recovery
+        };
+        self.checkpointer.taken();
+        let cp = Checkpoint {
+            applied: self.exec_cursor,
+            epoch: Epoch::ZERO,
+            config: self.membership.config().to_vec(),
+            snapshot,
+        };
+        if self.checkpointer.policy().compact {
+            self.compact_log(cp, ctx);
+        } else {
+            ctx.log_append(PaxosLogRec::Checkpoint(cp));
+        }
+    }
+
+    /// Rewrites the stable log to `cp` plus the accepts still above its
+    /// watermark — the log stays bounded by the checkpoint interval plus
+    /// the replication pipeline depth.
+    fn compact_log(&self, cp: Checkpoint<u64>, ctx: &mut dyn Context<Self>) {
+        let mut recs = Vec::with_capacity(1 + self.instances.len());
+        recs.push(PaxosLogRec::Checkpoint(cp));
+        for (&instance, (cmd, origin)) in &self.instances {
+            recs.push(PaxosLogRec::Accept {
+                instance,
+                cmd: cmd.clone(),
+                origin: *origin,
+            });
+        }
+        ctx.log_rewrite(recs);
+    }
+
+    /// Asks the peers for a checkpoint covering our executed prefix once
+    /// the hole at `exec_cursor` has persisted for [`TRANSFER_RETRY_US`]
+    /// (see `rsm_core::checkpoint` for the transfer invariants). The
+    /// path is traffic-driven, like Mencius gap requests: every
+    /// `execute_ready` pass that still faces the hole re-checks the
+    /// clock, so confirmation and retries ride on ordinary replication
+    /// traffic.
+    fn request_state_transfer(&mut self, ctx: &mut dyn Context<Self>) {
+        let now = ctx.clock();
+        match self.stalled_at {
+            Some((c, since)) if c == self.exec_cursor => {
+                if now.saturating_sub(since) < TRANSFER_RETRY_US {
+                    return; // not yet confirmed, or an exchange in flight
+                }
+            }
+            _ => {
+                // A new hole: start the confirmation window. In-flight
+                // accepts arrive well within it and execution moves on.
+                self.stalled_at = Some((self.exec_cursor, now));
+                return;
+            }
+        }
+        self.stalled_at = Some((self.exec_cursor, now)); // pace the retry
+        if let Some(to) = self.next_transfer_target() {
+            ctx.send(
+                to,
+                PaxosMsg::StateRequest(StateTransferRequest {
+                    have: self.exec_cursor,
+                }),
+            );
+        }
+    }
+
+    /// The next peer to ask for a checkpoint (round-robin over the
+    /// configuration, skipping self).
+    fn next_transfer_target(&mut self) -> Option<ReplicaId> {
+        let config = self.membership.config();
+        for _ in 0..config.len() {
+            let candidate = config[self.transfer_target % config.len()];
+            self.transfer_target = (self.transfer_target + 1) % config.len();
+            if candidate != self.id {
+                return Some(candidate);
+            }
+        }
+        None // single-replica configuration: no peer to ask
+    }
+
+    /// Serves a state transfer request with a fresh snapshot of our
+    /// executed prefix — always coherent, never stale, no retained
+    /// checkpoint needed.
+    fn on_state_request(&mut self, from: ReplicaId, have: u64, ctx: &mut dyn Context<Self>) {
+        if self.exec_cursor <= have {
+            return; // nothing the requester does not already have
+        }
+        let Some(snapshot) = ctx.sm_snapshot() else {
+            return; // cannot snapshot: let a peer that can answer
+        };
+        ctx.send(
+            from,
+            PaxosMsg::StateReply(StateTransferReply {
+                checkpoint: Checkpoint {
+                    applied: self.exec_cursor,
+                    epoch: Epoch::ZERO,
+                    config: self.membership.config().to_vec(),
+                    snapshot,
+                },
+            }),
+        );
+    }
+
+    /// Installs a transferred checkpoint: everything below its watermark
+    /// is globally decided (the sender executed it), so the state machine
+    /// jumps there, the log is pinned with a durable checkpoint record,
+    /// and the cumulative ack watermark resumes from the installed
+    /// prefix (covering a decided prefix adds no false quorum weight).
+    fn on_state_reply(&mut self, cp: Checkpoint<u64>, ctx: &mut dyn Context<Self>) {
+        if cp.applied <= self.exec_cursor {
+            return; // stale or duplicate reply
+        }
+        if !ctx.sm_install(cp.snapshot.clone()) {
+            return; // driver cannot install snapshots
+        }
+        self.stalled_at = None;
+        self.instances = self.instances.split_off(&cp.applied);
+        self.exec_cursor = cp.applied;
+        self.committed_next = self.committed_next.max(cp.applied);
+        self.next_instance = self.next_instance.max(cp.applied);
+        if self.checkpointer.policy().compact {
+            self.compact_log(cp, ctx);
+        } else {
+            ctx.log_append(PaxosLogRec::Checkpoint(cp));
+        }
+        // Resume quorum duty immediately instead of waiting for the next
+        // accept to carry the re-extended watermark.
+        let before = self.logged_next;
+        self.reextend_logged_next();
+        if self.logged_next > before {
+            let ack = PaxosMsg::Accepted {
+                up_to: self.logged_next,
+            };
+            match self.variant {
+                PaxosVariant::Plain => ctx.send(self.leader, ack),
+                PaxosVariant::Bcast => {
+                    for r in self.membership.config().to_vec() {
+                        ctx.send(r, ack.clone());
+                    }
+                }
+            }
+        }
+        self.execute_ready(true, ctx);
     }
 }
 
@@ -361,14 +568,33 @@ impl Protocol for MultiPaxos {
                 }
             }
             PaxosMsg::Commit { up_to } => self.on_commit(up_to, ctx),
+            PaxosMsg::StateRequest(req) => self.on_state_request(from, req.have, ctx),
+            PaxosMsg::StateReply(reply) => self.on_state_reply(reply.checkpoint, ctx),
         }
     }
 
     fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
 
     fn on_recover(&mut self, log: &[PaxosLogRec], ctx: &mut dyn Context<Self>) {
-        // Rebuild accepted instances and commit marks, then re-execute the
-        // contiguous committed prefix.
+        // Checkpoint fast path (Section V-B, shared subsystem): restore
+        // the newest durable checkpoint and start every cursor at its
+        // watermark instead of replaying from instance zero. Falls back
+        // to a full replay when the driver cannot install snapshots
+        // (sound only while the log is uncompacted).
+        let mut base = 0u64;
+        for rec in log.iter().rev() {
+            if let PaxosLogRec::Checkpoint(cp) = rec {
+                if ctx.sm_install(cp.snapshot.clone()) {
+                    base = cp.applied;
+                }
+                break;
+            }
+        }
+        self.exec_cursor = base;
+        self.committed_next = base;
+        self.logged_next = base;
+        // Rebuild accepted instances and commit marks above the base,
+        // then re-execute the contiguous committed prefix.
         let mut committed = std::collections::BTreeSet::new();
         for rec in log {
             match rec {
@@ -376,12 +602,15 @@ impl Protocol for MultiPaxos {
                     instance,
                     cmd,
                     origin,
-                } => {
+                } if *instance >= base => {
                     self.instances.insert(*instance, (cmd.clone(), *origin));
                 }
-                PaxosLogRec::Commit { instance } => {
+                PaxosLogRec::Commit { instance } if *instance >= base => {
                     committed.insert(*instance);
                 }
+                PaxosLogRec::Accept { .. }
+                | PaxosLogRec::Commit { .. }
+                | PaxosLogRec::Checkpoint(_) => {}
             }
         }
         while committed.contains(&self.committed_next) {
@@ -389,18 +618,20 @@ impl Protocol for MultiPaxos {
         }
         // The ack watermark restarts at the log's gap-free prefix — a
         // crash between non-contiguous accepts must not let the
-        // cumulative ack claim the hole.
+        // cumulative ack claim the hole. Everything below the checkpoint
+        // watermark is globally decided, so starting there is sound.
         while self.instances.contains_key(&self.logged_next) {
             self.logged_next += 1;
         }
-        // Never reuse instance numbers at or below anything logged
-        // (relevant only if this replica is the leader).
+        // Never reuse instance numbers at or below anything logged or
+        // checkpointed (relevant only if this replica is the leader).
         self.next_instance = self
             .instances
             .keys()
             .max()
             .map_or(0, |m| m + 1)
-            .max(self.next_instance);
+            .max(self.next_instance)
+            .max(base);
         self.execute_ready(false, ctx);
     }
 }
@@ -418,6 +649,10 @@ mod tests {
         commits: Vec<Committed>,
         log: Vec<PaxosLogRec>,
         clock: Micros,
+        /// Executed command seqs — a trivial state machine for snapshot
+        /// tests; `snapshots` gates whether the driver supports them.
+        executed: Vec<u64>,
+        snapshots: bool,
     }
 
     impl TestCtx {
@@ -427,6 +662,15 @@ mod tests {
                 commits: Vec::new(),
                 log: Vec::new(),
                 clock: 0,
+                executed: Vec::new(),
+                snapshots: false,
+            }
+        }
+
+        fn with_snapshots() -> Self {
+            TestCtx {
+                snapshots: true,
+                ..TestCtx::new()
             }
         }
     }
@@ -446,9 +690,30 @@ mod tests {
             self.log = recs;
         }
         fn commit(&mut self, c: Committed) {
+            self.executed.push(c.cmd.id.seq);
             self.commits.push(c);
         }
         fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
+        fn sm_snapshot(&mut self) -> Option<Bytes> {
+            if !self.snapshots {
+                return None;
+            }
+            let mut buf = Vec::new();
+            for s in &self.executed {
+                buf.extend_from_slice(&s.to_be_bytes());
+            }
+            Some(Bytes::from(buf))
+        }
+        fn sm_install(&mut self, snapshot: Bytes) -> bool {
+            if !self.snapshots {
+                return false;
+            }
+            self.executed = snapshot
+                .chunks(8)
+                .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunks")))
+                .collect();
+            true
+        }
     }
 
     fn cmd(seq: u64) -> Command {
@@ -784,6 +1049,162 @@ mod tests {
             "watermark frozen at the gap: {:?}",
             ctx.sends.last()
         );
+    }
+
+    #[test]
+    fn checkpoints_compact_the_log_below_the_watermark() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+            .with_checkpoints(CheckpointPolicy::every(2).with_compaction(true));
+        let mut ctx = TestCtx::with_snapshots();
+        p.on_message(r(0), accept(0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
+        // A pending third instance that must survive compaction.
+        p.on_message(r(0), accept(2, vec![cmd(3)], r(0)), &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        assert_eq!(ctx.commits.len(), 2, "first run committed");
+        // Compaction replaced 3 accepts + 2 commit marks with checkpoint
+        // + the pending accept for instance 2.
+        assert_eq!(ctx.log.len(), 2, "log: {:?}", ctx.log);
+        assert!(matches!(&ctx.log[0], PaxosLogRec::Checkpoint(cp) if cp.applied == 2));
+        assert!(matches!(
+            &ctx.log[1],
+            PaxosLogRec::Accept { instance: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn recovery_restores_checkpoint_and_replays_only_the_suffix() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+            .with_checkpoints(CheckpointPolicy::every(2).with_compaction(true));
+        let mut ctx = TestCtx::with_snapshots();
+        // Two bursts: the first trips the checkpoint at watermark 2, the
+        // third command lands after it and stays in the log suffix.
+        p.on_message(r(0), accept(0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        p.on_message(r(0), accept(2, vec![cmd(3)], r(0)), &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
+        assert_eq!(ctx.executed, vec![1, 2, 3]);
+        let log = ctx.log.clone();
+
+        let mut p2 = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx2 = TestCtx::with_snapshots();
+        p2.on_recover(&log, &mut ctx2);
+        assert_eq!(ctx2.executed, vec![1, 2, 3], "snapshot prefix + suffix");
+        assert_eq!(ctx2.commits.len(), 1, "only instance 2 replayed");
+        assert_eq!(p2.executed(), 3);
+        // The ack watermark resumes above the checkpoint.
+        p2.on_message(r(0), accept(3, vec![cmd(4)], r(0)), &mut ctx2);
+        assert!(matches!(
+            ctx2.sends.last(),
+            Some((_, PaxosMsg::Accepted { up_to: 4 }))
+        ));
+    }
+
+    #[test]
+    fn confirmed_stall_requests_transfer_and_install_converges() {
+        // Healthy r2 executes instances 0..4.
+        let mut healthy = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut hctx = TestCtx::with_snapshots();
+        healthy.on_message(
+            r(0),
+            accept(0, vec![cmd(1), cmd(2), cmd(3), cmd(4)], r(0)),
+            &mut hctx,
+        );
+        healthy.on_message(r(0), PaxosMsg::Accepted { up_to: 4 }, &mut hctx);
+        healthy.on_message(r(1), PaxosMsg::Accepted { up_to: 4 }, &mut hctx);
+        assert_eq!(healthy.executed(), 4);
+
+        // r1 recovered with an empty log: instances 0..4 were lost in its
+        // outage. The next run plus peer watermarks commit through 5, but
+        // execution stalls at the hole.
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::with_snapshots();
+        p.on_recover(&[], &mut ctx);
+        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 5 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 5 }, &mut ctx);
+        let requests = |ctx: &TestCtx| {
+            ctx.sends
+                .iter()
+                .filter(|(_, m)| matches!(m, PaxosMsg::StateRequest(_)))
+                .count()
+        };
+        assert_eq!(
+            requests(&ctx),
+            0,
+            "a fresh hole must not trigger a transfer (accepts may be in flight)"
+        );
+        // The hole persists past the confirmation window: the next pass
+        // over it queries one peer (round-robin; the other peer is next
+        // if this round goes unanswered).
+        ctx.clock = 1_000_000;
+        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
+        assert_eq!(requests(&ctx), 1, "confirmed stall queries one peer");
+        // Another confirmation window with no reply: the retry rotates
+        // to the remaining peer.
+        ctx.clock = 2_000_000;
+        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
+        let targets: Vec<ReplicaId> = ctx
+            .sends
+            .iter()
+            .filter_map(|(to, m)| match m {
+                PaxosMsg::StateRequest(_) => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![r(0), r(2)], "retries rotate over the peers");
+
+        // The healthy peer answers with its checkpoint; installing it
+        // fills the hole and execution converges on the same state.
+        hctx.sends.clear();
+        healthy.on_message(
+            r(1),
+            PaxosMsg::StateRequest(StateTransferRequest { have: 0 }),
+            &mut hctx,
+        );
+        let (to, reply) = hctx
+            .sends
+            .iter()
+            .find(|(_, m)| matches!(m, PaxosMsg::StateReply(_)))
+            .cloned()
+            .expect("healthy peer must serve a checkpoint");
+        assert_eq!(to, r(1));
+        p.on_message(r(2), reply, &mut ctx);
+        assert_eq!(
+            ctx.executed,
+            vec![1, 2, 3, 4, 5],
+            "installed prefix + executed suffix must match the healthy replica"
+        );
+        // Acks resumed from the installed watermark.
+        assert!(
+            ctx.sends
+                .iter()
+                .any(|(_, m)| matches!(m, PaxosMsg::Accepted { up_to } if *up_to >= 5)),
+            "watermark must resume past the installed prefix"
+        );
+    }
+
+    #[test]
+    fn stale_state_reply_is_ignored() {
+        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+        let mut ctx = TestCtx::with_snapshots();
+        p.on_message(r(0), accept(0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
+        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
+        assert_eq!(p.executed(), 2);
+        let stale = PaxosMsg::StateReply(StateTransferReply {
+            checkpoint: Checkpoint {
+                applied: 1,
+                epoch: Epoch::ZERO,
+                config: vec![r(0), r(1), r(2)],
+                snapshot: Bytes::from_static(b""),
+            },
+        });
+        p.on_message(r(0), stale, &mut ctx);
+        assert_eq!(p.executed(), 2, "a stale reply must not regress anything");
+        assert_eq!(ctx.executed, vec![1, 2], "state machine untouched");
     }
 
     #[test]

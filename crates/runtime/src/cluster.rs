@@ -18,7 +18,7 @@ use rsm_core::protocol::Protocol;
 use rsm_core::sm::StateMachine;
 
 use crate::net::{run_network, NetInput};
-use crate::node::{NodeHarness, NodeInput, NodeReport};
+use crate::node::{NodeHarness, NodeInput, NodeReport, ReplyBatch};
 
 /// Configuration of a live cluster.
 #[derive(Debug, Clone)]
@@ -99,7 +99,9 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         let n = cfg.len();
         let epoch = Instant::now();
         let (net_tx, net_rx) = unbounded();
-        let (reply_tx, reply_rx) = unbounded::<(CommandId, Reply)>();
+        // Nodes ship reply *batches*: one channel send per drained
+        // protocol callback, however many co-located clients it answered.
+        let (reply_tx, reply_rx) = unbounded::<ReplyBatch>();
 
         let mut node_txs = Vec::with_capacity(n);
         let mut inbox_txs = Vec::with_capacity(n);
@@ -164,9 +166,12 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         let router_handle = std::thread::Builder::new()
             .name("reply-router".to_string())
             .spawn(move || {
-                while let Ok((id, reply)) = reply_rx.recv() {
-                    if let Some(tx) = pending_for_router.lock().remove(&id) {
-                        let _ = tx.send(reply);
+                while let Ok(batch) = reply_rx.recv() {
+                    let mut pending = pending_for_router.lock();
+                    for (id, reply) in batch {
+                        if let Some(tx) = pending.remove(&id) {
+                            let _ = tx.send(reply);
+                        }
                     }
                 }
             })

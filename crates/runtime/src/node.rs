@@ -39,6 +39,11 @@ pub struct NodeReport {
     pub log_len: usize,
 }
 
+/// A batch of replies to co-located clients, shipped as **one** channel
+/// send per drained protocol callback instead of one send per reply —
+/// the reply-path analogue of request batching.
+pub(crate) type ReplyBatch = Vec<(CommandId, Reply)>;
+
 pub(crate) struct NodeHarness<P: Protocol> {
     pub id: ReplicaId,
     pub proto: P,
@@ -46,7 +51,7 @@ pub(crate) struct NodeHarness<P: Protocol> {
     pub log: Vec<P::LogRec>,
     pub inbox: Receiver<NodeInput<P>>,
     pub net_tx: Sender<NetInput<P::Msg>>,
-    pub reply_tx: Sender<(CommandId, Reply)>,
+    pub reply_tx: Sender<ReplyBatch>,
     pub epoch: Instant,
     pub clock_offset_us: i64,
     pub batch: BatchPolicy,
@@ -60,7 +65,9 @@ struct NodeCtx<'a, P: Protocol> {
     log: &'a mut Vec<P::LogRec>,
     sm: &'a mut dyn StateMachine,
     net_tx: &'a Sender<NetInput<P::Msg>>,
-    reply_tx: &'a Sender<(CommandId, Reply)>,
+    /// Replies buffered during one protocol callback; the harness
+    /// flushes them as one [`ReplyBatch`] when the callback returns.
+    replies: &'a mut ReplyBatch,
     timers: &'a mut BinaryHeap<Reverse<(Instant, u64, TimerToken)>>,
     timer_seq: &'a mut u64,
     commit_count: &'a mut u64,
@@ -101,7 +108,7 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
         *self.commit_count += 1;
         if committed.origin == self.id && !self.suppress_replies {
             let id = committed.cmd.id;
-            let _ = self.reply_tx.send((id, Reply::new(id, result)));
+            self.replies.push((id, Reply::new(id, result)));
         }
     }
 
@@ -128,30 +135,37 @@ impl<P: Protocol> NodeHarness<P> {
         let mut timers: BinaryHeap<Reverse<(Instant, u64, TimerToken)>> = BinaryHeap::new();
         let mut timer_seq = 0u64;
         let mut commit_count = 0u64;
+        let mut replies: ReplyBatch = Vec::new();
 
-        macro_rules! ctx {
-            () => {
-                NodeCtx {
-                    id: self.id,
-                    epoch: self.epoch,
-                    clock_offset_us: self.clock_offset_us,
-                    stamper: &mut stamper,
-                    log: &mut self.log,
-                    sm: self.sm.as_mut(),
-                    net_tx: &self.net_tx,
-                    reply_tx: &self.reply_tx,
-                    timers: &mut timers,
-                    timer_seq: &mut timer_seq,
-                    commit_count: &mut commit_count,
-                    suppress_replies: false,
+        // Run one protocol callback, then flush every reply it produced
+        // as ONE channel send (reply batching: co-located clients cost
+        // one send per drained batch, not one per reply).
+        macro_rules! dispatch {
+            (|$c:ident| $body:expr) => {{
+                {
+                    let mut $c = NodeCtx {
+                        id: self.id,
+                        epoch: self.epoch,
+                        clock_offset_us: self.clock_offset_us,
+                        stamper: &mut stamper,
+                        log: &mut self.log,
+                        sm: self.sm.as_mut(),
+                        net_tx: &self.net_tx,
+                        replies: &mut replies,
+                        timers: &mut timers,
+                        timer_seq: &mut timer_seq,
+                        commit_count: &mut commit_count,
+                        suppress_replies: false,
+                    };
+                    $body;
                 }
-            };
+                if !replies.is_empty() {
+                    let _ = self.reply_tx.send(std::mem::take(&mut replies));
+                }
+            }};
         }
 
-        {
-            let mut c = ctx!();
-            self.proto.on_start(&mut c);
-        }
+        dispatch!(|c| self.proto.on_start(&mut c));
 
         loop {
             // Fire due timers first.
@@ -163,8 +177,7 @@ impl<P: Protocol> NodeHarness<P> {
                 };
                 let _ = due;
                 let Reverse((_, _, token)) = timers.pop().expect("peeked");
-                let mut c = ctx!();
-                self.proto.on_timer(token, &mut c);
+                dispatch!(|c| self.proto.on_timer(token, &mut c));
             }
 
             let input = match timers.peek() {
@@ -184,20 +197,23 @@ impl<P: Protocol> NodeHarness<P> {
 
             match input {
                 NodeInput::Msg(wire) => {
-                    let mut c = ctx!();
-                    self.proto.on_message(wire.from, wire.msg, &mut c);
+                    dispatch!(|c| self.proto.on_message(wire.from, wire.msg, &mut c));
                 }
                 NodeInput::Request(cmd) => {
                     // Coalesce opportunistically: take whatever requests
-                    // are already queued (up to the cap) into one batch,
-                    // never waiting for more. A non-request input ends
-                    // the run and is handled right after, preserving
-                    // arrival order.
+                    // are already queued (up to the count cap and byte
+                    // budget) into one batch, never waiting for more. A
+                    // non-request input ends the run and is handled right
+                    // after, preserving arrival order.
+                    let mut bytes = cmd.size();
                     let mut cmds = vec![cmd];
                     let mut interrupt: Option<NodeInput<P>> = None;
-                    while cmds.len() < self.batch.max_batch {
+                    while self.batch.fits(cmds.len(), bytes) {
                         match self.inbox.try_recv() {
-                            Ok(NodeInput::Request(c)) => cmds.push(c),
+                            Ok(NodeInput::Request(c)) => {
+                                bytes += c.size();
+                                cmds.push(c);
+                            }
                             Ok(other) => {
                                 interrupt = Some(other);
                                 break;
@@ -205,15 +221,11 @@ impl<P: Protocol> NodeHarness<P> {
                             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                         }
                     }
-                    {
-                        let mut c = ctx!();
-                        self.proto.on_client_batch(Batch::new(cmds), &mut c);
-                    }
+                    dispatch!(|c| self.proto.on_client_batch(Batch::new(cmds), &mut c));
                     match interrupt {
                         None => {}
                         Some(NodeInput::Msg(wire)) => {
-                            let mut c = ctx!();
-                            self.proto.on_message(wire.from, wire.msg, &mut c);
+                            dispatch!(|c| self.proto.on_message(wire.from, wire.msg, &mut c));
                         }
                         Some(NodeInput::Request(_)) => unreachable!("requests join the batch"),
                         Some(NodeInput::Stop) => break,

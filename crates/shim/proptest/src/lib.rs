@@ -4,8 +4,8 @@
 //! subset of the proptest API the workspace's property tests use:
 //!
 //! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
-//! * integer-range, tuple, [`Just`], [`prop_oneof!`], `prop_map`,
-//!   [`collection::vec`], [`sample::subsequence`], and [`any`] strategies,
+//! * integer-range, tuple, `Just`, [`prop_oneof!`], `prop_map`,
+//!   `collection::vec`, `sample::subsequence`, and `any` strategies,
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Differences from upstream: no shrinking (a failing case reports its
@@ -273,7 +273,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

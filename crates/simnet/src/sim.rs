@@ -743,7 +743,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             return;
         }
         let cpu = self.cfg.cpu;
-        let max_batch = self.cfg.batch.max_batch;
+        let batch_policy = self.cfg.batch;
         let inputs: Vec<NodeInput<P>> = {
             let n = &mut self.nodes[idx];
             n.inbox_scheduled = false;
@@ -789,19 +789,26 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 eff: &mut eff,
             };
             let mut run: Vec<Command> = Vec::new();
+            let mut run_bytes = 0usize;
             for input in inputs {
                 match input {
                     NodeInput::Msg(from, m) => {
                         if !run.is_empty() {
                             proto.on_client_batch(Batch::new(std::mem::take(&mut run)), &mut ctx);
+                            run_bytes = 0;
                         }
                         proto.on_message(from, m, &mut ctx);
                     }
                     NodeInput::Request(c) => {
-                        run.push(c);
-                        if run.len() >= max_batch {
+                        // Flush when the policy's command count or byte
+                        // budget is full — kilobyte payloads flush long
+                        // before the count cap.
+                        if !batch_policy.fits(run.len(), run_bytes) {
                             proto.on_client_batch(Batch::new(std::mem::take(&mut run)), &mut ctx);
+                            run_bytes = 0;
                         }
+                        run_bytes += c.size();
+                        run.push(c);
                     }
                 }
             }
@@ -1450,6 +1457,45 @@ mod tests {
         assert_eq!(observer_sim(rsm_core::BatchPolicy::DISABLED), vec![1; 10]);
         assert_eq!(observer_sim(rsm_core::BatchPolicy::max(4)), vec![4, 4, 2]);
         assert_eq!(observer_sim(rsm_core::BatchPolicy::max(64)), vec![10]);
+    }
+
+    struct OversizedBurst;
+    impl Application<BatchObserver> for OversizedBurst {
+        fn on_init(&mut self, api: &mut SimApi<'_, BatchObserver>) {
+            for seq in 0..6 {
+                let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                api.submit(
+                    ReplicaId::new(0),
+                    Command::new(id, Bytes::from(vec![0u8; 1_000])),
+                );
+            }
+        }
+        fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, BatchObserver>) {}
+        fn on_event(&mut self, _: u64, _: &mut SimApi<'_, BatchObserver>) {}
+    }
+
+    #[test]
+    fn byte_budget_flushes_oversized_commands_before_the_count_cap() {
+        // Six kilobyte commands under a 2 000-byte budget: the count cap
+        // (64) never fills, but each pair of commands exhausts the byte
+        // budget, so three two-command batches come out.
+        let policy = rsm_core::BatchPolicy::max(64).with_max_bytes(2_000);
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 1_000)).batch_policy(policy);
+        let mut sim = Simulation::new(
+            cfg,
+            |id| BatchObserver {
+                id,
+                batch_sizes: Vec::new(),
+            },
+            sm,
+            OversizedBurst,
+        );
+        sim.run_until(1_000_000);
+        assert_eq!(
+            sim.protocol(ReplicaId::new(0)).batch_sizes,
+            vec![2, 2, 2],
+            "the byte budget must flush before the count cap"
+        );
     }
 
     #[test]
