@@ -169,9 +169,11 @@ fn bench_paxos_round(c: &mut Criterion) {
         );
         b.iter(|| {
             ctx.reset();
+            let ballot = replica.regime();
             replica.on_message(
                 ReplicaId::new(0),
                 PaxosMsg::Accept {
+                    ballot,
                     first_instance: instance,
                     cmds: Batch::single(cmd(instance)),
                     origin: ReplicaId::new(0),
@@ -182,6 +184,7 @@ fn bench_paxos_round(c: &mut Criterion) {
                 replica.on_message(
                     ReplicaId::new(k),
                     PaxosMsg::Accepted {
+                        ballot,
                         up_to: instance + 1,
                     },
                     &mut ctx,

@@ -73,6 +73,7 @@ pub mod command;
 pub mod config;
 pub mod error;
 pub mod id;
+pub mod lease;
 pub mod matrix;
 pub mod protocol;
 pub mod sm;
@@ -87,6 +88,7 @@ pub use command::{Command, CommandId, Committed, Reply};
 pub use config::{Epoch, Membership};
 pub use error::{ProtocolError, Result};
 pub use id::{ClientId, ReplicaId};
+pub use lease::{Lease, LeaseConfig};
 pub use matrix::LatencyMatrix;
 pub use protocol::{Context, Protocol, TimerToken};
 pub use sm::StateMachine;

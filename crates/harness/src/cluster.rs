@@ -3,6 +3,7 @@
 use clock_rsm::ClockRsmConfig;
 use mencius::MAX_OWN_HISTORY;
 use rsm_core::id::ReplicaId;
+use rsm_core::lease::LeaseConfig;
 
 /// Which replication protocol an experiment runs, with its parameters.
 ///
@@ -22,13 +23,19 @@ pub enum ProtocolChoice {
     },
     /// Plain Multi-Paxos with a designated leader.
     Paxos {
-        /// The stable leader.
+        /// The initial leader.
         leader: ReplicaId,
+        /// Lease-based fail-over timing ([`LeaseConfig::DISABLED`] =
+        /// the paper's fixed-leader setup).
+        failover: LeaseConfig,
     },
     /// Paxos with broadcast phase 2b.
     PaxosBcast {
-        /// The stable leader.
+        /// The initial leader.
         leader: ReplicaId,
+        /// Lease-based fail-over timing ([`LeaseConfig::DISABLED`] =
+        /// the paper's fixed-leader setup).
+        failover: LeaseConfig,
     },
     /// Mencius with broadcast acknowledgements.
     MenciusBcast {
@@ -54,17 +61,37 @@ impl ProtocolChoice {
         ProtocolChoice::ClockRsm { cfg }
     }
 
-    /// Plain Paxos with the leader at replica index `leader`.
+    /// Plain Paxos with a fixed (never failing over) leader at replica
+    /// index `leader`.
     pub fn paxos(leader: u16) -> Self {
         ProtocolChoice::Paxos {
             leader: ReplicaId::new(leader),
+            failover: LeaseConfig::DISABLED,
         }
     }
 
-    /// Paxos-bcast with the leader at replica index `leader`.
+    /// Paxos-bcast with a fixed leader at replica index `leader`.
     pub fn paxos_bcast(leader: u16) -> Self {
         ProtocolChoice::PaxosBcast {
             leader: ReplicaId::new(leader),
+            failover: LeaseConfig::DISABLED,
+        }
+    }
+
+    /// Plain Paxos with lease-based fail-over: the initial leader at
+    /// `leader`, elections per `failover` when it goes silent.
+    pub fn paxos_failover(leader: u16, failover: LeaseConfig) -> Self {
+        ProtocolChoice::Paxos {
+            leader: ReplicaId::new(leader),
+            failover,
+        }
+    }
+
+    /// Paxos-bcast with lease-based fail-over.
+    pub fn paxos_bcast_failover(leader: u16, failover: LeaseConfig) -> Self {
+        ProtocolChoice::PaxosBcast {
+            leader: ReplicaId::new(leader),
+            failover,
         }
     }
 
@@ -106,8 +133,27 @@ mod tests {
     #[test]
     fn leaders_are_recorded() {
         match ProtocolChoice::paxos_bcast(3) {
-            ProtocolChoice::PaxosBcast { leader } => assert_eq!(leader, ReplicaId::new(3)),
+            ProtocolChoice::PaxosBcast { leader, failover } => {
+                assert_eq!(leader, ReplicaId::new(3));
+                assert!(!failover.enabled(), "fixed leader by default");
+            }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn failover_constructors_carry_the_lease() {
+        let lease = LeaseConfig::after(400_000);
+        match ProtocolChoice::paxos_failover(1, lease) {
+            ProtocolChoice::Paxos { leader, failover } => {
+                assert_eq!(leader, ReplicaId::new(1));
+                assert_eq!(failover, lease);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(
+            ProtocolChoice::paxos_bcast_failover(0, lease).name(),
+            "Paxos-bcast"
+        );
     }
 }

@@ -59,8 +59,11 @@ pub struct ExperimentConfig {
     pub checkpoint: CheckpointPolicy,
     /// Record per-operation intervals and run the correctness checkers.
     pub record_ops: bool,
-    /// Scripted faults applied at absolute virtual times (Clock-RSM only;
-    /// the baselines are evaluated failure-free, as in the paper).
+    /// Scripted faults applied at absolute virtual times. Clock-RSM
+    /// rides them out via reconfiguration; Paxos needs a
+    /// [`LeaseConfig`](rsm_core::lease::LeaseConfig) (see
+    /// [`ProtocolChoice::paxos_failover`]) to survive *leader* faults —
+    /// without one it matches the paper's failure-free evaluation setup.
     pub faults: Vec<(Micros, Fault)>,
     /// Client retry timeout; see `WorkloadConfig::retry_timeout_us`.
     pub client_retry_us: Option<Micros>,
@@ -176,6 +179,18 @@ impl ExperimentConfig {
             .fault(up_at, Fault::Recover(r))
     }
 
+    /// Scripts a leader crash: `leader` goes down at `down_at` and
+    /// returns at `up_at` (virtual µs). Mechanically the same fault pair
+    /// as [`long_outage`](ExperimentConfig::long_outage); the sugar
+    /// marks the intent — aimed at the replica a
+    /// [`ProtocolChoice::paxos_failover`] deployment starts under, it is
+    /// the fail-over scenario: survivors must elect a replacement (so
+    /// pair it with a lease), and the old leader must rejoin as a
+    /// follower, via checkpoint transfer if it was down past retention.
+    pub fn leader_crash(self, leader: u16, down_at: Micros, up_at: Micros) -> Self {
+        self.long_outage(leader, down_at, up_at)
+    }
+
     /// Enables or disables operation recording / correctness checking.
     pub fn record_ops(mut self, on: bool) -> Self {
         self.record_ops = on;
@@ -264,14 +279,18 @@ pub fn run_latency(choice: ProtocolChoice, cfg: &ExperimentConfig) -> Experiment
             };
             ClockRsm::new(id, Membership::uniform(n), rcfg)
         }),
-        ProtocolChoice::Paxos { leader } => run_generic(cfg, "Paxos", move |id| {
+        ProtocolChoice::Paxos { leader, failover } => run_generic(cfg, "Paxos", move |id| {
             MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Plain)
                 .with_checkpoints(checkpoint)
+                .with_failover(failover)
         }),
-        ProtocolChoice::PaxosBcast { leader } => run_generic(cfg, "Paxos-bcast", move |id| {
-            MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Bcast)
-                .with_checkpoints(checkpoint)
-        }),
+        ProtocolChoice::PaxosBcast { leader, failover } => {
+            run_generic(cfg, "Paxos-bcast", move |id| {
+                MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Bcast)
+                    .with_checkpoints(checkpoint)
+                    .with_failover(failover)
+            })
+        }
         ProtocolChoice::MenciusBcast { history_cap } => {
             run_generic(cfg, "Mencius-bcast", move |id| {
                 MenciusBcast::new(id, Membership::uniform(n))

@@ -7,10 +7,9 @@
 //!
 //! ## Multi-Paxos / Paxos-bcast
 //!
-//! One replica is the designated, stable leader. Followers forward client
-//! commands to it; the leader assigns consecutive instance numbers and runs
-//! phase 2 (accept) for each. Two variants, exactly as analyzed in
-//! Table II of the paper:
+//! One replica leads. Followers forward client commands to it; the leader
+//! assigns consecutive instance numbers and runs phase 2 (accept) for
+//! each. Two variants, exactly as analyzed in Table II of the paper:
 //!
 //! * **Paxos** — phase 2b goes only to the leader, which then broadcasts a
 //!   commit notification. Non-leader commit latency:
@@ -20,22 +19,27 @@
 //!   `d(r_i, r_l) + median_k(d(r_l, r_k) + d(r_k, r_i))`. Complexity
 //!   `O(N²)`.
 //!
-//! Both variants assume a stable leader; leader fail-over (view change) is
-//! outside the paper's evaluation and not modelled — the Clock-RSM crate's
-//! reconfiguration protocol is where failure handling is reproduced.
+//! The paper evaluates both failure-free with a fixed leader, and that is
+//! still the default here ([`rsm_core::LeaseConfig::DISABLED`]). Leader
+//! fail-over is fully modelled on top: with a lease installed
+//! ([`MultiPaxos::with_failover`]), followers detect leader silence,
+//! elect a replacement with [`Ballot`]-fenced phase 1 over the log
+//! suffix, and the deposed leader rejoins as a follower — see the
+//! [`replica`] module docs for the fencing invariant.
 //!
 //! ## Example
 //!
 //! ```
 //! use paxos::{MultiPaxos, PaxosVariant};
-//! use rsm_core::{Membership, ReplicaId};
+//! use rsm_core::{LeaseConfig, Membership, ReplicaId};
 //!
 //! let p = MultiPaxos::new(
 //!     ReplicaId::new(1),
 //!     Membership::uniform(5),
-//!     ReplicaId::new(0),          // leader
+//!     ReplicaId::new(0),          // initial leader
 //!     PaxosVariant::Bcast,
-//! );
+//! )
+//! .with_failover(LeaseConfig::after(400_000));
 //! assert_eq!(p.leader(), ReplicaId::new(0));
 //! assert!(!p.is_leader());
 //! ```
@@ -47,6 +51,6 @@ pub mod msg;
 pub mod replica;
 pub mod synod;
 
-pub use msg::PaxosMsg;
+pub use msg::{PaxosMsg, SuffixEntry};
 pub use replica::{MultiPaxos, PaxosLogRec, PaxosVariant};
 pub use synod::{Ballot, SynodInstance, SynodMsg};

@@ -6,11 +6,53 @@
 //! [`Batch`]es bound to contiguous instance runs, and acknowledgements
 //! and commit notifications are **cumulative watermarks** over the
 //! instance space rather than per-instance messages.
+//!
+//! Every data-plane message is tagged with the [`Ballot`] of the leader
+//! regime that produced it. With fail-over disabled this is always the
+//! initial ballot; with fail-over enabled the ballot is what fences a
+//! deposed leader — acceptors [`Nack`](PaxosMsg::Nack) anything below
+//! their promise — and the control plane
+//! ([`Prepare`](PaxosMsg::Prepare) / [`Promise`](PaxosMsg::Promise) /
+//! [`Repair`](PaxosMsg::Repair)) is classic Paxos phase 1 lifted from the
+//! single decree to the instance-log suffix.
 
 use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
+use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+
+use crate::synod::Ballot;
+
+/// Encoded size of a [`Ballot`] on the wire: round plus proposer id.
+const BALLOT_BYTES: usize = 10;
+
+/// One instance of the log suffix, as reported by an acceptor in a
+/// [`Promise`](PaxosMsg::Promise) or re-proposed by a new leader in a
+/// [`Repair`](PaxosMsg::Repair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixEntry {
+    /// The instance number.
+    pub instance: u64,
+    /// In a `Promise`: the ballot at which the value was accepted. In a
+    /// `Repair`: the new leader's ballot (every repaired instance is
+    /// re-proposed at it).
+    pub ballot: Ballot,
+    /// The command bound to the instance and its originating replica, or
+    /// `None` for a **no-op filler**: a hole the new leader proved
+    /// unchosen and closes so execution can pass it.
+    pub value: Option<(Command, ReplicaId)>,
+}
+
+impl WireSize for SuffixEntry {
+    fn wire_size(&self) -> usize {
+        8 + BALLOT_BYTES
+            + self
+                .value
+                .as_ref()
+                .map_or(1, |(cmd, _)| 1 + 2 + cmd.wire_size())
+    }
+}
 
 /// Messages exchanged by [`MultiPaxos`](crate::MultiPaxos) replicas.
 #[derive(Debug, Clone)]
@@ -26,8 +68,10 @@ pub enum PaxosMsg {
     },
     /// Phase 2a: the leader asks replicas to accept the batch in the
     /// contiguous instance run `[first_instance, first_instance +
-    /// cmds.len())`.
+    /// cmds.len())`, at its regime ballot.
     Accept {
+        /// The proposing leader's regime ballot.
+        ballot: Ballot,
         /// First instance of the run (consecutive numbers follow).
         first_instance: u64,
         /// The commands bound to the run, in instance order.
@@ -35,40 +79,167 @@ pub enum PaxosMsg {
         /// The replica whose clients issued the commands.
         origin: ReplicaId,
     },
-    /// Phase 2b, cumulative: the sender has logged **every** instance
-    /// below `up_to`. Sound because the leader assigns consecutive
-    /// instances and channels are FIFO, so accepts arrive gap-free. Sent
-    /// to the leader (plain Paxos) or broadcast (Paxos-bcast); one ack
-    /// covers a whole batch.
+    /// Phase 2b, cumulative: the sender vouches, **for the tagged
+    /// regime**, that every instance below `up_to` is logged at its site.
+    /// Sound because the leader assigns consecutive instances and
+    /// channels are FIFO, so accepts arrive gap-free; tagging with the
+    /// regime ballot is what keeps a quorum honest across fail-overs
+    /// (watermarks earned under a deposed leader are never counted
+    /// toward the new regime's commits). Sent to the leader (plain
+    /// Paxos) or broadcast (Paxos-bcast); one ack covers a whole batch.
     Accepted {
+        /// The regime the vouch is for.
+        ballot: Ballot,
         /// Exclusive watermark: all instances `< up_to` are logged.
         up_to: u64,
     },
     /// Commit notification from the leader (plain Paxos only),
-    /// cumulative: every instance below `up_to` is committed.
+    /// cumulative: every instance below `up_to` is committed. Commitment
+    /// is final regardless of the announcing regime, so receivers honour
+    /// the watermark even from a since-deposed leader (it only announces
+    /// quorums it really observed).
     Commit {
+        /// The announcing leader's regime ballot.
+        ballot: Ballot,
         /// Exclusive watermark: all instances `< up_to` are committed.
         up_to: u64,
     },
+    /// Lease renewal from an idle leader: proves the regime is alive and
+    /// carries the commit watermark so followers keep executing without
+    /// data-plane traffic. Fenced like an `Accept` — a deposed leader's
+    /// heartbeat draws a [`Nack`](PaxosMsg::Nack), which is how it learns
+    /// it was deposed.
+    Heartbeat {
+        /// The sending leader's regime ballot.
+        ballot: Ballot,
+        /// Exclusive watermark: all instances `< committed` are committed.
+        committed: u64,
+    },
+    /// Phase 1a over the log suffix: a candidate whose leader lease
+    /// expired solicits leadership at `ballot` and asks each acceptor for
+    /// everything it has accepted from `from_instance` up.
+    Prepare {
+        /// The candidate's ballot.
+        ballot: Ballot,
+        /// The candidate's committed watermark: report instances at or
+        /// above this.
+        from_instance: u64,
+    },
+    /// Phase 1b: the acceptor promises to reject anything below `ballot`
+    /// and reports its accepted log suffix so the candidate can adopt
+    /// the highest-ballot value per instance.
+    Promise {
+        /// The promised ballot (echo of the 1a ballot).
+        ballot: Ballot,
+        /// Echo of the solicited suffix start.
+        from_instance: u64,
+        /// The acceptor's committed watermark (everything below is
+        /// globally decided and needs no repair).
+        committed: u64,
+        /// Accepted instances at or above `from_instance`, with the
+        /// ballots they were accepted at.
+        entries: Vec<SuffixEntry>,
+    },
+    /// A rejection carrying the acceptor's current promise: tells a
+    /// stale-ballot sender (deposed leader or outbid candidate) which
+    /// ballot it must outbid — or defer to.
+    Nack {
+        /// The acceptor's promised ballot.
+        promised: Ballot,
+    },
+    /// Phase 2a for the election outcome: the new leader re-proposes the
+    /// merged log suffix `[floor, floor + entries.len())` at its ballot —
+    /// highest-ballot accepted values kept, unchosen holes closed with
+    /// no-ops — and thereby announces its regime. Processing a `Repair`
+    /// is what switches an acceptor to the new regime; FIFO channels
+    /// guarantee it precedes the regime's `Accept` traffic.
+    Repair {
+        /// The new leader's ballot.
+        ballot: Ballot,
+        /// Start of the repaired range: the highest committed watermark
+        /// among the promise quorum. Everything below it is final, and
+        /// the receiver may adopt it as its own committed watermark.
+        floor: u64,
+        /// The re-proposed suffix, one entry per instance, contiguous
+        /// from `floor`.
+        entries: Vec<SuffixEntry>,
+    },
+    /// A follower that sees an accept run land *past* its vouch
+    /// watermark (a gap — per-link FIFO means the missing accepts were
+    /// lost while it was down, or while the leader lacked a majority to
+    /// commit them) asks the leader to retransmit the uncommitted range.
+    /// Without this, instances proposed while the leader was in a
+    /// minority could never commit: the survivors' cumulative acks can
+    /// never soundly cross the hole, and nothing else retransmits
+    /// uncommitted proposals.
+    FillRequest {
+        /// First missing instance (the requester's vouch watermark).
+        from_instance: u64,
+        /// Exclusive end of the gap (the run that revealed it).
+        to_instance: u64,
+    },
+    /// The leader's retransmission of still-pending instances from its
+    /// slot table, re-asserted at its regime ballot. Unlike
+    /// [`Repair`](PaxosMsg::Repair) it carries no floor and drops
+    /// nothing at the receiver — it is a plain re-`Accept` of an
+    /// explicit instance set.
+    Fill {
+        /// The serving leader's regime ballot.
+        ballot: Ballot,
+        /// The retransmitted instances.
+        entries: Vec<SuffixEntry>,
+    },
     /// A replica stalled at a committed hole (the `ACCEPT`s were lost
-    /// while it was down) asks a peer for a checkpoint covering the gap
-    /// (shared subsystem, `rsm_core::checkpoint`). The watermark is the
-    /// requester's next-to-execute instance.
+    /// while it was down, or its local suffix was superseded by a
+    /// fail-over it missed) asks a peer for a checkpoint covering the
+    /// gap (shared subsystem, `rsm_core::checkpoint`). The watermark is
+    /// the requester's next-to-execute instance.
     StateRequest(StateTransferRequest<u64>),
     /// A peer's checkpoint: its state through every instance below the
     /// carried (exclusive) watermark. The requester installs it and
-    /// resumes execution and acknowledgements from the watermark.
-    StateReply(StateTransferReply<u64>),
+    /// resumes execution and acknowledgements from the watermark. The
+    /// reply also carries the sender's promised ballot so an installing
+    /// replica can never regress its own promise below a regime the
+    /// cluster has already moved to (the compacted log it writes after
+    /// the install re-pins the promise durably).
+    StateReply {
+        /// The checkpoint.
+        reply: StateTransferReply<u64>,
+        /// The serving replica's promised ballot.
+        promised: Ballot,
+    },
 }
 
 impl WireSize for PaxosMsg {
     fn wire_size(&self) -> usize {
         match self {
             PaxosMsg::Forward { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
-            PaxosMsg::Accept { cmds, .. } => MSG_HEADER_BYTES + cmds.wire_size(),
-            PaxosMsg::Accepted { .. } | PaxosMsg::Commit { .. } => MSG_HEADER_BYTES,
+            PaxosMsg::Accept { cmds, .. } => MSG_HEADER_BYTES + BALLOT_BYTES + cmds.wire_size(),
+            PaxosMsg::Accepted { .. } | PaxosMsg::Commit { .. } | PaxosMsg::Heartbeat { .. } => {
+                MSG_HEADER_BYTES + BALLOT_BYTES
+            }
+            PaxosMsg::Prepare { .. } | PaxosMsg::Nack { .. } => MSG_HEADER_BYTES + BALLOT_BYTES,
+            PaxosMsg::FillRequest { .. } => MSG_HEADER_BYTES + 16,
+            PaxosMsg::Fill { entries, .. } => {
+                MSG_HEADER_BYTES
+                    + BALLOT_BYTES
+                    + entries.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+            // Promise: from_instance + committed; Repair: floor.
+            PaxosMsg::Promise { entries, .. } => {
+                MSG_HEADER_BYTES
+                    + BALLOT_BYTES
+                    + 16
+                    + entries.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+            PaxosMsg::Repair { entries, .. } => {
+                MSG_HEADER_BYTES
+                    + BALLOT_BYTES
+                    + 8
+                    + entries.iter().map(WireSize::wire_size).sum::<usize>()
+            }
             PaxosMsg::StateRequest(req) => req.wire_size(),
-            PaxosMsg::StateReply(reply) => reply.wire_size(),
+            PaxosMsg::StateReply { reply, .. } => reply.wire_size() + BALLOT_BYTES,
         }
     }
 }
@@ -87,30 +258,72 @@ mod tests {
         )
     }
 
+    fn b(round: u64) -> Ballot {
+        Ballot {
+            round,
+            proposer: ReplicaId::new(0),
+        }
+    }
+
     #[test]
     fn payload_bearing_messages_are_larger() {
         let accept = PaxosMsg::Accept {
+            ballot: b(0),
             first_instance: 1,
             cmds: Batch::single(cmd(100)),
             origin: ReplicaId::new(0),
         };
-        let ack = PaxosMsg::Accepted { up_to: 2 };
+        let ack = PaxosMsg::Accepted {
+            ballot: b(0),
+            up_to: 2,
+        };
         assert!(accept.wire_size() > ack.wire_size() + 100);
-        assert_eq!(ack.wire_size(), MSG_HEADER_BYTES);
+        assert_eq!(ack.wire_size(), MSG_HEADER_BYTES + BALLOT_BYTES);
     }
 
     #[test]
     fn batched_accept_amortizes_the_header() {
         let one = PaxosMsg::Accept {
+            ballot: b(0),
             first_instance: 0,
             cmds: Batch::single(cmd(10)),
             origin: ReplicaId::new(0),
         };
         let eight = PaxosMsg::Accept {
+            ballot: b(0),
             first_instance: 0,
             cmds: Batch::new((0..8).map(|_| cmd(10)).collect()),
             origin: ReplicaId::new(0),
         };
         assert!(eight.wire_size() < 8 * one.wire_size());
+    }
+
+    #[test]
+    fn promise_size_scales_with_the_reported_suffix() {
+        let entry = |i: u64| SuffixEntry {
+            instance: i,
+            ballot: b(1),
+            value: Some((cmd(64), ReplicaId::new(1))),
+        };
+        let empty = PaxosMsg::Promise {
+            ballot: b(2),
+            from_instance: 0,
+            committed: 0,
+            entries: vec![],
+        };
+        let full = PaxosMsg::Promise {
+            ballot: b(2),
+            from_instance: 0,
+            committed: 0,
+            entries: (0..4).map(entry).collect(),
+        };
+        assert!(full.wire_size() > empty.wire_size() + 4 * 64);
+        // A no-op filler costs almost nothing.
+        let noop = SuffixEntry {
+            instance: 9,
+            ballot: b(2),
+            value: None,
+        };
+        assert!(noop.wire_size() < entry(9).wire_size());
     }
 }

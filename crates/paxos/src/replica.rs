@@ -6,6 +6,37 @@
 //! `ACCEPTED` (and, in plain Paxos, one `COMMIT`) message covers every
 //! instance up to its watermark. Per-instance ack counters disappear; the
 //! hot path compares a handful of per-replica integers.
+//!
+//! # Leader election and lease-based fail-over
+//!
+//! With a [`LeaseConfig`] installed, the replica also runs classic
+//! Multi-Paxos leader change, promoted from the single-decree machinery
+//! in [`synod`](crate::synod) to the whole instance log:
+//!
+//! * every data-plane message carries the proposing regime's [`Ballot`];
+//!   acceptors **reject** (`NACK`) anything below their promise;
+//! * a follower whose leader lease expires broadcasts `PREPARE` over the
+//!   log suffix above its committed watermark; acceptors answer
+//!   `PROMISE` with their accepted entries and ballots;
+//! * on a majority of promises the candidate **repairs** the suffix: it
+//!   adopts the highest-ballot accepted value per instance, closes
+//!   proven-unchosen holes with no-ops, re-proposes everything at its
+//!   ballot (`REPAIR`), and resumes the batched data plane from the top
+//!   of the repaired range.
+//!
+//! ## Why a deposed leader is harmless (the fencing invariant)
+//!
+//! The lease is **liveness only**; safety rests on ballots. A deposed
+//! leader's in-flight `ACCEPT`s land in one of two worlds: at acceptors
+//! that already promised the new ballot they are nacked outright; at
+//! acceptors that have not, they may still be accepted — but then they
+//! are sub-majority acceptances unless the old regime really did commit,
+//! and either way the new leader's promise quorum intersects every
+//! accept quorum, so its repair adopts any possibly-committed value and
+//! supersedes the rest at a higher ballot. Cumulative `ACCEPTED`
+//! watermarks are regime-tagged, so vouches earned under the old leader
+//! are never counted toward the new regime's commits. Clock skew can
+//! therefore cost an unneeded election, never agreement.
 
 use std::collections::BTreeMap;
 
@@ -16,10 +47,12 @@ use rsm_core::checkpoint::{
 use rsm_core::command::{Command, Committed};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
+use rsm_core::lease::{Lease, LeaseConfig};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::time::Micros;
 
-use crate::msg::PaxosMsg;
+use crate::msg::{PaxosMsg, SuffixEntry};
+use crate::synod::Ballot;
 
 /// How long execution must sit at the *same* hole before a
 /// [`PaxosMsg::StateRequest`] leaves, and how long to wait before
@@ -28,6 +61,9 @@ use crate::msg::PaxosMsg;
 /// accepts via faster relay paths) resolves itself and never triggers a
 /// transfer; a hole whose accepts were lost to a crash persists and does.
 const TRANSFER_RETRY_US: Micros = 500_000;
+
+/// The lease/election timer (heartbeats, suspicion, candidate retries).
+pub(crate) const TOKEN_LEASE: TimerToken = TimerToken(1);
 
 /// Which phase-2b dissemination strategy to run (Section IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,18 +75,34 @@ pub enum PaxosVariant {
     Bcast,
 }
 
-/// Stable log record of Multi-Paxos: accepted instances and commit marks.
+/// Stable log record of Multi-Paxos: accepted instances, promises, and
+/// commit marks.
 #[derive(Debug, Clone)]
 pub enum PaxosLogRec {
     /// An accepted (logged) instance, phase 2.
     Accept {
         /// Instance number.
         instance: u64,
+        /// The ballot the value was accepted at.
+        ballot: Ballot,
         /// The command.
         cmd: Command,
         /// Originating replica.
         origin: ReplicaId,
     },
+    /// An accepted no-op filler: a hole the electing leader proved
+    /// unchosen and closed (phase 2 of a [`PaxosMsg::Repair`]).
+    Noop {
+        /// Instance number.
+        instance: u64,
+        /// The repairing ballot.
+        ballot: Ballot,
+    },
+    /// The acceptor promise: no ballot below this will ever be accepted.
+    /// Logged before the corresponding `PROMISE`/acceptance leaves the
+    /// replica, and preserved by compaction, so a crash can never
+    /// regress the promise and let a deposed leader back in.
+    Promised(Ballot),
     /// A commit mark for an instance.
     Commit {
         /// Instance number.
@@ -65,29 +117,83 @@ pub enum PaxosLogRec {
     Checkpoint(Checkpoint<u64>),
 }
 
-/// A Multi-Paxos replica with a fixed, stable leader.
+/// One accepted instance held in memory until executed.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// The ballot the value was accepted at.
+    ballot: Ballot,
+    /// Whether this replica may execute and vouch for the value. Live
+    /// acceptances are verified; entries rebuilt from the log after a
+    /// crash are not (an election this replica slept through may have
+    /// superseded them) until re-validated by current-regime traffic,
+    /// their own commit mark, or a checkpoint install. Unverified slots
+    /// are still *reported* in promises — acceptor durability — they are
+    /// just never executed or vouched for.
+    verified: bool,
+    /// The command and its origin, or `None` for a no-op filler.
+    value: Option<(Command, ReplicaId)>,
+}
+
+/// A candidate's in-flight election.
+#[derive(Debug)]
+struct Election {
+    /// The candidacy ballot.
+    ballot: Ballot,
+    /// When the candidacy started (paces the retry at a higher round).
+    started_at: Micros,
+    /// Promises received so far: `(acceptor, committed watermark,
+    /// accepted suffix)`.
+    promises: Vec<(ReplicaId, u64, Vec<SuffixEntry>)>,
+}
+
+/// A Multi-Paxos replica.
 ///
-/// See the crate docs for the latency characteristics of each
-/// [`PaxosVariant`]. The implementation assumes the leader does not fail
-/// (ballot 0 everywhere), which matches the paper's failure-free latency
-/// and throughput evaluations of the baseline.
+/// Starts under the designated leader's initial regime (ballot round 0).
+/// Without a [`LeaseConfig`] the leader is assumed stable — the paper's
+/// failure-free evaluation setup. With one ([`with_failover`]), a leader
+/// crash is detected by lease expiry and survivors elect a replacement
+/// via `PREPARE`/`PROMISE`/`REPAIR` (see the module docs); the deposed
+/// leader rejoins as a follower, fenced by its stale ballot.
+///
+/// [`with_failover`]: MultiPaxos::with_failover
 #[derive(Debug)]
 pub struct MultiPaxos {
     id: ReplicaId,
     membership: Membership,
-    leader: ReplicaId,
     variant: PaxosVariant,
+    /// Fail-over timing policy; [`LeaseConfig::DISABLED`] pins the
+    /// initial leader forever.
+    lease_cfg: LeaseConfig,
+    /// The leader regime in effect: the highest ballot whose election
+    /// outcome (or initial designation) this replica has adopted.
+    regime: Ballot,
+    /// The acceptor promise; always `>= regime`. While `promised >
+    /// regime` an election is pending somewhere and this replica fences
+    /// the old regime but has not yet seen the new leader's repair.
+    promised: Ballot,
+    /// Highest ballot round observed anywhere; candidacies outbid it.
+    max_round_seen: u64,
+    /// Last instant the current regime proved itself (leader traffic,
+    /// heartbeat, or a granted promise).
+    lease: Lease,
+    /// This replica's candidacy, while one is in flight.
+    election: Option<Election>,
+    /// Client batches buffered while campaigning; proposed on victory,
+    /// forwarded on defeat.
+    pending: Vec<(Batch, ReplicaId)>,
     /// Leader only: next instance number to assign.
     next_instance: u64,
     /// Commands accepted but not yet executed, keyed by instance.
-    instances: BTreeMap<u64, (Command, ReplicaId)>,
-    /// All instances below this are logged locally (gap-free thanks to
-    /// consecutive leader assignment over FIFO channels) — the watermark
-    /// this replica acknowledges.
+    instances: BTreeMap<u64, Slot>,
+    /// The regime-tagged vouch watermark: every instance below it is
+    /// either known committed or logged here at the current regime's
+    /// ballot (gap-free thanks to consecutive leader assignment over
+    /// FIFO channels). Recomputed from the slot table whenever the
+    /// regime changes.
     logged_next: u64,
-    /// `acked[k]`: replica `k`'s acknowledged watermark (all instances
-    /// below it are logged at `k`). Tracked by everyone in bcast mode, by
-    /// the leader in plain mode.
+    /// `acked[k]`: replica `k`'s acknowledged watermark **under the
+    /// current regime**. Reset on every regime change; tracked by
+    /// everyone in bcast mode, by the leader in plain mode.
     acked: Vec<u64>,
     /// All instances below this are known committed.
     committed_next: u64,
@@ -100,6 +206,10 @@ pub struct MultiPaxos {
     /// [`TRANSFER_RETRY_US`] before a state transfer is requested, and
     /// the same field paces the retries afterwards.
     stalled_at: Option<(u64, Micros)>,
+    /// The vouch gap a [`PaxosMsg::FillRequest`] is out for, and when it
+    /// was sent: `(gap start, asked at)`. Paces the retries of leader
+    /// retransmission for instances lost while this replica was down.
+    fill_asked: Option<(u64, Micros)>,
     /// Rotation cursor over the peers for state transfer requests: one
     /// peer is asked per round (a snapshot is large; asking everyone
     /// would make every peer serialize and ship one while the requester
@@ -109,7 +219,7 @@ pub struct MultiPaxos {
 }
 
 impl MultiPaxos {
-    /// Creates a replica.
+    /// Creates a replica under `leader`'s initial regime.
     ///
     /// # Panics
     ///
@@ -123,11 +233,21 @@ impl MultiPaxos {
         assert!(membership.in_spec(id), "replica {id} not in spec");
         assert!(membership.in_spec(leader), "leader {leader} not in spec");
         let n = membership.spec().len();
+        let initial = Ballot {
+            round: 0,
+            proposer: leader,
+        };
         MultiPaxos {
             id,
             membership,
-            leader,
             variant,
+            lease_cfg: LeaseConfig::DISABLED,
+            regime: initial,
+            promised: initial,
+            max_round_seen: 0,
+            lease: Lease::new(0),
+            election: None,
+            pending: Vec::new(),
             next_instance: 0,
             instances: BTreeMap::new(),
             logged_next: 0,
@@ -136,6 +256,7 @@ impl MultiPaxos {
             exec_cursor: 0,
             checkpointer: Checkpointer::new(CheckpointPolicy::DISABLED),
             stalled_at: None,
+            fill_asked: None,
             transfer_target: 0,
         }
     }
@@ -147,14 +268,37 @@ impl MultiPaxos {
         self
     }
 
-    /// The designated leader replica.
-    pub fn leader(&self) -> ReplicaId {
-        self.leader
+    /// Enables lease-based fail-over: leader heartbeats, follower
+    /// suspicion, and ballot elections per `lease`.
+    pub fn with_failover(mut self, lease: LeaseConfig) -> Self {
+        self.lease_cfg = lease;
+        self
     }
 
-    /// Whether this replica is the leader.
+    /// The replica this one currently believes leads (the proposer of
+    /// the adopted regime).
+    pub fn leader(&self) -> ReplicaId {
+        self.regime.proposer
+    }
+
+    /// Whether this replica is the active, unfenced leader.
     pub fn is_leader(&self) -> bool {
-        self.id == self.leader
+        self.regime.proposer == self.id && self.promised == self.regime
+    }
+
+    /// The adopted leader regime's ballot.
+    pub fn regime(&self) -> Ballot {
+        self.regime
+    }
+
+    /// The acceptor promise (never below [`regime`](MultiPaxos::regime)).
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// Whether an election started by this replica is in flight.
+    pub fn is_campaigning(&self) -> bool {
+        self.election.is_some()
     }
 
     /// The dissemination variant this replica runs.
@@ -162,13 +306,118 @@ impl MultiPaxos {
         self.variant
     }
 
-    /// Number of instances executed so far.
+    /// Number of instances executed so far (no-op fillers included).
     pub fn executed(&self) -> u64 {
         self.exec_cursor
     }
 
     fn majority(&self) -> usize {
         self.membership.majority()
+    }
+
+    /// The best current guess at who leads: the adopted regime's
+    /// proposer, or — while fencing a newer promise — that promise's
+    /// candidate.
+    fn leader_hint(&self) -> ReplicaId {
+        if self.promised > self.regime {
+            self.promised.proposer
+        } else {
+            self.regime.proposer
+        }
+    }
+
+    /// Records an observed ballot and durably raises the promise if it
+    /// exceeds the current one.
+    fn promise_at_least(&mut self, ballot: Ballot, ctx: &mut dyn Context<Self>) {
+        self.max_round_seen = self.max_round_seen.max(ballot.round);
+        if ballot > self.promised {
+            self.promised = ballot;
+            ctx.log_append(PaxosLogRec::Promised(ballot));
+        }
+    }
+
+    /// Switches to a newer leader regime: discards regime-scoped state
+    /// (per-replica ack watermarks), demotes acceptances from older
+    /// ballots to unverified — a repair may have superseded them — and
+    /// recomputes the vouch watermark. The caller has already raised the
+    /// promise to at least `ballot`.
+    fn adopt_regime(&mut self, ballot: Ballot, ctx: &mut dyn Context<Self>) {
+        if ballot <= self.regime {
+            return;
+        }
+        self.regime = ballot;
+        for slot in self.instances.values_mut() {
+            if slot.ballot < ballot {
+                slot.verified = false;
+            }
+        }
+        for a in &mut self.acked {
+            *a = 0;
+        }
+        self.recompute_vouch();
+        // A fresh regime restarts the stall confirmation window: its
+        // repair may be about to fill (or re-cut) the hole.
+        self.stalled_at = None;
+        if let Some(e) = &self.election {
+            if ballot >= e.ballot {
+                self.election = None;
+            }
+        }
+        let now = ctx.clock();
+        self.lease.renew(now);
+    }
+
+    /// Renews the lease when `from` is the adopted regime's leader
+    /// speaking at its own ballot.
+    fn note_leader_alive(&mut self, from: ReplicaId, ballot: Ballot, ctx: &mut dyn Context<Self>) {
+        if ballot == self.regime && from == self.regime.proposer {
+            let now = ctx.clock();
+            self.lease.renew(now);
+        }
+    }
+
+    /// Recomputes the regime-tagged vouch watermark: starting from the
+    /// committed watermark (decided instances need no local voucher —
+    /// the same argument that lets a recovered replica's cumulative ack
+    /// jump a committed gap), extend over contiguous verified slots.
+    fn recompute_vouch(&mut self) {
+        let mut w = self.committed_next;
+        while self.instances.get(&w).is_some_and(|s| s.verified) {
+            w += 1;
+        }
+        self.logged_next = w;
+    }
+
+    /// Sends the cumulative phase-2b watermark for the current regime.
+    fn send_ack(&mut self, ctx: &mut dyn Context<Self>) {
+        let ack = PaxosMsg::Accepted {
+            ballot: self.regime,
+            up_to: self.logged_next,
+        };
+        match self.variant {
+            PaxosVariant::Plain => ctx.send(self.regime.proposer, ack),
+            PaxosVariant::Bcast => {
+                for r in self.membership.config().to_vec() {
+                    ctx.send(r, ack.clone());
+                }
+            }
+        }
+    }
+
+    /// Re-dispatches batches buffered during a candidacy once leadership
+    /// is settled (either way).
+    fn flush_pending(&mut self, ctx: &mut dyn Context<Self>) {
+        if self.election.is_some() || self.pending.is_empty() {
+            return;
+        }
+        let pending: Vec<(Batch, ReplicaId)> = self.pending.drain(..).collect();
+        for (cmds, origin) in pending {
+            if self.is_leader() {
+                self.propose(cmds, origin, ctx);
+            } else {
+                ctx.send(self.leader_hint(), PaxosMsg::Forward { cmds, origin });
+            }
+        }
     }
 
     /// Leader: bind the batch to the next contiguous instance run and
@@ -185,11 +434,13 @@ impl MultiPaxos {
         // different commands — divergent execution at the followers.
         // Sending to peers first keeps Accept ahead of our own Accepted
         // on every FIFO channel.
+        let ballot = self.regime;
         for r in self.membership.config().to_vec() {
             if r != self.id {
                 ctx.send(
                     r,
                     PaxosMsg::Accept {
+                        ballot,
                         first_instance,
                         cmds: cmds.clone(),
                         origin,
@@ -197,18 +448,39 @@ impl MultiPaxos {
                 );
             }
         }
-        self.on_accept(first_instance, cmds, origin, ctx);
+        self.on_accept(self.id, ballot, first_instance, cmds, origin, ctx);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_accept(
         &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
         first_instance: u64,
         cmds: Batch,
         origin: ReplicaId,
         ctx: &mut dyn Context<Self>,
     ) {
+        if ballot < self.promised {
+            // Stale-ballot fencing: the sender was deposed (or outbid)
+            // and must learn it rather than keep proposing into the void.
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    promised: self.promised,
+                },
+            );
+            return;
+        }
+        // Accepting at a ballot implies promising it; an Accept can be
+        // the first regime-b message a replica sees (it slept through
+        // the repair), in which case it adopts the regime here.
+        self.promise_at_least(ballot, ctx);
+        self.adopt_regime(ballot, ctx);
+        self.note_leader_alive(from, ballot, ctx);
         let last_next = first_instance + cmds.len() as u64;
         if last_next <= self.exec_cursor {
+            self.flush_pending(ctx);
             return; // stale: the whole run is already executed
         }
         for (i, cmd) in cmds.into_iter().enumerate() {
@@ -218,10 +490,18 @@ impl MultiPaxos {
             }
             ctx.log_append(PaxosLogRec::Accept {
                 instance,
+                ballot,
                 cmd: cmd.clone(),
                 origin,
             });
-            self.instances.insert(instance, (cmd, origin));
+            self.instances.insert(
+                instance,
+                Slot {
+                    ballot,
+                    verified: true,
+                    value: Some((cmd, origin)),
+                },
+            );
         }
         // Advance the ack watermark only over a gap-free prefix. A gap
         // means accepts were lost while this replica was down (the only
@@ -238,26 +518,39 @@ impl MultiPaxos {
             self.logged_next = self.logged_next.max(last_next);
         } else if self.committed_next >= first_instance {
             self.logged_next = last_next;
+        } else {
+            // A vouch gap: per-link FIFO means the accepts for
+            // [logged_next, first_instance) were lost — either in our
+            // own outage or, crucially, while the leader proposed
+            // without a live majority (then *no one* can ack across the
+            // hole and the uncommitted range would deadlock forever).
+            // Ask the leader to retransmit from its slot table.
+            self.request_gap_fill(first_instance, ctx);
         }
         // One cumulative ack for the whole batch.
-        let ack = PaxosMsg::Accepted {
-            up_to: self.logged_next,
-        };
-        match self.variant {
-            PaxosVariant::Plain => ctx.send(self.leader, ack),
-            PaxosVariant::Bcast => {
-                for r in self.membership.config().to_vec() {
-                    ctx.send(r, ack.clone());
-                }
-            }
-        }
+        self.send_ack(ctx);
         // A late accept can fill an instance the commit watermark already
         // covers (its Accepted watermarks outran it via faster relays);
         // execution must resume here because nothing else will retry.
         self.execute_ready(true, ctx);
+        self.flush_pending(ctx);
     }
 
-    fn on_accepted(&mut self, from: ReplicaId, up_to: u64, ctx: &mut dyn Context<Self>) {
+    fn on_accepted(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        up_to: u64,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        if ballot != self.regime {
+            // A vouch for another regime's log must never count toward
+            // this one's quorums: the sender's prefix may hold values a
+            // repair since superseded (older ballot), or values we have
+            // not adopted yet (newer ballot — its repair will reach us
+            // first on the leader's FIFO channel).
+            return;
+        }
         let k = from.index();
         if up_to <= self.acked[k] {
             return; // stale or duplicate watermark
@@ -287,23 +580,6 @@ impl MultiPaxos {
         }
     }
 
-    /// Re-extends the cumulative ack watermark after the commit watermark
-    /// moves past it: a committed hole is globally decided, so covering
-    /// it adds no false quorum weight (same argument as the jump in
-    /// `on_accept`), and everything logged contiguously above it is
-    /// vouchable again. Without this, a recovered replica's watermark
-    /// would stay frozen at its crash gap under continuous pipelined
-    /// load — the `on_accept` jump needs `committed_next` to have caught
-    /// up with the newest accept run, which only happens in a lull.
-    fn reextend_logged_next(&mut self) {
-        if self.committed_next > self.logged_next {
-            self.logged_next = self.committed_next;
-            while self.instances.contains_key(&self.logged_next) {
-                self.logged_next += 1;
-            }
-        }
-    }
-
     /// Recomputes the committed watermark from the acknowledgement
     /// watermarks; on advance, notifies (plain leader) and executes.
     fn advance_commit(&mut self, ctx: &mut dyn Context<Self>) {
@@ -312,54 +588,490 @@ impl MultiPaxos {
             return;
         }
         self.committed_next = w;
-        self.reextend_logged_next();
+        self.recompute_vouch();
         if self.variant == PaxosVariant::Plain {
             // Only the leader counts 2b in plain Paxos; notify everyone
             // (itself included) with one cumulative COMMIT.
             debug_assert!(self.is_leader());
             for r in self.membership.config().to_vec() {
-                ctx.send(r, PaxosMsg::Commit { up_to: w });
+                ctx.send(
+                    r,
+                    PaxosMsg::Commit {
+                        ballot: self.regime,
+                        up_to: w,
+                    },
+                );
             }
         }
         self.execute_ready(true, ctx);
     }
 
-    fn on_commit(&mut self, up_to: u64, ctx: &mut dyn Context<Self>) {
+    fn on_commit(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        up_to: u64,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        // Commitment is final whichever regime announces it: a (possibly
+        // since-deposed) leader only announces quorums it really
+        // observed, and any later repair preserves committed values. A
+        // commit from a *newer* regime additionally proves that regime
+        // won its election.
+        self.promise_at_least(ballot, ctx);
+        self.adopt_regime(ballot, ctx);
+        self.note_leader_alive(from, ballot, ctx);
+        if ballot < self.promised {
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    promised: self.promised,
+                },
+            );
+        }
         if up_to <= self.committed_next {
+            self.flush_pending(ctx);
             return; // stale or duplicate notification
         }
         self.committed_next = up_to;
-        self.reextend_logged_next();
+        self.recompute_vouch();
         self.execute_ready(true, ctx);
+        self.flush_pending(ctx);
     }
+
+    fn on_heartbeat(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        committed: u64,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        // A heartbeat only ever comes from an elected leader, so a newer
+        // ballot is adopted directly; a stale one draws the Nack that
+        // tells a deposed leader to step down. Its commit watermark is
+        // honoured either way (commitment is final).
+        self.on_commit(from, ballot, committed, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Election: phase 1 over the log suffix
+    // ------------------------------------------------------------------
+
+    fn start_election(&mut self, now: Micros, ctx: &mut dyn Context<Self>) {
+        self.max_round_seen += 1;
+        let ballot = Ballot {
+            round: self.max_round_seen,
+            proposer: self.id,
+        };
+        // Make the candidacy round durable *before* the ballot leaves
+        // this replica (the same crash window propose() closes with its
+        // synchronous self-delivery): recovering from a crash mid-
+        // candidacy must never reuse a ballot that peers may already
+        // have promised — a second, differently-merged campaign at the
+        // same ballot could count stale first-campaign promises.
+        self.promise_at_least(ballot, ctx);
+        self.election = Some(Election {
+            ballot,
+            started_at: now,
+            promises: Vec::new(),
+        });
+        let from_instance = self.committed_next;
+        // Broadcast including self: our own acceptor state (promise and
+        // suffix report) flows through the same path as everyone else's.
+        for r in self.membership.config().to_vec() {
+            ctx.send(
+                r,
+                PaxosMsg::Prepare {
+                    ballot,
+                    from_instance,
+                },
+            );
+        }
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        from_instance: u64,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        self.max_round_seen = self.max_round_seen.max(ballot.round);
+        if ballot < self.promised {
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    promised: self.promised,
+                },
+            );
+            return;
+        }
+        self.promise_at_least(ballot, ctx);
+        // Granting a promise renews the lease: give the candidate its
+        // election window before suspecting the (dead) leader ourselves.
+        let now = ctx.clock();
+        self.lease.renew(now);
+        if let Some(e) = &self.election {
+            if ballot > e.ballot {
+                self.election = None; // outbid: defer to the higher candidacy
+            }
+        }
+        let entries: Vec<SuffixEntry> = self
+            .instances
+            .range(from_instance..)
+            .map(|(&instance, slot)| SuffixEntry {
+                instance,
+                ballot: slot.ballot,
+                value: slot.value.clone(),
+            })
+            .collect();
+        ctx.send(
+            from,
+            PaxosMsg::Promise {
+                ballot,
+                from_instance,
+                committed: self.committed_next,
+                entries,
+            },
+        );
+    }
+
+    fn on_promise(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        committed: u64,
+        entries: Vec<SuffixEntry>,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        let Some(e) = &mut self.election else {
+            return; // candidacy already won, lost, or abandoned
+        };
+        if ballot != e.ballot || e.promises.iter().any(|(r, _, _)| *r == from) {
+            return;
+        }
+        e.promises.push((from, committed, entries));
+        if e.promises.len() >= self.membership.majority() {
+            self.win(ctx);
+        }
+    }
+
+    /// A majority promised: merge the reported suffixes and repair.
+    fn win(&mut self, ctx: &mut dyn Context<Self>) {
+        let e = self.election.take().expect("win() called mid-election");
+        let ballot = e.ballot;
+        // The repair floor: the highest committed watermark across the
+        // promise quorum (and ourselves). Everything below it is final
+        // and carries no repair — an instance executed somewhere can no
+        // longer be reported from that replica's slot table, but it also
+        // cannot need re-proposing.
+        let floor = e
+            .promises
+            .iter()
+            .map(|(_, c, _)| *c)
+            .max()
+            .unwrap_or(0)
+            .max(self.committed_next);
+        // Per instance at or above the floor, adopt the highest-ballot
+        // reported acceptance (the classic phase-1 value rule, per
+        // instance). Instances nobody reported are proven unchosen —
+        // every accept quorum intersects this promise quorum — and are
+        // closed with no-ops.
+        let mut merged: BTreeMap<u64, (Ballot, Option<(Command, ReplicaId)>)> = BTreeMap::new();
+        for (_, _, entries) in &e.promises {
+            for entry in entries {
+                if entry.instance < floor {
+                    continue;
+                }
+                match merged.get(&entry.instance) {
+                    Some((b, _)) if *b >= entry.ballot => {}
+                    _ => {
+                        merged.insert(entry.instance, (entry.ballot, entry.value.clone()));
+                    }
+                }
+            }
+        }
+        let top = merged.keys().next_back().map_or(floor, |m| m + 1);
+        let entries: Vec<SuffixEntry> = (floor..top)
+            .map(|instance| SuffixEntry {
+                instance,
+                ballot,
+                value: merged.remove(&instance).and_then(|(_, v)| v),
+            })
+            .collect();
+        // The data plane resumes above everything merged or repaired.
+        self.next_instance = self.next_instance.max(top);
+        // Peers first, then the synchronous self-delivery, exactly like
+        // propose(): the repair must be durable locally before any ack
+        // for it can exist, and Repair stays ahead of our subsequent
+        // Accepts on every FIFO channel.
+        for r in self.membership.config().to_vec() {
+            if r != self.id {
+                ctx.send(
+                    r,
+                    PaxosMsg::Repair {
+                        ballot,
+                        floor,
+                        entries: entries.clone(),
+                    },
+                );
+            }
+        }
+        self.on_repair(self.id, ballot, floor, entries, ctx);
+        self.flush_pending(ctx);
+    }
+
+    fn on_repair(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        floor: u64,
+        entries: Vec<SuffixEntry>,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        if ballot < self.promised {
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    promised: self.promised,
+                },
+            );
+            return;
+        }
+        self.promise_at_least(ballot, ctx);
+        self.adopt_regime(ballot, ctx);
+        self.note_leader_alive(from, ballot, ctx);
+        // The floor is a committed watermark observed by the new leader;
+        // adopting it may expose local holes, which the state-transfer
+        // path fills like any other committed hole.
+        self.committed_next = self.committed_next.max(floor);
+        let top = floor + entries.len() as u64;
+        self.accept_entries(ballot, entries, ctx);
+        // Acceptances above the repaired range are proven-uncommitted
+        // leftovers of older regimes (anything committed would have been
+        // merged); the new leader re-assigns those instances to fresh
+        // commands, so drop them rather than let them shadow the
+        // reassignments in promise reports.
+        self.instances.split_off(&top);
+        self.recompute_vouch();
+        self.send_ack(ctx);
+        self.execute_ready(true, ctx);
+        self.flush_pending(ctx);
+    }
+
+    /// Accepts a set of explicitly-instanced entries (a repair or a
+    /// fill) at `ballot`: each is logged durably and installed as a
+    /// verified slot; entries already executed are skipped.
+    fn accept_entries(
+        &mut self,
+        ballot: Ballot,
+        entries: Vec<SuffixEntry>,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        for entry in entries {
+            if entry.instance < self.exec_cursor {
+                continue;
+            }
+            let slot = Slot {
+                ballot,
+                verified: true,
+                value: entry.value,
+            };
+            ctx.log_append(Self::slot_rec(entry.instance, &slot));
+            self.instances.insert(entry.instance, slot);
+        }
+    }
+
+    /// The durable log record re-asserting `slot` at `instance`.
+    fn slot_rec(instance: u64, slot: &Slot) -> PaxosLogRec {
+        match &slot.value {
+            Some((cmd, origin)) => PaxosLogRec::Accept {
+                instance,
+                ballot: slot.ballot,
+                cmd: cmd.clone(),
+                origin: *origin,
+            },
+            None => PaxosLogRec::Noop {
+                instance,
+                ballot: slot.ballot,
+            },
+        }
+    }
+
+    /// Asks the regime leader to retransmit the accepts for
+    /// `[logged_next, gap_end)`, paced like state transfers so pipelined
+    /// traffic over a persistent gap does not storm duplicate requests.
+    fn request_gap_fill(&mut self, gap_end: u64, ctx: &mut dyn Context<Self>) {
+        let gap_start = self.logged_next;
+        let now = ctx.clock();
+        if let Some((s, since)) = self.fill_asked {
+            if s == gap_start && now.saturating_sub(since) < TRANSFER_RETRY_US {
+                return; // an exchange for this gap is already in flight
+            }
+        }
+        self.fill_asked = Some((gap_start, now));
+        ctx.send(
+            self.regime.proposer,
+            PaxosMsg::FillRequest {
+                from_instance: gap_start,
+                to_instance: gap_end,
+            },
+        );
+    }
+
+    /// Leader: retransmit still-pending instances from the slot table.
+    /// Instances already executed here are committed; the requester's
+    /// commit watermark will cover them and the state-transfer path
+    /// takes over for those.
+    fn on_fill_request(&mut self, from: ReplicaId, lo: u64, hi: u64, ctx: &mut dyn Context<Self>) {
+        if !self.is_leader() {
+            return; // a deposed leader's pending values may be superseded
+        }
+        let entries: Vec<SuffixEntry> = self
+            .instances
+            .range(lo..hi)
+            .map(|(&instance, slot)| SuffixEntry {
+                instance,
+                ballot: self.regime,
+                value: slot.value.clone(),
+            })
+            .collect();
+        if !entries.is_empty() {
+            ctx.send(
+                from,
+                PaxosMsg::Fill {
+                    ballot: self.regime,
+                    entries,
+                },
+            );
+        }
+    }
+
+    /// A leader retransmission: plain re-acceptance of the carried
+    /// instances at the regime ballot — no floor, nothing dropped.
+    fn on_fill(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        entries: Vec<SuffixEntry>,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        if ballot < self.promised {
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    promised: self.promised,
+                },
+            );
+            return;
+        }
+        self.promise_at_least(ballot, ctx);
+        self.adopt_regime(ballot, ctx);
+        self.note_leader_alive(from, ballot, ctx);
+        self.fill_asked = None;
+        self.accept_entries(ballot, entries, ctx);
+        self.recompute_vouch();
+        self.send_ack(ctx);
+        self.execute_ready(true, ctx);
+        self.flush_pending(ctx);
+    }
+
+    fn on_nack(&mut self, promised: Ballot, ctx: &mut dyn Context<Self>) {
+        let was_leader = self.is_leader();
+        self.promise_at_least(promised, ctx);
+        if let Some(e) = &self.election {
+            if promised > e.ballot {
+                // Outbid: stop collecting; the retry timer re-runs at a
+                // higher round if the winner never materializes.
+                self.election = None;
+            }
+        }
+        if was_leader && !self.is_leader() {
+            // Deposed: grant the new regime a full lease before electing.
+            let now = ctx.clock();
+            self.lease.renew(now);
+        }
+        self.flush_pending(ctx);
+    }
+
+    /// The lease/election tick: leaders heartbeat, followers suspect,
+    /// candidates retry at a higher round.
+    fn lease_tick(&mut self, ctx: &mut dyn Context<Self>) {
+        if !self.lease_cfg.enabled() {
+            return;
+        }
+        // Re-arm first so a panic-free return always keeps the timer alive.
+        ctx.set_timer(self.lease_cfg.heartbeat_us, TOKEN_LEASE);
+        let now = ctx.clock();
+        if self.is_leader() {
+            for r in self.membership.config().to_vec() {
+                if r != self.id {
+                    ctx.send(
+                        r,
+                        PaxosMsg::Heartbeat {
+                            ballot: self.regime,
+                            committed: self.committed_next,
+                        },
+                    );
+                }
+            }
+        } else if let Some(e) = &self.election {
+            if now.saturating_sub(e.started_at) > self.lease_cfg.election_retry_us {
+                self.start_election(now, ctx);
+            }
+        } else if self
+            .lease
+            .expired(now, self.lease_cfg.stagger_us(self.id.index()))
+        {
+            self.start_election(now, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution, checkpoints, and state transfer
+    // ------------------------------------------------------------------
 
     /// Executes committed instances in consecutive order. `log_marks` is
     /// false only during recovery replay, whose commit marks are already
     /// in the log.
     fn execute_ready(&mut self, log_marks: bool, ctx: &mut dyn Context<Self>) {
         while self.exec_cursor < self.committed_next {
-            let Some((cmd, origin)) = self.instances.remove(&self.exec_cursor) else {
-                // Command not yet known: either it is still in flight, or
-                // its ACCEPT was lost while this replica was down — a
-                // committed hole nothing will ever retransmit. Only a
+            let executable = match self.instances.get(&self.exec_cursor) {
+                // A slot is only executed once trusted: live acceptances
+                // and replayed commit-marked entries always are; entries
+                // rebuilt from the log after a crash are not until the
+                // current regime re-validates them (see Slot::verified).
+                Some(slot) => slot.verified || slot.ballot == self.regime,
+                None => false,
+            };
+            if !executable {
+                // Command not yet known (or not yet trusted): either it
+                // is still in flight, or its ACCEPT was lost — or
+                // superseded — while this replica was down. Only a
                 // peer's checkpoint can cover it (rate-limited; a no-op
                 // when the run is merely in flight, because peers answer
                 // with watermarks above ours and installs below ours are
                 // ignored).
                 self.request_state_transfer(ctx);
                 break;
-            };
+            }
+            let slot = self
+                .instances
+                .remove(&self.exec_cursor)
+                .expect("checked above");
             let instance = self.exec_cursor;
             self.exec_cursor += 1;
             if log_marks {
                 ctx.log_append(PaxosLogRec::Commit { instance });
             }
-            self.checkpointer.note_commit(cmd.payload.len());
-            ctx.commit(Committed {
-                cmd,
-                origin,
-                order_hint: instance,
-            });
+            if let Some((cmd, origin)) = slot.value {
+                self.checkpointer.note_commit(cmd.payload.len());
+                ctx.commit(Committed {
+                    cmd,
+                    origin,
+                    order_hint: instance,
+                });
+            }
         }
         if log_marks {
             self.maybe_checkpoint(ctx);
@@ -391,18 +1103,16 @@ impl MultiPaxos {
         }
     }
 
-    /// Rewrites the stable log to `cp` plus the accepts still above its
-    /// watermark — the log stays bounded by the checkpoint interval plus
-    /// the replication pipeline depth.
+    /// Rewrites the stable log to `cp` plus the promise and the accepts
+    /// still above its watermark — the log stays bounded by the
+    /// checkpoint interval plus the replication pipeline depth, and the
+    /// promise survives compaction (an acceptor must never regress it).
     fn compact_log(&self, cp: Checkpoint<u64>, ctx: &mut dyn Context<Self>) {
-        let mut recs = Vec::with_capacity(1 + self.instances.len());
+        let mut recs = Vec::with_capacity(2 + self.instances.len());
         recs.push(PaxosLogRec::Checkpoint(cp));
-        for (&instance, (cmd, origin)) in &self.instances {
-            recs.push(PaxosLogRec::Accept {
-                instance,
-                cmd: cmd.clone(),
-                origin: *origin,
-            });
+        recs.push(PaxosLogRec::Promised(self.promised));
+        for (&instance, slot) in &self.instances {
+            recs.push(Self::slot_rec(instance, slot));
         }
         ctx.log_rewrite(recs);
     }
@@ -456,7 +1166,8 @@ impl MultiPaxos {
 
     /// Serves a state transfer request with a fresh snapshot of our
     /// executed prefix — always coherent, never stale, no retained
-    /// checkpoint needed.
+    /// checkpoint needed. The reply carries our promise so the installer
+    /// cannot regress below a regime the cluster already fenced.
     fn on_state_request(&mut self, from: ReplicaId, have: u64, ctx: &mut dyn Context<Self>) {
         if self.exec_cursor <= have {
             return; // nothing the requester does not already have
@@ -466,14 +1177,17 @@ impl MultiPaxos {
         };
         ctx.send(
             from,
-            PaxosMsg::StateReply(StateTransferReply {
-                checkpoint: Checkpoint {
-                    applied: self.exec_cursor,
-                    epoch: Epoch::ZERO,
-                    config: self.membership.config().to_vec(),
-                    snapshot,
+            PaxosMsg::StateReply {
+                reply: StateTransferReply {
+                    checkpoint: Checkpoint {
+                        applied: self.exec_cursor,
+                        epoch: Epoch::ZERO,
+                        config: self.membership.config().to_vec(),
+                        snapshot,
+                    },
                 },
-            }),
+                promised: self.promised,
+            },
         );
     }
 
@@ -482,7 +1196,15 @@ impl MultiPaxos {
     /// jumps there, the log is pinned with a durable checkpoint record,
     /// and the cumulative ack watermark resumes from the installed
     /// prefix (covering a decided prefix adds no false quorum weight).
-    fn on_state_reply(&mut self, cp: Checkpoint<u64>, ctx: &mut dyn Context<Self>) {
+    fn on_state_reply(
+        &mut self,
+        cp: Checkpoint<u64>,
+        server_promised: Ballot,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        // Adopt the server's promise before anything durable happens:
+        // the compacted log written below re-pins it.
+        self.promise_at_least(server_promised, ctx);
         if cp.applied <= self.exec_cursor {
             return; // stale or duplicate reply
         }
@@ -498,23 +1220,14 @@ impl MultiPaxos {
             self.compact_log(cp, ctx);
         } else {
             ctx.log_append(PaxosLogRec::Checkpoint(cp));
+            ctx.log_append(PaxosLogRec::Promised(self.promised));
         }
         // Resume quorum duty immediately instead of waiting for the next
         // accept to carry the re-extended watermark.
         let before = self.logged_next;
-        self.reextend_logged_next();
+        self.recompute_vouch();
         if self.logged_next > before {
-            let ack = PaxosMsg::Accepted {
-                up_to: self.logged_next,
-            };
-            match self.variant {
-                PaxosVariant::Plain => ctx.send(self.leader, ack),
-                PaxosVariant::Bcast => {
-                    for r in self.membership.config().to_vec() {
-                        ctx.send(r, ack.clone());
-                    }
-                }
-            }
+            self.send_ack(ctx);
         }
         self.execute_ready(true, ctx);
     }
@@ -528,22 +1241,32 @@ impl Protocol for MultiPaxos {
         self.id
     }
 
-    fn on_start(&mut self, _ctx: &mut dyn Context<Self>) {}
+    fn on_start(&mut self, ctx: &mut dyn Context<Self>) {
+        if self.lease_cfg.enabled() {
+            let now = ctx.clock();
+            self.lease = Lease::new(now);
+            ctx.set_timer(self.lease_cfg.heartbeat_us, TOKEN_LEASE);
+        }
+    }
 
     fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
         self.on_client_batch(Batch::single(cmd), ctx);
     }
 
     fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
+        let origin = self.id;
         if self.is_leader() {
-            let origin = self.id;
             self.propose(batch, origin, ctx);
+        } else if self.election.is_some() {
+            // Mid-candidacy there is nowhere useful to send the batch;
+            // hold it until leadership settles.
+            self.pending.push((batch, origin));
         } else {
             ctx.send(
-                self.leader,
+                self.leader_hint(),
                 PaxosMsg::Forward {
                     cmds: batch,
-                    origin: self.id,
+                    origin,
                 },
             );
         }
@@ -554,26 +1277,63 @@ impl Protocol for MultiPaxos {
             PaxosMsg::Forward { cmds, origin } => {
                 if self.is_leader() {
                     self.propose(cmds, origin, ctx);
+                } else if self.election.is_some() {
+                    self.pending.push((cmds, origin));
+                } else if self.leader_hint() != from {
+                    // Mis-addressed (the sender's leader view is stale):
+                    // relay toward the leader we believe in.
+                    ctx.send(self.leader_hint(), PaxosMsg::Forward { cmds, origin });
                 }
             }
             PaxosMsg::Accept {
+                ballot,
                 first_instance,
                 cmds,
                 origin,
-            } => self.on_accept(first_instance, cmds, origin, ctx),
-            PaxosMsg::Accepted { up_to } => {
+            } => self.on_accept(from, ballot, first_instance, cmds, origin, ctx),
+            PaxosMsg::Accepted { ballot, up_to } => {
                 // In plain Paxos only the leader receives and counts 2b.
                 if self.variant == PaxosVariant::Bcast || self.is_leader() {
-                    self.on_accepted(from, up_to, ctx);
+                    self.on_accepted(from, ballot, up_to, ctx);
                 }
             }
-            PaxosMsg::Commit { up_to } => self.on_commit(up_to, ctx),
+            PaxosMsg::Commit { ballot, up_to } => self.on_commit(from, ballot, up_to, ctx),
+            PaxosMsg::Heartbeat { ballot, committed } => {
+                self.on_heartbeat(from, ballot, committed, ctx)
+            }
+            PaxosMsg::Prepare {
+                ballot,
+                from_instance,
+            } => self.on_prepare(from, ballot, from_instance, ctx),
+            PaxosMsg::Promise {
+                ballot,
+                from_instance: _,
+                committed,
+                entries,
+            } => self.on_promise(from, ballot, committed, entries, ctx),
+            PaxosMsg::Nack { promised } => self.on_nack(promised, ctx),
+            PaxosMsg::FillRequest {
+                from_instance,
+                to_instance,
+            } => self.on_fill_request(from, from_instance, to_instance, ctx),
+            PaxosMsg::Fill { ballot, entries } => self.on_fill(from, ballot, entries, ctx),
+            PaxosMsg::Repair {
+                ballot,
+                floor,
+                entries,
+            } => self.on_repair(from, ballot, floor, entries, ctx),
             PaxosMsg::StateRequest(req) => self.on_state_request(from, req.have, ctx),
-            PaxosMsg::StateReply(reply) => self.on_state_reply(reply.checkpoint, ctx),
+            PaxosMsg::StateReply { reply, promised } => {
+                self.on_state_reply(reply.checkpoint, promised, ctx)
+            }
         }
     }
 
-    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self>) {
+        if token == TOKEN_LEASE {
+            self.lease_tick(ctx);
+        }
+    }
 
     fn on_recover(&mut self, log: &[PaxosLogRec], ctx: &mut dyn Context<Self>) {
         // Checkpoint fast path (Section V-B, shared subsystem): restore
@@ -592,37 +1352,79 @@ impl Protocol for MultiPaxos {
         }
         self.exec_cursor = base;
         self.committed_next = base;
-        self.logged_next = base;
-        // Rebuild accepted instances and commit marks above the base,
-        // then re-execute the contiguous committed prefix.
+        // Rebuild accepted instances, the promise, the regime, and the
+        // commit marks above the base, then re-execute the contiguous
+        // committed prefix.
         let mut committed = std::collections::BTreeSet::new();
+        let mut promised = self.promised;
+        let mut regime = self.regime;
         for rec in log {
             match rec {
                 PaxosLogRec::Accept {
                     instance,
+                    ballot,
                     cmd,
                     origin,
-                } if *instance >= base => {
-                    self.instances.insert(*instance, (cmd.clone(), *origin));
+                } => {
+                    regime = regime.max(*ballot);
+                    if *instance >= base {
+                        self.instances.insert(
+                            *instance,
+                            Slot {
+                                ballot: *ballot,
+                                verified: false,
+                                value: Some((cmd.clone(), *origin)),
+                            },
+                        );
+                    }
                 }
+                PaxosLogRec::Noop { instance, ballot } => {
+                    regime = regime.max(*ballot);
+                    if *instance >= base {
+                        self.instances.insert(
+                            *instance,
+                            Slot {
+                                ballot: *ballot,
+                                verified: false,
+                                value: None,
+                            },
+                        );
+                    }
+                }
+                PaxosLogRec::Promised(b) => promised = promised.max(*b),
                 PaxosLogRec::Commit { instance } if *instance >= base => {
                     committed.insert(*instance);
                 }
-                PaxosLogRec::Accept { .. }
-                | PaxosLogRec::Commit { .. }
-                | PaxosLogRec::Checkpoint(_) => {}
+                PaxosLogRec::Commit { .. } | PaxosLogRec::Checkpoint(_) => {}
             }
+        }
+        // The highest ballot we ever accepted at is a regime whose
+        // election we witnessed; the promise never sits below it.
+        self.regime = regime;
+        self.promised = promised.max(regime);
+        self.max_round_seen = self.max_round_seen.max(self.promised.round);
+        // Trust decisions for the rebuilt slots: our own commit marks
+        // attest pre-crash executions (their values are the committed
+        // ones by induction), so those replay verbatim. Everything else
+        // is suspect when fail-over is on — an election this replica
+        // slept through may have superseded it — and must be
+        // re-validated by current-regime traffic or a checkpoint
+        // install before execution or vouching. With fail-over off
+        // there is a single immutable regime and every logged value is
+        // the leader's unique value for its instance.
+        let failover = self.lease_cfg.enabled();
+        for (instance, slot) in &mut self.instances {
+            slot.verified = !failover || committed.contains(instance);
         }
         while committed.contains(&self.committed_next) {
             self.committed_next += 1;
         }
-        // The ack watermark restarts at the log's gap-free prefix — a
-        // crash between non-contiguous accepts must not let the
-        // cumulative ack claim the hole. Everything below the checkpoint
-        // watermark is globally decided, so starting there is sound.
-        while self.instances.contains_key(&self.logged_next) {
-            self.logged_next += 1;
-        }
+        // The ack watermark restarts at the log's verified gap-free
+        // prefix — a crash between non-contiguous accepts must not let
+        // the cumulative ack claim the hole. Everything below the
+        // checkpoint watermark is globally decided, so starting there is
+        // sound.
+        self.recompute_vouch();
         // Never reuse instance numbers at or below anything logged or
         // checkpointed (relevant only if this replica is the leader).
         self.next_instance = self
@@ -637,601 +1439,4 @@ impl Protocol for MultiPaxos {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use bytes::Bytes;
-    use rsm_core::command::CommandId;
-    use rsm_core::id::ClientId;
-    use rsm_core::time::Micros;
-
-    struct TestCtx {
-        sends: Vec<(ReplicaId, PaxosMsg)>,
-        commits: Vec<Committed>,
-        log: Vec<PaxosLogRec>,
-        clock: Micros,
-        /// Executed command seqs — a trivial state machine for snapshot
-        /// tests; `snapshots` gates whether the driver supports them.
-        executed: Vec<u64>,
-        snapshots: bool,
-    }
-
-    impl TestCtx {
-        fn new() -> Self {
-            TestCtx {
-                sends: Vec::new(),
-                commits: Vec::new(),
-                log: Vec::new(),
-                clock: 0,
-                executed: Vec::new(),
-                snapshots: false,
-            }
-        }
-
-        fn with_snapshots() -> Self {
-            TestCtx {
-                snapshots: true,
-                ..TestCtx::new()
-            }
-        }
-    }
-
-    impl Context<MultiPaxos> for TestCtx {
-        fn clock(&mut self) -> Micros {
-            self.clock += 1;
-            self.clock
-        }
-        fn send(&mut self, to: ReplicaId, msg: PaxosMsg) {
-            self.sends.push((to, msg));
-        }
-        fn log_append(&mut self, rec: PaxosLogRec) {
-            self.log.push(rec);
-        }
-        fn log_rewrite(&mut self, recs: Vec<PaxosLogRec>) {
-            self.log = recs;
-        }
-        fn commit(&mut self, c: Committed) {
-            self.executed.push(c.cmd.id.seq);
-            self.commits.push(c);
-        }
-        fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
-        fn sm_snapshot(&mut self) -> Option<Bytes> {
-            if !self.snapshots {
-                return None;
-            }
-            let mut buf = Vec::new();
-            for s in &self.executed {
-                buf.extend_from_slice(&s.to_be_bytes());
-            }
-            Some(Bytes::from(buf))
-        }
-        fn sm_install(&mut self, snapshot: Bytes) -> bool {
-            if !self.snapshots {
-                return false;
-            }
-            self.executed = snapshot
-                .chunks(8)
-                .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunks")))
-                .collect();
-            true
-        }
-    }
-
-    fn cmd(seq: u64) -> Command {
-        Command::new(
-            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
-            Bytes::from_static(b"op"),
-        )
-    }
-
-    fn accept(first_instance: u64, cmds: Vec<Command>, origin: ReplicaId) -> PaxosMsg {
-        PaxosMsg::Accept {
-            first_instance,
-            cmds: Batch::new(cmds),
-            origin,
-        }
-    }
-
-    fn r(i: u16) -> ReplicaId {
-        ReplicaId::new(i)
-    }
-
-    #[test]
-    fn follower_forwards_to_leader() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_client_request(cmd(1), &mut ctx);
-        assert_eq!(ctx.sends.len(), 1);
-        assert_eq!(ctx.sends[0].0, r(0));
-        assert!(matches!(ctx.sends[0].1, PaxosMsg::Forward { .. }));
-    }
-
-    #[test]
-    fn leader_assigns_consecutive_instances() {
-        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_client_request(cmd(1), &mut ctx);
-        p.on_client_request(cmd(2), &mut ctx);
-        let firsts: Vec<u64> = ctx
-            .sends
-            .iter()
-            .filter_map(|(_, m)| match m {
-                PaxosMsg::Accept { first_instance, .. } => Some(*first_instance),
-                _ => None,
-            })
-            .collect();
-        // 2 peers × 2 commands (the leader self-delivers synchronously).
-        assert_eq!(firsts.len(), 4);
-        assert_eq!(firsts[0], 0);
-        assert_eq!(firsts[3], 1);
-    }
-
-    #[test]
-    fn leader_binds_a_batch_to_one_instance_run() {
-        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_client_batch(Batch::new(vec![cmd(1), cmd(2), cmd(3)]), &mut ctx);
-        let accepts: Vec<(u64, usize)> = ctx
-            .sends
-            .iter()
-            .filter_map(|(_, m)| match m {
-                PaxosMsg::Accept {
-                    first_instance,
-                    cmds,
-                    ..
-                } => Some((*first_instance, cmds.len())),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(accepts.len(), 2, "one ACCEPT per peer for 3 cmds");
-        assert!(accepts.iter().all(|&(f, k)| f == 0 && k == 3));
-        assert_eq!(p.next_instance, 3);
-        assert_eq!(ctx.log.len(), 3, "leader logs its own run synchronously");
-    }
-
-    #[test]
-    fn bcast_commits_on_majority_acks() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_message(r(0), accept(0, vec![cmd(1)], r(0)), &mut ctx);
-        // Logged and broadcast its own cumulative 2b.
-        assert_eq!(ctx.log.len(), 1);
-        let own_acks = ctx
-            .sends
-            .iter()
-            .filter(|(_, m)| matches!(m, PaxosMsg::Accepted { up_to: 1 }))
-            .count();
-        assert_eq!(own_acks, 3);
-        // Two 2b watermarks arrive (majority of 3 incl. someone else's).
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        assert!(ctx.commits.is_empty());
-        p.on_message(r(1), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        assert_eq!(ctx.commits.len(), 1);
-        assert_eq!(ctx.commits[0].origin, r(0));
-    }
-
-    #[test]
-    fn one_ack_covers_a_whole_batch() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_message(
-            r(0),
-            accept(0, vec![cmd(1), cmd(2), cmd(3)], r(0)),
-            &mut ctx,
-        );
-        assert_eq!(ctx.log.len(), 3, "all three commands logged");
-        let acks: Vec<u64> = ctx
-            .sends
-            .iter()
-            .filter_map(|(_, m)| match m {
-                PaxosMsg::Accepted { up_to } => Some(*up_to),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(acks, vec![3, 3, 3], "ONE watermark ack per destination");
-        // Majority watermarks commit the whole run at once, in order.
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
-        p.on_message(r(1), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
-        assert_eq!(ctx.commits.len(), 3);
-        let hints: Vec<u64> = ctx.commits.iter().map(|c| c.order_hint).collect();
-        assert_eq!(hints, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn plain_follower_waits_for_commit_message() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Plain);
-        let mut ctx = TestCtx::new();
-        p.on_message(r(0), accept(0, vec![cmd(1)], r(2)), &mut ctx);
-        // 2b goes to the leader only.
-        let (to, _) = ctx
-            .sends
-            .iter()
-            .find(|(_, m)| matches!(m, PaxosMsg::Accepted { .. }))
-            .unwrap();
-        assert_eq!(*to, r(0));
-        // Acks from others do nothing at a plain follower.
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        assert!(ctx.commits.is_empty());
-        p.on_message(r(0), PaxosMsg::Commit { up_to: 1 }, &mut ctx);
-        assert_eq!(ctx.commits.len(), 1);
-    }
-
-    #[test]
-    fn plain_leader_broadcasts_commit_on_majority() {
-        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Plain);
-        let mut ctx = TestCtx::new();
-        // propose() self-delivers the Accept synchronously: the run is
-        // logged and the leader's own Accepted is already in flight.
-        p.on_client_request(cmd(1), &mut ctx);
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        p.on_message(r(1), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        let commit_sends = ctx
-            .sends
-            .iter()
-            .filter(|(_, m)| matches!(m, PaxosMsg::Commit { .. }))
-            .count();
-        assert_eq!(commit_sends, 3);
-    }
-
-    #[test]
-    fn execution_is_in_instance_order_despite_commit_reorder() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        for i in 0..2 {
-            p.on_message(r(0), accept(i, vec![cmd(i)], r(0)), &mut ctx);
-        }
-        // A watermark only covering instance 0 from one replica: nothing
-        // commits yet (one ack is not a majority).
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        assert!(ctx.commits.is_empty(), "one ack is not a majority");
-        // Majority watermarks covering both instances commit them in
-        // instance order (cumulative acks make out-of-order commit of a
-        // later instance impossible by construction).
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        p.on_message(r(1), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        assert_eq!(ctx.commits.len(), 2);
-        assert_eq!(ctx.commits[0].order_hint, 0);
-        assert_eq!(ctx.commits[1].order_hint, 1);
-    }
-
-    #[test]
-    fn recovered_replica_never_acks_across_a_gap() {
-        // B logged instances 0..2, crashed while 2..5 were in flight
-        // (lost), recovered, and then receives the run starting at 5.
-        // Its cumulative ack must stay at the gap — claiming 5..8 would
-        // falsely vouch for the lost 2..5 and break quorum intersection.
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        let log = vec![
-            PaxosLogRec::Accept {
-                instance: 0,
-                cmd: cmd(1),
-                origin: r(0),
-            },
-            PaxosLogRec::Accept {
-                instance: 1,
-                cmd: cmd(2),
-                origin: r(0),
-            },
-        ];
-        p.on_recover(&log, &mut ctx);
-        p.on_message(
-            r(0),
-            accept(5, vec![cmd(6), cmd(7), cmd(8)], r(0)),
-            &mut ctx,
-        );
-        let acks: Vec<u64> = ctx
-            .sends
-            .iter()
-            .filter_map(|(_, m)| match m {
-                PaxosMsg::Accepted { up_to } => Some(*up_to),
-                _ => None,
-            })
-            .collect();
-        assert!(
-            acks.iter().all(|&w| w <= 2),
-            "watermark crossed the gap: {acks:?}"
-        );
-        // The post-gap commands are still logged for state transfer.
-        assert_eq!(ctx.log.len(), 3);
-    }
-
-    #[test]
-    fn late_accept_fills_an_already_committed_instance_and_executes() {
-        // Accepted watermarks can outrun the Accept itself via faster
-        // relays (the EC2 matrix violates the triangle inequality): the
-        // commit watermark covers instance 0 before its command arrives.
-        // The late Accept must trigger execution — nothing else retries.
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 1 }, &mut ctx);
-        assert!(ctx.commits.is_empty(), "command not yet known");
-        p.on_message(r(0), accept(0, vec![cmd(1)], r(0)), &mut ctx);
-        assert_eq!(ctx.commits.len(), 1, "late accept must resume execution");
-        assert_eq!(ctx.commits[0].order_hint, 0);
-    }
-
-    #[test]
-    fn recovered_replica_resumes_acking_once_the_gap_commits() {
-        // Same gap as above, but the cluster then commits past it
-        // (Commit watermark from the leader): the hole is now globally
-        // decided, so covering it cumulatively adds no false quorum
-        // evidence — the replica's watermark may jump and it resumes
-        // quorum duty for new instances.
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Plain);
-        let mut ctx = TestCtx::new();
-        let log = vec![PaxosLogRec::Accept {
-            instance: 0,
-            cmd: cmd(1),
-            origin: r(0),
-        }];
-        p.on_recover(&log, &mut ctx);
-        // Gap: instances 1..3 were lost; the run starting at 3 must not
-        // be vouched for yet.
-        p.on_message(r(0), accept(3, vec![cmd(4)], r(0)), &mut ctx);
-        assert!(matches!(
-            ctx.sends.last(),
-            Some((_, PaxosMsg::Accepted { up_to: 1 }))
-        ));
-        // The leader announces everything below 4 committed, then sends
-        // the next run: the watermark jumps over the decided hole.
-        p.on_message(r(0), PaxosMsg::Commit { up_to: 4 }, &mut ctx);
-        p.on_message(r(0), accept(4, vec![cmd(5), cmd(6)], r(0)), &mut ctx);
-        assert!(
-            matches!(ctx.sends.last(), Some((_, PaxosMsg::Accepted { up_to: 6 }))),
-            "ack watermark must resume past a committed gap: {:?}",
-            ctx.sends.last()
-        );
-    }
-
-    #[test]
-    fn leader_recovery_never_reuses_instances() {
-        // The leader logs its own Accept run synchronously in propose();
-        // a crash right after proposing (before any network round-trip)
-        // must not let recovery re-assign the same instance numbers to
-        // new commands — followers may have logged or committed the
-        // originals, and a re-proposal would fork execution.
-        let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        p.on_client_batch(Batch::new(vec![cmd(1), cmd(2)]), &mut ctx);
-        assert_eq!(ctx.log.len(), 2, "run logged before any network round-trip");
-        let mut p2 = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx2 = TestCtx::new();
-        p2.on_recover(&ctx.log, &mut ctx2);
-        p2.on_client_request(cmd(3), &mut ctx2);
-        let firsts: Vec<u64> = ctx2
-            .sends
-            .iter()
-            .filter_map(|(_, m)| match m {
-                PaxosMsg::Accept { first_instance, .. } => Some(*first_instance),
-                _ => None,
-            })
-            .collect();
-        assert!(!firsts.is_empty());
-        assert!(
-            firsts.iter().all(|&f| f >= 2),
-            "instances 0..2 must not be reused: {firsts:?}"
-        );
-    }
-
-    #[test]
-    fn recovered_replica_reextends_watermark_past_a_committed_gap_under_load() {
-        // B logged instance 0 and lost 1..3 in its crash. Under
-        // pipelined load the commit watermark always trails the newest
-        // accept run, so the on_accept jump alone never fires; the
-        // watermark must also re-extend when commits advance past the
-        // gap, or B acks up_to=1 forever and never rejoins quorums.
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        let log = vec![PaxosLogRec::Accept {
-            instance: 0,
-            cmd: cmd(1),
-            origin: r(0),
-        }];
-        p.on_recover(&log, &mut ctx);
-        // Run [3,4) arrives while the gap is still uncommitted.
-        p.on_message(r(0), accept(3, vec![cmd(4)], r(0)), &mut ctx);
-        assert!(matches!(
-            ctx.sends.last(),
-            Some((_, PaxosMsg::Accepted { up_to: 1 }))
-        ));
-        // Peer watermarks commit through the gap (to 3) while run [4,5)
-        // is already in flight.
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
-        // The pipelined run arrives with committed_next (3) still below
-        // its first instance (4): the watermark must nevertheless cover
-        // the decided gap plus the contiguously logged instance 3.
-        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
-        assert!(
-            matches!(ctx.sends.last(), Some((_, PaxosMsg::Accepted { up_to: 5 }))),
-            "watermark frozen at the gap: {:?}",
-            ctx.sends.last()
-        );
-    }
-
-    #[test]
-    fn checkpoints_compact_the_log_below_the_watermark() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
-            .with_checkpoints(CheckpointPolicy::every(2).with_compaction(true));
-        let mut ctx = TestCtx::with_snapshots();
-        p.on_message(r(0), accept(0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
-        // A pending third instance that must survive compaction.
-        p.on_message(r(0), accept(2, vec![cmd(3)], r(0)), &mut ctx);
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        assert_eq!(ctx.commits.len(), 2, "first run committed");
-        // Compaction replaced 3 accepts + 2 commit marks with checkpoint
-        // + the pending accept for instance 2.
-        assert_eq!(ctx.log.len(), 2, "log: {:?}", ctx.log);
-        assert!(matches!(&ctx.log[0], PaxosLogRec::Checkpoint(cp) if cp.applied == 2));
-        assert!(matches!(
-            &ctx.log[1],
-            PaxosLogRec::Accept { instance: 2, .. }
-        ));
-    }
-
-    #[test]
-    fn recovery_restores_checkpoint_and_replays_only_the_suffix() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
-            .with_checkpoints(CheckpointPolicy::every(2).with_compaction(true));
-        let mut ctx = TestCtx::with_snapshots();
-        // Two bursts: the first trips the checkpoint at watermark 2, the
-        // third command lands after it and stays in the log suffix.
-        p.on_message(r(0), accept(0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        p.on_message(r(0), accept(2, vec![cmd(3)], r(0)), &mut ctx);
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 3 }, &mut ctx);
-        assert_eq!(ctx.executed, vec![1, 2, 3]);
-        let log = ctx.log.clone();
-
-        let mut p2 = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx2 = TestCtx::with_snapshots();
-        p2.on_recover(&log, &mut ctx2);
-        assert_eq!(ctx2.executed, vec![1, 2, 3], "snapshot prefix + suffix");
-        assert_eq!(ctx2.commits.len(), 1, "only instance 2 replayed");
-        assert_eq!(p2.executed(), 3);
-        // The ack watermark resumes above the checkpoint.
-        p2.on_message(r(0), accept(3, vec![cmd(4)], r(0)), &mut ctx2);
-        assert!(matches!(
-            ctx2.sends.last(),
-            Some((_, PaxosMsg::Accepted { up_to: 4 }))
-        ));
-    }
-
-    #[test]
-    fn confirmed_stall_requests_transfer_and_install_converges() {
-        // Healthy r2 executes instances 0..4.
-        let mut healthy = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut hctx = TestCtx::with_snapshots();
-        healthy.on_message(
-            r(0),
-            accept(0, vec![cmd(1), cmd(2), cmd(3), cmd(4)], r(0)),
-            &mut hctx,
-        );
-        healthy.on_message(r(0), PaxosMsg::Accepted { up_to: 4 }, &mut hctx);
-        healthy.on_message(r(1), PaxosMsg::Accepted { up_to: 4 }, &mut hctx);
-        assert_eq!(healthy.executed(), 4);
-
-        // r1 recovered with an empty log: instances 0..4 were lost in its
-        // outage. The next run plus peer watermarks commit through 5, but
-        // execution stalls at the hole.
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::with_snapshots();
-        p.on_recover(&[], &mut ctx);
-        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 5 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 5 }, &mut ctx);
-        let requests = |ctx: &TestCtx| {
-            ctx.sends
-                .iter()
-                .filter(|(_, m)| matches!(m, PaxosMsg::StateRequest(_)))
-                .count()
-        };
-        assert_eq!(
-            requests(&ctx),
-            0,
-            "a fresh hole must not trigger a transfer (accepts may be in flight)"
-        );
-        // The hole persists past the confirmation window: the next pass
-        // over it queries one peer (round-robin; the other peer is next
-        // if this round goes unanswered).
-        ctx.clock = 1_000_000;
-        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
-        assert_eq!(requests(&ctx), 1, "confirmed stall queries one peer");
-        // Another confirmation window with no reply: the retry rotates
-        // to the remaining peer.
-        ctx.clock = 2_000_000;
-        p.on_message(r(0), accept(4, vec![cmd(5)], r(0)), &mut ctx);
-        let targets: Vec<ReplicaId> = ctx
-            .sends
-            .iter()
-            .filter_map(|(to, m)| match m {
-                PaxosMsg::StateRequest(_) => Some(*to),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(targets, vec![r(0), r(2)], "retries rotate over the peers");
-
-        // The healthy peer answers with its checkpoint; installing it
-        // fills the hole and execution converges on the same state.
-        hctx.sends.clear();
-        healthy.on_message(
-            r(1),
-            PaxosMsg::StateRequest(StateTransferRequest { have: 0 }),
-            &mut hctx,
-        );
-        let (to, reply) = hctx
-            .sends
-            .iter()
-            .find(|(_, m)| matches!(m, PaxosMsg::StateReply(_)))
-            .cloned()
-            .expect("healthy peer must serve a checkpoint");
-        assert_eq!(to, r(1));
-        p.on_message(r(2), reply, &mut ctx);
-        assert_eq!(
-            ctx.executed,
-            vec![1, 2, 3, 4, 5],
-            "installed prefix + executed suffix must match the healthy replica"
-        );
-        // Acks resumed from the installed watermark.
-        assert!(
-            ctx.sends
-                .iter()
-                .any(|(_, m)| matches!(m, PaxosMsg::Accepted { up_to } if *up_to >= 5)),
-            "watermark must resume past the installed prefix"
-        );
-    }
-
-    #[test]
-    fn stale_state_reply_is_ignored() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::with_snapshots();
-        p.on_message(r(0), accept(0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        assert_eq!(p.executed(), 2);
-        let stale = PaxosMsg::StateReply(StateTransferReply {
-            checkpoint: Checkpoint {
-                applied: 1,
-                epoch: Epoch::ZERO,
-                config: vec![r(0), r(1), r(2)],
-                snapshot: Bytes::from_static(b""),
-            },
-        });
-        p.on_message(r(0), stale, &mut ctx);
-        assert_eq!(p.executed(), 2, "a stale reply must not regress anything");
-        assert_eq!(ctx.executed, vec![1, 2], "state machine untouched");
-    }
-
-    #[test]
-    fn recovery_replays_committed_prefix() {
-        let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
-        let mut ctx = TestCtx::new();
-        let log = vec![
-            PaxosLogRec::Accept {
-                instance: 0,
-                cmd: cmd(1),
-                origin: r(0),
-            },
-            PaxosLogRec::Accept {
-                instance: 1,
-                cmd: cmd(2),
-                origin: r(2),
-            },
-            PaxosLogRec::Commit { instance: 0 },
-        ];
-        p.on_recover(&log, &mut ctx);
-        assert_eq!(ctx.commits.len(), 1);
-        assert_eq!(ctx.commits[0].order_hint, 0);
-        assert_eq!(p.executed(), 1);
-        // The uncommitted instance 1 stays pending; later watermarks
-        // covering it resume execution.
-        p.on_message(r(0), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        p.on_message(r(2), PaxosMsg::Accepted { up_to: 2 }, &mut ctx);
-        assert_eq!(ctx.commits.len(), 2);
-    }
-}
+mod tests;

@@ -316,6 +316,9 @@ struct Effects<P: Protocol> {
     /// (applied inline, so snapshots taken mid-callback are accurate).
     commits: Vec<(Committed, bytes::Bytes)>,
     timers: Vec<(Micros, TimerToken)>,
+    /// A snapshot was installed during the callback: the state machine
+    /// jumped over commands this node never executed one by one.
+    installed: bool,
 }
 
 impl<P: Protocol> Default for Effects<P> {
@@ -324,6 +327,7 @@ impl<P: Protocol> Default for Effects<P> {
             sends: Vec::new(),
             commits: Vec::new(),
             timers: Vec::new(),
+            installed: false,
         }
     }
 }
@@ -360,7 +364,9 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
         Some(self.sm.snapshot())
     }
     fn sm_install(&mut self, snapshot: bytes::Bytes) -> bool {
-        self.sm.restore(&snapshot)
+        let ok = self.sm.restore(&snapshot);
+        self.eff.installed |= ok;
+        ok
     }
 }
 
@@ -919,6 +925,16 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                     token,
                 },
             );
+        }
+        if eff.installed {
+            // A snapshot install jumped the state machine over commands
+            // this node never executed individually, so its recorded
+            // history would have a hole mid-stream. Restart the history
+            // at the install (exactly like crash-recovery restarts it):
+            // the total-order checker aligns mid-stream starts, but it
+            // cannot align across interior gaps. The cumulative
+            // commit_count is deliberately left alone.
+            self.nodes[idx].commits.clear();
         }
         for (committed, result) in eff.commits {
             let n = &mut self.nodes[idx];

@@ -1,14 +1,24 @@
-//! Failure handling end to end: crash a Clock-RSM replica, watch the
-//! failure detector trigger the reconfiguration protocol (Algorithm 3),
-//! verify the survivors keep committing in the smaller configuration,
-//! then restart the replica and verify it recovers from its log,
-//! reintegrates via reconfiguration, and converges.
+//! Failure handling end to end, for both fail-over designs in the tree:
+//!
+//! * **Clock-RSM** — crash a replica, watch the failure detector trigger
+//!   the reconfiguration protocol (Algorithm 3), verify the survivors
+//!   keep committing in the smaller configuration, then restart the
+//!   replica and verify it recovers from its log, reintegrates via
+//!   reconfiguration, and converges.
+//! * **Paxos** — crash the *leader* mid-load, watch the lease expire and
+//!   the survivors elect a replacement via ballot phase 1 over the log
+//!   suffix, verify the cluster keeps committing under the new leader
+//!   with the linearizability checks green, and verify the old leader
+//!   rejoins as a follower (including down-past-retention rejoins that
+//!   need checkpoint transfer).
 
 use clock_rsm::ClockRsmConfig;
 use harness::workload::Fault;
-use harness::{run_latency, ExperimentConfig, ProtocolChoice};
+use harness::{run_latency, ExperimentConfig, ExperimentResult, ProtocolChoice};
+use rsm_core::checkpoint::CheckpointPolicy;
+use rsm_core::lease::LeaseConfig;
 use rsm_core::time::MILLIS;
-use rsm_core::{LatencyMatrix, ReplicaId};
+use rsm_core::{BatchPolicy, LatencyMatrix, ReplicaId};
 
 fn fd_config() -> ClockRsmConfig {
     ClockRsmConfig::default()
@@ -229,4 +239,157 @@ fn long_partition_triggers_reconfiguration_and_catchup() {
         "survivors stalled during the partition"
     );
     assert!(r.snapshots_agree, "commits: {:?}", r.commit_counts);
+}
+
+// ----------------------------------------------------------------------
+// Paxos leader-crash fail-over
+// ----------------------------------------------------------------------
+
+/// The Paxos deployments here start under replica 1 so the client site
+/// (replica 0, which must stay up to drive load) survives the crash.
+const PAXOS_LEADER: u16 = 1;
+
+fn paxos_lease() -> LeaseConfig {
+    LeaseConfig::after(400 * MILLIS)
+}
+
+/// Clients at site 0 only, batched submission (so the crash lands
+/// mid-batch under load), retries to survive the proposals that die
+/// with the leader.
+fn paxos_crash_cfg(seed: u64, duration_ms: u64) -> ExperimentConfig {
+    ExperimentConfig::new(LatencyMatrix::uniform(3, 20_000))
+        .seed(seed)
+        .clients_per_site(4)
+        .think_max_us(30 * MILLIS)
+        .active_sites(vec![0])
+        .warmup_us(100 * MILLIS)
+        .duration_us(duration_ms * MILLIS)
+        .batch(harness_batch())
+        .client_retry_us(1_000 * MILLIS)
+}
+
+fn harness_batch() -> BatchPolicy {
+    BatchPolicy::max(8)
+}
+
+fn assert_failover(r: &ExperimentResult, seed: u64, recover_at: u64, end: u64) {
+    // Liveness while the old leader is down: the survivors elected a
+    // replacement (crash at 2 s + lease 400 ms + stagger + election
+    // round trips ≈ 3.5 s) and kept committing client commands.
+    assert!(
+        r.commits_between(0, 4_000 * MILLIS, recover_at) > 10,
+        "{} seed {seed}: no progress under the elected leader: {:?}",
+        r.protocol,
+        r.commit_counts
+    );
+    // The old leader rejoined as a follower and executes fresh commands.
+    assert!(
+        r.commits_between(PAXOS_LEADER as usize, recover_at + 2_000 * MILLIS, end) > 10,
+        "{} seed {seed}: deposed leader never rejoined; last commit {:?}",
+        r.protocol,
+        r.last_commit_at(PAXOS_LEADER as usize)
+    );
+    // Safety: total order, no duplicates, linearizability.
+    assert!(
+        r.checks.all_ok(),
+        "{} seed {seed}: {:?}",
+        r.protocol,
+        r.checks.violation
+    );
+    assert!(
+        r.snapshots_agree,
+        "{} seed {seed}: snapshots diverged; commits {:?}",
+        r.protocol, r.commit_counts
+    );
+}
+
+/// A 3-replica Paxos cluster whose leader crashes mid-load elects a new
+/// leader and commits new client commands without operator input — the
+/// acceptance scenario, soaked over both variants and several seeds.
+#[test]
+fn paxos_leader_crash_elects_and_commits() {
+    let crash_at = 2_000 * MILLIS;
+    let recover_at = 8_000 * MILLIS;
+    let duration = 14_000u64;
+    for seed in [1u64, 2, 3] {
+        for choice in [
+            ProtocolChoice::paxos_failover(PAXOS_LEADER, paxos_lease()),
+            ProtocolChoice::paxos_bcast_failover(PAXOS_LEADER, paxos_lease()),
+        ] {
+            let cfg =
+                paxos_crash_cfg(seed, duration).leader_crash(PAXOS_LEADER, crash_at, recover_at);
+            let r = run_latency(choice, &cfg);
+            assert_failover(&r, seed, recover_at, duration * MILLIS + 2_000 * MILLIS);
+        }
+    }
+}
+
+/// Repeated churn: while the initial leader is down, the cluster also
+/// loses replica 2 — hitting the elected replacement if 2 won the
+/// election, an acceptor of the new regime otherwise. Both worlds must
+/// keep (or recover) liveness and reconverge by the end.
+#[test]
+fn paxos_double_leader_crash_converges() {
+    let cfg = paxos_crash_cfg(7, 16_000)
+        // Initial leader down at 2 s, back at 12 s.
+        .leader_crash(PAXOS_LEADER, 2_000 * MILLIS, 12_000 * MILLIS)
+        .fault(6_000 * MILLIS, Fault::Crash(ReplicaId::new(2)))
+        .fault(9_000 * MILLIS, Fault::Recover(ReplicaId::new(2)));
+    let r = run_latency(
+        ProtocolChoice::paxos_bcast_failover(PAXOS_LEADER, paxos_lease()),
+        &cfg,
+    );
+    assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+    assert!(r.snapshots_agree, "commits: {:?}", r.commit_counts);
+    assert!(
+        r.commits_between(0, 13_000 * MILLIS, u64::MAX) > 10,
+        "no progress after the churn settled: {:?}",
+        r.commit_counts
+    );
+}
+
+/// The old leader stays down long past checkpoint retention while the
+/// cluster commits hundreds of commands under the elected leader; its
+/// rejoin therefore cannot be served from anyone's log and must go
+/// through peer checkpoint transfer — under a *changed* ballot, whose
+/// promise the transferred snapshot must not regress.
+#[test]
+fn paxos_deposed_leader_rejoins_via_checkpoint_transfer() {
+    let recover_at = 12_000 * MILLIS;
+    for seed in [11u64, 12] {
+        let cfg = paxos_crash_cfg(seed, 20_000)
+            .checkpoint(CheckpointPolicy::every(32).with_compaction(true))
+            // Snapshot installs skip per-command records, so commit
+            // histories are gappy by design: soak on snapshots and log
+            // bounds, like the long-outage suite.
+            .record_ops(false)
+            .leader_crash(PAXOS_LEADER, 2_000 * MILLIS, recover_at);
+        let r = run_latency(
+            ProtocolChoice::paxos_bcast_failover(PAXOS_LEADER, paxos_lease()),
+            &cfg,
+        );
+        assert!(
+            r.snapshots_agree,
+            "seed {seed}: rejoined deposed leader diverged; commits {:?}",
+            r.commit_counts
+        );
+        assert!(
+            r.commit_counts[0] > 400,
+            "seed {seed}: too little progress under the elected leader: {:?}",
+            r.commit_counts
+        );
+        assert!(
+            r.commit_counts[PAXOS_LEADER as usize] > 0,
+            "seed {seed}: deposed leader never executed after rejoining"
+        );
+        // Compaction keeps every log bounded across the regime change.
+        for (i, &len) in r.log_lens.iter().enumerate() {
+            assert!(
+                (len as u64) < r.commit_counts[0] / 2 && len < 1_500,
+                "seed {seed}: log of replica {i} unbounded ({len} records \
+                 for {} commits)",
+                r.commit_counts[0]
+            );
+        }
+    }
 }

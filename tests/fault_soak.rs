@@ -1,13 +1,20 @@
-//! Reconfiguration soak: randomized crash/recover schedules (derived from
-//! seeds, always keeping a majority of the spec up) drive repeated rounds
-//! of suspicion, removal, recovery, and rejoin. Safety and convergence
-//! must hold at the end of every schedule.
+//! Fault soak: randomized crash/recover schedules (derived from seeds,
+//! always keeping a majority of the spec up) drive repeated rounds of
+//! failure handling. For Clock-RSM that is suspicion, removal, recovery,
+//! and rejoin via the reconfiguration protocol; for Paxos the same
+//! schedules crash the *leader* too, so the soak exercises election
+//! churn — lease expiry, ballot elections, repairs, deposed leaders
+//! rejoining — not just follower outages. Safety and convergence must
+//! hold at the end of every schedule, and with compaction on, logs must
+//! stay bounded however many regimes came and went.
 
 use clock_rsm::ClockRsmConfig;
 use harness::workload::Fault;
 use harness::{run_latency, ExperimentConfig, ProtocolChoice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rsm_core::checkpoint::CheckpointPolicy;
+use rsm_core::lease::LeaseConfig;
 use rsm_core::time::MILLIS;
 use rsm_core::{LatencyMatrix, ReplicaId};
 
@@ -95,5 +102,68 @@ fn soak_three_replicas() {
 fn soak_five_replicas() {
     for seed in [11u64, 12, 13, 14] {
         soak(seed, 5);
+    }
+}
+
+/// One Paxos soak round: the random schedule crashes replicas 1..n
+/// (replica 0 hosts the clients), and the initial leader sits at 1 —
+/// squarely inside the crash set — so every schedule that hits it forces
+/// an election while load continues. Checkpoint compaction rides along:
+/// logs must stay bounded even though the compaction watermark advances
+/// under a sequence of different leaders.
+fn paxos_soak(seed: u64, n: usize) {
+    let seconds = 16u64;
+    let mut cfg = ExperimentConfig::new(LatencyMatrix::uniform(n, 15_000))
+        .seed(seed)
+        .clients_per_site(2)
+        .think_max_us(50 * MILLIS)
+        .warmup_us(100 * MILLIS)
+        .duration_us(seconds * 1_000 * MILLIS)
+        .active_sites(vec![0])
+        .checkpoint(CheckpointPolicy::every(32).with_compaction(true))
+        // Snapshot installs (rejoins past retention) make per-replica
+        // commit histories gappy, so the soak judges snapshots and log
+        // bounds rather than per-op traces, like the long-outage suite.
+        .record_ops(false)
+        .client_retry_us(1_000 * MILLIS);
+    for (at, f) in random_schedule(seed, n, seconds) {
+        cfg = cfg.fault(at, f);
+    }
+    let r = run_latency(
+        ProtocolChoice::paxos_bcast_failover(1, LeaseConfig::after(400 * MILLIS)),
+        &cfg,
+    );
+    assert!(
+        r.snapshots_agree,
+        "seed {seed}: snapshots diverged after election churn; commits {:?}",
+        r.commit_counts
+    );
+    assert!(
+        r.commit_counts[0] > 50,
+        "seed {seed}: site 0 made little progress ({:?})",
+        r.commit_counts
+    );
+    // Compaction must keep firing under whichever leader is current.
+    for (i, &len) in r.log_lens.iter().enumerate() {
+        assert!(
+            len < 1_500,
+            "seed {seed}: log of replica {i} unbounded ({len} records \
+             for {} commits)",
+            r.commit_counts[0]
+        );
+    }
+}
+
+#[test]
+fn soak_paxos_leader_crashes() {
+    for seed in [21u64, 22, 23, 24] {
+        paxos_soak(seed, 3);
+    }
+}
+
+#[test]
+fn soak_paxos_five_replicas() {
+    for seed in [31u64, 32] {
+        paxos_soak(seed, 5);
     }
 }
