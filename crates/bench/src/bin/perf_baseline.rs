@@ -1,0 +1,224 @@
+//! Canonical performance baseline: a fixed throughput/latency matrix —
+//! 3 protocols × {light, heavy} load × {static 1, static 64, adaptive} —
+//! written to machine-readable `BENCH_perf.json` so every future PR has
+//! a trajectory to compare against.
+//!
+//! The matrix is the adaptive-batching acceptance experiment:
+//!
+//! * **heavy** load (saturating closed-loop clients, 10 B commands, the
+//!   default CPU cost model) measures throughput — adaptive must land
+//!   within 10 % of the best static policy (full amortization).
+//! * **light** load (2 clients per site with think time) measures p50
+//!   commit latency — adaptive must stay within 10 % of static batch=1
+//!   (no batching tax when there is nothing to batch).
+//!
+//! Run with `cargo run -p bench --release --bin perf_baseline`.
+//! `BENCH_QUICK=1` shrinks the windows for smoke runs; `--check` exits
+//! non-zero if the adaptive policy's heavy-load throughput regresses
+//! more than 20 % below static-64 for any protocol (the CI gate);
+//! `BENCH_PERF_OUT` overrides the output path.
+
+use std::fmt::Write as _;
+
+use bench::quick;
+use harness::{run_latency, ExperimentConfig, ExperimentResult, ProtocolChoice};
+use rsm_core::time::MILLIS;
+use rsm_core::{BatchPolicy, LatencyMatrix};
+use simnet::CpuModel;
+
+/// The CI regression gate: adaptive heavy-load throughput must stay
+/// within this fraction of static-64.
+const CHECK_FLOOR: f64 = 0.80;
+
+/// The acceptance targets the JSON records (informational in `--check`
+/// smoke runs, the real bar for full runs).
+const TARGET_THROUGHPUT_FRAC: f64 = 0.90;
+const TARGET_P50_FRAC: f64 = 1.10;
+
+struct Cell {
+    protocol: &'static str,
+    load: &'static str,
+    policy: &'static str,
+    throughput_kops: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn policies() -> [(&'static str, BatchPolicy); 3] {
+    [
+        ("static1", BatchPolicy::DISABLED),
+        ("static64", BatchPolicy::max(64)),
+        ("adaptive", BatchPolicy::adaptive(64)),
+    ]
+}
+
+/// Measurement windows for both load shapes: `BENCH_QUICK` shrinks
+/// them (and the heavy-load client count) for CI smoke runs.
+fn windows() -> (u64, u64) {
+    if quick() {
+        (200 * MILLIS, 1_000 * MILLIS)
+    } else {
+        (500 * MILLIS, 2_000 * MILLIS)
+    }
+}
+
+fn heavy(choice: ProtocolChoice, policy: BatchPolicy) -> ExperimentResult {
+    // The emulated local cluster of `run_throughput` (0.25 ms one-way,
+    // saturating closed-loop clients, CPU cost model), built directly
+    // so the windows honor BENCH_QUICK.
+    let clients = if quick() { 20 } else { 40 };
+    let (warmup, duration) = windows();
+    let cfg = ExperimentConfig::new(LatencyMatrix::uniform(5, 250))
+        .seed(11)
+        .clients_per_site(clients)
+        .think_max_us(0)
+        .value_bytes(10)
+        .warmup_us(warmup)
+        .duration_us(duration)
+        .cpu(CpuModel::default())
+        .batch(policy)
+        .record_ops(false);
+    run_latency(choice, &cfg)
+}
+
+fn light(choice: ProtocolChoice, policy: BatchPolicy) -> ExperimentResult {
+    // Same emulated local cluster, but two clients per site pacing
+    // themselves with think time: queues stay shallow, so per-command
+    // latency is what the policy can win or lose.
+    let (warmup, duration) = windows();
+    let cfg = ExperimentConfig::new(LatencyMatrix::uniform(5, 250))
+        .seed(11)
+        .clients_per_site(2)
+        .think_max_us(20 * MILLIS)
+        .value_bytes(10)
+        .warmup_us(warmup)
+        .duration_us(duration)
+        .cpu(CpuModel::default())
+        .batch(policy)
+        .record_ops(false);
+    run_latency(choice, &cfg)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let out_path =
+        std::env::var("BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_perf.json".to_string());
+
+    let protocols = [
+        ProtocolChoice::clock_rsm(),
+        ProtocolChoice::paxos(0),
+        ProtocolChoice::mencius(),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for choice in &protocols {
+        for (pname, policy) in policies() {
+            for (load, r) in [
+                ("light", light(choice.clone(), policy)),
+                ("heavy", heavy(choice.clone(), policy)),
+            ] {
+                eprintln!(
+                    "{:<14} {:<6} {:<9} {:>8.1} kops/s  p50 {:>6.2} ms  p99 {:>6.2} ms",
+                    r.protocol, load, pname, r.throughput_kops, r.p50_ms, r.p99_ms
+                );
+                cells.push(Cell {
+                    protocol: r.protocol,
+                    load,
+                    policy: pname,
+                    throughput_kops: r.throughput_kops,
+                    p50_ms: r.p50_ms,
+                    p99_ms: r.p99_ms,
+                });
+            }
+        }
+    }
+
+    let get = |protocol: &str, load: &str, policy: &str| -> &Cell {
+        cells
+            .iter()
+            .find(|c| c.protocol == protocol && c.load == load && c.policy == policy)
+            .expect("full matrix")
+    };
+
+    // Per-protocol acceptance summary.
+    let mut summaries = Vec::new();
+    let mut failures = Vec::new();
+    println!("\n=== Adaptive batching vs static baselines ===");
+    println!(
+        "{:<14}{:>16}{:>16}{:>14}{:>14}",
+        "protocol", "heavy adp/best", "heavy adp/s64", "light p50/s1", "verdict"
+    );
+    for choice in &protocols {
+        let name = choice.name();
+        let s1 = get(name, "heavy", "static1").throughput_kops;
+        let s64 = get(name, "heavy", "static64").throughput_kops;
+        let adp = get(name, "heavy", "adaptive").throughput_kops;
+        let best = s1.max(s64);
+        let tp_vs_best = adp / best.max(1e-9);
+        let tp_vs_s64 = adp / s64.max(1e-9);
+        let p50_s1 = get(name, "light", "static1").p50_ms;
+        let p50_adp = get(name, "light", "adaptive").p50_ms;
+        let p50_frac = p50_adp / p50_s1.max(1e-9);
+        let meets = tp_vs_best >= TARGET_THROUGHPUT_FRAC && p50_frac <= TARGET_P50_FRAC;
+        println!(
+            "{name:<14}{:>15.1}%{:>15.1}%{:>13.1}%{:>14}",
+            tp_vs_best * 100.0,
+            tp_vs_s64 * 100.0,
+            p50_frac * 100.0,
+            if meets { "ok" } else { "MISS" }
+        );
+        if check && tp_vs_s64 < CHECK_FLOOR {
+            failures.push(format!(
+                "{name}: adaptive heavy throughput {adp:.1}k is {:.1}% of static-64 \
+                 {s64:.1}k (floor {:.0}%)",
+                tp_vs_s64 * 100.0,
+                CHECK_FLOOR * 100.0
+            ));
+        }
+        summaries.push((name, tp_vs_best, tp_vs_s64, p50_frac, meets));
+    }
+
+    // Machine-readable trajectory record (no serde in this workspace:
+    // the JSON is assembled by hand).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v1\",");
+    let _ = writeln!(json, "  \"quick\": {},", quick());
+    let _ = writeln!(
+        json,
+        "  \"targets\": {{ \"heavy_throughput_vs_best_static_min\": {TARGET_THROUGHPUT_FRAC}, \
+         \"light_p50_vs_static1_max\": {TARGET_P50_FRAC} }},"
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"protocol\": \"{}\", \"load\": \"{}\", \"policy\": \"{}\", \
+             \"throughput_kops\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+            c.protocol, c.load, c.policy, c.throughput_kops, c.p50_ms, c.p99_ms
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"summary\": [\n");
+    for (i, (name, vs_best, vs_s64, p50_frac, meets)) in summaries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"protocol\": \"{name}\", \"heavy_adaptive_vs_best_static\": {vs_best:.4}, \
+             \"heavy_adaptive_vs_static64\": {vs_s64:.4}, \
+             \"light_adaptive_p50_vs_static1\": {p50_frac:.4}, \"meets_targets\": {meets} }}"
+        );
+        json.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+    println!("\nwrote {out_path}");
+
+    if !failures.is_empty() {
+        eprintln!("\nperf_baseline --check FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,7 @@
 //! | `ablation_jitter` | network jitter sensitivity |
 //! | `ablation_batching` | CPU fixed-cost (batching benefit) sweep |
 //! | `batch_sweep` | protocol-level batch size × command size throughput sweep |
+//! | `perf_baseline` | canonical perf matrix (3 protocols × light/heavy × static/adaptive batching) → `BENCH_perf.json` |
 //!
 //! Run any of them with `cargo run -p bench --release --bin figN`.
 //! Set `BENCH_QUICK=1` to shrink measurement windows ~10x for smoke runs.

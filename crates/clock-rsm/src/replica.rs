@@ -279,13 +279,22 @@ impl ClockRsm {
         ctx: &mut dyn Context<Self>,
     ) {
         let last = Timestamp::new(head.micros() + cmds.len() as Micros - 1, origin);
-        for (i, cmd) in cmds.into_iter().enumerate() {
+        // Iterate by reference: the batch's storage is typically still
+        // shared with the sender's other in-flight broadcast copies, so
+        // consuming it would deep-clone the whole command vector just to
+        // move commands we clone anyway (Command clones are cheap —
+        // Bytes payloads are refcounted).
+        for (i, cmd) in cmds.iter().enumerate() {
             let ts = Timestamp::new(head.micros() + i as Micros, origin);
             self.pending.insert(ts, (cmd.clone(), origin));
             if self.keeps_history() {
                 self.history.insert(ts, (origin, cmd.clone()));
             }
-            ctx.log_append(LogRec::Prepare { ts, origin, cmd });
+            ctx.log_append(LogRec::Prepare {
+                ts,
+                origin,
+                cmd: cmd.clone(),
+            });
         }
         let o = origin.index();
         self.latest_tv[o] = self.latest_tv[o].max(last);
@@ -884,6 +893,32 @@ mod tests {
             ts: t,
             origin,
             cmds: Batch::single(c),
+        }
+    }
+
+    #[test]
+    fn broadcast_shares_the_batch_payload_across_peers() {
+        // The allocation-lean fan-out contract: the per-peer clones of a
+        // PREPAREBATCH share one command vector (Arc), so an N-peer
+        // broadcast of a k-command batch clones pointers, not commands.
+        let mut p = replica(0, 3);
+        let mut ctx = TestCtx::new(1_000);
+        let batch = Batch::new((1..=64).map(cmd).collect());
+        p.on_client_batch(batch.clone(), &mut ctx);
+        let prepares: Vec<&Batch> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                RsmMsg::PrepareBatch { cmds, .. } => Some(cmds),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(prepares.len(), 3, "one PREPAREBATCH per config member");
+        for sent in &prepares {
+            assert!(
+                sent.ptr_eq(&batch),
+                "a peer copy deep-cloned the command payload"
+            );
         }
     }
 

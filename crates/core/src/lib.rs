@@ -35,6 +35,14 @@
 //! everywhere) reproduces per-command behaviour exactly — batching is
 //! never observable in the committed sequence, only in throughput.
 //!
+//! The flush threshold can also adapt to load: an
+//! [`adaptive`](BatchPolicy::adaptive) policy gives each driver node a
+//! [`BatchController`] that widens batches as its inbox deepens and
+//! narrows them back when load (and commit latency) subsides, so a
+//! single knob serves both light-load latency and heavy-load
+//! amortization. Batches themselves are `Arc`-shared, so the per-peer
+//! message clones of a broadcast never deep-copy command payloads.
+//!
 //! ## Checkpointing & state transfer
 //!
 //! The [`checkpoint`] module (Section V-B of the paper) is shared by all
@@ -80,7 +88,7 @@ pub mod sm;
 pub mod time;
 pub mod wire;
 
-pub use batch::{Batch, BatchPolicy};
+pub use batch::{Batch, BatchController, BatchPolicy};
 pub use checkpoint::{
     Checkpoint, CheckpointPolicy, Checkpointer, StateTransferReply, StateTransferRequest,
 };

@@ -240,6 +240,12 @@ pub struct ExperimentResult {
     pub snapshots_agree: bool,
     /// Observer-replica throughput over the measurement window, kops/s.
     pub throughput_kops: f64,
+    /// Median client-observed commit latency across every active site,
+    /// milliseconds (0 when no samples were recorded).
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed commit latency across every
+    /// active site, milliseconds (0 when no samples were recorded).
+    pub p99_ms: f64,
     /// Per-replica commit times (virtual µs), populated when operation
     /// recording is on. Lets tests assert liveness inside specific
     /// windows (e.g. while a crashed replica is being reconfigured out).
@@ -399,13 +405,29 @@ where
     let window_secs = cfg.duration_us as f64 / 1e6;
     let throughput_kops = sim.app().observer_commits() as f64 / window_secs / 1_000.0;
 
+    let site_stats = sim.app().site_stats().to_vec();
+    // Aggregate percentiles over every site's samples: the number the
+    // batching benches compare across policies (a per-site view hides
+    // load imbalance; the mean hides the tail).
+    let mut all = LatencyStats::new();
+    for s in &site_stats {
+        all.merge(s);
+    }
+    let (p50_ms, p99_ms) = if all.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (all.p50_ms(), all.p99_ms())
+    };
+
     ExperimentResult {
         protocol: name,
-        site_stats: sim.app().site_stats().to_vec(),
+        site_stats,
         commit_counts,
         checks,
         snapshots_agree,
         throughput_kops,
+        p50_ms,
+        p99_ms,
         commit_times,
         log_lens,
     }

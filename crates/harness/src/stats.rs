@@ -73,6 +73,17 @@ impl LatencyStats {
         self.samples[rank.saturating_sub(1)] as f64 / 1_000.0
     }
 
+    /// Median latency in milliseconds (0 when empty).
+    pub fn p50_ms(&mut self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 99th-percentile latency in milliseconds (0 when empty) — the tail
+    /// the adaptive-batching benches track alongside the mean.
+    pub fn p99_ms(&mut self) -> f64 {
+        self.percentile_ms(99.0)
+    }
+
     /// Minimum sample in milliseconds (0 when empty).
     pub fn min_ms(&mut self) -> f64 {
         self.ensure_sorted();

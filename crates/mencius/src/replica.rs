@@ -260,7 +260,11 @@ impl MenciusBcast {
     ) {
         let k = cmds.len() as u64;
         let last_slot = first_slot + (k - 1) * self.n;
-        for (i, cmd) in cmds.into_iter().enumerate() {
+        // Iterate by reference: the batch's storage is typically still
+        // shared with the owner's other in-flight broadcast copies, so
+        // consuming it would deep-clone the whole command vector just to
+        // move commands we clone anyway (Command clones are cheap).
+        for (i, cmd) in cmds.iter().enumerate() {
             let slot = first_slot + i as u64 * self.n;
             if slot < self.exec_cursor {
                 continue; // stale
@@ -274,7 +278,7 @@ impl MenciusBcast {
                 self.own_history.insert(slot, cmd.clone());
                 self.cap_own_history();
             }
-            self.slots.insert(slot, (cmd, origin));
+            self.slots.insert(slot, (cmd.clone(), origin));
         }
         // The owner will not propose below its next own slot again.
         let owner = self.owner_of_slot(first_slot);
@@ -979,6 +983,32 @@ mod tests {
         let m0 = MenciusBcast::new(r(0), Membership::uniform(3));
         assert_eq!(m0.own_slot_after(0), 3);
         assert_eq!(m0.own_slot_after(2), 3);
+    }
+
+    #[test]
+    fn propose_fanout_shares_the_batch_payload_across_peers() {
+        // Allocation-lean fan-out: the per-peer PROPOSE clones share one
+        // Arc-backed command vector with the submitted batch instead of
+        // deep-copying it per destination.
+        let mut m = MenciusBcast::new(r(1), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        let batch = Batch::new((1..=64).map(cmd).collect());
+        m.on_client_batch(batch.clone(), &mut ctx);
+        let proposes: Vec<&Batch> = ctx
+            .sends
+            .iter()
+            .filter_map(|(_, msg)| match msg {
+                MenciusMsg::Propose { cmds, .. } => Some(cmds),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(proposes.len(), 2, "one PROPOSE per peer");
+        for sent in &proposes {
+            assert!(
+                sent.ptr_eq(&batch),
+                "a peer copy deep-cloned the command payload"
+            );
+        }
     }
 
     #[test]

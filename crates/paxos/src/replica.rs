@@ -483,7 +483,11 @@ impl MultiPaxos {
             self.flush_pending(ctx);
             return; // stale: the whole run is already executed
         }
-        for (i, cmd) in cmds.into_iter().enumerate() {
+        // Iterate by reference: the batch's storage is typically still
+        // shared with the leader's other in-flight broadcast copies, so
+        // consuming it would deep-clone the whole command vector just to
+        // move commands we clone anyway (Command clones are cheap).
+        for (i, cmd) in cmds.iter().enumerate() {
             let instance = first_instance + i as u64;
             if instance < self.exec_cursor {
                 continue;
@@ -499,7 +503,7 @@ impl MultiPaxos {
                 Slot {
                     ballot,
                     verified: true,
-                    value: Some((cmd, origin)),
+                    value: Some((cmd.clone(), origin)),
                 },
             );
         }

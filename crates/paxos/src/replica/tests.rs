@@ -195,6 +195,32 @@ fn leader_binds_a_batch_to_one_instance_run() {
 }
 
 #[test]
+fn accept_fanout_shares_the_batch_payload_across_peers() {
+    // Allocation-lean fan-out: the leader's per-peer ACCEPT clones share
+    // one Arc-backed command vector with the submitted batch instead of
+    // deep-copying it per destination.
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+    let mut ctx = TestCtx::new();
+    let batch = Batch::new((1..=64).map(cmd).collect());
+    p.on_client_batch(batch.clone(), &mut ctx);
+    let accepts: Vec<&Batch> = ctx
+        .sends
+        .iter()
+        .filter_map(|(_, m)| match m {
+            PaxosMsg::Accept { cmds, .. } => Some(cmds),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(accepts.len(), 2, "one ACCEPT per peer");
+    for sent in &accepts {
+        assert!(
+            sent.ptr_eq(&batch),
+            "a peer copy deep-cloned the command payload"
+        );
+    }
+}
+
+#[test]
 fn bcast_commits_on_majority_acks() {
     let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
     let mut ctx = TestCtx::new();

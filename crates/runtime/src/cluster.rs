@@ -44,7 +44,10 @@ impl ClusterConfig {
 
     /// Sets the request-coalescing policy: a node thread hands the
     /// protocol whatever requests are queued in its inbox (up to
-    /// `max_batch`) as one batch, never waiting for more.
+    /// `max_batch`) as one batch, never waiting for more. An
+    /// [adaptive](BatchPolicy::adaptive) policy moves the effective
+    /// threshold with the observed inbox depth and reply latency
+    /// (see `rsm_core::BatchController`).
     pub fn batch_policy(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
         self
@@ -403,6 +406,40 @@ mod tests {
         let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), 999);
         expected.apply(&Command::new(id, KvOp::put("last", "v").encode()));
         assert_eq!(reports[0].snapshot, expected.snapshot());
+    }
+
+    #[test]
+    fn adaptive_cluster_absorbs_a_submit_burst() {
+        use rsm_core::id::ClientId;
+
+        // Same burst as above under an adaptive policy: the controller
+        // starts at threshold 1 and widens as the burst queues up; every
+        // command must still commit exactly once.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000))
+            .scale(0.02)
+            .batch_policy(BatchPolicy::adaptive(8));
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default()),
+            kv,
+        );
+        for i in 0..20u64 {
+            let id = CommandId::new(ClientId::new(ReplicaId::new(0), 99), i + 1);
+            cluster.submit(
+                ReplicaId::new(0),
+                Command::new(id, KvOp::put(format!("burst{i}"), "v").encode()),
+            );
+        }
+        let reply = cluster
+            .execute(
+                ReplicaId::new(0),
+                KvOp::put("last", "v").encode(),
+                Duration::from_secs(20),
+            )
+            .expect("commit after burst");
+        assert_eq!(reply.result[0], 1);
+        let reports = cluster.shutdown();
+        assert_eq!(reports[0].commit_count, 21);
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! The per-replica node thread.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
-use rsm_core::batch::{Batch, BatchPolicy};
+use rsm_core::batch::{Batch, BatchController, BatchPolicy};
 use rsm_core::command::{Command, CommandId, Committed, Reply};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
@@ -43,6 +43,15 @@ pub struct NodeReport {
 /// send per drained protocol callback instead of one send per reply —
 /// the reply-path analogue of request batching.
 pub(crate) type ReplyBatch = Vec<(CommandId, Reply)>;
+
+/// Size at which the adaptive controller's drain-time map sheds entries
+/// older than [`REQ_DRAINED_MAX_AGE`] — commands that never produced a
+/// reply at this node (superseded, stale-dropped, retried) must not
+/// accumulate forever in a long-lived node thread.
+const REQ_DRAINED_CAP: usize = 4096;
+
+/// Age past which an unanswered drain-time entry is presumed dead.
+const REQ_DRAINED_MAX_AGE: Duration = Duration::from_secs(30);
 
 pub(crate) struct NodeHarness<P: Protocol> {
     pub id: ReplicaId,
@@ -136,6 +145,13 @@ impl<P: Protocol> NodeHarness<P> {
         let mut timer_seq = 0u64;
         let mut commit_count = 0u64;
         let mut replies: ReplyBatch = Vec::new();
+        // Adaptive batching state: the controller picks the effective
+        // flush threshold per drain (static policies pin it), fed by the
+        // observed inbox depth and — via `req_drained` — the drain-to-
+        // reply latency of this node's own clients' requests.
+        let adaptive = self.batch.adaptive;
+        let mut batcher = BatchController::new(self.batch);
+        let mut req_drained: HashMap<CommandId, Instant> = HashMap::new();
 
         // Run one protocol callback, then flush every reply it produced
         // as ONE channel send (reply batching: co-located clients cost
@@ -160,6 +176,17 @@ impl<P: Protocol> NodeHarness<P> {
                     $body;
                 }
                 if !replies.is_empty() {
+                    if adaptive {
+                        let now_us = self.epoch.elapsed().as_micros() as Micros;
+                        for (id, _) in &replies {
+                            if let Some(t0) = req_drained.remove(id) {
+                                batcher.record_commit_latency(
+                                    t0.elapsed().as_micros() as Micros,
+                                    now_us,
+                                );
+                            }
+                        }
+                    }
                     let _ = self.reply_tx.send(std::mem::take(&mut replies));
                 }
             }};
@@ -201,14 +228,19 @@ impl<P: Protocol> NodeHarness<P> {
                 }
                 NodeInput::Request(cmd) => {
                     // Coalesce opportunistically: take whatever requests
-                    // are already queued (up to the count cap and byte
-                    // budget) into one batch, never waiting for more. A
-                    // non-request input ends the run and is handled right
-                    // after, preserving arrival order.
+                    // are already queued (up to the effective count
+                    // threshold and byte budget) into one batch, never
+                    // waiting for more. A non-request input ends the run
+                    // and is handled right after, preserving arrival
+                    // order. The queue length (requests plus messages —
+                    // an upper bound on waiting requests, which is the
+                    // best this side of the channel can observe) is the
+                    // adaptive controller's depth signal.
+                    batcher.begin_drain(1 + self.inbox.len());
                     let mut bytes = cmd.size();
                     let mut cmds = vec![cmd];
                     let mut interrupt: Option<NodeInput<P>> = None;
-                    while self.batch.fits(cmds.len(), bytes) {
+                    while batcher.fits(cmds.len(), bytes) {
                         match self.inbox.try_recv() {
                             Ok(NodeInput::Request(c)) => {
                                 bytes += c.size();
@@ -219,6 +251,24 @@ impl<P: Protocol> NodeHarness<P> {
                                 break;
                             }
                             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    if adaptive {
+                        let now = Instant::now();
+                        // Entries normally leave via the reply-flush
+                        // lookup, but a command may never reply at this
+                        // node (superseded proposal, duplicate dropped
+                        // as stale, client retried under a new id). The
+                        // map is advisory latency telemetry, so when it
+                        // grows past any plausible in-flight window we
+                        // evict stale entries rather than leak forever —
+                        // lost entries only cost latency samples.
+                        if req_drained.len() >= REQ_DRAINED_CAP {
+                            req_drained
+                                .retain(|_, t0| now.duration_since(*t0) < REQ_DRAINED_MAX_AGE);
+                        }
+                        for c in &cmds {
+                            req_drained.insert(c.id, now);
                         }
                     }
                     dispatch!(|c| self.proto.on_client_batch(Batch::new(cmds), &mut c));

@@ -1,11 +1,11 @@
 //! The simulation driver: virtual time, network, nodes, and fault injection.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rsm_core::batch::{Batch, BatchPolicy};
+use rsm_core::batch::{Batch, BatchController, BatchPolicy};
 use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
@@ -101,7 +101,10 @@ impl SimConfig {
     /// replica when it gets scheduled are handed to the protocol as one
     /// [`Batch`] of up to `max_batch` commands (never waiting
     /// intentionally). The default is [`BatchPolicy::DISABLED`], which
-    /// reproduces per-command behaviour exactly.
+    /// reproduces per-command behaviour exactly. An
+    /// [adaptive](BatchPolicy::adaptive) policy gives every node a
+    /// [`BatchController`] fed from its inbox depth at each drain and
+    /// the commit latency of its own clients' requests.
     pub fn batch_policy(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
         self
@@ -307,6 +310,14 @@ struct Node<P: Protocol> {
     inbox: VecDeque<NodeInput<P>>,
     inbox_scheduled: bool,
     cpu_free: Micros,
+    /// Per-node batching controller: static policies pin it at
+    /// `max_batch`; adaptive policies move the effective flush threshold
+    /// each drain from observed inbox depth and commit latency.
+    batcher: BatchController,
+    /// Arrival time of each locally submitted, not-yet-committed request
+    /// — the adaptive controller's commit-latency feed. Populated only
+    /// under an adaptive policy; bounded by commands in flight.
+    req_arrivals: HashMap<CommandId, Micros>,
 }
 
 #[derive(Debug)]
@@ -432,6 +443,8 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 inbox: VecDeque::new(),
                 inbox_scheduled: false,
                 cpu_free: 0,
+                batcher: BatchController::new(cfg.batch),
+                req_arrivals: HashMap::new(),
             });
         }
         let mut sim = Simulation {
@@ -518,6 +531,13 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         self.nodes[r.index()].up
     }
 
+    /// The replica's current effective batch flush threshold (test and
+    /// bench observability; `max_batch` under a static policy, moving
+    /// with load under an adaptive one).
+    pub fn batch_threshold(&self, r: ReplicaId) -> usize {
+        self.nodes[r.index()].batcher.effective_max_batch()
+    }
+
     /// Immutable access to a replica's protocol instance.
     pub fn protocol(&self, r: ReplicaId) -> &P {
         &self.nodes[r.index()].proto
@@ -581,7 +601,10 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 // a batch policy coalesces same-instant arrivals. With
                 // neither (the default for latency experiments) the hop
                 // only doubles event-queue traffic, so invoke directly.
-                if self.cfg.cpu.is_some() || self.cfg.batch.max_batch > 1 {
+                if self.cfg.cpu.is_some() || self.cfg.batch.coalesces() {
+                    if self.cfg.batch.adaptive {
+                        self.nodes[idx].req_arrivals.insert(cmd.id, self.now);
+                    }
                     self.enqueue_input(idx, NodeInput::Request(cmd));
                 } else {
                     self.invoke(idx, false, |p, ctx| p.on_client_request(cmd, ctx));
@@ -632,6 +655,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                     n.incarnation += 1;
                     n.inbox.clear();
                     n.inbox_scheduled = false;
+                    n.req_arrivals.clear();
                 }
             }
             Event::Recover { node } => self.handle_recover(node),
@@ -679,6 +703,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             return;
         }
         {
+            let batch = self.cfg.batch;
             let n = &mut self.nodes[idx];
             n.up = true;
             n.incarnation += 1;
@@ -686,6 +711,9 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             n.sm.reset();
             n.commits.clear();
             n.cpu_free = self.now;
+            // Batching state is volatile: the fresh incarnation re-learns
+            // its operating point instead of trusting pre-crash load.
+            n.batcher = BatchController::new(batch);
         }
         let log: Vec<P::LogRec> = self.nodes[idx].log.records().to_vec();
         // Replaying the log re-commits executed commands into the fresh
@@ -749,7 +777,6 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             return;
         }
         let cpu = self.cfg.cpu;
-        let batch_policy = self.cfg.batch;
         let inputs: Vec<NodeInput<P>> = {
             let n = &mut self.nodes[idx];
             n.inbox_scheduled = false;
@@ -785,8 +812,18 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 clock,
                 log,
                 sm,
+                batcher,
                 ..
             } = n;
+            // Hand the controller this drain's load signal (queued client
+            // requests); it returns by mutating its effective threshold,
+            // which `batcher.fits` below applies. Static policies pass
+            // through unchanged.
+            let queued_requests = inputs
+                .iter()
+                .filter(|i| matches!(i, NodeInput::Request(_)))
+                .count();
+            batcher.begin_drain(queued_requests);
             let mut ctx = NodeCtx {
                 now: self.now,
                 clock,
@@ -806,10 +843,10 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                         proto.on_message(from, m, &mut ctx);
                     }
                     NodeInput::Request(c) => {
-                        // Flush when the policy's command count or byte
+                        // Flush when the effective command count or byte
                         // budget is full — kilobyte payloads flush long
                         // before the count cap.
-                        if !batch_policy.fits(run.len(), run_bytes) {
+                        if !batcher.fits(run.len(), run_bytes) {
                             proto.on_client_batch(Batch::new(std::mem::take(&mut run)), &mut ctx);
                             run_bytes = 0;
                         }
@@ -939,6 +976,11 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         for (committed, result) in eff.commits {
             let n = &mut self.nodes[idx];
             n.commit_count += 1;
+            // Close the adaptive controller's latency loop for requests
+            // this node originated (the map is empty otherwise).
+            if let Some(t0) = n.req_arrivals.remove(&committed.cmd.id) {
+                n.batcher.record_commit_latency(at.saturating_sub(t0), at);
+            }
             if self.cfg.record_history {
                 n.commits.push(CommitRecord {
                     at,
@@ -1473,6 +1515,87 @@ mod tests {
         assert_eq!(observer_sim(rsm_core::BatchPolicy::DISABLED), vec![1; 10]);
         assert_eq!(observer_sim(rsm_core::BatchPolicy::max(4)), vec![4, 4, 2]);
         assert_eq!(observer_sim(rsm_core::BatchPolicy::max(64)), vec![10]);
+    }
+
+    /// Sustained bursts under an adaptive policy, then a trickle: the
+    /// effective threshold must widen to the cap under pressure and
+    /// narrow again once the load subsides.
+    struct BurstsThenTrickle {
+        seq: u64,
+    }
+    impl BurstsThenTrickle {
+        fn submit(&mut self, k: usize, api: &mut SimApi<'_, BatchObserver>) {
+            for _ in 0..k {
+                self.seq += 1;
+                let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), self.seq);
+                api.submit(
+                    ReplicaId::new(0),
+                    Command::new(id, Bytes::from_static(b"a")),
+                );
+            }
+        }
+    }
+    impl Application<BatchObserver> for BurstsThenTrickle {
+        fn on_init(&mut self, api: &mut SimApi<'_, BatchObserver>) {
+            // 30 bursts of 16 same-instant requests, 1 ms apart…
+            for burst in 0..30u64 {
+                api.schedule(burst * 1_000, 0);
+            }
+            // …then 40 lone requests 10 ms apart.
+            for i in 0..40u64 {
+                api.schedule(100_000 + i * 10_000, 1);
+            }
+        }
+        fn on_event(&mut self, key: u64, api: &mut SimApi<'_, BatchObserver>) {
+            let k = if key == 0 { 16 } else { 1 };
+            self.submit(k, api);
+        }
+        fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, BatchObserver>) {}
+    }
+
+    #[test]
+    fn adaptive_policy_widens_with_load_and_narrows_back() {
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 1_000))
+            .batch_policy(rsm_core::BatchPolicy::adaptive(8));
+        let mut sim = Simulation::new(
+            cfg,
+            |id| BatchObserver {
+                id,
+                batch_sizes: Vec::new(),
+            },
+            sm,
+            BurstsThenTrickle { seq: 0 },
+        );
+        let r0 = ReplicaId::new(0);
+        // Run through the burst phase: the threshold must hit the cap.
+        sim.run_until(50_000);
+        assert_eq!(
+            sim.batch_threshold(r0),
+            8,
+            "sustained 16-deep bursts must widen the threshold to the cap"
+        );
+        let sizes = sim.protocol(r0).batch_sizes.clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 16 * 30);
+        assert!(
+            sizes[0] <= 2,
+            "the first drain must stay near batch-of-1 latency: {sizes:?}"
+        );
+        assert!(
+            sizes.contains(&8),
+            "later bursts must coalesce at the cap: {sizes:?}"
+        );
+        // Run through the trickle: the threshold must narrow again.
+        sim.run_until(1_000_000);
+        assert!(
+            sim.batch_threshold(r0) < 8,
+            "a 1-deep trickle must narrow the threshold from the cap"
+        );
+        let sizes = sim.protocol(r0).batch_sizes.clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 16 * 30 + 40);
+        assert!(
+            sizes[sizes.len() - 40..].iter().all(|&s| s == 1),
+            "trickle requests flush immediately"
+        );
     }
 
     struct OversizedBurst;
