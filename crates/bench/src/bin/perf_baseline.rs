@@ -1,9 +1,10 @@
 //! Canonical performance baseline: a fixed throughput/latency matrix —
-//! 3 protocols × {light, heavy} load × {static 1, static 64, adaptive} —
-//! written to machine-readable `BENCH_perf.json` so every future PR has
-//! a trajectory to compare against.
+//! 3 protocols × {light, heavy} load × {static 1, static 64, adaptive},
+//! plus a **read-heavy (90/10) geo scenario** per protocol — written to
+//! machine-readable `BENCH_perf.json` so every future PR has a
+//! trajectory to compare against.
 //!
-//! The matrix is the adaptive-batching acceptance experiment:
+//! The batching matrix is the adaptive-batching acceptance experiment:
 //!
 //! * **heavy** load (saturating closed-loop clients, 10 B commands, the
 //!   default CPU cost model) measures throughput — adaptive must land
@@ -12,11 +13,20 @@
 //!   commit latency — adaptive must stay within 10 % of static batch=1
 //!   (no batching tax when there is nothing to batch).
 //!
+//! The **readmix** column is the local-read acceptance experiment
+//! (`rsm_core::read`): a 90/10 mix on a 25 ms-one-way geo topology with
+//! ±1 ms NTP clocks, reporting read and write p50/p99 separately. The
+//! gate: Clock-RSM's stable-timestamp local reads must land strictly
+//! below its write commits at the median, and every protocol must
+//! produce read samples (the read path is alive, not silently falling
+//! back to replication).
+//!
 //! Run with `cargo run -p bench --release --bin perf_baseline`.
 //! `BENCH_QUICK=1` shrinks the windows for smoke runs; `--check` exits
 //! non-zero if the adaptive policy's heavy-load throughput regresses
-//! more than 20 % below static-64 for any protocol (the CI gate);
-//! `BENCH_PERF_OUT` overrides the output path.
+//! more than 20 % below static-64 for any protocol, or the read-mix
+//! gate fails (the CI gates); `BENCH_PERF_OUT` overrides the output
+//! path.
 
 use std::fmt::Write as _;
 
@@ -24,7 +34,7 @@ use bench::quick;
 use harness::{run_latency, ExperimentConfig, ExperimentResult, ProtocolChoice};
 use rsm_core::time::MILLIS;
 use rsm_core::{BatchPolicy, LatencyMatrix};
-use simnet::CpuModel;
+use simnet::{ClockModel, CpuModel};
 
 /// The CI regression gate: adaptive heavy-load throughput must stay
 /// within this fraction of static-64.
@@ -42,6 +52,12 @@ struct Cell {
     throughput_kops: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// Read/write latency split; zero outside the readmix scenario.
+    read_p50_ms: f64,
+    read_p99_ms: f64,
+    write_p50_ms: f64,
+    write_p99_ms: f64,
+    read_count: usize,
 }
 
 fn policies() -> [(&'static str, BatchPolicy); 3] {
@@ -77,6 +93,23 @@ fn heavy(choice: ProtocolChoice, policy: BatchPolicy) -> ExperimentResult {
         .duration_us(duration)
         .cpu(CpuModel::default())
         .batch(policy)
+        .record_ops(false);
+    run_latency(choice, &cfg)
+}
+
+/// The read-heavy geo scenario: 90/10 mix, 25 ms one-way between three
+/// sites, ±1 ms NTP clocks, no CPU model (a latency experiment), reads
+/// routed down each protocol's local read path.
+fn readmix(choice: ProtocolChoice) -> ExperimentResult {
+    let (warmup, duration) = windows();
+    let cfg = ExperimentConfig::new(LatencyMatrix::uniform(3, 25_000))
+        .seed(11)
+        .clients_per_site(4)
+        .think_max_us(20 * MILLIS)
+        .read_fraction(0.9)
+        .clock(ClockModel::ntp(MILLIS))
+        .warmup_us(warmup)
+        .duration_us(2 * duration)
         .record_ops(false);
     run_latency(choice, &cfg)
 }
@@ -128,9 +161,34 @@ fn main() {
                     throughput_kops: r.throughput_kops,
                     p50_ms: r.p50_ms,
                     p99_ms: r.p99_ms,
+                    read_p50_ms: 0.0,
+                    read_p99_ms: 0.0,
+                    write_p50_ms: 0.0,
+                    write_p99_ms: 0.0,
+                    read_count: 0,
                 });
             }
         }
+        // The read-heavy geo scenario (policy-independent: reads bypass
+        // the batching pipeline by construction).
+        let r = readmix(choice.clone());
+        eprintln!(
+            "{:<14} {:<6} {:<9} {:>8.1} kops/s  read p50 {:>6.2} ms  write p50 {:>6.2} ms",
+            r.protocol, "readmx", "local", r.throughput_kops, r.read_p50_ms, r.write_p50_ms
+        );
+        cells.push(Cell {
+            protocol: r.protocol,
+            load: "readmix",
+            policy: "local",
+            throughput_kops: r.throughput_kops,
+            p50_ms: r.p50_ms,
+            p99_ms: r.p99_ms,
+            read_p50_ms: r.read_p50_ms,
+            read_p99_ms: r.read_p99_ms,
+            write_p50_ms: r.write_p50_ms,
+            write_p99_ms: r.write_p99_ms,
+            read_count: r.read_count,
+        });
     }
 
     let get = |protocol: &str, load: &str, policy: &str| -> &Cell {
@@ -178,35 +236,89 @@ fn main() {
         summaries.push((name, tp_vs_best, tp_vs_s64, p50_frac, meets));
     }
 
+    // Read-mix acceptance: local reads alive everywhere; Clock-RSM's
+    // stable-timestamp reads strictly undercut its write commits.
+    println!("\n=== Read-heavy (90/10) geo scenario ===");
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "protocol", "read p50", "read p99", "write p50", "write p99", "verdict"
+    );
+    let mut read_summaries = Vec::new();
+    for choice in &protocols {
+        let name = choice.name();
+        let c = get(name, "readmix", "local");
+        let alive = c.read_count > 0;
+        let local_wins = c.read_p50_ms < c.write_p50_ms;
+        let meets = alive && (name != "Clock-RSM" || local_wins);
+        println!(
+            "{name:<14}{:>10.2}ms{:>10.2}ms{:>10.2}ms{:>10.2}ms{:>10}",
+            c.read_p50_ms,
+            c.read_p99_ms,
+            c.write_p50_ms,
+            c.write_p99_ms,
+            if meets { "ok" } else { "MISS" }
+        );
+        if check {
+            if !alive {
+                failures.push(format!(
+                    "{name}: read-mix scenario produced no read samples \
+                     (local read path dead?)"
+                ));
+            }
+            if name == "Clock-RSM" && !local_wins {
+                failures.push(format!(
+                    "{name}: local-read p50 {:.2} ms not below write-commit \
+                     p50 {:.2} ms",
+                    c.read_p50_ms, c.write_p50_ms
+                ));
+            }
+        }
+        read_summaries.push((name, c.read_p50_ms, c.write_p50_ms, meets));
+    }
+
     // Machine-readable trajectory record (no serde in this workspace:
     // the JSON is assembled by hand).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v2\",");
     let _ = writeln!(json, "  \"quick\": {},", quick());
     let _ = writeln!(
         json,
         "  \"targets\": {{ \"heavy_throughput_vs_best_static_min\": {TARGET_THROUGHPUT_FRAC}, \
-         \"light_p50_vs_static1_max\": {TARGET_P50_FRAC} }},"
+         \"light_p50_vs_static1_max\": {TARGET_P50_FRAC}, \
+         \"readmix_clock_rsm_read_p50_below_write_p50\": true }},"
     );
     json.push_str("  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
             "    {{ \"protocol\": \"{}\", \"load\": \"{}\", \"policy\": \"{}\", \
-             \"throughput_kops\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+             \"throughput_kops\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}",
             c.protocol, c.load, c.policy, c.throughput_kops, c.p50_ms, c.p99_ms
         );
+        if c.load == "readmix" {
+            let _ = write!(
+                json,
+                ", \"read_p50_ms\": {:.3}, \"read_p99_ms\": {:.3}, \
+                 \"write_p50_ms\": {:.3}, \"write_p99_ms\": {:.3}, \
+                 \"read_count\": {}",
+                c.read_p50_ms, c.read_p99_ms, c.write_p50_ms, c.write_p99_ms, c.read_count
+            );
+        }
+        json.push_str(" }");
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"summary\": [\n");
     for (i, (name, vs_best, vs_s64, p50_frac, meets)) in summaries.iter().enumerate() {
+        let (_, read_p50, write_p50, read_meets) = read_summaries[i];
         let _ = write!(
             json,
             "    {{ \"protocol\": \"{name}\", \"heavy_adaptive_vs_best_static\": {vs_best:.4}, \
              \"heavy_adaptive_vs_static64\": {vs_s64:.4}, \
-             \"light_adaptive_p50_vs_static1\": {p50_frac:.4}, \"meets_targets\": {meets} }}"
+             \"light_adaptive_p50_vs_static1\": {p50_frac:.4}, \"meets_targets\": {meets}, \
+             \"readmix_read_p50_ms\": {read_p50:.3}, \"readmix_write_p50_ms\": {write_p50:.3}, \
+             \"readmix_meets_targets\": {read_meets} }}"
         );
         json.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
     }

@@ -33,6 +33,21 @@
 //! and the workspace integration tests run the protocol with second-scale
 //! skews to demonstrate exactly that.
 //!
+//! ## Linearizable local reads
+//!
+//! The same stable-order machinery yields **local reads at any replica**
+//! (`rsm_core::read`): a read is stamped from the replica's monotonic
+//! send-timestamp discipline and served from the local state machine
+//! once the stable timestamp — `min(LatestTV)` with every smaller
+//! pending command committed — passes the stamp. Any write whose reply
+//! preceded the read's issue committed only after *this* replica's own
+//! clock evidence exceeded the write's timestamp, so the stamp (strictly
+//! above everything this replica ever sent) always orders after it.
+//! Like commits, the read path keeps the paper's design rule intact:
+//! clock skew moves only the stable-timestamp *wait*, never the answer —
+//! in contrast to leader-lease reads (see the `paxos` crate), where a
+//! clock bound is load-bearing for safety.
+//!
 //! ## Batching
 //!
 //! The data plane generalizes Algorithm 1 to whole batches: a driver can

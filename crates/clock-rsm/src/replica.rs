@@ -4,10 +4,11 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{Checkpoint, Checkpointer};
-use rsm_core::command::{Command, Committed};
+use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::read::{ReadPath, ReadQueue};
 use rsm_core::time::{Micros, Timestamp};
 
 use crate::config::ClockRsmConfig;
@@ -129,6 +130,15 @@ pub struct ClockRsm {
     /// Local-clock time we last heard from each replica.
     pub(crate) last_heard: Vec<Micros>,
 
+    // ------ local reads (stable-timestamp, `rsm_core::read`) ------
+    /// Reads parked against their stamp, released once the stable
+    /// timestamp passes it (see [`ClockRsm::release_ready_reads`]).
+    pub(crate) read_queue: ReadQueue<Timestamp>,
+    /// Reads received while frozen or awaiting rejoin, re-stamped on
+    /// unfreeze (a stamp taken mid-freeze could release against a
+    /// stale configuration's stable timestamp).
+    pub(crate) queued_reads: VecDeque<Command>,
+
     // ------ counters (observability) ------
     pub(crate) committed_count: u64,
     /// Shared checkpoint scheduler (Section V-B; `rsm_core::checkpoint`).
@@ -174,6 +184,8 @@ impl ClockRsm {
             needs_rejoin: false,
             history: BTreeMap::new(),
             last_heard: vec![0; n],
+            read_queue: ReadQueue::new(),
+            queued_reads: VecDeque::new(),
             committed_count: 0,
             checkpointer: Checkpointer::new(cfg.checkpoint),
             membership,
@@ -420,10 +432,7 @@ impl ClockRsm {
             return;
         }
         let majority = self.membership.majority();
-        loop {
-            let Some((&ts, _)) = self.pending.iter().next() else {
-                return;
-            };
+        while let Some((&ts, _)) = self.pending.iter().next() {
             let o = ts.replica().index();
             let acks = self
                 .membership
@@ -432,7 +441,7 @@ impl ClockRsm {
                 .filter(|k| self.acked[k.index()][o] >= ts.micros())
                 .count();
             if acks < majority || ts > self.min_latest_tv() {
-                return;
+                break;
             }
             let (cmd, origin) = self.pending.remove(&ts).expect("first key exists");
             ctx.log_append(LogRec::Commit { ts });
@@ -447,6 +456,82 @@ impl ClockRsm {
             });
             self.maybe_checkpoint(ctx);
         }
+        // The stable timestamp may have advanced: serve any read whose
+        // stamp it passed. Riding on try_commit puts the check on every
+        // path that moves `LatestTV` or drains `pending` (PREPAREOK,
+        // CLOCKTIME, prepares, epoch installs).
+        self.release_ready_reads(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Local reads (stable-timestamp rule; see `rsm_core::read`)
+    // ------------------------------------------------------------------
+
+    /// Handles a client read: stamp it from the monotonic send-timestamp
+    /// discipline and park it until the stable timestamp passes the
+    /// stamp.
+    ///
+    /// Why the stamp makes the released prefix linearizable: a write `W`
+    /// whose reply preceded this read's issue committed at its origin
+    /// only after **this** replica's clock evidence (`LatestTV[self]` at
+    /// the origin — a timestamp this replica itself sent, hence ≤
+    /// `send_floor`) exceeded `ts_W`. The stamp is strictly above
+    /// `send_floor`, so `ts_W < stamp` for every such `W`, and releasing
+    /// at `stable ≥ stamp` guarantees `W` is already executed locally.
+    /// Clock skew shifts only how long the wait takes — a fast local
+    /// clock stamps high and waits for `min(LatestTV)` to catch up, a
+    /// slow one stamps low and releases sooner — never the answer.
+    fn handle_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        if self.frozen || self.needs_rejoin {
+            self.queued_reads.push_back(cmd);
+            return;
+        }
+        let stamp = self.next_send_ts(ctx);
+        self.read_queue.park(stamp, cmd);
+        self.release_ready_reads(ctx);
+    }
+
+    /// Serves every parked read whose stamp the stable timestamp has
+    /// passed: `min(LatestTV)` over the configuration has reached the
+    /// stamp (no replica will ever send a smaller timestamp, so nothing
+    /// below it can still arrive) **and** every pending command at or
+    /// below the stamp has committed (commits drain in timestamp order,
+    /// so an empty prefix of `pending` proves local execution covers
+    /// the stamp).
+    pub(crate) fn release_ready_reads(&mut self, ctx: &mut dyn Context<Self>) {
+        if self.read_queue.is_empty() || self.frozen || self.needs_rejoin {
+            return;
+        }
+        let mut stable = self.min_latest_tv();
+        if let Some((&first_pending, _)) = self.pending.iter().next() {
+            // Commands at or below the first pending timestamp are not
+            // all executed yet; reads stamped past it must keep waiting.
+            // (Timestamps are unique, so releasing strictly below it is
+            // exact, not conservative.)
+            stable = stable.min(Timestamp::new(
+                first_pending.micros().saturating_sub(1),
+                ReplicaId::new(u16::MAX - 1),
+            ));
+        }
+        for cmd in self.read_queue.release(stable) {
+            self.serve_read(cmd, ctx);
+        }
+    }
+
+    /// Serves one released read from the local state machine, falling
+    /// back to ordinary replication when the driver cannot serve reads
+    /// (no state machine access) or the command is not actually
+    /// read-only.
+    fn serve_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        match ctx.sm_read(&cmd) {
+            Some(result) => ctx.send_reply(Reply::new(cmd.id, result)),
+            None => self.handle_batch(Batch::single(cmd), ctx),
+        }
+    }
+
+    /// Number of reads currently parked (test observability).
+    pub fn parked_reads(&self) -> usize {
+        self.read_queue.len()
     }
 
     /// Writes a checkpoint record when the policy says one is due and the
@@ -616,6 +701,11 @@ impl ClockRsm {
         for batch in batches {
             self.handle_batch(batch, ctx);
         }
+        let reads: Vec<Command> = self.queued_reads.drain(..).collect();
+        for cmd in reads {
+            self.handle_read(cmd, ctx);
+        }
+        self.release_ready_reads(ctx);
     }
 }
 
@@ -649,6 +739,14 @@ impl Protocol for ClockRsm {
 
     fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
         self.handle_batch(batch, ctx);
+    }
+
+    fn on_client_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        self.handle_read(cmd, ctx);
+    }
+
+    fn read_path(&self) -> ReadPath {
+        ReadPath::LocalStable
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: RsmMsg, ctx: &mut dyn Context<Self>) {
@@ -821,6 +919,11 @@ mod tests {
         pub timers: Vec<(Micros, TimerToken)>,
         pub clock: Micros,
         pub clock_step: Micros,
+        /// Replies routed via `send_reply` (served local reads).
+        pub read_replies: Vec<Reply>,
+        /// Whether `sm_read` answers (false models a driver without
+        /// state machine access, forcing the replicated fallback).
+        pub serve_reads: bool,
     }
 
     impl TestCtx {
@@ -832,6 +935,8 @@ mod tests {
                 timers: Vec::new(),
                 clock: start_clock,
                 clock_step: 1,
+                read_replies: Vec::new(),
+                serve_reads: true,
             }
         }
 
@@ -859,6 +964,13 @@ mod tests {
         }
         fn set_timer(&mut self, after: Micros, token: TimerToken) {
             self.timers.push((after, token));
+        }
+        fn sm_read(&mut self, cmd: &Command) -> Option<Bytes> {
+            self.serve_reads
+                .then(|| Bytes::from(format!("read:{}", cmd.id.seq).into_bytes()))
+        }
+        fn send_reply(&mut self, reply: Reply) {
+            self.read_replies.push(reply);
         }
     }
 
@@ -1357,6 +1469,146 @@ mod tests {
         assert_eq!(ctx.commits[1].cmd.id.seq, 2);
         assert!(p.needs_rejoin);
         assert!(p.send_floor >= 300, "must not reuse logged timestamps");
+    }
+
+    fn read(seq: u64) -> Command {
+        Command::read(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            Bytes::from_static(b"get"),
+        )
+    }
+
+    /// Advances every replica's `LatestTV` entry past `micros` via
+    /// CLOCKTIME messages (the stable-timestamp feed).
+    fn advance_latest_tv(p: &mut ClockRsm, micros: Micros, ctx: &mut TestCtx) {
+        for k in 0..3u16 {
+            p.on_message(
+                r(k),
+                RsmMsg::ClockTime {
+                    epoch: p.epoch(),
+                    ts: ts(micros, k),
+                },
+                ctx,
+            );
+        }
+    }
+
+    #[test]
+    fn read_parks_until_stable_timestamp_passes_its_stamp() {
+        let mut p = replica(0, 3);
+        let mut ctx = TestCtx::new(1_000);
+        p.on_client_read(read(7), &mut ctx);
+        assert_eq!(p.parked_reads(), 1);
+        assert!(
+            ctx.read_replies.is_empty() && ctx.sends.is_empty(),
+            "a read neither answers early nor touches the wire"
+        );
+        // Two of three clocks pass the stamp: still not stable.
+        for k in 0..2u16 {
+            p.on_message(
+                r(k),
+                RsmMsg::ClockTime {
+                    epoch: Epoch::ZERO,
+                    ts: ts(5_000, k),
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.parked_reads(), 1, "min(LatestTV) still below the stamp");
+        // The third clock arrives: stable timestamp passes the stamp.
+        p.on_message(
+            r(2),
+            RsmMsg::ClockTime {
+                epoch: Epoch::ZERO,
+                ts: ts(5_000, 2),
+            },
+            &mut ctx,
+        );
+        assert_eq!(p.parked_reads(), 0);
+        assert_eq!(ctx.read_replies.len(), 1);
+        assert_eq!(ctx.read_replies[0].id.seq, 7);
+        assert_eq!(&ctx.read_replies[0].result[..], b"read:7");
+        assert!(
+            ctx.commits.is_empty() && ctx.log.is_empty(),
+            "local reads never commit or log"
+        );
+    }
+
+    #[test]
+    fn read_waits_for_smaller_pending_commands_to_commit() {
+        let mut p = replica(2, 3);
+        let mut ctx = TestCtx::new(1_000);
+        // A write with a small timestamp is pending (not yet majority-
+        // acked); a read stamped above it must wait even once every
+        // clock passed the stamp.
+        p.on_message(
+            r(0),
+            prepare(Epoch::ZERO, ts(500, 0), r(0), cmd(1)),
+            &mut ctx,
+        );
+        ctx.take_sends();
+        p.on_client_read(read(9), &mut ctx);
+        advance_latest_tv(&mut p, 50_000, &mut ctx);
+        assert_eq!(
+            p.parked_reads(),
+            1,
+            "a pending write below the stamp blocks the read"
+        );
+        assert!(ctx.read_replies.is_empty());
+        // Majority acks arrive, the write commits, the read releases.
+        for k in [0u16, 1, 2] {
+            p.on_message(
+                r(k),
+                RsmMsg::PrepareOk {
+                    epoch: Epoch::ZERO,
+                    up_to: ts(500, 0),
+                    clock_ts: ts(60_000 + k as u64, k),
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(ctx.commits.len(), 1, "the write committed");
+        assert_eq!(p.parked_reads(), 0);
+        assert_eq!(ctx.read_replies.len(), 1);
+    }
+
+    #[test]
+    fn read_falls_back_to_replication_without_sm_access() {
+        let mut p = replica(0, 3);
+        let mut ctx = TestCtx::new(1_000);
+        ctx.serve_reads = false; // driver cannot answer reads locally
+        p.on_client_read(read(3), &mut ctx);
+        advance_latest_tv(&mut p, 50_000, &mut ctx);
+        assert_eq!(p.parked_reads(), 0);
+        assert!(ctx.read_replies.is_empty());
+        assert!(
+            ctx.sends
+                .iter()
+                .any(|(_, m)| matches!(m, RsmMsg::PrepareBatch { .. })),
+            "unserveable read must be replicated as an ordinary command"
+        );
+    }
+
+    #[test]
+    fn frozen_replica_queues_reads_and_restamps_on_unfreeze() {
+        let mut p = replica(0, 3);
+        let mut ctx = TestCtx::new(1_000);
+        p.frozen = true;
+        p.on_client_read(read(4), &mut ctx);
+        assert_eq!(p.parked_reads(), 0, "frozen: not stamped yet");
+        assert_eq!(p.queued_reads.len(), 1);
+        p.frozen = false;
+        p.drain_buffers(&mut ctx);
+        assert_eq!(p.queued_reads.len(), 0);
+        assert_eq!(p.parked_reads(), 1, "re-stamped and parked");
+        advance_latest_tv(&mut p, 50_000, &mut ctx);
+        assert_eq!(ctx.read_replies.len(), 1);
+    }
+
+    #[test]
+    fn clock_rsm_reports_local_stable_read_path() {
+        let p = replica(0, 3);
+        assert_eq!(p.read_path(), ReadPath::LocalStable);
     }
 
     #[test]

@@ -50,12 +50,34 @@ pub struct Command {
     pub id: CommandId,
     /// Opaque operation payload interpreted by the replicated state machine.
     pub payload: Bytes,
+    /// Whether the client declares this command **read-only**: it does
+    /// not mutate the state machine, so drivers may route it down the
+    /// protocol's local read path (`rsm_core::read`) instead of
+    /// replicating it. The declaration is advisory — the state machine
+    /// re-checks via [`StateMachine::query`](crate::StateMachine::query)
+    /// and a mutating payload falsely marked read-only is simply
+    /// replicated like any write.
+    pub read_only: bool,
 }
 
 impl Command {
-    /// Creates a command from its id and payload.
+    /// Creates a (write) command from its id and payload.
     pub fn new(id: CommandId, payload: Bytes) -> Self {
-        Command { id, payload }
+        Command {
+            id,
+            payload,
+            read_only: false,
+        }
+    }
+
+    /// Creates a command declared read-only (see
+    /// [`read_only`](Command::read_only)).
+    pub fn read(id: CommandId, payload: Bytes) -> Self {
+        Command {
+            id,
+            payload,
+            read_only: true,
+        }
     }
 
     /// Payload length in bytes — the "command size" knob of the paper's

@@ -43,6 +43,22 @@
 //! amortization. Batches themselves are `Arc`-shared, so the per-peer
 //! message clones of a broadcast never deep-copy command payloads.
 //!
+//! ## Linearizable reads
+//!
+//! The [`read`] module is the protocol-agnostic half of the local read
+//! subsystem: a [`ReadPath`] capability each protocol reports, a
+//! [`ReadQueue`] parking pending reads against a watermark, and the
+//! [`ReadRequest`]/[`ReadReply`] quorum-probe wire shapes. Drivers route
+//! commands marked [`Command::read_only`] to
+//! [`Protocol::on_client_read`] **outside** the write batching pipeline
+//! (a `Get` is never delayed behind a flush threshold), and protocols
+//! serve them from the local state machine via
+//! [`Context::sm_read`]/[`Context::send_reply`] once their stable
+//! prefix provably covers the read. See the module docs for the
+//! critical invariant split: where clock skew is latency-only
+//! (Clock-RSM stable-timestamp reads) versus where a bounded-skew
+//! assumption is load-bearing (Paxos leader-lease reads).
+//!
 //! ## Checkpointing & state transfer
 //!
 //! The [`checkpoint`] module (Section V-B of the paper) is shared by all
@@ -84,6 +100,7 @@ pub mod id;
 pub mod lease;
 pub mod matrix;
 pub mod protocol;
+pub mod read;
 pub mod sm;
 pub mod time;
 pub mod wire;
@@ -99,6 +116,7 @@ pub use id::{ClientId, ReplicaId};
 pub use lease::{Lease, LeaseConfig};
 pub use matrix::LatencyMatrix;
 pub use protocol::{Context, Protocol, TimerToken};
+pub use read::{ReadPath, ReadProbes, ReadQueue, ReadReply, ReadRequest};
 pub use sm::StateMachine;
 pub use time::{Micros, Timestamp};
 pub use wire::WireSize;

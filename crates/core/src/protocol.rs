@@ -22,8 +22,9 @@
 use std::fmt;
 
 use crate::batch::Batch;
-use crate::command::{Command, Committed};
+use crate::command::{Command, Committed, Reply};
 use crate::id::ReplicaId;
+use crate::read::ReadPath;
 use crate::time::Micros;
 
 /// A protocol-chosen timer discriminant, echoed back in
@@ -96,6 +97,28 @@ pub trait Context<P: Protocol + ?Sized> {
     fn sm_install(&mut self, _snapshot: bytes::Bytes) -> bool {
         false
     }
+
+    /// Executes a read-only command against the local state machine's
+    /// current applied prefix, returning its result **without** counting
+    /// a commit or mutating anything (the local-read path,
+    /// `rsm_core::read`). The protocol must only call this once it has
+    /// established that the local prefix is linearizable for the read
+    /// (stable timestamp passed the stamp, leader lease valid, quorum
+    /// mark executed). Returns `None` when the driver has no state
+    /// machine access or the command is not actually read-only; the
+    /// protocol then falls back to replicating the read as an ordinary
+    /// command.
+    fn sm_read(&mut self, _cmd: &Command) -> Option<bytes::Bytes> {
+        None
+    }
+
+    /// Routes `reply` to the issuing client attached to this replica,
+    /// bypassing the commit path. Used exclusively for locally served
+    /// reads (which never commit); protocols only call it at the read's
+    /// origin replica. The default drops the reply, which is only
+    /// correct for drivers whose [`sm_read`](Context::sm_read) never
+    /// returns `Some` (the two always come as a pair).
+    fn send_reply(&mut self, _reply: Reply) {}
 }
 
 /// A replication protocol, written sans-io.
@@ -140,6 +163,23 @@ pub trait Protocol {
         for cmd in batch {
             self.on_client_request(cmd, ctx);
         }
+    }
+
+    /// A local client submitted a **read-only** command (one with
+    /// [`Command::read_only`] set; drivers route those here, outside the
+    /// write batching pipeline). The default replicates the read as an
+    /// ordinary command — always linearizable, full commit latency —
+    /// matching a [`read_path`](Protocol::read_path) of
+    /// [`ReadPath::Replicated`]. Protocols with a local read path
+    /// override both.
+    fn on_client_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        self.on_client_request(cmd, ctx);
+    }
+
+    /// The local-read capability this protocol implements (see
+    /// `rsm_core::read` for the invariant behind each variant).
+    fn read_path(&self) -> ReadPath {
+        ReadPath::Replicated
     }
 
     /// A message arrived from replica `from` (possibly self).

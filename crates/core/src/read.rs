@@ -1,0 +1,431 @@
+//! The linearizable read subsystem (protocol-agnostic parts).
+//!
+//! Every protocol in this workspace can replicate a read like any other
+//! command — always correct, always paying the full WAN commit latency.
+//! This module is the shared vocabulary for doing better: serving reads
+//! **locally**, at the replica the client is attached to, without giving
+//! up linearizability. The per-protocol read paths are built from three
+//! pieces:
+//!
+//! * a [`ReadPath`] capability each protocol reports, naming the
+//!   mechanism (and therefore the assumptions) behind its local reads;
+//! * a [`ReadQueue`] that parks pending reads against a protocol-chosen
+//!   watermark coordinate and releases them once the replica's **stable
+//!   prefix** passes that coordinate;
+//! * [`ReadRequest`]/[`ReadReply`] wire shapes for the quorum-probe
+//!   fallback used when no local fast path applies.
+//!
+//! # Where "clocks only affect latency" holds — and where it does not
+//!
+//! The subsystem deliberately spans both sides of the paper's central
+//! design rule, and the split is the most important thing to understand
+//! about it:
+//!
+//! * **Clock-RSM stable-timestamp reads** ([`ReadPath::LocalStable`])
+//!   keep the rule intact. A read is stamped from the replica's own
+//!   monotonic send-timestamp discipline and released only once the
+//!   replica's stable timestamp — `min(LatestTV)` over the
+//!   configuration, with every smaller pending command committed — has
+//!   passed the stamp. Any write whose reply preceded the read's issue
+//!   necessarily has a smaller timestamp than the stamp (its commit
+//!   required this very replica's clock evidence to exceed the write's
+//!   timestamp), so the released prefix always contains it. Clock skew
+//!   moves the *wait*, never the *answer*: a slow local clock just
+//!   stamps low and releases sooner; a fast one stamps high and waits
+//!   for the cluster to catch up. **Skew is latency-only here.**
+//! * **Paxos leader-lease reads** ([`ReadPath::LeaderLease`]) import a
+//!   genuine bounded-skew *safety* assumption — the one piece of this
+//!   workspace where a clock bound is load-bearing. The lease-holding
+//!   leader serves reads from its committed prefix without talking to
+//!   anyone, which is only linearizable while no newer regime can have
+//!   committed a write elsewhere; that in turn holds only if follower
+//!   suspicion clocks and the leader's lease clock advance at
+//!   comparable rates (see the `paxos` crate docs for the exact
+//!   margin). Ballot fencing bounds the blast radius: a deposed
+//!   leader's *writes* are nacked outright, so the worst a broken clock
+//!   can produce is a stale **read** served inside one lease window —
+//!   never divergent replicas, never a lost write.
+//! * **Quorum-mark reads** ([`ReadPath::CommitWatermark`] and the
+//!   follower fallback of the Paxos path) assume nothing about clocks:
+//!   the reader probes a majority for their read marks (commit
+//!   watermark raised to the top of the accepted log), parks the read
+//!   at the maximum, and serves once its own execution passes it. Any
+//!   write that completed before the probe was acknowledged by a
+//!   majority, which intersects the probed majority, so some reply's
+//!   mark covers it.
+
+use std::collections::BTreeMap;
+
+use crate::command::Command;
+use crate::id::ReplicaId;
+use crate::wire::{WireSize, MSG_HEADER_BYTES};
+
+/// The local-read mechanism a protocol implements, reported via
+/// [`Protocol::read_path`](crate::Protocol::read_path).
+///
+/// Drivers and harnesses use the capability for routing decisions and
+/// reporting; the invariant behind each variant is documented in the
+/// [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Reads are served locally at **any** replica once the replica's
+    /// stable timestamp passes the read's stamp (Clock-RSM). Clock skew
+    /// affects read latency only, never correctness.
+    LocalStable,
+    /// The lease-holding leader serves reads locally, fenced by ballot
+    /// and lease; this introduces a bounded-skew **safety** assumption.
+    /// Followers (and a leader whose lease is uncertain) fall back to a
+    /// clock-free quorum-mark read.
+    LeaderLease,
+    /// Reads park at the issuing replica on the all-owners commit
+    /// watermark obtained from a majority probe (Mencius). Clock-free.
+    CommitWatermark,
+    /// No local read path: reads are replicated as ordinary commands
+    /// (the default for any protocol that does not override it).
+    Replicated,
+}
+
+/// A quorum-read probe: asks a peer for its current read mark.
+///
+/// Sent by a replica that cannot serve a read locally (a follower, a
+/// leader with an uncertain lease, or any Mencius replica). The `seq`
+/// number pairs replies with the probe they answer; it is scoped to the
+/// requesting replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// Requester-local probe sequence number, echoed in the reply.
+    pub seq: u64,
+}
+
+impl WireSize for ReadRequest {
+    fn wire_size(&self) -> usize {
+        MSG_HEADER_BYTES
+    }
+}
+
+/// A peer's answer to a [`ReadRequest`]: its read mark in the protocol's
+/// ordering coordinate (instance for Paxos, slot for Mencius).
+///
+/// The mark must be an upper bound on every coordinate the responder has
+/// ever **logged** — its commit watermark raised to the top of its
+/// accepted log — not merely on what it has executed. Commitment of a
+/// write requires a majority to log it, and the probe quorum intersects
+/// every commit quorum, so the maximum mark over a majority of replies
+/// covers every write that completed before the probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadReply {
+    /// Echo of the probe's sequence number.
+    pub seq: u64,
+    /// The responder's read mark (exclusive upper bound: every logged
+    /// coordinate is `< mark`).
+    pub mark: u64,
+}
+
+impl WireSize for ReadReply {
+    fn wire_size(&self) -> usize {
+        MSG_HEADER_BYTES
+    }
+}
+
+/// Pending reads parked against a watermark, released in order once the
+/// replica's stable coordinate passes them.
+///
+/// `W` is the protocol's ordering coordinate (a
+/// [`Timestamp`](crate::Timestamp) for Clock-RSM, `u64`
+/// instances/slots for Paxos and Mencius). Multiple reads may park at
+/// the same watermark (e.g. several reads behind one quorum probe);
+/// they release together, in park order.
+///
+/// # Examples
+///
+/// ```
+/// use rsm_core::read::ReadQueue;
+/// use rsm_core::{Command, CommandId, ClientId, ReplicaId};
+/// use bytes::Bytes;
+///
+/// let cmd = |seq| Command::read(
+///     CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+///     Bytes::from_static(b"get k"),
+/// );
+/// let mut q: ReadQueue<u64> = ReadQueue::new();
+/// q.park(5, cmd(1));
+/// q.park(3, cmd(2));
+/// assert_eq!(q.len(), 2);
+/// let ready = q.release(4); // stable coordinate reached 4
+/// assert_eq!(ready.len(), 1);
+/// assert_eq!(ready[0].id.seq, 2);
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadQueue<W: Ord + Copy> {
+    parked: BTreeMap<W, Vec<Command>>,
+    len: usize,
+}
+
+impl<W: Ord + Copy> ReadQueue<W> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ReadQueue {
+            parked: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Parks `cmd` until the stable coordinate reaches `mark`.
+    pub fn park(&mut self, mark: W, cmd: Command) {
+        self.parked.entry(mark).or_default().push(cmd);
+        self.len += 1;
+    }
+
+    /// Releases every read whose mark is `<= stable`, in mark order
+    /// (park order within a mark). Returns an empty vector when nothing
+    /// is ready.
+    pub fn release(&mut self, stable: W) -> Vec<Command> {
+        if self
+            .parked
+            .keys()
+            .next()
+            .is_none_or(|&first| first > stable)
+        {
+            return Vec::new();
+        }
+        let mut ready = Vec::new();
+        while let Some(entry) = self.parked.first_entry() {
+            if *entry.key() > stable {
+                break;
+            }
+            ready.extend(entry.remove());
+        }
+        self.len -= ready.len();
+        ready
+    }
+
+    /// Removes and returns every parked read (fallback paths: a replica
+    /// that can no longer honor its marks re-routes the reads instead
+    /// of serving them).
+    pub fn drain_all(&mut self) -> Vec<Command> {
+        self.len = 0;
+        let mut all = Vec::new();
+        for (_, cmds) in std::mem::take(&mut self.parked) {
+            all.extend(cmds);
+        }
+        all
+    }
+
+    /// Number of parked reads.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no reads are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<W: Ord + Copy> Default for ReadQueue<W> {
+    fn default() -> Self {
+        ReadQueue::new()
+    }
+}
+
+/// Cap on in-flight quorum-read probes: beyond this the oldest probe is
+/// dropped — its reads are lost and re-issued by client retry, like any
+/// command lost to a fault. Bounds memory when probes go unanswered (a
+/// crashed or partitioned peer never replies).
+pub const MAX_READ_PROBES: usize = 1024;
+
+/// One in-flight quorum-read probe: reads waiting for a majority of
+/// read marks before they can park.
+#[derive(Debug)]
+struct Probe {
+    /// Requester-local probe sequence number.
+    seq: u64,
+    /// Peers that have answered (self is counted implicitly).
+    responders: Vec<ReplicaId>,
+    /// The largest mark reported so far (seeded with the local mark).
+    max_mark: u64,
+    /// The reads riding on this probe.
+    cmds: Vec<Command>,
+}
+
+/// The requester side of the quorum-mark read fallback, shared by every
+/// protocol that probes (Paxos followers/uncertain leaders, every
+/// Mencius replica): tracks in-flight probes, folds peer marks, and
+/// hands back the reads of each probe that reached a majority together
+/// with the mark to park them at.
+///
+/// Protocol glue stays thin: wrap [`begin`](ReadProbes::begin)'s
+/// [`ReadRequest`] in the protocol's message type and broadcast it,
+/// feed incoming [`ReadReply`]s to [`on_reply`](ReadProbes::on_reply),
+/// and drain [`take_ready`](ReadProbes::take_ready) into a
+/// [`ReadQueue`] after either.
+#[derive(Debug, Default)]
+pub struct ReadProbes {
+    probes: Vec<Probe>,
+    seq: u64,
+}
+
+impl ReadProbes {
+    /// No probes in flight.
+    pub fn new() -> Self {
+        ReadProbes::default()
+    }
+
+    /// Opens a probe carrying `cmds`, seeded with the caller's own read
+    /// mark; returns the request to broadcast to the peers. When
+    /// [`MAX_READ_PROBES`] are already in flight the oldest is dropped
+    /// (client retry re-issues its reads).
+    pub fn begin(&mut self, local_mark: u64, cmds: Vec<Command>) -> ReadRequest {
+        self.seq += 1;
+        if self.probes.len() >= MAX_READ_PROBES {
+            self.probes.remove(0);
+        }
+        self.probes.push(Probe {
+            seq: self.seq,
+            responders: Vec::new(),
+            max_mark: local_mark,
+            cmds,
+        });
+        ReadRequest { seq: self.seq }
+    }
+
+    /// Records a peer's answer (duplicate responders are ignored, so a
+    /// retransmitted reply can never double-count toward the majority).
+    pub fn on_reply(&mut self, from: ReplicaId, reply: ReadReply) {
+        if let Some(p) = self.probes.iter_mut().find(|p| p.seq == reply.seq) {
+            if !p.responders.contains(&from) {
+                p.responders.push(from);
+                p.max_mark = p.max_mark.max(reply.mark);
+            }
+        }
+    }
+
+    /// Removes and returns every probe that reached `majority` counting
+    /// the requester itself, as `(mark, reads)` pairs ready to park. A
+    /// single-replica configuration is its own majority, so a probe can
+    /// complete the moment it is begun.
+    pub fn take_ready(&mut self, majority: usize) -> Vec<(u64, Vec<Command>)> {
+        let mut ready = Vec::new();
+        self.probes.retain_mut(|p| {
+            if 1 + p.responders.len() >= majority {
+                ready.push((p.max_mark, std::mem::take(&mut p.cmds)));
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
+    /// Number of reads riding in-flight probes.
+    pub fn pending(&self) -> usize {
+        self.probes.iter().map(|p| p.cmds.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandId;
+    use crate::id::{ClientId, ReplicaId};
+    use bytes::Bytes;
+
+    fn cmd(seq: u64) -> Command {
+        Command::read(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            Bytes::from_static(b"r"),
+        )
+    }
+
+    #[test]
+    fn releases_in_mark_order_up_to_stable() {
+        let mut q: ReadQueue<u64> = ReadQueue::new();
+        q.park(10, cmd(1));
+        q.park(5, cmd(2));
+        q.park(7, cmd(3));
+        assert_eq!(q.len(), 3);
+        let ready = q.release(7);
+        assert_eq!(
+            ready.iter().map(|c| c.id.seq).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(q.len(), 1);
+        assert!(q.release(9).is_empty());
+        assert_eq!(q.release(10).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_mark_reads_release_together_in_park_order() {
+        let mut q: ReadQueue<u64> = ReadQueue::new();
+        q.park(4, cmd(1));
+        q.park(4, cmd(2));
+        let ready = q.release(4);
+        assert_eq!(
+            ready.iter().map(|c| c.id.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn drain_all_empties_the_queue() {
+        let mut q: ReadQueue<u64> = ReadQueue::new();
+        q.park(3, cmd(1));
+        q.park(9, cmd(2));
+        assert_eq!(q.drain_all().len(), 2);
+        assert!(q.is_empty());
+        assert!(q.release(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn probes_complete_on_a_majority_with_the_max_mark() {
+        let mut probes = ReadProbes::new();
+        let req = probes.begin(5, vec![cmd(1), cmd(2)]);
+        assert_eq!(req.seq, 1);
+        assert_eq!(probes.pending(), 2);
+        assert!(probes.take_ready(2).is_empty(), "self alone is not 2");
+        probes.on_reply(ReplicaId::new(1), ReadReply { seq: 1, mark: 9 });
+        // A duplicate reply from the same peer never double-counts.
+        probes.on_reply(ReplicaId::new(1), ReadReply { seq: 1, mark: 50 });
+        let ready = probes.take_ready(3);
+        assert!(ready.is_empty(), "1 peer + self is not 3");
+        let ready = probes.take_ready(2);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].0, 9, "max of local seed (5) and peer mark (9)");
+        assert_eq!(ready[0].1.len(), 2);
+        assert_eq!(probes.pending(), 0);
+    }
+
+    #[test]
+    fn single_replica_probe_is_immediately_ready() {
+        let mut probes = ReadProbes::new();
+        probes.begin(3, vec![cmd(1)]);
+        let ready = probes.take_ready(1);
+        assert_eq!(ready, vec![(3, vec![cmd(1)])]);
+    }
+
+    #[test]
+    fn probe_cap_drops_the_oldest() {
+        let mut probes = ReadProbes::new();
+        for i in 0..=MAX_READ_PROBES as u64 {
+            probes.begin(0, vec![cmd(i)]);
+        }
+        assert_eq!(probes.pending(), MAX_READ_PROBES);
+        // The first probe (seq 1) was dropped: its reply finds nothing.
+        probes.on_reply(ReplicaId::new(1), ReadReply { seq: 1, mark: 9 });
+        assert!(probes.take_ready(2).is_empty());
+    }
+
+    #[test]
+    fn wire_shapes_have_header_weight() {
+        assert_eq!(ReadRequest { seq: 1 }.wire_size(), MSG_HEADER_BYTES);
+        assert_eq!(ReadReply { seq: 1, mark: 9 }.wire_size(), MSG_HEADER_BYTES);
+    }
+
+    #[test]
+    fn read_path_is_comparable() {
+        assert_eq!(ReadPath::LocalStable, ReadPath::LocalStable);
+        assert_ne!(ReadPath::LeaderLease, ReadPath::Replicated);
+    }
+}

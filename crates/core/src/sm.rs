@@ -61,6 +61,23 @@ pub trait StateMachine: Send {
     fn restore(&mut self, _snapshot: &[u8]) -> bool {
         false
     }
+
+    /// Executes `cmd` **read-only** against the current state, without
+    /// mutating anything, returning the same result [`apply`] would.
+    /// Returns `None` (the default) when the command is not actually
+    /// read-only — or the machine does not support side-effect-free
+    /// queries — in which case the read subsystem falls back to
+    /// replicating the command as an ordinary write.
+    ///
+    /// This is the state machine's half of the local-read contract
+    /// (`rsm_core::read`): the protocol decides *when* the local prefix
+    /// is linearizable for the read; `query` guarantees serving it
+    /// cannot perturb replicated state.
+    ///
+    /// [`apply`]: StateMachine::apply
+    fn query(&self, _cmd: &Command) -> Option<Bytes> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,20 +1,28 @@
 //! Correctness checkers: total order, monotonic execution, real-time
-//! (linearizability) order, and replica convergence.
+//! (linearizability) order, read-value consistency, and replica
+//! convergence.
 //!
 //! The paper proves (appendix, Claims 1–5) that Clock-RSM executions are
 //! linearizable: all replicas execute the same commands in the same order,
 //! and that order respects the real-time order of client operations. These
 //! checkers verify exactly those properties on simulation histories, for
-//! all four protocols.
+//! all four protocols — plus the read subsystem's obligation: a locally
+//! served `Get` (which never appears in the replicated order) must still
+//! be explainable by a single linearization point consistent with the
+//! verified total order and the real-time order of completed operations
+//! ([`check_read_values`]).
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
+use kvstore::KvOp;
 use rsm_core::command::CommandId;
 use rsm_core::time::Micros;
 use simnet::sim::CommitRecord;
 
-/// One client operation's real-time interval, recorded by the workload.
-#[derive(Debug, Clone, Copy)]
+/// One client operation's real-time interval, recorded by the workload,
+/// with enough payload context for the value checkers.
+#[derive(Debug, Clone)]
 pub struct OpRecord {
     /// The command's identity.
     pub cmd_id: CommandId,
@@ -22,6 +30,29 @@ pub struct OpRecord {
     pub issued: Micros,
     /// When the reply reached the client, if it did.
     pub replied: Option<Micros>,
+    /// The encoded operation payload (a [`KvOp`]), used by the
+    /// read-value checker to replay writes and position reads.
+    pub payload: Bytes,
+    /// The reply's result bytes, when a reply arrived.
+    pub result: Option<Bytes>,
+    /// Whether the command took the local read path
+    /// (`Command::read_only`).
+    pub read_only: bool,
+}
+
+impl OpRecord {
+    /// A write/replicated op record with no payload context (older
+    /// tests and callers that only exercise the interval checkers).
+    pub fn interval(cmd_id: CommandId, issued: Micros, replied: Option<Micros>) -> Self {
+        OpRecord {
+            cmd_id,
+            issued,
+            replied,
+            payload: Bytes::new(),
+            result: None,
+            read_only: false,
+        }
+    }
 }
 
 /// The outcome of all history checks; every flag should be true.
@@ -35,14 +66,33 @@ pub struct CheckReport {
     pub real_time_ok: bool,
     /// No command executed twice at any replica.
     pub no_duplicates_ok: bool,
+    /// Every `Get` reply is consistent with some linearization point in
+    /// the verified total order ([`check_read_values`]).
+    pub read_values_ok: bool,
     /// Human-readable description of the first violation found, if any.
     pub violation: Option<String>,
 }
 
 impl CheckReport {
+    /// A report with every flag green (used when op recording is off).
+    pub fn trivially_ok() -> Self {
+        CheckReport {
+            total_order_ok: true,
+            monotonic_ok: true,
+            real_time_ok: true,
+            no_duplicates_ok: true,
+            read_values_ok: true,
+            violation: None,
+        }
+    }
+
     /// Whether every check passed.
     pub fn all_ok(&self) -> bool {
-        self.total_order_ok && self.monotonic_ok && self.real_time_ok && self.no_duplicates_ok
+        self.total_order_ok
+            && self.monotonic_ok
+            && self.real_time_ok
+            && self.no_duplicates_ok
+            && self.read_values_ok
     }
 }
 
@@ -178,6 +228,143 @@ pub fn check_real_time(order: &[CommitRecord], ops: &[OpRecord]) -> Result<(), S
     Ok(())
 }
 
+/// Checks that every locally served `Get` returned a value consistent
+/// with **some** linearization point in the verified total order,
+/// respecting the real-time order of completed operations (the read-side
+/// counterpart of [`check_real_time`], sharing its window logic).
+///
+/// Local reads never appear in the replicated order, so the checker
+/// *places* each one: replaying the write ops of `order` yields, per
+/// key, a timeline of values; a read of key `k` that was issued at
+/// `t_i` and replied at `t_r` may legally observe any value `k` held at
+/// a position
+///
+/// * **at or after** the latest write to `k` whose reply preceded
+///   `t_i` (a completed write must be visible to a later read), and
+/// * **strictly before** the earliest write to `k` issued after `t_r`
+///   (a write that started after the read finished must not be
+///   visible).
+///
+/// The read passes iff its observed value (or observed absence) occurs
+/// somewhere in that window. Writes the order does not contain (still
+/// in flight at shutdown, or invisible because a history restarted at a
+/// checkpoint install) cannot be positioned and simply do not constrain
+/// the window — the check degrades gracefully rather than
+/// false-positively.
+pub fn check_read_values(order: &[CommitRecord], ops: &[OpRecord]) -> Result<(), String> {
+    let by_id: HashMap<CommandId, &OpRecord> = ops.iter().map(|op| (op.cmd_id, op)).collect();
+
+    /// One write as positioned in the total order (the per-key timeline
+    /// vectors are in order position, so the index inside a timeline is
+    /// the position we window over).
+    struct WriteAt {
+        issued: Micros,
+        replied: Option<Micros>,
+        /// The key's value after this write applied.
+        value_after: Option<Bytes>,
+    }
+
+    // Replay the order's writes, simulating the kv store per key.
+    let mut current: HashMap<Bytes, Bytes> = HashMap::new();
+    let mut writes: HashMap<Bytes, Vec<WriteAt>> = HashMap::new();
+    for rec in order {
+        let Some(op) = by_id.get(&rec.cmd_id) else {
+            continue; // command from outside the recorded population
+        };
+        let Ok(kv_op) = KvOp::decode(&op.payload) else {
+            continue;
+        };
+        let key = kv_op.key().clone();
+        let changed = match &kv_op {
+            KvOp::Put { value, .. } => {
+                current.insert(key.clone(), value.clone());
+                true
+            }
+            KvOp::Delete { .. } => {
+                current.remove(&key);
+                true
+            }
+            KvOp::Cas { expect, value, .. } => {
+                let matches = match (expect, current.get(&key)) {
+                    (None, None) => true,
+                    (Some(e), Some(v)) => e == v,
+                    _ => false,
+                };
+                if matches {
+                    current.insert(key.clone(), value.clone());
+                }
+                matches
+            }
+            KvOp::Get { .. } => false, // a replicated (fallback) read
+        };
+        if changed {
+            writes.entry(key.clone()).or_default().push(WriteAt {
+                issued: op.issued,
+                replied: op.replied,
+                value_after: current.get(&key).cloned(),
+            });
+        }
+    }
+
+    for op in ops {
+        if !op.read_only {
+            continue;
+        }
+        let (Some(replied), Some(result)) = (op.replied, op.result.as_ref()) else {
+            continue; // never answered: no value to check
+        };
+        let Ok(KvOp::Get { key }) = KvOp::decode(&op.payload) else {
+            continue;
+        };
+        // Reply format: status byte, then the value when found.
+        let observed: Option<&[u8]> = match result.first() {
+            Some(1) => Some(&result[1..]),
+            _ => None,
+        };
+        let timeline = writes.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+        // The window of legal linearization points.
+        let lower = timeline
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.replied.is_some_and(|r| r < op.issued))
+            .map(|(i, _)| i)
+            .next_back();
+        let upper = timeline
+            .iter()
+            .position(|w| w.issued > replied)
+            .unwrap_or(timeline.len());
+        // Values observable in the window: the state at the lower bound
+        // (initial absence when there is none), plus every write applied
+        // strictly inside it.
+        let mut candidates: Vec<Option<&[u8]>> = Vec::new();
+        match lower {
+            Some(i) => candidates.push(timeline[i].value_after.as_deref()),
+            None => candidates.push(None),
+        }
+        let from = lower.map_or(0, |i| i + 1);
+        for w in &timeline[from..upper] {
+            candidates.push(w.value_after.as_deref());
+        }
+        if !candidates.contains(&observed) {
+            return Err(format!(
+                "read-value violation: {:?} (key {:?}, issued {}, replied {}) \
+                 observed {:?}, but the legal window over the total order \
+                 holds {:?}",
+                op.cmd_id,
+                key,
+                op.issued,
+                replied,
+                observed.map(|v| v.to_vec()),
+                candidates
+                    .iter()
+                    .map(|c| c.map(|v| v.to_vec()))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs every check and summarizes the outcome.
 pub fn check_all(histories: &[Vec<CommitRecord>], ops: &[OpRecord]) -> CheckReport {
     let total = check_total_order(histories);
@@ -189,7 +376,8 @@ pub fn check_all(histories: &[Vec<CommitRecord>], ops: &[OpRecord]) -> CheckRepo
         .cloned()
         .unwrap_or_default();
     let rt = check_real_time(&longest, ops);
-    let violation = [&total, &mono, &dup, &rt]
+    let rv = check_read_values(&longest, ops);
+    let violation = [&total, &mono, &dup, &rt, &rv]
         .iter()
         .find_map(|r| r.as_ref().err().cloned());
     CheckReport {
@@ -197,6 +385,7 @@ pub fn check_all(histories: &[Vec<CommitRecord>], ops: &[OpRecord]) -> CheckRepo
         monotonic_ok: mono.is_ok(),
         real_time_ok: rt.is_ok(),
         no_duplicates_ok: dup.is_ok(),
+        read_values_ok: rv.is_ok(),
         violation,
     }
 }
@@ -265,16 +454,8 @@ mod tests {
         // A replied at t=100; B issued at t=200 but executed earlier.
         let order = vec![rec(2, 1, 5), rec(1, 2, 10)]; // B before A in order
         let ops = vec![
-            OpRecord {
-                cmd_id: cid(1),
-                issued: 0,
-                replied: Some(100),
-            },
-            OpRecord {
-                cmd_id: cid(2),
-                issued: 200,
-                replied: Some(300),
-            },
+            OpRecord::interval(cid(1), 0, Some(100)),
+            OpRecord::interval(cid(2), 200, Some(300)),
         ];
         let err = check_real_time(&order, &ops).unwrap_err();
         assert!(err.contains("real-time violation"), "{err}");
@@ -285,16 +466,8 @@ mod tests {
         // Overlapping intervals: both orders are linearizable.
         let order = vec![rec(2, 1, 5), rec(1, 2, 10)];
         let ops = vec![
-            OpRecord {
-                cmd_id: cid(1),
-                issued: 0,
-                replied: Some(300),
-            },
-            OpRecord {
-                cmd_id: cid(2),
-                issued: 100,
-                replied: Some(200),
-            },
+            OpRecord::interval(cid(1), 0, Some(300)),
+            OpRecord::interval(cid(2), 100, Some(200)),
         ];
         assert!(check_real_time(&order, &ops).is_ok());
     }
@@ -303,16 +476,8 @@ mod tests {
     fn unreplied_ops_are_tolerated() {
         let order = vec![rec(1, 1, 5)];
         let ops = vec![
-            OpRecord {
-                cmd_id: cid(1),
-                issued: 0,
-                replied: None,
-            },
-            OpRecord {
-                cmd_id: cid(9),
-                issued: 0,
-                replied: None,
-            }, // never committed
+            OpRecord::interval(cid(1), 0, None),
+            OpRecord::interval(cid(9), 0, None), // never committed
         ];
         assert!(check_real_time(&order, &ops).is_ok());
     }
@@ -323,5 +488,129 @@ mod tests {
         let report = check_all(&[a], &[]);
         assert!(report.all_ok());
         assert!(report.violation.is_none());
+    }
+
+    // ---------------- read-value checker ----------------
+
+    /// A completed Put op record.
+    fn put(seq: u64, key: &str, value: &str, issued: Micros, replied: Micros) -> OpRecord {
+        OpRecord {
+            cmd_id: cid(seq),
+            issued,
+            replied: Some(replied),
+            payload: KvOp::put(key.to_string(), value.to_string()).encode(),
+            result: Some(Bytes::from_static(&[1])),
+            read_only: false,
+        }
+    }
+
+    /// A locally served Get that observed `value` (None = not found).
+    fn get(seq: u64, key: &str, value: Option<&str>, issued: Micros, replied: Micros) -> OpRecord {
+        let result = match value {
+            Some(v) => {
+                let mut r = vec![1u8];
+                r.extend_from_slice(v.as_bytes());
+                Bytes::from(r)
+            }
+            None => Bytes::from_static(&[0]),
+        };
+        OpRecord {
+            cmd_id: cid(seq),
+            issued,
+            replied: Some(replied),
+            payload: KvOp::get(key.to_string()).encode(),
+            result: Some(result),
+            read_only: true,
+        }
+    }
+
+    #[test]
+    fn read_sees_the_latest_completed_write() {
+        // w1 (k=a) replied at 100; w2 (k=b) is unrelated. A read of k
+        // issued at 150 must observe "a" (there is nothing newer).
+        let order = vec![rec(1, 1, 10), rec(2, 2, 20)];
+        let ops = vec![
+            put(1, "k", "a", 0, 100),
+            put(2, "other", "x", 0, 100),
+            get(3, "k", Some("a"), 150, 160),
+        ];
+        assert!(check_read_values(&order, &ops).is_ok());
+        // Observing absence instead is a violation: w1 completed first.
+        let stale = vec![
+            put(1, "k", "a", 0, 100),
+            put(2, "other", "x", 0, 100),
+            get(3, "k", None, 150, 160),
+        ];
+        let err = check_read_values(&order, &stale).unwrap_err();
+        assert!(err.contains("read-value violation"), "{err}");
+    }
+
+    #[test]
+    fn read_may_not_see_a_superseded_value() {
+        // Two writes to k, both completed before the read was issued:
+        // only the later one (in the total order) is observable.
+        let order = vec![rec(1, 1, 10), rec(2, 2, 20)];
+        let ops = |seen| {
+            vec![
+                put(1, "k", "old", 0, 50),
+                put(2, "k", "new", 60, 100),
+                get(3, "k", Some(seen), 150, 160),
+            ]
+        };
+        assert!(check_read_values(&order, &ops("new")).is_ok());
+        assert!(check_read_values(&order, &ops("old")).is_err());
+    }
+
+    #[test]
+    fn concurrent_write_window_admits_either_value() {
+        // The write overlaps the read (issued before the read replied,
+        // replied after the read was issued): both values are legal.
+        let order = vec![rec(1, 1, 10), rec(2, 2, 20)];
+        let ops = |seen: Option<&str>| {
+            vec![
+                put(1, "k", "a", 0, 50),
+                put(2, "k", "b", 140, 300),
+                get(3, "k", seen, 150, 160),
+            ]
+        };
+        assert!(check_read_values(&order, &ops(Some("a"))).is_ok());
+        assert!(check_read_values(&order, &ops(Some("b"))).is_ok());
+        assert!(check_read_values(&order, &ops(None)).is_err());
+    }
+
+    #[test]
+    fn read_must_not_see_a_future_write() {
+        // The write was issued strictly after the read replied: its
+        // value must be invisible.
+        let order = vec![rec(1, 1, 10), rec(2, 2, 20)];
+        let ops = vec![
+            put(1, "k", "a", 0, 50),
+            put(2, "k", "future", 300, 400),
+            get(3, "k", Some("future"), 150, 160),
+        ];
+        assert!(check_read_values(&order, &ops).is_err());
+    }
+
+    #[test]
+    fn unpositioned_writes_relax_but_never_break_the_check() {
+        // w2 never committed (not in the order): it cannot constrain
+        // the window, and a read seeing w1's value stays legal.
+        let order = vec![rec(1, 1, 10)];
+        let ops = vec![
+            put(1, "k", "a", 0, 50),
+            put(2, "k", "lost", 60, 100),
+            get(3, "k", Some("a"), 150, 160),
+        ];
+        assert!(check_read_values(&order, &ops).is_ok());
+    }
+
+    #[test]
+    fn initial_absence_is_observable_before_any_write_completes() {
+        let order = vec![rec(1, 1, 10)];
+        let ops = vec![
+            put(1, "k", "a", 100, 300), // concurrent with the read
+            get(2, "k", None, 150, 160),
+        ];
+        assert!(check_read_values(&order, &ops).is_ok());
     }
 }

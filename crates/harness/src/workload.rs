@@ -66,6 +66,12 @@ pub struct WorkloadConfig {
     pub value_bytes: usize,
     /// Number of distinct keys updated at random.
     pub key_space: u64,
+    /// Fraction of operations issued as **linearizable local reads**
+    /// (`Get` commands with [`Command::read_only`] set, routed down the
+    /// protocol's read path): `0.0` (the default) reproduces the
+    /// paper's pure-update workload; `0.9` is the read-heavy production
+    /// shape.
+    pub read_fraction: f64,
     /// Replies at or after this time are recorded into the statistics.
     pub warmup_until: Micros,
     /// Clients stop issuing and recording at this time.
@@ -88,6 +94,9 @@ struct ClientState {
     site: ReplicaId,
     seq: u64,
     issued_at: Option<Micros>,
+    /// Whether the in-flight command is a local read (classifies the
+    /// reply into the read/write latency split).
+    reading: bool,
 }
 
 /// The closed-loop client application driving a simulation.
@@ -99,6 +108,10 @@ pub struct WorkloadApp<P> {
     clients: Vec<ClientState>,
     client_index: HashMap<ClientId, usize>,
     site_stats: Vec<LatencyStats>,
+    /// Aggregate latency of local reads across every site.
+    read_stats: LatencyStats,
+    /// Aggregate latency of replicated writes across every site.
+    write_stats: LatencyStats,
     ops: Vec<OpRecord>,
     op_index: HashMap<CommandId, usize>,
     /// Commands committed at the observer replica inside the measurement
@@ -122,11 +135,14 @@ impl<P> WorkloadApp<P> {
                     site,
                     seq: 0,
                     issued_at: None,
+                    reading: false,
                 });
             }
         }
         WorkloadApp {
             site_stats: vec![LatencyStats::new(); cfg.n_sites],
+            read_stats: LatencyStats::new(),
+            write_stats: LatencyStats::new(),
             clients,
             client_index,
             ops: Vec::new(),
@@ -153,6 +169,26 @@ impl<P> WorkloadApp<P> {
         &self.ops
     }
 
+    /// Aggregate latency of local reads across every site.
+    pub fn read_stats(&self) -> &LatencyStats {
+        &self.read_stats
+    }
+
+    /// Mutable access (percentile queries sort lazily).
+    pub fn read_stats_mut(&mut self) -> &mut LatencyStats {
+        &mut self.read_stats
+    }
+
+    /// Aggregate latency of replicated writes across every site.
+    pub fn write_stats(&self) -> &LatencyStats {
+        &self.write_stats
+    }
+
+    /// Mutable access (percentile queries sort lazily).
+    pub fn write_stats_mut(&mut self) -> &mut LatencyStats {
+        &mut self.write_stats
+    }
+
     /// Commands committed at the observer replica within the window.
     pub fn observer_commits(&self) -> u64 {
         self.observer_commits
@@ -167,15 +203,25 @@ impl<P> WorkloadApp<P> {
             return; // experiment over: stop the closed loop
         }
         let key = api.rng().gen_range(0..self.cfg.key_space);
+        let is_read =
+            self.cfg.read_fraction > 0.0 && api.rng().gen::<f64>() < self.cfg.read_fraction;
         let client = &mut self.clients[idx];
         client.seq += 1;
         let cmd_id = CommandId::new(client.id, client.seq);
         client.issued_at = Some(now);
-        // A fixed-size update to a random key, like the paper's workload.
-        let op = KvOp::put(
-            key.to_be_bytes().to_vec(),
-            vec![(client.seq % 251) as u8; self.cfg.value_bytes],
-        );
+        client.reading = is_read;
+        // A fixed-size update to a random key, like the paper's
+        // workload — or, in a read mix, a linearizable local read of
+        // one.
+        let op = if is_read {
+            KvOp::get(key.to_be_bytes().to_vec())
+        } else {
+            KvOp::put(
+                key.to_be_bytes().to_vec(),
+                vec![(client.seq % 251) as u8; self.cfg.value_bytes],
+            )
+        };
+        let payload = op.encode();
         let site = client.site;
         let seq = client.seq;
         if self.cfg.record_ops {
@@ -184,9 +230,17 @@ impl<P> WorkloadApp<P> {
                 cmd_id,
                 issued: now,
                 replied: None,
+                payload: payload.clone(),
+                result: None,
+                read_only: is_read,
             });
         }
-        api.submit(site, Command::new(cmd_id, op.encode()));
+        let cmd = if is_read {
+            Command::read(cmd_id, payload)
+        } else {
+            Command::new(cmd_id, payload)
+        };
+        api.submit(site, cmd);
         if let Some(timeout) = self.cfg.retry_timeout_us {
             let key = RETRY_KEY_BASE | ((idx as u64) << 24) | (seq & 0xFF_FFFF);
             api.schedule(timeout, key);
@@ -250,11 +304,17 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
             if self.cfg.record_ops {
                 if let Some(&op_idx) = self.op_index.get(&reply.id) {
                     self.ops[op_idx].replied = Some(now);
+                    self.ops[op_idx].result = Some(reply.result.clone());
                 }
             }
             if issued >= self.cfg.warmup_until && now <= self.cfg.measure_until {
                 let site = self.clients[idx].site;
                 self.site_stats[site.index()].record(now - issued);
+                if self.clients[idx].reading {
+                    self.read_stats.record(now - issued);
+                } else {
+                    self.write_stats.record(now - issued);
+                }
             }
         }
         // Think, then issue the next command.
@@ -290,6 +350,7 @@ mod tests {
             think_max_us: 20_000,
             value_bytes: 64,
             key_space: 1_000,
+            read_fraction: 0.0,
             warmup_until: 50_000,
             measure_until: until,
             record_ops: true,

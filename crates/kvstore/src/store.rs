@@ -121,6 +121,24 @@ impl StateMachine for KvStore {
         self.applied = 0;
     }
 
+    fn query(&self, cmd: &Command) -> Option<Bytes> {
+        // Only a well-formed Get is a genuine read; anything else —
+        // including a mutating op falsely marked read-only — is refused
+        // so the caller replicates it instead.
+        match KvOp::decode(&cmd.payload) {
+            Ok(KvOp::Get { key }) => Some(match self.map.get(&key) {
+                Some(v) => {
+                    let mut out = BytesMut::with_capacity(1 + v.len());
+                    out.put_u8(1);
+                    out.put_slice(v);
+                    out.freeze()
+                }
+                None => Bytes::from_static(&[0]),
+            }),
+            _ => None,
+        }
+    }
+
     fn restore(&mut self, snapshot: &[u8]) -> bool {
         // Parse the canonical serialization produced by `snapshot`.
         fn take<'a>(rest: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
@@ -219,6 +237,27 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot(), KvStore::new().snapshot());
         assert_eq!(s.applied(), 0);
+    }
+
+    #[test]
+    fn query_serves_gets_and_refuses_everything_else() {
+        let mut s = KvStore::new();
+        s.apply(&cmd(1, &KvOp::put("k", "v")));
+        let applied = s.applied();
+        // A Get query answers exactly like apply would, without counting.
+        let got = s.query(&cmd(2, &KvOp::get("k"))).unwrap();
+        assert_eq!(&got[..], b"\x01v");
+        assert_eq!(s.query(&cmd(3, &KvOp::get("zz"))).unwrap()[..], [0]);
+        assert_eq!(s.applied(), applied, "query must not count as applied");
+        // Mutating ops (even falsely marked read-only upstream) refuse.
+        assert!(s.query(&cmd(4, &KvOp::put("k", "w"))).is_none());
+        assert!(s.query(&cmd(5, &KvOp::delete("k"))).is_none());
+        let bad = Command::new(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), 6),
+            Bytes::from_static(b"\xFFjunk"),
+        );
+        assert!(s.query(&bad).is_none());
+        assert_eq!(s.get(b"k").unwrap().as_ref(), b"v", "state untouched");
     }
 
     #[test]

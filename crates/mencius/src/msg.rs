@@ -9,6 +9,7 @@ use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
 use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
+use rsm_core::read::{ReadReply, ReadRequest};
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
 
 /// Messages exchanged by [`MenciusBcast`](crate::MenciusBcast) replicas.
@@ -70,6 +71,16 @@ pub enum MenciusMsg {
     /// carried (exclusive) watermark. The requester installs it and
     /// resumes resolution from the watermark.
     StateReply(StateTransferReply<u64>),
+    /// Quorum-read probe (`rsm_core::read`): a replica with a pending
+    /// local read asks a peer for its read mark. Clock-free: safety
+    /// comes from quorum intersection (a committed slot was logged by a
+    /// majority, which intersects the probed majority).
+    ReadProbe(ReadRequest),
+    /// Answer to a [`ReadProbe`](MenciusMsg::ReadProbe): the responder's
+    /// read mark — its resolution cursor raised to the top of its slot
+    /// table, covering every slot of **every owner** it has ever logged
+    /// (the all-owners commit watermark the read will park on).
+    ReadMark(ReadReply),
 }
 
 impl WireSize for MenciusMsg {
@@ -83,6 +94,8 @@ impl WireSize for MenciusMsg {
             }
             MenciusMsg::StateRequest(req) => req.wire_size(),
             MenciusMsg::StateReply(reply) => reply.wire_size(),
+            MenciusMsg::ReadProbe(req) => req.wire_size(),
+            MenciusMsg::ReadMark(reply) => reply.wire_size(),
         }
     }
 }

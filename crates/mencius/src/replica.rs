@@ -12,10 +12,11 @@ use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{
     Checkpoint, CheckpointPolicy, Checkpointer, StateTransferReply, StateTransferRequest,
 };
-use rsm_core::command::{Command, Committed};
+use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply};
 use rsm_core::time::Micros;
 
 use crate::msg::MenciusMsg;
@@ -162,6 +163,13 @@ pub struct MenciusBcast {
     /// installs exactly one), and an unhelpful or dead peer just means
     /// the next retry asks the next one.
     transfer_target: usize,
+
+    // ------ local reads (`rsm_core::read`) ------
+    /// Reads parked on a slot mark — the all-owners commit watermark a
+    /// majority probe established — served once `exec_cursor` passes it.
+    read_queue: ReadQueue<u64>,
+    /// Quorum-read probes awaiting a majority of marks.
+    read_probes: ReadProbes,
 }
 
 impl MenciusBcast {
@@ -193,6 +201,8 @@ impl MenciusBcast {
             checkpointer: Checkpointer::new(CheckpointPolicy::DISABLED),
             last_transfer_req: None,
             transfer_target: 0,
+            read_queue: ReadQueue::new(),
+            read_probes: ReadProbes::new(),
             membership,
         }
     }
@@ -436,6 +446,99 @@ impl MenciusBcast {
             }
         }
         self.maybe_checkpoint(ctx);
+        // The resolution cursor may have passed parked read marks.
+        self.release_reads(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Local reads (`rsm_core::read`): all-owners commit watermark
+    // ------------------------------------------------------------------
+    //
+    // Mencius has no leader to lease, so every read takes the clock-free
+    // quorum path: probe the replicas for their read marks (resolution
+    // cursor raised to the top of the slot table — an upper bound on
+    // every slot of every owner the responder has logged), park the read
+    // at the maximum over a majority of answers, and serve it once the
+    // local resolution cursor passes the mark. A write that completed
+    // before the probe was logged by a majority of replicas; that
+    // majority intersects the answering one, so some mark covers its
+    // slot — and `exec_cursor` passing the mark means every smaller slot
+    // of **every** owner resolved locally (committed or skipped), which
+    // is exactly the all-owners commit watermark. Latency is one local
+    // quorum round trip plus however long the delayed-commit behaviour
+    // takes to resolve the slots below the mark — still far below
+    // replicating the read, which pays the same resolution wait *after*
+    // a full proposal round.
+
+    /// This replica's read mark: an exclusive upper bound on every slot
+    /// it has ever logged, across all owners.
+    fn local_read_mark(&self) -> u64 {
+        self.slots
+            .keys()
+            .next_back()
+            .map_or(self.exec_cursor, |&top| top + 1)
+            .max(self.exec_cursor)
+    }
+
+    /// Starts a quorum-read probe carrying `cmds`.
+    fn start_read_probe(&mut self, cmds: Vec<Command>, ctx: &mut dyn Context<Self>) {
+        let req = self.read_probes.begin(self.local_read_mark(), cmds);
+        for r in self.membership.config().to_vec() {
+            if r != self.id {
+                ctx.send(r, MenciusMsg::ReadProbe(req));
+            }
+        }
+        // A single-replica configuration is its own majority.
+        self.complete_ready_probes(ctx);
+    }
+
+    /// Answers a peer's probe with our read mark.
+    fn on_read_probe(&mut self, from: ReplicaId, seq: u64, ctx: &mut dyn Context<Self>) {
+        let mark = self.local_read_mark();
+        ctx.send(from, MenciusMsg::ReadMark(ReadReply { seq, mark }));
+    }
+
+    /// Collects a probe answer; on a majority, parks the probe's reads
+    /// at the maximum mark.
+    fn on_read_mark(&mut self, from: ReplicaId, reply: ReadReply, ctx: &mut dyn Context<Self>) {
+        self.read_probes.on_reply(from, reply);
+        self.complete_ready_probes(ctx);
+    }
+
+    /// Moves every probe that reached a majority (self plus responders)
+    /// into the read queue and releases whatever is already resolvable.
+    fn complete_ready_probes(&mut self, ctx: &mut dyn Context<Self>) {
+        let ready = self.read_probes.take_ready(self.majority());
+        if ready.is_empty() {
+            return;
+        }
+        for (mark, cmds) in ready {
+            for cmd in cmds {
+                self.read_queue.park(mark, cmd);
+            }
+        }
+        self.release_reads(ctx);
+    }
+
+    /// Serves every parked read whose mark the resolution cursor has
+    /// passed.
+    fn release_reads(&mut self, ctx: &mut dyn Context<Self>) {
+        if self.read_queue.is_empty() {
+            return;
+        }
+        for cmd in self.read_queue.release(self.exec_cursor) {
+            match ctx.sm_read(&cmd) {
+                Some(result) => ctx.send_reply(Reply::new(cmd.id, result)),
+                // Driver cannot serve reads (or the command is not
+                // actually read-only): replicate it like a write.
+                None => self.on_client_batch(Batch::single(cmd), ctx),
+            }
+        }
+    }
+
+    /// Number of reads parked or riding probes (test observability).
+    pub fn pending_reads(&self) -> usize {
+        self.read_queue.len() + self.read_probes.pending()
     }
 
     /// Writes a checkpoint when one is due and the driver supports
@@ -726,6 +829,14 @@ impl Protocol for MenciusBcast {
         self.on_client_batch(Batch::single(cmd), ctx);
     }
 
+    fn on_client_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        self.start_read_probe(vec![cmd], ctx);
+    }
+
+    fn read_path(&self) -> ReadPath {
+        ReadPath::CommitWatermark
+    }
+
     fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
         let first_slot = self.next_own_slot;
         debug_assert_eq!(self.owner_of_slot(first_slot), self.id);
@@ -771,6 +882,8 @@ impl Protocol for MenciusBcast {
             } => self.on_gap_fill(from, from_slot, below, cmds, ctx),
             MenciusMsg::StateRequest(req) => self.on_state_request(from, req.have, ctx),
             MenciusMsg::StateReply(reply) => self.on_state_reply(reply.checkpoint, ctx),
+            MenciusMsg::ReadProbe(req) => self.on_read_probe(from, req.seq, ctx),
+            MenciusMsg::ReadMark(reply) => self.on_read_mark(from, reply, ctx),
         }
     }
 
@@ -878,6 +991,7 @@ mod tests {
     use bytes::Bytes;
     use rsm_core::command::CommandId;
     use rsm_core::id::ClientId;
+    use rsm_core::read::ReadRequest;
     use rsm_core::time::Micros;
 
     struct TestCtx {
@@ -889,6 +1003,11 @@ mod tests {
         /// tests; `snapshots` gates whether the driver supports them.
         executed: Vec<u64>,
         snapshots: bool,
+        /// Replies routed via `send_reply` (served local reads).
+        read_replies: Vec<Reply>,
+        /// Whether `sm_read` answers (false models a driver without
+        /// state machine access, forcing the replicated fallback).
+        serve_reads: bool,
     }
 
     impl TestCtx {
@@ -900,6 +1019,8 @@ mod tests {
                 clock: 0,
                 executed: Vec::new(),
                 snapshots: false,
+                read_replies: Vec::new(),
+                serve_reads: true,
             }
         }
 
@@ -949,6 +1070,13 @@ mod tests {
                 .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunks")))
                 .collect();
             true
+        }
+        fn sm_read(&mut self, _cmd: &Command) -> Option<Bytes> {
+            self.serve_reads
+                .then(|| Bytes::from(self.executed.len().to_be_bytes().to_vec()))
+        }
+        fn send_reply(&mut self, reply: Reply) {
+            self.read_replies.push(reply);
         }
     }
 
@@ -1641,5 +1769,101 @@ mod tests {
             fresh.on_recover(&[], &mut ctx);
             assert_eq!(fresh.next_own_slot, i as u64);
         }
+    }
+    fn read(seq: u64) -> Command {
+        Command::read(
+            CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+            Bytes::from_static(b"get"),
+        )
+    }
+
+    #[test]
+    fn read_probes_a_majority_and_parks_on_the_max_mark() {
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        // Slot 1 (owned by r1) is logged here but unresolved.
+        propose(&mut m, &mut ctx, 1, cmd(11), r(1));
+        ctx.sends.clear();
+        m.on_client_read(read(5), &mut ctx);
+        assert!(ctx.read_replies.is_empty(), "reads never serve eagerly");
+        assert_eq!(
+            ctx.sends
+                .iter()
+                .filter(|(_, msg)| matches!(msg, MenciusMsg::ReadProbe(_)))
+                .count(),
+            2,
+            "probe goes to both peers"
+        );
+        // One answer + self = majority of 3. The peer's mark (4) exceeds
+        // our own log top, so the read parks at slot mark 4.
+        m.on_message(
+            r(1),
+            MenciusMsg::ReadMark(ReadReply { seq: 1, mark: 4 }),
+            &mut ctx,
+        );
+        assert_eq!(m.pending_reads(), 1, "parked until slots 0..4 resolve");
+        assert!(ctx.read_replies.is_empty());
+        // Resolve slots 0..4: acks give slot 1 a majority, and the skip
+        // promises cover the empty slots of every owner.
+        ack(&mut m, &mut ctx, r(1), 1, 7);
+        ack(&mut m, &mut ctx, r(2), 1, 8);
+        m.on_client_request(cmd(1), &mut ctx); // fills own slot 3... (slot 0 skipped by own floor)
+        ack(&mut m, &mut ctx, r(1), 3, 7);
+        ack(&mut m, &mut ctx, r(2), 3, 8);
+        assert!(
+            m.resolved() >= 4,
+            "slots below the mark resolved: {}",
+            m.resolved()
+        );
+        assert_eq!(ctx.read_replies.len(), 1);
+        assert_eq!(ctx.read_replies[0].id.seq, 5);
+        assert_eq!(m.pending_reads(), 0);
+    }
+
+    #[test]
+    fn any_replica_answers_read_probes_with_its_log_top() {
+        let mut m = MenciusBcast::new(r(2), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        propose(&mut m, &mut ctx, 4, cmd(9), r(1));
+        ctx.sends.clear();
+        m.on_message(
+            r(0),
+            MenciusMsg::ReadProbe(ReadRequest { seq: 7 }),
+            &mut ctx,
+        );
+        match &ctx.sends[..] {
+            [(to, MenciusMsg::ReadMark(reply))] => {
+                assert_eq!(*to, r(0));
+                assert_eq!(reply.seq, 7);
+                assert_eq!(reply.mark, 5, "mark covers the whole slot table");
+            }
+            other => panic!("expected one ReadMark, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_falls_back_to_replication_without_sm_access() {
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        ctx.serve_reads = false;
+        m.on_client_read(read(4), &mut ctx);
+        m.on_message(
+            r(1),
+            MenciusMsg::ReadMark(ReadReply { seq: 1, mark: 0 }),
+            &mut ctx,
+        );
+        assert!(ctx.read_replies.is_empty());
+        assert!(
+            ctx.sends
+                .iter()
+                .any(|(_, msg)| matches!(msg, MenciusMsg::Propose { .. })),
+            "unserveable read must be replicated as an ordinary command"
+        );
+    }
+
+    #[test]
+    fn mencius_reports_commit_watermark_read_path() {
+        let m = MenciusBcast::new(r(0), Membership::uniform(3));
+        assert_eq!(m.read_path(), ReadPath::CommitWatermark);
     }
 }

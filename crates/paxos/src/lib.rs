@@ -27,6 +27,28 @@
 //! suffix, and the deposed leader rejoins as a follower — see the
 //! [`replica`] module docs for the fencing invariant.
 //!
+//! ## Linearizable reads: leader leases and quorum marks
+//!
+//! The read subsystem (`rsm_core::read`) gives the **lease-holding
+//! leader** local reads fenced by ballot + lease: the leader serves
+//! while a majority confirmed its regime within half the suspicion
+//! timeout (via messages whose send implies the sender just heard the
+//! leader), and acceptors refuse to promise a higher ballot while
+//! their own lease is fresh (leader stickiness), so any new regime
+//! needs a majority silent from the leader for a full timeout. Unlike
+//! everything else in this workspace, the fast path rests on a
+//! **bounded timing assumption**: the one-way transit of lease
+//! evidence plus relative clock drift over a lease window must stay
+//! under half the timeout. The blast radius is deliberately small:
+//! ballots still nack a deposed leader's *writes*, so a violated bound
+//! can at worst leak one stale read inside one lease window, never
+//! divergence. Followers — and a leader whose lease is uncertain —
+//! nack the fast path and fall back to a clock-free **quorum-mark
+//! read**: probe a majority for commit watermarks (raised to their
+//! accepted-log tops), park the read at the maximum, serve once local
+//! execution passes it. See the read-path section in `replica.rs` for
+//! the full argument.
+//!
 //! ## Example
 //!
 //! ```

@@ -20,6 +20,7 @@ use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
 use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
+use rsm_core::read::{ReadReply, ReadRequest};
 use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
 
 use crate::synod::Ballot;
@@ -208,6 +209,21 @@ pub enum PaxosMsg {
         /// The serving replica's promised ballot.
         promised: Ballot,
     },
+    /// Quorum-read probe (`rsm_core::read`): a replica that cannot serve
+    /// a read locally — a follower, or a leader whose read lease is
+    /// uncertain — asks a peer for its read mark. Clock-free: safety
+    /// comes from quorum intersection, not from any lease.
+    ReadProbe(ReadRequest),
+    /// Answer to a [`ReadProbe`](PaxosMsg::ReadProbe): the responder's
+    /// read mark (its commit watermark raised to the top of its
+    /// accepted log). Deliberately **not** ballot-tagged and never
+    /// counted as leader-lease evidence: answering a probe does not
+    /// imply the responder recently heard the leader, so counting it
+    /// would let a near-deposed replica's answer extend the read lease
+    /// past an election it is about to enable. Only messages whose
+    /// *send* implies current-regime leader contact (an
+    /// [`Accepted`](PaxosMsg::Accepted)) feed the lease.
+    ReadMark(ReadReply),
 }
 
 impl WireSize for PaxosMsg {
@@ -240,6 +256,8 @@ impl WireSize for PaxosMsg {
             }
             PaxosMsg::StateRequest(req) => req.wire_size(),
             PaxosMsg::StateReply { reply, .. } => reply.wire_size() + BALLOT_BYTES,
+            PaxosMsg::ReadProbe(req) => req.wire_size(),
+            PaxosMsg::ReadMark(reply) => reply.wire_size(),
         }
     }
 }

@@ -44,11 +44,12 @@ use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{
     Checkpoint, CheckpointPolicy, Checkpointer, StateTransferReply, StateTransferRequest,
 };
-use rsm_core::command::{Command, Committed};
+use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::lease::{Lease, LeaseConfig};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
+use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply};
 use rsm_core::time::Micros;
 
 use crate::msg::{PaxosMsg, SuffixEntry};
@@ -216,6 +217,24 @@ pub struct MultiPaxos {
     /// installs exactly one), and an unhelpful or dead peer just means
     /// the next retry asks the next one.
     transfer_target: usize,
+
+    // ------ local reads (`rsm_core::read`) ------
+    /// Reads parked on an instance mark, served once `exec_cursor`
+    /// passes it.
+    read_queue: ReadQueue<u64>,
+    /// Quorum-read probes awaiting a majority of marks.
+    read_probes: ReadProbes,
+    /// `regime_heard[k]`: local clock when replica `k` last sent
+    /// evidence of the **current** regime (an `Accepted` or `ReadMark`
+    /// at our ballot). Reset on regime change; feeds the leader's read
+    /// lease (see [`MultiPaxos::read_lease_valid`]).
+    regime_heard: Vec<Micros>,
+    /// Top of the suffix this leader re-proposed when it won its
+    /// election (0 for the initial regime). Leader-local reads must not
+    /// be served below it: instances inherited from older regimes may
+    /// hold writes that committed — and replied — before the fail-over,
+    /// yet sit above our committed watermark until re-acknowledged.
+    repair_top: u64,
 }
 
 impl MultiPaxos {
@@ -258,6 +277,10 @@ impl MultiPaxos {
             stalled_at: None,
             fill_asked: None,
             transfer_target: 0,
+            read_queue: ReadQueue::new(),
+            read_probes: ReadProbes::new(),
+            regime_heard: vec![0; n],
+            repair_top: 0,
         }
     }
 
@@ -353,6 +376,11 @@ impl MultiPaxos {
         }
         for a in &mut self.acked {
             *a = 0;
+        }
+        // Regime-freshness evidence (the read lease) must be re-earned
+        // under the new ballot.
+        for h in &mut self.regime_heard {
+            *h = 0;
         }
         self.recompute_vouch();
         // A fresh regime restarts the stall confirmation window: its
@@ -555,6 +583,7 @@ impl MultiPaxos {
             // first on the leader's FIFO channel).
             return;
         }
+        self.note_regime_heard(from, ctx);
         let k = from.index();
         if up_to <= self.acked[k] {
             return; // stale or duplicate watermark
@@ -655,6 +684,23 @@ impl MultiPaxos {
         // tells a deposed leader to step down. Its commit watermark is
         // honoured either way (commitment is final).
         self.on_commit(from, ballot, committed, ctx);
+        // Ack the heartbeat with our cumulative vouch watermark
+        // (idempotent — stale watermarks dedup at the receiver). This
+        // is the idle-regime feed of the leader's *read* lease: sending
+        // it implies we just processed current-regime leader traffic,
+        // i.e. our own suspicion clock reset at send time — exactly the
+        // property the lease evidence must certify (see the read-path
+        // section). Without it an idle leader earns no evidence and
+        // every read falls back to a quorum probe.
+        if self.lease_cfg.enabled() && ballot == self.regime && from == self.regime.proposer {
+            ctx.send(
+                from,
+                PaxosMsg::Accepted {
+                    ballot: self.regime,
+                    up_to: self.logged_next,
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -708,6 +754,33 @@ impl MultiPaxos {
                     promised: self.promised,
                 },
             );
+            return;
+        }
+        // Leader stickiness: while this acceptor's own lease on the
+        // current regime is fresh — it heard the leader within the base
+        // suspicion timeout — it refuses to promise a new ballot (the
+        // candidate retries once leases genuinely expire). This is what
+        // makes the leader's *read* lease sound: a new regime then
+        // requires a majority of grantors each silent from the leader
+        // for a full timeout, which (intersected with the leader's
+        // fresh-evidence majority) bounds how soon after the leader's
+        // last confirmation a new regime can commit anything. Without
+        // it, one isolated replica whose lease expired could depose a
+        // healthy leader instantly through promise grants from
+        // followers that still hear it, and a leader-local read could
+        // race the new regime's first commit. The gate applies to the
+        // candidate's own self-addressed Prepare too — its vote must
+        // carry the same silence guarantee as anyone else's, since the
+        // soundness argument quantifies over every promise-quorum
+        // member. Writes never needed this (ballots fence them); only
+        // the read fast path does. Liveness is preserved: after a real
+        // leader crash every follower's lease expires before the first
+        // (staggered) candidacy starts, and candidates re-try past
+        // transient refusals.
+        if ballot > self.regime
+            && self.lease_cfg.enabled()
+            && !self.lease.expired(ctx.clock(), self.lease_cfg.timeout_us)
+        {
             return;
         }
         self.promise_at_least(ballot, ctx);
@@ -805,6 +878,10 @@ impl MultiPaxos {
             .collect();
         // The data plane resumes above everything merged or repaired.
         self.next_instance = self.next_instance.max(top);
+        // Leader-local reads must wait out the inherited suffix: writes
+        // in it may have committed (and replied) under an older regime
+        // while our committed watermark still sits below them.
+        self.repair_top = self.repair_top.max(top);
         // Peers first, then the synchronous self-delivery, exactly like
         // propose(): the repair must be durable locally before any ack
         // for it can exist, and Repair stays ahead of our subsequent
@@ -1032,6 +1109,174 @@ impl MultiPaxos {
     }
 
     // ------------------------------------------------------------------
+    // Local reads (`rsm_core::read`): leader lease + quorum fallback
+    // ------------------------------------------------------------------
+    //
+    // ## The leader fast path and its timing assumption
+    //
+    // A lease-holding leader serves reads from its committed prefix
+    // without any message exchange. That is linearizable only while no
+    // newer regime can have committed a write elsewhere, which three
+    // mechanisms establish together:
+    //
+    // 1. **Evidence implies leader contact.** The leader counts replica
+    //    `k` as lease evidence only on messages whose *send* implies
+    //    `k` had just processed current-regime leader traffic — and
+    //    therefore renewed its own suspicion clock at send time. An
+    //    `Accepted` at our ballot qualifies (it leaves inside the same
+    //    callback that handled our `Accept`/`Repair`/`Fill`, or acks
+    //    our heartbeat); a `ReadMark` does not (any replica answers
+    //    probes, however long since it heard us) and is never counted.
+    // 2. **Leader stickiness.** An acceptor refuses to promise a
+    //    higher ballot while its own lease is fresh (see `on_prepare`),
+    //    so a new regime requires a majority of grantors *each* silent
+    //    from the leader for a full `timeout_us` — one isolated
+    //    replica cannot depose a healthy leader through grants from
+    //    followers that still hear it.
+    // 3. **Quorum intersection.** The leader trusts its regime while a
+    //    majority's evidence is younger than `timeout_us / 2`; any new
+    //    regime's promise quorum shares a member `k` with that
+    //    evidence majority. `k`'s evidence-send renewed its lease at
+    //    real time `s`, so `k` granted no promise — and the new regime
+    //    committed nothing — before `s + timeout`; the leader stopped
+    //    serving by receipt(`s`) + `timeout/2`.
+    //
+    // The residual assumption, and **the one place in the workspace
+    // where a timing bound is load-bearing for safety**: the one-way
+    // transit of the lease evidence plus the relative clock drift over
+    // a lease window must stay under `timeout_us / 2` (an evidence
+    // message delayed longer arrives pre-expired but is trusted as
+    // fresh). The blast radius is deliberately confined: ballot fencing
+    // nacks a deposed leader's writes outright, so the worst a violated
+    // bound can produce is a stale read served inside a single lease
+    // window — never divergent replicas, never a lost or reordered
+    // write. With fail-over disabled there are no elections, the
+    // assumption is vacuous, and the fixed leader's fast path is
+    // unconditionally safe.
+    //
+    // ## The clock-free fallback (everyone else)
+    //
+    // A follower — or a leader whose lease is uncertain — *nacks* the
+    // local fast path and forwards the read onto the quorum-mark
+    // fallback: probe every replica for its read mark (commit watermark
+    // raised to the top of its accepted log), park the read at the
+    // maximum over a majority of answers, and serve it once the local
+    // execution cursor passes the mark. A write that completed before
+    // the probe was logged by a majority, which intersects the answering
+    // majority, so some mark covers it; no clock appears anywhere in the
+    // argument.
+
+    /// Whether the leader may serve reads locally right now: a majority
+    /// of the configuration (counting itself) confirmed its regime
+    /// within half the suspicion timeout. Trivially true with fail-over
+    /// disabled (a fixed leader can never be deposed).
+    fn read_lease_valid(&self, now: Micros) -> bool {
+        if !self.lease_cfg.enabled() {
+            return true;
+        }
+        let window = self.lease_cfg.timeout_us / 2;
+        let fresh = self
+            .membership
+            .config()
+            .iter()
+            .filter(|k| {
+                // Zero is the "never heard under this regime" sentinel —
+                // evidence must be earned, even right after startup.
+                let h = self.regime_heard[k.index()];
+                k.index() == self.id.index() || (h > 0 && now.saturating_sub(h) <= window)
+            })
+            .count();
+        fresh >= self.majority()
+    }
+
+    /// Records regime-freshness evidence from `from` (a message at our
+    /// current ballot).
+    fn note_regime_heard(&mut self, from: ReplicaId, ctx: &mut dyn Context<Self>) {
+        let now = ctx.clock().max(1);
+        let h = &mut self.regime_heard[from.index()];
+        *h = (*h).max(now);
+    }
+
+    /// This replica's read mark: an exclusive upper bound on every
+    /// instance it has ever logged — the commit watermark raised to the
+    /// top of the accepted slot table. Reported to probes and used as a
+    /// probe's own seed. Using the log top (not just the commit
+    /// watermark) is what keeps marks sound across fail-overs: a write
+    /// committed under a deposed regime stays in the slot table through
+    /// the repair even while commit watermarks lag behind it.
+    fn local_read_mark(&self) -> u64 {
+        self.instances
+            .keys()
+            .next_back()
+            .map_or(self.committed_next, |&top| top + 1)
+            .max(self.committed_next)
+    }
+
+    /// Starts a quorum-read probe carrying `cmds`.
+    fn start_read_probe(&mut self, cmds: Vec<Command>, ctx: &mut dyn Context<Self>) {
+        let req = self.read_probes.begin(self.local_read_mark(), cmds);
+        for r in self.membership.config().to_vec() {
+            if r != self.id {
+                ctx.send(r, PaxosMsg::ReadProbe(req));
+            }
+        }
+        // A single-replica configuration is its own majority.
+        self.complete_ready_probes(ctx);
+    }
+
+    /// Answers a peer's probe with our read mark (any replica answers —
+    /// no leader involvement, no ballot gate).
+    fn on_read_probe(&mut self, from: ReplicaId, seq: u64, ctx: &mut dyn Context<Self>) {
+        let mark = self.local_read_mark();
+        ctx.send(from, PaxosMsg::ReadMark(ReadReply { seq, mark }));
+    }
+
+    /// Collects a probe answer; on a majority, parks the probe's reads
+    /// at the maximum mark. Deliberately **not** lease evidence: a
+    /// probe answer does not imply the responder recently heard the
+    /// leader (see [`PaxosMsg::ReadMark`]).
+    fn on_read_mark(&mut self, from: ReplicaId, reply: ReadReply, ctx: &mut dyn Context<Self>) {
+        self.read_probes.on_reply(from, reply);
+        self.complete_ready_probes(ctx);
+    }
+
+    /// Moves every probe that reached a majority (self plus responders)
+    /// into the read queue and releases whatever is already executable.
+    fn complete_ready_probes(&mut self, ctx: &mut dyn Context<Self>) {
+        let ready = self.read_probes.take_ready(self.majority());
+        if ready.is_empty() {
+            return;
+        }
+        for (mark, cmds) in ready {
+            for cmd in cmds {
+                self.read_queue.park(mark, cmd);
+            }
+        }
+        self.release_reads(ctx);
+    }
+
+    /// Serves every parked read whose mark the execution cursor has
+    /// passed.
+    fn release_reads(&mut self, ctx: &mut dyn Context<Self>) {
+        if self.read_queue.is_empty() {
+            return;
+        }
+        for cmd in self.read_queue.release(self.exec_cursor) {
+            match ctx.sm_read(&cmd) {
+                Some(result) => ctx.send_reply(Reply::new(cmd.id, result)),
+                // Driver cannot serve reads (or the command is not
+                // actually read-only): replicate it like a write.
+                None => self.on_client_batch(Batch::single(cmd), ctx),
+            }
+        }
+    }
+
+    /// Number of reads parked or riding probes (test observability).
+    pub fn pending_reads(&self) -> usize {
+        self.read_queue.len() + self.read_probes.pending()
+    }
+
+    // ------------------------------------------------------------------
     // Execution, checkpoints, and state transfer
     // ------------------------------------------------------------------
 
@@ -1079,6 +1324,8 @@ impl MultiPaxos {
         }
         if log_marks {
             self.maybe_checkpoint(ctx);
+            // The execution cursor may have passed parked read marks.
+            self.release_reads(ctx);
         }
     }
 
@@ -1227,10 +1474,19 @@ impl MultiPaxos {
             ctx.log_append(PaxosLogRec::Promised(self.promised));
         }
         // Resume quorum duty immediately instead of waiting for the next
-        // accept to carry the re-extended watermark.
+        // accept to carry the re-extended watermark — but only while our
+        // own lease on the regime is fresh: this ack is triggered by a
+        // *peer's* checkpoint, not by leader traffic, so sending it from
+        // an expired-lease replica would hand the leader read-lease
+        // evidence that implies leader contact which never happened (see
+        // the read-path section; evidence must certify the sender's own
+        // renewal). When suppressed, the watermark re-extension rides
+        // the next accept or heartbeat ack instead.
         let before = self.logged_next;
         self.recompute_vouch();
-        if self.logged_next > before {
+        let lease_fresh = !self.lease_cfg.enabled()
+            || !self.lease.expired(ctx.clock(), self.lease_cfg.timeout_us);
+        if self.logged_next > before && lease_fresh {
             self.send_ack(ctx);
         }
         self.execute_ready(true, ctx);
@@ -1255,6 +1511,39 @@ impl Protocol for MultiPaxos {
 
     fn on_client_request(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
         self.on_client_batch(Batch::single(cmd), ctx);
+    }
+
+    fn on_client_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        let now = ctx.clock();
+        if self.is_leader() && self.read_lease_valid(now) {
+            // Leader fast path, fenced by ballot + lease (see the
+            // read-path section docs for the bounded-skew assumption).
+            // The read index depends on where commitment is *observed*:
+            // in plain Paxos only the leader counts 2b, so every
+            // client-visible write sits below its commit watermark
+            // (raised to the repaired suffix top after a fail-over). In
+            // bcast Paxos a follower can observe a majority — and reply
+            // to its client — before the leader's own watermark
+            // advances, so the leader must wait out everything it has
+            // proposed: its log top bounds every instance that can be
+            // committed anywhere, because (under the lease) it proposed
+            // them all.
+            let mark = match self.variant {
+                PaxosVariant::Plain => self.committed_next.max(self.repair_top),
+                PaxosVariant::Bcast => self.local_read_mark(),
+            };
+            self.read_queue.park(mark, cmd);
+            self.release_reads(ctx);
+        } else {
+            // Nack the local fast path and forward the read onto the
+            // clock-free quorum-mark fallback (followers, candidates,
+            // and a leader whose lease is uncertain all land here).
+            self.start_read_probe(vec![cmd], ctx);
+        }
+    }
+
+    fn read_path(&self) -> ReadPath {
+        ReadPath::LeaderLease
     }
 
     fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
@@ -1330,6 +1619,8 @@ impl Protocol for MultiPaxos {
             PaxosMsg::StateReply { reply, promised } => {
                 self.on_state_reply(reply.checkpoint, promised, ctx)
             }
+            PaxosMsg::ReadProbe(req) => self.on_read_probe(from, req.seq, ctx),
+            PaxosMsg::ReadMark(reply) => self.on_read_mark(from, reply, ctx),
         }
     }
 

@@ -3,6 +3,7 @@ use crate::msg::SuffixEntry;
 use bytes::Bytes;
 use rsm_core::command::CommandId;
 use rsm_core::id::ClientId;
+use rsm_core::read::ReadRequest;
 use rsm_core::time::Micros;
 
 struct TestCtx {
@@ -14,6 +15,11 @@ struct TestCtx {
     /// tests; `snapshots` gates whether the driver supports them.
     executed: Vec<u64>,
     snapshots: bool,
+    /// Replies routed via `send_reply` (served local reads).
+    read_replies: Vec<Reply>,
+    /// Whether `sm_read` answers (false models a driver without state
+    /// machine access, forcing the replicated fallback).
+    serve_reads: bool,
 }
 
 impl TestCtx {
@@ -25,6 +31,8 @@ impl TestCtx {
             clock: 0,
             executed: Vec::new(),
             snapshots: false,
+            read_replies: Vec::new(),
+            serve_reads: true,
         }
     }
 
@@ -74,6 +82,13 @@ impl Context<MultiPaxos> for TestCtx {
             .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunks")))
             .collect();
         true
+    }
+    fn sm_read(&mut self, _cmd: &Command) -> Option<Bytes> {
+        self.serve_reads
+            .then(|| Bytes::from(self.executed.len().to_be_bytes().to_vec()))
+    }
+    fn send_reply(&mut self, reply: Reply) {
+        self.read_replies.push(reply);
     }
 }
 
@@ -693,7 +708,9 @@ fn stale_ballot_accept_from_deposed_leader_is_rejected() {
     p.on_start(&mut ctx);
     p.on_message(r(0), accept(b0(), 0, vec![cmd(1)], r(0)), &mut ctx);
     assert_eq!(ctx.log.len(), 1);
-    // r1's candidacy: the acceptor promises ballot (1, r1).
+    // r1's candidacy: once this acceptor's own lease has expired
+    // (leader stickiness), it promises ballot (1, r1).
+    ctx.clock += lease().timeout_us + 1;
     p.on_message(
         r(1),
         PaxosMsg::Prepare {
@@ -798,6 +815,7 @@ fn promise_reports_the_accepted_suffix_with_ballots() {
         accept(b0(), 0, vec![cmd(1), cmd(2), cmd(3)], r(0)),
         &mut ctx,
     );
+    ctx.clock += lease().timeout_us + 1; // leader stickiness: lease must lapse
     p.on_message(
         r(1),
         PaxosMsg::Prepare {
@@ -969,7 +987,9 @@ fn repair_supersedes_stale_acceptances_and_drops_the_uncommitted_tail() {
     );
     assert_eq!(p.regime(), ballot);
     assert_eq!(last_ack(&ctx), Some(2), "vouch covers exactly the repair");
-    // A later prepare sees the repaired suffix only.
+    // A later prepare (after the new regime's lease lapses) sees the
+    // repaired suffix only.
+    ctx.clock += lease().timeout_us + 1;
     p.on_message(
         r(0),
         PaxosMsg::Prepare {
@@ -1164,7 +1184,9 @@ fn compaction_preserves_the_promise_across_recovery() {
     let mut ctx = TestCtx::with_snapshots();
     p.on_start(&mut ctx);
     p.on_message(r(0), accept(b0(), 0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
-    // Promise a candidate, then let the checkpoint compact the log.
+    // Promise a candidate (once the lease lapses — leader stickiness),
+    // then let the checkpoint compact the log.
+    ctx.clock += lease().timeout_us + 1;
     p.on_message(
         r(2),
         PaxosMsg::Prepare {
@@ -1417,4 +1439,334 @@ fn client_batches_buffered_during_candidacy_are_proposed_on_victory() {
         proposed.contains(&9),
         "buffered batch must be proposed on victory: {proposed:?}"
     );
+}
+
+// ----------------------------------------------------------------------
+// Local reads: leader lease fast path and quorum-mark fallback
+// ----------------------------------------------------------------------
+
+fn read(seq: u64) -> Command {
+    Command::read(
+        CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq),
+        Bytes::from_static(b"get"),
+    )
+}
+
+/// Drives one command through commit on a 3-replica bcast leader.
+fn commit_one_at_leader(p: &mut MultiPaxos, ctx: &mut TestCtx, seq: u64) {
+    let next = p.executed();
+    p.on_client_batch(Batch::new(vec![cmd(seq)]), ctx);
+    p.on_message(r(1), acked(p.regime(), next + 1), ctx);
+    p.on_message(r(2), acked(p.regime(), next + 1), ctx);
+    assert_eq!(p.executed(), next + 1, "setup: command must commit");
+}
+
+#[test]
+fn fixed_leader_serves_reads_locally_without_wire_traffic() {
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+    let mut ctx = TestCtx::new();
+    commit_one_at_leader(&mut p, &mut ctx, 1);
+    ctx.sends.clear();
+    p.on_client_read(read(7), &mut ctx);
+    assert_eq!(
+        ctx.read_replies.len(),
+        1,
+        "fixed leader: immediate local read"
+    );
+    assert_eq!(ctx.read_replies[0].id.seq, 7);
+    assert!(
+        ctx.sends.is_empty(),
+        "a leader-local read must not touch the wire: {:?}",
+        ctx.sends
+    );
+    assert_eq!(p.pending_reads(), 0);
+}
+
+#[test]
+fn bcast_leader_read_waits_out_its_proposed_tail() {
+    // In bcast Paxos a follower can observe commitment — and reply to
+    // its client — before the leader's own watermark advances, so the
+    // leader's read index is its log top: a read behind an uncommitted
+    // proposal waits for that proposal to commit and execute.
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+    let mut ctx = TestCtx::new();
+    commit_one_at_leader(&mut p, &mut ctx, 1);
+    // Propose another command; not yet acked by a majority.
+    p.on_client_batch(Batch::new(vec![cmd(2)]), &mut ctx);
+    p.on_client_read(read(9), &mut ctx);
+    assert!(
+        ctx.read_replies.is_empty(),
+        "bcast leader must not serve below its proposed tail"
+    );
+    p.on_message(r(1), acked(b0(), 2), &mut ctx);
+    p.on_message(r(2), acked(b0(), 2), &mut ctx);
+    assert_eq!(p.executed(), 2);
+    assert_eq!(
+        ctx.read_replies.len(),
+        1,
+        "read released once the tail committed"
+    );
+}
+
+#[test]
+fn plain_leader_read_serves_at_the_commit_watermark_despite_a_tail() {
+    // In plain Paxos only the leader counts 2b: nothing can be client-
+    // visible above its commit watermark, so an uncommitted tail does
+    // not delay leader reads.
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Plain);
+    let mut ctx = TestCtx::new();
+    p.on_client_batch(Batch::new(vec![cmd(1)]), &mut ctx);
+    p.on_message(r(0), acked(b0(), 1), &mut ctx); // looped-back self ack
+    p.on_message(r(1), acked(b0(), 1), &mut ctx);
+    assert_eq!(p.executed(), 1, "setup: first command committed");
+    // A second proposal with no majority yet.
+    p.on_client_batch(Batch::new(vec![cmd(2)]), &mut ctx);
+    p.on_client_read(read(9), &mut ctx);
+    assert_eq!(
+        ctx.read_replies.len(),
+        1,
+        "plain leader reads at its commit watermark, tail notwithstanding"
+    );
+}
+
+#[test]
+fn failover_leader_without_regime_evidence_probes_instead_of_serving() {
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(lease());
+    let mut ctx = TestCtx::new();
+    // No Accepted/ReadMark at our regime has arrived: the read lease is
+    // unearned and the leader must nack its own fast path.
+    p.on_client_read(read(1), &mut ctx);
+    assert!(ctx.read_replies.is_empty());
+    let probes = ctx
+        .sends
+        .iter()
+        .filter(|(_, m)| matches!(m, PaxosMsg::ReadProbe(_)))
+        .count();
+    assert_eq!(probes, 2, "lease-uncertain leader falls back to a probe");
+    assert_eq!(p.pending_reads(), 1);
+}
+
+#[test]
+fn failover_leader_with_fresh_majority_evidence_reads_locally() {
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(lease());
+    let mut ctx = TestCtx::new();
+    commit_one_at_leader(&mut p, &mut ctx, 1);
+    // The two Accepted messages above are regime evidence from r1 and
+    // r2, well within timeout/2 of the current clock.
+    ctx.sends.clear();
+    p.on_client_read(read(5), &mut ctx);
+    assert_eq!(ctx.read_replies.len(), 1, "leased leader reads locally");
+    assert!(ctx.sends.is_empty());
+    // Let the lease age past timeout/2: the fast path must close again.
+    ctx.clock += lease().timeout_us;
+    p.on_client_read(read(6), &mut ctx);
+    assert_eq!(ctx.read_replies.len(), 1, "stale lease: no local serve");
+    assert!(ctx
+        .sends
+        .iter()
+        .any(|(_, m)| matches!(m, PaxosMsg::ReadProbe(_))));
+}
+
+#[test]
+fn follower_quorum_read_parks_on_the_max_mark_until_executed() {
+    let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+    let mut ctx = TestCtx::new();
+    // The follower logs instance 0 (not yet known committed).
+    p.on_message(r(0), accept(b0(), 0, vec![cmd(1)], r(0)), &mut ctx);
+    ctx.sends.clear();
+    p.on_client_read(read(3), &mut ctx);
+    assert!(ctx.read_replies.is_empty(), "follower never serves eagerly");
+    assert_eq!(
+        ctx.sends
+            .iter()
+            .filter(|(_, m)| matches!(m, PaxosMsg::ReadProbe(_)))
+            .count(),
+        2,
+        "probe goes to both peers"
+    );
+    // One peer answers: with self that is a majority of 3. Its mark (1)
+    // matches our own log top, so the read parks at instance mark 1.
+    p.on_message(
+        r(0),
+        PaxosMsg::ReadMark(ReadReply { seq: 1, mark: 1 }),
+        &mut ctx,
+    );
+    assert_eq!(p.pending_reads(), 1, "parked: instance 0 not yet executed");
+    assert!(ctx.read_replies.is_empty());
+    // Majority acks arrive, instance 0 executes, the read releases.
+    p.on_message(r(0), acked(b0(), 1), &mut ctx);
+    p.on_message(r(2), acked(b0(), 1), &mut ctx);
+    assert_eq!(p.executed(), 1);
+    assert_eq!(ctx.read_replies.len(), 1);
+    assert_eq!(p.pending_reads(), 0);
+}
+
+#[test]
+fn any_replica_answers_read_probes_with_its_log_top() {
+    let mut p = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+    let mut ctx = TestCtx::new();
+    p.on_message(r(0), accept(b0(), 0, vec![cmd(1), cmd(2)], r(0)), &mut ctx);
+    ctx.sends.clear();
+    p.on_message(r(1), PaxosMsg::ReadProbe(ReadRequest { seq: 42 }), &mut ctx);
+    match &ctx.sends[..] {
+        [(to, PaxosMsg::ReadMark(reply))] => {
+            assert_eq!(*to, r(1));
+            assert_eq!(reply.seq, 42);
+            assert_eq!(reply.mark, 2, "mark covers the whole accepted log");
+        }
+        other => panic!("expected one ReadMark, got {other:?}"),
+    }
+}
+
+#[test]
+fn read_falls_back_to_replication_without_sm_access() {
+    let mut p = MultiPaxos::new(r(0), Membership::uniform(3), r(0), PaxosVariant::Bcast);
+    let mut ctx = TestCtx::new();
+    ctx.serve_reads = false;
+    p.on_client_read(read(4), &mut ctx);
+    assert!(ctx.read_replies.is_empty());
+    assert!(
+        ctx.sends
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Accept { .. })),
+        "unserveable read must be replicated as an ordinary command"
+    );
+}
+
+#[test]
+fn new_leader_reads_wait_out_the_repaired_suffix() {
+    // r1 wins an election inheriting an instance that may already have
+    // committed — and replied — under the old regime. Its local reads
+    // must not be served below the repaired suffix top.
+    let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(lease());
+    let mut ctx = TestCtx::new();
+    ctx.clock = 1_000_000;
+    p.on_timer(TOKEN_LEASE, &mut ctx); // lease expired at start: campaign
+    assert!(p.is_campaigning());
+    let ballot = p.promised();
+    // Loop back the self-addressed Prepare, then the resulting Promise.
+    let own_prepare = ctx
+        .sends
+        .iter()
+        .find_map(|(to, m)| match m {
+            PaxosMsg::Prepare { .. } if *to == r(1) => Some(m.clone()),
+            _ => None,
+        })
+        .expect("self prepare");
+    p.on_message(r(1), own_prepare, &mut ctx);
+    let own_promise = ctx
+        .sends
+        .iter()
+        .rev()
+        .find_map(|(to, m)| match m {
+            PaxosMsg::Promise { .. } if *to == r(1) => Some(m.clone()),
+            _ => None,
+        })
+        .expect("self promise");
+    p.on_message(r(1), own_promise, &mut ctx);
+    p.on_message(
+        r(2),
+        PaxosMsg::Promise {
+            ballot,
+            from_instance: 0,
+            committed: 0,
+            entries: vec![SuffixEntry {
+                instance: 0,
+                ballot: b0(),
+                value: Some((cmd(1), r(0))),
+            }],
+        },
+        &mut ctx,
+    );
+    assert!(p.is_leader());
+    // Both peers acked the repair run at the new ballot: the leader's
+    // read lease is fresh. A read now must still wait for the inherited
+    // instance to commit and execute.
+    p.on_message(r(2), acked(ballot, 1), &mut ctx);
+    p.on_message(r(0), acked(ballot, 0), &mut ctx);
+    let executed_before = p.executed();
+    if executed_before == 0 {
+        p.on_client_read(read(8), &mut ctx);
+        assert!(
+            ctx.read_replies.is_empty(),
+            "read served below the repaired suffix top"
+        );
+    }
+    // Our own vouch (r0's ack was 0, r2 acked 1; our logged_next is 1)
+    // plus r2 commits instance 0; the read releases.
+    p.on_message(r(0), acked(ballot, 1), &mut ctx);
+    assert_eq!(p.executed(), 1);
+    p.on_client_read(read(9), &mut ctx);
+    assert!(!ctx.read_replies.is_empty());
+}
+
+#[test]
+fn fresh_lease_acceptor_refuses_to_promise_a_new_ballot() {
+    // Leader stickiness: a follower that heard its leader within the
+    // suspicion timeout must not grant promises — otherwise one
+    // isolated replica could depose a healthy leader through fresh
+    // followers and race the leader's read lease.
+    let mut p = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    // Current-regime leader traffic renews the lease.
+    p.on_message(r(0), accept(b0(), 0, vec![cmd(1)], r(0)), &mut ctx);
+    ctx.sends.clear();
+    p.on_message(
+        r(1),
+        PaxosMsg::Prepare {
+            ballot: b(1, 1),
+            from_instance: 0,
+        },
+        &mut ctx,
+    );
+    assert!(
+        !ctx.sends
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Promise { .. })),
+        "fresh-leased acceptor granted a promise: {:?}",
+        ctx.sends
+    );
+    // Once the lease expires, the same Prepare is granted.
+    ctx.clock += lease().timeout_us + 1;
+    p.on_message(
+        r(1),
+        PaxosMsg::Prepare {
+            ballot: b(1, 1),
+            from_instance: 0,
+        },
+        &mut ctx,
+    );
+    assert!(
+        ctx.sends
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Promise { .. })),
+        "expired-lease acceptor must grant"
+    );
+}
+
+#[test]
+fn heartbeat_draws_a_cumulative_ack_as_lease_evidence() {
+    let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    p.on_message(
+        r(0),
+        PaxosMsg::Heartbeat {
+            ballot: b0(),
+            committed: 0,
+        },
+        &mut ctx,
+    );
+    let acks: Vec<_> = ctx
+        .sends
+        .iter()
+        .filter(|(to, m)| *to == r(0) && matches!(m, PaxosMsg::Accepted { .. }))
+        .collect();
+    assert_eq!(acks.len(), 1, "heartbeat must be acked to the leader");
 }

@@ -209,11 +209,47 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         payload: Bytes,
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
+        self.roundtrip(site, payload, timeout, false)
+    }
+
+    /// Submits a **read-only** operation to `site` and blocks until its
+    /// reply arrives or `timeout` elapses. The command is routed down
+    /// the protocol's local read path (`rsm_core::read`) instead of the
+    /// write batching pipeline: linearizable, served from the local
+    /// replica once its stable prefix covers the read, and never held
+    /// behind a batch flush threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives in
+    /// time (e.g. the read was parked across a fault and lost; retry
+    /// like any command).
+    pub fn read(
+        &self,
+        site: ReplicaId,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> Result<Reply, ExecuteError> {
+        self.roundtrip(site, payload, timeout, true)
+    }
+
+    fn roundtrip(
+        &self,
+        site: ReplicaId,
+        payload: Bytes,
+        timeout: Duration,
+        read_only: bool,
+    ) -> Result<Reply, ExecuteError> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let id = CommandId::new(ClientId::new(site, 0), seq);
         let (tx, rx) = bounded(1);
         self.pending.lock().insert(id, tx);
-        self.submit(site, Command::new(id, payload));
+        let cmd = if read_only {
+            Command::read(id, payload)
+        } else {
+            Command::new(id, payload)
+        };
+        self.submit(site, cmd);
         match rx.recv_timeout(timeout) {
             Ok(reply) => Ok(reply),
             Err(_) => {
@@ -317,6 +353,94 @@ mod tests {
         // All replicas converged on the same state (reads don't mutate).
         assert!(reports.windows(2).all(|w| w[0].snapshot == w[1].snapshot));
         assert!(reports.iter().all(|r| r.commit_count >= 5));
+    }
+
+    #[test]
+    fn local_reads_round_trip_on_every_protocol() {
+        // One write, then a linearizable local read through every site,
+        // for each protocol's read path (stable timestamp, leader lease
+        // + quorum fallback, commit-watermark quorum). The read issues
+        // after the write's reply, so it must observe the value.
+        // Clock-RSM: reads at any replica.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000)).scale(0.02);
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default()),
+            kv,
+        );
+        cluster
+            .execute(
+                ReplicaId::new(0),
+                KvOp::put("rk", "rv").encode(),
+                Duration::from_secs(10),
+            )
+            .expect("write");
+        for i in 0..3u16 {
+            let reply = cluster
+                .read(
+                    ReplicaId::new(i),
+                    KvOp::get("rk").encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("local read");
+            assert_eq!(&reply.result[..], b"\x01rv", "site {i} read stale");
+        }
+        cluster.shutdown();
+
+        // Paxos-bcast: leader-local reads and follower quorum reads.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000)).scale(0.02);
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| {
+                MultiPaxos::new(
+                    id,
+                    Membership::uniform(3),
+                    ReplicaId::new(0),
+                    PaxosVariant::Bcast,
+                )
+            },
+            kv,
+        );
+        cluster
+            .execute(
+                ReplicaId::new(1),
+                KvOp::put("pk", "pv").encode(),
+                Duration::from_secs(10),
+            )
+            .expect("write");
+        for i in 0..3u16 {
+            let reply = cluster
+                .read(
+                    ReplicaId::new(i),
+                    KvOp::get("pk").encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("local read");
+            assert_eq!(&reply.result[..], b"\x01pv", "site {i} read stale");
+        }
+        cluster.shutdown();
+
+        // Mencius: commit-watermark quorum reads at any replica.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000)).scale(0.02);
+        let cluster = Cluster::spawn(cfg, |id| MenciusBcast::new(id, Membership::uniform(3)), kv);
+        cluster
+            .execute(
+                ReplicaId::new(2),
+                KvOp::put("mk", "mv").encode(),
+                Duration::from_secs(10),
+            )
+            .expect("write");
+        for i in 0..3u16 {
+            let reply = cluster
+                .read(
+                    ReplicaId::new(i),
+                    KvOp::get("mk").encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("local read");
+            assert_eq!(&reply.result[..], b"\x01mv", "site {i} read stale");
+        }
+        cluster.shutdown();
     }
 
     #[test]

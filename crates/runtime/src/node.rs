@@ -134,6 +134,16 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
     fn sm_install(&mut self, snapshot: Bytes) -> bool {
         self.sm.restore(&snapshot)
     }
+
+    fn sm_read(&mut self, cmd: &Command) -> Option<Bytes> {
+        self.sm.query(cmd)
+    }
+
+    fn send_reply(&mut self, reply: Reply) {
+        if !self.suppress_replies {
+            self.replies.push((reply.id, reply));
+        }
+    }
 }
 
 impl<P: Protocol> NodeHarness<P> {
@@ -226,6 +236,13 @@ impl<P: Protocol> NodeHarness<P> {
                 NodeInput::Msg(wire) => {
                     dispatch!(|c| self.proto.on_message(wire.from, wire.msg, &mut c));
                 }
+                NodeInput::Request(cmd) if cmd.read_only => {
+                    // Reads bypass the batching pipeline entirely: a
+                    // `Get` must never wait behind an adaptive flush
+                    // threshold, and it carries no depth signal for the
+                    // controller. Straight to the protocol's read path.
+                    dispatch!(|c| self.proto.on_client_read(cmd, &mut c));
+                }
                 NodeInput::Request(cmd) => {
                     // Coalesce opportunistically: take whatever requests
                     // are already queued (up to the effective count
@@ -242,11 +259,15 @@ impl<P: Protocol> NodeHarness<P> {
                     let mut interrupt: Option<NodeInput<P>> = None;
                     while batcher.fits(cmds.len(), bytes) {
                         match self.inbox.try_recv() {
-                            Ok(NodeInput::Request(c)) => {
+                            Ok(NodeInput::Request(c)) if !c.read_only => {
                                 bytes += c.size();
                                 cmds.push(c);
                             }
                             Ok(other) => {
+                                // A read or a message ends the run (and
+                                // is handled right after, preserving
+                                // arrival order): reads never join
+                                // batches.
                                 interrupt = Some(other);
                                 break;
                             }
@@ -277,7 +298,10 @@ impl<P: Protocol> NodeHarness<P> {
                         Some(NodeInput::Msg(wire)) => {
                             dispatch!(|c| self.proto.on_message(wire.from, wire.msg, &mut c));
                         }
-                        Some(NodeInput::Request(_)) => unreachable!("requests join the batch"),
+                        Some(NodeInput::Request(read)) => {
+                            debug_assert!(read.read_only, "only reads interrupt a run");
+                            dispatch!(|c| self.proto.on_client_read(read, &mut c));
+                        }
                         Some(NodeInput::Stop) => break,
                     }
                 }

@@ -327,6 +327,9 @@ struct Effects<P: Protocol> {
     /// (applied inline, so snapshots taken mid-callback are accurate).
     commits: Vec<(Committed, bytes::Bytes)>,
     timers: Vec<(Micros, TimerToken)>,
+    /// Replies to locally served reads (`Context::send_reply`): routed
+    /// to the issuing client without a commit.
+    read_replies: Vec<Reply>,
     /// A snapshot was installed during the callback: the state machine
     /// jumped over commands this node never executed one by one.
     installed: bool,
@@ -338,6 +341,7 @@ impl<P: Protocol> Default for Effects<P> {
             sends: Vec::new(),
             commits: Vec::new(),
             timers: Vec::new(),
+            read_replies: Vec::new(),
             installed: false,
         }
     }
@@ -378,6 +382,12 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
         let ok = self.sm.restore(&snapshot);
         self.eff.installed |= ok;
         ok
+    }
+    fn sm_read(&mut self, cmd: &Command) -> Option<bytes::Bytes> {
+        self.sm.query(cmd)
+    }
+    fn send_reply(&mut self, reply: Reply) {
+        self.eff.read_replies.push(reply);
     }
 }
 
@@ -596,11 +606,25 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 if !self.nodes[idx].up {
                     return; // site down: client request lost
                 }
-                // Requests pass through the node's inbox when that buys
-                // something: a CPU model prices the processing step, and
-                // a batch policy coalesces same-instant arrivals. With
-                // neither (the default for latency experiments) the hop
-                // only doubles event-queue traffic, so invoke directly.
+                // Reads never coalesce: batching amortizes replication
+                // cost, and a local read replicates nothing, so holding
+                // a Get behind an adaptive flush threshold would buy
+                // nothing and inflate read latency. They only pass
+                // through the inbox when a CPU model prices processing.
+                if cmd.read_only {
+                    if self.cfg.cpu.is_some() {
+                        self.enqueue_input(idx, NodeInput::Request(cmd));
+                    } else {
+                        self.invoke(idx, false, |p, ctx| p.on_client_read(cmd, ctx));
+                    }
+                    return;
+                }
+                // Write requests pass through the node's inbox when that
+                // buys something: a CPU model prices the processing
+                // step, and a batch policy coalesces same-instant
+                // arrivals. With neither (the default for latency
+                // experiments) the hop only doubles event-queue traffic,
+                // so invoke directly.
                 if self.cfg.cpu.is_some() || self.cfg.batch.coalesces() {
                     if self.cfg.batch.adaptive {
                         self.nodes[idx].req_arrivals.insert(cmd.id, self.now);
@@ -819,9 +843,12 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             // requests); it returns by mutating its effective threshold,
             // which `batcher.fits` below applies. Static policies pass
             // through unchanged.
+            // Reads never join batches, so they carry no depth signal:
+            // letting a read-heavy mix widen the flush threshold would
+            // only delay the writes it is interleaved with.
             let queued_requests = inputs
                 .iter()
-                .filter(|i| matches!(i, NodeInput::Request(_)))
+                .filter(|i| matches!(i, NodeInput::Request(c) if !c.read_only))
                 .count();
             batcher.begin_drain(queued_requests);
             let mut ctx = NodeCtx {
@@ -841,6 +868,17 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                             run_bytes = 0;
                         }
                         proto.on_message(from, m, &mut ctx);
+                    }
+                    NodeInput::Request(c) if c.read_only => {
+                        // Reads bypass coalescing entirely: flush the
+                        // open write run (relative order is preserved)
+                        // and hand the read straight to the protocol's
+                        // read path.
+                        if !run.is_empty() {
+                            proto.on_client_batch(Batch::new(std::mem::take(&mut run)), &mut ctx);
+                            run_bytes = 0;
+                        }
+                        proto.on_client_read(c, &mut ctx);
                     }
                     NodeInput::Request(c) => {
                         // Flush when the effective command count or byte
@@ -972,6 +1010,17 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             // cannot align across interior gaps. The cumulative
             // commit_count is deliberately left alone.
             self.nodes[idx].commits.clear();
+        }
+        // Locally served reads: route straight back to the issuing
+        // client — no commit, no history record, one local delivery.
+        if !suppress_replies {
+            for reply in eff.read_replies {
+                let client = reply.id.client;
+                self.queue.push(
+                    at + self.cfg.local_delivery_us,
+                    Event::ReplyArrive { client, reply },
+                );
+            }
         }
         for (committed, result) in eff.commits {
             let n = &mut self.nodes[idx];
@@ -1515,6 +1564,55 @@ mod tests {
         assert_eq!(observer_sim(rsm_core::BatchPolicy::DISABLED), vec![1; 10]);
         assert_eq!(observer_sim(rsm_core::BatchPolicy::max(4)), vec![4, 4, 2]);
         assert_eq!(observer_sim(rsm_core::BatchPolicy::max(64)), vec![10]);
+    }
+
+    struct MixedAtOnce;
+    impl Application<BatchObserver> for MixedAtOnce {
+        fn on_init(&mut self, api: &mut SimApi<'_, BatchObserver>) {
+            // Five writes and five reads, all landing at t = 300.
+            for seq in 0..10 {
+                let id = CommandId::new(ClientId::new(ReplicaId::new(0), 0), seq);
+                let cmd = if seq % 2 == 0 {
+                    Command::new(id, Bytes::from_static(b"w"))
+                } else {
+                    Command::read(id, Bytes::from_static(b"r"))
+                };
+                api.submit(ReplicaId::new(0), cmd);
+            }
+        }
+        fn on_reply(&mut self, _: ClientId, _: Reply, _: &mut SimApi<'_, BatchObserver>) {}
+        fn on_event(&mut self, _: u64, _: &mut SimApi<'_, BatchObserver>) {}
+    }
+
+    #[test]
+    fn reads_never_join_write_batches() {
+        // With a generous cap, the five writes coalesce into one batch;
+        // the five reads bypass the coalescing path entirely (the
+        // observer's default read path maps each to a single-command
+        // dispatch). A read must never wait for a flush threshold.
+        let cfg = SimConfig::new(LatencyMatrix::uniform(2, 1_000))
+            .batch_policy(rsm_core::BatchPolicy::max(64));
+        let mut sim = Simulation::new(
+            cfg,
+            |id| BatchObserver {
+                id,
+                batch_sizes: Vec::new(),
+            },
+            sm,
+            MixedAtOnce,
+        );
+        sim.run_until(1_000_000);
+        let sizes = sim.protocol(ReplicaId::new(0)).batch_sizes.clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 10, "nothing lost");
+        assert!(
+            sizes.contains(&5),
+            "the five writes must coalesce: {sizes:?}"
+        );
+        assert_eq!(
+            sizes.iter().filter(|&&s| s == 1).count(),
+            5,
+            "each read dispatches alone: {sizes:?}"
+        );
     }
 
     /// Sustained bursts under an adaptive policy, then a trickle: the

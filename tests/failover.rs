@@ -324,6 +324,51 @@ fn paxos_leader_crash_elects_and_commits() {
     }
 }
 
+/// The fail-over scenario under a read mix: half the operations are
+/// linearizable local reads (leader-lease fast path at the leader,
+/// commit-watermark quorum reads at the followers) while the leader
+/// crashes mid-load. Reads issued around the crash and election must
+/// never return a value the verified total order contradicts — the
+/// read-value checker inside `checks.all_ok()` is the judge — and both
+/// paths must resume once the replacement regime settles. (The classic
+/// deposed-leader-with-expired-lease partition scenario lives in
+/// tests/read_mix.rs.)
+#[test]
+fn paxos_leader_crash_read_mix_stays_linearizable() {
+    let crash_at = 2_000 * MILLIS;
+    let recover_at = 8_000 * MILLIS;
+    let duration = 14_000u64;
+    for choice in [
+        ProtocolChoice::paxos_failover(PAXOS_LEADER, paxos_lease()),
+        ProtocolChoice::paxos_bcast_failover(PAXOS_LEADER, paxos_lease()),
+    ] {
+        let cfg = paxos_crash_cfg(5, duration)
+            .read_fraction(0.5)
+            .leader_crash(PAXOS_LEADER, crash_at, recover_at);
+        let r = run_latency(choice, &cfg);
+        assert!(
+            r.checks.all_ok(),
+            "{}: {:?}",
+            r.protocol,
+            r.checks.violation
+        );
+        assert!(r.snapshots_agree, "{} snapshots diverged", r.protocol);
+        assert!(
+            r.read_count > 20 && r.write_count > 20,
+            "{}: mix starved ({} reads / {} writes)",
+            r.protocol,
+            r.read_count,
+            r.write_count
+        );
+        // Write progress resumed under the elected leader.
+        assert!(
+            r.commits_between(0, 4_000 * MILLIS, recover_at) > 10,
+            "{}: no progress under the elected leader",
+            r.protocol
+        );
+    }
+}
+
 /// Repeated churn: while the initial leader is down, the cluster also
 /// loses replica 2 — hitting the elected replacement if 2 won the
 /// election, an acceptor of the new regime otherwise. Both worlds must

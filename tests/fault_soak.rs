@@ -60,6 +60,14 @@ fn random_schedule(seed: u64, n: usize, seconds: u64) -> Vec<(u64, Fault)> {
 }
 
 fn soak(seed: u64, n: usize) {
+    soak_with_reads(seed, n, 0.0)
+}
+
+/// One Clock-RSM soak round; `read_fraction > 0` interleaves local
+/// stable-timestamp reads with the writes, so the crash/recover churn
+/// also exercises read parking across freezes, rejoins, and epoch
+/// changes — judged by the read-value checker inside `checks.all_ok()`.
+fn soak_with_reads(seed: u64, n: usize, read_fraction: f64) {
     let seconds = 16u64;
     let rsm_cfg = ClockRsmConfig::default()
         .with_delta_us(Some(50 * MILLIS))
@@ -70,6 +78,7 @@ fn soak(seed: u64, n: usize) {
         .seed(seed)
         .clients_per_site(2)
         .think_max_us(50 * MILLIS)
+        .read_fraction(read_fraction)
         .warmup_us(100 * MILLIS)
         .duration_us(seconds * 1_000 * MILLIS)
         .active_sites(vec![0])
@@ -102,6 +111,101 @@ fn soak_three_replicas() {
 fn soak_five_replicas() {
     for seed in [11u64, 12, 13, 14] {
         soak(seed, 5);
+    }
+}
+
+#[test]
+fn soak_three_replicas_with_read_mix() {
+    for seed in [41u64, 42, 43] {
+        soak_with_reads(seed, 3, 0.4);
+    }
+}
+
+/// The read mix under clock skew — sub-millisecond (the paper's NTP
+/// grade) and multi-second (a badly broken daemon) — combined with
+/// crash/recover churn. Clock-RSM's stable-timestamp reads may slow
+/// down arbitrarily under skew but must never return a stale value;
+/// the read-value checker inside `checks.all_ok()` is the judge.
+///
+/// Skew sets the timing physics: a read stamped by a fast clock waits
+/// for the slowest clock to pass the stamp, up to ~2×bound. The client
+/// retry must sit *above* that worst case (a shorter retry supersedes
+/// every read before its reply lands — correct but starved), and the
+/// multi-second case needs a window long enough for multi-second reads
+/// to complete inside it.
+#[test]
+fn soak_read_mix_under_clock_skew() {
+    for (seed, bound, seconds, min_reads) in [
+        (51u64, 800, 12u64, 10),
+        (52u64, 3 * 1_000 * MILLIS, 40u64, 4),
+    ] {
+        let retry = (4 * 1_000 * MILLIS).max(3 * bound);
+        let rsm_cfg = ClockRsmConfig::default()
+            .with_delta_us(Some(50 * MILLIS))
+            .with_failure_detection(Some(2_000 * MILLIS))
+            .with_synod_retry_us(100 * MILLIS)
+            .with_reconfig_retry_us(100 * MILLIS);
+        let mut cfg = ExperimentConfig::new(LatencyMatrix::uniform(3, 15_000))
+            .seed(seed)
+            .clients_per_site(2)
+            .think_max_us(50 * MILLIS)
+            .read_fraction(0.5)
+            .clock(simnet::ClockModel::ntp(bound))
+            .warmup_us(100 * MILLIS)
+            .duration_us(seconds * 1_000 * MILLIS)
+            .active_sites(vec![0])
+            .client_retry_us(retry);
+        // One mid-run crash/recover of a non-client replica.
+        cfg = cfg
+            .fault(3_000 * MILLIS, Fault::Crash(ReplicaId::new(2)))
+            .fault(6_000 * MILLIS, Fault::Recover(ReplicaId::new(2)));
+        let r = run_latency(ProtocolChoice::clock_rsm_with(rsm_cfg), &cfg);
+        assert!(
+            r.checks.all_ok(),
+            "seed {seed} bound {bound}: {:?}",
+            r.checks.violation
+        );
+        assert!(r.snapshots_agree, "seed {seed}: snapshots diverged");
+        assert!(
+            r.read_count > min_reads,
+            "seed {seed} bound {bound}: reads starved under skew ({} replies)",
+            r.read_count
+        );
+    }
+}
+
+/// Paxos election churn with a 50/50 read mix: leader crashes force
+/// fail-overs while leader-lease reads and follower quorum reads are in
+/// flight; every Get must stay linearizable (no stale values from a
+/// deposed regime) and the full checker battery stays green.
+#[test]
+fn soak_paxos_elections_with_read_mix() {
+    for seed in [61u64, 62] {
+        let seconds = 14u64;
+        let mut cfg = ExperimentConfig::new(LatencyMatrix::uniform(3, 15_000))
+            .seed(seed)
+            .clients_per_site(2)
+            .think_max_us(50 * MILLIS)
+            .read_fraction(0.5)
+            .warmup_us(100 * MILLIS)
+            .duration_us(seconds * 1_000 * MILLIS)
+            .active_sites(vec![0])
+            .client_retry_us(1_500 * MILLIS);
+        for (at, f) in random_schedule(seed, 3, seconds) {
+            cfg = cfg.fault(at, f);
+        }
+        let r = run_latency(
+            ProtocolChoice::paxos_bcast_failover(1, LeaseConfig::after(400 * MILLIS)),
+            &cfg,
+        );
+        assert!(r.checks.all_ok(), "seed {seed}: {:?}", r.checks.violation);
+        assert!(r.snapshots_agree, "seed {seed}: snapshots diverged");
+        assert!(
+            r.read_count > 10 && r.write_count > 10,
+            "seed {seed}: mix starved ({} reads / {} writes)",
+            r.read_count,
+            r.write_count
+        );
     }
 }
 
