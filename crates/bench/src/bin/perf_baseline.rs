@@ -21,17 +21,25 @@
 //! produce read samples (the read path is alive, not silently falling
 //! back to replication).
 //!
+//! The **shard sweep** is the scale-out acceptance experiment
+//! (`rsm-shard`): 1/2/4/8 independent Clock-RSM groups, each offered
+//! the same saturating per-group load (weak scaling), reporting the
+//! aggregate committed throughput per shard count.
+//!
 //! Run with `cargo run -p bench --release --bin perf_baseline`.
 //! `BENCH_QUICK=1` shrinks the windows for smoke runs; `--check` exits
 //! non-zero if the adaptive policy's heavy-load throughput regresses
-//! more than 20 % below static-64 for any protocol, or the read-mix
-//! gate fails (the CI gates); `BENCH_PERF_OUT` overrides the output
-//! path.
+//! more than 20 % below static-64 for any protocol, the read-mix gate
+//! fails, or the 8-shard aggregate lands below 4x the single-shard row
+//! (the CI gates); `BENCH_PERF_OUT` overrides the output path.
 
 use std::fmt::Write as _;
 
 use bench::quick;
-use harness::{run_latency, ExperimentConfig, ExperimentResult, ProtocolChoice};
+use harness::{
+    run_latency, run_sharded, ExperimentConfig, ExperimentResult, ProtocolChoice, ShardedConfig,
+    ShardedResult,
+};
 use rsm_core::time::MILLIS;
 use rsm_core::{BatchPolicy, LatencyMatrix};
 use simnet::{ClockModel, CpuModel};
@@ -39,6 +47,11 @@ use simnet::{ClockModel, CpuModel};
 /// The CI regression gate: adaptive heavy-load throughput must stay
 /// within this fraction of static-64.
 const CHECK_FLOOR: f64 = 0.80;
+
+/// The scale-out regression gate: the 8-shard Clock-RSM aggregate must
+/// deliver at least this multiple of the single-shard row (sub-linear
+/// scaling collapse fails `--check`).
+const SHARD_SCALE_FLOOR: f64 = 4.0;
 
 /// The acceptance targets the JSON records (informational in `--check`
 /// smoke runs, the real bar for full runs).
@@ -130,6 +143,30 @@ fn light(choice: ProtocolChoice, policy: BatchPolicy) -> ExperimentResult {
         .batch(policy)
         .record_ops(false);
     run_latency(choice, &cfg)
+}
+
+/// One shard-sweep cell: `shards` independent Clock-RSM groups over the
+/// emulated local cluster, each offered the same saturating per-group
+/// load as the `heavy` scenario (clients scale with the shard count, a
+/// weak-scaling sweep), static-64 batching. The aggregate row is the
+/// summed committed throughput across groups.
+fn shard_cell(shards: usize) -> ShardedResult {
+    let per_site = if quick() { 20 } else { 40 } * shards;
+    let (warmup, duration) = windows();
+    let base = ExperimentConfig::new(LatencyMatrix::uniform(5, 250))
+        .seed(11)
+        .clients_per_site(per_site)
+        .think_max_us(0)
+        .value_bytes(10)
+        .warmup_us(warmup)
+        .duration_us(duration)
+        .cpu(CpuModel::default())
+        .batch(BatchPolicy::max(64))
+        .record_ops(false);
+    run_sharded(
+        ProtocolChoice::clock_rsm(),
+        &ShardedConfig::new(base, shards),
+    )
 }
 
 fn main() {
@@ -276,17 +313,48 @@ fn main() {
         read_summaries.push((name, c.read_p50_ms, c.write_p50_ms, meets));
     }
 
+    // The scale-out sweep: 1/2/4/8 independent Clock-RSM groups, each
+    // saturated like the heavy scenario. The gate judges the 8-shard
+    // aggregate against 4x the single-shard row.
+    println!("\n=== Keyspace shard sweep (Clock-RSM, weak scaling) ===");
+    println!(
+        "{:<8}{:>16}{:>14}{:>12}{:>12}",
+        "shards", "aggregate kops", "per-shard avg", "p50 ms", "p99 ms"
+    );
+    let sweep: Vec<ShardedResult> = [1usize, 2, 4, 8].iter().map(|&s| shard_cell(s)).collect();
+    for r in &sweep {
+        println!(
+            "{:<8}{:>16.1}{:>14.1}{:>12.2}{:>12.2}",
+            r.shards,
+            r.aggregate.throughput_kops,
+            r.aggregate.throughput_kops / r.shards as f64,
+            r.aggregate.p50_ms,
+            r.aggregate.p99_ms
+        );
+    }
+    let shard1 = sweep[0].aggregate.throughput_kops;
+    let shard8 = sweep[3].aggregate.throughput_kops;
+    let scale8 = shard8 / shard1.max(1e-9);
+    println!("8-shard scaling: {scale8:.2}x the single-shard row");
+    if check && scale8 < SHARD_SCALE_FLOOR {
+        failures.push(format!(
+            "shard sweep: 8-shard aggregate {shard8:.1}k is only {scale8:.2}x the \
+             1-shard row {shard1:.1}k (floor {SHARD_SCALE_FLOOR:.0}x)"
+        ));
+    }
+
     // Machine-readable trajectory record (no serde in this workspace:
     // the JSON is assembled by hand).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v3\",");
     let _ = writeln!(json, "  \"quick\": {},", quick());
     let _ = writeln!(
         json,
         "  \"targets\": {{ \"heavy_throughput_vs_best_static_min\": {TARGET_THROUGHPUT_FRAC}, \
          \"light_p50_vs_static1_max\": {TARGET_P50_FRAC}, \
-         \"readmix_clock_rsm_read_p50_below_write_p50\": true }},"
+         \"readmix_clock_rsm_read_p50_below_write_p50\": true, \
+         \"shard8_aggregate_vs_shard1_min\": {SHARD_SCALE_FLOOR} }},"
     );
     json.push_str("  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -321,6 +389,27 @@ fn main() {
              \"readmix_meets_targets\": {read_meets} }}"
         );
         json.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"shard_sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let per_shard: Vec<String> = r
+            .per_shard
+            .iter()
+            .map(|p| format!("{:.3}", p.throughput_kops))
+            .collect();
+        let _ = write!(
+            json,
+            "    {{ \"protocol\": \"{}\", \"shards\": {}, \"aggregate_kops\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"per_shard_kops\": [{}] }}",
+            r.protocol,
+            r.shards,
+            r.aggregate.throughput_kops,
+            r.aggregate.p50_ms,
+            r.aggregate.p99_ms,
+            per_shard.join(", ")
+        );
+        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");

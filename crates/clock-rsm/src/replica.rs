@@ -443,6 +443,19 @@ impl ClockRsm {
             if acks < majority || ts > self.min_latest_tv() {
                 break;
             }
+            // Exact-cut discipline: before applying the write at `ts`,
+            // serve every parked read stamped strictly below it. At this
+            // point the pending prefix below `ts` is empty and
+            // `min(LatestTV) ≥ ts`, so nothing below `ts` can still
+            // arrive: the local state contains *exactly* the writes below
+            // each released stamp — the invariant cross-shard snapshot
+            // reads rely on (serving only after the whole drain could
+            // leak writes newer than the stamp into the answer).
+            if !self.read_queue.is_empty() && !self.needs_rejoin {
+                for cmd in self.read_queue.release_before(ts) {
+                    self.serve_read(cmd, ctx);
+                }
+            }
             let (cmd, origin) = self.pending.remove(&ts).expect("first key exists");
             ctx.log_append(LogRec::Commit { ts });
             debug_assert!(ts > self.last_committed, "commits must be ts-ordered");
@@ -486,7 +499,18 @@ impl ClockRsm {
             self.queued_reads.push_back(cmd);
             return;
         }
-        let stamp = self.next_send_ts(ctx);
+        let stamp = match cmd.read_at {
+            // A router-pinned snapshot read: park at the external cut
+            // instead of stamping locally. The lane sits above every
+            // real replica id, so a write stamped at the same
+            // microsecond orders *below* the cut and is included —
+            // "snapshot at t" means exactly the writes with ts ≤ t.
+            // Every shard of a multi-key read parks at the same t, and
+            // the exact-cut release in `try_commit` guarantees each
+            // serves from precisely that prefix.
+            Some(at) => Timestamp::new(at, ReplicaId::new(u16::MAX - 1)),
+            None => self.next_send_ts(ctx),
+        };
         self.read_queue.park(stamp, cmd);
         self.release_ready_reads(ctx);
     }
@@ -502,6 +526,19 @@ impl ClockRsm {
         if self.read_queue.is_empty() || self.frozen || self.needs_rejoin {
             return;
         }
+        let stable = self.stable_timestamp();
+        for cmd in self.read_queue.release(stable) {
+            self.serve_read(cmd, ctx);
+        }
+    }
+
+    /// The replica's current **stable timestamp**: every command at or
+    /// below it has executed locally, and no replica will ever send a
+    /// smaller timestamp — `min(LatestTV)` over the configuration,
+    /// lowered below the first still-pending command. Reads parked at or
+    /// below it are servable; a sharded router compares it against a
+    /// chosen snapshot cut.
+    pub fn stable_timestamp(&self) -> Timestamp {
         let mut stable = self.min_latest_tv();
         if let Some((&first_pending, _)) = self.pending.iter().next() {
             // Commands at or below the first pending timestamp are not
@@ -513,9 +550,7 @@ impl ClockRsm {
                 ReplicaId::new(u16::MAX - 1),
             ));
         }
-        for cmd in self.read_queue.release(stable) {
-            self.serve_read(cmd, ctx);
-        }
+        stable
     }
 
     /// Serves one released read from the local state machine, falling
@@ -523,6 +558,21 @@ impl ClockRsm {
     /// (no state machine access) or the command is not actually
     /// read-only.
     fn serve_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
+        if let Some(at) = cmd.read_at {
+            // A pinned snapshot read is only servable while the applied
+            // prefix still sits at or below its cut — normally
+            // guaranteed by the exact-cut release in `try_commit`. A
+            // part arriving *after* the state passed its cut (delivery
+            // slower than the router's lead, or a rejoin that installed
+            // a newer checkpoint) cannot be answered exactly without
+            // multi-versioning, so it is dropped, never answered
+            // inexactly: the router times out and retries the whole
+            // snapshot under a fresh cut.
+            let cut = Timestamp::new(at, ReplicaId::new(u16::MAX - 1));
+            if self.last_committed > cut {
+                return;
+            }
+        }
         match ctx.sm_read(&cmd) {
             Some(result) => ctx.send_reply(Reply::new(cmd.id, result)),
             None => self.handle_batch(Batch::single(cmd), ctx),

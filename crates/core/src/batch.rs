@@ -378,8 +378,15 @@ pub const NARROW_DIV: usize = 4;
 /// A **static** policy yields a degenerate controller whose threshold
 /// is pinned at `max_batch`.
 ///
-/// The byte budget (`max_bytes`) is *not* adapted: it bounds wire-message
-/// size, which is a transport concern independent of load.
+/// The byte budget adapts **in lockstep** with the count threshold: under
+/// an adaptive policy with a finite `max_bytes`, the effective budget
+/// starts at `max_bytes / max_batch` (one count-threshold's worth of
+/// average headroom), doubles on every widen and halves on every narrow,
+/// clamped to `[max_bytes / max_batch, max_bytes]`. Large-payload load
+/// therefore grows the byte budget exactly as small-command load grows
+/// the count threshold, and `max_bytes` itself remains the hard
+/// transport bound a wire message can never exceed. A policy with no
+/// byte budget (`usize::MAX`) never adapts one into existence.
 ///
 /// # Examples
 ///
@@ -400,12 +407,26 @@ pub const NARROW_DIV: usize = 4;
 pub struct BatchController {
     policy: BatchPolicy,
     threshold: usize,
+    /// Effective payload byte budget, moved in lockstep with
+    /// `threshold` between `bytes_floor(policy)` and `policy.max_bytes`.
+    bytes_threshold: usize,
     depth_ewma: f64,
     latency_ewma_us: f64,
     latency_floor_us: f64,
     /// Timestamp of the last latency sample (driver clock, µs) — the
     /// time base for the floor's creep.
     last_latency_at_us: Micros,
+}
+
+/// The smallest byte budget an adaptive controller may narrow to: one
+/// count-threshold's worth of average per-command headroom. A policy
+/// without a byte budget keeps `usize::MAX` (nothing to adapt).
+fn bytes_floor(policy: &BatchPolicy) -> usize {
+    if policy.max_bytes == usize::MAX {
+        usize::MAX
+    } else {
+        (policy.max_bytes / policy.max_batch).max(1)
+    }
 }
 
 impl BatchController {
@@ -415,6 +436,11 @@ impl BatchController {
     pub fn new(policy: BatchPolicy) -> Self {
         BatchController {
             threshold: if policy.adaptive { 1 } else { policy.max_batch },
+            bytes_threshold: if policy.adaptive {
+                bytes_floor(&policy)
+            } else {
+                policy.max_bytes
+            },
             depth_ewma: 0.0,
             latency_ewma_us: 0.0,
             latency_floor_us: f64::INFINITY,
@@ -431,6 +457,14 @@ impl BatchController {
     /// The effective flush threshold the next drain will use.
     pub fn effective_max_batch(&self) -> usize {
         self.threshold
+    }
+
+    /// The effective payload byte budget the next drain will use. Pinned
+    /// at `policy.max_bytes` for static policies; adapts alongside
+    /// [`effective_max_batch`](BatchController::effective_max_batch)
+    /// otherwise.
+    pub fn effective_max_bytes(&self) -> usize {
+        self.bytes_threshold
     }
 
     /// Called at the start of each inbox drain with the number of client
@@ -454,10 +488,15 @@ impl BatchController {
         self.depth_ewma += DEPTH_ALPHA * (queued_requests as f64 - self.depth_ewma);
         if self.depth_ewma >= self.threshold as f64 {
             self.threshold = (self.threshold * 2).min(self.policy.max_batch);
+            self.bytes_threshold = self
+                .bytes_threshold
+                .saturating_mul(2)
+                .min(self.policy.max_bytes);
         } else if self.depth_ewma < self.threshold as f64 / NARROW_DIV as f64
             && self.latency_quiescent()
         {
             self.threshold = (self.threshold / 2).max(1);
+            self.bytes_threshold = (self.bytes_threshold / 2).max(bytes_floor(&self.policy));
         }
         self.threshold
     }
@@ -503,10 +542,10 @@ impl BatchController {
 
     /// Whether a batch currently holding `len` commands and
     /// `payload_bytes` of payload may admit another command under the
-    /// **current effective threshold**. The first command is always
-    /// admitted; the byte budget comes straight from the policy.
+    /// **current effective thresholds** (count and byte budget both
+    /// adapt). The first command is always admitted.
     pub fn fits(&self, len: usize, payload_bytes: usize) -> bool {
-        len == 0 || (len < self.threshold && payload_bytes < self.policy.max_bytes)
+        len == 0 || (len < self.threshold && payload_bytes < self.bytes_threshold)
     }
 }
 
@@ -763,6 +802,47 @@ mod tests {
         }
         assert!(c.fits(3, 100));
         assert!(!c.fits(3, 1024), "byte budget still flushes");
+    }
+
+    #[test]
+    fn large_payload_load_grows_the_byte_budget() {
+        // 64 KiB cap over a 64-command ceiling: the budget starts at one
+        // threshold's worth (1 KiB) and must widen with sustained load.
+        let mut c = BatchController::new(BatchPolicy::adaptive(64).with_max_bytes(64 * 1024));
+        assert_eq!(
+            c.effective_max_bytes(),
+            1024,
+            "starts at max_bytes/max_batch"
+        );
+        assert!(
+            !c.fits(1, 1024),
+            "a kilobyte batch flushes under the starting budget"
+        );
+        // Sustained pressure (a backlog of large-payload requests) widens
+        // the byte budget in lockstep with the count threshold, up to the
+        // policy cap.
+        for _ in 0..12 {
+            c.begin_drain(64);
+        }
+        assert_eq!(c.effective_max_batch(), 64);
+        assert_eq!(c.effective_max_bytes(), 64 * 1024, "budget reaches the cap");
+        assert!(c.fits(4, 32 * 1024), "large batches now amortize");
+        assert!(!c.fits(4, 64 * 1024), "the policy cap stays a hard bound");
+        // Load subsiding narrows the budget back toward its floor.
+        for _ in 0..64 {
+            c.begin_drain(1);
+        }
+        assert!(
+            c.effective_max_bytes() <= 4 * 1024,
+            "trickle load decays the budget ({} B)",
+            c.effective_max_bytes()
+        );
+        // A policy with no byte budget never adapts one into existence.
+        let mut open = BatchController::new(BatchPolicy::adaptive(64));
+        assert_eq!(open.effective_max_bytes(), usize::MAX);
+        open.begin_drain(64);
+        assert_eq!(open.effective_max_bytes(), usize::MAX);
+        assert!(open.fits(1, usize::MAX - 1));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 use bytes::Bytes;
 
 use crate::id::{ClientId, ReplicaId};
+use crate::time::Micros;
 
 /// Uniquely identifies one client command: the issuing client plus a
 /// per-client sequence number.
@@ -58,6 +59,16 @@ pub struct Command {
     /// and a mutating payload falsely marked read-only is simply
     /// replicated like any write.
     pub read_only: bool,
+    /// An externally chosen snapshot timestamp for a read-only command
+    /// (microseconds on the global physical timeline). A sharded router
+    /// sets this so every shard of a multi-key read serves its piece at
+    /// the **same** cut: a Clock-RSM replica parks the read until its
+    /// stable timestamp passes `read_at` and serves it from state
+    /// containing exactly the writes stamped at or below it. Protocols
+    /// without a stable-timestamp discipline (Paxos, Mencius) ignore the
+    /// field and serve their usual per-group linearizable read. `None`
+    /// (every ordinary command) means "stamp locally as usual".
+    pub read_at: Option<Micros>,
 }
 
 impl Command {
@@ -67,6 +78,7 @@ impl Command {
             id,
             payload,
             read_only: false,
+            read_at: None,
         }
     }
 
@@ -77,6 +89,18 @@ impl Command {
             id,
             payload,
             read_only: true,
+            read_at: None,
+        }
+    }
+
+    /// Creates a read-only command pinned to an external snapshot
+    /// timestamp (see [`read_at`](Command::read_at)).
+    pub fn read_at(id: CommandId, payload: Bytes, at: Micros) -> Self {
+        Command {
+            id,
+            payload,
+            read_only: true,
+            read_at: Some(at),
         }
     }
 

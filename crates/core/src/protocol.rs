@@ -182,6 +182,22 @@ pub trait Protocol {
         ReadPath::Replicated
     }
 
+    /// Where clients of this replica's site should send **read-only**
+    /// commands, when somewhere other than their own site is better.
+    ///
+    /// Leader-lease protocols return the believed lease holder: a read
+    /// sent straight there is served from the lease without a quorum
+    /// probe, so a client paying one WAN hop to the leader beats paying
+    /// a probe round trip from its local follower. Protocols whose reads
+    /// are symmetric (Clock-RSM's stable-timestamp reads, Mencius's
+    /// commit-watermark probes) return `None`: the local site is already
+    /// the right target. The hint is advisory and may be stale across a
+    /// fail-over — a read routed to a deposed leader is simply lost and
+    /// retried, like any command lost to reconfiguration.
+    fn lease_holder_hint(&self) -> Option<ReplicaId> {
+        None
+    }
+
     /// A message arrived from replica `from` (possibly self).
     fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self>);
 

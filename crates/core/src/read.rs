@@ -200,6 +200,32 @@ impl<W: Ord + Copy> ReadQueue<W> {
         ready
     }
 
+    /// Releases every read whose mark is **strictly below** `bound`, in
+    /// mark order. The exclusive twin of [`release`](ReadQueue::release):
+    /// a replica about to apply a write at coordinate `bound` calls this
+    /// first, so every released read is served from state that contains
+    /// exactly the writes below its own mark — the *exact-cut* discipline
+    /// a sharded snapshot read relies on.
+    pub fn release_before(&mut self, bound: W) -> Vec<Command> {
+        if self
+            .parked
+            .keys()
+            .next()
+            .is_none_or(|&first| first >= bound)
+        {
+            return Vec::new();
+        }
+        let mut ready = Vec::new();
+        while let Some(entry) = self.parked.first_entry() {
+            if *entry.key() >= bound {
+                break;
+            }
+            ready.extend(entry.remove());
+        }
+        self.len -= ready.len();
+        ready
+    }
+
     /// Removes and returns every parked read (fallback paths: a replica
     /// that can no longer honor its marks re-routes the reads instead
     /// of serving them).
@@ -321,6 +347,16 @@ impl ReadProbes {
     /// Number of reads riding in-flight probes.
     pub fn pending(&self) -> usize {
         self.probes.iter().map(|p| p.cmds.len()).sum()
+    }
+
+    /// Number of probes currently in flight. Callers batching reads onto
+    /// probes use this as the gate: while a probe is out, newly arrived
+    /// reads queue locally and ride the **next** probe together (a probe
+    /// must begin *after* every read it carries arrived — attaching a
+    /// read to an already-launched probe could park it at a mark that
+    /// predates a write the read must see).
+    pub fn in_flight(&self) -> usize {
+        self.probes.len()
     }
 }
 

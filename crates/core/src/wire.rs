@@ -28,8 +28,9 @@ impl WireSize for () {
 
 impl WireSize for Command {
     fn wire_size(&self) -> usize {
-        // id (client site + number + seq) + length prefix + payload
-        24 + self.payload.len()
+        // id (client site + number + seq) + length prefix + payload,
+        // plus the optional pinned snapshot timestamp
+        24 + if self.read_at.is_some() { 8 } else { 0 } + self.payload.len()
     }
 }
 

@@ -17,6 +17,9 @@
 //!   (Clock-RSM, Paxos, Paxos-bcast, Mencius-bcast) over a given topology.
 //! * [`experiment`] — the per-figure experiment runners used by both the
 //!   `bench` binaries and the integration tests.
+//! * [`shard`] — the scale-out driver: `N` independent replication
+//!   groups in lockstep, keys routed through `rsm-shard`, with
+//!   timestamp-consistent cross-shard snapshot reads under Clock-RSM.
 //!
 //! ## Example
 //!
@@ -40,11 +43,13 @@
 pub mod cluster;
 pub mod experiment;
 pub mod lin;
+pub mod shard;
 pub mod stats;
 pub mod workload;
 
 pub use cluster::ProtocolChoice;
 pub use experiment::{run_latency, run_throughput, ExperimentConfig, ExperimentResult};
-pub use lin::{CheckReport, OpRecord};
+pub use lin::{CheckReport, OpRecord, SnapshotRecord};
+pub use shard::{run_sharded, ShardMapChoice, ShardedConfig, ShardedResult};
 pub use stats::LatencyStats;
 pub use workload::{Fault, WorkloadApp, WorkloadConfig};

@@ -365,6 +365,131 @@ pub fn check_read_values(order: &[CommitRecord], ops: &[OpRecord]) -> Result<(),
     Ok(())
 }
 
+/// One completed cross-shard snapshot read, as recorded by the sharded
+/// driver: the multi-key read's real-time interval plus what it observed
+/// per key.
+#[derive(Debug, Clone)]
+pub struct SnapshotRecord {
+    /// When the multi-key read was (last) issued.
+    pub issued: Micros,
+    /// When its final part's reply arrived.
+    pub replied: Micros,
+    /// The keys read.
+    pub keys: Vec<Bytes>,
+    /// Per-key observed value (`None` = key absent at the cut),
+    /// parallel to `keys`.
+    pub values: Vec<Option<Bytes>>,
+}
+
+/// Checks that every cross-shard snapshot read observed **one**
+/// consistent cut: a single moment `T` must explain all of its per-key
+/// values simultaneously — the torn-state detector for sharded runs.
+///
+/// The per-shard total orders say nothing about cross-shard cuts, so the
+/// checker works from client-observed intervals alone, intersecting the
+/// necessary conditions on `T` for a snapshot issued at `i` and replied
+/// at `r`:
+///
+/// * `T ≥ i` — a write completed before the snapshot began must be
+///   visible (freshness; the driver pins cuts at least a skew-covering
+///   lead past issue, see `rsm-shard`);
+/// * `T ≥ issued(W) − skew` for every observed write `W` — a value
+///   cannot be visible before its write began;
+/// * `T < replied(X) + skew` for every write `X` on an observed key that
+///   real-time-follows the observed write (`issued(X) > replied(W)`),
+///   and for *every* replied write on a key observed **absent** — a
+///   write that committed at or before the cut would have been in it.
+///
+/// `skew_us` is the clock model's maximum offset: commit timestamps live
+/// in the replicas' loosely-synchronized clock domain, so real-time
+/// bounds derived from them are only tight to within one offset. Pass 0
+/// for perfect clocks.
+///
+/// The write matching a key's observed value is found by payload; the
+/// sharded driver writes per-`(client, seq)` unique values, so the match
+/// is unambiguous. A value matching no recorded write is a violation; a
+/// value matching several (duplicate values, e.g. hand-built histories)
+/// drops that key's constraints rather than guessing. Only `Put` writes
+/// participate — the sharded workload issues no `Cas`/`Delete`.
+pub fn check_snapshot_reads(
+    ops: &[OpRecord],
+    snaps: &[SnapshotRecord],
+    skew_us: Micros,
+) -> Result<(), String> {
+    struct PutAt {
+        issued: Micros,
+        replied: Option<Micros>,
+        value: Bytes,
+    }
+    let mut puts: HashMap<Bytes, Vec<PutAt>> = HashMap::new();
+    for op in ops {
+        if op.read_only {
+            continue;
+        }
+        let Ok(KvOp::Put { key, value }) = KvOp::decode(&op.payload) else {
+            continue;
+        };
+        puts.entry(key).or_default().push(PutAt {
+            issued: op.issued,
+            replied: op.replied,
+            value,
+        });
+    }
+
+    for (s, snap) in snaps.iter().enumerate() {
+        // lo is the latest lower bound on T, hi the earliest *strict*
+        // upper bound; the snapshot is explainable iff lo < hi.
+        let mut lo = snap.issued;
+        let mut hi = Micros::MAX;
+        for (key, observed) in snap.keys.iter().zip(&snap.values) {
+            let timeline = puts.get(key).map(Vec::as_slice).unwrap_or(&[]);
+            match observed {
+                Some(v) => {
+                    let mut matches = timeline.iter().filter(|w| w.value == *v);
+                    let Some(w) = matches.next() else {
+                        return Err(format!(
+                            "snapshot violation: read {s} (issued {}, replied {}) \
+                             observed a value on key {key:?} that no recorded \
+                             write produced",
+                            snap.issued, snap.replied
+                        ));
+                    };
+                    if matches.next().is_some() {
+                        continue; // ambiguous value: no constraint
+                    }
+                    lo = lo.max(w.issued.saturating_sub(skew_us));
+                    if let Some(w_replied) = w.replied {
+                        for x in timeline {
+                            if x.issued > w_replied {
+                                if let Some(x_replied) = x.replied {
+                                    hi = hi.min(x_replied.saturating_add(skew_us));
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for x in timeline {
+                        if let Some(x_replied) = x.replied {
+                            hi = hi.min(x_replied.saturating_add(skew_us));
+                        }
+                    }
+                }
+            }
+        }
+        if lo >= hi {
+            return Err(format!(
+                "snapshot violation: read {s} over keys {:?} (issued {}, \
+                 replied {}) admits no single cut: every cut T needs \
+                 T >= {lo} and T < {hi} — the observed values are torn \
+                 or stale",
+                snap.keys, snap.issued, snap.replied
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs every check and summarizes the outcome.
 pub fn check_all(histories: &[Vec<CommitRecord>], ops: &[OpRecord]) -> CheckReport {
     let total = check_total_order(histories);
@@ -612,5 +737,102 @@ mod tests {
             get(2, "k", None, 150, 160),
         ];
         assert!(check_read_values(&order, &ops).is_ok());
+    }
+
+    // ---------------- cross-shard snapshot checker ----------------
+
+    fn snap(issued: Micros, replied: Micros, kv: &[(&str, Option<&str>)]) -> SnapshotRecord {
+        SnapshotRecord {
+            issued,
+            replied,
+            keys: kv
+                .iter()
+                .map(|(k, _)| Bytes::from(k.as_bytes().to_vec()))
+                .collect(),
+            values: kv
+                .iter()
+                .map(|(_, v)| v.map(|v| Bytes::from(v.as_bytes().to_vec())))
+                .collect(),
+        }
+    }
+
+    /// Two keys, each written twice ("transactionally": both old values,
+    /// then both new values, the second round completing before `t`).
+    fn two_key_history() -> Vec<OpRecord> {
+        vec![
+            put(1, "a", "a1", 0, 50),
+            put(2, "b", "b1", 0, 50),
+            put(3, "a", "a2", 60, 100),
+            put(4, "b", "b2", 60, 100),
+        ]
+    }
+
+    #[test]
+    fn torn_snapshot_is_caught() {
+        // New a but old b, issued after both second writes completed:
+        // no single cut explains it (needs T >= 150 and T < 100).
+        let torn = snap(150, 200, &[("a", Some("a2")), ("b", Some("b1"))]);
+        let err = check_snapshot_reads(&two_key_history(), &[torn], 0).unwrap_err();
+        assert!(err.contains("snapshot violation"), "{err}");
+    }
+
+    #[test]
+    fn consistent_cuts_pass() {
+        let fresh = snap(150, 200, &[("a", Some("a2")), ("b", Some("b2"))]);
+        assert!(check_snapshot_reads(&two_key_history(), &[fresh], 0).is_ok());
+        // A snapshot concurrent with the second round may see either
+        // round, as long as it is not torn.
+        let early = snap(55, 70, &[("a", Some("a1")), ("b", Some("b1"))]);
+        assert!(check_snapshot_reads(&two_key_history(), &[early], 0).is_ok());
+    }
+
+    #[test]
+    fn stale_snapshot_is_caught() {
+        // Both writes to "a" completed before the snapshot began, yet it
+        // observed the first: freshness violation (T >= issue vs.
+        // T < replied(a2-writer) = 100).
+        let stale = snap(150, 200, &[("a", Some("a1"))]);
+        let err = check_snapshot_reads(&two_key_history(), &[stale], 0).unwrap_err();
+        assert!(err.contains("snapshot violation"), "{err}");
+    }
+
+    #[test]
+    fn observed_absence_of_a_written_key_is_caught() {
+        let ops = vec![put(1, "a", "a1", 0, 50)];
+        let absent = snap(150, 200, &[("a", None)]);
+        assert!(check_snapshot_reads(&ops, &[absent], 0).is_err());
+        // Absence of a never-written key is fine.
+        let other = snap(150, 200, &[("zzz", None)]);
+        assert!(check_snapshot_reads(&ops, &[other], 0).is_ok());
+    }
+
+    #[test]
+    fn concurrent_write_admits_either_value() {
+        let ops = vec![
+            put(1, "a", "a1", 0, 50),
+            put(2, "a", "a2", 160, 300), // overlaps the snapshot
+        ];
+        let old = snap(150, 200, &[("a", Some("a1"))]);
+        let new = snap(150, 200, &[("a", Some("a2"))]);
+        assert!(check_snapshot_reads(&ops, &[old], 0).is_ok());
+        assert!(check_snapshot_reads(&ops, &[new], 0).is_ok());
+    }
+
+    #[test]
+    fn unknown_value_is_a_violation() {
+        let ops = vec![put(1, "a", "a1", 0, 50)];
+        let bogus = snap(150, 200, &[("a", Some("made-up"))]);
+        let err = check_snapshot_reads(&ops, &[bogus], 0).unwrap_err();
+        assert!(err.contains("no recorded write"), "{err}");
+    }
+
+    #[test]
+    fn skew_slack_relaxes_the_real_time_bounds() {
+        // Torn by 50 µs with perfect clocks; a ±60 µs skew budget makes
+        // the cut admissible (bounds are only skew-tight).
+        let ops = vec![put(1, "a", "a1", 0, 50), put(2, "a", "a2", 60, 100)];
+        let marginal = snap(140, 200, &[("a", Some("a1"))]);
+        assert!(check_snapshot_reads(&ops, std::slice::from_ref(&marginal), 0).is_err());
+        assert!(check_snapshot_reads(&ops, &[marginal], 60).is_ok());
     }
 }

@@ -240,7 +240,17 @@ impl<P> WorkloadApp<P> {
         } else {
             Command::new(cmd_id, payload)
         };
-        api.submit(site, cmd);
+        if is_read {
+            // Client-side read routing: send the read straight to the
+            // site's advertised lease holder (Paxos) instead of paying a
+            // quorum probe from the local follower. Symmetric-read
+            // protocols advertise no hint and the read stays local. A
+            // cross-site submission is charged the one-way WAN hop.
+            let target = api.read_target(site);
+            api.submit_from(site, target, cmd);
+        } else {
+            api.submit(site, cmd);
+        }
         if let Some(timeout) = self.cfg.retry_timeout_us {
             let key = RETRY_KEY_BASE | ((idx as u64) << 24) | (seq & 0xFF_FFFF);
             api.schedule(timeout, key);

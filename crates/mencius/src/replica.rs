@@ -21,6 +21,21 @@ use rsm_core::time::Micros;
 
 use crate::msg::MenciusMsg;
 
+/// Timer token for the queued-probe-read escape flush (the crate uses no
+/// other timers).
+pub(crate) const TOKEN_PROBE_FLUSH: TimerToken = TimerToken(1);
+/// How long queued reads wait behind in-flight probes before getting
+/// their own probe anyway. Probes are fire-once (no retransmit), so
+/// without this bound a probe whose marks were lost would strand every
+/// read queued behind it.
+pub(crate) const PROBE_FLUSH_US: Micros = 5_000;
+/// Reads queue behind in-flight probes only past this concurrency cap.
+/// Below it, each read probes immediately — queuing a lone read behind a
+/// wide-area probe RTT just trades latency for nothing — while a burst
+/// that would otherwise fan out one broadcast per read coalesces onto
+/// the next flush.
+pub(crate) const MAX_INFLIGHT_PROBES: usize = 4;
+
 /// Stable log record of Mencius-bcast.
 #[derive(Debug, Clone)]
 pub enum MenciusLogRec {
@@ -170,6 +185,13 @@ pub struct MenciusBcast {
     read_queue: ReadQueue<u64>,
     /// Quorum-read probes awaiting a majority of marks.
     read_probes: ReadProbes,
+    /// Reads that arrived while a probe was in flight: they ride the
+    /// next probe (launched when the current one completes, or when the
+    /// [`TOKEN_PROBE_FLUSH`] escape timer fires) instead of paying one
+    /// probe broadcast each.
+    queued_probe_reads: Vec<Command>,
+    /// Whether the escape-flush timer is armed.
+    probe_flush_armed: bool,
 }
 
 impl MenciusBcast {
@@ -203,6 +225,8 @@ impl MenciusBcast {
             transfer_target: 0,
             read_queue: ReadQueue::new(),
             read_probes: ReadProbes::new(),
+            queued_probe_reads: Vec::new(),
+            probe_flush_armed: false,
             membership,
         }
     }
@@ -518,6 +542,16 @@ impl MenciusBcast {
             }
         }
         self.release_reads(ctx);
+        self.flush_queued_probe_reads(ctx);
+    }
+
+    /// Launches one probe carrying every read queued behind the probe
+    /// that just completed (or timed out).
+    fn flush_queued_probe_reads(&mut self, ctx: &mut dyn Context<Self>) {
+        if !self.queued_probe_reads.is_empty() {
+            let cmds = std::mem::take(&mut self.queued_probe_reads);
+            self.start_read_probe(cmds, ctx);
+        }
     }
 
     /// Serves every parked read whose mark the resolution cursor has
@@ -538,7 +572,7 @@ impl MenciusBcast {
 
     /// Number of reads parked or riding probes (test observability).
     pub fn pending_reads(&self) -> usize {
-        self.read_queue.len() + self.read_probes.pending()
+        self.read_queue.len() + self.read_probes.pending() + self.queued_probe_reads.len()
     }
 
     /// Writes a checkpoint when one is due and the driver supports
@@ -830,7 +864,18 @@ impl Protocol for MenciusBcast {
     }
 
     fn on_client_read(&mut self, cmd: Command, ctx: &mut dyn Context<Self>) {
-        self.start_read_probe(vec![cmd], ctx);
+        if self.read_probes.in_flight() >= MAX_INFLIGHT_PROBES {
+            // Ride the next probe instead of broadcasting one per read;
+            // the escape timer bounds the wait if the in-flight probes'
+            // marks were lost.
+            self.queued_probe_reads.push(cmd);
+            if !self.probe_flush_armed {
+                self.probe_flush_armed = true;
+                ctx.set_timer(PROBE_FLUSH_US, TOKEN_PROBE_FLUSH);
+            }
+        } else {
+            self.start_read_probe(vec![cmd], ctx);
+        }
     }
 
     fn read_path(&self) -> ReadPath {
@@ -887,7 +932,14 @@ impl Protocol for MenciusBcast {
         }
     }
 
-    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Self>) {}
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self>) {
+        if token == TOKEN_PROBE_FLUSH {
+            self.probe_flush_armed = false;
+            // A probe always begins after its riders arrived, so an
+            // extra overlapping probe is safe — just extra traffic.
+            self.flush_queued_probe_reads(ctx);
+        }
+    }
 
     fn on_recover(&mut self, log: &[MenciusLogRec], ctx: &mut dyn Context<Self>) {
         // Proposals in flight while we were down are gone (no

@@ -66,6 +66,27 @@ const TRANSFER_RETRY_US: Micros = 500_000;
 /// The lease/election timer (heartbeats, suspicion, candidate retries).
 pub(crate) const TOKEN_LEASE: TimerToken = TimerToken(1);
 
+/// The probe-flush escape timer: reads queued behind an in-flight quorum
+/// probe normally ride the next probe the moment the current one
+/// completes, but probes are fire-once (no retransmit) — if the gating
+/// probe never reaches a majority (crashed or partitioned peers), this
+/// timer launches a fresh probe carrying everything queued, so batching
+/// can never turn into a deadlock.
+pub(crate) const TOKEN_PROBE_FLUSH: TimerToken = TimerToken(2);
+
+/// How long queued reads may wait behind an in-flight probe before the
+/// escape timer forces their own probe out. A compromise between probe
+/// traffic (the point of batching) and worst-case read latency when a
+/// probe stalls.
+pub(crate) const PROBE_FLUSH_US: Micros = 5_000;
+
+/// Reads queue behind in-flight probes only past this concurrency cap.
+/// Below it, each read probes immediately — parking a lone read behind a
+/// wide-area probe RTT adds latency without saving a single message —
+/// while a burst that would otherwise broadcast one probe per read
+/// coalesces onto the next flush.
+pub(crate) const MAX_INFLIGHT_PROBES: usize = 4;
+
 /// Which phase-2b dissemination strategy to run (Section IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PaxosVariant {
@@ -224,6 +245,15 @@ pub struct MultiPaxos {
     read_queue: ReadQueue<u64>,
     /// Quorum-read probes awaiting a majority of marks.
     read_probes: ReadProbes,
+    /// Reads that arrived while a probe was in flight: they ride the
+    /// *next* probe together (one `ReadRequest` carries many reads), cut
+    /// loose by the completion of the current probe or by
+    /// [`TOKEN_PROBE_FLUSH`]. A probe must begin after every read it
+    /// carries arrived — attaching to an in-flight probe could park a
+    /// read at a mark predating a write it must observe.
+    queued_probe_reads: Vec<Command>,
+    /// Whether a [`TOKEN_PROBE_FLUSH`] timer is outstanding.
+    probe_flush_armed: bool,
     /// `regime_heard[k]`: local clock when replica `k` last sent
     /// evidence of the **current** regime (an `Accepted` or `ReadMark`
     /// at our ballot). Reset on regime change; feeds the leader's read
@@ -279,6 +309,8 @@ impl MultiPaxos {
             transfer_target: 0,
             read_queue: ReadQueue::new(),
             read_probes: ReadProbes::new(),
+            queued_probe_reads: Vec::new(),
+            probe_flush_armed: false,
             regime_heard: vec![0; n],
             repair_top: 0,
         }
@@ -1241,7 +1273,10 @@ impl MultiPaxos {
     }
 
     /// Moves every probe that reached a majority (self plus responders)
-    /// into the read queue and releases whatever is already executable.
+    /// into the read queue and releases whatever is already executable;
+    /// then launches one fresh probe carrying every read that queued up
+    /// behind the completed one (probe batching: probe traffic scales
+    /// with probe round trips, not with read arrivals).
     fn complete_ready_probes(&mut self, ctx: &mut dyn Context<Self>) {
         let ready = self.read_probes.take_ready(self.majority());
         if ready.is_empty() {
@@ -1253,6 +1288,16 @@ impl MultiPaxos {
             }
         }
         self.release_reads(ctx);
+        self.flush_queued_probe_reads(ctx);
+    }
+
+    /// Launches one probe carrying every read queued behind an in-flight
+    /// probe. No-op when nothing queued.
+    fn flush_queued_probe_reads(&mut self, ctx: &mut dyn Context<Self>) {
+        if !self.queued_probe_reads.is_empty() {
+            let cmds = std::mem::take(&mut self.queued_probe_reads);
+            self.start_read_probe(cmds, ctx);
+        }
     }
 
     /// Serves every parked read whose mark the execution cursor has
@@ -1271,9 +1316,10 @@ impl MultiPaxos {
         }
     }
 
-    /// Number of reads parked or riding probes (test observability).
+    /// Number of reads parked, riding probes, or queued for the next
+    /// probe (test observability).
     pub fn pending_reads(&self) -> usize {
-        self.read_queue.len() + self.read_probes.pending()
+        self.read_queue.len() + self.read_probes.pending() + self.queued_probe_reads.len()
     }
 
     // ------------------------------------------------------------------
@@ -1534,6 +1580,16 @@ impl Protocol for MultiPaxos {
             };
             self.read_queue.park(mark, cmd);
             self.release_reads(ctx);
+        } else if self.read_probes.in_flight() >= MAX_INFLIGHT_PROBES {
+            // Probes are saturated: queue the read to ride the next
+            // one (launched the moment a probe completes — see
+            // `complete_ready_probes`). The escape timer bounds the
+            // wait when no in-flight probe reaches a majority.
+            self.queued_probe_reads.push(cmd);
+            if !self.probe_flush_armed {
+                self.probe_flush_armed = true;
+                ctx.set_timer(PROBE_FLUSH_US, TOKEN_PROBE_FLUSH);
+            }
         } else {
             // Nack the local fast path and forward the read onto the
             // clock-free quorum-mark fallback (followers, candidates,
@@ -1544,6 +1600,15 @@ impl Protocol for MultiPaxos {
 
     fn read_path(&self) -> ReadPath {
         ReadPath::LeaderLease
+    }
+
+    fn lease_holder_hint(&self) -> Option<ReplicaId> {
+        // The believed leader serves reads from its lease without a
+        // quorum probe; clients routing there pay one WAN hop instead of
+        // a probe round trip from their local follower. Mid-fencing the
+        // hint follows the newer promise's candidate, same as write
+        // forwarding (`leader_hint`).
+        Some(self.leader_hint())
     }
 
     fn on_client_batch(&mut self, batch: Batch, ctx: &mut dyn Context<Self>) {
@@ -1627,6 +1692,13 @@ impl Protocol for MultiPaxos {
     fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self>) {
         if token == TOKEN_LEASE {
             self.lease_tick(ctx);
+        } else if token == TOKEN_PROBE_FLUSH {
+            self.probe_flush_armed = false;
+            // Escape hatch: the gating probe has had its window; give
+            // the queued reads their own probe even if it is still in
+            // flight (a probe always begins after its riders arrived, so
+            // overlapping probes are safe — just extra traffic).
+            self.flush_queued_probe_reads(ctx);
         }
     }
 

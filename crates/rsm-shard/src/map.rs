@@ -1,0 +1,150 @@
+//! Key placement: which shard owns a key.
+//!
+//! Hash and range partitioning behind one trait, so routers and drivers
+//! are written once. Placement must be **stable** — both drivers route a
+//! key's every command through `shard_of`, and a map that moved keys
+//! between calls would split one key's history across groups.
+
+use bytes::Bytes;
+
+/// A total, stable assignment of keys to `0..shards()`.
+pub trait ShardMap {
+    /// Number of shards keys are spread over (at least 1).
+    fn shards(&self) -> usize;
+
+    /// The shard owning `key`. Must be deterministic and `< shards()`.
+    fn shard_of(&self, key: &[u8]) -> usize;
+}
+
+/// Hash partitioning: FNV-1a over the key bytes, modulo the shard
+/// count. Spreads any workload evenly; gives up range locality.
+#[derive(Debug, Clone, Copy)]
+pub struct HashShardMap {
+    shards: usize,
+}
+
+impl HashShardMap {
+    /// A hash map over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        HashShardMap { shards }
+    }
+}
+
+impl ShardMap for HashShardMap {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        // FNV-1a, 64-bit: tiny, allocation-free, and plenty uniform for
+        // placement (not a defense against adversarial keys).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards as u64) as usize
+    }
+}
+
+/// Range partitioning: `splits` are the sorted exclusive lower bounds of
+/// shards `1..`; keys below the first split land on shard 0. Keeps
+/// adjacent keys together (scans, prefix locality) at the price of
+/// hot-range imbalance.
+#[derive(Debug, Clone)]
+pub struct RangeShardMap {
+    splits: Vec<Bytes>,
+}
+
+impl RangeShardMap {
+    /// A range map with the given split points (must be strictly
+    /// ascending); `splits.len() + 1` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the splits are not strictly ascending.
+    pub fn new(splits: Vec<Bytes>) -> Self {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "range splits must be strictly ascending"
+        );
+        RangeShardMap { splits }
+    }
+
+    /// Evenly splits a numeric key space of `key_space` big-endian `u64`
+    /// keys over `shards` shards — the shape both drivers' workloads
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or exceeds `key_space`.
+    pub fn uniform_u64(key_space: u64, shards: usize) -> Self {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        assert!(shards as u64 <= key_space, "more shards than keys");
+        let per = key_space / shards as u64;
+        let splits = (1..shards as u64)
+            .map(|i| Bytes::from((i * per).to_be_bytes().to_vec()))
+            .collect();
+        RangeShardMap::new(splits)
+    }
+}
+
+impl ShardMap for RangeShardMap {
+    fn shards(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        self.splits.partition_point(|s| s.as_ref() <= key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_is_stable_and_in_range() {
+        let m = HashShardMap::new(8);
+        for k in 0u64..1_000 {
+            let key = k.to_be_bytes();
+            let s = m.shard_of(&key);
+            assert!(s < 8);
+            assert_eq!(s, m.shard_of(&key), "placement must be stable");
+        }
+    }
+
+    #[test]
+    fn hash_map_spreads_keys_roughly_evenly() {
+        let m = HashShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for k in 0u64..4_000 {
+            counts[m.shard_of(&k.to_be_bytes())] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((700..=1_300).contains(&c), "shard {s} got {c} of 4000 keys");
+        }
+    }
+
+    #[test]
+    fn range_map_respects_split_points() {
+        let m = RangeShardMap::uniform_u64(100, 4);
+        assert_eq!(m.shards(), 4);
+        assert_eq!(m.shard_of(&0u64.to_be_bytes()), 0);
+        assert_eq!(m.shard_of(&24u64.to_be_bytes()), 0);
+        assert_eq!(m.shard_of(&25u64.to_be_bytes()), 1);
+        assert_eq!(m.shard_of(&50u64.to_be_bytes()), 2);
+        assert_eq!(m.shard_of(&99u64.to_be_bytes()), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_splits_are_rejected() {
+        RangeShardMap::new(vec![Bytes::from_static(b"b"), Bytes::from_static(b"a")]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-shard and aggregate load accounting.
+//!
+//! Both drivers route commands shard-by-shard; these counters make the
+//! split observable — a sharded run reports how work spread over the
+//! groups next to the aggregate, so imbalance (hot ranges under a
+//! [`RangeShardMap`](crate::RangeShardMap)) is visible instead of
+//! averaged away.
+
+/// Operation tallies for one shard (or the aggregate over all shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Replicated write commands routed to the shard.
+    pub writes: u64,
+    /// Single-key linearizable reads routed to the shard.
+    pub reads: u64,
+    /// Snapshot-read parts (pinned single-key `Get`s) the shard served.
+    pub snapshot_parts: u64,
+}
+
+/// Counters for a fixed set of shards plus snapshot-read totals.
+#[derive(Debug, Clone)]
+pub struct ShardAccounting {
+    per_shard: Vec<ShardCounters>,
+    /// Multi-key snapshot reads completed (not parts).
+    pub snapshot_reads: u64,
+    /// Whole-snapshot retries after a lost part.
+    pub snapshot_retries: u64,
+}
+
+impl ShardAccounting {
+    /// Accounting over `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        ShardAccounting {
+            per_shard: vec![ShardCounters::default(); shards],
+            snapshot_reads: 0,
+            snapshot_retries: 0,
+        }
+    }
+
+    /// Records a write routed to `shard`.
+    pub fn record_write(&mut self, shard: usize) {
+        self.per_shard[shard].writes += 1;
+    }
+
+    /// Records a single-key read routed to `shard`.
+    pub fn record_read(&mut self, shard: usize) {
+        self.per_shard[shard].reads += 1;
+    }
+
+    /// Records the parts of one snapshot read, one count per touched
+    /// shard occurrence.
+    pub fn record_snapshot(&mut self, shards: &[usize]) {
+        self.snapshot_reads += 1;
+        for &s in shards {
+            self.per_shard[s].snapshot_parts += 1;
+        }
+    }
+
+    /// Records one whole-snapshot retry.
+    pub fn record_snapshot_retry(&mut self) {
+        self.snapshot_retries += 1;
+    }
+
+    /// The per-shard tallies.
+    pub fn per_shard(&self) -> &[ShardCounters] {
+        &self.per_shard
+    }
+
+    /// Sums over every shard.
+    pub fn aggregate(&self) -> ShardCounters {
+        let mut agg = ShardCounters::default();
+        for c in &self.per_shard {
+            agg.writes += c.writes;
+            agg.reads += c.reads;
+            agg.snapshot_parts += c.snapshot_parts;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_split_and_aggregate() {
+        let mut a = ShardAccounting::new(3);
+        a.record_write(0);
+        a.record_write(0);
+        a.record_read(1);
+        a.record_snapshot(&[0, 2]);
+        a.record_snapshot_retry();
+        assert_eq!(a.per_shard()[0].writes, 2);
+        assert_eq!(a.per_shard()[1].reads, 1);
+        assert_eq!(a.per_shard()[0].snapshot_parts, 1);
+        assert_eq!(a.per_shard()[2].snapshot_parts, 1);
+        assert_eq!(a.snapshot_reads, 1);
+        assert_eq!(a.snapshot_retries, 1);
+        let agg = a.aggregate();
+        assert_eq!(agg.writes, 2);
+        assert_eq!(agg.reads, 1);
+        assert_eq!(agg.snapshot_parts, 2);
+    }
+}

@@ -27,6 +27,7 @@ pub struct ClusterConfig {
     scale: f64,
     clock_offsets_us: Vec<i64>,
     batch: BatchPolicy,
+    epoch: Option<Instant>,
 }
 
 impl ClusterConfig {
@@ -39,7 +40,19 @@ impl ClusterConfig {
             scale: 1.0,
             clock_offsets_us: vec![0; n],
             batch: BatchPolicy::DISABLED,
+            epoch: None,
         }
+    }
+
+    /// Shares a clock epoch with other clusters: replica clocks read
+    /// microseconds since `epoch` (plus their configured offset), so
+    /// several clusters spawned with the same epoch form **one**
+    /// loosely-synchronized clock domain — the prerequisite for
+    /// timestamp-consistent cross-shard reads (`rsm-shard`). Defaults to
+    /// the spawn instant.
+    pub fn epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = Some(epoch);
+        self
     }
 
     /// Sets the request-coalescing policy: a node thread hands the
@@ -100,7 +113,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         sm_factory: impl Fn() -> Box<dyn StateMachine>,
     ) -> Self {
         let n = cfg.len();
-        let epoch = Instant::now();
+        let epoch = cfg.epoch.unwrap_or_else(Instant::now);
         let (net_tx, net_rx) = unbounded();
         // Nodes ship reply *batches*: one channel send per drained
         // protocol callback, however many co-located clients it answered.
@@ -209,7 +222,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         payload: Bytes,
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
-        self.roundtrip(site, payload, timeout, false)
+        self.roundtrip(site, payload, timeout, false, None)
     }
 
     /// Submits a **read-only** operation to `site` and blocks until its
@@ -230,25 +243,50 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         payload: Bytes,
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
-        self.roundtrip(site, payload, timeout, true)
+        self.roundtrip(site, payload, timeout, true, None)
     }
 
-    fn roundtrip(
+    /// Submits a read-only operation **pinned** to the cut timestamp
+    /// `at` (microseconds in the cluster's clock domain — see
+    /// [`ClusterConfig::epoch`]): under Clock-RSM the reply reflects
+    /// exactly the writes with commit timestamp `≤ at`, the building
+    /// block of cross-shard snapshot reads. Protocols without a shared
+    /// timestamp domain ignore the pin and serve a plain linearizable
+    /// read.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives in
+    /// time — including when the replica's applied state had already
+    /// passed `at` (an exact answer is no longer possible; retry with a
+    /// fresh cut).
+    pub fn read_at(
         &self,
         site: ReplicaId,
         payload: Bytes,
+        at: u64,
         timeout: Duration,
-        read_only: bool,
     ) -> Result<Reply, ExecuteError> {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let id = CommandId::new(ClientId::new(site, 0), seq);
+        self.roundtrip(site, payload, timeout, true, Some(at))
+    }
+
+    /// Submits a pre-built command (caller-minted id) to `site` and
+    /// blocks until its reply arrives or `timeout` elapses. The id must
+    /// not collide with the cluster's own ids (client number 0 at each
+    /// site); external coordinators use another client number.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives in time.
+    pub fn execute_command(
+        &self,
+        site: ReplicaId,
+        cmd: Command,
+        timeout: Duration,
+    ) -> Result<Reply, ExecuteError> {
+        let id = cmd.id;
         let (tx, rx) = bounded(1);
         self.pending.lock().insert(id, tx);
-        let cmd = if read_only {
-            Command::read(id, payload)
-        } else {
-            Command::new(id, payload)
-        };
         self.submit(site, cmd);
         match rx.recv_timeout(timeout) {
             Ok(reply) => Ok(reply),
@@ -257,6 +295,24 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 Err(ExecuteError::Timeout)
             }
         }
+    }
+
+    fn roundtrip(
+        &self,
+        site: ReplicaId,
+        payload: Bytes,
+        timeout: Duration,
+        read_only: bool,
+        read_at: Option<u64>,
+    ) -> Result<Reply, ExecuteError> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = CommandId::new(ClientId::new(site, 0), seq);
+        let cmd = match (read_only, read_at) {
+            (true, Some(at)) => Command::read_at(id, payload, at),
+            (true, None) => Command::read(id, payload),
+            (false, _) => Command::new(id, payload),
+        };
+        self.execute_command(site, cmd, timeout)
     }
 
     /// Stops every thread and returns the per-node final reports.

@@ -178,6 +178,9 @@ impl<P: Protocol> Application<P> for NullApplication {
 pub struct SimApi<'a, P: Protocol> {
     now: Micros,
     local_delivery_us: Micros,
+    latency: &'a LatencyMatrix,
+    /// Per-site read-routing hints (see [`SimApi::read_target`]).
+    read_hints: &'a [ReplicaId],
     queue: &'a mut EventQueue<Event<P>>,
     rng: &'a mut StdRng,
     stop: &'a mut bool,
@@ -196,6 +199,33 @@ impl<'a, P: Protocol> SimApi<'a, P> {
             self.now + self.local_delivery_us,
             Event::Request { to, cmd },
         );
+    }
+
+    /// Submits a client command from a client at site `from` to replica
+    /// `to`. Same-site submission costs the local delivery hop; a
+    /// cross-site submission pays the configured one-way WAN latency —
+    /// client-side routing to a remote lease holder is not free, and an
+    /// honest model must charge it.
+    pub fn submit_from(&mut self, from: ReplicaId, to: ReplicaId, cmd: Command) {
+        let delay = if from == to {
+            self.local_delivery_us
+        } else {
+            self.latency.one_way(from, to)
+        };
+        self.queue
+            .push(self.now + delay, Event::Request { to, cmd });
+    }
+
+    /// Where a client at `site` should send a **read-only** command:
+    /// the site replica's [`lease_holder_hint`], or the site itself when
+    /// the protocol's reads are local/symmetric. This models a client
+    /// caching the leader hint its local replica advertises — the hint
+    /// may be stale across a fail-over, in which case the read is lost
+    /// at the dead leader and retried like any lost command.
+    ///
+    /// [`lease_holder_hint`]: rsm_core::protocol::Protocol::lease_holder_hint
+    pub fn read_target(&self, site: ReplicaId) -> ReplicaId {
+        self.read_hints.get(site.index()).copied().unwrap_or(site)
     }
 
     /// Schedules an application event `after` microseconds from now.
@@ -474,6 +504,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         for i in 0..n {
             sim.invoke(i, false, |p, ctx| p.on_start(ctx));
         }
+        let hints = sim.read_hints();
         let Simulation {
             queue,
             rng,
@@ -486,12 +517,31 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         let mut api = SimApi {
             now: *now,
             local_delivery_us: cfg.local_delivery_us,
+            latency: &cfg.latency,
+            read_hints: &hints,
             queue,
             rng,
             stop,
         };
         app.on_init(&mut api);
         sim
+    }
+
+    /// Per-site read-routing hints: each site's current
+    /// [`lease_holder_hint`], defaulting to the site itself (see
+    /// [`SimApi::read_target`]).
+    ///
+    /// [`lease_holder_hint`]: rsm_core::protocol::Protocol::lease_holder_hint
+    fn read_hints(&self) -> Vec<ReplicaId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                n.proto
+                    .lease_holder_hint()
+                    .unwrap_or(ReplicaId::new(i as u16))
+            })
+            .collect()
     }
 
     /// Current virtual time.
@@ -507,6 +557,53 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
     /// Mutable access to the driving application.
     pub fn app_mut(&mut self) -> &mut A {
         &mut self.app
+    }
+
+    /// Injects a client command from **outside** the application — an
+    /// external router (e.g. a sharded driver coordinating several
+    /// simulations) submitting into this group. Arrives at `to` after
+    /// the client-local delivery hop, exactly like
+    /// [`SimApi::submit`].
+    pub fn submit(&mut self, to: ReplicaId, cmd: Command) {
+        self.queue.push(
+            self.now + self.cfg.local_delivery_us,
+            Event::Request { to, cmd },
+        );
+    }
+
+    /// Injects a client command from an external router on behalf of a
+    /// client at site `from`, aimed at replica `to`. Same-site costs the
+    /// local delivery hop; cross-site pays the configured one-way WAN
+    /// latency, exactly like [`SimApi::submit_from`].
+    pub fn submit_from(&mut self, from: ReplicaId, to: ReplicaId, cmd: Command) {
+        let delay = if from == to {
+            self.cfg.local_delivery_us
+        } else {
+            self.cfg.latency.one_way(from, to)
+        };
+        self.queue
+            .push(self.now + delay, Event::Request { to, cmd });
+    }
+
+    /// The read-routing target for a client at `site` (external-router
+    /// counterpart of [`SimApi::read_target`]).
+    pub fn read_target(&self, site: ReplicaId) -> ReplicaId {
+        self.nodes[site.index()]
+            .proto
+            .lease_holder_hint()
+            .unwrap_or(site)
+    }
+
+    /// Crashes a replica `after` microseconds from now (external-router
+    /// counterpart of [`SimApi::crash`]).
+    pub fn crash(&mut self, node: ReplicaId, after: Micros) {
+        self.queue.push(self.now + after, Event::Crash { node });
+    }
+
+    /// Restarts a crashed replica `after` microseconds from now
+    /// (external-router counterpart of [`SimApi::recover`]).
+    pub fn recover(&mut self, node: ReplicaId, after: Micros) {
+        self.queue.push(self.now + after, Event::Recover { node });
     }
 
     /// The simulation configuration.
@@ -635,6 +732,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 }
             }
             Event::ReplyArrive { client, reply } => {
+                let hints = self.read_hints();
                 let Simulation {
                     queue,
                     rng,
@@ -647,6 +745,8 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 let mut api = SimApi {
                     now: *now,
                     local_delivery_us: cfg.local_delivery_us,
+                    latency: &cfg.latency,
+                    read_hints: &hints,
                     queue,
                     rng,
                     stop,
@@ -654,6 +754,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 app.on_reply(client, reply, &mut api);
             }
             Event::App { key } => {
+                let hints = self.read_hints();
                 let Simulation {
                     queue,
                     rng,
@@ -666,6 +767,8 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 let mut api = SimApi {
                     now: *now,
                     local_delivery_us: cfg.local_delivery_us,
+                    latency: &cfg.latency,
+                    read_hints: &hints,
                     queue,
                     rng,
                     stop,
@@ -1012,12 +1115,14 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             self.nodes[idx].commits.clear();
         }
         // Locally served reads: route straight back to the issuing
-        // client — no commit, no history record, one local delivery.
+        // client — no commit, no history record, one delivery hop
+        // (local, or the WAN hop home when the client routed the read
+        // to a remote replica).
         if !suppress_replies {
             for reply in eff.read_replies {
                 let client = reply.id.client;
                 self.queue.push(
-                    at + self.cfg.local_delivery_us,
+                    at + self.reply_delay(from, client),
                     Event::ReplyArrive { client, reply },
                 );
             }
@@ -1043,10 +1148,22 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 let client = committed.cmd.id.client;
                 let reply = Reply::new(committed.cmd.id, result);
                 self.queue.push(
-                    at + self.cfg.local_delivery_us,
+                    at + self.reply_delay(from, client),
                     Event::ReplyArrive { client, reply },
                 );
             }
+        }
+    }
+
+    /// Delay for a reply travelling from the replica that produced it
+    /// back to the issuing client: the local hop when the client is
+    /// co-located, the one-way WAN latency otherwise (a client that
+    /// routed its request to a remote replica pays the trip home too).
+    fn reply_delay(&self, from: ReplicaId, client: ClientId) -> Micros {
+        if client.site() == from {
+            self.cfg.local_delivery_us
+        } else {
+            self.cfg.latency.one_way(from, client.site())
         }
     }
 }
