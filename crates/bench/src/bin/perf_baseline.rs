@@ -26,22 +26,43 @@
 //! the same saturating per-group load (weak scaling), reporting the
 //! aggregate committed throughput per shard count.
 //!
+//! The **loopback** section is the wire-codec/transport acceptance
+//! experiment (`rsm_core::wire` + `rsm-transport`): each protocol runs
+//! in the threaded runtime twice — in-process channels vs real loopback
+//! TCP sockets with the binary wire format — under the same saturating
+//! closed-loop load. Real encode/decode, framing, and kernel round
+//! trips replace channel sends; the gate requires the TCP row to hold
+//! at least half the in-process throughput (a codec or framing
+//! regression shows up as a collapse here long before it matters on a
+//! real network).
+//!
 //! Run with `cargo run -p bench --release --bin perf_baseline`.
 //! `BENCH_QUICK=1` shrinks the windows for smoke runs; `--check` exits
 //! non-zero if the adaptive policy's heavy-load throughput regresses
 //! more than 20 % below static-64 for any protocol, the read-mix gate
-//! fails, or the 8-shard aggregate lands below 4x the single-shard row
-//! (the CI gates); `BENCH_PERF_OUT` overrides the output path.
+//! fails, the 8-shard aggregate lands below 4x the single-shard row,
+//! or a loopback-TCP row falls below half its in-process twin (the CI
+//! gates); `BENCH_PERF_OUT` overrides the output path.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bench::quick;
+use clock_rsm::{ClockRsm, ClockRsmConfig};
 use harness::{
     run_latency, run_sharded, ExperimentConfig, ExperimentResult, ProtocolChoice, ShardedConfig,
     ShardedResult,
 };
+use kvstore::{KvOp, KvStore};
+use mencius::MenciusBcast;
+use paxos::{MultiPaxos, PaxosVariant};
+use rsm_core::protocol::Protocol;
 use rsm_core::time::MILLIS;
-use rsm_core::{BatchPolicy, LatencyMatrix};
+use rsm_core::wire::WireMsg;
+use rsm_core::{BatchPolicy, LatencyMatrix, Membership, ReplicaId};
+use rsm_runtime::{Cluster, ClusterConfig, ClusterTransport};
 use simnet::{ClockModel, CpuModel};
 
 /// The CI regression gate: adaptive heavy-load throughput must stay
@@ -52,6 +73,13 @@ const CHECK_FLOOR: f64 = 0.80;
 /// deliver at least this multiple of the single-shard row (sub-linear
 /// scaling collapse fails `--check`).
 const SHARD_SCALE_FLOOR: f64 = 4.0;
+
+/// The transport regression gate: each protocol's loopback-TCP row must
+/// hold at least this fraction of its in-process twin's throughput.
+/// Sockets pay real encode/decode, framing, and kernel round trips, so
+/// parity is not expected — but a codec or transport regression that
+/// halves throughput over loopback fails `--check`.
+const LOOPBACK_FLOOR: f64 = 0.5;
 
 /// The acceptance targets the JSON records (informational in `--check`
 /// smoke runs, the real bar for full runs).
@@ -167,6 +195,140 @@ fn shard_cell(shards: usize) -> ShardedResult {
         ProtocolChoice::clock_rsm(),
         &ShardedConfig::new(base, shards),
     )
+}
+
+/// One loopback-transport row: a protocol in the threaded runtime over
+/// one message plane.
+struct LoopRow {
+    protocol: &'static str,
+    transport: &'static str,
+    throughput_kops: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Runs one protocol in the **threaded runtime** (real OS threads, real
+/// wall-clock time) over the chosen message plane, under a saturating
+/// closed-loop load, and measures per-command wall-clock latency.
+///
+/// Unlike the simulator rows this measures the actual codec and
+/// transport code: in socket modes every protocol message is encoded
+/// with the binary wire format, framed, and round-trips through the
+/// kernel's loopback stack.
+fn run_loopback<P>(
+    protocol: &'static str,
+    transport_name: &'static str,
+    transport: ClusterTransport,
+    factory: impl FnMut(ReplicaId) -> P,
+) -> LoopRow
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireMsg,
+{
+    let (warmup_us, duration_us) = windows();
+    let sites: u16 = 3;
+    let per_site = if quick() { 4 } else { 8 };
+    // A local cluster (0.25 ms one-way, like the heavy scenario) so the
+    // transport — not the emulated WAN — dominates the measurement.
+    let cfg = ClusterConfig::new(LatencyMatrix::uniform(sites as usize, 250))
+        .batch_policy(BatchPolicy::max(64))
+        .transport(transport);
+    let cluster = Arc::new(Cluster::spawn(cfg, factory, || Box::new(KvStore::new())));
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+
+    let mut clients = Vec::new();
+    for site in 0..sites {
+        for c in 0..per_site {
+            let cluster = Arc::clone(&cluster);
+            let stop = Arc::clone(&stop);
+            let measuring = Arc::clone(&measuring);
+            clients.push(std::thread::spawn(move || {
+                let site = ReplicaId::new(site);
+                let key = format!("k{}-{c}", site.index());
+                let mut lat_us: Vec<u64> = Vec::new();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let t0 = Instant::now();
+                    let ok = cluster
+                        .execute(
+                            site,
+                            KvOp::put(key.clone(), format!("v{i}")).encode(),
+                            Duration::from_secs(5),
+                        )
+                        .is_ok();
+                    if ok && measuring.load(Ordering::Relaxed) {
+                        lat_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                }
+                lat_us
+            }));
+        }
+    }
+
+    std::thread::sleep(Duration::from_micros(warmup_us));
+    measuring.store(true, Ordering::Relaxed);
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_micros(duration_us));
+    measuring.store(false, Ordering::Relaxed);
+    let measured = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut lat_us: Vec<u64> = Vec::new();
+    for h in clients {
+        lat_us.extend(h.join().expect("client thread panicked"));
+    }
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+
+    lat_us.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat_us.len() as f64 * p) as usize).min(lat_us.len() - 1);
+        lat_us[idx] as f64 / 1_000.0
+    };
+    LoopRow {
+        protocol,
+        transport: transport_name,
+        throughput_kops: lat_us.len() as f64 / measured / 1_000.0,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// The loopback matrix: each protocol over in-process channels and over
+/// loopback TCP (the `--check` gate compares the pair).
+fn loopback_rows() -> Vec<LoopRow> {
+    let planes = [
+        ("thread-inproc", ClusterTransport::InProcess),
+        ("thread-tcp", ClusterTransport::Tcp),
+    ];
+    let mut rows = Vec::new();
+    for (tname, transport) in planes {
+        rows.push(run_loopback("Clock-RSM", tname, transport, |id| {
+            ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default())
+        }));
+    }
+    for (tname, transport) in planes {
+        rows.push(run_loopback("Paxos", tname, transport, |id| {
+            MultiPaxos::new(
+                id,
+                Membership::uniform(3),
+                ReplicaId::new(0),
+                PaxosVariant::Bcast,
+            )
+        }));
+    }
+    for (tname, transport) in planes {
+        rows.push(run_loopback("Mencius-bcast", tname, transport, |id| {
+            MenciusBcast::new(id, Membership::uniform(3))
+        }));
+    }
+    rows
 }
 
 fn main() {
@@ -343,18 +505,54 @@ fn main() {
         ));
     }
 
+    // The loopback transport matrix: the threaded runtime over channels
+    // vs real TCP sockets with the binary wire codec.
+    println!("\n=== Threaded runtime: in-process vs loopback TCP ===");
+    println!(
+        "{:<14}{:<15}{:>12}{:>10}{:>10}",
+        "protocol", "transport", "kops/s", "p50 ms", "p99 ms"
+    );
+    let loopback = loopback_rows();
+    for r in &loopback {
+        println!(
+            "{:<14}{:<15}{:>12.1}{:>10.2}{:>10.2}",
+            r.protocol, r.transport, r.throughput_kops, r.p50_ms, r.p99_ms
+        );
+    }
+    for pair in loopback.chunks(2) {
+        let (inproc, tcp) = (&pair[0], &pair[1]);
+        let frac = tcp.throughput_kops / inproc.throughput_kops.max(1e-9);
+        println!(
+            "{}: tcp holds {:.1}% of in-process throughput",
+            tcp.protocol,
+            frac * 100.0
+        );
+        if check && frac < LOOPBACK_FLOOR {
+            failures.push(format!(
+                "{}: loopback-TCP throughput {:.1}k is {:.1}% of in-process \
+                 {:.1}k (floor {:.0}%)",
+                tcp.protocol,
+                tcp.throughput_kops,
+                frac * 100.0,
+                inproc.throughput_kops,
+                LOOPBACK_FLOOR * 100.0
+            ));
+        }
+    }
+
     // Machine-readable trajectory record (no serde in this workspace:
     // the JSON is assembled by hand).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v4\",");
     let _ = writeln!(json, "  \"quick\": {},", quick());
     let _ = writeln!(
         json,
         "  \"targets\": {{ \"heavy_throughput_vs_best_static_min\": {TARGET_THROUGHPUT_FRAC}, \
          \"light_p50_vs_static1_max\": {TARGET_P50_FRAC}, \
          \"readmix_clock_rsm_read_p50_below_write_p50\": true, \
-         \"shard8_aggregate_vs_shard1_min\": {SHARD_SCALE_FLOOR} }},"
+         \"shard8_aggregate_vs_shard1_min\": {SHARD_SCALE_FLOOR}, \
+         \"loopback_tcp_vs_inproc_min\": {LOOPBACK_FLOOR} }},"
     );
     json.push_str("  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -410,6 +608,17 @@ fn main() {
             per_shard.join(", ")
         );
         json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"loopback\": [\n");
+    for (i, r) in loopback.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"protocol\": \"{}\", \"transport\": \"{}\", \
+             \"throughput_kops\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+            r.protocol, r.transport, r.throughput_kops, r.p50_ms, r.p99_ms
+        );
+        json.push_str(if i + 1 < loopback.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");

@@ -1,17 +1,19 @@
 //! Clock-RSM wire messages.
 
+use bytes::BytesMut;
 use paxos::synod::SynodMsg;
 use rsm_core::batch::Batch;
 use rsm_core::command::Command;
 use rsm_core::config::Epoch;
 use rsm_core::id::ReplicaId;
 use rsm_core::time::Timestamp;
-use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+use rsm_core::wire::MSG_HEADER_BYTES;
+use rsm_core::wire::{WireDecode, WireEncode, WireError, WireMsg, WireReader, WireSize};
 
 /// A logged command as exchanged during reconfiguration and state
 /// transfer: the `⟨cmd, ts⟩` pairs of Algorithm 3 plus the originating
 /// replica (needed to route the reply and break timestamp ties).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoggedCmd {
     /// The command's unique timestamp.
     pub ts: Timestamp,
@@ -27,10 +29,28 @@ impl WireSize for LoggedCmd {
     }
 }
 
+impl WireEncode for LoggedCmd {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ts.encode(buf);
+        self.origin.encode(buf);
+        self.cmd.encode(buf);
+    }
+}
+
+impl WireDecode for LoggedCmd {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(LoggedCmd {
+            ts: Timestamp::decode(r)?,
+            origin: ReplicaId::decode(r)?,
+            cmd: Command::decode(r)?,
+        })
+    }
+}
+
 /// The value decided by the reconfiguration consensus for one epoch
 /// (Algorithm 3, line 6): the next configuration, the reconfigurer's last
 /// commit timestamp, and every command logged past it by a majority.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decision {
     /// The configuration to install.
     pub config: Vec<ReplicaId>,
@@ -48,13 +68,31 @@ impl WireSize for Decision {
     }
 }
 
+impl WireEncode for Decision {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.config.encode(buf);
+        self.cts.encode(buf);
+        self.cmds.encode(buf);
+    }
+}
+
+impl WireDecode for Decision {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(Decision {
+            config: Vec::<ReplicaId>::decode(r)?,
+            cts: Timestamp::decode(r)?,
+            cmds: Vec::<LoggedCmd>::decode(r)?,
+        })
+    }
+}
+
 /// Messages exchanged by Clock-RSM replicas.
 ///
 /// `PrepareBatch`, `PrepareOk`, and `ClockTime` are the data plane
 /// (Algorithms 1 and 2, generalized to whole-batch replication); the rest
 /// implement reconfiguration, state transfer, and epoch catch-up
 /// (Algorithm 3 and Section V-B).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RsmMsg {
     /// Replication request for an ordered batch of client commands
     /// (Algorithm 1, line 3, generalized). The batch carries **one** head
@@ -177,6 +215,153 @@ impl WireSize for RsmMsg {
                         .map(|(_, d)| 8 + d.wire_size())
                         .sum::<usize>()
             }
+        }
+    }
+}
+
+impl WireEncode for RsmMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            RsmMsg::PrepareBatch {
+                epoch,
+                ts,
+                origin,
+                cmds,
+            } => {
+                0u8.encode(buf);
+                epoch.encode(buf);
+                ts.encode(buf);
+                origin.encode(buf);
+                cmds.encode(buf);
+            }
+            RsmMsg::PrepareOk {
+                epoch,
+                up_to,
+                clock_ts,
+            } => {
+                1u8.encode(buf);
+                epoch.encode(buf);
+                up_to.encode(buf);
+                clock_ts.encode(buf);
+            }
+            RsmMsg::ClockTime { epoch, ts } => {
+                2u8.encode(buf);
+                epoch.encode(buf);
+                ts.encode(buf);
+            }
+            RsmMsg::Suspend { epoch, cts } => {
+                3u8.encode(buf);
+                epoch.encode(buf);
+                cts.encode(buf);
+            }
+            RsmMsg::SuspendOk { epoch, cmds } => {
+                4u8.encode(buf);
+                epoch.encode(buf);
+                cmds.encode(buf);
+            }
+            RsmMsg::Synod { epoch, msg } => {
+                5u8.encode(buf);
+                epoch.encode(buf);
+                msg.encode(buf);
+            }
+            RsmMsg::RetrieveCmds { from_ts, to_ts } => {
+                6u8.encode(buf);
+                from_ts.encode(buf);
+                to_ts.encode(buf);
+            }
+            RsmMsg::RetrieveReply {
+                from_ts,
+                to_ts,
+                cmds,
+            } => {
+                7u8.encode(buf);
+                from_ts.encode(buf);
+                to_ts.encode(buf);
+                cmds.encode(buf);
+            }
+            RsmMsg::DecisionRequest { have_epoch } => {
+                8u8.encode(buf);
+                have_epoch.encode(buf);
+            }
+            RsmMsg::DecisionCatchup { decisions } => {
+                9u8.encode(buf);
+                decisions.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for RsmMsg {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => RsmMsg::PrepareBatch {
+                epoch: Epoch::decode(r)?,
+                ts: Timestamp::decode(r)?,
+                origin: ReplicaId::decode(r)?,
+                cmds: Batch::decode(r)?,
+            },
+            1 => RsmMsg::PrepareOk {
+                epoch: Epoch::decode(r)?,
+                up_to: Timestamp::decode(r)?,
+                clock_ts: Timestamp::decode(r)?,
+            },
+            2 => RsmMsg::ClockTime {
+                epoch: Epoch::decode(r)?,
+                ts: Timestamp::decode(r)?,
+            },
+            3 => RsmMsg::Suspend {
+                epoch: Epoch::decode(r)?,
+                cts: Timestamp::decode(r)?,
+            },
+            4 => RsmMsg::SuspendOk {
+                epoch: Epoch::decode(r)?,
+                cmds: Vec::<LoggedCmd>::decode(r)?,
+            },
+            5 => RsmMsg::Synod {
+                epoch: Epoch::decode(r)?,
+                msg: SynodMsg::<Decision>::decode(r)?,
+            },
+            6 => RsmMsg::RetrieveCmds {
+                from_ts: Timestamp::decode(r)?,
+                to_ts: Timestamp::decode(r)?,
+            },
+            7 => RsmMsg::RetrieveReply {
+                from_ts: Timestamp::decode(r)?,
+                to_ts: Timestamp::decode(r)?,
+                cmds: Vec::<LoggedCmd>::decode(r)?,
+            },
+            8 => RsmMsg::DecisionRequest {
+                have_epoch: Epoch::decode(r)?,
+            },
+            9 => RsmMsg::DecisionCatchup {
+                decisions: Vec::<(Epoch, Decision)>::decode(r)?,
+            },
+            tag => return Err(WireError::BadTag { ty: "RsmMsg", tag }),
+        })
+    }
+}
+
+impl WireMsg for RsmMsg {
+    /// A [`PrepareBatch`](RsmMsg::PrepareBatch) broadcast clones one
+    /// `Arc`'d [`Batch`] per peer; batch identity plus the scalar head
+    /// fields decides byte-identity without touching command payloads.
+    fn shares_encoding(&self, prev: &Self) -> bool {
+        match (self, prev) {
+            (
+                RsmMsg::PrepareBatch {
+                    epoch: e1,
+                    ts: t1,
+                    origin: o1,
+                    cmds: c1,
+                },
+                RsmMsg::PrepareBatch {
+                    epoch: e2,
+                    ts: t2,
+                    origin: o2,
+                    cmds: c2,
+                },
+            ) => e1 == e2 && t1 == t2 && o1 == o2 && c1.ptr_eq(c2),
+            _ => false,
         }
     }
 }

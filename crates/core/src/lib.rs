@@ -119,4 +119,7 @@ pub use protocol::{Context, Protocol, TimerToken};
 pub use read::{ReadPath, ReadProbes, ReadQueue, ReadReply, ReadRequest};
 pub use sm::StateMachine;
 pub use time::{Micros, Timestamp};
-pub use wire::WireSize;
+pub use wire::{
+    decode_payload, encode_payload, FrameHeader, WireDecode, WireEncode, WireError, WireMsg,
+    WireReader, WireSize, MSG_HEADER_BYTES,
+};

@@ -328,14 +328,17 @@ impl ReadProbes {
     }
 
     /// Removes and returns every probe that reached `majority` counting
-    /// the requester itself, as `(mark, reads)` pairs ready to park. A
-    /// single-replica configuration is its own majority, so a probe can
-    /// complete the moment it is begun.
-    pub fn take_ready(&mut self, majority: usize) -> Vec<(u64, Vec<Command>)> {
+    /// the requester itself, as `(seq, mark, reads)` triples ready to
+    /// park. The probe sequence number lets protocols that keep richer
+    /// per-probe state on the side (e.g. Mencius per-owner marks) join
+    /// it back up; callers that park on the folded scalar mark alone
+    /// simply ignore it. A single-replica configuration is its own
+    /// majority, so a probe can complete the moment it is begun.
+    pub fn take_ready(&mut self, majority: usize) -> Vec<(u64, u64, Vec<Command>)> {
         let mut ready = Vec::new();
         self.probes.retain_mut(|p| {
             if 1 + p.responders.len() >= majority {
-                ready.push((p.max_mark, std::mem::take(&mut p.cmds)));
+                ready.push((p.seq, p.max_mark, std::mem::take(&mut p.cmds)));
                 false
             } else {
                 true
@@ -428,8 +431,9 @@ mod tests {
         assert!(ready.is_empty(), "1 peer + self is not 3");
         let ready = probes.take_ready(2);
         assert_eq!(ready.len(), 1);
-        assert_eq!(ready[0].0, 9, "max of local seed (5) and peer mark (9)");
-        assert_eq!(ready[0].1.len(), 2);
+        assert_eq!(ready[0].0, 1, "probe seq is echoed back");
+        assert_eq!(ready[0].1, 9, "max of local seed (5) and peer mark (9)");
+        assert_eq!(ready[0].2.len(), 2);
         assert_eq!(probes.pending(), 0);
     }
 
@@ -438,7 +442,7 @@ mod tests {
         let mut probes = ReadProbes::new();
         probes.begin(3, vec![cmd(1)]);
         let ready = probes.take_ready(1);
-        assert_eq!(ready, vec![(3, vec![cmd(1)])]);
+        assert_eq!(ready, vec![(1, 3, vec![cmd(1)])]);
     }
 
     #[test]

@@ -5,15 +5,17 @@
 //! own slots with one message, and acknowledgements are cumulative
 //! per-owner slot watermarks, so one ack covers the batch.
 
+use bytes::BytesMut;
 use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
 use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
 use rsm_core::read::{ReadReply, ReadRequest};
-use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+use rsm_core::wire::MSG_HEADER_BYTES;
+use rsm_core::wire::{WireDecode, WireEncode, WireError, WireMsg, WireReader, WireSize};
 
 /// Messages exchanged by [`MenciusBcast`](crate::MenciusBcast) replicas.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MenciusMsg {
     /// The owner proposes `cmds` in its own slots `first_slot`,
     /// `first_slot + N`, …, `first_slot + (len-1)·N` (its slot space has
@@ -77,10 +79,33 @@ pub enum MenciusMsg {
     /// majority, which intersects the probed majority).
     ReadProbe(ReadRequest),
     /// Answer to a [`ReadProbe`](MenciusMsg::ReadProbe): the responder's
-    /// read mark — its resolution cursor raised to the top of its slot
-    /// table, covering every slot of **every owner** it has ever logged
-    /// (the all-owners commit watermark the read will park on).
-    ReadMark(ReadReply),
+    /// read marks, one coordinate **per owner** instead of one scalar.
+    ///
+    /// `owner_marks[o]` is an exclusive upper bound on owner `o`'s slots
+    /// that any *completed* write could occupy, from the responder's
+    /// perspective:
+    ///
+    /// * for the responder's **own** slot space (`o == responder`) it is
+    ///   the responder's execution cursor — tight, because an owner
+    ///   replies to a client only after executing the write, so every
+    ///   completed own-slot write sits strictly below it. Crucially this
+    ///   *excludes* the responder's own in-flight (logged but uncommitted)
+    ///   proposals, which a scalar logged-top mark would force the read
+    ///   to wait out;
+    /// * for every **other** owner it is the logged-top bound (cursor
+    ///   raised past every slot of that owner in the responder's slot
+    ///   table) — the classic quorum-intersection guarantee: a completed
+    ///   write of a non-responding owner was logged by a majority, which
+    ///   intersects the probed majority.
+    ///
+    /// The scalar [`ReadReply::mark`] is still carried for diagnostics
+    /// and as the conservative fallback.
+    ReadMark {
+        /// Probe echo plus the folded scalar mark (conservative).
+        reply: ReadReply,
+        /// Per-owner exclusive bounds, indexed by owner; see above.
+        owner_marks: Vec<u64>,
+    },
 }
 
 impl WireSize for MenciusMsg {
@@ -95,7 +120,127 @@ impl WireSize for MenciusMsg {
             MenciusMsg::StateRequest(req) => req.wire_size(),
             MenciusMsg::StateReply(reply) => reply.wire_size(),
             MenciusMsg::ReadProbe(req) => req.wire_size(),
-            MenciusMsg::ReadMark(reply) => reply.wire_size(),
+            MenciusMsg::ReadMark { reply, owner_marks } => {
+                reply.wire_size() + 8 * owner_marks.len()
+            }
+        }
+    }
+}
+
+impl WireEncode for MenciusMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MenciusMsg::Propose {
+                first_slot,
+                cmds,
+                origin,
+            } => {
+                0u8.encode(buf);
+                first_slot.encode(buf);
+                cmds.encode(buf);
+                origin.encode(buf);
+            }
+            MenciusMsg::AcceptAck {
+                up_to_slot,
+                skip_below,
+            } => {
+                1u8.encode(buf);
+                up_to_slot.encode(buf);
+                skip_below.encode(buf);
+            }
+            MenciusMsg::GapRequest { from_slot, below } => {
+                2u8.encode(buf);
+                from_slot.encode(buf);
+                below.encode(buf);
+            }
+            MenciusMsg::GapFill {
+                from_slot,
+                below,
+                cmds,
+            } => {
+                3u8.encode(buf);
+                from_slot.encode(buf);
+                below.encode(buf);
+                cmds.encode(buf);
+            }
+            MenciusMsg::StateRequest(req) => {
+                4u8.encode(buf);
+                req.encode(buf);
+            }
+            MenciusMsg::StateReply(reply) => {
+                5u8.encode(buf);
+                reply.encode(buf);
+            }
+            MenciusMsg::ReadProbe(req) => {
+                6u8.encode(buf);
+                req.encode(buf);
+            }
+            MenciusMsg::ReadMark { reply, owner_marks } => {
+                7u8.encode(buf);
+                reply.encode(buf);
+                owner_marks.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for MenciusMsg {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => MenciusMsg::Propose {
+                first_slot: u64::decode(r)?,
+                cmds: Batch::decode(r)?,
+                origin: ReplicaId::decode(r)?,
+            },
+            1 => MenciusMsg::AcceptAck {
+                up_to_slot: u64::decode(r)?,
+                skip_below: u64::decode(r)?,
+            },
+            2 => MenciusMsg::GapRequest {
+                from_slot: u64::decode(r)?,
+                below: u64::decode(r)?,
+            },
+            3 => MenciusMsg::GapFill {
+                from_slot: u64::decode(r)?,
+                below: u64::decode(r)?,
+                cmds: Vec::<(u64, Command)>::decode(r)?,
+            },
+            4 => MenciusMsg::StateRequest(StateTransferRequest::<u64>::decode(r)?),
+            5 => MenciusMsg::StateReply(StateTransferReply::<u64>::decode(r)?),
+            6 => MenciusMsg::ReadProbe(ReadRequest::decode(r)?),
+            7 => MenciusMsg::ReadMark {
+                reply: ReadReply::decode(r)?,
+                owner_marks: Vec::<u64>::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "MenciusMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl WireMsg for MenciusMsg {
+    /// A [`Propose`](MenciusMsg::Propose) broadcast clones one `Arc`'d
+    /// [`Batch`] per peer; batch identity plus the scalar fields decides
+    /// byte-identity without touching command payloads.
+    fn shares_encoding(&self, prev: &Self) -> bool {
+        match (self, prev) {
+            (
+                MenciusMsg::Propose {
+                    first_slot: s1,
+                    cmds: c1,
+                    origin: o1,
+                },
+                MenciusMsg::Propose {
+                    first_slot: s2,
+                    cmds: c2,
+                    origin: o2,
+                },
+            ) => s1 == s2 && o1 == o2 && c1.ptr_eq(c2),
+            _ => false,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! one ack per slot. Per-slot ack counters collapse into a small
 //! per-(acker, owner) watermark matrix.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{
@@ -16,7 +16,7 @@ use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
-use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply};
+use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply, MAX_READ_PROBES};
 use rsm_core::time::Micros;
 
 use crate::msg::MenciusMsg;
@@ -180,11 +180,14 @@ pub struct MenciusBcast {
     transfer_target: usize,
 
     // ------ local reads (`rsm_core::read`) ------
-    /// Reads parked on a slot mark — the all-owners commit watermark a
+    /// Reads parked on a slot mark — the fold of the per-owner bounds a
     /// majority probe established — served once `exec_cursor` passes it.
     read_queue: ReadQueue<u64>,
     /// Quorum-read probes awaiting a majority of marks.
     read_probes: ReadProbes,
+    /// Per-owner mark state for each in-flight probe, keyed by probe
+    /// seq (the shared [`ReadProbes`] tracks only the folded scalar).
+    probe_marks: HashMap<u64, ProbeMarks>,
     /// Reads that arrived while a probe was in flight: they ride the
     /// next probe (launched when the current one completes, or when the
     /// [`TOKEN_PROBE_FLUSH`] escape timer fires) instead of paying one
@@ -192,6 +195,26 @@ pub struct MenciusBcast {
     queued_probe_reads: Vec<Command>,
     /// Whether the escape-flush timer is armed.
     probe_flush_armed: bool,
+}
+
+/// The requester-side per-owner bounds accumulated for one read probe.
+///
+/// Soundness of the two kinds of entry (see [`MenciusMsg::ReadMark`]):
+/// an owner's answer about its **own** slot space is its execution
+/// cursor, which covers every own write it completed before answering —
+/// tight, because it excludes the owner's in-flight proposals. For an
+/// owner that never answers, the element-wise maximum of the responders'
+/// logged-top bounds covers its completed writes by quorum intersection
+/// (committed ⇒ logged by a majority ⇒ logged by some responder).
+#[derive(Debug)]
+struct ProbeMarks {
+    /// Owner `o`'s bound for its own slots, when `o` answered the probe
+    /// (seeded for self at probe start).
+    own: Vec<Option<u64>>,
+    /// Element-wise maximum over every answer's mark vector (seeded with
+    /// the requester's own vector): the fallback bound for owners that
+    /// never answered.
+    all: Vec<u64>,
 }
 
 impl MenciusBcast {
@@ -225,6 +248,7 @@ impl MenciusBcast {
             transfer_target: 0,
             read_queue: ReadQueue::new(),
             read_probes: ReadProbes::new(),
+            probe_marks: HashMap::new(),
             queued_probe_reads: Vec::new(),
             probe_flush_armed: false,
             membership,
@@ -475,27 +499,44 @@ impl MenciusBcast {
     }
 
     // ------------------------------------------------------------------
-    // Local reads (`rsm_core::read`): all-owners commit watermark
+    // Local reads (`rsm_core::read`): per-owner watermarks
     // ------------------------------------------------------------------
     //
     // Mencius has no leader to lease, so every read takes the clock-free
-    // quorum path: probe the replicas for their read marks (resolution
-    // cursor raised to the top of the slot table — an upper bound on
-    // every slot of every owner the responder has logged), park the read
-    // at the maximum over a majority of answers, and serve it once the
-    // local resolution cursor passes the mark. A write that completed
-    // before the probe was logged by a majority of replicas; that
-    // majority intersects the answering one, so some mark covers its
-    // slot — and `exec_cursor` passing the mark means every smaller slot
-    // of **every** owner resolved locally (committed or skipped), which
-    // is exactly the all-owners commit watermark. Latency is one local
-    // quorum round trip plus however long the delayed-commit behaviour
-    // takes to resolve the slots below the mark — still far below
-    // replicating the read, which pays the same resolution wait *after*
-    // a full proposal round.
+    // quorum path: probe the replicas for their read marks, park the
+    // read, and serve it once the local resolution cursor passes the
+    // park point. What makes the Mencius path fast is *which* marks the
+    // answers carry. A scalar logged-top mark (what Paxos followers use)
+    // forces the read to wait out every slot any responder has ever
+    // logged — including the responders' own **in-flight** proposals,
+    // which commit a full WAN round later. That made the read-mix p50
+    // identical to the write p50.
+    //
+    // Per-owner marks break that tie. Each answer carries one bound per
+    // owner ([`MenciusMsg::ReadMark`]):
+    //
+    // * the responder's bound for its **own** slot space is its
+    //   execution cursor — an owner replies to its client only after
+    //   executing the write, so every *completed* own write is strictly
+    //   below it, while its in-flight proposals (logged, uncommitted,
+    //   not yet visible to any client) are above it and stop gating the
+    //   read;
+    // * its bound for every **other** owner is the logged-top fallback,
+    //   needed only for owners that never answer: a completed write of
+    //   such an owner was logged by a majority, which intersects the
+    //   responders, so the element-wise maximum covers it.
+    //
+    // The fold back to the scalar `ReadQueue` coordinate is exact
+    // because execution is total-order by slot: waiting for owner `o`'s
+    // slots below bound `p` means waiting for the largest `o`-owned slot
+    // below `p`, so the park point is the maximum of those largest
+    // slots, plus one ([`park_mark`](Self::park_mark)). Latency is one
+    // local quorum round trip plus the resolution of slots below the
+    // *completed-write* frontier — not below the in-flight frontier.
 
-    /// This replica's read mark: an exclusive upper bound on every slot
-    /// it has ever logged, across all owners.
+    /// This replica's scalar read mark: an exclusive upper bound on
+    /// every slot it has ever logged, across all owners (carried in
+    /// [`ReadReply::mark`] as the conservative fallback).
     fn local_read_mark(&self) -> u64 {
         self.slots
             .keys()
@@ -504,9 +545,36 @@ impl MenciusBcast {
             .max(self.exec_cursor)
     }
 
+    /// This replica's per-owner mark vector: entry `o` bounds the slots
+    /// of owner `o` a completed write could occupy — the execution
+    /// cursor for our own slot space (in-flight own proposals excluded),
+    /// raised past every *other* owner's slot in the pending table.
+    fn owner_marks(&self) -> Vec<u64> {
+        let mut marks = vec![self.exec_cursor; self.n as usize];
+        for &slot in self.slots.keys() {
+            let o = (slot % self.n) as usize;
+            if o != self.id.index() {
+                marks[o] = marks[o].max(slot + 1);
+            }
+        }
+        marks
+    }
+
     /// Starts a quorum-read probe carrying `cmds`.
     fn start_read_probe(&mut self, cmds: Vec<Command>, ctx: &mut dyn Context<Self>) {
         let req = self.read_probes.begin(self.local_read_mark(), cmds);
+        let mut marks = ProbeMarks {
+            own: vec![None; self.n as usize],
+            all: self.owner_marks(),
+        };
+        marks.own[self.id.index()] = Some(self.exec_cursor);
+        self.probe_marks.insert(req.seq, marks);
+        // `ReadProbes` silently evicts the oldest probe past its cap;
+        // seqs are dense, so everything at or below seq - cap is dead.
+        if self.probe_marks.len() > MAX_READ_PROBES {
+            let floor = req.seq.saturating_sub(MAX_READ_PROBES as u64);
+            self.probe_marks.retain(|&s, _| s > floor);
+        }
         for r in self.membership.config().to_vec() {
             if r != self.id {
                 ctx.send(r, MenciusMsg::ReadProbe(req));
@@ -516,17 +584,64 @@ impl MenciusBcast {
         self.complete_ready_probes(ctx);
     }
 
-    /// Answers a peer's probe with our read mark.
+    /// Answers a peer's probe with our read marks.
     fn on_read_probe(&mut self, from: ReplicaId, seq: u64, ctx: &mut dyn Context<Self>) {
         let mark = self.local_read_mark();
-        ctx.send(from, MenciusMsg::ReadMark(ReadReply { seq, mark }));
+        ctx.send(
+            from,
+            MenciusMsg::ReadMark {
+                reply: ReadReply { seq, mark },
+                owner_marks: self.owner_marks(),
+            },
+        );
     }
 
     /// Collects a probe answer; on a majority, parks the probe's reads
-    /// at the maximum mark.
-    fn on_read_mark(&mut self, from: ReplicaId, reply: ReadReply, ctx: &mut dyn Context<Self>) {
+    /// at the fold of the accumulated per-owner bounds.
+    fn on_read_mark(
+        &mut self,
+        from: ReplicaId,
+        reply: ReadReply,
+        owner_marks: Vec<u64>,
+        ctx: &mut dyn Context<Self>,
+    ) {
+        if let Some(marks) = self.probe_marks.get_mut(&reply.seq) {
+            if owner_marks.len() == self.n as usize {
+                for (a, &m) in marks.all.iter_mut().zip(&owner_marks) {
+                    *a = (*a).max(m);
+                }
+                let fi = from.index();
+                marks.own[fi] = Some(marks.own[fi].unwrap_or(0).max(owner_marks[fi]));
+            } else {
+                // Malformed vector (wrong configuration size): fold the
+                // scalar mark into every entry — it bounds every owner's
+                // logged slots at the responder, so the quorum-
+                // intersection fallback stays sound.
+                for a in marks.all.iter_mut() {
+                    *a = (*a).max(reply.mark);
+                }
+            }
+        }
         self.read_probes.on_reply(from, reply);
         self.complete_ready_probes(ctx);
+    }
+
+    /// Folds a completed probe's per-owner bounds into the single
+    /// [`ReadQueue`] coordinate: the smallest cursor position at which
+    /// every bound is honored. Owner `o` with (exclusive) bound `p` has
+    /// its largest constrained slot at `p - 1 - ((p - 1 - o) mod n)`
+    /// when `p > o`, and none otherwise; execution is total-order by
+    /// slot, so waiting for the maximum of those slots waits for all.
+    fn park_mark(&self, marks: &ProbeMarks) -> u64 {
+        let mut needed = 0u64;
+        for o in 0..self.n {
+            let p = marks.own[o as usize].unwrap_or(marks.all[o as usize]);
+            if p > o {
+                let last = p - 1 - ((p - 1 - o) % self.n);
+                needed = needed.max(last + 1);
+            }
+        }
+        needed
     }
 
     /// Moves every probe that reached a majority (self plus responders)
@@ -536,7 +651,13 @@ impl MenciusBcast {
         if ready.is_empty() {
             return;
         }
-        for (mark, cmds) in ready {
+        for (seq, scalar_mark, cmds) in ready {
+            let mark = match self.probe_marks.remove(&seq) {
+                Some(marks) => self.park_mark(&marks),
+                // Side state evicted (probe-cap overflow): the folded
+                // scalar is the conservative all-owners bound.
+                None => scalar_mark,
+            };
             for cmd in cmds {
                 self.read_queue.park(mark, cmd);
             }
@@ -928,7 +1049,9 @@ impl Protocol for MenciusBcast {
             MenciusMsg::StateRequest(req) => self.on_state_request(from, req.have, ctx),
             MenciusMsg::StateReply(reply) => self.on_state_reply(reply.checkpoint, ctx),
             MenciusMsg::ReadProbe(req) => self.on_read_probe(from, req.seq, ctx),
-            MenciusMsg::ReadMark(reply) => self.on_read_mark(from, reply, ctx),
+            MenciusMsg::ReadMark { reply, owner_marks } => {
+                self.on_read_mark(from, reply, owner_marks, ctx)
+            }
         }
     }
 
@@ -1846,14 +1969,18 @@ mod tests {
             2,
             "probe goes to both peers"
         );
-        // One answer + self = majority of 3. The peer's mark (4) exceeds
-        // our own log top, so the read parks at slot mark 4.
+        // One answer + self = majority of 3. The peer's own-slot bound
+        // (owner 1, bound 4) constrains the read: its largest owner-1
+        // slot below 4 is slot 1, so the read parks at cursor mark 2.
         m.on_message(
             r(1),
-            MenciusMsg::ReadMark(ReadReply { seq: 1, mark: 4 }),
+            MenciusMsg::ReadMark {
+                reply: ReadReply { seq: 1, mark: 4 },
+                owner_marks: vec![0, 4, 0],
+            },
             &mut ctx,
         );
-        assert_eq!(m.pending_reads(), 1, "parked until slots 0..4 resolve");
+        assert_eq!(m.pending_reads(), 1, "parked until slots 0..2 resolve");
         assert!(ctx.read_replies.is_empty());
         // Resolve slots 0..4: acks give slot 1 a majority, and the skip
         // promises cover the empty slots of every owner.
@@ -1884,13 +2011,52 @@ mod tests {
             &mut ctx,
         );
         match &ctx.sends[..] {
-            [(to, MenciusMsg::ReadMark(reply))] => {
+            [(to, MenciusMsg::ReadMark { reply, owner_marks })] => {
                 assert_eq!(*to, r(0));
                 assert_eq!(reply.seq, 7);
-                assert_eq!(reply.mark, 5, "mark covers the whole slot table");
+                assert_eq!(reply.mark, 5, "scalar mark covers the whole slot table");
+                assert_eq!(
+                    owner_marks,
+                    &vec![0, 5, 0],
+                    "per-owner: only owner 1's logged slot 4 constrains; \
+                     the responder's own entry is its execution cursor"
+                );
             }
             other => panic!("expected one ReadMark, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn in_flight_proposals_do_not_block_probed_reads() {
+        // Replica 1 has an own proposal in flight (logged at the reader,
+        // unacked, uncommitted — no client has seen its result). Under
+        // the old scalar logged-top mark the read would park above it
+        // and wait out the proposal's full commit round; per-owner marks
+        // let the owner's answer exclude it.
+        let mut m = MenciusBcast::new(r(0), Membership::uniform(3));
+        let mut ctx = TestCtx::new();
+        propose(&mut m, &mut ctx, 1, cmd(11), r(1));
+        ctx.sends.clear();
+        m.on_client_read(read(9), &mut ctx);
+        assert!(ctx.read_replies.is_empty(), "waiting on the probe quorum");
+        // Owner 1 answers: its execution cursor is still 0, so its own
+        // entry excludes the in-flight slot 1 even though its scalar
+        // logged-top mark (2) covers it.
+        m.on_message(
+            r(1),
+            MenciusMsg::ReadMark {
+                reply: ReadReply { seq: 1, mark: 2 },
+                owner_marks: vec![0, 0, 0],
+            },
+            &mut ctx,
+        );
+        assert_eq!(
+            ctx.read_replies.len(),
+            1,
+            "read served without waiting for the in-flight proposal"
+        );
+        assert_eq!(ctx.read_replies[0].id.seq, 9);
+        assert_eq!(m.pending_reads(), 0);
     }
 
     #[test]
@@ -1901,7 +2067,10 @@ mod tests {
         m.on_client_read(read(4), &mut ctx);
         m.on_message(
             r(1),
-            MenciusMsg::ReadMark(ReadReply { seq: 1, mark: 0 }),
+            MenciusMsg::ReadMark {
+                reply: ReadReply { seq: 1, mark: 0 },
+                owner_marks: vec![0, 0, 0],
+            },
             &mut ctx,
         );
         assert!(ctx.read_replies.is_empty());

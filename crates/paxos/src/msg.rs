@@ -16,12 +16,14 @@
 //! [`Repair`](PaxosMsg::Repair)) is classic Paxos phase 1 lifted from the
 //! single decree to the instance-log suffix.
 
+use bytes::BytesMut;
 use rsm_core::batch::Batch;
 use rsm_core::checkpoint::{StateTransferReply, StateTransferRequest};
 use rsm_core::command::Command;
 use rsm_core::id::ReplicaId;
 use rsm_core::read::{ReadReply, ReadRequest};
-use rsm_core::wire::{WireSize, MSG_HEADER_BYTES};
+use rsm_core::wire::MSG_HEADER_BYTES;
+use rsm_core::wire::{WireDecode, WireEncode, WireError, WireMsg, WireReader, WireSize};
 
 use crate::synod::Ballot;
 
@@ -55,8 +57,26 @@ impl WireSize for SuffixEntry {
     }
 }
 
+impl WireEncode for SuffixEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.instance.encode(buf);
+        self.ballot.encode(buf);
+        self.value.encode(buf);
+    }
+}
+
+impl WireDecode for SuffixEntry {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(SuffixEntry {
+            instance: u64::decode(r)?,
+            ballot: Ballot::decode(r)?,
+            value: Option::<(Command, ReplicaId)>::decode(r)?,
+        })
+    }
+}
+
 /// Messages exchanged by [`MultiPaxos`](crate::MultiPaxos) replicas.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PaxosMsg {
     /// A follower forwards a batch of its clients' commands to the
     /// leader, remembering itself as the commands' origin so replies
@@ -258,6 +278,214 @@ impl WireSize for PaxosMsg {
             PaxosMsg::StateReply { reply, .. } => reply.wire_size() + BALLOT_BYTES,
             PaxosMsg::ReadProbe(req) => req.wire_size(),
             PaxosMsg::ReadMark(reply) => reply.wire_size(),
+        }
+    }
+}
+
+impl WireEncode for PaxosMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PaxosMsg::Forward { cmds, origin } => {
+                0u8.encode(buf);
+                cmds.encode(buf);
+                origin.encode(buf);
+            }
+            PaxosMsg::Accept {
+                ballot,
+                first_instance,
+                cmds,
+                origin,
+            } => {
+                1u8.encode(buf);
+                ballot.encode(buf);
+                first_instance.encode(buf);
+                cmds.encode(buf);
+                origin.encode(buf);
+            }
+            PaxosMsg::Accepted { ballot, up_to } => {
+                2u8.encode(buf);
+                ballot.encode(buf);
+                up_to.encode(buf);
+            }
+            PaxosMsg::Commit { ballot, up_to } => {
+                3u8.encode(buf);
+                ballot.encode(buf);
+                up_to.encode(buf);
+            }
+            PaxosMsg::Heartbeat { ballot, committed } => {
+                4u8.encode(buf);
+                ballot.encode(buf);
+                committed.encode(buf);
+            }
+            PaxosMsg::Prepare {
+                ballot,
+                from_instance,
+            } => {
+                5u8.encode(buf);
+                ballot.encode(buf);
+                from_instance.encode(buf);
+            }
+            PaxosMsg::Promise {
+                ballot,
+                from_instance,
+                committed,
+                entries,
+            } => {
+                6u8.encode(buf);
+                ballot.encode(buf);
+                from_instance.encode(buf);
+                committed.encode(buf);
+                entries.encode(buf);
+            }
+            PaxosMsg::Nack { promised } => {
+                7u8.encode(buf);
+                promised.encode(buf);
+            }
+            PaxosMsg::Repair {
+                ballot,
+                floor,
+                entries,
+            } => {
+                8u8.encode(buf);
+                ballot.encode(buf);
+                floor.encode(buf);
+                entries.encode(buf);
+            }
+            PaxosMsg::FillRequest {
+                from_instance,
+                to_instance,
+            } => {
+                9u8.encode(buf);
+                from_instance.encode(buf);
+                to_instance.encode(buf);
+            }
+            PaxosMsg::Fill { ballot, entries } => {
+                10u8.encode(buf);
+                ballot.encode(buf);
+                entries.encode(buf);
+            }
+            PaxosMsg::StateRequest(req) => {
+                11u8.encode(buf);
+                req.encode(buf);
+            }
+            PaxosMsg::StateReply { reply, promised } => {
+                12u8.encode(buf);
+                reply.encode(buf);
+                promised.encode(buf);
+            }
+            PaxosMsg::ReadProbe(req) => {
+                13u8.encode(buf);
+                req.encode(buf);
+            }
+            PaxosMsg::ReadMark(reply) => {
+                14u8.encode(buf);
+                reply.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for PaxosMsg {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => PaxosMsg::Forward {
+                cmds: Batch::decode(r)?,
+                origin: ReplicaId::decode(r)?,
+            },
+            1 => PaxosMsg::Accept {
+                ballot: Ballot::decode(r)?,
+                first_instance: u64::decode(r)?,
+                cmds: Batch::decode(r)?,
+                origin: ReplicaId::decode(r)?,
+            },
+            2 => PaxosMsg::Accepted {
+                ballot: Ballot::decode(r)?,
+                up_to: u64::decode(r)?,
+            },
+            3 => PaxosMsg::Commit {
+                ballot: Ballot::decode(r)?,
+                up_to: u64::decode(r)?,
+            },
+            4 => PaxosMsg::Heartbeat {
+                ballot: Ballot::decode(r)?,
+                committed: u64::decode(r)?,
+            },
+            5 => PaxosMsg::Prepare {
+                ballot: Ballot::decode(r)?,
+                from_instance: u64::decode(r)?,
+            },
+            6 => PaxosMsg::Promise {
+                ballot: Ballot::decode(r)?,
+                from_instance: u64::decode(r)?,
+                committed: u64::decode(r)?,
+                entries: Vec::<SuffixEntry>::decode(r)?,
+            },
+            7 => PaxosMsg::Nack {
+                promised: Ballot::decode(r)?,
+            },
+            8 => PaxosMsg::Repair {
+                ballot: Ballot::decode(r)?,
+                floor: u64::decode(r)?,
+                entries: Vec::<SuffixEntry>::decode(r)?,
+            },
+            9 => PaxosMsg::FillRequest {
+                from_instance: u64::decode(r)?,
+                to_instance: u64::decode(r)?,
+            },
+            10 => PaxosMsg::Fill {
+                ballot: Ballot::decode(r)?,
+                entries: Vec::<SuffixEntry>::decode(r)?,
+            },
+            11 => PaxosMsg::StateRequest(StateTransferRequest::<u64>::decode(r)?),
+            12 => PaxosMsg::StateReply {
+                reply: StateTransferReply::<u64>::decode(r)?,
+                promised: Ballot::decode(r)?,
+            },
+            13 => PaxosMsg::ReadProbe(ReadRequest::decode(r)?),
+            14 => PaxosMsg::ReadMark(ReadReply::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "PaxosMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl WireMsg for PaxosMsg {
+    /// The broadcast-heavy variants — an [`Accept`](PaxosMsg::Accept) run
+    /// fanned out to every acceptor, a [`Forward`](PaxosMsg::Forward)
+    /// relayed unchanged — are clones sharing one `Arc`'d [`Batch`], so
+    /// batch identity plus the scalar fields decides byte-identity
+    /// without comparing command payloads.
+    fn shares_encoding(&self, prev: &Self) -> bool {
+        match (self, prev) {
+            (
+                PaxosMsg::Accept {
+                    ballot: b1,
+                    first_instance: f1,
+                    cmds: c1,
+                    origin: o1,
+                },
+                PaxosMsg::Accept {
+                    ballot: b2,
+                    first_instance: f2,
+                    cmds: c2,
+                    origin: o2,
+                },
+            ) => b1 == b2 && f1 == f2 && o1 == o2 && c1.ptr_eq(c2),
+            (
+                PaxosMsg::Forward {
+                    cmds: c1,
+                    origin: o1,
+                },
+                PaxosMsg::Forward {
+                    cmds: c2,
+                    origin: o2,
+                },
+            ) => o1 == o2 && c1.ptr_eq(c2),
+            _ => false,
         }
     }
 }

@@ -1282,7 +1282,7 @@ impl MultiPaxos {
         if ready.is_empty() {
             return;
         }
-        for (mark, cmds) in ready {
+        for (_seq, mark, cmds) in ready {
             for cmd in cmds {
                 self.read_queue.park(mark, cmd);
             }

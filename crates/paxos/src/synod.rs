@@ -19,7 +19,9 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use bytes::BytesMut;
 use rsm_core::id::ReplicaId;
+use rsm_core::wire::{WireDecode, WireEncode, WireError, WireReader};
 
 /// A Paxos ballot: a round number with the proposing replica's id as the
 /// tie-breaker, totally ordered.
@@ -45,9 +47,25 @@ impl fmt::Display for Ballot {
     }
 }
 
+impl WireEncode for Ballot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.round.encode(buf);
+        self.proposer.encode(buf);
+    }
+}
+
+impl WireDecode for Ballot {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(Ballot {
+            round: u64::decode(r)?,
+            proposer: ReplicaId::decode(r)?,
+        })
+    }
+}
+
 /// Messages of one synod instance. The embedding protocol wraps these in
 /// its own message type and relays them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SynodMsg<V> {
     /// Phase 1a: leader solicitation for `ballot`.
     Prepare {
@@ -103,6 +121,74 @@ impl<V: rsm_core::WireSize> rsm_core::WireSize for SynodMsg<V> {
                 MSG_HEADER_BYTES + value.wire_size()
             }
         }
+    }
+}
+
+impl<V: WireEncode> WireEncode for SynodMsg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SynodMsg::Prepare { ballot } => {
+                0u8.encode(buf);
+                ballot.encode(buf);
+            }
+            SynodMsg::Promise { ballot, accepted } => {
+                1u8.encode(buf);
+                ballot.encode(buf);
+                accepted.encode(buf);
+            }
+            SynodMsg::Propose { ballot, value } => {
+                2u8.encode(buf);
+                ballot.encode(buf);
+                value.encode(buf);
+            }
+            SynodMsg::Accept { ballot } => {
+                3u8.encode(buf);
+                ballot.encode(buf);
+            }
+            SynodMsg::Nack { ballot, promised } => {
+                4u8.encode(buf);
+                ballot.encode(buf);
+                promised.encode(buf);
+            }
+            SynodMsg::Decided { value } => {
+                5u8.encode(buf);
+                value.encode(buf);
+            }
+        }
+    }
+}
+
+impl<V: WireDecode> WireDecode for SynodMsg<V> {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => SynodMsg::Prepare {
+                ballot: Ballot::decode(r)?,
+            },
+            1 => SynodMsg::Promise {
+                ballot: Ballot::decode(r)?,
+                accepted: Option::<(Ballot, V)>::decode(r)?,
+            },
+            2 => SynodMsg::Propose {
+                ballot: Ballot::decode(r)?,
+                value: V::decode(r)?,
+            },
+            3 => SynodMsg::Accept {
+                ballot: Ballot::decode(r)?,
+            },
+            4 => SynodMsg::Nack {
+                ballot: Ballot::decode(r)?,
+                promised: Ballot::decode(r)?,
+            },
+            5 => SynodMsg::Decided {
+                value: V::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "SynodMsg",
+                    tag,
+                })
+            }
+        })
     }
 }
 

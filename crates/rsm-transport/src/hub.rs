@@ -1,0 +1,122 @@
+//! A node's outbound fan-out: per-peer links plus the encode-once cache.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use rsm_core::id::ReplicaId;
+use rsm_core::wire::{checksum, encode_payload, FrameHeader, WireMsg};
+
+use crate::endpoint::Endpoint;
+use crate::link::{OutFrame, PeerLink};
+
+/// Object-safe message sink: what the runtime's node harness holds so it
+/// can stay generic over the protocol without a `WireMsg` bound. The
+/// socket transport's implementation is [`Hub`].
+pub trait MsgSink<M>: Send {
+    /// Sends `msg` to replica `to`. Self-sends are delivered locally
+    /// without touching a socket or encoding anything.
+    fn send_msg(&mut self, to: ReplicaId, msg: M);
+}
+
+struct EncodeCache<M> {
+    msg: M,
+    payload: Bytes,
+    checksum: u32,
+}
+
+struct Peer {
+    link: PeerLink,
+    delay: Duration,
+    /// Strictly increasing per-link frame sequence, the receiver's
+    /// reconnect dedup key.
+    seq: u64,
+}
+
+/// The outbound half of one replica: a [`PeerLink`] per peer and a
+/// one-entry encode cache.
+///
+/// The cache is what makes broadcasts zero-re-encode: protocols send the
+/// same `Arc`-shared batch message to every peer back-to-back, and
+/// [`WireMsg::shares_encoding`] recognises the repeat, so the payload is
+/// encoded (and checksummed) once and every per-peer frame clones the
+/// same `Bytes` buffer. Only the 32-byte header differs per peer.
+pub struct Hub<M: WireMsg> {
+    from: ReplicaId,
+    peers: Vec<Option<Peer>>,
+    loopback: Box<dyn FnMut(M) + Send>,
+    cache: Option<EncodeCache<M>>,
+}
+
+impl<M: WireMsg> Hub<M> {
+    /// Creates the hub for replica `from`. `loopback` receives self-sends
+    /// (typically forwarding into the node's own inbox).
+    pub fn new(from: ReplicaId, loopback: Box<dyn FnMut(M) + Send>) -> Hub<M> {
+        Hub {
+            from,
+            peers: Vec::new(),
+            loopback,
+            cache: None,
+        }
+    }
+
+    /// Adds the link to peer `to` at `endpoint`. `delay` is the minimum
+    /// link latency applied before frames hit the socket (the runtime's
+    /// WAN emulation; `Duration::ZERO` for plain loopback).
+    pub fn add_peer(&mut self, to: ReplicaId, endpoint: Endpoint, delay: Duration) {
+        let idx = to.index();
+        if self.peers.len() <= idx {
+            self.peers.resize_with(idx + 1, || None);
+        }
+        self.peers[idx] = Some(Peer {
+            link: PeerLink::spawn(endpoint),
+            delay,
+            seq: 0,
+        });
+    }
+
+    /// Encoded payload + checksum for `msg`, reusing the cached buffer
+    /// when `msg` shares its encoding with the previous send.
+    fn payload_for(&mut self, msg: &M) -> (Bytes, u32) {
+        if let Some(cache) = &self.cache {
+            if msg.shares_encoding(&cache.msg) {
+                return (cache.payload.clone(), cache.checksum);
+            }
+        }
+        let payload = encode_payload(msg);
+        let sum = checksum(&payload);
+        self.cache = Some(EncodeCache {
+            msg: msg.clone(),
+            payload: payload.clone(),
+            checksum: sum,
+        });
+        (payload, sum)
+    }
+}
+
+impl<M: WireMsg> MsgSink<M> for Hub<M> {
+    fn send_msg(&mut self, to: ReplicaId, msg: M) {
+        if to == self.from {
+            (self.loopback)(msg);
+            return;
+        }
+        let (payload, sum) = self.payload_for(&msg);
+        let peer = match self.peers.get_mut(to.index()).and_then(Option::as_mut) {
+            Some(p) => p,
+            None => return, // Unknown peer: drop, like an unreachable host.
+        };
+        peer.seq += 1;
+        let header = FrameHeader {
+            from: self.from,
+            to,
+            len: payload.len() as u32,
+            seq: peer.seq,
+            checksum: sum,
+        }
+        .encode();
+        peer.link.send(OutFrame {
+            header,
+            payload,
+            due: Instant::now() + peer.delay,
+        });
+    }
+}

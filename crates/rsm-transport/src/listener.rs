@@ -1,0 +1,195 @@
+//! Inbound side: accept loop + per-connection frame readers.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use rsm_core::id::ReplicaId;
+use rsm_core::wire::{decode_payload, FrameHeader, WireMsg, MSG_HEADER_BYTES};
+
+use crate::endpoint::{Conn, Endpoint};
+
+enum Acceptor {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Acceptor {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Acceptor::Tcp(l) => Conn::from_tcp(l.accept()?.0),
+            Acceptor::Uds(l) => Ok(Conn::Uds(l.accept()?.0)),
+        }
+    }
+}
+
+/// A bound endpoint accepting framed connections.
+///
+/// Each accepted connection gets its own reader thread: it reads the
+/// 32-byte [`FrameHeader`], validates magic/version/length, reads the
+/// payload, verifies the checksum, deduplicates by per-sender sequence
+/// number, decodes the message, and invokes the deliver callback. Any
+/// framing or decode error closes the connection (the sending peer
+/// reconnects and resends); EOF ends the thread cleanly.
+pub struct Listener {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<Conn>>>,
+}
+
+impl Listener {
+    /// Binds `endpoint` and starts accepting. `deliver` is called on the
+    /// reader thread for every verified, deduplicated frame, with the
+    /// sending replica and the decoded message; it must hand off fast
+    /// (typically one channel send into the node's inbox).
+    pub fn bind<M, F>(endpoint: &Endpoint, deliver: F) -> io::Result<Listener>
+    where
+        M: WireMsg,
+        F: Fn(ReplicaId, M) + Send + Sync + 'static,
+    {
+        let (acceptor, bound) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let actual = Endpoint::Tcp(l.local_addr()?);
+                (Acceptor::Tcp(l), actual)
+            }
+            Endpoint::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                (Acceptor::Uds(l), Endpoint::Uds(path.clone()))
+            }
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+        // Last delivered frame sequence per sender, shared by all reader
+        // threads of this listener: a reconnecting peer resends anything
+        // it could not prove fully written, and this map drops the
+        // overlap so links stay exactly-once from the node's viewpoint.
+        let last_seq: Arc<Mutex<HashMap<u16, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+        let deliver = Arc::new(deliver);
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let readers = Arc::clone(&readers);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("rsm-accept".into())
+                .spawn(move || loop {
+                    let conn = match acceptor.accept() {
+                        Ok(c) => c,
+                        Err(_) => {
+                            if shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(clone) = conn.try_clone() {
+                        conns.lock().unwrap().push(clone);
+                    }
+                    let deliver = Arc::clone(&deliver);
+                    let last_seq = Arc::clone(&last_seq);
+                    let handle = std::thread::Builder::new()
+                        .name("rsm-reader".into())
+                        .spawn(move || read_frames(conn, &*deliver, &last_seq))
+                        .expect("spawn reader thread");
+                    readers.lock().unwrap().push(handle);
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Listener {
+            endpoint: bound,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            readers,
+            conns,
+        })
+    }
+
+    /// The actual bound endpoint — for TCP with port `0`, this carries
+    /// the OS-assigned port peers must dial.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Stops accepting, unblocks and joins every reader, and removes a
+    /// UDS socket file. Idempotent; also run by `Drop`.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = Conn::connect(&self.endpoint);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Unblock readers still parked in read() on live connections.
+        for conn in self.conns.lock().unwrap().drain(..) {
+            conn.shutdown();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for h in readers {
+            let _ = h.join();
+        }
+        if let Endpoint::Uds(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads frames off one connection until EOF or the first malformed
+/// frame.
+fn read_frames<M: WireMsg>(
+    mut conn: Conn,
+    deliver: &(dyn Fn(ReplicaId, M) + Send + Sync),
+    last_seq: &Mutex<HashMap<u16, u64>>,
+) {
+    let mut header_buf = [0u8; MSG_HEADER_BYTES];
+    loop {
+        if conn.read_exact(&mut header_buf).is_err() {
+            return; // EOF or torn connection; peer will redial.
+        }
+        let header = match FrameHeader::decode(&header_buf) {
+            Ok(h) => h,
+            Err(_) => return, // Bad magic/version: drop the connection.
+        };
+        let mut payload = vec![0u8; header.len as usize];
+        if conn.read_exact(&mut payload).is_err() {
+            return;
+        }
+        let payload = Bytes::from(payload);
+        if header.verify_payload(&payload).is_err() {
+            return;
+        }
+        {
+            let mut seqs = last_seq.lock().unwrap();
+            let last = seqs.entry(header.from.as_u16()).or_insert(0);
+            if header.seq <= *last {
+                continue; // Duplicate from a reconnect resend.
+            }
+            *last = header.seq;
+        }
+        match decode_payload::<M>(payload) {
+            Ok(msg) => deliver(header.from, msg),
+            Err(_) => return,
+        }
+    }
+}

@@ -16,9 +16,33 @@ use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
 use rsm_core::protocol::Protocol;
 use rsm_core::sm::StateMachine;
+use rsm_core::wire::WireMsg;
+use rsm_transport::{Endpoint, Hub, Listener};
 
-use crate::net::{run_network, NetInput};
-use crate::node::{NodeHarness, NodeInput, NodeReport, ReplyBatch};
+use crate::net::{run_network, NetInput, Wire};
+use crate::node::{NodeHarness, NodeInput, NodeReport, Outbound, ReplyBatch};
+
+/// How replica threads exchange protocol messages.
+///
+/// The protocol cores and the client API are identical across all
+/// three: the choice only swaps the message plane underneath the node
+/// threads. Socket modes encode every message with the binary wire
+/// format (`rsm_core::wire`) onto framed, FIFO, per-peer connections;
+/// the configured latency matrix still applies (each link holds frames
+/// back by its scaled one-way delay before they hit the socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterTransport {
+    /// Messages stay in memory: one WAN-emulator thread reorders them
+    /// by due time and forwards into node inboxes. The default.
+    #[default]
+    InProcess,
+    /// Loopback TCP: every ordered replica pair gets one real socket
+    /// carrying length-prefixed frames.
+    Tcp,
+    /// Unix-domain sockets under the system temp directory; same
+    /// framing as TCP without the loopback TCP stack.
+    Uds,
+}
 
 /// Configuration of a live cluster.
 #[derive(Debug, Clone)]
@@ -28,6 +52,7 @@ pub struct ClusterConfig {
     clock_offsets_us: Vec<i64>,
     batch: BatchPolicy,
     epoch: Option<Instant>,
+    transport: ClusterTransport,
 }
 
 impl ClusterConfig {
@@ -41,7 +66,17 @@ impl ClusterConfig {
             clock_offsets_us: vec![0; n],
             batch: BatchPolicy::DISABLED,
             epoch: None,
+            transport: ClusterTransport::InProcess,
         }
+    }
+
+    /// Selects the message plane (see [`ClusterTransport`]). Protocols,
+    /// clients, and every other knob behave identically; socket modes
+    /// additionally require `P::Msg: WireMsg`, which all protocols in
+    /// this workspace implement.
+    pub fn transport(mut self, transport: ClusterTransport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Shares a clock epoch with other clusters: replica clocks read
@@ -95,32 +130,34 @@ impl ClusterConfig {
 /// thread and a reply router. See the crate-level example.
 pub struct Cluster<P: Protocol + Send + 'static> {
     node_txs: Vec<Sender<NodeInput<P>>>,
-    net_tx: Sender<NetInput<P::Msg>>,
+    net_tx: Option<Sender<NetInput<P::Msg>>>,
     pending: Arc<Mutex<HashMap<CommandId, Sender<Reply>>>>,
     node_handles: Vec<JoinHandle<NodeReport>>,
-    net_handle: JoinHandle<()>,
+    net_handle: Option<JoinHandle<()>>,
+    listeners: Vec<Listener>,
     router_handle: JoinHandle<()>,
     seq: AtomicU64,
 }
 
 impl<P: Protocol + Send + 'static> Cluster<P> {
     /// Spawns one thread per replica (protocols built by `factory`, state
-    /// machines by `sm_factory`), the network thread, and the reply
-    /// router.
+    /// machines by `sm_factory`), the configured message plane, and the
+    /// reply router.
     pub fn spawn(
         cfg: ClusterConfig,
         mut factory: impl FnMut(ReplicaId) -> P,
         sm_factory: impl Fn() -> Box<dyn StateMachine>,
-    ) -> Self {
+    ) -> Self
+    where
+        P::Msg: WireMsg,
+    {
         let n = cfg.len();
         let epoch = cfg.epoch.unwrap_or_else(Instant::now);
-        let (net_tx, net_rx) = unbounded();
         // Nodes ship reply *batches*: one channel send per drained
         // protocol callback, however many co-located clients it answered.
         let (reply_tx, reply_rx) = unbounded::<ReplyBatch>();
 
         let mut node_txs = Vec::with_capacity(n);
-        let mut inbox_txs = Vec::with_capacity(n);
         let mut node_handles = Vec::with_capacity(n);
         let mut inbox_rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -128,26 +165,93 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             node_txs.push(tx);
             inbox_rxs.push(rx);
         }
-        // The network thread forwards wires into node inboxes via
-        // dedicated channels (a node input is either a wire or a control).
-        let mut wire_txs = Vec::with_capacity(n);
-        #[allow(clippy::needless_range_loop)] // i pairs channels with replica ids
-        for i in 0..n {
-            let (wtx, wrx) = unbounded();
-            wire_txs.push(wtx);
-            // Bridge thread: wrap wires as NodeInput::Msg.
-            let tx = node_txs[i].clone();
-            std::thread::spawn(move || {
-                while let Ok(w) = wrx.recv() {
-                    if tx.send(NodeInput::Msg(w)).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        inbox_txs.extend(wire_txs.iter().cloned());
 
-        for (i, inbox) in inbox_rxs.into_iter().enumerate() {
+        // The message plane: per-node outbound halves plus whatever
+        // shared machinery the transport needs (the WAN-emulator thread
+        // in process, bound listeners over sockets).
+        let mut outbounds: Vec<Outbound<P>>;
+        let mut net_tx = None;
+        let mut net_handle = None;
+        let mut listeners = Vec::new();
+        match cfg.transport {
+            ClusterTransport::InProcess => {
+                let (tx, net_rx) = unbounded();
+                // The network thread forwards wires into node inboxes via
+                // dedicated channels (a node input is either a wire or a
+                // control).
+                let mut wire_txs = Vec::with_capacity(n);
+                #[allow(clippy::needless_range_loop)] // i pairs channels with replica ids
+                for i in 0..n {
+                    let (wtx, wrx) = unbounded();
+                    wire_txs.push(wtx);
+                    // Bridge thread: wrap wires as NodeInput::Msg.
+                    let node_tx = node_txs[i].clone();
+                    std::thread::spawn(move || {
+                        while let Ok(w) = wrx.recv() {
+                            if node_tx.send(NodeInput::Msg(w)).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+                let latency = cfg.latency.clone();
+                let scale = cfg.scale;
+                net_handle = Some(
+                    std::thread::Builder::new()
+                        .name("wan-emulator".to_string())
+                        .spawn(move || run_network(latency, scale, net_rx, wire_txs))
+                        .expect("spawn network thread"),
+                );
+                outbounds = (0..n).map(|_| Outbound::Wan(tx.clone())).collect();
+                net_tx = Some(tx);
+            }
+            ClusterTransport::Tcp | ClusterTransport::Uds => {
+                // Bind every listener before dialing anything: peers
+                // learn each other's concrete endpoints (OS-assigned TCP
+                // ports) from the bind results.
+                let mut endpoints = Vec::with_capacity(n);
+                for (i, node_tx) in node_txs.iter().enumerate() {
+                    let ep = match cfg.transport {
+                        ClusterTransport::Tcp => Endpoint::tcp_loopback(),
+                        _ => Endpoint::uds_temp("cluster", i as u16),
+                    };
+                    let id = ReplicaId::new(i as u16);
+                    let node_tx = node_tx.clone();
+                    let listener = Listener::bind(&ep, move |from, msg| {
+                        let _ = node_tx.send(NodeInput::Msg(Wire { from, to: id, msg }));
+                    })
+                    .expect("bind cluster transport listener");
+                    endpoints.push(listener.endpoint().clone());
+                    listeners.push(listener);
+                }
+                outbounds = Vec::with_capacity(n);
+                for (i, node_tx) in node_txs.iter().enumerate() {
+                    let id = ReplicaId::new(i as u16);
+                    let loop_tx = node_tx.clone();
+                    let mut hub: Hub<P::Msg> = Hub::new(
+                        id,
+                        Box::new(move |msg| {
+                            let _ = loop_tx.send(NodeInput::Msg(Wire {
+                                from: id,
+                                to: id,
+                                msg,
+                            }));
+                        }),
+                    );
+                    for (j, endpoint) in endpoints.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        let to = ReplicaId::new(j as u16);
+                        let delay_us = (cfg.latency.one_way(id, to) as f64 * cfg.scale) as u64;
+                        hub.add_peer(to, endpoint.clone(), Duration::from_micros(delay_us));
+                    }
+                    outbounds.push(Outbound::Socket(Box::new(hub)));
+                }
+            }
+        }
+
+        for ((i, inbox), outbound) in inbox_rxs.into_iter().enumerate().zip(outbounds) {
             let id = ReplicaId::new(i as u16);
             let harness = NodeHarness {
                 id,
@@ -155,7 +259,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 sm: sm_factory(),
                 log: Vec::new(),
                 inbox,
-                net_tx: net_tx.clone(),
+                outbound,
                 reply_tx: reply_tx.clone(),
                 epoch,
                 clock_offset_us: cfg.clock_offsets_us[i],
@@ -168,13 +272,6 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                     .expect("spawn replica thread"),
             );
         }
-
-        let latency = cfg.latency.clone();
-        let scale = cfg.scale;
-        let net_handle = std::thread::Builder::new()
-            .name("wan-emulator".to_string())
-            .spawn(move || run_network(latency, scale, net_rx, wire_txs))
-            .expect("spawn network thread");
 
         let pending: Arc<Mutex<HashMap<CommandId, Sender<Reply>>>> =
             Arc::new(Mutex::new(HashMap::new()));
@@ -199,6 +296,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             pending,
             node_handles,
             net_handle,
+            listeners,
             router_handle,
             seq: AtomicU64::new(0),
         }
@@ -207,6 +305,18 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     /// Submits a command to `site` without waiting for the reply.
     pub fn submit(&self, site: ReplicaId, cmd: Command) {
         let _ = self.node_txs[site.index()].send(NodeInput::Request(cmd));
+    }
+
+    /// Crash-stops one replica: its thread exits immediately and every
+    /// message still addressed to it is dropped on the floor. Peers keep
+    /// their links up and simply stop hearing from it — exactly what a
+    /// remote process kill looks like from the outside — so fail-over
+    /// machinery (lease timeouts, elections) runs against a realistically
+    /// silent peer. There is no restart path in the threaded runtime;
+    /// recovery schedules live in the simnet suites. Commands submitted
+    /// to a crashed site time out.
+    pub fn crash(&self, site: ReplicaId) {
+        let _ = self.node_txs[site.index()].send(NodeInput::Stop);
     }
 
     /// Submits an opaque state machine operation to `site` and blocks
@@ -316,17 +426,29 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     }
 
     /// Stops every thread and returns the per-node final reports.
-    pub fn shutdown(self) -> Vec<NodeReport> {
+    pub fn shutdown(mut self) -> Vec<NodeReport> {
         for tx in &self.node_txs {
             let _ = tx.send(NodeInput::Stop);
         }
+        // Joining the node threads drops their outbound halves: in
+        // socket mode each hub's writer threads drain their queues,
+        // flush, and exit before the join below returns.
         let reports: Vec<NodeReport> = self
             .node_handles
             .into_iter()
             .map(|h| h.join().expect("replica thread panicked"))
             .collect();
-        let _ = self.net_tx.send(NetInput::Stop);
-        let _ = self.net_handle.join();
+        if let Some(net_tx) = &self.net_tx {
+            let _ = net_tx.send(NetInput::Stop);
+        }
+        if let Some(h) = self.net_handle.take() {
+            let _ = h.join();
+        }
+        // Socket mode: with every peer's writers gone, stop accepting
+        // and join the (EOF'd) readers.
+        for listener in &mut self.listeners {
+            listener.stop();
+        }
         // Dropping node_txs/net_tx unblocks the bridge and router threads.
         drop(self.node_txs);
         drop(self.pending);
@@ -617,6 +739,123 @@ mod tests {
                 Duration::from_secs(20),
             )
             .expect("commit after burst");
+        assert_eq!(reply.result[0], 1);
+        let reports = cluster.shutdown();
+        assert_eq!(reports[0].commit_count, 21);
+    }
+
+    #[test]
+    fn clock_rsm_commits_from_all_sites_over_loopback_tcp() {
+        // The in-process smoke test, verbatim, over real framed TCP
+        // sockets: same protocol cores, same client API, same emulated
+        // WAN delays — only the message plane changed.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000))
+            .scale(0.02)
+            .transport(ClusterTransport::Tcp);
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default()),
+            kv,
+        );
+        for i in 0..3u16 {
+            let reply = cluster
+                .execute(
+                    ReplicaId::new(i),
+                    KvOp::put(format!("k{i}"), format!("v{i}")).encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("commit over tcp");
+            assert_eq!(reply.result[0], 1);
+        }
+        // Linearizable local reads work over sockets too (they ride the
+        // same ReadProbe/ReadMark messages through the codec).
+        for i in 0..3u16 {
+            let reply = cluster
+                .read(
+                    ReplicaId::new(i),
+                    KvOp::get("k2").encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("local read over tcp");
+            assert_eq!(&reply.result[1..], b"v2", "site {i} read stale");
+        }
+        let reports = cluster.shutdown();
+        assert!(reports.windows(2).all(|w| w[0].snapshot == w[1].snapshot));
+        assert!(reports.iter().all(|r| r.commit_count >= 3));
+    }
+
+    #[test]
+    fn paxos_and_mencius_round_trip_over_loopback_tcp() {
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 5_000))
+            .scale(0.02)
+            .transport(ClusterTransport::Tcp);
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| {
+                MultiPaxos::new(
+                    id,
+                    Membership::uniform(3),
+                    ReplicaId::new(0),
+                    PaxosVariant::Bcast,
+                )
+            },
+            kv,
+        );
+        let reply = cluster
+            .execute(
+                ReplicaId::new(1),
+                KvOp::put("a", "b").encode(),
+                Duration::from_secs(10),
+            )
+            .expect("paxos commit over tcp");
+        assert_eq!(reply.result[0], 1);
+        cluster.shutdown();
+
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 5_000))
+            .scale(0.02)
+            .transport(ClusterTransport::Tcp);
+        let cluster = Cluster::spawn(cfg, |id| MenciusBcast::new(id, Membership::uniform(3)), kv);
+        let reply = cluster
+            .execute(
+                ReplicaId::new(2),
+                KvOp::put("x", "y").encode(),
+                Duration::from_secs(10),
+            )
+            .expect("mencius commit over tcp");
+        assert_eq!(reply.result[0], 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batched_burst_commits_over_uds() {
+        use rsm_core::id::ClientId;
+
+        // The batched burst over Unix sockets: exercises the encode-once
+        // broadcast cache (one PrepareBatch payload shared across both
+        // peer links) under a real byte stream.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000))
+            .scale(0.02)
+            .batch_policy(BatchPolicy::max(8))
+            .transport(ClusterTransport::Uds);
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default()),
+            kv,
+        );
+        for i in 0..20u64 {
+            let id = CommandId::new(ClientId::new(ReplicaId::new(0), 99), i + 1);
+            cluster.submit(
+                ReplicaId::new(0),
+                Command::new(id, KvOp::put(format!("burst{i}"), "v").encode()),
+            );
+        }
+        let reply = cluster
+            .execute(
+                ReplicaId::new(0),
+                KvOp::put("last", "v").encode(),
+                Duration::from_secs(20),
+            )
+            .expect("commit after burst over uds");
         assert_eq!(reply.result[0], 1);
         let reports = cluster.shutdown();
         assert_eq!(reports[0].commit_count, 21);

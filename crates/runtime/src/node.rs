@@ -14,7 +14,22 @@ use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::sm::StateMachine;
 use rsm_core::time::{Micros, MonotonicStamper};
 
+use rsm_transport::MsgSink;
+
 use crate::net::{NetInput, Wire};
+
+/// Where a node's outbound peer messages go — decided once at cluster
+/// spawn by the configured [`ClusterTransport`](crate::ClusterTransport).
+pub(crate) enum Outbound<P: Protocol> {
+    /// In-process transport: every message is a channel send to the
+    /// WAN-emulator thread, which routes it to the destination inbox
+    /// after the emulated delay.
+    Wan(Sender<NetInput<P::Msg>>),
+    /// Socket transport: messages are encoded once and framed onto
+    /// per-peer TCP/UDS links by an `rsm_transport::Hub` (which also
+    /// short-circuits self-sends back into this node's inbox).
+    Socket(Box<dyn MsgSink<P::Msg>>),
+}
 
 /// Input to a node thread.
 pub(crate) enum NodeInput<P: Protocol> {
@@ -59,7 +74,7 @@ pub(crate) struct NodeHarness<P: Protocol> {
     pub sm: Box<dyn StateMachine>,
     pub log: Vec<P::LogRec>,
     pub inbox: Receiver<NodeInput<P>>,
-    pub net_tx: Sender<NetInput<P::Msg>>,
+    pub outbound: Outbound<P>,
     pub reply_tx: Sender<ReplyBatch>,
     pub epoch: Instant,
     pub clock_offset_us: i64,
@@ -73,7 +88,7 @@ struct NodeCtx<'a, P: Protocol> {
     stamper: &'a mut MonotonicStamper,
     log: &'a mut Vec<P::LogRec>,
     sm: &'a mut dyn StateMachine,
-    net_tx: &'a Sender<NetInput<P::Msg>>,
+    outbound: &'a mut Outbound<P>,
     /// Replies buffered during one protocol callback; the harness
     /// flushes them as one [`ReplyBatch`] when the callback returns.
     replies: &'a mut ReplyBatch,
@@ -97,11 +112,16 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
     }
 
     fn send(&mut self, to: ReplicaId, msg: P::Msg) {
-        let _ = self.net_tx.send(NetInput::Send(Wire {
-            from: self.id,
-            to,
-            msg,
-        }));
+        match &mut *self.outbound {
+            Outbound::Wan(tx) => {
+                let _ = tx.send(NetInput::Send(Wire {
+                    from: self.id,
+                    to,
+                    msg,
+                }));
+            }
+            Outbound::Socket(sink) => sink.send_msg(to, msg),
+        }
     }
 
     fn log_append(&mut self, rec: P::LogRec) {
@@ -176,7 +196,7 @@ impl<P: Protocol> NodeHarness<P> {
                         stamper: &mut stamper,
                         log: &mut self.log,
                         sm: self.sm.as_mut(),
-                        net_tx: &self.net_tx,
+                        outbound: &mut self.outbound,
                         replies: &mut replies,
                         timers: &mut timers,
                         timer_seq: &mut timer_seq,

@@ -66,7 +66,10 @@ impl<P: Protocol + Send + 'static> ShardedCluster<P> {
         shards: usize,
         mut factory: impl FnMut(usize, ReplicaId) -> P,
         sm_factory: impl Fn() -> Box<dyn StateMachine>,
-    ) -> Self {
+    ) -> Self
+    where
+        P::Msg: rsm_core::wire::WireMsg,
+    {
         assert!(shards > 0, "a sharded cluster needs at least one shard");
         let epoch = Instant::now();
         let mut groups = Vec::with_capacity(shards);

@@ -3,10 +3,12 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small slice of the `bytes` API it actually uses: [`Bytes`]
 //! (an immutable, reference-counted byte buffer whose clones share
-//! storage), [`BytesMut`] (a growable builder), and [`BufMut`] (the
-//! big-endian put helpers). Semantics match the real crate for this
-//! subset; swap the workspace dependency back to crates.io `bytes` when a
-//! registry is available — no call sites need to change.
+//! storage), [`BytesMut`] (a growable builder), [`BufMut`] (the
+//! big-endian put helpers), and [`Buf`] (the big-endian read cursor
+//! helpers, implemented by [`Bytes`]). Semantics match the real crate for
+//! this subset — including the panicking-on-underflow contract of
+//! `Buf`/`BufMut` — swap the workspace dependency back to crates.io
+//! `bytes` when a registry is available; no call sites need to change.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -76,6 +78,101 @@ impl Bytes {
             start: self.start + range.start,
             end: self.start + range.end,
         }
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving `self` with
+    /// the rest. Both halves share the original backing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(0..at);
+        self.start += at;
+        head
+    }
+}
+
+/// Big-endian read helpers over a byte cursor, the subset of `bytes::Buf`
+/// the workspace uses. Like the real crate, the getters **panic** when
+/// the buffer has fewer bytes than requested; length-check with
+/// [`remaining`](Buf::remaining) first for fallible decoding.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Skips the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "Buf underflow");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        assert!(self.remaining() >= 2, "Buf underflow");
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "Buf underflow");
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "Buf underflow");
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    /// Fills `dst` from the buffer.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "Buf underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
     }
 }
 
@@ -228,6 +325,8 @@ impl Deref for BytesMut {
 pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
     /// Appends a big-endian `u64`.
@@ -239,6 +338,9 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
     fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_be_bytes());
@@ -283,6 +385,41 @@ mod tests {
         let s = a.slice(1..4);
         assert_eq!(s.as_ref(), &[1, 2, 3]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn buf_reads_back_what_bufmut_wrote() {
+        let mut m = BytesMut::new();
+        m.put_u8(0xAB);
+        m.put_u16(0x0102);
+        m.put_u32(0x03040506);
+        m.put_u64(0x0708090A0B0C0D0E);
+        m.put_slice(b"tail");
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0x03040506);
+        assert_eq!(b.get_u64(), 0x0708090A0B0C0D0E);
+        let mut tail = [0u8; 4];
+        b.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn split_to_shares_storage_with_the_remainder() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_ref(), &[1, 2]);
+        assert_eq!(b.as_ref(), &[3, 4, 5]);
+        assert_eq!(head.as_ptr(), unsafe { b.as_ptr().sub(2) });
+    }
+
+    #[test]
+    #[should_panic(expected = "Buf underflow")]
+    fn buf_underflow_panics_like_the_real_crate() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u32();
     }
 
     #[test]

@@ -1127,7 +1127,15 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 );
             }
         }
-        for (committed, result) in eff.commits {
+        // Executing a flushed batch is not instantaneous: under a CPU
+        // model, the k-th commit of one callback finishes (and its
+        // reply departs) k executions later than the first. Without the
+        // spread, every reply of a saturating flush lands at one
+        // instant and the sampled latency distribution collapses to a
+        // point (p99 == p50) under heavy batched load.
+        let per_exec_us = self.cfg.cpu.as_ref().map(|c| c.per_msg_us).unwrap_or(0);
+        for (k, (committed, result)) in eff.commits.into_iter().enumerate() {
+            let done_at = at + per_exec_us * k as Micros;
             let n = &mut self.nodes[idx];
             n.commit_count += 1;
             // Close the adaptive controller's latency loop for requests
@@ -1148,7 +1156,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 let client = committed.cmd.id.client;
                 let reply = Reply::new(committed.cmd.id, result);
                 self.queue.push(
-                    at + self.reply_delay(from, client),
+                    done_at + self.reply_delay(from, client),
                     Event::ReplyArrive { client, reply },
                 );
             }
