@@ -54,8 +54,9 @@ macro_rules! impl_ctx {
             fn log_rewrite(&mut self, recs: Vec<$log>) {
                 self.log = recs;
             }
-            fn commit(&mut self, _c: Committed) {
+            fn commit(&mut self, _c: Committed) -> Bytes {
                 self.commits += 1;
+                Bytes::new()
             }
             fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
         }

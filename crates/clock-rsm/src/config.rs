@@ -1,6 +1,7 @@
 //! Tuning knobs for a Clock-RSM replica.
 
 use rsm_core::checkpoint::CheckpointPolicy;
+use rsm_core::session::DEFAULT_SESSION_WINDOW;
 use rsm_core::time::{Micros, MILLIS};
 
 /// Configuration of a Clock-RSM replica.
@@ -42,6 +43,11 @@ pub struct ClockRsmConfig {
     /// Requires a driver with snapshot support (both the simulator and
     /// the threaded runtime provide it).
     pub checkpoint: CheckpointPolicy,
+    /// Bound on the client-session dedup window
+    /// (`rsm_core::session::SessionTable`): how many distinct clients can
+    /// have a retry recognised as a duplicate at any time. See the
+    /// session module docs for the eviction staleness contract.
+    pub session_window: usize,
 }
 
 impl Default for ClockRsmConfig {
@@ -52,6 +58,7 @@ impl Default for ClockRsmConfig {
             synod_retry_us: 200 * MILLIS,
             reconfig_retry_us: 200 * MILLIS,
             checkpoint: CheckpointPolicy::DISABLED,
+            session_window: DEFAULT_SESSION_WINDOW,
         }
     }
 }
@@ -102,6 +109,17 @@ impl ClockRsmConfig {
     /// Panics if `n` is `Some(0)`.
     pub fn with_checkpoint_every(mut self, n: Option<u64>) -> Self {
         self.checkpoint = self.checkpoint.with_every(n);
+        self
+    }
+
+    /// Sets the client-session dedup window bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_session_window(mut self, n: usize) -> Self {
+        assert!(n > 0, "session window must be positive");
+        self.session_window = n;
         self
     }
 

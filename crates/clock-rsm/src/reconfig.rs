@@ -399,11 +399,19 @@ impl ClockRsm {
             ctx.log_append(LogRec::Commit { ts });
             self.last_committed = ts;
             self.committed_count += 1;
-            ctx.commit(Committed {
-                cmd: lc.cmd,
-                origin: lc.origin,
-                order_hint: order_key(old_epoch, ts),
-            });
+            let payload_len = lc.cmd.payload.len();
+            let applied = self.sessions.commit_dedup(
+                self.id,
+                Committed {
+                    cmd: lc.cmd,
+                    origin: lc.origin,
+                    order_hint: order_key(old_epoch, ts),
+                },
+                ctx,
+            );
+            if applied {
+                self.checkpointer.note_commit(payload_len);
+            }
         }
 
         // Lines 21–23: install epoch + configuration, reset LatestTV.
@@ -675,8 +683,10 @@ mod tests {
         fn log_rewrite(&mut self, recs: Vec<LogRec>) {
             self.log = recs;
         }
-        fn commit(&mut self, c: Committed) {
+        fn commit(&mut self, c: Committed) -> Bytes {
+            let result = c.cmd.payload.clone();
             self.commits.push(c);
+            result
         }
         fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
     }

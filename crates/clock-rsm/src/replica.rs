@@ -9,6 +9,7 @@ use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::read::{ReadPath, ReadQueue};
+use rsm_core::session::SessionTable;
 use rsm_core::time::{Micros, Timestamp};
 
 use crate::config::ClockRsmConfig;
@@ -139,6 +140,12 @@ pub struct ClockRsm {
     /// stale configuration's stable timestamp).
     pub(crate) queued_reads: VecDeque<Command>,
 
+    // ------ client sessions (exactly-once; `rsm_core::session`) ------
+    /// Per-client dedup window: a retried command that already executed
+    /// is answered from here instead of re-applying. Rides checkpoints;
+    /// rebuilt by replay on recovery.
+    pub(crate) sessions: SessionTable,
+
     // ------ counters (observability) ------
     pub(crate) committed_count: u64,
     /// Shared checkpoint scheduler (Section V-B; `rsm_core::checkpoint`).
@@ -186,6 +193,7 @@ impl ClockRsm {
             last_heard: vec![0; n],
             read_queue: ReadQueue::new(),
             queued_reads: VecDeque::new(),
+            sessions: SessionTable::new(cfg.session_window),
             committed_count: 0,
             checkpointer: Checkpointer::new(cfg.checkpoint),
             membership,
@@ -461,12 +469,23 @@ impl ClockRsm {
             debug_assert!(ts > self.last_committed, "commits must be ts-ordered");
             self.last_committed = ts;
             self.committed_count += 1;
-            self.checkpointer.note_commit(cmd.payload.len());
-            ctx.commit(Committed {
-                cmd,
-                origin,
-                order_hint: order_key(self.epoch(), ts),
-            });
+            let payload_len = cmd.payload.len();
+            let order_hint = order_key(self.epoch(), ts);
+            // The session dedup window decides whether this command
+            // actually reaches the state machine: a client retry that
+            // already executed is answered from the cache instead.
+            let applied = self.sessions.commit_dedup(
+                self.id,
+                Committed {
+                    cmd,
+                    origin,
+                    order_hint,
+                },
+                ctx,
+            );
+            if applied {
+                self.checkpointer.note_commit(payload_len);
+            }
             self.maybe_checkpoint(ctx);
         }
         // The stable timestamp may have advanced: serve any read whose
@@ -604,6 +623,7 @@ impl ClockRsm {
             epoch: self.epoch(),
             config: self.membership.config().to_vec(),
             snapshot: state,
+            sessions: self.sessions.export(),
         };
         if self.checkpointer.policy().compact && !self.keeps_history() {
             let mut recs: Vec<LogRec> = Vec::with_capacity(1 + self.pending.len());
@@ -889,6 +909,11 @@ impl Protocol for ClockRsm {
                 if ctx.sm_install(cp.snapshot.clone()) {
                     base_ts = cp.applied;
                     self.last_committed = cp.applied;
+                    // The dedup window travels with the snapshot: restore
+                    // it so retries of pre-checkpoint commands stay
+                    // recognised (a malformed frame leaves it empty and
+                    // replay above the watermark rebuilds what it can).
+                    let _ = self.sessions.install(&cp.sessions);
                     // A compacted log may hold no Epoch records below the
                     // checkpoint; the checkpoint itself pins the
                     // membership it was taken in.
@@ -923,11 +948,18 @@ impl Protocol for ClockRsm {
                     if let Some((cmd, origin)) = entry {
                         self.last_committed = *ts;
                         self.committed_count += 1;
-                        ctx.commit(Committed {
-                            cmd,
-                            origin,
-                            order_hint: order_key(self.membership.epoch(), *ts),
-                        });
+                        // Replay through the same dedup path as live
+                        // execution so the rebuilt window matches what
+                        // the replica held before the crash.
+                        self.sessions.commit_dedup(
+                            self.id,
+                            Committed {
+                                cmd,
+                                origin,
+                                order_hint: order_key(self.membership.epoch(), *ts),
+                            },
+                            ctx,
+                        );
                     }
                 }
                 LogRec::Epoch { epoch, config } => {
@@ -1009,8 +1041,10 @@ mod tests {
         fn log_rewrite(&mut self, recs: Vec<LogRec>) {
             self.log = recs;
         }
-        fn commit(&mut self, c: Committed) {
+        fn commit(&mut self, c: Committed) -> Bytes {
+            let result = c.cmd.payload.clone();
             self.commits.push(c);
+            result
         }
         fn set_timer(&mut self, after: Micros, token: TimerToken) {
             self.timers.push((after, token));

@@ -45,9 +45,11 @@ impl Context<ClockRsm> for CtxWithSm {
     fn log_rewrite(&mut self, recs: Vec<LogRec>) {
         self.log = recs;
     }
-    fn commit(&mut self, c: Committed) {
+    fn commit(&mut self, c: Committed) -> Bytes {
+        let result = c.cmd.payload.clone();
         self.executed.push(c.cmd.id.seq);
         self.commits.push(c);
+        result
     }
     fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
     fn sm_snapshot(&mut self) -> Option<Bytes> {

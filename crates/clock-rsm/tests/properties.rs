@@ -52,8 +52,10 @@ impl Context<ClockRsm> for PumpCtx {
     }
     fn log_append(&mut self, _rec: LogRec) {}
     fn log_rewrite(&mut self, _recs: Vec<LogRec>) {}
-    fn commit(&mut self, c: Committed) {
+    fn commit(&mut self, c: Committed) -> Bytes {
+        let result = c.cmd.payload.clone();
         self.commits.push(c);
+        result
     }
     fn set_timer(&mut self, after: Micros, token: TimerToken) {
         self.timers.push((after, token));

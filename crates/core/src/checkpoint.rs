@@ -237,6 +237,12 @@ pub struct Checkpoint<W> {
     /// Canonical state machine snapshot
     /// ([`StateMachine::snapshot`](crate::sm::StateMachine::snapshot)).
     pub snapshot: Bytes,
+    /// The replica's client-session dedup window at the watermark
+    /// ([`SessionTable::export`](crate::session::SessionTable::export)):
+    /// riding the checkpoint is what keeps the exactly-once guarantee
+    /// alive across recovery, log compaction, and state transfer. Empty
+    /// when the protocol tracks no sessions.
+    pub sessions: Bytes,
 }
 
 impl<W: fmt::Debug> fmt::Debug for Checkpoint<W> {
@@ -253,8 +259,9 @@ impl<W: fmt::Debug> fmt::Debug for Checkpoint<W> {
 
 impl<W> WireSize for Checkpoint<W> {
     fn wire_size(&self) -> usize {
-        // watermark + epoch + config ids + length-prefixed snapshot.
-        8 + 8 + 2 * self.config.len() + 4 + self.snapshot.len()
+        // watermark + epoch + config ids + length-prefixed snapshot and
+        // session table.
+        8 + 8 + 2 * self.config.len() + 4 + self.snapshot.len() + 4 + self.sessions.len()
     }
 }
 
@@ -348,6 +355,7 @@ mod tests {
             epoch: Epoch::ZERO,
             config: vec![ReplicaId::new(0), ReplicaId::new(1)],
             snapshot: Bytes::from(vec![0u8; 10]),
+            sessions: Bytes::new(),
         };
         let large = Checkpoint {
             snapshot: Bytes::from(vec![0u8; 1_000]),

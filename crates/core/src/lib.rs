@@ -101,6 +101,7 @@ pub mod lease;
 pub mod matrix;
 pub mod protocol;
 pub mod read;
+pub mod session;
 pub mod sm;
 pub mod time;
 pub mod wire;
@@ -117,6 +118,10 @@ pub use lease::{Lease, LeaseConfig};
 pub use matrix::LatencyMatrix;
 pub use protocol::{Context, Protocol, TimerToken};
 pub use read::{ReadPath, ReadProbes, ReadQueue, ReadReply, ReadRequest};
+pub use session::{
+    ClientSession, SessionCheck, SessionEvict, SessionOpen, SessionRetry, SessionTable,
+    DEFAULT_SESSION_WINDOW,
+};
 pub use sm::StateMachine;
 pub use time::{Micros, Timestamp};
 pub use wire::{

@@ -76,8 +76,11 @@ pub trait Context<P: Protocol + ?Sized> {
     ///
     /// Must be called in execution order; the driver applies commands
     /// serially and replies to the issuing client if `committed.origin`
-    /// is this replica.
-    fn commit(&mut self, committed: Committed);
+    /// is this replica. Returns the state machine's result for the
+    /// command, so protocols can cache it in their session dedup window
+    /// ([`SessionTable`](crate::session::SessionTable)) and re-serve it
+    /// to a retrying client without re-applying.
+    fn commit(&mut self, committed: Committed) -> bytes::Bytes;
 
     /// Arms a one-shot timer that fires `after` microseconds from now,
     /// delivering `token` to [`Protocol::on_timer`].
@@ -265,6 +268,7 @@ mod tests {
         log: Vec<Command>,
         committed: Vec<Committed>,
         timers: Vec<(Micros, TimerToken)>,
+        replies: Vec<Reply>,
     }
 
     impl Context<Echo> for RecordingCtx {
@@ -279,11 +283,16 @@ mod tests {
         fn log_rewrite(&mut self, recs: Vec<Command>) {
             self.log = recs;
         }
-        fn commit(&mut self, c: Committed) {
+        fn commit(&mut self, c: Committed) -> Bytes {
+            let result = c.cmd.payload.clone();
             self.committed.push(c);
+            result
         }
         fn set_timer(&mut self, after: Micros, token: TimerToken) {
             self.timers.push((after, token));
+        }
+        fn send_reply(&mut self, reply: Reply) {
+            self.replies.push(reply);
         }
     }
 
@@ -320,6 +329,35 @@ mod tests {
         let log = vec![cmd(1), cmd(2), cmd(3)];
         p.on_recover(&log, &mut ctx);
         assert_eq!(ctx.committed.len(), 3);
+    }
+
+    #[test]
+    fn commit_dedup_skips_duplicates_and_serves_cached_reply() {
+        use crate::session::SessionTable;
+        let me = ReplicaId::new(0);
+        let mut table = SessionTable::new(4);
+        let mut ctx = RecordingCtx::default();
+        let committed = Committed {
+            cmd: cmd(1),
+            origin: me,
+            order_hint: 1,
+        };
+        assert!(table.commit_dedup(me, committed.clone(), &mut ctx));
+        assert_eq!(ctx.committed.len(), 1);
+        // A duplicate (same CommandId) is not re-applied: the origin gets
+        // the cached reply instead.
+        assert!(!table.commit_dedup(me, committed.clone(), &mut ctx));
+        assert_eq!(ctx.committed.len(), 1);
+        assert_eq!(ctx.replies.len(), 1);
+        assert_eq!(ctx.replies[0].id, committed.cmd.id);
+        assert_eq!(ctx.replies[0].result, committed.cmd.payload);
+        // At a non-origin replica the duplicate is dropped silently.
+        let elsewhere = Committed {
+            origin: ReplicaId::new(1),
+            ..committed
+        };
+        assert!(!table.commit_dedup(me, elsewhere, &mut ctx));
+        assert_eq!(ctx.replies.len(), 1);
     }
 
     #[test]

@@ -70,10 +70,11 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::batch::Batch;
 use crate::checkpoint::{Checkpoint, StateTransferReply, StateTransferRequest};
-use crate::command::{Command, CommandId};
+use crate::command::{Command, CommandId, Reply};
 use crate::config::Epoch;
 use crate::id::{ClientId, ReplicaId};
 use crate::read::{ReadReply, ReadRequest};
+use crate::session::{SessionEvict, SessionOpen, SessionRetry};
 use crate::time::Timestamp;
 
 /// Number of bytes a value occupies on the wire.
@@ -608,6 +609,59 @@ impl WireDecode for Command {
     }
 }
 
+impl WireEncode for Reply {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.result.encode(buf);
+    }
+}
+impl WireDecode for Reply {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        let id = CommandId::decode(r)?;
+        let result = Bytes::decode(r)?;
+        Ok(Reply::new(id, result))
+    }
+}
+
+impl WireEncode for SessionOpen {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+    }
+}
+impl WireDecode for SessionOpen {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(SessionOpen {
+            client: ClientId::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for SessionRetry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+    }
+}
+impl WireDecode for SessionRetry {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(SessionRetry {
+            id: CommandId::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for SessionEvict {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+    }
+}
+impl WireDecode for SessionEvict {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(SessionEvict {
+            client: ClientId::decode(r)?,
+        })
+    }
+}
+
 impl WireEncode for Batch {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32(self.len() as u32);
@@ -654,6 +708,7 @@ impl<W: WireEncode> WireEncode for Checkpoint<W> {
         self.epoch.encode(buf);
         self.config.encode(buf);
         self.snapshot.encode(buf);
+        self.sessions.encode(buf);
     }
 }
 impl<W: WireDecode> WireDecode for Checkpoint<W> {
@@ -663,6 +718,7 @@ impl<W: WireDecode> WireDecode for Checkpoint<W> {
             epoch: Epoch::decode(r)?,
             config: Vec::<ReplicaId>::decode(r)?,
             snapshot: Bytes::decode(r)?,
+            sessions: Bytes::decode(r)?,
         })
     }
 }
@@ -820,6 +876,7 @@ mod tests {
             epoch: Epoch(3),
             config: vec![ReplicaId::new(0), ReplicaId::new(2)],
             snapshot: Bytes::from_static(b"snappy"),
+            sessions: Bytes::from_static(b"window"),
         };
         let reply = StateTransferReply {
             checkpoint: cp.clone(),
@@ -838,8 +895,33 @@ mod tests {
             epoch: Epoch(1),
             config: vec![ReplicaId::new(1)],
             snapshot: Bytes::new(),
+            sessions: Bytes::new(),
         };
         let back: Checkpoint<Timestamp> = decode_payload(encode_payload(&cp)).unwrap();
         assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn reply_and_session_shapes_round_trip() {
+        let id = CommandId::new(ClientId::new(ReplicaId::new(2), 40), 17);
+        let reply = Reply::new(id, Bytes::from_static(b"ok"));
+        let back: Reply = decode_payload(encode_payload(&reply)).unwrap();
+        assert_eq!(back, reply);
+
+        let open = SessionOpen {
+            client: ClientId::new(ReplicaId::new(1), 9),
+        };
+        let back: SessionOpen = decode_payload(encode_payload(&open)).unwrap();
+        assert_eq!(back, open);
+
+        let retry = SessionRetry { id };
+        let back: SessionRetry = decode_payload(encode_payload(&retry)).unwrap();
+        assert_eq!(back, retry);
+
+        let evict = SessionEvict {
+            client: ClientId::new(ReplicaId::new(0), 3),
+        };
+        let back: SessionEvict = decode_payload(encode_payload(&evict)).unwrap();
+        assert_eq!(back, evict);
     }
 }

@@ -81,10 +81,14 @@ pub struct WorkloadConfig {
     pub record_ops: bool,
     /// Scripted faults, applied at absolute virtual times.
     pub faults: Vec<(Micros, Fault)>,
-    /// Client-side retry: re-issue a command (with a fresh id) when no
-    /// reply arrives within this long. `None` disables retries. Needed
-    /// under reconfiguration, which drops in-flight commands that did not
-    /// reach a majority (their clients must retry, like any RSM client).
+    /// Client-side retry: re-issue the SAME command (identical id and
+    /// payload) when no reply arrives within this long. `None` disables
+    /// retries. Needed under reconfiguration, which drops in-flight
+    /// commands that did not reach a majority (their clients must
+    /// retry, like any RSM client). Reusing the id is what makes the
+    /// retry safe when only the *reply* was lost: the replicas' session
+    /// tables (`rsm_core::session`) recognise the already-applied seq
+    /// and answer from the cached reply instead of applying twice.
     pub retry_timeout_us: Option<Micros>,
 }
 
@@ -97,6 +101,9 @@ struct ClientState {
     /// Whether the in-flight command is a local read (classifies the
     /// reply into the read/write latency split).
     reading: bool,
+    /// The in-flight command, kept whole so a retry re-submits the
+    /// identical (id, payload) pair rather than minting a fresh one.
+    pending: Option<Command>,
 }
 
 /// The closed-loop client application driving a simulation.
@@ -136,6 +143,7 @@ impl<P> WorkloadApp<P> {
                     seq: 0,
                     issued_at: None,
                     reading: false,
+                    pending: None,
                 });
             }
         }
@@ -240,6 +248,7 @@ impl<P> WorkloadApp<P> {
         } else {
             Command::new(cmd_id, payload)
         };
+        self.clients[idx].pending = Some(cmd.clone());
         if is_read {
             // Client-side read routing: send the read straight to the
             // site's advertised lease holder (Paxos) instead of paying a
@@ -282,8 +291,24 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
                 self.clients[idx].issued_at.is_some() && self.clients[idx].seq & 0xFF_FFFF == seq;
             if stuck {
                 // The command was lost (e.g. flushed by a reconfiguration
-                // it did not survive): re-issue with a fresh identity.
-                self.issue(idx, api);
+                // it did not survive) — or only its reply was. Re-submit
+                // the SAME command: if it did commit, the session tables
+                // serve the cached reply instead of applying it again.
+                let client = &self.clients[idx];
+                let cmd = client
+                    .pending
+                    .clone()
+                    .expect("a stuck client holds its pending command");
+                let site = client.site;
+                if cmd.read_only {
+                    let target = api.read_target(site);
+                    api.submit_from(site, target, cmd);
+                } else {
+                    api.submit(site, cmd);
+                }
+                if let Some(timeout) = self.cfg.retry_timeout_us {
+                    api.schedule(timeout, key);
+                }
             }
             return;
         }
@@ -307,24 +332,28 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
             return;
         };
         if reply.id.seq != self.clients[idx].seq {
-            return; // stale reply for a command superseded by a retry
+            return; // duplicate reply for an earlier command's retry
         }
-        let issued = self.clients[idx].issued_at.take();
-        if let Some(issued) = issued {
-            if self.cfg.record_ops {
-                if let Some(&op_idx) = self.op_index.get(&reply.id) {
-                    self.ops[op_idx].replied = Some(now);
-                    self.ops[op_idx].result = Some(reply.result.clone());
-                }
+        self.clients[idx].pending = None;
+        let Some(issued) = self.clients[idx].issued_at.take() else {
+            // A same-id retry can draw two replies (the commit's own and
+            // the dedup cache's): the first already advanced the loop,
+            // so the second must not schedule another command.
+            return;
+        };
+        if self.cfg.record_ops {
+            if let Some(&op_idx) = self.op_index.get(&reply.id) {
+                self.ops[op_idx].replied = Some(now);
+                self.ops[op_idx].result = Some(reply.result.clone());
             }
-            if issued >= self.cfg.warmup_until && now <= self.cfg.measure_until {
-                let site = self.clients[idx].site;
-                self.site_stats[site.index()].record(now - issued);
-                if self.clients[idx].reading {
-                    self.read_stats.record(now - issued);
-                } else {
-                    self.write_stats.record(now - issued);
-                }
+        }
+        if issued >= self.cfg.warmup_until && now <= self.cfg.measure_until {
+            let site = self.clients[idx].site;
+            self.site_stats[site.index()].record(now - issued);
+            if self.clients[idx].reading {
+                self.read_stats.record(now - issued);
+            } else {
+                self.write_stats.record(now - issued);
             }
         }
         // Think, then issue the next command.

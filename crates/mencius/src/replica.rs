@@ -17,6 +17,7 @@ use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply, MAX_READ_PROBES};
+use rsm_core::session::SessionTable;
 use rsm_core::time::Micros;
 
 use crate::msg::MenciusMsg;
@@ -195,6 +196,12 @@ pub struct MenciusBcast {
     queued_probe_reads: Vec<Command>,
     /// Whether the escape-flush timer is armed.
     probe_flush_armed: bool,
+
+    // ------ client sessions (`rsm_core::session`) ------
+    /// Per-client dedup window, consulted at execution time beside the
+    /// read-probe bookkeeping: a retried command whose seq was already
+    /// applied is answered from the cached reply instead of re-applied.
+    sessions: SessionTable,
 }
 
 /// The requester-side per-owner bounds accumulated for one read probe.
@@ -251,6 +258,7 @@ impl MenciusBcast {
             probe_marks: HashMap::new(),
             queued_probe_reads: Vec::new(),
             probe_flush_armed: false,
+            sessions: SessionTable::default(),
             membership,
         }
     }
@@ -259,6 +267,17 @@ impl MenciusBcast {
     /// for this replica.
     pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpointer = Checkpointer::new(policy);
+        self
+    }
+
+    /// Overrides the client-session dedup window bound (defaults to
+    /// [`rsm_core::session::DEFAULT_SESSION_WINDOW`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_session_window(mut self, n: usize) -> Self {
+        self.sessions = SessionTable::new(n);
         self
     }
 
@@ -456,12 +475,19 @@ impl MenciusBcast {
                 let (cmd, origin) = self.slots.remove(&c).expect("checked above");
                 ctx.log_append(MenciusLogRec::Commit { slot: c });
                 self.exec_cursor = c + 1;
-                self.checkpointer.note_commit(cmd.payload.len());
-                ctx.commit(Committed {
-                    cmd,
-                    origin,
-                    order_hint: c,
-                });
+                let payload_len = cmd.payload.len();
+                let applied = self.sessions.commit_dedup(
+                    self.id,
+                    Committed {
+                        cmd,
+                        origin,
+                        order_hint: c,
+                    },
+                    ctx,
+                );
+                if applied {
+                    self.checkpointer.note_commit(payload_len);
+                }
                 continue;
             }
             let owner = self.owner_of_slot(c);
@@ -713,6 +739,7 @@ impl MenciusBcast {
             epoch: Epoch::ZERO,
             config: self.membership.config().to_vec(),
             snapshot,
+            sessions: self.sessions.export(),
         };
         if self.checkpointer.policy().compact {
             self.compact_log(cp, ctx);
@@ -809,6 +836,7 @@ impl MenciusBcast {
                     epoch: Epoch::ZERO,
                     config: self.membership.config().to_vec(),
                     snapshot,
+                    sessions: self.sessions.export(),
                 },
             }),
         );
@@ -828,6 +856,7 @@ impl MenciusBcast {
         if !ctx.sm_install(cp.snapshot.clone()) {
             return; // driver cannot install snapshots
         }
+        let _ = self.sessions.install(&cp.sessions);
         self.last_transfer_req = None;
         self.slots = self.slots.split_off(&cp.applied);
         self.exec_cursor = cp.applied;
@@ -1086,6 +1115,7 @@ impl Protocol for MenciusBcast {
             if let MenciusLogRec::Checkpoint { cp, history_floor } = rec {
                 if ctx.sm_install(cp.snapshot.clone()) {
                     base = cp.applied;
+                    let _ = self.sessions.install(&cp.sessions);
                 }
                 self.history_floor = *history_floor;
                 break;
@@ -1133,11 +1163,15 @@ impl Protocol for MenciusBcast {
             self.exec_cursor += 1;
             self.slots.remove(&c);
             if let Some((cmd, origin)) = entry {
-                ctx.commit(Committed {
-                    cmd,
-                    origin,
-                    order_hint: c,
-                });
+                self.sessions.commit_dedup(
+                    self.id,
+                    Committed {
+                        cmd,
+                        origin,
+                        order_hint: c,
+                    },
+                    ctx,
+                );
             }
         }
         // Never reuse own slots: continue at the smallest own slot that
@@ -1221,9 +1255,11 @@ mod tests {
         fn log_rewrite(&mut self, recs: Vec<MenciusLogRec>) {
             self.log = recs;
         }
-        fn commit(&mut self, c: Committed) {
+        fn commit(&mut self, c: Committed) -> Bytes {
+            let result = c.cmd.payload.clone();
             self.executed.push(c.cmd.id.seq);
             self.commits.push(c);
+            result
         }
         fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
         fn sm_snapshot(&mut self) -> Option<Bytes> {

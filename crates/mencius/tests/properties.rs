@@ -30,8 +30,10 @@ impl Context<MenciusBcast> for PumpCtx {
     }
     fn log_append(&mut self, _rec: MenciusLogRec) {}
     fn log_rewrite(&mut self, _recs: Vec<MenciusLogRec>) {}
-    fn commit(&mut self, c: Committed) {
+    fn commit(&mut self, c: Committed) -> Bytes {
+        let result = c.cmd.payload.clone();
         self.commits.push(c);
+        result
     }
     fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
 }

@@ -50,6 +50,7 @@ use rsm_core::id::ReplicaId;
 use rsm_core::lease::{Lease, LeaseConfig};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply};
+use rsm_core::session::SessionTable;
 use rsm_core::time::Micros;
 
 use crate::msg::{PaxosMsg, SuffixEntry};
@@ -254,6 +255,12 @@ pub struct MultiPaxos {
     queued_probe_reads: Vec<Command>,
     /// Whether a [`TOKEN_PROBE_FLUSH`] timer is outstanding.
     probe_flush_armed: bool,
+
+    // ------ client sessions (exactly-once; `rsm_core::session`) ------
+    /// Per-client dedup window: a retried command that already executed
+    /// is answered from the cached reply instead of re-applying. Rides
+    /// checkpoints and state transfer; rebuilt by replay on recovery.
+    sessions: SessionTable,
     /// `regime_heard[k]`: local clock when replica `k` last sent
     /// evidence of the **current** regime (an `Accepted` or `ReadMark`
     /// at our ballot). Reset on regime change; feeds the leader's read
@@ -311,6 +318,7 @@ impl MultiPaxos {
             read_probes: ReadProbes::new(),
             queued_probe_reads: Vec::new(),
             probe_flush_armed: false,
+            sessions: SessionTable::default(),
             regime_heard: vec![0; n],
             repair_top: 0,
         }
@@ -320,6 +328,17 @@ impl MultiPaxos {
     /// for this replica.
     pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpointer = Checkpointer::new(policy);
+        self
+    }
+
+    /// Bounds the client-session dedup window (`rsm_core::session`);
+    /// the default is [`rsm_core::session::DEFAULT_SESSION_WINDOW`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_session_window(mut self, n: usize) -> Self {
+        self.sessions = SessionTable::new(n);
         self
     }
 
@@ -1360,12 +1379,22 @@ impl MultiPaxos {
                 ctx.log_append(PaxosLogRec::Commit { instance });
             }
             if let Some((cmd, origin)) = slot.value {
-                self.checkpointer.note_commit(cmd.payload.len());
-                ctx.commit(Committed {
-                    cmd,
-                    origin,
-                    order_hint: instance,
-                });
+                let payload_len = cmd.payload.len();
+                // The session dedup window decides whether the command
+                // actually reaches the state machine: a client retry that
+                // already executed is answered from the cache instead.
+                let applied = self.sessions.commit_dedup(
+                    self.id,
+                    Committed {
+                        cmd,
+                        origin,
+                        order_hint: instance,
+                    },
+                    ctx,
+                );
+                if applied {
+                    self.checkpointer.note_commit(payload_len);
+                }
             }
         }
         if log_marks {
@@ -1392,6 +1421,7 @@ impl MultiPaxos {
             epoch: Epoch::ZERO,
             config: self.membership.config().to_vec(),
             snapshot,
+            sessions: self.sessions.export(),
         };
         if self.checkpointer.policy().compact {
             self.compact_log(cp, ctx);
@@ -1481,6 +1511,7 @@ impl MultiPaxos {
                         epoch: Epoch::ZERO,
                         config: self.membership.config().to_vec(),
                         snapshot,
+                        sessions: self.sessions.export(),
                     },
                 },
                 promised: self.promised,
@@ -1508,6 +1539,9 @@ impl MultiPaxos {
         if !ctx.sm_install(cp.snapshot.clone()) {
             return; // driver cannot install snapshots
         }
+        // The dedup window travels with the snapshot: adopt the sender's
+        // (it reflects exactly the applied prefix we just installed).
+        let _ = self.sessions.install(&cp.sessions);
         self.stalled_at = None;
         self.instances = self.instances.split_off(&cp.applied);
         self.exec_cursor = cp.applied;
@@ -1713,6 +1747,9 @@ impl Protocol for MultiPaxos {
             if let PaxosLogRec::Checkpoint(cp) = rec {
                 if ctx.sm_install(cp.snapshot.clone()) {
                     base = cp.applied;
+                    // Restore the dedup window the checkpoint rode in
+                    // with; replay above the watermark extends it.
+                    let _ = self.sessions.install(&cp.sessions);
                 }
                 break;
             }

@@ -58,9 +58,11 @@ impl Context<MultiPaxos> for TestCtx {
     fn log_rewrite(&mut self, recs: Vec<PaxosLogRec>) {
         self.log = recs;
     }
-    fn commit(&mut self, c: Committed) {
+    fn commit(&mut self, c: Committed) -> Bytes {
+        let result = c.cmd.payload.clone();
         self.executed.push(c.cmd.id.seq);
         self.commits.push(c);
+        result
     }
     fn set_timer(&mut self, _after: Micros, _token: TimerToken) {}
     fn sm_snapshot(&mut self) -> Option<Bytes> {
@@ -654,6 +656,7 @@ fn stale_state_reply_is_ignored() {
                 epoch: Epoch::ZERO,
                 config: vec![r(0), r(1), r(2)],
                 snapshot: Bytes::from_static(b""),
+                sessions: Bytes::new(),
             },
         },
         promised: b0(),

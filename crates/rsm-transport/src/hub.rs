@@ -1,5 +1,7 @@
 //! A node's outbound fan-out: per-peer links plus the encode-once cache.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -16,6 +18,34 @@ pub trait MsgSink<M>: Send {
     /// Sends `msg` to replica `to`. Self-sends are delivered locally
     /// without touching a socket or encoding anything.
     fn send_msg(&mut self, to: ReplicaId, msg: M);
+}
+
+/// A cloneable, lock-free view of a hub's per-peer outbound queue
+/// depths, readable after the hub itself has moved into its node
+/// thread. Admission control samples it to detect a peer link whose
+/// socket (or emulated WAN delay) has fallen far behind.
+#[derive(Clone, Default)]
+pub struct OutboundDepth {
+    gauges: Vec<Arc<AtomicUsize>>,
+}
+
+impl OutboundDepth {
+    /// The deepest per-peer outbound queue right now (0 with no peers).
+    pub fn max(&self) -> usize {
+        self.gauges
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for OutboundDepth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutboundDepth")
+            .field("max", &self.max())
+            .finish()
+    }
 }
 
 struct EncodeCache<M> {
@@ -72,6 +102,20 @@ impl<M: WireMsg> Hub<M> {
             delay,
             seq: 0,
         });
+    }
+
+    /// A depth gauge over every peer link added so far. Grab it before
+    /// handing the hub to its node thread; links added later are not
+    /// covered.
+    pub fn outbound_depth(&self) -> OutboundDepth {
+        OutboundDepth {
+            gauges: self
+                .peers
+                .iter()
+                .flatten()
+                .map(|p| p.link.depth_handle())
+                .collect(),
+        }
     }
 
     /// Encoded payload + checksum for `msg`, reusing the cached buffer

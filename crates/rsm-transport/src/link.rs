@@ -57,6 +57,14 @@ impl PeerLink {
         }
     }
 
+    /// A lock-free handle on this link's queued-frame count.
+    pub(crate) fn depth_handle(&self) -> std::sync::Arc<std::sync::atomic::AtomicUsize> {
+        self.tx
+            .as_ref()
+            .expect("link queue alive until drop")
+            .depth_handle()
+    }
+
     /// Enqueues a frame, blocking while the link queue is full.
     pub(crate) fn send(&self, frame: OutFrame) {
         if let Some(tx) = &self.tx {

@@ -15,9 +15,10 @@ use rsm_core::command::{Command, CommandId, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
 use rsm_core::protocol::Protocol;
+use rsm_core::session::ClientSession;
 use rsm_core::sm::StateMachine;
 use rsm_core::wire::WireMsg;
-use rsm_transport::{Endpoint, Hub, Listener};
+use rsm_transport::{Endpoint, Hub, Listener, OutboundDepth};
 
 use crate::net::{run_network, NetInput, Wire};
 use crate::node::{NodeHarness, NodeInput, NodeReport, Outbound, ReplyBatch};
@@ -44,6 +45,27 @@ pub enum ClusterTransport {
     Uds,
 }
 
+/// First client number the cluster mints for its own API calls
+/// ([`Cluster::execute`], [`Cluster::session`]). Caller-minted ids
+/// ([`Cluster::execute_command`]) must stay below it; the shard
+/// coordinator's snapshot client and the test suites' small numbers
+/// already do.
+pub const CLIENT_BASE: u32 = 0x4000_0000;
+
+/// The pending-reply map is swept for expired entries whenever an
+/// insert finds it at least this large, bounding the leak from waiters
+/// that vanished without removing their entry (a racing retry overwrote
+/// it, or the caller panicked between insert and receive).
+const PENDING_SWEEP_MIN: usize = 1024;
+
+/// Default admission-control high-water mark: a *new* command is
+/// rejected with [`ExecuteError::Busy`] when its target replica's inbox
+/// or deepest per-peer outbound queue holds more than this many
+/// entries. Retries of an already-submitted command bypass the check —
+/// rejecting them would break the exactly-once retry contract for no
+/// gain (their slot is already paid for).
+const DEFAULT_ADMISSION_HWM: usize = 65_536;
+
 /// Configuration of a live cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -53,6 +75,9 @@ pub struct ClusterConfig {
     batch: BatchPolicy,
     epoch: Option<Instant>,
     transport: ClusterTransport,
+    retry_attempts: u32,
+    retry_backoff: Duration,
+    admission_hwm: usize,
 }
 
 impl ClusterConfig {
@@ -67,7 +92,43 @@ impl ClusterConfig {
             batch: BatchPolicy::DISABLED,
             epoch: None,
             transport: ClusterTransport::InProcess,
+            retry_attempts: 1,
+            retry_backoff: Duration::from_millis(50),
+            admission_hwm: DEFAULT_ADMISSION_HWM,
         }
+    }
+
+    /// Sets how often [`Cluster::execute`] and [`ClusterSession::execute`]
+    /// try a command before giving up, and the base backoff between
+    /// attempts (attempt `k` sleeps `k * backoff`). Every attempt after
+    /// the first resubmits the SAME command id, so a command whose first
+    /// attempt actually committed — only the reply was lost — is
+    /// recognised by the replicas' session tables and answered from the
+    /// cached reply instead of being applied again. Defaults to one
+    /// attempt (no retry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn retries(mut self, attempts: u32, backoff: Duration) -> Self {
+        assert!(attempts > 0, "at least one attempt is required");
+        self.retry_attempts = attempts;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the admission-control high-water mark (see
+    /// [`ExecuteError::Busy`]). New commands are rejected while the
+    /// target replica's inbox or deepest per-peer outbound socket queue
+    /// exceeds `n` entries; retries are exempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn admission_high_water(mut self, n: usize) -> Self {
+        assert!(n > 0, "admission high-water mark must be positive");
+        self.admission_hwm = n;
+        self
     }
 
     /// Selects the message plane (see [`ClusterTransport`]). Protocols,
@@ -131,13 +192,31 @@ impl ClusterConfig {
 pub struct Cluster<P: Protocol + Send + 'static> {
     node_txs: Vec<Sender<NodeInput<P>>>,
     net_tx: Option<Sender<NetInput<P::Msg>>>,
-    pending: Arc<Mutex<HashMap<CommandId, Sender<Reply>>>>,
+    pending: Arc<Mutex<PendingMap>>,
     node_handles: Vec<JoinHandle<NodeReport>>,
     net_handle: Option<JoinHandle<()>>,
     listeners: Vec<Listener>,
     router_handle: JoinHandle<()>,
-    seq: AtomicU64,
+    /// Mints distinct client numbers (offset from [`CLIENT_BASE`]) so
+    /// every API call / session owns its own per-client seq space.
+    clients: AtomicU64,
+    /// Per-replica outbound socket-queue gauges (empty in process:
+    /// the WAN emulator's channel is unbounded and drains centrally).
+    outbound_depths: Vec<OutboundDepth>,
+    retry_attempts: u32,
+    retry_backoff: Duration,
+    admission_hwm: usize,
 }
+
+/// A parked waiter for one in-flight command's reply.
+struct PendingReply {
+    tx: Sender<Reply>,
+    /// When the waiter stops listening; expired entries are swept once
+    /// the map grows past [`PENDING_SWEEP_MIN`].
+    expires: Instant,
+}
+
+type PendingMap = HashMap<CommandId, PendingReply>;
 
 impl<P: Protocol + Send + 'static> Cluster<P> {
     /// Spawns one thread per replica (protocols built by `factory`, state
@@ -170,6 +249,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         // shared machinery the transport needs (the WAN-emulator thread
         // in process, bound listeners over sockets).
         let mut outbounds: Vec<Outbound<P>>;
+        let mut outbound_depths = vec![OutboundDepth::default(); n];
         let mut net_tx = None;
         let mut net_handle = None;
         let mut listeners = Vec::new();
@@ -225,6 +305,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                     listeners.push(listener);
                 }
                 outbounds = Vec::with_capacity(n);
+                let mut depths = Vec::with_capacity(n);
                 for (i, node_tx) in node_txs.iter().enumerate() {
                     let id = ReplicaId::new(i as u16);
                     let loop_tx = node_tx.clone();
@@ -246,8 +327,10 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                         let delay_us = (cfg.latency.one_way(id, to) as f64 * cfg.scale) as u64;
                         hub.add_peer(to, endpoint.clone(), Duration::from_micros(delay_us));
                     }
+                    depths.push(hub.outbound_depth());
                     outbounds.push(Outbound::Socket(Box::new(hub)));
                 }
+                outbound_depths = depths;
             }
         }
 
@@ -273,8 +356,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             );
         }
 
-        let pending: Arc<Mutex<HashMap<CommandId, Sender<Reply>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let pending: Arc<Mutex<PendingMap>> = Arc::new(Mutex::new(HashMap::new()));
         let pending_for_router = Arc::clone(&pending);
         let router_handle = std::thread::Builder::new()
             .name("reply-router".to_string())
@@ -282,8 +364,8 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 while let Ok(batch) = reply_rx.recv() {
                     let mut pending = pending_for_router.lock();
                     for (id, reply) in batch {
-                        if let Some(tx) = pending.remove(&id) {
-                            let _ = tx.send(reply);
+                        if let Some(p) = pending.remove(&id) {
+                            let _ = p.tx.send(reply);
                         }
                     }
                 }
@@ -298,7 +380,11 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             net_handle,
             listeners,
             router_handle,
-            seq: AtomicU64::new(0),
+            clients: AtomicU64::new(0),
+            outbound_depths,
+            retry_attempts: cfg.retry_attempts,
+            retry_backoff: cfg.retry_backoff,
+            admission_hwm: cfg.admission_hwm,
         }
     }
 
@@ -320,12 +406,18 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     }
 
     /// Submits an opaque state machine operation to `site` and blocks
-    /// until its reply arrives or `timeout` elapses.
+    /// until its reply arrives or `timeout` elapses, retrying per the
+    /// configured [`ClusterConfig::retries`] policy. Every retry reuses
+    /// the SAME command id, so an attempt whose commit succeeded but
+    /// whose reply was lost is answered from the replicas' session
+    /// tables instead of being applied a second time.
     ///
     /// # Errors
     ///
-    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives in time
-    /// (e.g. the command was lost to a reconfiguration and needs a retry).
+    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives within
+    /// any attempt's deadline, and `Err(ExecuteError::Busy)` when
+    /// admission control rejected the command before it was ever
+    /// submitted (the replica is saturated; nothing was applied).
     pub fn execute(
         &self,
         site: ReplicaId,
@@ -333,6 +425,21 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
         self.roundtrip(site, payload, timeout, false, None)
+    }
+
+    /// Opens a client session against `site`: a handle owning its own
+    /// [`ClientId`] and monotone sequence, whose
+    /// [`execute`](ClusterSession::execute) retries with backoff under
+    /// the SAME command id (exactly-once across reply loss), and whose
+    /// [`retry_last`](ClusterSession::retry_last) deliberately
+    /// re-submits the previous command to exercise the dedup path.
+    pub fn session(&self, site: ReplicaId) -> ClusterSession<'_, P> {
+        ClusterSession {
+            cluster: self,
+            site,
+            session: ClientSession::new(self.mint_client(site)),
+            last: None,
+        }
     }
 
     /// Submits a **read-only** operation to `site` and blocks until its
@@ -381,22 +488,41 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     }
 
     /// Submits a pre-built command (caller-minted id) to `site` and
-    /// blocks until its reply arrives or `timeout` elapses. The id must
-    /// not collide with the cluster's own ids (client number 0 at each
-    /// site); external coordinators use another client number.
+    /// blocks until its reply arrives or `timeout` elapses. The id's
+    /// client number must stay below [`CLIENT_BASE`] (`0x4000_0000`),
+    /// where the cluster's own minted ids start.
     ///
     /// # Errors
     ///
-    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives in time.
+    /// Returns `Err(ExecuteError::Timeout)` when no reply arrives in
+    /// time, and `Err(ExecuteError::Busy)` on admission rejection.
     pub fn execute_command(
         &self,
         site: ReplicaId,
         cmd: Command,
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
+        self.execute_attempt(site, cmd, timeout, false)
+    }
+
+    /// One submit-and-wait round. `retry` marks a re-submission of a
+    /// command that may already have been applied: it bypasses admission
+    /// control (its slot is already paid for) and relies on the
+    /// replicas' session tables to convert a duplicate apply into the
+    /// cached original reply.
+    fn execute_attempt(
+        &self,
+        site: ReplicaId,
+        cmd: Command,
+        timeout: Duration,
+        retry: bool,
+    ) -> Result<Reply, ExecuteError> {
+        if !retry {
+            self.check_admission(site)?;
+        }
         let id = cmd.id;
         let (tx, rx) = bounded(1);
-        self.pending.lock().insert(id, tx);
+        self.insert_pending(id, tx, timeout);
         self.submit(site, cmd);
         match rx.recv_timeout(timeout) {
             Ok(reply) => Ok(reply),
@@ -407,6 +533,71 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         }
     }
 
+    /// The configured retry loop around [`execute_attempt`]: same
+    /// command id every time. A [`Busy`](ExecuteError::Busy) rejection
+    /// means the command never entered the system, so the next attempt
+    /// is still "new"; a timeout means it MAY have been applied, so
+    /// every later attempt runs as a retry.
+    fn execute_with_retry(
+        &self,
+        site: ReplicaId,
+        cmd: Command,
+        timeout: Duration,
+    ) -> Result<Reply, ExecuteError> {
+        let mut submitted = false;
+        let mut attempt = 0u32;
+        loop {
+            let result = self.execute_attempt(site, cmd.clone(), timeout, submitted);
+            let err = match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) => e,
+            };
+            submitted |= err == ExecuteError::Timeout;
+            attempt += 1;
+            if attempt >= self.retry_attempts {
+                return Err(err);
+            }
+            std::thread::sleep(self.retry_backoff * attempt);
+        }
+    }
+
+    /// Rejects a new command when `site`'s inbox or deepest outbound
+    /// socket queue is past the high-water mark.
+    fn check_admission(&self, site: ReplicaId) -> Result<(), ExecuteError> {
+        if self.node_txs[site.index()].len() > self.admission_hwm
+            || self.outbound_depths[site.index()].max() > self.admission_hwm
+        {
+            return Err(ExecuteError::Busy);
+        }
+        Ok(())
+    }
+
+    /// Registers a reply waiter, sweeping expired entries once the map
+    /// is large: a waiter that disappeared without cleaning up (its
+    /// entry was overwritten by a retry, or it panicked) must not leak
+    /// its slot forever.
+    fn insert_pending(&self, id: CommandId, tx: Sender<Reply>, timeout: Duration) {
+        let now = Instant::now();
+        let mut pending = self.pending.lock();
+        if pending.len() >= PENDING_SWEEP_MIN {
+            pending.retain(|_, p| p.expires > now);
+        }
+        pending.insert(
+            id,
+            PendingReply {
+                tx,
+                expires: now + timeout,
+            },
+        );
+    }
+
+    /// Mints a cluster-owned client id homed at `site` (see
+    /// [`CLIENT_BASE`]).
+    fn mint_client(&self, site: ReplicaId) -> ClientId {
+        let n = self.clients.fetch_add(1, Ordering::Relaxed);
+        ClientId::new(site, CLIENT_BASE.wrapping_add(n as u32))
+    }
+
     fn roundtrip(
         &self,
         site: ReplicaId,
@@ -415,14 +606,18 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         read_only: bool,
         read_at: Option<u64>,
     ) -> Result<Reply, ExecuteError> {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let id = CommandId::new(ClientId::new(site, 0), seq);
+        // One-shot session per call: a FRESH client id with seq 1, not a
+        // shared client with a global seq. Replicas dedup per client by
+        // highest applied seq, so two concurrent calls sharing one
+        // client id could commit out of seq order and have the lower
+        // seq dropped as stale.
+        let id = CommandId::new(self.mint_client(site), 1);
         let cmd = match (read_only, read_at) {
             (true, Some(at)) => Command::read_at(id, payload, at),
             (true, None) => Command::read(id, payload),
             (false, _) => Command::new(id, payload),
         };
-        self.execute_command(site, cmd, timeout)
+        self.execute_with_retry(site, cmd, timeout)
     }
 
     /// Stops every thread and returns the per-node final reports.
@@ -457,17 +652,89 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     }
 }
 
+/// A client session bound to one [`Cluster`] site: the runtime driver's
+/// face of the exactly-once contract (`rsm_core::session`).
+///
+/// The handle owns a [`ClientSession`] — a stable [`ClientId`] plus a
+/// monotone per-client sequence — so every command it executes carries
+/// an id the replicas' session tables can dedup on.
+/// [`execute`](ClusterSession::execute) retries with backoff under the
+/// SAME id when a reply is lost; [`retry_last`](ClusterSession::retry_last)
+/// re-submits the previous command verbatim, which must come back with
+/// the cached original reply rather than a second application.
+pub struct ClusterSession<'a, P: Protocol + Send + 'static> {
+    cluster: &'a Cluster<P>,
+    site: ReplicaId,
+    session: ClientSession,
+    /// The most recent command, kept whole so a retry re-submits the
+    /// identical (id, payload) pair.
+    last: Option<Command>,
+}
+
+impl<P: Protocol + Send + 'static> ClusterSession<'_, P> {
+    /// The session's stable client identity.
+    pub fn client(&self) -> ClientId {
+        self.session.client()
+    }
+
+    /// The site this session submits to.
+    pub fn site(&self) -> ReplicaId {
+        self.site
+    }
+
+    /// Executes `payload` under the session's next command id, retrying
+    /// per the cluster's [`ClusterConfig::retries`] policy with the
+    /// SAME id on every attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Timeout`] when every attempt's deadline
+    /// passed without a reply, and [`ExecuteError::Busy`] when
+    /// admission control rejected the command before submission.
+    pub fn execute(&mut self, payload: Bytes, timeout: Duration) -> Result<Reply, ExecuteError> {
+        let cmd = Command::new(self.session.next_id(), payload);
+        self.last = Some(cmd.clone());
+        self.cluster.execute_with_retry(self.site, cmd, timeout)
+    }
+
+    /// Re-submits the session's previous command unchanged — a
+    /// deliberate duplicate. The replicas' session tables recognise the
+    /// already-applied seq and answer with the CACHED original reply;
+    /// the state machine must not run the command again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Timeout`] when no reply arrives in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has not executed anything yet.
+    pub fn retry_last(&self, timeout: Duration) -> Result<Reply, ExecuteError> {
+        let cmd = self.last.clone().expect("no command to retry");
+        self.cluster.execute_attempt(self.site, cmd, timeout, true)
+    }
+}
+
 /// Errors from [`Cluster::execute`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecuteError {
-    /// No reply within the deadline.
+    /// No reply within the deadline. The command MAY still commit
+    /// later; retry it under the same id (a [`ClusterSession`] does
+    /// this automatically) so a late commit is never doubled.
     Timeout,
+    /// Admission control rejected the command before it was submitted:
+    /// the target replica's inbox or an outbound peer queue is past the
+    /// configured high-water mark
+    /// ([`ClusterConfig::admission_high_water`]). Nothing was applied;
+    /// back off and resubmit as a new command.
+    Busy,
 }
 
 impl std::fmt::Display for ExecuteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecuteError::Timeout => write!(f, "no reply before the deadline"),
+            ExecuteError::Busy => write!(f, "replica saturated: admission control rejected"),
         }
     }
 }

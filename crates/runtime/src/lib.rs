@@ -51,5 +51,5 @@ pub mod net;
 pub mod node;
 pub mod shard;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterTransport};
+pub use cluster::{Cluster, ClusterConfig, ClusterSession, ClusterTransport, ExecuteError};
 pub use shard::ShardedCluster;

@@ -132,13 +132,14 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
         *self.log = recs;
     }
 
-    fn commit(&mut self, committed: Committed) {
+    fn commit(&mut self, committed: Committed) -> Bytes {
         let result = self.sm.apply(&committed.cmd);
         *self.commit_count += 1;
         if committed.origin == self.id && !self.suppress_replies {
             let id = committed.cmd.id;
-            self.replies.push((id, Reply::new(id, result)));
+            self.replies.push((id, Reply::new(id, result.clone())));
         }
+        result
     }
 
     fn set_timer(&mut self, after: Micros, token: TimerToken) {

@@ -96,6 +96,17 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Number of values currently queued (admission control samples
+        /// inbox depth from the sending side).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.inner.lock().unwrap().queue.is_empty()
+        }
+
         /// Enqueues `value`, failing only if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut inner = self.shared.inner.lock().unwrap();

@@ -398,9 +398,10 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
     fn log_rewrite(&mut self, recs: Vec<P::LogRec>) {
         self.log.rewrite(recs);
     }
-    fn commit(&mut self, committed: Committed) {
+    fn commit(&mut self, committed: Committed) -> bytes::Bytes {
         let result = self.sm.apply(&committed.cmd);
-        self.eff.commits.push((committed, result));
+        self.eff.commits.push((committed, result.clone()));
+        result
     }
     fn set_timer(&mut self, after: Micros, token: TimerToken) {
         self.eff.timers.push((after, token));

@@ -105,12 +105,14 @@ fn arb_checkpoint() -> impl Strategy<Value = Checkpoint<u64>> {
         0u64..50,
         pvec(arb_replica(), 1..4),
         pvec(any::<u8>(), 0..48),
+        pvec(any::<u8>(), 0..32),
     )
-        .prop_map(|(applied, epoch, config, snapshot)| Checkpoint {
+        .prop_map(|(applied, epoch, config, snapshot, sessions)| Checkpoint {
             applied,
             epoch: Epoch(epoch),
             config,
             snapshot: Bytes::from(snapshot),
+            sessions: Bytes::from(sessions),
         })
 }
 
