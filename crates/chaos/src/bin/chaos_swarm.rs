@@ -1,0 +1,134 @@
+//! CI entry point for the chaos swarm.
+//!
+//! Runs a seed range through the generate → execute → grade → shrink
+//! pipeline and exits non-zero if any schedule fails an oracle. On
+//! failure it writes an artifact file containing, for every failure:
+//! the seed, the failing oracle, the failure detail, and a minimized
+//! reproducer test ready to commit to `tests/chaos_regressions.rs`.
+//!
+//! Usage:
+//!
+//! ```text
+//! chaos_swarm [--seeds LO..HI] [--protocols clock-rsm,paxos,...]
+//!             [--shrink-budget N] [--max-failures N] [--artifact PATH]
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use rsm_chaos::schedule::ProtocolKind;
+use rsm_chaos::swarm::{run_swarm, SwarmConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = SwarmConfig {
+        start_seed: 0,
+        schedules: 100,
+        protocols: ProtocolKind::ALL.to_vec(),
+        shrink_budget: 80,
+        max_failures: 3,
+    };
+    let mut artifact: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match flag {
+            "--seeds" => {
+                let (lo, hi) = value
+                    .split_once("..")
+                    .unwrap_or_else(|| die("--seeds expects LO..HI"));
+                let lo: u64 = lo.parse().unwrap_or_else(|_| die("bad --seeds low bound"));
+                let hi: u64 = hi.parse().unwrap_or_else(|_| die("bad --seeds high bound"));
+                if hi <= lo {
+                    die("--seeds range is empty");
+                }
+                cfg.start_seed = lo;
+                cfg.schedules = (hi - lo) as usize;
+            }
+            "--protocols" => {
+                cfg.protocols = value
+                    .split(',')
+                    .map(|name| {
+                        ProtocolKind::ALL
+                            .into_iter()
+                            .find(|p| p.name() == name)
+                            .unwrap_or_else(|| die(&format!("unknown protocol {name}")))
+                    })
+                    .collect();
+            }
+            "--shrink-budget" => {
+                cfg.shrink_budget = value.parse().unwrap_or_else(|_| die("bad budget"));
+            }
+            "--max-failures" => {
+                cfg.max_failures = value.parse().unwrap_or_else(|_| die("bad count"));
+            }
+            "--artifact" => artifact = Some(value.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+
+    let protocols: Vec<&str> = cfg.protocols.iter().map(|p| p.name()).collect();
+    println!(
+        "chaos swarm: seeds {}..{} x [{}], shrink budget {}",
+        cfg.start_seed,
+        cfg.start_seed + cfg.schedules as u64,
+        protocols.join(", "),
+        cfg.shrink_budget,
+    );
+
+    let mut done = 0usize;
+    let total = cfg.schedules * cfg.protocols.len();
+    let report = run_swarm(&cfg, |seed, protocol, failures| {
+        done += 1;
+        if done.is_multiple_of(25) || done == total {
+            println!(
+                "  [{done}/{total}] seed {seed} ({}) — {failures} failure(s) so far",
+                protocol.name()
+            );
+        }
+    });
+
+    println!(
+        "chaos swarm: {} schedules executed, {} failure(s)",
+        report.executed,
+        report.failures.len()
+    );
+    if report.all_ok() {
+        return ExitCode::SUCCESS;
+    }
+
+    let mut text = String::new();
+    for f in &report.failures {
+        text.push_str(&format!(
+            "== seed {} protocol {} oracle {} ==\n{}\n\n\
+             original schedule ({} fault entries), minimized to {} in {} runs:\n\n{}\n\n",
+            f.original.seed,
+            f.original.protocol.name(),
+            f.failure.kind.name(),
+            f.failure.detail,
+            f.original.entries.len(),
+            f.shrunk.minimized.entries.len(),
+            f.shrunk.runs,
+            f.reproducer(),
+        ));
+    }
+    print!("{text}");
+    if let Some(path) = artifact {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(text.as_bytes())) {
+            Ok(()) => println!("reproducers written to {path}"),
+            Err(e) => eprintln!("could not write artifact {path}: {e}"),
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("chaos_swarm: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,39 @@
+//! VOPR-style deterministic chaos fuzzer for the replication stack.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. [`gen::generate`] expands a seed into a [`schedule::Schedule`] — a
+//!    protocol choice, configuration knobs, and a fault script composed
+//!    of crashes, partitions, clock anomalies, and link chaos, sound by
+//!    construction (the cluster is contractually required to survive it).
+//! 2. [`exec::run`] executes the schedule under the deterministic
+//!    simulator and grades the result against every oracle: the
+//!    linearizability checkers, replica state-hash agreement, CAS-chain
+//!    integrity, log boundedness under compaction, and post-fault
+//!    liveness.
+//! 3. [`shrink::shrink`] delta-debugs a failing schedule down to a
+//!    minimal script that still fails the *same* oracle (the vendored
+//!    proptest shim has no shrinking — this crate supplies it).
+//! 4. [`swarm::run_swarm`] drives seed ranges through the above and
+//!    renders each minimized failure as a self-contained `#[test]`
+//!    reproducer for `tests/chaos_regressions.rs`.
+//!
+//! Everything is a pure function of the seed: the same seed replays the
+//! same schedule, the same failure, and the same shrink, byte for byte.
+//!
+//! The `chaos_swarm` binary exposes the swarm for CI:
+//!
+//! ```text
+//! chaos_swarm --seeds 0..300 --shrink-budget 80 --artifact target/chaos.txt
+//! ```
+
+pub mod exec;
+pub mod gen;
+pub mod schedule;
+pub mod shrink;
+pub mod swarm;
+
+pub use exec::{Failure, FailureKind};
+pub use schedule::{Knobs, ProtocolKind, Schedule};
+pub use shrink::ShrinkOutcome;
+pub use swarm::{SwarmConfig, SwarmFailure, SwarmReport};

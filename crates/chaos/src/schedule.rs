@@ -1,0 +1,229 @@
+//! The unit the fuzzer searches over: a fault schedule plus the knob
+//! settings it runs under.
+//!
+//! A [`Schedule`] is a pure value — protocol choice, cluster shape,
+//! workload mix, and a time-ordered list of [`Fault`] injections. Running
+//! one is deterministic (the simulator derives everything else from the
+//! seed), so a schedule that fails once fails forever: it can be shrunk,
+//! printed as a Rust literal, and committed as a regression test.
+
+use harness::Fault;
+use rsm_core::time::Micros;
+
+/// Which replication protocol a schedule exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Clock-RSM with failure detection and reconfiguration enabled.
+    ClockRsm,
+    /// Leader-based Multi-Paxos (commit notices), leader failover leases.
+    Paxos,
+    /// Multi-Paxos with accept broadcast, leader failover leases.
+    PaxosBcast,
+    /// Mencius rotating coordinator.
+    Mencius,
+}
+
+impl ProtocolKind {
+    /// All kinds, in swarm rotation order.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::ClockRsm,
+        ProtocolKind::Paxos,
+        ProtocolKind::PaxosBcast,
+        ProtocolKind::Mencius,
+    ];
+
+    /// Short name used in artifacts and test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::ClockRsm => "clock-rsm",
+            ProtocolKind::Paxos => "paxos",
+            ProtocolKind::PaxosBcast => "paxos-bcast",
+            ProtocolKind::Mencius => "mencius",
+        }
+    }
+
+    fn literal(self) -> &'static str {
+        match self {
+            ProtocolKind::ClockRsm => "ProtocolKind::ClockRsm",
+            ProtocolKind::Paxos => "ProtocolKind::Paxos",
+            ProtocolKind::PaxosBcast => "ProtocolKind::PaxosBcast",
+            ProtocolKind::Mencius => "ProtocolKind::Mencius",
+        }
+    }
+}
+
+/// Configuration knobs a schedule fixes for its run. The generator
+/// diversifies these (swarm testing): many bugs only surface under a
+/// particular batching/checkpoint/session-window combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Knobs {
+    /// Cluster size (3 or 5).
+    pub replicas: usize,
+    /// Closed-loop clients per site, on every site.
+    pub clients_per_site: usize,
+    /// Percentage of operations issued as reads.
+    pub read_pct: u8,
+    /// Percentage of writes issued as private-key CAS chains; any CAS
+    /// failure is a correctness violation (see `harness::workload`).
+    pub cas_pct: u8,
+    /// Batch cap (0 = batching disabled).
+    pub batch_max: usize,
+    /// Checkpoint cadence in commits, with compaction (0 = disabled).
+    pub checkpoint_every: u64,
+    /// Session dedup window override (0 = protocol default).
+    pub session_window: usize,
+    /// Use pre-vote probing before Paxos elections (ignored by the
+    /// other protocols).
+    pub pre_vote: bool,
+    /// Measured run length in milliseconds; all fault effects clear
+    /// well before the end so the liveness oracle has a quiet tail.
+    pub horizon_ms: u64,
+    /// Uniform one-way link latency in microseconds.
+    pub latency_us: Micros,
+    /// Uniform per-message network jitter bound in microseconds.
+    pub jitter_us: Micros,
+}
+
+/// One searched input to the simulator: protocol, knobs, and a fault
+/// script. `canary` additionally disables session dedup under retries
+/// (a resurrected, known-fixed bug) so the pipeline can prove it still
+/// catches and shrinks that class of failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed for both the workload RNG and the simulator.
+    pub seed: u64,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Fixed configuration for this run.
+    pub knobs: Knobs,
+    /// Fault injections at absolute virtual times (sorted ascending).
+    pub entries: Vec<(Micros, Fault)>,
+    /// Re-introduce the session-dedup bug (test builds only).
+    pub canary: bool,
+}
+
+impl Schedule {
+    /// Virtual time of the last fault entry (0 if the script is empty).
+    pub fn last_fault_at(&self) -> Micros {
+        self.entries.iter().map(|&(at, _)| at).max().unwrap_or(0)
+    }
+
+    /// Renders the schedule as a Rust expression that reconstructs it
+    /// verbatim — the payload of a committed reproducer. The emitted
+    /// text only needs `rsm_chaos::{Schedule, Knobs, ProtocolKind}`,
+    /// `harness::Fault`, and `rsm_core::ReplicaId` in scope.
+    pub fn to_rust_literal(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Schedule {\n");
+        s.push_str(&format!("    seed: {},\n", self.seed));
+        s.push_str(&format!("    protocol: {},\n", self.protocol.literal()));
+        let k = &self.knobs;
+        s.push_str(&format!(
+            "    knobs: Knobs {{ replicas: {}, clients_per_site: {}, read_pct: {}, \
+             cas_pct: {}, batch_max: {}, checkpoint_every: {}, session_window: {}, \
+             pre_vote: {}, horizon_ms: {}, latency_us: {}, jitter_us: {} }},\n",
+            k.replicas,
+            k.clients_per_site,
+            k.read_pct,
+            k.cas_pct,
+            k.batch_max,
+            k.checkpoint_every,
+            k.session_window,
+            k.pre_vote,
+            k.horizon_ms,
+            k.latency_us,
+            k.jitter_us,
+        ));
+        if self.entries.is_empty() {
+            s.push_str("    entries: vec![],\n");
+        } else {
+            s.push_str("    entries: vec![\n");
+            for (at, fault) in &self.entries {
+                s.push_str(&format!("        ({}, {}),\n", at, fault_literal(fault)));
+            }
+            s.push_str("    ],\n");
+        }
+        s.push_str(&format!("    canary: {},\n", self.canary));
+        s.push('}');
+        s
+    }
+}
+
+fn fault_literal(f: &Fault) -> String {
+    fn r(id: rsm_core::ReplicaId) -> String {
+        format!("ReplicaId::new({})", id.index())
+    }
+    match *f {
+        Fault::Crash(a) => format!("Fault::Crash({})", r(a)),
+        Fault::Recover(a) => format!("Fault::Recover({})", r(a)),
+        Fault::Partition(a, b) => format!("Fault::Partition({}, {})", r(a), r(b)),
+        Fault::Heal(a, b) => format!("Fault::Heal({}, {})", r(a), r(b)),
+        Fault::ClockJump(a, d) => format!("Fault::ClockJump({}, {})", r(a), d),
+        Fault::ClockFreeze(a, d) => format!("Fault::ClockFreeze({}, {})", r(a), d),
+        Fault::ClockDrift(a, ppm, d) => {
+            format!("Fault::ClockDrift({}, {}, {})", r(a), ppm, d)
+        }
+        Fault::LinkDelay(a, b, d) => {
+            format!("Fault::LinkDelay({}, {}, {})", r(a), r(b), d)
+        }
+        Fault::LinkJitter(a, b, d) => {
+            format!("Fault::LinkJitter({}, {}, {})", r(a), r(b), d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_core::ReplicaId;
+
+    fn sample() -> Schedule {
+        Schedule {
+            seed: 7,
+            protocol: ProtocolKind::Mencius,
+            knobs: Knobs {
+                replicas: 3,
+                clients_per_site: 2,
+                read_pct: 20,
+                cas_pct: 40,
+                batch_max: 8,
+                checkpoint_every: 32,
+                session_window: 4,
+                pre_vote: true,
+                horizon_ms: 6_000,
+                latency_us: 20_000,
+                jitter_us: 2_000,
+            },
+            entries: vec![
+                (1_000_000, Fault::Crash(ReplicaId::new(2))),
+                (
+                    1_500_000,
+                    Fault::ClockDrift(ReplicaId::new(0), -150_000, 400_000),
+                ),
+                (2_000_000, Fault::Recover(ReplicaId::new(2))),
+            ],
+            canary: true,
+        }
+    }
+
+    #[test]
+    fn literal_mentions_every_component() {
+        let lit = sample().to_rust_literal();
+        assert!(lit.contains("seed: 7"));
+        assert!(lit.contains("ProtocolKind::Mencius"));
+        assert!(lit.contains("Fault::Crash(ReplicaId::new(2))"));
+        assert!(lit.contains("Fault::ClockDrift(ReplicaId::new(0), -150000, 400000)"));
+        assert!(lit.contains("canary: true"));
+        assert!(lit.contains("checkpoint_every: 32"));
+    }
+
+    #[test]
+    fn last_fault_at_takes_the_max() {
+        assert_eq!(sample().last_fault_at(), 2_000_000);
+        let empty = Schedule {
+            entries: vec![],
+            ..sample()
+        };
+        assert_eq!(empty.last_fault_at(), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Delta-debugging shrinker for failing schedules.
+//!
+//! The vendored proptest shim deliberately has no shrinking, so the
+//! fuzzer ships its own: a ddmin pass over the fault script, then knob
+//! simplification, then horizon truncation, iterated to a fixed point
+//! under a run budget. The invariant throughout is that the candidate
+//! still fails with the *same* [`FailureKind`] as the original — a
+//! shrunk reproducer demonstrates the original class of bug, not some
+//! artifact of the shrinking itself.
+
+use harness::Fault;
+use rsm_core::time::MILLIS;
+
+use crate::exec::{self, Failure, FailureKind};
+use crate::gen::{FAULT_START_US, SETTLE_US};
+use crate::schedule::Schedule;
+
+/// Result of a shrink: the minimal schedule found, the failure it
+/// reproduces, and how many simulator runs the search spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest schedule that still fails with the original kind.
+    pub minimized: Schedule,
+    /// The failure the minimized schedule produces.
+    pub failure: Failure,
+    /// Simulator runs consumed by the search.
+    pub runs: usize,
+}
+
+/// Shrinks `original` (which fails with `failure`) under a budget of at
+/// most `budget` simulator runs. Always returns a schedule that fails
+/// with the original kind — in the worst case, the original itself.
+pub fn shrink(original: &Schedule, failure: &Failure, budget: usize) -> ShrinkOutcome {
+    let mut search = Search {
+        kind: failure.kind,
+        runs: 0,
+        budget,
+        best_failure: failure.clone(),
+    };
+    let mut best = original.clone();
+
+    // Iterate all phases to a fixed point: a knob reduction can unlock
+    // further entry removal and vice versa.
+    loop {
+        let before = (best.entries.len(), best.knobs, best.canary);
+        ddmin_entries(&mut best, &mut search);
+        reduce_knobs(&mut best, &mut search);
+        truncate_horizon(&mut best, &mut search);
+        if search.exhausted() || (best.entries.len(), best.knobs, best.canary) == before {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        minimized: best,
+        failure: search.best_failure,
+        runs: search.runs,
+    }
+}
+
+struct Search {
+    kind: FailureKind,
+    runs: usize,
+    budget: usize,
+    best_failure: Failure,
+}
+
+impl Search {
+    fn exhausted(&self) -> bool {
+        self.runs >= self.budget
+    }
+
+    /// Runs a candidate; true iff it reproduces the original kind.
+    fn holds(&mut self, candidate: &Schedule) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        // A liveness repro must stay survivable-by-construction; an
+        // unsound candidate (say, a crash whose recovery was dropped)
+        // stalls trivially and would shrink to a meaningless script.
+        if self.kind == FailureKind::Stalled && !survivable(candidate) {
+            return false;
+        }
+        self.runs += 1;
+        match exec::run(candidate) {
+            Some(f) if f.kind == self.kind => {
+                self.best_failure = f;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Greedy ddmin over the fault script: try dropping windows of entries,
+/// halving the window until single entries.
+fn ddmin_entries(best: &mut Schedule, search: &mut Search) {
+    let mut window = best.entries.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.entries.len() {
+            if search.exhausted() {
+                return;
+            }
+            let end = (start + window).min(best.entries.len());
+            let mut candidate = best.clone();
+            candidate.entries.drain(start..end);
+            if search.holds(&candidate) {
+                *best = candidate;
+                progressed = true;
+                // Re-test the same position: the next window slid in.
+            } else {
+                start = end;
+            }
+        }
+        if window == 1 && !progressed {
+            return;
+        }
+        if !progressed {
+            window = (window / 2).max(1);
+        }
+    }
+}
+
+/// Tries each knob simplification once, keeping those that preserve the
+/// failure. Order is roughly "most simplifying first".
+fn reduce_knobs(best: &mut Schedule, search: &mut Search) {
+    let reductions: Vec<fn(&mut Schedule)> = vec![
+        |s| s.knobs.clients_per_site = 1,
+        |s| s.knobs.read_pct = 0,
+        |s| s.knobs.cas_pct = 0,
+        |s| s.knobs.batch_max = 0,
+        |s| s.knobs.checkpoint_every = 0,
+        |s| s.knobs.session_window = 0,
+        |s| s.knobs.pre_vote = false,
+        |s| s.knobs.jitter_us = 0,
+        |s| s.knobs.latency_us = 5_000,
+        |s| {
+            if s.knobs.replicas > 3 && max_replica_ref(s) < 3 {
+                s.knobs.replicas = 3;
+            }
+        },
+    ];
+    for reduce in reductions {
+        let mut candidate = best.clone();
+        reduce(&mut candidate);
+        if candidate != *best && search.holds(&candidate) {
+            *best = candidate;
+        }
+    }
+}
+
+/// Cuts the run short: just enough horizon for the remaining faults to
+/// play out plus the settle window.
+fn truncate_horizon(best: &mut Schedule, search: &mut Search) {
+    let needed_us = best.last_fault_at().max(FAULT_START_US) + SETTLE_US;
+    let minimal_ms = needed_us.div_ceil(MILLIS).div_ceil(500) * 500;
+    if minimal_ms >= best.knobs.horizon_ms {
+        return;
+    }
+    let mut candidate = best.clone();
+    candidate.knobs.horizon_ms = minimal_ms;
+    if search.holds(&candidate) {
+        *best = candidate;
+    }
+}
+
+fn max_replica_ref(s: &Schedule) -> usize {
+    s.entries
+        .iter()
+        .flat_map(|(_, f)| match *f {
+            Fault::Crash(a)
+            | Fault::Recover(a)
+            | Fault::ClockJump(a, _)
+            | Fault::ClockFreeze(a, _)
+            | Fault::ClockDrift(a, _, _) => vec![a.index()],
+            Fault::Partition(a, b) | Fault::Heal(a, b) => vec![a.index(), b.index()],
+            Fault::LinkDelay(a, b, _) | Fault::LinkJitter(a, b, _) => {
+                vec![a.index(), b.index()]
+            }
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mirrors the generator's survivability rules: minority down, every
+/// crash recovered, partitions healed, link chaos cleared, nothing
+/// scheduled inside the settle window.
+pub fn survivable(s: &Schedule) -> bool {
+    let hi = (s.knobs.horizon_ms * MILLIS).saturating_sub(SETTLE_US);
+    let max_down = (s.knobs.replicas - 1) / 2;
+    let mut down = vec![false; s.knobs.replicas];
+    let mut cut: isize = 0;
+    let mut chaotic: std::collections::HashMap<(usize, usize), bool> = Default::default();
+    for &(at, f) in &s.entries {
+        if at > hi {
+            return false;
+        }
+        match f {
+            Fault::Crash(r) => {
+                if r.index() >= down.len() || down[r.index()] || cut > 0 {
+                    return false;
+                }
+                down[r.index()] = true;
+                if down.iter().filter(|&&d| d).count() > max_down {
+                    return false;
+                }
+            }
+            Fault::Recover(r) => {
+                if r.index() >= down.len() || !down[r.index()] {
+                    return false;
+                }
+                down[r.index()] = false;
+            }
+            Fault::Partition(_, _) => {
+                if down.iter().any(|&d| d) {
+                    return false;
+                }
+                cut += 1;
+            }
+            Fault::Heal(_, _) => {
+                cut -= 1;
+                if cut < 0 {
+                    return false;
+                }
+            }
+            Fault::LinkDelay(a, b, d) | Fault::LinkJitter(a, b, d) => {
+                chaotic.insert((a.index(), b.index()), d > 0);
+            }
+            Fault::ClockJump(_, _) | Fault::ClockFreeze(_, _) | Fault::ClockDrift(_, _, _) => {}
+        }
+    }
+    down.iter().all(|&d| !d) && cut == 0 && chaotic.values().all(|&on| !on)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Knobs, ProtocolKind};
+    use rsm_core::ReplicaId;
+
+    fn knobs() -> Knobs {
+        Knobs {
+            replicas: 3,
+            clients_per_site: 3,
+            read_pct: 20,
+            cas_pct: 20,
+            batch_max: 8,
+            checkpoint_every: 32,
+            session_window: 4,
+            pre_vote: false,
+            horizon_ms: 6_000,
+            latency_us: 20_000,
+            jitter_us: 2_000,
+        }
+    }
+
+    #[test]
+    fn survivable_accepts_paired_faults_and_rejects_orphans() {
+        let base = Schedule {
+            seed: 1,
+            protocol: ProtocolKind::ClockRsm,
+            knobs: knobs(),
+            entries: vec![
+                (1_000 * MILLIS, Fault::Crash(ReplicaId::new(1))),
+                (2_000 * MILLIS, Fault::Recover(ReplicaId::new(1))),
+            ],
+            canary: false,
+        };
+        assert!(survivable(&base));
+
+        let orphan = Schedule {
+            entries: vec![(1_000 * MILLIS, Fault::Crash(ReplicaId::new(1)))],
+            ..base.clone()
+        };
+        assert!(!survivable(&orphan));
+
+        let late = Schedule {
+            entries: vec![(5_900 * MILLIS, Fault::ClockJump(ReplicaId::new(0), 1_000))],
+            ..base.clone()
+        };
+        assert!(!survivable(&late));
+
+        let quorum_loss = Schedule {
+            entries: vec![
+                (1_000 * MILLIS, Fault::Crash(ReplicaId::new(1))),
+                (1_100 * MILLIS, Fault::Crash(ReplicaId::new(2))),
+                (2_000 * MILLIS, Fault::Recover(ReplicaId::new(1))),
+                (2_000 * MILLIS, Fault::Recover(ReplicaId::new(2))),
+            ],
+            ..base
+        };
+        assert!(!survivable(&quorum_loss));
+    }
+
+    #[test]
+    fn shrink_minimizes_a_canary_failure() {
+        // A deliberately noisy canary schedule: one load-bearing
+        // partition window (client site cut from the leader) buried
+        // under irrelevant chaos.
+        let noisy = Schedule {
+            seed: 5,
+            protocol: ProtocolKind::PaxosBcast,
+            knobs: Knobs {
+                horizon_ms: 5_500,
+                ..knobs()
+            },
+            entries: vec![
+                (900 * MILLIS, Fault::ClockJump(ReplicaId::new(2), 40_000)),
+                (
+                    1_000 * MILLIS,
+                    Fault::LinkJitter(ReplicaId::new(0), ReplicaId::new(2), 5_000),
+                ),
+                (
+                    1_200 * MILLIS,
+                    Fault::Partition(ReplicaId::new(0), ReplicaId::new(1)),
+                ),
+                (
+                    1_300 * MILLIS,
+                    Fault::ClockDrift(ReplicaId::new(2), 80_000, 300_000),
+                ),
+                (
+                    1_600 * MILLIS,
+                    Fault::LinkJitter(ReplicaId::new(0), ReplicaId::new(2), 0),
+                ),
+                (
+                    1_700 * MILLIS,
+                    Fault::ClockFreeze(ReplicaId::new(2), 100_000),
+                ),
+                (
+                    2_700 * MILLIS,
+                    Fault::Heal(ReplicaId::new(0), ReplicaId::new(1)),
+                ),
+            ],
+            canary: true,
+        };
+        let failure = exec::run(&noisy).expect("noisy canary must fail");
+        assert_eq!(failure.kind, FailureKind::Duplicate);
+
+        let out = shrink(&noisy, &failure, 60);
+        assert_eq!(out.failure.kind, FailureKind::Duplicate);
+        assert!(
+            out.minimized.entries.len() <= 2,
+            "expected the crash pair (or less), got {:?}",
+            out.minimized.entries
+        );
+        // The reproducer must still reproduce.
+        let replay = exec::run(&out.minimized).expect("minimized must still fail");
+        assert_eq!(replay.kind, FailureKind::Duplicate);
+    }
+}

@@ -1,0 +1,173 @@
+//! The swarm driver: generate → execute → grade → shrink → reproduce.
+//!
+//! A swarm runs a contiguous seed range through the generator, executes
+//! every schedule, and for each failure runs the shrinker and renders a
+//! self-contained reproducer ready to paste into
+//! `tests/chaos_regressions.rs`. Everything is a pure function of the
+//! starting seed, so a CI failure names the exact seed to replay.
+
+use crate::exec::{self, Failure};
+use crate::gen;
+use crate::schedule::{ProtocolKind, Schedule};
+use crate::shrink::{self, ShrinkOutcome};
+
+/// Swarm parameters.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// First seed; the swarm runs seeds `start_seed..start_seed + schedules`.
+    pub start_seed: u64,
+    /// How many schedules to run per protocol rotation.
+    pub schedules: usize,
+    /// Protocols to rotate through (defaults to all four).
+    pub protocols: Vec<ProtocolKind>,
+    /// Simulator-run budget for shrinking each failure.
+    pub shrink_budget: usize,
+    /// Stop after this many distinct failures (0 = never stop early).
+    pub max_failures: usize,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            start_seed: 0,
+            schedules: 100,
+            protocols: ProtocolKind::ALL.to_vec(),
+            shrink_budget: 80,
+            max_failures: 3,
+        }
+    }
+}
+
+/// One failing schedule, shrunk and rendered.
+#[derive(Debug, Clone)]
+pub struct SwarmFailure {
+    /// The schedule as generated.
+    pub original: Schedule,
+    /// The failure the original produced.
+    pub failure: Failure,
+    /// The shrinker's output.
+    pub shrunk: ShrinkOutcome,
+}
+
+impl SwarmFailure {
+    /// Renders a complete `#[test]` function reproducing the minimized
+    /// failure, ready to commit to `tests/chaos_regressions.rs`.
+    pub fn reproducer(&self) -> String {
+        let s = &self.shrunk.minimized;
+        let name = format!(
+            "chaos_seed_{}_{}_{}",
+            s.seed,
+            s.protocol.name().replace('-', "_"),
+            self.shrunk.failure.kind.name().replace('-', "_"),
+        );
+        format!(
+            "/// Auto-shrunk reproducer: seed {} on {} failed the `{}` oracle.\n\
+             /// Keep this test failing-then-fixed: it must PASS once the bug is\n\
+             /// fixed (the assertion below flips from expecting the failure to\n\
+             /// expecting a clean run).\n\
+             #[test]\n\
+             fn {}() {{\n\
+             let schedule = {};\n\
+             assert_eq!(rsm_chaos::exec::run(&schedule), None);\n\
+             }}\n",
+            self.original.seed,
+            s.protocol.name(),
+            self.shrunk.failure.kind.name(),
+            name,
+            indent(&s.to_rust_literal(), 4),
+        )
+    }
+}
+
+/// Swarm results.
+#[derive(Debug, Clone)]
+pub struct SwarmReport {
+    /// Schedules executed (excluding shrink replays).
+    pub executed: usize,
+    /// Failures found, shrunk, and rendered.
+    pub failures: Vec<SwarmFailure>,
+}
+
+impl SwarmReport {
+    /// True when every schedule passed every oracle.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the swarm. `progress` is called after every schedule with
+/// (seed, protocol, failed-so-far) — the CLI uses it for a heartbeat,
+/// tests pass a no-op.
+pub fn run_swarm(
+    cfg: &SwarmConfig,
+    mut progress: impl FnMut(u64, ProtocolKind, usize),
+) -> SwarmReport {
+    let mut report = SwarmReport {
+        executed: 0,
+        failures: Vec::new(),
+    };
+    'outer: for i in 0..cfg.schedules {
+        let seed = cfg.start_seed + i as u64;
+        for &protocol in &cfg.protocols {
+            let schedule = gen::generate_for(seed, protocol);
+            report.executed += 1;
+            if let Some(failure) = exec::run(&schedule) {
+                let shrunk = shrink::shrink(&schedule, &failure, cfg.shrink_budget);
+                report.failures.push(SwarmFailure {
+                    original: schedule,
+                    failure,
+                    shrunk,
+                });
+                if cfg.max_failures > 0 && report.failures.len() >= cfg.max_failures {
+                    break 'outer;
+                }
+            }
+            progress(seed, protocol, report.failures.len());
+        }
+    }
+    report
+}
+
+fn indent(text: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::FailureKind;
+
+    #[test]
+    fn reproducer_text_is_a_complete_test_fn() {
+        let schedule = gen::canary(2, ProtocolKind::ClockRsm);
+        let failure = Failure {
+            kind: FailureKind::Duplicate,
+            detail: String::new(),
+        };
+        let sf = SwarmFailure {
+            original: schedule.clone(),
+            failure: failure.clone(),
+            shrunk: ShrinkOutcome {
+                minimized: schedule,
+                failure,
+                runs: 0,
+            },
+        };
+        let text = sf.reproducer();
+        assert!(text.contains("#[test]"));
+        assert!(text.contains("fn chaos_seed_2_clock_rsm_duplicate()"));
+        assert!(text.contains("rsm_chaos::exec::run(&schedule)"));
+        assert!(text.contains("ProtocolKind::ClockRsm"));
+    }
+}

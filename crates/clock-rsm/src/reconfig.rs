@@ -91,6 +91,12 @@ pub struct ReconfigEngine {
     pub(crate) phase: Phase,
     synods: BTreeMap<Epoch, SynodInstance<Decision>>,
     pub(crate) decisions: BTreeMap<Epoch, Decision>,
+    /// The decision value this replica proposed for its own rejoin
+    /// reconfiguration, keyed by target epoch. A recovered replica only
+    /// trusts a decision built from its *own* post-recovery `SUSPEND`
+    /// collection to cover the commands it missed while down — see
+    /// `finish_apply`.
+    pub(crate) rejoin_proposal: Option<(Epoch, Decision)>,
 }
 
 impl ReconfigEngine {
@@ -101,6 +107,7 @@ impl ReconfigEngine {
             phase: Phase::Idle,
             synods: BTreeMap::new(),
             decisions: BTreeMap::new(),
+            rejoin_proposal: None,
         }
     }
 
@@ -247,6 +254,9 @@ impl ClockRsm {
             cts,
             cmds: collected.into_values().collect(),
         };
+        if self.needs_rejoin {
+            self.reconfig.rejoin_proposal = Some((target_epoch, decision.clone()));
+        }
         self.reconfig.phase = Phase::AwaitingDecision { target_epoch };
         let mut out = Vec::new();
         self.reconfig
@@ -441,7 +451,31 @@ impl ClockRsm {
         // Line 24: resume.
         self.frozen = false;
         if self.membership.in_config(self.id) {
-            self.needs_rejoin = false;
+            if self.needs_rejoin {
+                // A recovered replica's prepared history has a hole:
+                // every command prepared while it was down. Of the
+                // decisions it may apply, only one built from its *own*
+                // post-recovery SUSPEND collection provably covers that
+                // hole — the collection freezes a majority after the
+                // recovery, so every command prepared earlier is either
+                // committed below `cts` (fetched by state transfer) or
+                // in a responder's returned log tail. A decision learned
+                // by catch-up, or a competing proposal that won the
+                // epoch, may have been collected before the recovery and
+                // would silently omit commands committed during the
+                // outage. Keep rejoining until our own proposal wins.
+                let healed = self
+                    .reconfig
+                    .rejoin_proposal
+                    .as_ref()
+                    .is_some_and(|(pe, pd)| *pe == e && *pd == decision);
+                if healed {
+                    self.needs_rejoin = false;
+                    self.reconfig.rejoin_proposal = None;
+                } else {
+                    ctx.set_timer(self.cfg.reconfig_retry_us, TOKEN_RECONFIG_RETRY);
+                }
+            }
         } else {
             // We are alive but excluded (removed while partitioned, or a
             // competing decision won): ask to rejoin, as a recovered

@@ -200,6 +200,14 @@ impl ClockRsm {
         }
     }
 
+    /// Sets the session-table chaos-canary knob (**test-only**): when on,
+    /// duplicate writes re-apply instead of deduplicating — the bug the
+    /// chaos fuzzer proves it can find and shrink.
+    pub fn with_session_canary(mut self, on: bool) -> Self {
+        self.sessions.set_canary_skip_dedup(on);
+        self
+    }
+
     /// Whether the replica maintains the prepared-command history index
     /// (required by reconfiguration; enabled with failure detection).
     pub(crate) fn keeps_history(&self) -> bool {

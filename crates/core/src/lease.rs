@@ -44,6 +44,13 @@ pub struct LeaseConfig {
     /// How long a candidate waits for its election to conclude before
     /// retrying at a higher ballot round (dueling-candidate resolution).
     pub election_retry_us: Micros,
+    /// Pre-vote (opt-in): before bumping its ballot, a would-be candidate
+    /// probes whether a majority would currently promise it. Peers answer
+    /// from their own lease state without mutating anything, so a flapping
+    /// replica — one isolated behind a partition, or with a runaway clock
+    /// — can no longer disrupt a healthy leader by forcing real ballots
+    /// ever higher while partitioned and deposing the leader on heal.
+    pub pre_vote: bool,
 }
 
 impl LeaseConfig {
@@ -53,6 +60,7 @@ impl LeaseConfig {
         timeout_us: 0,
         heartbeat_us: 0,
         election_retry_us: 0,
+        pre_vote: false,
     };
 
     /// A lease expiring after `timeout_us` of leader silence, with the
@@ -69,7 +77,15 @@ impl LeaseConfig {
             timeout_us,
             heartbeat_us: timeout_us / 4,
             election_retry_us: timeout_us / 2,
+            pre_vote: false,
         }
+    }
+
+    /// Enables the pre-vote phase: candidates probe electability before
+    /// bumping their ballot (see the field docs).
+    pub fn with_pre_vote(mut self) -> Self {
+        self.pre_vote = true;
+        self
     }
 
     /// Overrides the heartbeat / detector tick interval.

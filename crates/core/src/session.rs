@@ -175,6 +175,12 @@ pub struct SessionTable {
     /// LRU index: `touched` tick → client. Ticks are unique, so this is
     /// a total order; the first key is the eviction victim.
     lru: BTreeMap<u64, ClientId>,
+    /// Chaos-canary knob, **test-only**: when set, [`commit_dedup`]
+    /// (SessionTable::commit_dedup) skips the window and re-applies
+    /// duplicates — deliberately re-introducing the pre-session retry
+    /// double-apply bug so the chaos fuzzer can prove it finds and
+    /// shrinks it. Never set on a production path.
+    canary_skip_dedup: bool,
 }
 
 impl Default for SessionTable {
@@ -196,7 +202,15 @@ impl SessionTable {
             tick: 0,
             entries: HashMap::new(),
             lru: BTreeMap::new(),
+            canary_skip_dedup: false,
         }
+    }
+
+    /// Sets the chaos-canary knob (**test-only**; see the field docs):
+    /// when on, `commit_dedup` re-applies duplicate writes instead of
+    /// deduplicating them.
+    pub fn set_canary_skip_dedup(&mut self, on: bool) {
+        self.canary_skip_dedup = on;
     }
 
     /// Number of client entries currently held.
@@ -281,6 +295,13 @@ impl SessionTable {
         ctx: &mut dyn Context<P>,
     ) -> bool {
         if committed.cmd.read_only {
+            ctx.commit(committed);
+            return true;
+        }
+        if self.canary_skip_dedup {
+            // Chaos-canary (test-only): behave like the tree before client
+            // sessions existed — every decided write applies, retries
+            // included.
             ctx.commit(committed);
             return true;
         }

@@ -71,6 +71,18 @@ pub struct ExperimentConfig {
     pub faults: Vec<(Micros, Fault)>,
     /// Client retry timeout; see `WorkloadConfig::retry_timeout_us`.
     pub client_retry_us: Option<Micros>,
+    /// Chaos-canary knob (**test-only**): disables the replicas'
+    /// session dedup window, re-introducing the pre-session retry
+    /// double-apply bug so the chaos fuzzer can prove it finds and
+    /// shrinks it. Never set outside chaos tooling.
+    pub session_canary: bool,
+    /// Fraction of writes issued as private-key CAS chains (see
+    /// `WorkloadConfig::cas_fraction`): each must succeed, and
+    /// [`ExperimentResult::cas_failures`] counts the ones that did not.
+    pub cas_fraction: f64,
+    /// Session dedup window override applied to every replica (commands
+    /// remembered per client); `None` keeps each protocol's default.
+    pub session_window: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -97,6 +109,9 @@ impl ExperimentConfig {
             record_ops: true,
             faults: Vec::new(),
             client_retry_us: None,
+            session_canary: false,
+            cas_fraction: 0.0,
+            session_window: None,
         }
     }
 
@@ -227,6 +242,32 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the session-canary knob (**test-only**; see the field docs):
+    /// replicas skip retry deduplication, so a same-id retry
+    /// double-applies.
+    pub fn session_canary(mut self, on: bool) -> Self {
+        self.session_canary = on;
+        self
+    }
+
+    /// Sets the CAS fraction of the write mix (private-key CAS chains;
+    /// see the field docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= f <= 1.0`.
+    pub fn cas_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "cas fraction out of range");
+        self.cas_fraction = f;
+        self
+    }
+
+    /// Overrides every replica's session dedup window.
+    pub fn session_window(mut self, n: usize) -> Self {
+        self.session_window = Some(n);
+        self
+    }
+
     fn n(&self) -> usize {
         self.latency.len()
     }
@@ -284,6 +325,11 @@ pub struct ExperimentResult {
     /// checkpoint compaction on, these stay bounded however many
     /// commands commit — the memory-bound claim of Section V-B.
     pub log_lens: Vec<usize>,
+    /// CAS replies observed (the sharded driver issues no CAS: 0 there).
+    pub cas_count: usize,
+    /// Failed private-key CAS chains — always a violation (see
+    /// [`ExperimentConfig::cas_fraction`]).
+    pub cas_failures: usize,
 }
 
 impl ExperimentResult {
@@ -306,6 +352,8 @@ impl ExperimentResult {
 pub fn run_latency(choice: ProtocolChoice, cfg: &ExperimentConfig) -> ExperimentResult {
     let n = cfg.n() as u16;
     let checkpoint = cfg.checkpoint;
+    let canary = cfg.session_canary;
+    let window = cfg.session_window;
     match choice {
         ProtocolChoice::ClockRsm { cfg: rcfg } => run_generic(cfg, "Clock-RSM", move |id| {
             let rcfg = if checkpoint.enabled() {
@@ -313,25 +361,44 @@ pub fn run_latency(choice: ProtocolChoice, cfg: &ExperimentConfig) -> Experiment
             } else {
                 rcfg
             };
-            ClockRsm::new(id, Membership::uniform(n), rcfg)
+            let rcfg = match window {
+                Some(w) => rcfg.with_session_window(w),
+                None => rcfg,
+            };
+            ClockRsm::new(id, Membership::uniform(n), rcfg).with_session_canary(canary)
         }),
         ProtocolChoice::Paxos { leader, failover } => run_generic(cfg, "Paxos", move |id| {
-            MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Plain)
+            let p = MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Plain)
                 .with_checkpoints(checkpoint)
-                .with_failover(failover)
+                .with_failover(failover);
+            let p = match window {
+                Some(w) => p.with_session_window(w),
+                None => p,
+            };
+            p.with_session_canary(canary)
         }),
         ProtocolChoice::PaxosBcast { leader, failover } => {
             run_generic(cfg, "Paxos-bcast", move |id| {
-                MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Bcast)
+                let p = MultiPaxos::new(id, Membership::uniform(n), leader, PaxosVariant::Bcast)
                     .with_checkpoints(checkpoint)
-                    .with_failover(failover)
+                    .with_failover(failover);
+                let p = match window {
+                    Some(w) => p.with_session_window(w),
+                    None => p,
+                };
+                p.with_session_canary(canary)
             })
         }
         ProtocolChoice::MenciusBcast { history_cap } => {
             run_generic(cfg, "Mencius-bcast", move |id| {
-                MenciusBcast::new(id, Membership::uniform(n))
+                let p = MenciusBcast::new(id, Membership::uniform(n))
                     .with_checkpoints(checkpoint)
-                    .with_history_cap(history_cap)
+                    .with_history_cap(history_cap);
+                let p = match window {
+                    Some(w) => p.with_session_window(w),
+                    None => p,
+                };
+                p.with_session_canary(canary)
             })
         }
     }
@@ -396,6 +463,7 @@ where
         record_ops: cfg.record_ops,
         faults: cfg.faults.clone(),
         retry_timeout_us: cfg.client_retry_us,
+        cas_fraction: cfg.cas_fraction,
     };
     let app: WorkloadApp<P> = WorkloadApp::new(workload);
     let mut sim = Simulation::new(sim_cfg, factory, || Box::new(KvStore::new()), app);
@@ -471,6 +539,8 @@ where
         write_count,
         commit_times,
         log_lens,
+        cas_count: app.cas_count(),
+        cas_failures: app.cas_failures(),
     }
 }
 
@@ -547,6 +617,30 @@ mod tests {
                 r.write_count
             );
             assert!(r.read_p50_ms > 0.0 && r.write_p50_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn cas_chains_succeed_on_clean_runs() {
+        let cfg = quick(LatencyMatrix::uniform(3, 10_000)).cas_fraction(0.4);
+        for choice in [
+            ProtocolChoice::clock_rsm(),
+            ProtocolChoice::paxos_bcast(0),
+            ProtocolChoice::mencius(),
+        ] {
+            let r = run_latency(choice, &cfg);
+            assert!(
+                r.checks.all_ok(),
+                "{}: {:?}",
+                r.protocol,
+                r.checks.violation
+            );
+            assert!(r.cas_count > 10, "{}: CAS mix starved", r.protocol);
+            assert_eq!(
+                r.cas_failures, 0,
+                "{}: a private-key CAS chain broke on a fault-free run",
+                r.protocol
+            );
         }
     }
 

@@ -12,7 +12,7 @@
 //! verified total order and the real-time order of completed operations
 //! ([`check_read_values`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
 use kvstore::KvOp;
@@ -99,33 +99,28 @@ impl CheckReport {
 /// Checks that all replica histories are consistent fragments of one
 /// total order (the paper's Claim 2).
 ///
-/// Histories normally start at position zero and the check degenerates to
-/// prefix consistency. A replica that recovered from a **checkpoint**
-/// replays only the suffix past its snapshot, so its history may begin
-/// mid-stream: the checker aligns each pair of histories on the first
-/// common command and requires them to agree from there on.
+/// A replica's history need not be contiguous: one that recovered from
+/// a **checkpoint** — its own at restart, or a peer's installed by a
+/// state-transfer rejoin — covers part of the stream with a snapshot,
+/// which records no per-command entries, so its history can begin (or
+/// resume) mid-stream with commands missing anywhere a snapshot
+/// covered. What a total order does guarantee is *relative* agreement:
+/// restricted to the commands two replicas both executed, their
+/// histories must be the identical sequence. The checker verifies
+/// exactly that, pairwise.
 pub fn check_total_order(histories: &[Vec<CommitRecord>]) -> Result<(), String> {
     for (i, a) in histories.iter().enumerate() {
         for (j, b) in histories.iter().enumerate().skip(i + 1) {
-            if a.is_empty() || b.is_empty() {
-                continue;
-            }
-            // Align on b's first command within a, or a's first within b.
-            let (off_a, off_b) = if let Some(p) = a.iter().position(|r| r.cmd_id == b[0].cmd_id) {
-                (p, 0)
-            } else if let Some(p) = b.iter().position(|r| r.cmd_id == a[0].cmd_id) {
-                (0, p)
-            } else {
-                continue; // disjoint windows: nothing to compare
-            };
-            let common = (a.len() - off_a).min(b.len() - off_b);
-            for k in 0..common {
-                if a[off_a + k].cmd_id != b[off_b + k].cmd_id {
+            let in_a: HashSet<CommandId> = a.iter().map(|r| r.cmd_id).collect();
+            let in_b: HashSet<CommandId> = b.iter().map(|r| r.cmd_id).collect();
+            let fa = a.iter().filter(|r| in_b.contains(&r.cmd_id));
+            let fb = b.iter().filter(|r| in_a.contains(&r.cmd_id));
+            for (k, (ra, rb)) in fa.zip(fb).enumerate() {
+                if ra.cmd_id != rb.cmd_id {
                     return Err(format!(
-                        "total order violation: offset {k} after alignment differs \
+                        "total order violation: common command {k} differs \
                          between replica {i} ({:?}) and replica {j} ({:?})",
-                        a[off_a + k].cmd_id,
-                        b[off_b + k].cmd_id
+                        ra.cmd_id, rb.cmd_id
                     ));
                 }
             }
@@ -542,22 +537,29 @@ mod tests {
 
     #[test]
     fn diverging_histories_fail() {
-        let a = vec![rec(1, 1, 10), rec(2, 2, 20)];
-        let b = vec![rec(1, 1, 12), rec(3, 2, 25)];
+        // Both replicas executed 2 and 3, in opposite orders: no single
+        // total order explains that.
+        let a = vec![rec(1, 1, 10), rec(2, 2, 20), rec(3, 3, 30)];
+        let b = vec![rec(1, 1, 12), rec(3, 2, 25), rec(2, 3, 35)];
         let err = check_total_order(&[a, b]).unwrap_err();
-        assert!(err.contains("offset 1"), "{err}");
+        assert!(err.contains("common command 1"), "{err}");
     }
 
     #[test]
-    fn checkpoint_truncated_history_aligns() {
-        // Replica b recovered from a checkpoint: its history starts at the
-        // second command. Consistent overlap must pass.
+    fn snapshot_gapped_history_aligns() {
+        // Replica b recovered from a checkpoint: its history starts at
+        // the second command. Consistent overlap must pass.
         let a = vec![rec(1, 1, 10), rec(2, 2, 20), rec(3, 3, 30)];
         let b = vec![rec(2, 2, 25), rec(3, 3, 35)];
         assert!(check_total_order(&[a.clone(), b]).is_ok());
-        // A divergent suffix after alignment must still fail.
-        let c = vec![rec(2, 2, 25), rec(9, 3, 35)];
-        assert!(check_total_order(&[a, c]).is_err());
+        // Replica c rejoined through a state transfer that installed a
+        // peer snapshot covering command 2: a MID-stream hole, equally
+        // fine (the snapshot recorded no per-command entries).
+        let c = vec![rec(1, 1, 12), rec(3, 3, 35), rec(4, 4, 45)];
+        assert!(check_total_order(&[a.clone(), c]).is_ok());
+        // But reordering shared commands must still fail.
+        let d = vec![rec(3, 1, 25), rec(1, 3, 35)];
+        assert!(check_total_order(&[a, d]).is_err());
     }
 
     #[test]

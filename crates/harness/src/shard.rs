@@ -832,6 +832,8 @@ where
             write_count,
             commit_times,
             log_lens,
+            cas_count: 0,
+            cas_failures: 0,
         });
     }
 
@@ -892,6 +894,8 @@ where
         write_count,
         commit_times: vec![Vec::new(); n],
         log_lens: agg_logs,
+        cas_count: 0,
+        cas_failures: 0,
     };
 
     // The cross-shard cut check — Clock-RSM only; the Paxos/Mencius

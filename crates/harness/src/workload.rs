@@ -40,6 +40,20 @@ pub enum Fault {
     /// Step a replica's physical clock by the given microseconds
     /// (positive or negative).
     ClockJump(ReplicaId, i64),
+    /// Freeze a replica's physical clock for the given duration — a VM
+    /// pause; the clock resumes permanently behind by the freeze.
+    ClockFreeze(ReplicaId, Micros),
+    /// Add the given drift (parts per million, positive = faster) to a
+    /// replica's clock for the given duration of virtual time; the offset
+    /// accumulated during the burst persists.
+    ClockDrift(ReplicaId, i64, Micros),
+    /// Set an extra fixed one-way delay on a link (both directions);
+    /// zero clears it. Per-link FIFO is preserved — messages reorder only
+    /// relative to other links.
+    LinkDelay(ReplicaId, ReplicaId, Micros),
+    /// Set extra uniform per-message jitter on a link (both directions);
+    /// zero clears it. Per-link FIFO is preserved regardless.
+    LinkJitter(ReplicaId, ReplicaId, Micros),
 }
 
 /// Event keys at or above this value are fault-plan entries rather than
@@ -90,6 +104,14 @@ pub struct WorkloadConfig {
     /// tables (`rsm_core::session`) recognise the already-applied seq
     /// and answer from the cached reply instead of applying twice.
     pub retry_timeout_us: Option<Micros>,
+    /// Fraction of **writes** issued as compare-and-swap chains: each
+    /// client owns a private key (outside the shared `key_space`) and
+    /// CASes it from the last value it successfully installed to a fresh
+    /// one. Since nobody else writes that key, every such CAS must
+    /// succeed — a failed one means the chain was broken by a lost,
+    /// duplicated, or reordered application, which is exactly what the
+    /// chaos oracles want to catch ([`WorkloadApp::cas_failures`]).
+    pub cas_fraction: f64,
 }
 
 #[derive(Debug)]
@@ -104,6 +126,12 @@ struct ClientState {
     /// The in-flight command, kept whole so a retry re-submits the
     /// identical (id, payload) pair rather than minting a fresh one.
     pending: Option<Command>,
+    /// The last value this client successfully installed at its private
+    /// CAS key (`None` = chain not started, the key must be absent).
+    cas_value: Option<u64>,
+    /// The chain value the in-flight CAS proposes, if the in-flight
+    /// command is one.
+    pending_cas: Option<u64>,
 }
 
 /// The closed-loop client application driving a simulation.
@@ -124,6 +152,11 @@ pub struct WorkloadApp<P> {
     /// Commands committed at the observer replica inside the measurement
     /// window (throughput metric — each command counted once).
     observer_commits: u64,
+    /// CAS replies observed (success or failure).
+    cas_count: usize,
+    /// CAS operations on privately-owned keys that came back failed —
+    /// always a correctness violation (see `WorkloadConfig::cas_fraction`).
+    cas_failures: usize,
     observer: ReplicaId,
     _protocol: PhantomData<fn() -> P>,
 }
@@ -144,6 +177,8 @@ impl<P> WorkloadApp<P> {
                     issued_at: None,
                     reading: false,
                     pending: None,
+                    cas_value: None,
+                    pending_cas: None,
                 });
             }
         }
@@ -156,6 +191,8 @@ impl<P> WorkloadApp<P> {
             ops: Vec::new(),
             op_index: HashMap::new(),
             observer_commits: 0,
+            cas_count: 0,
+            cas_failures: 0,
             observer: ReplicaId::new(0),
             cfg,
             _protocol: PhantomData,
@@ -202,6 +239,17 @@ impl<P> WorkloadApp<P> {
         self.observer_commits
     }
 
+    /// CAS replies observed over the whole run.
+    pub fn cas_count(&self) -> usize {
+        self.cas_count
+    }
+
+    /// Failed CASes on privately-owned keys — each one a broken chain,
+    /// i.e. a correctness violation (see `WorkloadConfig::cas_fraction`).
+    pub fn cas_failures(&self) -> usize {
+        self.cas_failures
+    }
+
     fn issue(&mut self, idx: usize, api: &mut SimApi<'_, P>)
     where
         P: Protocol,
@@ -213,6 +261,9 @@ impl<P> WorkloadApp<P> {
         let key = api.rng().gen_range(0..self.cfg.key_space);
         let is_read =
             self.cfg.read_fraction > 0.0 && api.rng().gen::<f64>() < self.cfg.read_fraction;
+        let is_cas = !is_read
+            && self.cfg.cas_fraction > 0.0
+            && api.rng().gen::<f64>() < self.cfg.cas_fraction;
         let client = &mut self.clients[idx];
         client.seq += 1;
         let cmd_id = CommandId::new(client.id, client.seq);
@@ -220,9 +271,19 @@ impl<P> WorkloadApp<P> {
         client.reading = is_read;
         // A fixed-size update to a random key, like the paper's
         // workload — or, in a read mix, a linearizable local read of
-        // one.
+        // one — or, in a CAS mix, the next link of the client's private
+        // CAS chain (owned key above the shared key space, so only this
+        // client ever writes it and the CAS must succeed).
         let op = if is_read {
             KvOp::get(key.to_be_bytes().to_vec())
+        } else if is_cas {
+            let own_key = self.cfg.key_space + idx as u64;
+            client.pending_cas = Some(client.seq);
+            KvOp::cas(
+                own_key.to_be_bytes().to_vec(),
+                client.cas_value.map(|v| v.to_be_bytes().to_vec().into()),
+                client.seq.to_be_bytes().to_vec(),
+            )
         } else {
             KvOp::put(
                 key.to_be_bytes().to_vec(),
@@ -320,6 +381,10 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
                 Fault::Partition(a, b) => api.partition(a, b, 0),
                 Fault::Heal(a, b) => api.heal(a, b, 0),
                 Fault::ClockJump(r, delta) => api.clock_jump(r, delta, 0),
+                Fault::ClockFreeze(r, dur) => api.clock_freeze(r, dur, 0),
+                Fault::ClockDrift(r, ppm, dur) => api.clock_drift_burst(r, ppm as f64, dur, 0),
+                Fault::LinkDelay(a, b, extra) => api.link_delay(a, b, extra, 0),
+                Fault::LinkJitter(a, b, jitter) => api.link_jitter(a, b, jitter, 0),
             }
             return;
         }
@@ -345,6 +410,17 @@ impl<P: Protocol> Application<P> for WorkloadApp<P> {
             if let Some(&op_idx) = self.op_index.get(&reply.id) {
                 self.ops[op_idx].replied = Some(now);
                 self.ops[op_idx].result = Some(reply.result.clone());
+            }
+        }
+        if let Some(proposed) = self.clients[idx].pending_cas.take() {
+            // Settle the private CAS chain: on success the new value is
+            // the chain head; a failure is unconditionally a violation
+            // (nobody else writes this key), surfaced via cas_failures.
+            self.cas_count += 1;
+            if reply.result.first() == Some(&1) {
+                self.clients[idx].cas_value = Some(proposed);
+            } else {
+                self.cas_failures += 1;
             }
         }
         if issued >= self.cfg.warmup_until && now <= self.cfg.measure_until {
@@ -395,6 +471,7 @@ mod tests {
             record_ops: true,
             faults: Vec::new(),
             retry_timeout_us: None,
+            cas_fraction: 0.0,
         }
     }
 

@@ -59,6 +59,21 @@ pub enum MenciusLogRec {
         /// Slot number.
         slot: u64,
     },
+    /// A durable record of a [`MenciusMsg::GapFill`] confirmation: the
+    /// owner vouched that every proposal it ever made at own slots in
+    /// `[from_slot, below)` is in our log (the fill's `Accept` records
+    /// precede this one). Persisting the range keeps absence proofs —
+    /// and the cumulative acks built on them — valid across our own
+    /// crashes, since an empty confirmed slot leaves no other trace in
+    /// the log.
+    GapConfirm {
+        /// The confirming owner.
+        owner: ReplicaId,
+        /// First confirmed slot (inclusive).
+        from_slot: u64,
+        /// End of the confirmed range (exclusive).
+        below: u64,
+    },
     /// A state machine checkpoint (shared subsystem,
     /// `rsm_core::checkpoint`): the snapshot reflects every slot
     /// **below** the (exclusive) applied watermark. `history_floor`
@@ -124,15 +139,22 @@ pub struct MenciusBcast {
     /// a down replica are lost — after which this replica stops issuing
     /// cumulative acks for them: it can no longer bound what it missed.
     /// Own proposals are logged synchronously, so the own entry is
-    /// always true. Restored per owner once every slot below the first
-    /// post-recovery receipt has resolved locally (see `resync_floor`).
+    /// always true. Restored per owner once every own slot of theirs
+    /// below the first post-recovery receipt is accounted for — held in
+    /// the slot table, already resolved, or confirmed absent by a
+    /// `GapFill` — since FIFO receipt bounds everything at and above
+    /// that first receipt (see `resync_floor`).
     recv_synced: Vec<bool>,
-    /// First slot received from each owner after a desync. Once
-    /// `exec_cursor` passes it, every earlier slot of that owner is
-    /// locally resolved — committed (so globally decided; covering it
-    /// adds no false quorum weight) or skipped (confirmed empty by the
-    /// owner via `GapFill`, so coverage is vacuous) — and cumulative
-    /// acks for the owner become truthful again.
+    /// First slot received from each owner after a desync: the only
+    /// proposals a crash can have cost us sit **below** it (FIFO — the
+    /// owner proposes its slots in increasing order, and nothing sent
+    /// after our recovery is lost). Once every one of the owner's slots
+    /// in `[exec_cursor, floor)` is held, resolved, or covered by
+    /// `gap_trust`, cumulative acks for the owner are truthful again.
+    /// Crucially this needs no execution progress, so a recovered
+    /// replica re-arms its quorum duty even while the cluster is
+    /// blocked waiting for exactly that ack — execution-gated resync
+    /// deadlocks when two replicas desync in overlapping windows.
     resync_floor: Vec<Option<u64>>,
     /// Own proposals retained for gap retransmission: a peer that was
     /// down while a proposal was in flight can no longer tell a skipped
@@ -281,6 +303,14 @@ impl MenciusBcast {
         self
     }
 
+    /// Sets the session-table chaos-canary knob (**test-only**): when on,
+    /// duplicate writes re-apply instead of deduplicating — the bug the
+    /// chaos fuzzer proves it can find and shrink.
+    pub fn with_session_canary(mut self, on: bool) -> Self {
+        self.sessions.set_canary_skip_dedup(on);
+        self
+    }
+
     /// Overrides the own-proposal retention cap (tests and memory-tight
     /// deployments; defaults to [`MAX_OWN_HISTORY`]).
     ///
@@ -372,22 +402,17 @@ impl MenciusBcast {
         // for our own slots instead — trivially complete in our log —
         // which still carries the skip promise everyone needs for
         // liveness of the gap slots. Coverage becomes truthful again
-        // once everything below our first post-recovery receipt has
-        // resolved locally, at which point we re-sync and resume full
-        // acknowledgements (a recovered replica rejoins quorum duty as
-        // soon as the cluster makes any progress past its outage).
+        // once the window a crash can have punctured — the owner's
+        // slots between our cursor and our first post-recovery receipt
+        // — is fully accounted for (held, resolved, or confirmed empty
+        // by a gap fill); anything missing is fetched from the owner
+        // right here, so resync never waits on execution progress.
         let oi = owner.index();
         if !self.recv_synced[oi] {
-            match self.resync_floor[oi] {
-                None => self.resync_floor[oi] = Some(first_slot),
-                Some(f) => {
-                    if self.exec_cursor >= f {
-                        self.recv_synced[oi] = true;
-                        self.resync_floor[oi] = None;
-                        // FIFO coverage subsumes per-range confirmations.
-                        self.gap_trust[oi].clear();
-                    }
-                }
+            let f = *self.resync_floor[oi].get_or_insert(first_slot);
+            match self.resync_coverage_hole(oi, f) {
+                None => self.restore_recv_sync(oi),
+                Some(hole) => self.request_gap_fill(hole, owner, ctx),
             }
         }
         let up_to_slot = if self.recv_synced[oi] {
@@ -417,6 +442,46 @@ impl MenciusBcast {
             // from anyone else, so the claim is vacuous but well-formed.
             self.id.index() as u64
         }
+    }
+
+    /// First uncovered own slot of owner `o` in `[exec_cursor, f)`, or
+    /// `None` when the whole window is accounted for and cumulative
+    /// acks for `o` are truthful again. A slot is covered when its
+    /// proposal is in hand (logged in the slot table), it already
+    /// resolved (below the cursor), or a `GapFill` confirmed the owner
+    /// never proposed there (`gap_trust`). FIFO receipt covers `[f, ∞)`
+    /// by construction, so the window is the entire claim.
+    fn resync_coverage_hole(&self, o: usize, f: u64) -> Option<u64> {
+        let o64 = o as u64;
+        let r = self.exec_cursor % self.n;
+        // Smallest slot ≥ exec_cursor owned by `o` (slots stripe round
+        // robin: owner_of_slot(s) = s mod n).
+        let mut s = if r <= o64 {
+            self.exec_cursor + (o64 - r)
+        } else {
+            self.exec_cursor + self.n - (r - o64)
+        };
+        while s < f {
+            if !self.slots.contains_key(&s)
+                && !self.gap_trust[o].iter().any(|&(a, b)| a <= s && s < b)
+            {
+                return Some(s);
+            }
+            s += self.n;
+        }
+        None
+    }
+
+    /// Re-arms cumulative acknowledgements for owner `o` after its
+    /// coverage window closed (see [`Self::resync_coverage_hole`]).
+    fn restore_recv_sync(&mut self, o: usize) {
+        self.recv_synced[o] = true;
+        self.resync_floor[o] = None;
+        // The blanket claim subsumes per-range confirmations: a held
+        // proposal stays in the slot table until it executes, and an
+        // absent covered slot was confirmed empty for good (the range's
+        // durable `GapConfirm` record keeps that proof across crashes).
+        self.gap_trust[o].clear();
     }
 
     fn on_accept_ack(
@@ -988,12 +1053,49 @@ impl MenciusBcast {
         // and only there: an owner that clamped `from_slot` upward
         // (retention cap) has not confirmed the slots below it, so a
         // hole at the cursor stays blocked rather than being skipped
-        // over a possibly dropped command.
+        // over a possibly dropped command. The confirmation is logged:
+        // cumulative acks will lean on it, and they must stay truthful
+        // across our own crashes (the owner prunes history behind them).
         let covered = self.gap_trust[o]
             .iter()
             .any(|&(f, b)| f <= from_slot && below <= b);
         if from_slot < below && !covered {
+            ctx.log_append(MenciusLogRec::GapConfirm {
+                owner: from,
+                from_slot,
+                below,
+            });
             self.gap_trust[o].push((from_slot, below));
+        }
+        // The fill may have closed the owner's desync window. Check
+        // here, not just on the owner's next proposal: peers may be
+        // blocked waiting for precisely the cumulative ack we have been
+        // withholding — and when two replicas desync in overlapping
+        // windows, every cursor in the cluster can be stuck on a slot
+        // whose majority needs that ack, so no proposal-side resync
+        // would ever fire. Announce restored coverage immediately, up
+        // to the highest of the owner's slots in hand.
+        if !self.recv_synced[o] {
+            if let Some(f) = self.resync_floor[o] {
+                if self.resync_coverage_hole(o, f).is_none() {
+                    self.restore_recv_sync(o);
+                    let up_to_slot = self
+                        .slots
+                        .keys()
+                        .rev()
+                        .find(|&&s| self.owner_of_slot(s) == from)
+                        .copied()
+                        .unwrap_or(f)
+                        .max(f);
+                    self.broadcast(
+                        MenciusMsg::AcceptAck {
+                            up_to_slot,
+                            skip_below: self.next_own_slot,
+                        },
+                        ctx,
+                    );
+                }
+            }
         }
         self.try_execute(ctx);
     }
@@ -1149,8 +1251,20 @@ impl Protocol for MenciusBcast {
                 MenciusLogRec::Skip { slot } if *slot >= base => {
                     resolved.insert(*slot, None);
                 }
+                MenciusLogRec::GapConfirm {
+                    owner,
+                    from_slot,
+                    below,
+                } if *below > base => {
+                    // Confirmed-empty ranges hold for good (the owner
+                    // never proposes below the promise it echoed), so
+                    // the absence proofs — and the cumulative acks we
+                    // issued on their strength — survive the crash.
+                    self.gap_trust[owner.index()].push((*from_slot, *below));
+                }
                 MenciusLogRec::Commit { .. }
                 | MenciusLogRec::Skip { .. }
+                | MenciusLogRec::GapConfirm { .. }
                 | MenciusLogRec::Checkpoint { .. } => {}
             }
         }

@@ -229,6 +229,32 @@ pub enum PaxosMsg {
         /// The serving replica's promised ballot.
         promised: Ballot,
     },
+    /// Pre-vote probe (opt-in, [`pre_vote`]): before bumping its ballot, a
+    /// would-be candidate asks whether the receiver would *currently*
+    /// promise `ballot`. The receiver answers from the same tests a real
+    /// [`Prepare`](PaxosMsg::Prepare) faces — promise ordering and the
+    /// leader-stickiness lease gate — but **nothing mutates**: no promise
+    /// moves, no lease renews, no round is burned. A replica flapping
+    /// behind a partition therefore cannot drive real ballots up (and
+    /// depose a healthy leader on heal); it only ever probes, and its
+    /// probes die quietly while a majority still hears the leader.
+    ///
+    /// [`pre_vote`]: rsm_core::lease::LeaseConfig::pre_vote
+    PreVote {
+        /// The ballot the sender would campaign at.
+        ballot: Ballot,
+    },
+    /// Affirmative answer to a [`PreVote`](PaxosMsg::PreVote): the sender
+    /// would promise `ballot` if asked now. A majority of grants licenses
+    /// the real election. There is no negative counterpart — refusals are
+    /// silent, exactly like the stickiness gate's silence on `Prepare`
+    /// (except a probe below the receiver's promise, which draws the
+    /// usual [`Nack`](PaxosMsg::Nack) so a lagging candidate can learn
+    /// the round to beat).
+    PreVoteGrant {
+        /// Echo of the probed ballot.
+        ballot: Ballot,
+    },
     /// Quorum-read probe (`rsm_core::read`): a replica that cannot serve
     /// a read locally — a follower, or a leader whose read lease is
     /// uncertain — asks a peer for its read mark. Clock-free: safety
@@ -254,7 +280,10 @@ impl WireSize for PaxosMsg {
             PaxosMsg::Accepted { .. } | PaxosMsg::Commit { .. } | PaxosMsg::Heartbeat { .. } => {
                 MSG_HEADER_BYTES + BALLOT_BYTES
             }
-            PaxosMsg::Prepare { .. } | PaxosMsg::Nack { .. } => MSG_HEADER_BYTES + BALLOT_BYTES,
+            PaxosMsg::Prepare { .. }
+            | PaxosMsg::Nack { .. }
+            | PaxosMsg::PreVote { .. }
+            | PaxosMsg::PreVoteGrant { .. } => MSG_HEADER_BYTES + BALLOT_BYTES,
             PaxosMsg::FillRequest { .. } => MSG_HEADER_BYTES + 16,
             PaxosMsg::Fill { entries, .. } => {
                 MSG_HEADER_BYTES
@@ -381,6 +410,14 @@ impl WireEncode for PaxosMsg {
                 14u8.encode(buf);
                 reply.encode(buf);
             }
+            PaxosMsg::PreVote { ballot } => {
+                15u8.encode(buf);
+                ballot.encode(buf);
+            }
+            PaxosMsg::PreVoteGrant { ballot } => {
+                16u8.encode(buf);
+                ballot.encode(buf);
+            }
         }
     }
 }
@@ -443,6 +480,12 @@ impl WireDecode for PaxosMsg {
             },
             13 => PaxosMsg::ReadProbe(ReadRequest::decode(r)?),
             14 => PaxosMsg::ReadMark(ReadReply::decode(r)?),
+            15 => PaxosMsg::PreVote {
+                ballot: Ballot::decode(r)?,
+            },
+            16 => PaxosMsg::PreVoteGrant {
+                ballot: Ballot::decode(r)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     ty: "PaxosMsg",

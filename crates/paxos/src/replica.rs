@@ -169,6 +169,22 @@ struct Election {
     promises: Vec<(ReplicaId, u64, Vec<SuffixEntry>)>,
 }
 
+/// A candidate's in-flight pre-vote probe (opt-in,
+/// [`LeaseConfig::pre_vote`]): the electability check that runs *before*
+/// [`Election`], at a prospective ballot that has not been made durable
+/// or promised anywhere. Dropped without trace if the leader proves
+/// itself alive before a majority grants.
+#[derive(Debug)]
+struct PreVoteRound {
+    /// The prospective candidacy ballot (`max_round_seen + 1` at probe
+    /// time — *not* reserved; the real election recomputes it).
+    ballot: Ballot,
+    /// When the probe started (paces the retry).
+    started_at: Micros,
+    /// Replicas that answered "I would promise that".
+    grants: Vec<ReplicaId>,
+}
+
 /// A Multi-Paxos replica.
 ///
 /// Starts under the designated leader's initial regime (ballot round 0).
@@ -201,6 +217,9 @@ pub struct MultiPaxos {
     lease: Lease,
     /// This replica's candidacy, while one is in flight.
     election: Option<Election>,
+    /// This replica's pre-vote probe, while one is in flight (only with
+    /// [`LeaseConfig::pre_vote`]; mutually exclusive with `election`).
+    prevote: Option<PreVoteRound>,
     /// Client batches buffered while campaigning; proposed on victory,
     /// forwarded on defeat.
     pending: Vec<(Batch, ReplicaId)>,
@@ -303,6 +322,7 @@ impl MultiPaxos {
             max_round_seen: 0,
             lease: Lease::new(0),
             election: None,
+            prevote: None,
             pending: Vec::new(),
             next_instance: 0,
             instances: BTreeMap::new(),
@@ -342,6 +362,14 @@ impl MultiPaxos {
         self
     }
 
+    /// Sets the session-table chaos-canary knob (**test-only**): when on,
+    /// duplicate writes re-apply instead of deduplicating — the bug the
+    /// chaos fuzzer proves it can find and shrink.
+    pub fn with_session_canary(mut self, on: bool) -> Self {
+        self.sessions.set_canary_skip_dedup(on);
+        self
+    }
+
     /// Enables lease-based fail-over: leader heartbeats, follower
     /// suspicion, and ballot elections per `lease`.
     pub fn with_failover(mut self, lease: LeaseConfig) -> Self {
@@ -373,6 +401,12 @@ impl MultiPaxos {
     /// Whether an election started by this replica is in flight.
     pub fn is_campaigning(&self) -> bool {
         self.election.is_some()
+    }
+
+    /// Whether a pre-vote probe started by this replica is in flight
+    /// ([`LeaseConfig::pre_vote`]).
+    pub fn is_pre_voting(&self) -> bool {
+        self.prevote.is_some()
     }
 
     /// The dissemination variant this replica runs.
@@ -758,7 +792,86 @@ impl MultiPaxos {
     // Election: phase 1 over the log suffix
     // ------------------------------------------------------------------
 
+    /// Starts a pre-vote probe ([`LeaseConfig::pre_vote`]): asks every
+    /// replica whether it would promise `max_round_seen + 1` right now,
+    /// without making that round durable, promising it locally, or
+    /// sending a single real `Prepare`. Only a majority of grants
+    /// escalates to [`start_election`](Self::start_election) — so a
+    /// replica whose lease expired spuriously (isolated behind a
+    /// partition, or fed a runaway clock) burns no ballots and deposes
+    /// nobody: a majority still hearing the leader answers its probes
+    /// with silence.
+    fn start_prevote(&mut self, now: Micros, ctx: &mut dyn Context<Self>) {
+        let ballot = Ballot {
+            round: self.max_round_seen + 1,
+            proposer: self.id,
+        };
+        self.prevote = Some(PreVoteRound {
+            ballot,
+            started_at: now,
+            grants: Vec::new(),
+        });
+        // Broadcast including self: our own would-promise test (the
+        // stickiness gate over our own lease) flows through the same
+        // path as everyone else's, exactly like the real election's
+        // self-addressed Prepare.
+        for r in self.membership.config().to_vec() {
+            ctx.send(r, PaxosMsg::PreVote { ballot });
+        }
+    }
+
+    /// Answers a pre-vote probe with the same tests a real `Prepare`
+    /// faces — but **mutates nothing**: no `max_round_seen` bump, no
+    /// promise, no lease renewal, no election abandonment. A probe is a
+    /// question, not an event.
+    fn on_prevote(&mut self, from: ReplicaId, ballot: Ballot, ctx: &mut dyn Context<Self>) {
+        if ballot < self.promised {
+            // The Nack teaches a lagging prober the round to beat —
+            // without it a candidate behind on `max_round_seen` would
+            // probe the same dead round forever (the real election
+            // learns this through the same reply).
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    promised: self.promised,
+                },
+            );
+            return;
+        }
+        // Leader stickiness, verbatim from `on_prepare`: while our own
+        // lease on the current regime is fresh, we would refuse the real
+        // Prepare — so we refuse the probe the same way (silently).
+        if ballot > self.regime
+            && self.lease_cfg.enabled()
+            && !self.lease.expired(ctx.clock(), self.lease_cfg.timeout_us)
+        {
+            return;
+        }
+        ctx.send(from, PaxosMsg::PreVoteGrant { ballot });
+    }
+
+    /// Collects pre-vote grants; a majority licenses the real election.
+    fn on_prevote_grant(&mut self, from: ReplicaId, ballot: Ballot, ctx: &mut dyn Context<Self>) {
+        let majority = self.majority();
+        let Some(pv) = &mut self.prevote else {
+            return; // probe already escalated, abandoned, or superseded
+        };
+        if ballot != pv.ballot || pv.grants.contains(&from) {
+            return;
+        }
+        pv.grants.push(from);
+        if pv.grants.len() >= majority {
+            self.prevote = None;
+            // A majority just told us they would promise: the leader is
+            // silent for a full timeout at each of them. Run the real
+            // election (which re-derives its ballot from the freshest
+            // `max_round_seen`, possibly above the probed round).
+            self.start_election(ctx.clock(), ctx);
+        }
+    }
+
     fn start_election(&mut self, now: Micros, ctx: &mut dyn Context<Self>) {
+        self.prevote = None;
         self.max_round_seen += 1;
         let ballot = Ballot {
             round: self.max_round_seen,
@@ -842,6 +955,11 @@ impl MultiPaxos {
         if let Some(e) = &self.election {
             if ballot > e.ballot {
                 self.election = None; // outbid: defer to the higher candidacy
+            }
+        }
+        if let Some(pv) = &self.prevote {
+            if ballot > pv.ballot {
+                self.prevote = None; // a real candidacy trumps our probe
             }
         }
         let entries: Vec<SuffixEntry> = self
@@ -1118,6 +1236,13 @@ impl MultiPaxos {
                 self.election = None;
             }
         }
+        if let Some(pv) = &self.prevote {
+            if promised > pv.ballot {
+                // The probed round is already dead; the retry re-probes
+                // above the `max_round_seen` this Nack just taught us.
+                self.prevote = None;
+            }
+        }
         if was_leader && !self.is_leader() {
             // Deposed: grant the new regime a full lease before electing.
             let now = ctx.clock();
@@ -1151,11 +1276,30 @@ impl MultiPaxos {
             if now.saturating_sub(e.started_at) > self.lease_cfg.election_retry_us {
                 self.start_election(now, ctx);
             }
+        } else if let Some(pv) = &self.prevote {
+            if !self
+                .lease
+                .expired(now, self.lease_cfg.stagger_us(self.id.index()))
+            {
+                // The regime proved itself alive while we probed (fresh
+                // traffic renewed our lease): stand down without having
+                // disturbed anyone — the entire point of pre-voting.
+                self.prevote = None;
+            } else if now.saturating_sub(pv.started_at) > self.lease_cfg.election_retry_us {
+                // Probe inconclusive (grants lost, or a majority still
+                // shields a leader we cannot hear): re-probe, picking up
+                // any higher round Nacks taught us meanwhile.
+                self.start_prevote(now, ctx);
+            }
         } else if self
             .lease
             .expired(now, self.lease_cfg.stagger_us(self.id.index()))
         {
-            self.start_election(now, ctx);
+            if self.lease_cfg.pre_vote {
+                self.start_prevote(now, ctx);
+            } else {
+                self.start_election(now, ctx);
+            }
         }
     }
 
@@ -1704,6 +1848,8 @@ impl Protocol for MultiPaxos {
                 entries,
             } => self.on_promise(from, ballot, committed, entries, ctx),
             PaxosMsg::Nack { promised } => self.on_nack(promised, ctx),
+            PaxosMsg::PreVote { ballot } => self.on_prevote(from, ballot, ctx),
+            PaxosMsg::PreVoteGrant { ballot } => self.on_prevote_grant(from, ballot, ctx),
             PaxosMsg::FillRequest {
                 from_instance,
                 to_instance,

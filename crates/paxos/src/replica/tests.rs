@@ -1773,3 +1773,221 @@ fn heartbeat_draws_a_cumulative_ack_as_lease_evidence() {
         .collect();
     assert_eq!(acks.len(), 1, "heartbeat must be acked to the leader");
 }
+
+// ----------------------------------------------------------------------
+// Pre-vote (opt-in): probe electability before burning a ballot
+// ----------------------------------------------------------------------
+
+fn prevote_lease() -> LeaseConfig {
+    lease().with_pre_vote()
+}
+
+fn prevotes(ctx: &TestCtx) -> Vec<Ballot> {
+    ctx.sends
+        .iter()
+        .filter_map(|(_, m)| match m {
+            PaxosMsg::PreVote { ballot } => Some(*ballot),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn prevote_expiry_probes_instead_of_preparing() {
+    let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    ctx.clock = 600_000; // past the staggered timeout for index 1
+    p.on_timer(TOKEN_LEASE, &mut ctx);
+    // A probe at the prospective round goes to everyone, self included —
+    // but no Prepare, no durable promise, no round burned.
+    assert_eq!(prevotes(&ctx), vec![b(1, 1); 3]);
+    assert!(prepares(&ctx).is_empty(), "probe must precede any Prepare");
+    assert!(p.is_pre_voting() && !p.is_campaigning());
+    assert_eq!(p.promised(), b0(), "a probe must not move the promise");
+    assert_eq!(p.max_round_seen, 0, "a probe must not burn a round");
+    assert!(
+        !ctx.log
+            .iter()
+            .any(|rec| matches!(rec, PaxosLogRec::Promised(_))),
+        "a probe must not write the durable log"
+    );
+}
+
+#[test]
+fn prevote_answer_is_pure() {
+    // A peer whose lease on the leader is fresh refuses the probe
+    // silently; one whose lease lapsed grants it. Neither answer
+    // mutates anything — promise, lease, log, or round counter.
+    let mut p = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    p.on_message(r(1), PaxosMsg::PreVote { ballot: b(1, 1) }, &mut ctx);
+    assert!(
+        ctx.sends.is_empty(),
+        "fresh-lease peer must refuse the probe silently"
+    );
+    ctx.clock += lease().timeout_us + 1;
+    p.on_message(r(1), PaxosMsg::PreVote { ballot: b(1, 1) }, &mut ctx);
+    assert_eq!(
+        ctx.sends,
+        vec![(r(1), PaxosMsg::PreVoteGrant { ballot: b(1, 1) })]
+    );
+    assert_eq!(p.promised(), b0(), "granting a probe is not promising");
+    assert_eq!(p.max_round_seen, 0);
+    assert!(ctx.log.is_empty(), "granting a probe must not log");
+    // The grant did not renew the grantor's lease either: unlike a real
+    // promise there is no election window to protect, so its own (pre-)
+    // candidacy timing is untouched. A real Prepare at the same ballot
+    // is still granted afterwards.
+    p.on_message(
+        r(1),
+        PaxosMsg::Prepare {
+            ballot: b(1, 1),
+            from_instance: 0,
+        },
+        &mut ctx,
+    );
+    assert!(ctx
+        .sends
+        .iter()
+        .any(|(_, m)| matches!(m, PaxosMsg::Promise { .. })));
+}
+
+#[test]
+fn stale_prevote_draws_a_nack() {
+    let mut p = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    ctx.clock += lease().timeout_us + 1;
+    p.on_message(
+        r(1),
+        PaxosMsg::Prepare {
+            ballot: b(3, 1),
+            from_instance: 0,
+        },
+        &mut ctx,
+    );
+    assert_eq!(p.promised(), b(3, 1));
+    ctx.sends.clear();
+    // A probe below the promise teaches the prober the round to beat.
+    p.on_message(r(0), PaxosMsg::PreVote { ballot: b(1, 0) }, &mut ctx);
+    assert_eq!(
+        ctx.sends,
+        vec![(r(0), PaxosMsg::Nack { promised: b(3, 1) })]
+    );
+}
+
+#[test]
+fn prevote_majority_escalates_to_a_real_election() {
+    let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    ctx.clock = 600_000;
+    p.on_timer(TOKEN_LEASE, &mut ctx);
+    assert_eq!(prevotes(&ctx), vec![b(1, 1); 3]);
+    // Self-addressed probe loops back (own lease expired → grant)...
+    p.on_message(r(1), PaxosMsg::PreVote { ballot: b(1, 1) }, &mut ctx);
+    p.on_message(r(1), PaxosMsg::PreVoteGrant { ballot: b(1, 1) }, &mut ctx);
+    assert!(p.is_pre_voting(), "one grant is not a majority");
+    assert!(prepares(&ctx).is_empty());
+    // ...and a second grant makes the majority: the real election starts,
+    // burning the round only now.
+    p.on_message(r(2), PaxosMsg::PreVoteGrant { ballot: b(1, 1) }, &mut ctx);
+    assert!(!p.is_pre_voting() && p.is_campaigning());
+    assert_eq!(prepares(&ctx), vec![b(1, 1); 3]);
+    assert_eq!(p.promised(), b(1, 1), "the election is durably promised");
+}
+
+#[test]
+fn duplicate_grants_do_not_make_a_majority() {
+    let mut p = MultiPaxos::new(r(1), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    ctx.clock = 600_000;
+    p.on_timer(TOKEN_LEASE, &mut ctx);
+    p.on_message(r(2), PaxosMsg::PreVoteGrant { ballot: b(1, 1) }, &mut ctx);
+    p.on_message(r(2), PaxosMsg::PreVoteGrant { ballot: b(1, 1) }, &mut ctx);
+    assert!(p.is_pre_voting(), "a re-delivered grant counts once");
+    assert!(prepares(&ctx).is_empty());
+}
+
+#[test]
+fn isolated_prevoter_burns_no_ballots_and_rejoins_quietly() {
+    // The disruption scenario pre-vote exists for: a replica cut off
+    // behind a partition suspects the leader and campaigns into the
+    // void. With classic elections every retry durably self-promises a
+    // higher round, so on heal its inflated promise Nacks the healthy
+    // leader's traffic and deposes it. With pre-vote the castaway only
+    // ever probes: heal finds it exactly where it left — same promise,
+    // same regime — and the leader's next heartbeat is acked, not
+    // Nacked.
+    let mut p = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    // Partitioned: many retry periods pass, every probe unanswered.
+    for tick in 1..=20u64 {
+        ctx.clock = 600_000 + tick * lease().election_retry_us;
+        p.on_timer(TOKEN_LEASE, &mut ctx);
+    }
+    assert!(prevotes(&ctx).len() >= 3, "castaway must keep re-probing");
+    assert!(prepares(&ctx).is_empty(), "castaway must never Prepare");
+    assert_eq!(p.promised(), b0(), "no self-promise accumulated");
+    assert_eq!(p.max_round_seen, 0, "no rounds burned while isolated");
+    // Heal: the leader's heartbeat arrives. No Nack — the castaway is
+    // still a clean follower of the original regime.
+    ctx.sends.clear();
+    p.on_message(
+        r(0),
+        PaxosMsg::Heartbeat {
+            ballot: b0(),
+            committed: 0,
+        },
+        &mut ctx,
+    );
+    assert!(
+        !ctx.sends
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Nack { .. })),
+        "healed castaway must not depose the leader"
+    );
+    assert!(
+        ctx.sends
+            .iter()
+            .any(|(to, m)| *to == r(0) && matches!(m, PaxosMsg::Accepted { .. })),
+        "heartbeat must be acked as usual"
+    );
+    // The heartbeat renewed its lease; the next tick stands the probe
+    // down instead of escalating.
+    ctx.clock += 1_000;
+    p.on_timer(TOKEN_LEASE, &mut ctx);
+    assert!(!p.is_pre_voting() && !p.is_campaigning());
+}
+
+#[test]
+fn prevote_stands_down_when_outbid_by_a_real_candidacy() {
+    let mut p = MultiPaxos::new(r(2), Membership::uniform(3), r(0), PaxosVariant::Bcast)
+        .with_failover(prevote_lease());
+    let mut ctx = TestCtx::new();
+    p.on_start(&mut ctx);
+    ctx.clock = 800_000; // past the index-2 stagger
+    p.on_timer(TOKEN_LEASE, &mut ctx);
+    assert!(p.is_pre_voting());
+    // A real candidate at a higher ballot solicits us: grant and defer.
+    p.on_message(
+        r(1),
+        PaxosMsg::Prepare {
+            ballot: b(2, 1),
+            from_instance: 0,
+        },
+        &mut ctx,
+    );
+    assert!(!p.is_pre_voting(), "a real candidacy trumps our probe");
+    assert_eq!(p.promised(), b(2, 1));
+}

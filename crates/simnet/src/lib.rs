@@ -49,7 +49,7 @@ pub mod sched;
 pub mod sim;
 pub mod storage;
 
-pub use clock::{ClockModel, PhysicalClock};
+pub use clock::{ClockAnomaly, ClockModel, PhysicalClock};
 pub use cpu::CpuModel;
 pub use sched::EventQueue;
 pub use sim::{Application, NullApplication, SimApi, SimConfig, Simulation};

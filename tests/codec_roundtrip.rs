@@ -232,6 +232,8 @@ fn arb_paxos_all() -> impl Strategy<Value = Vec<PaxosMsg>> {
                     entries: entries.clone(),
                 },
                 PaxosMsg::Nack { promised: ballot },
+                PaxosMsg::PreVote { ballot },
+                PaxosMsg::PreVoteGrant { ballot },
                 PaxosMsg::Repair {
                     ballot,
                     floor: n,

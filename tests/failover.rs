@@ -438,3 +438,68 @@ fn paxos_deposed_leader_rejoins_via_checkpoint_transfer() {
         }
     }
 }
+
+/// Pre-vote changes nothing about a *real* leader crash: the probe round
+/// finds a majority whose leases lapsed, escalates to the classic
+/// election, and the cluster fails over exactly as without it.
+#[test]
+fn paxos_prevote_leader_crash_still_elects() {
+    let crash_at = 2_000 * MILLIS;
+    let recover_at = 8_000 * MILLIS;
+    let duration = 14_000u64;
+    let cfg = paxos_crash_cfg(4, duration).leader_crash(PAXOS_LEADER, crash_at, recover_at);
+    let r = run_latency(
+        ProtocolChoice::paxos_bcast_failover(PAXOS_LEADER, paxos_lease().with_pre_vote()),
+        &cfg,
+    );
+    assert_failover(&r, 4, recover_at, duration * MILLIS + 2_000 * MILLIS);
+}
+
+/// The disruption scenario pre-vote exists for, end to end: replica 2 is
+/// partitioned away from a healthy cluster for many lease timeouts, so
+/// its own lease expires and it campaigns into the void. With pre-vote
+/// it only ever probes — no ballot inflation while isolated — so the
+/// heal is a non-event: no Nack storm, no deposed leader, no election
+/// stall; the cluster never stops committing and the castaway reconverges.
+#[test]
+fn paxos_prevote_isolated_replica_cannot_disrupt() {
+    let cut = ReplicaId::new(2);
+    let cut_at = 2_000 * MILLIS;
+    let heal_at = 6_000 * MILLIS;
+    let cfg = paxos_crash_cfg(9, 12_000)
+        .fault(cut_at, Fault::Partition(ReplicaId::new(0), cut))
+        .fault(cut_at, Fault::Partition(ReplicaId::new(1), cut))
+        .fault(heal_at, Fault::Heal(ReplicaId::new(0), cut))
+        .fault(heal_at, Fault::Heal(ReplicaId::new(1), cut));
+    let r = run_latency(
+        ProtocolChoice::paxos_bcast_failover(PAXOS_LEADER, paxos_lease().with_pre_vote()),
+        &cfg,
+    );
+    assert!(r.checks.all_ok(), "{:?}", r.checks.violation);
+    assert!(r.snapshots_agree, "commits: {:?}", r.commit_counts);
+    // The majority side never noticed: commits flowed through the
+    // partition window and, critically, straight through the heal — a
+    // deposed-leader stall there would open a gap of at least the lease
+    // timeout while the cluster re-elects.
+    let around_heal: Vec<u64> = r.commit_times[0]
+        .iter()
+        .copied()
+        .filter(|&t| t >= heal_at - 500 * MILLIS && t <= heal_at + 2_000 * MILLIS)
+        .collect();
+    let max_gap = around_heal
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max()
+        .unwrap_or(u64::MAX);
+    assert!(
+        max_gap < 400 * MILLIS,
+        "commit stall of {max_gap}us around the heal — the rejoining \
+         replica disrupted the regime"
+    );
+    // The castaway reconverged: it executes fresh commands after healing.
+    assert!(
+        r.commits_between(2, heal_at + 1_000 * MILLIS, u64::MAX) > 10,
+        "healed replica never caught up: {:?}",
+        r.commit_counts
+    );
+}
