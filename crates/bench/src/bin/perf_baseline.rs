@@ -36,6 +36,11 @@
 //! regression shows up as a collapse here long before it matters on a
 //! real network).
 //!
+//! Schema v6 adds two observability sections, `latency_breakdown` and
+//! `obs_overhead`, emitted as single-line placeholders here and filled
+//! **in place** by the `obs_report` binary (run it after this one; see
+//! its doc header for the column definitions and the gates it applies).
+//!
 //! Run with `cargo run -p bench --release --bin perf_baseline`.
 //! `BENCH_QUICK=1` shrinks the windows for smoke runs; `--check` exits
 //! non-zero if the adaptive policy's heavy-load throughput regresses
@@ -544,7 +549,7 @@ fn main() {
     // the JSON is assembled by hand).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v4\",");
+    let _ = writeln!(json, "  \"schema\": \"clock-rsm-repro/perf-baseline/v6\",");
     let _ = writeln!(json, "  \"quick\": {},", quick());
     let _ = writeln!(
         json,
@@ -554,6 +559,11 @@ fn main() {
          \"shard8_aggregate_vs_shard1_min\": {SHARD_SCALE_FLOOR}, \
          \"loopback_tcp_vs_inproc_min\": {LOOPBACK_FLOOR} }},"
     );
+    // Schema-v6 observability sections, filled **in place** by the
+    // `obs_report` binary (kept to single lines so its substitution is
+    // line-based; run it after this one).
+    json.push_str("  \"latency_breakdown\": [],\n");
+    json.push_str("  \"obs_overhead\": [],\n");
     json.push_str("  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(

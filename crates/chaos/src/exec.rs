@@ -15,6 +15,7 @@ use rsm_core::checkpoint::CheckpointPolicy;
 use rsm_core::lease::LeaseConfig;
 use rsm_core::matrix::LatencyMatrix;
 use rsm_core::time::{Micros, MILLIS};
+use rsm_obs::ObsConfig;
 
 use crate::gen::SETTLE_US;
 use crate::schedule::{ProtocolKind, Schedule};
@@ -57,6 +58,11 @@ pub enum FailureKind {
     LogUnbounded,
     /// Commits did not resume after the last fault cleared.
     Stalled,
+    /// The instrumentation itself misbehaved: a counter decreased
+    /// between the mid-run and final snapshots, or a replica's
+    /// executed-command counter disagrees with its commit history
+    /// length (the basis of the total-order check).
+    MetricRegression,
 }
 
 impl FailureKind {
@@ -72,6 +78,7 @@ impl FailureKind {
             FailureKind::CasChainBroken => "cas-chain-broken",
             FailureKind::LogUnbounded => "log-unbounded",
             FailureKind::Stalled => "stalled",
+            FailureKind::MetricRegression => "metric-regression",
         }
     }
 }
@@ -131,7 +138,11 @@ pub fn experiment_config(s: &Schedule) -> ExperimentConfig {
         .cas_fraction(f64::from(k.cas_pct) / 100.0)
         .client_retry_us(RETRY_US)
         .record_ops(true)
-        .session_canary(s.canary);
+        .session_canary(s.canary)
+        // Every chaos run is instrumented (full span sampling), so the
+        // swarm fuzzes the observability layer alongside the protocols:
+        // the metric oracle below grades the counters it produces.
+        .observe(ObsConfig::all());
     if k.batch_max > 0 {
         cfg = cfg.batch(BatchPolicy::max(k.batch_max));
     }
@@ -243,6 +254,39 @@ pub fn evaluate(s: &Schedule, r: &ExperimentResult) -> Option<Failure> {
                 SETTLE_US
             ),
         });
+    }
+    // The instrumentation oracle (graded only on observed runs):
+    // counters are monotone — the final snapshot can never be below the
+    // mid-run one — and each replica's executed-command counter must
+    // equal its commit count, the history length every ordering check
+    // above was graded on. Crash-recovery replays count on both sides,
+    // so the equality survives any fault program.
+    if let (Some(mid), Some(fin)) = (&r.metrics_mid, &r.metrics) {
+        for (name, &at_mid) in &mid.counters {
+            let at_end = fin.counters.get(name).copied().unwrap_or(0);
+            if at_end < at_mid {
+                return Some(Failure {
+                    kind: FailureKind::MetricRegression,
+                    detail: format!("counter {name} regressed {at_mid} -> {at_end}"),
+                });
+            }
+        }
+        for (i, &commits) in r.commit_counts.iter().enumerate() {
+            let counted = fin
+                .counters
+                .get(&format!("r{i}.commands.executed"))
+                .copied()
+                .unwrap_or(0);
+            if counted != commits {
+                return Some(Failure {
+                    kind: FailureKind::MetricRegression,
+                    detail: format!(
+                        "replica {i}: executed-command counter {counted} != \
+                         commit history length {commits}"
+                    ),
+                });
+            }
+        }
     }
     None
 }

@@ -438,6 +438,10 @@ impl ClockRsm {
         for row in &mut self.acked {
             row.fill(0);
         }
+        // The trace cursors track the watermarks just reset; left high
+        // they would suppress Replicated/Stable stamps for the new epoch.
+        self.obs_stable_floor = Timestamp::ZERO;
+        self.obs_repl_floor.fill(0);
         self.wait_queue.clear();
         self.wait_armed_for = None;
         self.send_floor = self.send_floor.max(self.last_committed.micros());

@@ -7,6 +7,7 @@ use rsm_core::checkpoint::{Checkpoint, Checkpointer};
 use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
+use rsm_core::obs::{names, TraceStage};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::read::{ReadPath, ReadQueue};
 use rsm_core::session::SessionTable;
@@ -148,6 +149,15 @@ pub struct ClockRsm {
 
     // ------ counters (observability) ------
     pub(crate) committed_count: u64,
+    /// Trace-stage floors (only advanced while the driver is observing;
+    /// see [`ClockRsm::obs_scan`]): the `min(LatestTV)` value up to
+    /// which pending commands have been stamped
+    /// [`Stable`](rsm_core::obs::TraceStage::Stable) …
+    pub(crate) obs_stable_floor: Timestamp,
+    /// … and, per origin, the majority-ack watermark up to which its
+    /// pending commands have been stamped
+    /// [`Replicated`](rsm_core::obs::TraceStage::Replicated).
+    pub(crate) obs_repl_floor: Vec<Micros>,
     /// Shared checkpoint scheduler (Section V-B; `rsm_core::checkpoint`).
     pub(crate) checkpointer: Checkpointer,
 }
@@ -195,6 +205,8 @@ impl ClockRsm {
             queued_reads: VecDeque::new(),
             sessions: SessionTable::new(cfg.session_window),
             committed_count: 0,
+            obs_stable_floor: Timestamp::ZERO,
+            obs_repl_floor: vec![0; n],
             checkpointer: Checkpointer::new(cfg.checkpoint),
             membership,
         }
@@ -286,6 +298,11 @@ impl ClockRsm {
             return;
         }
         let ts = self.next_send_ts_span(batch.len() as u64, ctx);
+        if ctx.obs_active() {
+            for cmd in batch.iter() {
+                ctx.trace(cmd.id, TraceStage::Proposed);
+            }
+        }
         let msg = RsmMsg::PrepareBatch {
             epoch: self.epoch(),
             ts,
@@ -447,6 +464,9 @@ impl ClockRsm {
         if self.frozen {
             return;
         }
+        if ctx.obs_active() {
+            self.obs_scan(ctx);
+        }
         let majority = self.membership.majority();
         while let Some((&ts, _)) = self.pending.iter().next() {
             let o = ts.replica().index();
@@ -501,6 +521,63 @@ impl ClockRsm {
         // path that moves `LatestTV` or drains `pending` (PREPAREOK,
         // CLOCKTIME, prepares, epoch installs).
         self.release_ready_reads(ctx);
+    }
+
+    /// Stamps trace-stage transitions on pending commands **this
+    /// replica originated**: a command is
+    /// [`Replicated`](TraceStage::Replicated) once a majority's
+    /// cumulative ack watermark covers its timestamp, and
+    /// [`Stable`](TraceStage::Stable) once `min(LatestTV)` passes it.
+    /// Only the origin's vantage is stamped — the origin is where both
+    /// conditions gate the commit, so its waits are the paper's latency
+    /// decomposition (a remote replica can see a command
+    /// majority-logged a full one-way hop before the origin's quorum
+    /// ack returns, which would under-report the replication term).
+    /// Both conditions are monotone in a watermark, so each scan only
+    /// walks the pending commands a watermark newly passed (tracked by
+    /// the `obs_*_floor` cursors) and stamps each stage exactly once —
+    /// at the event that made it true. Only called while the driver is
+    /// observing; stamps are write-only (commit decisions never read
+    /// them).
+    fn obs_scan(&mut self, ctx: &mut dyn Context<Self>) {
+        use std::ops::Bound::{Excluded, Included};
+        let top_lane = ReplicaId::new(u16::MAX);
+        let stable = self.min_latest_tv();
+        if stable > self.obs_stable_floor {
+            let range = (Excluded(self.obs_stable_floor), Included(stable));
+            for (&ts, (cmd, _)) in self.pending.range(range) {
+                if ts.replica() == self.id {
+                    ctx.trace(cmd.id, TraceStage::Stable);
+                }
+            }
+            self.obs_stable_floor = stable;
+        }
+        let majority = self.membership.majority();
+        let o = self.id;
+        // The majority-th largest per-replica ack watermark for our own
+        // lane: every pending command of ours at or below it is logged
+        // by a majority.
+        let mut acks: Vec<Micros> = self
+            .membership
+            .config()
+            .iter()
+            .map(|k| self.acked[k.index()][o.index()])
+            .collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        let w = acks[majority - 1];
+        let floor = self.obs_repl_floor[o.index()];
+        if w > floor {
+            let range = (
+                Excluded(Timestamp::new(floor, top_lane)),
+                Included(Timestamp::new(w, top_lane)),
+            );
+            for (&ts, (cmd, _)) in self.pending.range(range) {
+                if ts.replica() == o {
+                    ctx.trace(cmd.id, TraceStage::Replicated);
+                }
+            }
+            self.obs_repl_floor[o.index()] = w;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -890,6 +967,28 @@ impl Protocol for ClockRsm {
                 self.handle_decision_request(from, have_epoch, ctx)
             }
             RsmMsg::DecisionCatchup { decisions } => self.handle_decision_catchup(decisions, ctx),
+        }
+    }
+
+    fn obs_poll(&mut self, ctx: &mut dyn Context<Self>) {
+        // The stable-wait a command stamped right now would pay locally:
+        // how far the stable timestamp trails this replica's clock.
+        let clock = ctx.clock();
+        let stable = self.stable_timestamp();
+        ctx.obs_gauge(
+            names::STABLE_LAG_US,
+            clock.saturating_sub(stable.micros()) as i64,
+        );
+        // Per-peer LatestTV staleness — the peer holding the minimum is
+        // the one gating the stable timestamp (paper §IV: commit latency
+        // is dominated by the slowest clock-time stream).
+        for peer in self.membership.config().to_vec() {
+            let tv = self.latest_tv[peer.index()];
+            ctx.obs_gauge_idx(
+                names::LATEST_TV_STALENESS_US,
+                peer,
+                clock.saturating_sub(tv.micros()) as i64,
+            );
         }
     }
 

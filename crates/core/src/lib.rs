@@ -99,6 +99,7 @@ pub mod error;
 pub mod id;
 pub mod lease;
 pub mod matrix;
+pub mod obs;
 pub mod protocol;
 pub mod read;
 pub mod session;
@@ -116,6 +117,7 @@ pub use error::{ProtocolError, Result};
 pub use id::{ClientId, ReplicaId};
 pub use lease::{Lease, LeaseConfig};
 pub use matrix::LatencyMatrix;
+pub use obs::TraceStage;
 pub use protocol::{Context, Protocol, TimerToken};
 pub use read::{ReadPath, ReadProbes, ReadQueue, ReadReply, ReadRequest};
 pub use session::{

@@ -122,6 +122,37 @@ pub trait Context<P: Protocol + ?Sized> {
     /// correct for drivers whose [`sm_read`](Context::sm_read) never
     /// returns `Some` (the two always come as a pair).
     fn send_reply(&mut self, _reply: Reply) {}
+
+    /// Whether the driver is recording observations. Protocols may use
+    /// this to skip work that exists only to produce observations (e.g.
+    /// scanning pending entries for trace-stage transitions) — never to
+    /// change protocol behaviour.
+    fn obs_active(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to this replica's counter `name` (see
+    /// [`obs::names`](crate::obs::names)). Defaults to a no-op: drivers
+    /// with an observability registry forward into it, everything else
+    /// pays nothing. Like all `obs_*` hooks this must never influence
+    /// protocol behaviour — observations are write-only.
+    fn obs_count(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Sets this replica's gauge `name` (no-op by default).
+    fn obs_gauge(&mut self, _name: &'static str, _value: i64) {}
+
+    /// Sets this replica's per-peer gauge `name.idx` (no-op by
+    /// default), e.g. `LatestTV` staleness per peer.
+    fn obs_gauge_idx(&mut self, _name: &'static str, _idx: ReplicaId, _value: i64) {}
+
+    /// Stamps trace stage `stage` on command `id`'s span at the current
+    /// time (no-op by default). Protocols stamp the ordering stages
+    /// ([`Proposed`](crate::obs::TraceStage::Proposed),
+    /// [`Replicated`](crate::obs::TraceStage::Replicated),
+    /// [`Stable`](crate::obs::TraceStage::Stable)) from the command's
+    /// origin replica; drivers own submission, commit, execution, and
+    /// reply stamps.
+    fn trace(&mut self, _id: crate::command::CommandId, _stage: crate::obs::TraceStage) {}
 }
 
 /// A replication protocol, written sans-io.
@@ -213,6 +244,17 @@ pub trait Protocol {
     /// must be re-committed (in order) so the driver can rebuild the state
     /// machine.
     fn on_recover(&mut self, log: &[Self::LogRec], ctx: &mut dyn Context<Self>);
+
+    /// Periodic observability poll: the driver invokes this at the
+    /// configured interval when observation is on, and the protocol
+    /// publishes gauge-shaped state through the `Context::obs_*` hooks
+    /// (Clock-RSM: stable-timestamp lag and per-peer `LatestTV`
+    /// staleness; Paxos: current ballot). **Read-only by contract**:
+    /// implementations must not mutate protocol state, send messages,
+    /// or arm timers — an instrumented run must commit the same
+    /// sequence as an uninstrumented one. The default publishes
+    /// nothing.
+    fn obs_poll(&mut self, _ctx: &mut dyn Context<Self>) {}
 }
 
 #[cfg(test)]

@@ -313,12 +313,16 @@ impl SessionTable {
                 true
             }
             SessionCheck::Duplicate(reply) => {
+                ctx.obs_count(crate::obs::names::SESSION_DEDUP_HITS, 1);
                 if committed.origin == me {
                     ctx.send_reply(reply);
                 }
                 false
             }
-            SessionCheck::Stale => false,
+            SessionCheck::Stale => {
+                ctx.obs_count(crate::obs::names::SESSION_STALE_DROPS, 1);
+                false
+            }
         }
     }
 

@@ -12,6 +12,7 @@ use rsm_core::id::ReplicaId;
 use rsm_core::matrix::LatencyMatrix;
 use rsm_core::protocol::Protocol;
 use rsm_core::time::{Micros, MILLIS};
+use rsm_obs::{MetricsSnapshot, ObsConfig, Span};
 use simnet::{ClockModel, CpuModel, SimConfig, Simulation};
 
 use crate::cluster::ProtocolChoice;
@@ -83,6 +84,10 @@ pub struct ExperimentConfig {
     /// Session dedup window override applied to every replica (commands
     /// remembered per client); `None` keeps each protocol's default.
     pub session_window: Option<usize>,
+    /// Observability configuration (`rsm-obs`): when set, the run keeps
+    /// a metrics registry and per-command trace spans, surfaced as
+    /// [`ExperimentResult::metrics`] and [`ExperimentResult::spans`].
+    pub observe: Option<ObsConfig>,
 }
 
 impl ExperimentConfig {
@@ -112,6 +117,7 @@ impl ExperimentConfig {
             session_canary: false,
             cas_fraction: 0.0,
             session_window: None,
+            observe: None,
         }
     }
 
@@ -268,6 +274,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables observability: metric snapshots and per-command trace
+    /// spans come back on the result. Timestamps are virtual
+    /// microseconds, so instrumented runs stay deterministic.
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.observe = Some(obs);
+        self
+    }
+
     fn n(&self) -> usize {
         self.latency.len()
     }
@@ -330,6 +344,20 @@ pub struct ExperimentResult {
     /// Failed private-key CAS chains — always a violation (see
     /// [`ExperimentConfig::cas_fraction`]).
     pub cas_failures: usize,
+    /// Final metrics snapshot (`None` unless
+    /// [`ExperimentConfig::observe`] was set).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Metrics snapshot taken at the end of the measurement window,
+    /// before the post-run slack (`None` unless observing). Diffing it
+    /// against [`metrics`](ExperimentResult::metrics) checks counter
+    /// monotonicity over the tail of the run.
+    pub metrics_mid: Option<MetricsSnapshot>,
+    /// Completed per-command trace spans, in completion order (empty
+    /// unless observing). Stage timestamps are virtual microseconds.
+    pub spans: Vec<Span>,
+    /// Spans begun but never [`Replied`](rsm_core::obs::TraceStage) at
+    /// the end of the run (commands still in flight at shutdown).
+    pub open_spans: usize,
 }
 
 impl ExperimentResult {
@@ -450,6 +478,10 @@ where
         Some(cpu) => sim_cfg.cpu_model(cpu),
         None => sim_cfg,
     };
+    let sim_cfg = match cfg.observe {
+        Some(obs) => sim_cfg.observe(obs),
+        None => sim_cfg,
+    };
     let workload = WorkloadConfig {
         n_sites: n,
         active_sites: cfg.active(),
@@ -467,6 +499,8 @@ where
     };
     let app: WorkloadApp<P> = WorkloadApp::new(workload);
     let mut sim = Simulation::new(sim_cfg, factory, || Box::new(KvStore::new()), app);
+    sim.run_until(end);
+    let metrics_mid = sim.metrics();
     // Slack after the window so in-flight commands commit everywhere.
     sim.run_until(end + 2_000 * MILLIS);
 
@@ -512,6 +546,12 @@ where
         (all.p50_ms(), all.p99_ms())
     };
 
+    let metrics = sim.metrics();
+    let (spans, open_spans) = match sim.tracer() {
+        Some(t) => (t.completed(), t.open_spans().len()),
+        None => (Vec::new(), 0),
+    };
+
     // Read vs write latency split (the read-mix scenarios' headline);
     // percentile queries sort lazily, hence the mutable accessors.
     let app = sim.app_mut();
@@ -541,6 +581,10 @@ where
         log_lens,
         cas_count: app.cas_count(),
         cas_failures: app.cas_failures(),
+        metrics,
+        metrics_mid,
+        spans,
+        open_spans,
     }
 }
 

@@ -834,6 +834,10 @@ where
             log_lens,
             cas_count: 0,
             cas_failures: 0,
+            metrics: None,
+            metrics_mid: None,
+            spans: Vec::new(),
+            open_spans: 0,
         });
     }
 
@@ -896,6 +900,10 @@ where
         log_lens: agg_logs,
         cas_count: 0,
         cas_failures: 0,
+        metrics: None,
+        metrics_mid: None,
+        spans: Vec::new(),
+        open_spans: 0,
     };
 
     // The cross-shard cut check — Clock-RSM only; the Paxos/Mencius

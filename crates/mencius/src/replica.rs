@@ -15,6 +15,7 @@ use rsm_core::checkpoint::{
 use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
+use rsm_core::obs::{names, TraceStage};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply, MAX_READ_PROBES};
 use rsm_core::session::SessionTable;
@@ -409,7 +410,13 @@ impl MenciusBcast {
         // right here, so resync never waits on execution progress.
         let oi = owner.index();
         if !self.recv_synced[oi] {
-            let f = *self.resync_floor[oi].get_or_insert(first_slot);
+            if self.resync_floor[oi].is_none() {
+                // First post-recovery receipt from this owner: the
+                // resync round for its slot space starts here.
+                self.resync_floor[oi] = Some(first_slot);
+                ctx.obs_count(names::RESYNCS, 1);
+            }
+            let f = self.resync_floor[oi].expect("just initialized");
             match self.resync_coverage_hole(oi, f) {
                 None => self.restore_recv_sync(oi),
                 Some(hole) => self.request_gap_fill(hole, owner, ctx),
@@ -538,6 +545,14 @@ impl MenciusBcast {
                     break;
                 }
                 let (cmd, origin) = self.slots.remove(&c).expect("checked above");
+                if ctx.obs_active() && origin == self.id {
+                    // Resolution requires the majority ack — the commit
+                    // event is the replication event in Mencius. Stamped
+                    // from the owner's vantage only: that is where the
+                    // round trip gates the client's commit (a peer can
+                    // resolve the slot a one-way hop earlier).
+                    ctx.trace(cmd.id, TraceStage::Replicated);
+                }
                 ctx.log_append(MenciusLogRec::Commit { slot: c });
                 self.exec_cursor = c + 1;
                 let payload_len = cmd.payload.len();
@@ -565,6 +580,7 @@ impl MenciusBcast {
                 // proposal, and we provably hold every proposal it ever
                 // made here (continuous FIFO receipt, or an explicit
                 // GapFill): the slot is a no-op.
+                ctx.obs_count(names::GAP_FILLS, 1);
                 ctx.log_append(MenciusLogRec::Skip { slot: c });
                 self.exec_cursor = c + 1;
             } else if c < self.gap_unanswerable[o] {
@@ -978,6 +994,7 @@ impl MenciusBcast {
             }
         }
         self.gap_requested[o] = Some((from_slot, now));
+        ctx.obs_count(names::GAP_REQUESTS, 1);
         ctx.send(owner, MenciusMsg::GapRequest { from_slot, below });
     }
 
@@ -1138,6 +1155,11 @@ impl Protocol for MenciusBcast {
         let first_slot = self.next_own_slot;
         debug_assert_eq!(self.owner_of_slot(first_slot), self.id);
         self.next_own_slot = first_slot + batch.len() as u64 * self.n;
+        if ctx.obs_active() {
+            for cmd in batch.iter() {
+                ctx.trace(cmd.id, TraceStage::Proposed);
+            }
+        }
         // Send to the peers, then register the proposal locally *before*
         // anything else can advance our own skip floor past it: if a
         // peer's proposal raced ahead of our self-delivery, the skip

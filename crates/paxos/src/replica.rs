@@ -48,6 +48,7 @@ use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::config::{Epoch, Membership};
 use rsm_core::id::ReplicaId;
 use rsm_core::lease::{Lease, LeaseConfig};
+use rsm_core::obs::{names, TraceStage};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::read::{ReadPath, ReadProbes, ReadQueue, ReadReply};
 use rsm_core::session::SessionTable;
@@ -548,6 +549,11 @@ impl MultiPaxos {
         // Sending to peers first keeps Accept ahead of our own Accepted
         // on every FIFO channel.
         let ballot = self.regime;
+        if ctx.obs_active() {
+            for cmd in cmds.iter() {
+                ctx.trace(cmd.id, TraceStage::Proposed);
+            }
+        }
         for r in self.membership.config().to_vec() {
             if r != self.id {
                 ctx.send(
@@ -700,10 +706,24 @@ impl MultiPaxos {
 
     /// Recomputes the committed watermark from the acknowledgement
     /// watermarks; on advance, notifies (plain leader) and executes.
+    /// Stamps [`Replicated`](TraceStage::Replicated) on the commands of
+    /// instances `[from, to)`: the commit watermark passing an instance
+    /// is exactly the majority-acknowledgement event. Write-only.
+    fn obs_stamp_replicated(&self, from: u64, to: u64, ctx: &mut dyn Context<Self>) {
+        for (_, slot) in self.instances.range(from..to) {
+            if let Some((cmd, _)) = &slot.value {
+                ctx.trace(cmd.id, TraceStage::Replicated);
+            }
+        }
+    }
+
     fn advance_commit(&mut self, ctx: &mut dyn Context<Self>) {
         let w = self.majority_watermark();
         if w <= self.committed_next {
             return;
+        }
+        if ctx.obs_active() {
+            self.obs_stamp_replicated(self.committed_next, w, ctx);
         }
         self.committed_next = w;
         self.recompute_vouch();
@@ -750,6 +770,9 @@ impl MultiPaxos {
         if up_to <= self.committed_next {
             self.flush_pending(ctx);
             return; // stale or duplicate notification
+        }
+        if ctx.obs_active() {
+            self.obs_stamp_replicated(self.committed_next, up_to, ctx);
         }
         self.committed_next = up_to;
         self.recompute_vouch();
@@ -802,6 +825,7 @@ impl MultiPaxos {
     /// nobody: a majority still hearing the leader answers its probes
     /// with silence.
     fn start_prevote(&mut self, now: Micros, ctx: &mut dyn Context<Self>) {
+        ctx.obs_count(names::PREVOTES, 1);
         let ballot = Ballot {
             round: self.max_round_seen + 1,
             proposer: self.id,
@@ -871,6 +895,7 @@ impl MultiPaxos {
     }
 
     fn start_election(&mut self, now: Micros, ctx: &mut dyn Context<Self>) {
+        ctx.obs_count(names::ELECTIONS_STARTED, 1);
         self.prevote = None;
         self.max_round_seen += 1;
         let ballot = Ballot {
@@ -1004,6 +1029,7 @@ impl MultiPaxos {
 
     /// A majority promised: merge the reported suffixes and repair.
     fn win(&mut self, ctx: &mut dyn Context<Self>) {
+        ctx.obs_count(names::ELECTIONS_WON, 1);
         let e = self.election.take().expect("win() called mid-election");
         let ballot = e.ballot;
         // The repair floor: the highest committed watermark across the
@@ -1778,6 +1804,13 @@ impl Protocol for MultiPaxos {
 
     fn read_path(&self) -> ReadPath {
         ReadPath::LeaderLease
+    }
+
+    fn obs_poll(&mut self, ctx: &mut dyn Context<Self>) {
+        // The adopted regime's round: flat while a leader is stable,
+        // stepping on every fail-over (ballot churn is the cost signal
+        // for elections).
+        ctx.obs_gauge(names::BALLOT, self.regime.round as i64);
     }
 
     fn lease_holder_hint(&self) -> Option<ReplicaId> {

@@ -5,8 +5,19 @@
 //! groups next to the aggregate, so imbalance (hot ranges under a
 //! [`RangeShardMap`](crate::RangeShardMap)) is visible instead of
 //! averaged away.
+//!
+//! The tallies live in `rsm-obs` [`Counter`] cells — lock-free shared
+//! atomics, recordable through `&self` from any router thread. By
+//! default they sit in a private [`Registry`]; pass a shared one to
+//! [`ShardAccounting::in_registry`] and the same cells also appear in
+//! that registry's snapshots as `shard<s>.writes` / `shard<s>.reads` /
+//! `shard<s>.snapshot_parts` plus the aggregate `shard.snapshot_reads`
+//! and `shard.snapshot_retries`.
 
-/// Operation tallies for one shard (or the aggregate over all shards).
+use rsm_obs::{Counter, Registry};
+
+/// Operation tallies for one shard (or the aggregate over all shards) —
+/// a point-in-time copy read out of the live counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardCounters {
     /// Replicated write commands routed to the shard.
@@ -17,59 +28,95 @@ pub struct ShardCounters {
     pub snapshot_parts: u64,
 }
 
+#[derive(Debug, Clone)]
+struct ShardCells {
+    writes: Counter,
+    reads: Counter,
+    snapshot_parts: Counter,
+}
+
 /// Counters for a fixed set of shards plus snapshot-read totals.
+/// Cloning shares the cells.
 #[derive(Debug, Clone)]
 pub struct ShardAccounting {
-    per_shard: Vec<ShardCounters>,
-    /// Multi-key snapshot reads completed (not parts).
-    pub snapshot_reads: u64,
-    /// Whole-snapshot retries after a lost part.
-    pub snapshot_retries: u64,
+    per_shard: Vec<ShardCells>,
+    snapshot_reads: Counter,
+    snapshot_retries: Counter,
 }
 
 impl ShardAccounting {
-    /// Accounting over `shards` shards.
+    /// Accounting over `shards` shards in a private registry.
     pub fn new(shards: usize) -> Self {
+        Self::in_registry(&Registry::new(), shards)
+    }
+
+    /// Accounting over `shards` shards whose cells live in `registry`,
+    /// so the tallies show up in its snapshots alongside everything
+    /// else recorded there.
+    pub fn in_registry(registry: &Registry, shards: usize) -> Self {
         ShardAccounting {
-            per_shard: vec![ShardCounters::default(); shards],
-            snapshot_reads: 0,
-            snapshot_retries: 0,
+            per_shard: (0..shards)
+                .map(|s| ShardCells {
+                    writes: registry.counter(&format!("shard{s}.writes")),
+                    reads: registry.counter(&format!("shard{s}.reads")),
+                    snapshot_parts: registry.counter(&format!("shard{s}.snapshot_parts")),
+                })
+                .collect(),
+            snapshot_reads: registry.counter("shard.snapshot_reads"),
+            snapshot_retries: registry.counter("shard.snapshot_retries"),
         }
     }
 
     /// Records a write routed to `shard`.
-    pub fn record_write(&mut self, shard: usize) {
-        self.per_shard[shard].writes += 1;
+    pub fn record_write(&self, shard: usize) {
+        self.per_shard[shard].writes.inc();
     }
 
     /// Records a single-key read routed to `shard`.
-    pub fn record_read(&mut self, shard: usize) {
-        self.per_shard[shard].reads += 1;
+    pub fn record_read(&self, shard: usize) {
+        self.per_shard[shard].reads.inc();
     }
 
     /// Records the parts of one snapshot read, one count per touched
     /// shard occurrence.
-    pub fn record_snapshot(&mut self, shards: &[usize]) {
-        self.snapshot_reads += 1;
+    pub fn record_snapshot(&self, shards: &[usize]) {
+        self.snapshot_reads.inc();
         for &s in shards {
-            self.per_shard[s].snapshot_parts += 1;
+            self.per_shard[s].snapshot_parts.inc();
         }
     }
 
     /// Records one whole-snapshot retry.
-    pub fn record_snapshot_retry(&mut self) {
-        self.snapshot_retries += 1;
+    pub fn record_snapshot_retry(&self) {
+        self.snapshot_retries.inc();
     }
 
-    /// The per-shard tallies.
-    pub fn per_shard(&self) -> &[ShardCounters] {
-        &self.per_shard
+    /// A copy of the per-shard tallies.
+    pub fn per_shard(&self) -> Vec<ShardCounters> {
+        self.per_shard
+            .iter()
+            .map(|c| ShardCounters {
+                writes: c.writes.get(),
+                reads: c.reads.get(),
+                snapshot_parts: c.snapshot_parts.get(),
+            })
+            .collect()
+    }
+
+    /// Multi-key snapshot reads completed (not parts).
+    pub fn snapshot_reads(&self) -> u64 {
+        self.snapshot_reads.get()
+    }
+
+    /// Whole-snapshot retries after a lost part.
+    pub fn snapshot_retries(&self) -> u64 {
+        self.snapshot_retries.get()
     }
 
     /// Sums over every shard.
     pub fn aggregate(&self) -> ShardCounters {
         let mut agg = ShardCounters::default();
-        for c in &self.per_shard {
+        for c in self.per_shard() {
             agg.writes += c.writes;
             agg.reads += c.reads;
             agg.snapshot_parts += c.snapshot_parts;
@@ -84,7 +131,7 @@ mod tests {
 
     #[test]
     fn counters_split_and_aggregate() {
-        let mut a = ShardAccounting::new(3);
+        let a = ShardAccounting::new(3);
         a.record_write(0);
         a.record_write(0);
         a.record_read(1);
@@ -94,11 +141,23 @@ mod tests {
         assert_eq!(a.per_shard()[1].reads, 1);
         assert_eq!(a.per_shard()[0].snapshot_parts, 1);
         assert_eq!(a.per_shard()[2].snapshot_parts, 1);
-        assert_eq!(a.snapshot_reads, 1);
-        assert_eq!(a.snapshot_retries, 1);
+        assert_eq!(a.snapshot_reads(), 1);
+        assert_eq!(a.snapshot_retries(), 1);
         let agg = a.aggregate();
         assert_eq!(agg.writes, 2);
         assert_eq!(agg.reads, 1);
         assert_eq!(agg.snapshot_parts, 2);
+    }
+
+    #[test]
+    fn registry_backed_cells_surface_in_snapshots() {
+        let reg = Registry::new();
+        let a = ShardAccounting::in_registry(&reg, 2);
+        a.record_write(1);
+        a.record_snapshot(&[0, 1]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["shard1.writes"], 1);
+        assert_eq!(snap.counters["shard0.snapshot_parts"], 1);
+        assert_eq!(snap.counters["shard.snapshot_reads"], 1);
     }
 }

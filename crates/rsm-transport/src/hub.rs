@@ -1,12 +1,11 @@
 //! A node's outbound fan-out: per-peer links plus the encode-once cache.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use rsm_core::id::ReplicaId;
-use rsm_core::wire::{checksum, encode_payload, FrameHeader, WireMsg};
+use rsm_core::wire::{checksum, encode_payload, FrameHeader, WireMsg, MSG_HEADER_BYTES};
+use rsm_obs::{Counter, Gauge, Registry};
 
 use crate::endpoint::Endpoint;
 use crate::link::{OutFrame, PeerLink};
@@ -20,31 +19,41 @@ pub trait MsgSink<M>: Send {
     fn send_msg(&mut self, to: ReplicaId, msg: M);
 }
 
-/// A cloneable, lock-free view of a hub's per-peer outbound queue
-/// depths, readable after the hub itself has moved into its node
-/// thread. Admission control samples it to detect a peer link whose
-/// socket (or emulated WAN delay) has fallen far behind.
-#[derive(Clone, Default)]
-pub struct OutboundDepth {
-    gauges: Vec<Arc<AtomicUsize>>,
+/// Shared counters for one node's transport activity. The cells are
+/// plain `rsm-obs` counters: created detached by `Default` (they still
+/// count, just unobserved) or adopted into a metrics [`Registry`] via
+/// [`TransportMetrics::register`], where they appear as
+/// `r<node>.transport.*`. Cloning shares the cells.
+#[derive(Clone, Debug, Default)]
+pub struct TransportMetrics {
+    /// Frames handed to peer links (self-sends excluded).
+    pub frames_sent: Counter,
+    /// Header + payload bytes handed to peer links.
+    pub bytes_sent: Counter,
+    /// Verified frames delivered by the listener.
+    pub frames_recv: Counter,
+    /// Header + payload bytes of verified delivered frames.
+    pub bytes_recv: Counter,
+    /// Successful redials after a torn connection (per-link dials beyond
+    /// the first).
+    pub reconnects: Counter,
+    /// Frames dropped by the receiver's per-sender sequence dedup (a
+    /// reconnect resend overlapped what was already delivered).
+    pub dup_frames: Counter,
 }
 
-impl OutboundDepth {
-    /// The deepest per-peer outbound queue right now (0 with no peers).
-    pub fn max(&self) -> usize {
-        self.gauges
-            .iter()
-            .map(|g| g.load(Ordering::Relaxed))
-            .max()
-            .unwrap_or(0)
-    }
-}
-
-impl std::fmt::Debug for OutboundDepth {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OutboundDepth")
-            .field("max", &self.max())
-            .finish()
+impl TransportMetrics {
+    /// Counters registered under `r<node>.transport.*` in `registry`.
+    pub fn register(registry: &Registry, node: u16) -> TransportMetrics {
+        let name = |metric: &str| format!("r{node}.transport.{metric}");
+        TransportMetrics {
+            frames_sent: registry.counter(&name("frames_sent")),
+            bytes_sent: registry.counter(&name("bytes_sent")),
+            frames_recv: registry.counter(&name("frames_recv")),
+            bytes_recv: registry.counter(&name("bytes_recv")),
+            reconnects: registry.counter(&name("reconnects")),
+            dup_frames: registry.counter(&name("dup_frames")),
+        }
     }
 }
 
@@ -75,6 +84,7 @@ pub struct Hub<M: WireMsg> {
     peers: Vec<Option<Peer>>,
     loopback: Box<dyn FnMut(M) + Send>,
     cache: Option<EncodeCache<M>>,
+    metrics: TransportMetrics,
 }
 
 impl<M: WireMsg> Hub<M> {
@@ -86,7 +96,16 @@ impl<M: WireMsg> Hub<M> {
             peers: Vec::new(),
             loopback,
             cache: None,
+            metrics: TransportMetrics::default(),
         }
+    }
+
+    /// Replaces the hub's outbound counters (typically with
+    /// registry-backed cells from [`TransportMetrics::register`]). Call
+    /// **before** [`add_peer`](Hub::add_peer): links spawned earlier keep
+    /// the previous reconnect counter.
+    pub fn set_metrics(&mut self, metrics: TransportMetrics) {
+        self.metrics = metrics;
     }
 
     /// Adds the link to peer `to` at `endpoint`. `delay` is the minimum
@@ -98,24 +117,25 @@ impl<M: WireMsg> Hub<M> {
             self.peers.resize_with(idx + 1, || None);
         }
         self.peers[idx] = Some(Peer {
-            link: PeerLink::spawn(endpoint),
+            link: PeerLink::spawn(endpoint, self.metrics.reconnects.clone()),
             delay,
             seq: 0,
         });
     }
 
-    /// A depth gauge over every peer link added so far. Grab it before
-    /// handing the hub to its node thread; links added later are not
-    /// covered.
-    pub fn outbound_depth(&self) -> OutboundDepth {
-        OutboundDepth {
-            gauges: self
-                .peers
-                .iter()
-                .flatten()
-                .map(|p| p.link.depth_handle())
-                .collect(),
-        }
+    /// The `(peer, depth gauge)` pair of every peer link added so far —
+    /// the gauges mirror each link's queued-frame count, updated by the
+    /// queue itself. Grab them before handing the hub to its node
+    /// thread; links added later are not covered.
+    pub fn depth_gauges(&self) -> Vec<(ReplicaId, Gauge)> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                p.as_ref()
+                    .map(|p| (ReplicaId::new(i as u16), p.link.depth_gauge()))
+            })
+            .collect()
     }
 
     /// Encoded payload + checksum for `msg`, reusing the cached buffer
@@ -148,6 +168,10 @@ impl<M: WireMsg> MsgSink<M> for Hub<M> {
             Some(p) => p,
             None => return, // Unknown peer: drop, like an unreachable host.
         };
+        self.metrics.frames_sent.inc();
+        self.metrics
+            .bytes_sent
+            .add((MSG_HEADER_BYTES + payload.len()) as u64);
         peer.seq += 1;
         let header = FrameHeader {
             from: self.from,

@@ -45,7 +45,7 @@ mod listener;
 mod queue;
 
 pub use endpoint::Endpoint;
-pub use hub::{Hub, MsgSink, OutboundDepth};
+pub use hub::{Hub, MsgSink, TransportMetrics};
 pub use link::PeerLink;
 pub use listener::Listener;
 

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use rsm_core::wire::MSG_HEADER_BYTES;
+use rsm_obs::{Counter, Gauge};
 
 use crate::endpoint::{Conn, Endpoint};
 use crate::queue::{bounded, QueueReceiver, QueueSender};
@@ -44,12 +45,14 @@ pub struct PeerLink {
 }
 
 impl PeerLink {
-    /// Spawns the writer thread for the link to `endpoint`.
-    pub(crate) fn spawn(endpoint: Endpoint) -> PeerLink {
+    /// Spawns the writer thread for the link to `endpoint`. `reconnects`
+    /// is bumped on every successful dial after the first (a torn
+    /// connection was replaced).
+    pub(crate) fn spawn(endpoint: Endpoint, reconnects: Counter) -> PeerLink {
         let (tx, rx) = bounded(LINK_QUEUE_CAP);
         let handle = std::thread::Builder::new()
             .name("rsm-writer".into())
-            .spawn(move || writer_loop(&endpoint, &rx))
+            .spawn(move || writer_loop(&endpoint, &rx, &reconnects))
             .expect("spawn link writer thread");
         PeerLink {
             tx: Some(tx),
@@ -58,11 +61,11 @@ impl PeerLink {
     }
 
     /// A lock-free handle on this link's queued-frame count.
-    pub(crate) fn depth_handle(&self) -> std::sync::Arc<std::sync::atomic::AtomicUsize> {
+    pub(crate) fn depth_gauge(&self) -> Gauge {
         self.tx
             .as_ref()
             .expect("link queue alive until drop")
-            .depth_handle()
+            .depth_gauge()
     }
 
     /// Enqueues a frame, blocking while the link queue is full.
@@ -85,8 +88,9 @@ impl Drop for PeerLink {
     }
 }
 
-fn writer_loop(endpoint: &Endpoint, rx: &QueueReceiver<OutFrame>) {
+fn writer_loop(endpoint: &Endpoint, rx: &QueueReceiver<OutFrame>, reconnects: &Counter) {
     let mut conn: Option<Conn> = None;
+    let mut connected_before = false;
     let mut pending: VecDeque<OutFrame> = VecDeque::new();
     let mut carry: Option<OutFrame> = None;
     loop {
@@ -119,7 +123,13 @@ fn writer_loop(endpoint: &Endpoint, rx: &QueueReceiver<OutFrame>) {
         let mut backoff = BACKOFF_START;
         while conn.is_none() {
             match Conn::connect(endpoint) {
-                Ok(c) => conn = Some(c),
+                Ok(c) => {
+                    if connected_before {
+                        reconnects.inc();
+                    }
+                    connected_before = true;
+                    conn = Some(c);
+                }
                 Err(_) => {
                     if rx.senders_gone() {
                         return;

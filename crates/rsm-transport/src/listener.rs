@@ -13,6 +13,7 @@ use rsm_core::id::ReplicaId;
 use rsm_core::wire::{decode_payload, FrameHeader, WireMsg, MSG_HEADER_BYTES};
 
 use crate::endpoint::{Conn, Endpoint};
+use crate::hub::TransportMetrics;
 
 enum Acceptor {
     Tcp(TcpListener),
@@ -50,6 +51,21 @@ impl Listener {
     /// sending replica and the decoded message; it must hand off fast
     /// (typically one channel send into the node's inbox).
     pub fn bind<M, F>(endpoint: &Endpoint, deliver: F) -> io::Result<Listener>
+    where
+        M: WireMsg,
+        F: Fn(ReplicaId, M) + Send + Sync + 'static,
+    {
+        Self::bind_with_metrics(endpoint, TransportMetrics::default(), deliver)
+    }
+
+    /// [`bind`](Listener::bind) with inbound counters: every verified
+    /// delivered frame bumps `frames_recv`/`bytes_recv`, and frames
+    /// dropped by the reconnect-resend sequence dedup bump `dup_frames`.
+    pub fn bind_with_metrics<M, F>(
+        endpoint: &Endpoint,
+        metrics: TransportMetrics,
+        deliver: F,
+    ) -> io::Result<Listener>
     where
         M: WireMsg,
         F: Fn(ReplicaId, M) + Send + Sync + 'static,
@@ -100,9 +116,10 @@ impl Listener {
                     }
                     let deliver = Arc::clone(&deliver);
                     let last_seq = Arc::clone(&last_seq);
+                    let metrics = metrics.clone();
                     let handle = std::thread::Builder::new()
                         .name("rsm-reader".into())
-                        .spawn(move || read_frames(conn, &*deliver, &last_seq))
+                        .spawn(move || read_frames(conn, &*deliver, &last_seq, &metrics))
                         .expect("spawn reader thread");
                     readers.lock().unwrap().push(handle);
                 })
@@ -161,6 +178,7 @@ fn read_frames<M: WireMsg>(
     mut conn: Conn,
     deliver: &(dyn Fn(ReplicaId, M) + Send + Sync),
     last_seq: &Mutex<HashMap<u16, u64>>,
+    metrics: &TransportMetrics,
 ) {
     let mut header_buf = [0u8; MSG_HEADER_BYTES];
     loop {
@@ -183,12 +201,19 @@ fn read_frames<M: WireMsg>(
             let mut seqs = last_seq.lock().unwrap();
             let last = seqs.entry(header.from.as_u16()).or_insert(0);
             if header.seq <= *last {
+                metrics.dup_frames.inc();
                 continue; // Duplicate from a reconnect resend.
             }
             *last = header.seq;
         }
         match decode_payload::<M>(payload) {
-            Ok(msg) => deliver(header.from, msg),
+            Ok(msg) => {
+                metrics.frames_recv.inc();
+                metrics
+                    .bytes_recv
+                    .add((MSG_HEADER_BYTES + header.len as usize) as u64);
+                deliver(header.from, msg);
+            }
             Err(_) => return,
         }
     }

@@ -7,16 +7,18 @@
 //! mutex + two-condvar implementation of exactly that.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use rsm_obs::Gauge;
 
 struct Shared<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     /// Lock-free mirror of `buf.len()`, readable from outside the
-    /// queue's threads (admission control samples it).
-    depth: Arc<AtomicUsize>,
+    /// queue's threads (admission control samples it, and the runtime
+    /// registers it as a metrics-registry gauge when observing).
+    depth: Gauge,
 }
 
 struct Inner<T> {
@@ -37,7 +39,7 @@ pub(crate) fn bounded<T>(cap: usize) -> (QueueSender<T>, QueueReceiver<T>) {
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
-        depth: Arc::new(AtomicUsize::new(0)),
+        depth: Gauge::default(),
     });
     (
         QueueSender {
@@ -54,8 +56,8 @@ pub(crate) struct QueueSender<T> {
 impl<T> QueueSender<T> {
     /// A lock-free handle on the current queue depth (admission
     /// control samples it without touching the queue mutex).
-    pub(crate) fn depth_handle(&self) -> Arc<AtomicUsize> {
-        Arc::clone(&self.shared.depth)
+    pub(crate) fn depth_gauge(&self) -> Gauge {
+        self.shared.depth.clone()
     }
 
     /// Enqueues `value`, blocking while the queue is full. Fails (giving
@@ -68,7 +70,7 @@ impl<T> QueueSender<T> {
             }
             if inner.buf.len() < inner.cap {
                 inner.buf.push_back(value);
-                self.shared.depth.store(inner.buf.len(), Ordering::Relaxed);
+                self.shared.depth.set(inner.buf.len() as i64);
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
@@ -109,7 +111,7 @@ impl<T> QueueReceiver<T> {
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
             if let Some(v) = inner.buf.pop_front() {
-                self.shared.depth.store(inner.buf.len(), Ordering::Relaxed);
+                self.shared.depth.set(inner.buf.len() as i64);
                 self.shared.not_full.notify_one();
                 return Some(v);
             }
@@ -125,7 +127,7 @@ impl<T> QueueReceiver<T> {
         let mut inner = self.shared.inner.lock().unwrap();
         let v = inner.buf.pop_front();
         if v.is_some() {
-            self.shared.depth.store(inner.buf.len(), Ordering::Relaxed);
+            self.shared.depth.set(inner.buf.len() as i64);
             self.shared.not_full.notify_one();
         }
         v

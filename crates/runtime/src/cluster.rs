@@ -14,11 +14,13 @@ use rsm_core::batch::BatchPolicy;
 use rsm_core::command::{Command, CommandId, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
+use rsm_core::obs::{span_key, TraceStage};
 use rsm_core::protocol::Protocol;
 use rsm_core::session::ClientSession;
 use rsm_core::sm::StateMachine;
 use rsm_core::wire::WireMsg;
-use rsm_transport::{Endpoint, Hub, Listener, OutboundDepth};
+use rsm_obs::{gauge_max, Gauge, MetricsSnapshot, NodeObs, ObsConfig, Registry, Tracer};
+use rsm_transport::{Endpoint, Hub, Listener, TransportMetrics};
 
 use crate::net::{run_network, NetInput, Wire};
 use crate::node::{NodeHarness, NodeInput, NodeReport, Outbound, ReplyBatch};
@@ -78,6 +80,7 @@ pub struct ClusterConfig {
     retry_attempts: u32,
     retry_backoff: Duration,
     admission_hwm: usize,
+    observe: Option<ObsConfig>,
 }
 
 impl ClusterConfig {
@@ -95,7 +98,20 @@ impl ClusterConfig {
             retry_attempts: 1,
             retry_backoff: Duration::from_millis(50),
             admission_hwm: DEFAULT_ADMISSION_HWM,
+            observe: None,
         }
+    }
+
+    /// Turns on observability: a shared metrics [`Registry`] every node
+    /// (and, over sockets, the transport) records into, plus a [`Tracer`]
+    /// collecting per-command stage spans. Trace stamps carry monotonic
+    /// microseconds since the cluster epoch — one timeline across all
+    /// replica threads, unaffected by the configured per-node clock
+    /// offsets. Off by default; read results with [`Cluster::metrics`]
+    /// and [`Cluster::tracer`].
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.observe = Some(cfg);
+        self
     }
 
     /// Sets how often [`Cluster::execute`] and [`ClusterSession::execute`]
@@ -200,12 +216,17 @@ pub struct Cluster<P: Protocol + Send + 'static> {
     /// Mints distinct client numbers (offset from [`CLIENT_BASE`]) so
     /// every API call / session owns its own per-client seq space.
     clients: AtomicU64,
-    /// Per-replica outbound socket-queue gauges (empty in process:
-    /// the WAN emulator's channel is unbounded and drains centrally).
-    outbound_depths: Vec<OutboundDepth>,
+    /// Per-replica, per-peer outbound socket-queue depth gauges (empty
+    /// in process: the WAN emulator's channel is unbounded and drains
+    /// centrally).
+    outbound_depths: Vec<Vec<Gauge>>,
     retry_attempts: u32,
     retry_backoff: Duration,
     admission_hwm: usize,
+    /// The shared metrics registry when observing.
+    registry: Option<Registry>,
+    /// The span collector when observing.
+    tracer: Option<Tracer>,
 }
 
 /// A parked waiter for one in-flight command's reply.
@@ -232,6 +253,8 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     {
         let n = cfg.len();
         let epoch = cfg.epoch.unwrap_or_else(Instant::now);
+        let registry = cfg.observe.map(|_| Registry::new());
+        let tracer = cfg.observe.map(Tracer::new);
         // Nodes ship reply *batches*: one channel send per drained
         // protocol callback, however many co-located clients it answered.
         let (reply_tx, reply_rx) = unbounded::<ReplyBatch>();
@@ -249,7 +272,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         // shared machinery the transport needs (the WAN-emulator thread
         // in process, bound listeners over sockets).
         let mut outbounds: Vec<Outbound<P>>;
-        let mut outbound_depths = vec![OutboundDepth::default(); n];
+        let mut outbound_depths: Vec<Vec<Gauge>> = vec![Vec::new(); n];
         let mut net_tx = None;
         let mut net_handle = None;
         let mut listeners = Vec::new();
@@ -297,7 +320,11 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                     };
                     let id = ReplicaId::new(i as u16);
                     let node_tx = node_tx.clone();
-                    let listener = Listener::bind(&ep, move |from, msg| {
+                    let metrics = match &registry {
+                        Some(r) => TransportMetrics::register(r, i as u16),
+                        None => TransportMetrics::default(),
+                    };
+                    let listener = Listener::bind_with_metrics(&ep, metrics, move |from, msg| {
                         let _ = node_tx.send(NodeInput::Msg(Wire { from, to: id, msg }));
                     })
                     .expect("bind cluster transport listener");
@@ -319,6 +346,12 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                             }));
                         }),
                     );
+                    if let Some(r) = &registry {
+                        // Same cells as the listener's: `register` is
+                        // idempotent per name, so send and receive sides
+                        // share one `r<i>.transport.*` family.
+                        hub.set_metrics(TransportMetrics::register(r, i as u16));
+                    }
                     for (j, endpoint) in endpoints.iter().enumerate() {
                         if j == i {
                             continue;
@@ -327,7 +360,16 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                         let delay_us = (cfg.latency.one_way(id, to) as f64 * cfg.scale) as u64;
                         hub.add_peer(to, endpoint.clone(), Duration::from_micros(delay_us));
                     }
-                    depths.push(hub.outbound_depth());
+                    let gauges = hub.depth_gauges();
+                    if let Some(r) = &registry {
+                        for (peer, g) in &gauges {
+                            r.register_gauge(
+                                &format!("r{i}.transport.outq.{}", peer.as_u16()),
+                                g.clone(),
+                            );
+                        }
+                    }
+                    depths.push(gauges.into_iter().map(|(_, g)| g).collect());
                     outbounds.push(Outbound::Socket(Box::new(hub)));
                 }
                 outbound_depths = depths;
@@ -347,6 +389,9 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 epoch,
                 clock_offset_us: cfg.clock_offsets_us[i],
                 batch: cfg.batch,
+                obs: registry.as_ref().map(|r| NodeObs::new(r.clone(), i as u16)),
+                tracer: tracer.clone(),
+                poll_every: cfg.observe.map(|o| Duration::from_micros(o.poll_interval)),
             };
             node_handles.push(
                 std::thread::Builder::new()
@@ -358,10 +403,23 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
 
         let pending: Arc<Mutex<PendingMap>> = Arc::new(Mutex::new(HashMap::new()));
         let pending_for_router = Arc::clone(&pending);
+        let tracer_for_router = tracer.clone();
         let router_handle = std::thread::Builder::new()
             .name("reply-router".to_string())
             .spawn(move || {
                 while let Ok(batch) = reply_rx.recv() {
+                    if let Some(t) = &tracer_for_router {
+                        // The reply crossed back to the client side of
+                        // the cluster — the span's terminal stage. A
+                        // reply nobody waits for (the waiter timed out)
+                        // still completes: the command's pipeline ran in
+                        // full. Read replies are a no-op here (reads are
+                        // untraced, so no span was ever begun).
+                        let at = epoch.elapsed().as_micros() as u64;
+                        for (id, _) in &batch {
+                            t.complete(span_key(*id), TraceStage::Replied.index(), at);
+                        }
+                    }
                     let mut pending = pending_for_router.lock();
                     for (id, reply) in batch {
                         if let Some(p) = pending.remove(&id) {
@@ -385,7 +443,29 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             retry_attempts: cfg.retry_attempts,
             retry_backoff: cfg.retry_backoff,
             admission_hwm: cfg.admission_hwm,
+            registry,
+            tracer,
         }
+    }
+
+    /// A snapshot of the metrics registry, `None` unless the cluster was
+    /// spawned with [`ClusterConfig::observe`]. Live reads are fine —
+    /// counters are monotone and gauges single-writer — but for a final
+    /// accounting snapshot after [`shutdown`](Cluster::shutdown), clone
+    /// the registry handle first (shutdown consumes the cluster).
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.registry.as_ref().map(Registry::snapshot)
+    }
+
+    /// The shared metrics registry itself, when observing.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
+    }
+
+    /// The span collector, when observing. Clone it to keep reading
+    /// spans after shutdown.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Submits a command to `site` without waiting for the reply.
@@ -565,7 +645,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     /// socket queue is past the high-water mark.
     fn check_admission(&self, site: ReplicaId) -> Result<(), ExecuteError> {
         if self.node_txs[site.index()].len() > self.admission_hwm
-            || self.outbound_depths[site.index()].max() > self.admission_hwm
+            || gauge_max(&self.outbound_depths[site.index()]) > self.admission_hwm as i64
         {
             return Err(ExecuteError::Busy);
         }
@@ -1126,6 +1206,70 @@ mod tests {
         assert_eq!(reply.result[0], 1);
         let reports = cluster.shutdown();
         assert_eq!(reports[0].commit_count, 21);
+    }
+
+    #[test]
+    fn observed_cluster_records_metrics_and_spans() {
+        // One observed run over real sockets: every layer's series must
+        // land in the shared registry, and each write must leave one
+        // completed span with ordered stamps.
+        let cfg = ClusterConfig::new(LatencyMatrix::uniform(3, 10_000))
+            .scale(0.02)
+            .transport(ClusterTransport::Tcp)
+            .observe(ObsConfig::all());
+        let cluster = Cluster::spawn(
+            cfg,
+            |id| ClockRsm::new(id, Membership::uniform(3), ClockRsmConfig::default()),
+            kv,
+        );
+        for i in 0..3u16 {
+            cluster
+                .execute(
+                    ReplicaId::new(i),
+                    KvOp::put(format!("k{i}"), "v").encode(),
+                    Duration::from_secs(10),
+                )
+                .expect("commit");
+        }
+        // Reads are untraced and must not disturb the span stream.
+        cluster
+            .read(
+                ReplicaId::new(0),
+                KvOp::get("k1").encode(),
+                Duration::from_secs(10),
+            )
+            .expect("read");
+        let registry = cluster.registry().expect("observing").clone();
+        let tracer = cluster.tracer().expect("observing").clone();
+        cluster.shutdown();
+
+        let snap = registry.snapshot();
+        for r in 0..3 {
+            assert!(
+                snap.counters[&format!("r{r}.commands.executed")] >= 3,
+                "replica {r} executed too few commands: {snap:?}"
+            );
+            assert!(snap.counters[&format!("r{r}.transport.frames_sent")] > 0);
+            assert!(snap.counters[&format!("r{r}.transport.bytes_recv")] > 0);
+        }
+        assert!(snap.gauges.contains_key("r0.transport.outq.1"));
+        assert!(snap.gauges.contains_key("r0.clock_rsm.stable_lag_us"));
+
+        let done = tracer.completed();
+        assert_eq!(done.len(), 3, "one span per write");
+        for span in &done {
+            let submitted = span
+                .stage(TraceStage::Submitted.index())
+                .expect("submitted");
+            let committed = span
+                .stage(TraceStage::Committed.index())
+                .expect("committed");
+            let replied = span.stage(TraceStage::Replied.index()).expect("replied");
+            assert!(span.stage(TraceStage::Proposed.index()).is_some());
+            assert!(span.stage(TraceStage::Replicated.index()).is_some());
+            assert!(submitted <= committed && committed <= replied);
+        }
+        assert!(tracer.open_spans().is_empty(), "no dangling spans");
     }
 
     #[test]

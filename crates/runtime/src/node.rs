@@ -10,10 +10,12 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use rsm_core::batch::{Batch, BatchController, BatchPolicy};
 use rsm_core::command::{Command, CommandId, Committed, Reply};
 use rsm_core::id::ReplicaId;
+use rsm_core::obs::{names, span_key, TraceStage};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::sm::StateMachine;
 use rsm_core::time::{Micros, MonotonicStamper};
 
+use rsm_obs::{NodeObs, Tracer};
 use rsm_transport::MsgSink;
 
 use crate::net::{NetInput, Wire};
@@ -79,6 +81,15 @@ pub(crate) struct NodeHarness<P: Protocol> {
     pub epoch: Instant,
     pub clock_offset_us: i64,
     pub batch: BatchPolicy,
+    /// Metrics sink when the cluster observes (`ClusterConfig::observe`).
+    pub obs: Option<NodeObs>,
+    /// Span collector when the cluster observes. Trace stamps carry
+    /// **monotonic microseconds since the cluster epoch** — the shared
+    /// cross-node timeline — never the per-node skewed protocol clock.
+    pub tracer: Option<Tracer>,
+    /// How often `Protocol::obs_poll` runs (from `ObsConfig`); `None`
+    /// when not observing.
+    pub poll_every: Option<Duration>,
 }
 
 struct NodeCtx<'a, P: Protocol> {
@@ -96,12 +107,22 @@ struct NodeCtx<'a, P: Protocol> {
     timer_seq: &'a mut u64,
     commit_count: &'a mut u64,
     suppress_replies: bool,
+    obs: Option<&'a mut NodeObs>,
+    tracer: Option<&'a Tracer>,
 }
 
 impl<'a, P: Protocol> NodeCtx<'a, P> {
     fn raw_clock(&self) -> Micros {
         let elapsed = self.epoch.elapsed().as_micros() as i64;
         (elapsed + self.clock_offset_us).max(0) as Micros
+    }
+
+    /// Monotonic micros since the cluster epoch — the trace-stamp
+    /// timeline. Unlike [`raw_clock`](NodeCtx::raw_clock) it carries no
+    /// per-node offset, so stamps from different replicas are
+    /// comparable.
+    fn mono_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 }
 
@@ -135,8 +156,19 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
     fn commit(&mut self, committed: Committed) -> Bytes {
         let result = self.sm.apply(&committed.cmd);
         *self.commit_count += 1;
+        if let Some(o) = &mut self.obs {
+            o.count(names::EXECUTED, 1);
+        }
         if committed.origin == self.id && !self.suppress_replies {
             let id = committed.cmd.id;
+            if let Some(t) = self.tracer {
+                // Commit and execution are one synchronous step in this
+                // runtime: the protocol decided the command and the state
+                // machine applied it just above.
+                let (key, at, me) = (span_key(id), self.mono_us(), self.id.as_u16());
+                t.record_at_origin(key, me, TraceStage::Committed.index(), at);
+                t.record_at_origin(key, me, TraceStage::Executed.index(), at);
+            }
             self.replies.push((id, Reply::new(id, result.clone())));
         }
         result
@@ -163,6 +195,34 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
     fn send_reply(&mut self, reply: Reply) {
         if !self.suppress_replies {
             self.replies.push((reply.id, reply));
+        }
+    }
+
+    fn obs_active(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    fn obs_count(&mut self, name: &'static str, delta: u64) {
+        if let Some(o) = &mut self.obs {
+            o.count(name, delta);
+        }
+    }
+
+    fn obs_gauge(&mut self, name: &'static str, value: i64) {
+        if let Some(o) = &mut self.obs {
+            o.gauge(name, value);
+        }
+    }
+
+    fn obs_gauge_idx(&mut self, name: &'static str, idx: ReplicaId, value: i64) {
+        if let Some(o) = &mut self.obs {
+            o.gauge_idx(name, idx.as_u16(), value);
+        }
+    }
+
+    fn trace(&mut self, id: CommandId, stage: TraceStage) {
+        if let Some(t) = self.tracer {
+            t.record(span_key(id), stage.index(), self.mono_us());
         }
     }
 }
@@ -203,6 +263,8 @@ impl<P: Protocol> NodeHarness<P> {
                         timer_seq: &mut timer_seq,
                         commit_count: &mut commit_count,
                         suppress_replies: false,
+                        obs: self.obs.as_mut(),
+                        tracer: self.tracer.as_ref(),
                     };
                     $body;
                 }
@@ -225,6 +287,11 @@ impl<P: Protocol> NodeHarness<P> {
 
         dispatch!(|c| self.proto.on_start(&mut c));
 
+        // First sweep fires immediately so every gauge series exists
+        // from node start (a short-lived cluster would otherwise
+        // snapshot before the first interval elapses).
+        let mut next_poll = self.poll_every.map(|_| Instant::now());
+
         loop {
             // Fire due timers first.
             let now = Instant::now();
@@ -238,8 +305,25 @@ impl<P: Protocol> NodeHarness<P> {
                 dispatch!(|c| self.proto.on_timer(token, &mut c));
             }
 
-            let input = match timers.peek() {
-                Some(Reverse((due, _, _))) => {
+            // Periodic gauge poll (observing clusters only): ask the
+            // protocol for its instantaneous state — stable-timestamp
+            // lag, per-peer LatestTV staleness, ballot.
+            if let (Some(every), Some(np)) = (self.poll_every, next_poll) {
+                if Instant::now() >= np {
+                    dispatch!(|c| self.proto.obs_poll(&mut c));
+                    next_poll = Some(Instant::now() + every);
+                }
+            }
+
+            // Sleep until the next timer or gauge poll, whichever is
+            // sooner (forever when neither is pending).
+            let timer_due = timers.peek().map(|Reverse((due, _, _))| *due);
+            let deadline = match (timer_due, next_poll) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let input = match deadline {
+                Some(due) => {
                     let timeout = due.saturating_duration_since(Instant::now());
                     match self.inbox.recv_timeout(timeout) {
                         Ok(i) => i,
@@ -275,6 +359,9 @@ impl<P: Protocol> NodeHarness<P> {
                     // best this side of the channel can observe) is the
                     // adaptive controller's depth signal.
                     batcher.begin_drain(1 + self.inbox.len());
+                    if let Some(o) = &mut self.obs {
+                        o.gauge(names::BATCH_THRESHOLD, batcher.effective_max_batch() as i64);
+                    }
                     let mut bytes = cmd.size();
                     let mut cmds = vec![cmd];
                     let mut interrupt: Option<NodeInput<P>> = None;
@@ -311,6 +398,15 @@ impl<P: Protocol> NodeHarness<P> {
                         }
                         for c in &cmds {
                             req_drained.insert(c.id, now);
+                        }
+                    }
+                    if let Some(t) = &self.tracer {
+                        // Span origin: this node (the command's local
+                        // replica). Reads never reach here — they skip
+                        // the ordering pipeline the span describes.
+                        let at = self.epoch.elapsed().as_micros() as u64;
+                        for c in &cmds {
+                            t.begin(span_key(c.id), self.id.as_u16(), at);
                         }
                     }
                     dispatch!(|c| self.proto.on_client_batch(Batch::new(cmds), &mut c));

@@ -25,7 +25,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 
 use rsm_core::command::{CommandId, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
@@ -52,7 +51,7 @@ pub struct ShardedCluster<P: Protocol + Send + 'static> {
     snapshot_lead: Duration,
     read_leader: Option<ReplicaId>,
     part_seq: AtomicU64,
-    accounting: Mutex<ShardAccounting>,
+    accounting: ShardAccounting,
 }
 
 impl<P: Protocol + Send + 'static> ShardedCluster<P> {
@@ -87,7 +86,7 @@ impl<P: Protocol + Send + 'static> ShardedCluster<P> {
             snapshot_lead: Duration::from_millis(20),
             read_leader: None,
             part_seq: AtomicU64::new(0),
-            accounting: Mutex::new(ShardAccounting::new(shards)),
+            accounting: ShardAccounting::new(shards),
         }
     }
 
@@ -152,7 +151,7 @@ impl<P: Protocol + Send + 'static> ShardedCluster<P> {
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
         let shard = self.shard_of(key);
-        self.accounting.lock().record_write(shard);
+        self.accounting.record_write(shard);
         self.shards[shard].execute(site, payload, timeout)
     }
 
@@ -172,7 +171,7 @@ impl<P: Protocol + Send + 'static> ShardedCluster<P> {
         timeout: Duration,
     ) -> Result<Reply, ExecuteError> {
         let shard = self.shard_of(key);
-        self.accounting.lock().record_read(shard);
+        self.accounting.record_read(shard);
         let target = self.read_leader.unwrap_or(site);
         self.shards[shard].read(target, payload, timeout)
     }
@@ -220,7 +219,7 @@ impl<P: Protocol + Send + 'static> ShardedCluster<P> {
             let reply = self.shards[shard].execute_command(target, cmd, remaining)?;
             assembled = coord.on_reply(reply.id, &reply.result, self.now_us());
         }
-        self.accounting.lock().record_snapshot(&shards);
+        self.accounting.record_snapshot(&shards);
         Ok(assembled.expect("every part answered"))
     }
 
@@ -244,8 +243,7 @@ impl<P: Protocol + Send + 'static> ShardedCluster<P> {
 
     /// The per-shard and aggregate operation tallies so far.
     pub fn accounting(&self) -> (Vec<ShardCounters>, ShardCounters) {
-        let acc = self.accounting.lock();
-        (acc.per_shard().to_vec(), acc.aggregate())
+        (self.accounting.per_shard(), self.accounting.aggregate())
     }
 
     /// Stops every shard's replica threads and returns their final

@@ -52,5 +52,5 @@ pub mod storage;
 pub use clock::{ClockAnomaly, ClockModel, PhysicalClock};
 pub use cpu::CpuModel;
 pub use sched::EventQueue;
-pub use sim::{Application, NullApplication, SimApi, SimConfig, Simulation};
+pub use sim::{Application, CommitRecord, NullApplication, SimApi, SimConfig, Simulation};
 pub use storage::SimLog;

@@ -9,11 +9,13 @@ use rsm_core::batch::{Batch, BatchController, BatchPolicy};
 use rsm_core::command::{Command, Committed, Reply};
 use rsm_core::id::{ClientId, ReplicaId};
 use rsm_core::matrix::LatencyMatrix;
+use rsm_core::obs::{names, span_key, TraceStage};
 use rsm_core::protocol::{Context, Protocol, TimerToken};
 use rsm_core::sm::StateMachine;
 use rsm_core::time::Micros;
 use rsm_core::wire::WireSize;
 use rsm_core::CommandId;
+use rsm_obs::{MetricsSnapshot, NodeObs, ObsConfig, Registry, Tracer};
 
 use crate::clock::{ClockAnomaly, ClockModel, PhysicalClock};
 use crate::cpu::CpuModel;
@@ -36,6 +38,7 @@ pub struct SimConfig {
     batch: BatchPolicy,
     record_history: bool,
     max_events: u64,
+    observe: Option<ObsConfig>,
 }
 
 impl SimConfig {
@@ -56,6 +59,7 @@ impl SimConfig {
             batch: BatchPolicy::DISABLED,
             record_history: true,
             max_events: u64::MAX,
+            observe: None,
         }
     }
 
@@ -130,6 +134,20 @@ impl SimConfig {
     /// Caps the number of processed events (safety valve for tests).
     pub fn max_events(mut self, n: u64) -> Self {
         self.max_events = n;
+        self
+    }
+
+    /// Enables observability: a metrics [`Registry`] fed by every
+    /// replica (protocol counters/gauges plus driver-side execution
+    /// counters), per-command trace [`Span`](rsm_obs::Span)s stamped in
+    /// **virtual time**, and a periodic
+    /// [`obs_poll`](rsm_core::protocol::Protocol::obs_poll) sweep every
+    /// [`ObsConfig::poll_interval`] microseconds. Off by default —
+    /// uninstrumented runs pay only a `None` check per hook, and
+    /// instrumentation cannot consume virtual time, so enabling it
+    /// never perturbs a deterministic schedule.
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.observe = Some(obs);
         self
     }
 
@@ -385,6 +403,9 @@ enum Event<P: Protocol> {
         node: ReplicaId,
         incarnation: u64,
     },
+    /// Periodic observability sweep: run every live protocol's
+    /// `obs_poll` and re-arm. Only ever scheduled when observing.
+    ObsPoll,
 }
 
 enum NodeInput<P: Protocol> {
@@ -412,6 +433,9 @@ struct Node<P: Protocol> {
     /// — the adaptive controller's commit-latency feed. Populated only
     /// under an adaptive policy; bounded by commands in flight.
     req_arrivals: HashMap<CommandId, Micros>,
+    /// This replica's handle-cached view of the shared metrics registry
+    /// (`None` unless [`SimConfig::observe`] is set).
+    obs: Option<NodeObs>,
 }
 
 #[derive(Debug)]
@@ -447,6 +471,12 @@ struct NodeCtx<'a, P: Protocol> {
     log: &'a mut SimLog<P::LogRec>,
     sm: &'a mut dyn StateMachine,
     eff: &'a mut Effects<P>,
+    /// Metrics sink for this replica, when observing.
+    obs: Option<&'a mut NodeObs>,
+    /// Span collector, when observing. Trace stamps carry **virtual
+    /// time** — never the replica's (possibly skewed) physical clock —
+    /// so breakdown terms across replicas share one timeline.
+    tracer: Option<&'a Tracer>,
 }
 
 impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
@@ -484,6 +514,29 @@ impl<'a, P: Protocol> Context<P> for NodeCtx<'a, P> {
     fn send_reply(&mut self, reply: Reply) {
         self.eff.read_replies.push(reply);
     }
+    fn obs_active(&self) -> bool {
+        self.obs.is_some()
+    }
+    fn obs_count(&mut self, name: &'static str, delta: u64) {
+        if let Some(o) = &mut self.obs {
+            o.count(name, delta);
+        }
+    }
+    fn obs_gauge(&mut self, name: &'static str, value: i64) {
+        if let Some(o) = &mut self.obs {
+            o.gauge(name, value);
+        }
+    }
+    fn obs_gauge_idx(&mut self, name: &'static str, idx: ReplicaId, value: i64) {
+        if let Some(o) = &mut self.obs {
+            o.gauge_idx(name, idx.as_u16(), value);
+        }
+    }
+    fn trace(&mut self, id: CommandId, stage: TraceStage) {
+        if let Some(t) = self.tracer {
+            t.record(span_key(id), stage.index(), self.now);
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation of `P`-replicas on a wide-area
@@ -508,6 +561,10 @@ pub struct Simulation<P: Protocol, A: Application<P>> {
     parked: ParkedLinks<P::Msg>,
     stop: bool,
     events_processed: u64,
+    /// The shared metrics registry (populated only when observing).
+    registry: Registry,
+    /// The span collector, when observing.
+    tracer: Option<Tracer>,
 }
 
 /// Messages held on a cut link, in order: `(from, to, msg)`.
@@ -560,7 +617,15 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 cpu_free: 0,
                 batcher: BatchController::new(cfg.batch),
                 req_arrivals: HashMap::new(),
+                obs: None,
             });
+        }
+        let registry = Registry::new();
+        let tracer = cfg.observe.map(Tracer::new);
+        if cfg.observe.is_some() {
+            for (i, node) in nodes.iter_mut().enumerate() {
+                node.obs = Some(NodeObs::new(registry.clone(), i as u16));
+            }
         }
         let mut sim = Simulation {
             fifo_floor: vec![vec![0; n]; n],
@@ -575,8 +640,13 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             now: 0,
             stop: false,
             events_processed: 0,
+            registry,
+            tracer,
             cfg,
         };
+        if let Some(obs) = sim.cfg.observe {
+            sim.queue.push(obs.poll_interval, Event::ObsPoll);
+        }
         for i in 0..n {
             sim.invoke(i, false, |p, ctx| p.on_start(ctx));
         }
@@ -726,6 +796,19 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         &self.nodes[r.index()].proto
     }
 
+    /// A deterministic snapshot of every metric, or `None` when
+    /// [`SimConfig::observe`] was not set. Two runs of the same seed and
+    /// schedule produce `==`-equal snapshots.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.cfg.observe.map(|_| self.registry.snapshot())
+    }
+
+    /// The span collector, when observing. Stage stamps are virtual
+    /// time; completed spans are in completion order (deterministic).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
     /// Reads a replica's physical clock at the current virtual time — the
     /// same observation the protocol makes through its context, advancing
     /// the monotonic stamper identically (test observability for clock
@@ -788,6 +871,15 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 if !self.nodes[idx].up {
                     return; // site down: client request lost
                 }
+                // Open (or re-enter, for a retry of the same command id)
+                // the command's trace span at the replica that will
+                // answer the client. Reads are untraced: they skip the
+                // ordering pipeline the span stages describe.
+                if !cmd.read_only {
+                    if let Some(t) = &self.tracer {
+                        t.begin(span_key(cmd.id), to.as_u16(), self.now);
+                    }
+                }
                 // Reads never coalesce: batching amortizes replication
                 // cost, and a local read replicates nothing, so holding
                 // a Get behind an adaptive flush threshold would buy
@@ -817,6 +909,11 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 }
             }
             Event::ReplyArrive { client, reply } => {
+                // Terminal stamp: the reply reached the issuing client.
+                // No-op for reads (never begun) and unsampled keys.
+                if let Some(t) = &self.tracer {
+                    t.complete(span_key(reply.id), TraceStage::Replied.index(), self.now);
+                }
                 let hints = self.read_hints();
                 let Simulation {
                     queue,
@@ -902,6 +999,17 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             }
             Event::ProcessInbox { node, incarnation } => {
                 self.handle_process_inbox(node, incarnation)
+            }
+            Event::ObsPoll => {
+                for i in 0..self.nodes.len() {
+                    if self.nodes[i].up {
+                        self.invoke(i, false, |p, ctx| p.obs_poll(ctx));
+                    }
+                }
+                if let Some(obs) = self.cfg.observe {
+                    self.queue
+                        .push(self.now + obs.poll_interval, Event::ObsPoll);
+                }
             }
         }
     }
@@ -1040,6 +1148,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
         // requests is preserved.
         let mut eff = Effects::default();
         {
+            let tracer = self.tracer.as_ref();
             let n = &mut self.nodes[idx];
             let Node {
                 proto,
@@ -1047,6 +1156,7 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 log,
                 sm,
                 batcher,
+                obs,
                 ..
             } = n;
             // Hand the controller this drain's load signal (queued client
@@ -1061,12 +1171,19 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 .filter(|i| matches!(i, NodeInput::Request(c) if !c.read_only))
                 .count();
             batcher.begin_drain(queued_requests);
+            if let Some(o) = obs.as_mut() {
+                // The controller's operating point, freshly adjusted for
+                // this drain's load signal.
+                o.gauge(names::BATCH_THRESHOLD, batcher.effective_max_batch() as i64);
+            }
             let mut ctx = NodeCtx {
                 now: self.now,
                 clock,
                 log,
                 sm: sm.as_mut(),
                 eff: &mut eff,
+                obs: obs.as_mut(),
+                tracer,
             };
             let mut run: Vec<Command> = Vec::new();
             let mut run_bytes = 0usize;
@@ -1158,12 +1275,14 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
     ) {
         let mut eff = Effects::default();
         {
+            let tracer = self.tracer.as_ref();
             let n = &mut self.nodes[idx];
             let Node {
                 proto,
                 clock,
                 log,
                 sm,
+                obs,
                 ..
             } = n;
             let mut ctx = NodeCtx {
@@ -1172,6 +1291,8 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
                 log,
                 sm: sm.as_mut(),
                 eff: &mut eff,
+                obs: obs.as_mut(),
+                tracer,
             };
             f(proto, &mut ctx);
         }
@@ -1262,6 +1383,21 @@ impl<P: Protocol, A: Application<P>> Simulation<P, A> {
             let done_at = at + per_exec_us * k as Micros;
             let n = &mut self.nodes[idx];
             n.commit_count += 1;
+            if let Some(o) = &mut n.obs {
+                // Mirrors `commit_count` exactly, replays included.
+                o.count(names::EXECUTED, 1);
+            }
+            // Commit/execute stamps stay on the origin replica (the
+            // client's pipeline); recovery replays re-execute old
+            // commands and must not re-stamp still-open spans.
+            if !suppress_replies && committed.origin == from {
+                if let Some(t) = &self.tracer {
+                    let key = span_key(committed.cmd.id);
+                    let r = from.as_u16();
+                    t.record_at_origin(key, r, TraceStage::Committed.index(), at);
+                    t.record_at_origin(key, r, TraceStage::Executed.index(), done_at);
+                }
+            }
             // Close the adaptive controller's latency loop for requests
             // this node originated (the map is empty otherwise).
             if let Some(t0) = n.req_arrivals.remove(&committed.cmd.id) {
